@@ -1,0 +1,243 @@
+//! Sequence alphabets and their packed encodings.
+//!
+//! SMX supports four configurations (paper §7): 2-bit DNA (edit model),
+//! 4-bit DNA (gap model), 6-bit protein (substitution matrices), and 8-bit
+//! ASCII text. The alphabet determines both the symbol encoding width and
+//! the DP-element width (`EW`) used by the hardware.
+
+use crate::error::AlignError;
+
+/// A sequence alphabet with a fixed-width binary encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Alphabet {
+    /// `{A, C, G, T}` packed in 2 bits. Used by the DNA-edit configuration.
+    Dna2,
+    /// `{A, C, G, T, N, ...}` packed in 4 bits (IUPAC subset). Used by the
+    /// DNA-gap configuration.
+    Dna4,
+    /// The 26-letter amino-acid alphabet (`A`–`Z`, including ambiguity
+    /// codes) packed in 6 bits. Used by the protein configuration.
+    Protein,
+    /// 7-bit ASCII text (8-bit element width). Used by the ASCII-edit
+    /// configuration.
+    Ascii,
+}
+
+impl Alphabet {
+    /// All alphabets, in EW order.
+    pub const ALL: [Alphabet; 4] = [
+        Alphabet::Dna2,
+        Alphabet::Dna4,
+        Alphabet::Protein,
+        Alphabet::Ascii,
+    ];
+
+    /// Bits used to encode one symbol (2, 4, 6, or 8).
+    #[must_use]
+    pub fn bits(self) -> u8 {
+        match self {
+            Alphabet::Dna2 => 2,
+            Alphabet::Dna4 => 4,
+            Alphabet::Protein => 6,
+            Alphabet::Ascii => 8,
+        }
+    }
+
+    /// Number of distinct symbols representable.
+    #[must_use]
+    pub fn cardinality(self) -> usize {
+        match self {
+            Alphabet::Dna2 => 4,
+            Alphabet::Dna4 => 16,
+            Alphabet::Protein => 26,
+            Alphabet::Ascii => 128,
+        }
+    }
+
+    /// Short lowercase name, used in errors and harness output.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Alphabet::Dna2 => "dna2",
+            Alphabet::Dna4 => "dna4",
+            Alphabet::Protein => "protein",
+            Alphabet::Ascii => "ascii",
+        }
+    }
+
+    /// Encodes `symbol` into its code point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AlignError::InvalidSymbol`] if the character is not part of
+    /// this alphabet (lowercase nucleotides/amino acids are accepted and
+    /// normalized to uppercase).
+    pub fn encode(self, symbol: char) -> Result<u8, AlignError> {
+        let up = symbol.to_ascii_uppercase();
+        let err = || AlignError::InvalidSymbol { symbol, alphabet: self.name() };
+        match self {
+            Alphabet::Dna2 => match up {
+                'A' => Ok(0),
+                'C' => Ok(1),
+                'G' => Ok(2),
+                'T' => Ok(3),
+                _ => Err(err()),
+            },
+            Alphabet::Dna4 => match up {
+                'A' => Ok(0),
+                'C' => Ok(1),
+                'G' => Ok(2),
+                'T' => Ok(3),
+                'N' => Ok(4),
+                'R' => Ok(5),
+                'Y' => Ok(6),
+                'S' => Ok(7),
+                'W' => Ok(8),
+                'K' => Ok(9),
+                'M' => Ok(10),
+                'B' => Ok(11),
+                'D' => Ok(12),
+                'H' => Ok(13),
+                'V' => Ok(14),
+                'U' => Ok(15),
+                _ => Err(err()),
+            },
+            Alphabet::Protein => {
+                if up.is_ascii_uppercase() {
+                    Ok(up as u8 - b'A')
+                } else {
+                    Err(err())
+                }
+            }
+            Alphabet::Ascii => {
+                if symbol.is_ascii() {
+                    Ok(symbol as u8)
+                } else {
+                    Err(err())
+                }
+            }
+        }
+    }
+
+    /// Decodes a code point back into its character.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AlignError::InvalidCode`] if `code` is out of range.
+    pub fn decode(self, code: u8) -> Result<char, AlignError> {
+        let err = || AlignError::InvalidCode { code, alphabet: self.name() };
+        match self {
+            Alphabet::Dna2 => [b'A', b'C', b'G', b'T']
+                .get(code as usize)
+                .map(|&b| b as char)
+                .ok_or_else(err),
+            Alphabet::Dna4 => b"ACGTNRYSWKMBDHVU"
+                .get(code as usize)
+                .map(|&b| b as char)
+                .ok_or_else(err),
+            Alphabet::Protein => {
+                if code < 26 {
+                    Ok((b'A' + code) as char)
+                } else {
+                    Err(err())
+                }
+            }
+            Alphabet::Ascii => {
+                if code < 128 {
+                    Ok(code as char)
+                } else {
+                    Err(err())
+                }
+            }
+        }
+    }
+
+    /// Whether `code` is in range for this alphabet.
+    #[must_use]
+    pub fn is_valid_code(self, code: u8) -> bool {
+        (code as usize) < self.cardinality()
+    }
+}
+
+impl std::fmt::Display for Alphabet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dna2_roundtrip() {
+        for (i, c) in "ACGT".chars().enumerate() {
+            assert_eq!(Alphabet::Dna2.encode(c).unwrap(), i as u8);
+            assert_eq!(Alphabet::Dna2.decode(i as u8).unwrap(), c);
+        }
+    }
+
+    #[test]
+    fn dna2_rejects_n() {
+        assert!(matches!(
+            Alphabet::Dna2.encode('N'),
+            Err(AlignError::InvalidSymbol { .. })
+        ));
+    }
+
+    #[test]
+    fn dna4_accepts_iupac() {
+        for c in "ACGTNRYSWKMBDHVU".chars() {
+            let code = Alphabet::Dna4.encode(c).unwrap();
+            assert_eq!(Alphabet::Dna4.decode(code).unwrap(), c);
+        }
+    }
+
+    #[test]
+    fn lowercase_normalized() {
+        assert_eq!(Alphabet::Dna2.encode('a').unwrap(), 0);
+        assert_eq!(Alphabet::Protein.encode('w').unwrap(), 22);
+    }
+
+    #[test]
+    fn protein_covers_26_letters() {
+        for (i, c) in ('A'..='Z').enumerate() {
+            assert_eq!(Alphabet::Protein.encode(c).unwrap(), i as u8);
+            assert_eq!(Alphabet::Protein.decode(i as u8).unwrap(), c);
+        }
+        assert!(Alphabet::Protein.decode(26).is_err());
+    }
+
+    #[test]
+    fn ascii_roundtrip_all_bytes() {
+        for b in 0u8..=127 {
+            let c = b as char;
+            assert_eq!(Alphabet::Ascii.encode(c).unwrap(), b);
+            assert_eq!(Alphabet::Ascii.decode(b).unwrap(), c);
+        }
+    }
+
+    #[test]
+    fn ascii_rejects_non_ascii() {
+        assert!(Alphabet::Ascii.encode('é').is_err());
+    }
+
+    #[test]
+    fn bits_match_cardinality() {
+        for a in Alphabet::ALL {
+            assert!(a.cardinality() <= 1 << a.bits());
+        }
+    }
+
+    #[test]
+    fn code_validity_is_consistent_with_decode() {
+        for a in Alphabet::ALL {
+            for code in 0u8..=255 {
+                assert_eq!(a.is_valid_code(code), a.decode(code).is_ok(), "{a} {code}");
+                if code as usize >= a.cardinality() {
+                    break;
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,256 @@
+//! Hardware-facing configuration shared by every SMX component: the
+//! runtime-configurable element width (`EW`) and the four paper-level
+//! alignment configurations (paper §7, "Sequence alignment configurations").
+
+use crate::alphabet::Alphabet;
+use crate::error::AlignError;
+use crate::scoring::ScoringScheme;
+use crate::submat::SubstMatrix;
+
+/// DP-element width in bits. Determines the vector length `VL` (how many
+/// DP-elements pack into a 64-bit word) and which SMX-PE array is used.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ElementWidth {
+    /// 2-bit elements, VL = 32 (DNA edit distance).
+    W2,
+    /// 4-bit elements, VL = 16 (DNA gap model).
+    W4,
+    /// 6-bit elements, VL = 10 (protein substitution matrices).
+    W6,
+    /// 8-bit elements, VL = 8 (ASCII text).
+    W8,
+}
+
+impl ElementWidth {
+    /// All widths in increasing order.
+    pub const ALL: [ElementWidth; 4] = [
+        ElementWidth::W2,
+        ElementWidth::W4,
+        ElementWidth::W6,
+        ElementWidth::W8,
+    ];
+
+    /// Bits per DP-element.
+    #[must_use]
+    pub fn bits(self) -> u8 {
+        match self {
+            ElementWidth::W2 => 2,
+            ElementWidth::W4 => 4,
+            ElementWidth::W6 => 6,
+            ElementWidth::W8 => 8,
+        }
+    }
+
+    /// Vector length: DP-elements per 64-bit word (32, 16, 10, 8).
+    ///
+    /// Note the W6 case packs 10 elements (60 bits) leaving 4 bits unused,
+    /// exactly as in the paper's `10×SMX-PE6` array.
+    #[must_use]
+    pub fn vl(self) -> usize {
+        match self {
+            ElementWidth::W2 => 32,
+            ElementWidth::W4 => 16,
+            ElementWidth::W6 => 10,
+            ElementWidth::W8 => 8,
+        }
+    }
+
+    /// Maximum encodable element value (`2^EW − 1`).
+    #[must_use]
+    pub fn max_value(self) -> u32 {
+        (1u32 << self.bits()) - 1
+    }
+
+    /// SMX-engine pipeline depth at the 1 GHz design point (paper §7:
+    /// 7, 5, 4, 3 cycles for the 2/4/6/8-bit configurations).
+    #[must_use]
+    pub fn engine_pipeline_depth(self) -> u32 {
+        match self {
+            ElementWidth::W2 => 7,
+            ElementWidth::W4 => 5,
+            ElementWidth::W6 => 4,
+            ElementWidth::W8 => 3,
+        }
+    }
+
+    /// Element width required to hold values in `[0, theta]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AlignError::ElementWidthOverflow`] when `theta` exceeds the
+    /// widest supported element (8 bits), and
+    /// [`AlignError::InvalidScoring`] for a negative `theta`.
+    pub fn for_theta(theta: i32) -> Result<ElementWidth, AlignError> {
+        if theta < 0 {
+            return Err(AlignError::InvalidScoring(format!(
+                "theta must be non-negative, got {theta}"
+            )));
+        }
+        ElementWidth::ALL
+            .into_iter()
+            .find(|ew| theta as u32 <= ew.max_value())
+            .ok_or(AlignError::ElementWidthOverflow { theta, ew_bits: 8 })
+    }
+
+    /// Whether values in `[0, theta]` fit in this width.
+    #[must_use]
+    pub fn fits_theta(self, theta: i32) -> bool {
+        theta >= 0 && theta as u32 <= self.max_value()
+    }
+}
+
+impl std::fmt::Display for ElementWidth {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}b", self.bits())
+    }
+}
+
+/// One of the paper's four evaluation configurations (paper §7), bundling an
+/// alphabet, a scoring scheme, and the element width used by the hardware.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AlignmentConfig {
+    /// 2-bit DNA characters, edit distance.
+    DnaEdit,
+    /// 4-bit DNA characters, linear gap model (KSW2-style 2/−4/−4 weights).
+    DnaGap,
+    /// 6-bit protein characters, linear gaps + BLOSUM50.
+    Protein,
+    /// 8-bit ASCII characters, edit distance.
+    Ascii,
+}
+
+impl AlignmentConfig {
+    /// All four configurations, in paper order.
+    pub const ALL: [AlignmentConfig; 4] = [
+        AlignmentConfig::DnaEdit,
+        AlignmentConfig::DnaGap,
+        AlignmentConfig::Protein,
+        AlignmentConfig::Ascii,
+    ];
+
+    /// The alphabet used by this configuration.
+    #[must_use]
+    pub fn alphabet(self) -> Alphabet {
+        match self {
+            AlignmentConfig::DnaEdit => Alphabet::Dna2,
+            AlignmentConfig::DnaGap => Alphabet::Dna4,
+            AlignmentConfig::Protein => Alphabet::Protein,
+            AlignmentConfig::Ascii => Alphabet::Ascii,
+        }
+    }
+
+    /// The element width used by this configuration.
+    #[must_use]
+    pub fn element_width(self) -> ElementWidth {
+        match self {
+            AlignmentConfig::DnaEdit => ElementWidth::W2,
+            AlignmentConfig::DnaGap => ElementWidth::W4,
+            AlignmentConfig::Protein => ElementWidth::W6,
+            AlignmentConfig::Ascii => ElementWidth::W8,
+        }
+    }
+
+    /// The canonical scoring scheme for this configuration.
+    ///
+    /// DNA-gap uses the Minimap2/KSW2 short-read defaults (match +2,
+    /// mismatch −4, gap −4); protein uses BLOSUM50 with gap −5.
+    #[must_use]
+    pub fn scoring(self) -> ScoringScheme {
+        match self {
+            AlignmentConfig::DnaEdit | AlignmentConfig::Ascii => ScoringScheme::edit(),
+            AlignmentConfig::DnaGap => {
+                ScoringScheme::linear(2, -4, -4).expect("static scheme is valid")
+            }
+            AlignmentConfig::Protein => {
+                ScoringScheme::matrix(SubstMatrix::blosum50(), -5).expect("static scheme is valid")
+            }
+        }
+    }
+
+    /// Short lowercase name, used in harness output.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            AlignmentConfig::DnaEdit => "dna-edit",
+            AlignmentConfig::DnaGap => "dna-gap",
+            AlignmentConfig::Protein => "protein",
+            AlignmentConfig::Ascii => "ascii",
+        }
+    }
+}
+
+impl std::fmt::Display for AlignmentConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vl_times_bits_fits_64() {
+        for ew in ElementWidth::ALL {
+            assert!(ew.vl() * ew.bits() as usize <= 64, "{ew}");
+        }
+    }
+
+    #[test]
+    fn vl_matches_paper() {
+        assert_eq!(ElementWidth::W2.vl(), 32);
+        assert_eq!(ElementWidth::W4.vl(), 16);
+        assert_eq!(ElementWidth::W6.vl(), 10);
+        assert_eq!(ElementWidth::W8.vl(), 8);
+    }
+
+    #[test]
+    fn pipeline_depths_match_paper() {
+        let depths: Vec<u32> = ElementWidth::ALL
+            .iter()
+            .map(|ew| ew.engine_pipeline_depth())
+            .collect();
+        assert_eq!(depths, vec![7, 5, 4, 3]);
+    }
+
+    #[test]
+    fn for_theta_selects_minimal_width() {
+        assert_eq!(ElementWidth::for_theta(0).unwrap(), ElementWidth::W2);
+        assert_eq!(ElementWidth::for_theta(2).unwrap(), ElementWidth::W2);
+        assert_eq!(ElementWidth::for_theta(3).unwrap(), ElementWidth::W2);
+        assert_eq!(ElementWidth::for_theta(4).unwrap(), ElementWidth::W4);
+        assert_eq!(ElementWidth::for_theta(15).unwrap(), ElementWidth::W4);
+        assert_eq!(ElementWidth::for_theta(16).unwrap(), ElementWidth::W6);
+        assert_eq!(ElementWidth::for_theta(39).unwrap(), ElementWidth::W6);
+        assert_eq!(ElementWidth::for_theta(64).unwrap(), ElementWidth::W8);
+        assert!(ElementWidth::for_theta(256).is_err());
+        assert!(ElementWidth::for_theta(-1).is_err());
+    }
+
+    #[test]
+    fn configs_pair_alphabet_and_ew() {
+        for cfg in AlignmentConfig::ALL {
+            assert_eq!(cfg.alphabet().bits(), cfg.element_width().bits());
+        }
+    }
+
+    #[test]
+    fn config_schemes_fit_their_element_width() {
+        for cfg in AlignmentConfig::ALL {
+            let theta = cfg.scoring().theta();
+            assert!(
+                cfg.element_width().fits_theta(theta),
+                "{cfg}: theta {theta} vs {}",
+                cfg.element_width()
+            );
+        }
+    }
+
+    #[test]
+    fn protein_theta_fits_6_bits_as_paper_claims() {
+        // Paper §4.3.3: BLOSUM-style matrices with indel costs 5..12 lead to
+        // theta <= 39, encodable in 6 bits.
+        let theta = AlignmentConfig::Protein.scoring().theta();
+        assert!(theta <= 39, "theta {theta}");
+    }
+}

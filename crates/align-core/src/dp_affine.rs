@@ -1,0 +1,372 @@
+//! Affine-gap (Gotoh) golden model — an extension beyond the paper's
+//! linear-gap hardware.
+//!
+//! Practical read aligners (Minimap2/KSW2) use gap-affine penalties
+//! `open + k·extend`; the paper's SMX hardware implements the linear
+//! model and lists richer gap models as the flexibility frontier. This
+//! module provides the exact three-matrix Gotoh recurrence as a golden
+//! model so future SMX extensions (and the software baselines) can be
+//! validated against it.
+
+use crate::cigar::{Alignment, Cigar, Op};
+use crate::error::AlignError;
+
+/// Affine-gap scoring: `gap(k) = gap_open + k·gap_extend` (both ≤ 0,
+/// charged in addition per gap segment and per gap character).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AffineScheme {
+    /// Match score (≥ 0).
+    pub match_score: i32,
+    /// Mismatch score (≤ 0).
+    pub mismatch: i32,
+    /// Penalty for opening a gap segment (≤ 0).
+    pub gap_open: i32,
+    /// Penalty per gap character (≤ 0, < 0 required).
+    pub gap_extend: i32,
+}
+
+impl AffineScheme {
+    /// Builds a validated scheme.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AlignError::InvalidScoring`] on sign violations.
+    pub fn new(match_score: i32, mismatch: i32, gap_open: i32, gap_extend: i32) -> Result<AffineScheme, AlignError> {
+        if match_score < 0 || mismatch > 0 || gap_open > 0 || gap_extend >= 0 {
+            return Err(AlignError::InvalidScoring(format!(
+                "affine scheme signs invalid: M={match_score} X={mismatch} O={gap_open} E={gap_extend}"
+            )));
+        }
+        Ok(AffineScheme { match_score, mismatch, gap_open, gap_extend })
+    }
+
+    /// The Minimap2 short-read defaults (2, -4, -4, -2).
+    #[must_use]
+    pub fn minimap2() -> AffineScheme {
+        AffineScheme { match_score: 2, mismatch: -4, gap_open: -4, gap_extend: -2 }
+    }
+
+    fn score(&self, a: u8, b: u8) -> i32 {
+        if a == b {
+            self.match_score
+        } else {
+            self.mismatch
+        }
+    }
+
+    /// Total penalty of a gap of `k` characters.
+    #[must_use]
+    pub fn gap(&self, k: u32) -> i32 {
+        if k == 0 {
+            0
+        } else {
+            self.gap_open + k as i32 * self.gap_extend
+        }
+    }
+}
+
+const NEG: i32 = i32::MIN / 4;
+
+/// Computes the optimal global affine-gap alignment (Gotoh).
+///
+/// # Errors
+///
+/// Returns [`AlignError::EmptySequence`] for empty inputs.
+#[allow(clippy::needless_range_loop)] // index loops mirror the recurrences
+pub fn affine_align(query: &[u8], reference: &[u8], scheme: &AffineScheme) -> Result<Alignment, AlignError> {
+    if query.is_empty() || reference.is_empty() {
+        return Err(AlignError::EmptySequence);
+    }
+    let (m, n) = (query.len(), reference.len());
+    let w = n + 1;
+    // Three layers: M (diag), I (gap in reference, consumes query),
+    // D (gap in query, consumes reference).
+    let mut mm = vec![NEG; (m + 1) * w];
+    let mut ii = vec![NEG; (m + 1) * w];
+    let mut dd = vec![NEG; (m + 1) * w];
+    mm[0] = 0;
+    for j in 1..=n {
+        dd[j] = scheme.gap(j as u32);
+    }
+    for i in 1..=m {
+        ii[i * w] = scheme.gap(i as u32);
+    }
+    for i in 1..=m {
+        for j in 1..=n {
+            let idx = i * w + j;
+            let up = (i - 1) * w + j;
+            let left = i * w + j - 1;
+            let diag = (i - 1) * w + j - 1;
+            let s = scheme.score(query[i - 1], reference[j - 1]);
+            let best_prev = mm[diag].max(ii[diag]).max(dd[diag]);
+            mm[idx] = if best_prev <= NEG / 2 { NEG } else { best_prev + s };
+            ii[idx] = (mm[up] + scheme.gap_open + scheme.gap_extend)
+                .max(ii[up] + scheme.gap_extend)
+                .max(dd[up] + scheme.gap_open + scheme.gap_extend)
+                .max(NEG);
+            dd[idx] = (mm[left] + scheme.gap_open + scheme.gap_extend)
+                .max(dd[left] + scheme.gap_extend)
+                .max(ii[left] + scheme.gap_open + scheme.gap_extend)
+                .max(NEG);
+        }
+    }
+    let last = m * w + n;
+    let score = mm[last].max(ii[last]).max(dd[last]);
+
+    // Traceback across layers: 0 = M, 1 = I, 2 = D.
+    let mut layer = if score == mm[last] {
+        0u8
+    } else if score == ii[last] {
+        1
+    } else {
+        2
+    };
+    let (mut i, mut j) = (m, n);
+    let mut cigar = Cigar::new();
+    while i > 0 || j > 0 {
+        let idx = i * w + j;
+        match layer {
+            0 => {
+                debug_assert!(i > 0 && j > 0, "M layer at border");
+                cigar.push(if query[i - 1] == reference[j - 1] { Op::Match } else { Op::Mismatch });
+                let diag = (i - 1) * w + j - 1;
+                let v = mm[idx] - scheme.score(query[i - 1], reference[j - 1]);
+                layer = if v == mm[diag] {
+                    0
+                } else if v == ii[diag] {
+                    1
+                } else {
+                    2
+                };
+                i -= 1;
+                j -= 1;
+            }
+            1 => {
+                debug_assert!(i > 0, "I layer at top border");
+                cigar.push(Op::Insert);
+                let up = (i - 1) * w + j;
+                let v = ii[idx];
+                layer = if v == mm[up] + scheme.gap_open + scheme.gap_extend {
+                    0
+                } else if v == ii[up] + scheme.gap_extend {
+                    1
+                } else {
+                    2
+                };
+                i -= 1;
+            }
+            _ => {
+                debug_assert!(j > 0, "D layer at left border");
+                cigar.push(Op::Delete);
+                let left = i * w + j - 1;
+                let v = dd[idx];
+                layer = if v == mm[left] + scheme.gap_open + scheme.gap_extend {
+                    0
+                } else if v == dd[left] + scheme.gap_extend {
+                    2
+                } else {
+                    1
+                };
+                j -= 1;
+            }
+        }
+        if i == 0 && j > 0 {
+            layer = 2;
+        }
+        if j == 0 && i > 0 {
+            layer = 1;
+        }
+    }
+    cigar.reverse();
+    Ok(Alignment { score, cigar })
+}
+
+/// Score-only affine alignment in `O(n)` memory.
+#[must_use]
+#[allow(clippy::needless_range_loop)] // index loops mirror the recurrences
+pub fn affine_score(query: &[u8], reference: &[u8], scheme: &AffineScheme) -> i32 {
+    let n = reference.len();
+    let mut mm: Vec<i32> = vec![NEG; n + 1];
+    let mut ii: Vec<i32> = vec![NEG; n + 1];
+    let mut dd: Vec<i32> = vec![NEG; n + 1];
+    mm[0] = 0;
+    for j in 1..=n {
+        dd[j] = scheme.gap(j as u32);
+    }
+    for (i, &q) in query.iter().enumerate() {
+        let mut diag_m = mm[0];
+        let mut diag_i = ii[0];
+        let mut diag_d = dd[0];
+        mm[0] = NEG;
+        ii[0] = scheme.gap(i as u32 + 1);
+        dd[0] = NEG;
+        for j in 1..=n {
+            let (pm, pi, pd) = (mm[j], ii[j], dd[j]);
+            let s = scheme.score(q, reference[j - 1]);
+            let best_prev = diag_m.max(diag_i).max(diag_d);
+            let new_m = if best_prev <= NEG / 2 { NEG } else { best_prev + s };
+            let new_i = (pm + scheme.gap_open + scheme.gap_extend)
+                .max(pi + scheme.gap_extend)
+                .max(pd + scheme.gap_open + scheme.gap_extend)
+                .max(NEG);
+            let new_d = (mm[j - 1] + scheme.gap_open + scheme.gap_extend)
+                .max(dd[j - 1] + scheme.gap_extend)
+                .max(ii[j - 1] + scheme.gap_open + scheme.gap_extend)
+                .max(NEG);
+            diag_m = pm;
+            diag_i = pi;
+            diag_d = pd;
+            mm[j] = new_m;
+            ii[j] = new_i;
+            dd[j] = new_d;
+        }
+    }
+    mm[n].max(ii[n]).max(dd[n])
+}
+
+/// Re-scores a CIGAR under affine penalties (gap segments charged open +
+/// per-character extend).
+///
+/// # Errors
+///
+/// Returns [`AlignError::Internal`] if the CIGAR does not consume exactly
+/// the two sequences or mislabels a match.
+pub fn affine_rescore(
+    cigar: &Cigar,
+    query: &[u8],
+    reference: &[u8],
+    scheme: &AffineScheme,
+) -> Result<i32, AlignError> {
+    let mut total = 0i64;
+    let (mut qi, mut rj) = (0usize, 0usize);
+    for &(op, count) in cigar.runs() {
+        match op {
+            Op::Match | Op::Mismatch => {
+                for _ in 0..count {
+                    let (a, b) = (
+                        *query.get(qi).ok_or_else(|| AlignError::Internal("query overrun".into()))?,
+                        *reference
+                            .get(rj)
+                            .ok_or_else(|| AlignError::Internal("reference overrun".into()))?,
+                    );
+                    if (a == b) != (op == Op::Match) {
+                        return Err(AlignError::Internal(format!("mislabel at q[{qi}]")));
+                    }
+                    total += scheme.score(a, b) as i64;
+                    qi += 1;
+                    rj += 1;
+                }
+            }
+            Op::Insert => {
+                total += scheme.gap(count) as i64;
+                qi += count as usize;
+            }
+            Op::Delete => {
+                total += scheme.gap(count) as i64;
+                rj += count as usize;
+            }
+        }
+    }
+    if qi != query.len() || rj != reference.len() {
+        return Err(AlignError::Internal("cigar does not consume sequences".into()));
+    }
+    Ok(total as i32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn s() -> AffineScheme {
+        AffineScheme::minimap2()
+    }
+
+    #[test]
+    fn identical_sequences() {
+        let q = [0u8, 1, 2, 3, 0, 1];
+        let a = affine_align(&q, &q, &s()).unwrap();
+        assert_eq!(a.score, 12);
+        assert_eq!(a.cigar.to_string(), "6=");
+    }
+
+    #[test]
+    fn one_long_gap_beats_two_short() {
+        // Affine prefers a single gap segment: q has a 2-base deletion.
+        let r = [0u8, 1, 2, 3, 0, 1, 2, 3];
+        let q = [0u8, 1, 2, 3, 2, 3];
+        let a = affine_align(&q, &r, &s()).unwrap();
+        // Expect one 2-long deletion: 6 matches + gap(2) = 12 - 8 = 4.
+        assert_eq!(a.score, 12 - (4 + 2 * 2));
+        let deletions: Vec<u32> = a
+            .cigar
+            .runs()
+            .iter()
+            .filter(|(op, _)| *op == Op::Delete)
+            .map(|&(_, n)| n)
+            .collect();
+        assert_eq!(deletions, vec![2], "single consolidated gap");
+    }
+
+    #[test]
+    fn rescore_matches_alignment_score() {
+        let q = [0u8, 3, 2, 3, 1, 0, 0, 2];
+        let r = [0u8, 1, 2, 3, 1, 2, 0];
+        let a = affine_align(&q, &r, &s()).unwrap();
+        assert_eq!(affine_rescore(&a.cigar, &q, &r, &s()).unwrap(), a.score);
+    }
+
+    #[test]
+    fn score_only_matches_full() {
+        let q = [0u8, 3, 2, 3, 1, 0, 0, 2, 1, 1];
+        let r = [0u8, 1, 2, 3, 1, 2, 0, 3];
+        assert_eq!(affine_score(&q, &r, &s()), affine_align(&q, &r, &s()).unwrap().score);
+    }
+
+    #[test]
+    fn linear_equivalence() {
+        // With gap_open = 0, affine(k) = k*extend = linear gap model.
+        let aff = AffineScheme { match_score: 2, mismatch: -4, gap_open: 0, gap_extend: -4 };
+        let lin = crate::scoring::ScoringScheme::linear(2, -4, -4).unwrap();
+        let q = [0u8, 3, 2, 3, 1, 0];
+        let r = [0u8, 1, 2, 1, 2, 0, 3];
+        assert_eq!(affine_score(&q, &r, &aff), crate::dp::score_only(&q, &r, &lin));
+    }
+
+    #[test]
+    fn invalid_schemes_rejected() {
+        assert!(AffineScheme::new(-1, -1, -1, -1).is_err());
+        assert!(AffineScheme::new(1, 1, -1, -1).is_err());
+        assert!(AffineScheme::new(1, -1, 1, -1).is_err());
+        assert!(AffineScheme::new(1, -1, -1, 0).is_err());
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert!(affine_align(&[], &[0], &s()).is_err());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn traceback_rescores_to_dp_score(
+            q in proptest::collection::vec(0u8..4, 1..40),
+            r in proptest::collection::vec(0u8..4, 1..40),
+        ) {
+            let a = affine_align(&q, &r, &s()).unwrap();
+            prop_assert_eq!(affine_rescore(&a.cigar, &q, &r, &s()).unwrap(), a.score);
+            prop_assert_eq!(affine_score(&q, &r, &s()), a.score);
+        }
+
+        #[test]
+        fn affine_never_beats_linear_with_same_extend(
+            q in proptest::collection::vec(0u8..4, 1..30),
+            r in proptest::collection::vec(0u8..4, 1..30),
+        ) {
+            // Adding a (negative) open penalty can only lower the score.
+            let aff = AffineScheme { match_score: 1, mismatch: -1, gap_open: -2, gap_extend: -1 };
+            let lin = crate::scoring::ScoringScheme::linear(1, -1, -1).unwrap();
+            prop_assert!(affine_score(&q, &r, &aff) <= crate::dp::score_only(&q, &r, &lin));
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Local alignment (Smith–Waterman) golden model.
+//!
+//! The paper's recurrences are global (Needleman–Wunsch); local alignment
+//! is the other classical DP the SMX operators support by clamping at
+//! zero. This module provides the exact local golden model, used by the
+//! extension tests and by seed-extension-style use cases.
+
+use crate::cigar::{Cigar, Op};
+use crate::error::AlignError;
+use crate::scoring::ScoringScheme;
+
+/// A local alignment: the best-scoring segment pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LocalAlignment {
+    /// Optimal local score (≥ 0).
+    pub score: i32,
+    /// Aligned query range (half-open).
+    pub query_range: std::ops::Range<usize>,
+    /// Aligned reference range (half-open).
+    pub reference_range: std::ops::Range<usize>,
+    /// Operations over the aligned segment.
+    pub cigar: Cigar,
+}
+
+/// Computes the optimal local alignment.
+///
+/// # Errors
+///
+/// Returns [`AlignError::EmptySequence`] for empty inputs. A fully
+/// dissimilar pair yields a zero-score empty alignment.
+pub fn local_align(
+    query: &[u8],
+    reference: &[u8],
+    scheme: &ScoringScheme,
+) -> Result<LocalAlignment, AlignError> {
+    if query.is_empty() || reference.is_empty() {
+        return Err(AlignError::EmptySequence);
+    }
+    let (m, n) = (query.len(), reference.len());
+    let w = n + 1;
+    let mut h = vec![0i32; (m + 1) * w];
+    let (gi, gd) = (scheme.gap_insert(), scheme.gap_delete());
+    let (mut best, mut bi, mut bj) = (0i32, 0usize, 0usize);
+    for i in 1..=m {
+        for j in 1..=n {
+            let v = (h[(i - 1) * w + j - 1] + scheme.score(query[i - 1], reference[j - 1]))
+                .max(h[(i - 1) * w + j] + gi)
+                .max(h[i * w + j - 1] + gd)
+                .max(0);
+            h[i * w + j] = v;
+            if v > best {
+                best = v;
+                bi = i;
+                bj = j;
+            }
+        }
+    }
+    // Traceback from the maximum until a zero cell.
+    let (mut i, mut j) = (bi, bj);
+    let mut cigar = Cigar::new();
+    while i > 0 && j > 0 && h[i * w + j] > 0 {
+        let here = h[i * w + j];
+        if here == h[(i - 1) * w + j - 1] + scheme.score(query[i - 1], reference[j - 1]) {
+            cigar.push(if query[i - 1] == reference[j - 1] { Op::Match } else { Op::Mismatch });
+            i -= 1;
+            j -= 1;
+        } else if here == h[(i - 1) * w + j] + gi {
+            cigar.push(Op::Insert);
+            i -= 1;
+        } else if here == h[i * w + j - 1] + gd {
+            cigar.push(Op::Delete);
+            j -= 1;
+        } else {
+            // here == 0 handled by the loop condition; anything else is a bug.
+            return Err(AlignError::Internal(format!("broken local traceback at ({i}, {j})")));
+        }
+    }
+    cigar.reverse();
+    Ok(LocalAlignment {
+        score: best,
+        query_range: i..bi,
+        reference_range: j..bj,
+        cigar,
+    })
+}
+
+/// Score-only local alignment in `O(n)` memory.
+#[must_use]
+pub fn local_score(query: &[u8], reference: &[u8], scheme: &ScoringScheme) -> i32 {
+    let n = reference.len();
+    let (gi, gd) = (scheme.gap_insert(), scheme.gap_delete());
+    let mut row = vec![0i32; n + 1];
+    let mut best = 0;
+    for &q in query {
+        let mut diag = row[0];
+        for j in 1..=n {
+            let v = (diag + scheme.score(q, reference[j - 1]))
+                .max(row[j] + gi)
+                .max(row[j - 1] + gd)
+                .max(0);
+            diag = row[j];
+            row[j] = v;
+            best = best.max(v);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn scheme() -> ScoringScheme {
+        ScoringScheme::linear(2, -3, -3).unwrap()
+    }
+
+    #[test]
+    fn finds_embedded_segment() {
+        // The shared segment 1,2,3,1 is embedded in unrelated flanks.
+        let q = [0u8, 0, 0, 1, 2, 3, 1, 0, 0];
+        let r = [3u8, 3, 1, 2, 3, 1, 3, 3, 3];
+        let a = local_align(&q, &r, &scheme()).unwrap();
+        assert_eq!(a.score, 8); // 4 matches x 2
+        assert_eq!(a.query_range, 3..7);
+        assert_eq!(a.reference_range, 2..6);
+        assert_eq!(a.cigar.to_string(), "4=");
+    }
+
+    #[test]
+    fn dissimilar_pair_scores_zero() {
+        let q = [0u8; 5];
+        let r = [1u8; 5];
+        let a = local_align(&q, &r, &scheme()).unwrap();
+        assert_eq!(a.score, 0);
+        assert!(a.cigar.is_empty());
+    }
+
+    #[test]
+    fn local_at_least_global() {
+        let q = [0u8, 1, 2, 3, 0];
+        let r = [0u8, 1, 3, 3, 0];
+        let s = scheme();
+        let local = local_score(&q, &r, &s);
+        let global = crate::dp::score_only(&q, &r, &s);
+        assert!(local >= global);
+    }
+
+    #[test]
+    fn score_only_matches_full() {
+        let q = [0u8, 1, 2, 3, 0, 2, 2, 1];
+        let r = [1u8, 1, 2, 3, 3, 2, 0];
+        let s = scheme();
+        assert_eq!(local_score(&q, &r, &s), local_align(&q, &r, &s).unwrap().score);
+    }
+
+    #[test]
+    fn segment_rescores_to_local_score() {
+        let q = [0u8, 0, 1, 2, 3, 1, 2, 0, 3];
+        let r = [3u8, 1, 2, 3, 1, 2, 1, 1];
+        let s = scheme();
+        let a = local_align(&q, &r, &s).unwrap();
+        let seg_q = &q[a.query_range.clone()];
+        let seg_r = &r[a.reference_range.clone()];
+        assert_eq!(a.cigar.score(seg_q, seg_r, &s).unwrap(), a.score);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn local_properties(
+            q in proptest::collection::vec(0u8..4, 1..50),
+            r in proptest::collection::vec(0u8..4, 1..50),
+        ) {
+            let s = scheme();
+            let a = local_align(&q, &r, &s).unwrap();
+            prop_assert!(a.score >= 0);
+            prop_assert_eq!(a.score, local_score(&q, &r, &s));
+            prop_assert!(a.score >= crate::dp::score_only(&q, &r, &s));
+            if !a.cigar.is_empty() {
+                let seg_q = &q[a.query_range.clone()];
+                let seg_r = &r[a.reference_range.clone()];
+                prop_assert_eq!(a.cigar.score(seg_q, seg_r, &s).unwrap(), a.score);
+            }
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Semi-global ("glocal") alignment golden model: the read-mapping
+//! formulation the paper's motivating pipelines (BWA, Minimap2, Bowtie2)
+//! use — the query must align end-to-end while the reference may be
+//! entered and left anywhere for free.
+
+use crate::cigar::{Cigar, Op};
+use crate::error::AlignError;
+use crate::scoring::ScoringScheme;
+
+/// A semi-global alignment: the query placed inside the reference.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SemiglobalAlignment {
+    /// Optimal score (query end-to-end, reference flanks free).
+    pub score: i32,
+    /// The reference segment the query aligned to (half-open).
+    pub reference_range: std::ops::Range<usize>,
+    /// Operations over the aligned segment (consumes the whole query).
+    pub cigar: Cigar,
+}
+
+/// Computes the optimal semi-global alignment.
+///
+/// # Errors
+///
+/// Returns [`AlignError::EmptySequence`] for empty inputs.
+pub fn semiglobal_align(
+    query: &[u8],
+    reference: &[u8],
+    scheme: &ScoringScheme,
+) -> Result<SemiglobalAlignment, AlignError> {
+    if query.is_empty() || reference.is_empty() {
+        return Err(AlignError::EmptySequence);
+    }
+    let (m, n) = (query.len(), reference.len());
+    let w = n + 1;
+    let (gi, gd) = (scheme.gap_insert(), scheme.gap_delete());
+    let mut h = vec![0i32; (m + 1) * w];
+    // Row 0 free (reference prefix skipped); column 0 pays insertions.
+    for i in 1..=m {
+        h[i * w] = i as i32 * gi;
+        for j in 1..=n {
+            h[i * w + j] = (h[(i - 1) * w + j - 1] + scheme.score(query[i - 1], reference[j - 1]))
+                .max(h[(i - 1) * w + j] + gi)
+                .max(h[i * w + j - 1] + gd);
+        }
+    }
+    // Best end anywhere on the last row (reference suffix skipped).
+    let (end_j, &score) = h[m * w..]
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+        .expect("last row non-empty");
+
+    // Traceback to row 0.
+    let (mut i, mut j) = (m, end_j);
+    let mut cigar = Cigar::new();
+    while i > 0 {
+        let here = h[i * w + j];
+        if j > 0 && here == h[(i - 1) * w + j - 1] + scheme.score(query[i - 1], reference[j - 1]) {
+            cigar.push(if query[i - 1] == reference[j - 1] { Op::Match } else { Op::Mismatch });
+            i -= 1;
+            j -= 1;
+        } else if here == h[(i - 1) * w + j] + gi {
+            cigar.push(Op::Insert);
+            i -= 1;
+        } else if j > 0 && here == h[i * w + j - 1] + gd {
+            cigar.push(Op::Delete);
+            j -= 1;
+        } else {
+            return Err(AlignError::Internal(format!("broken semiglobal traceback at ({i}, {j})")));
+        }
+    }
+    cigar.reverse();
+    Ok(SemiglobalAlignment { score, reference_range: j..end_j, cigar })
+}
+
+/// Score-only semi-global alignment in `O(n)` memory.
+#[must_use]
+pub fn semiglobal_score(query: &[u8], reference: &[u8], scheme: &ScoringScheme) -> i32 {
+    let n = reference.len();
+    let (gi, gd) = (scheme.gap_insert(), scheme.gap_delete());
+    let mut row = vec![0i32; n + 1];
+    for (i, &q) in query.iter().enumerate() {
+        let mut diag = row[0];
+        row[0] = (i as i32 + 1) * gi;
+        for j in 1..=n {
+            let v = (diag + scheme.score(q, reference[j - 1]))
+                .max(row[j] + gi)
+                .max(row[j - 1] + gd);
+            diag = row[j];
+            row[j] = v;
+        }
+    }
+    row.into_iter().max().expect("non-empty row")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn scheme() -> ScoringScheme {
+        ScoringScheme::linear(2, -4, -4).unwrap()
+    }
+
+    #[test]
+    fn read_embedded_in_reference() {
+        // Query equals reference[5..13] of an aperiodic reference.
+        let r: Vec<u8> = vec![3, 3, 3, 3, 3, 0, 1, 0, 2, 1, 3, 0, 2, 3, 3, 3, 3, 3, 3, 3];
+        let q = r[5..13].to_vec();
+        let a = semiglobal_align(&q, &r, &scheme()).unwrap();
+        assert_eq!(a.score, 16); // 8 matches
+        assert_eq!(a.reference_range, 5..13);
+        assert_eq!(a.cigar.to_string(), "8=");
+    }
+
+    #[test]
+    fn semiglobal_at_least_global() {
+        let q = [0u8, 1, 2, 3];
+        let r = [3u8, 0, 1, 2, 3, 2];
+        let s = scheme();
+        assert!(semiglobal_score(&q, &r, &s) >= crate::dp::score_only(&q, &r, &s));
+    }
+
+    #[test]
+    fn query_must_be_consumed() {
+        let q = [0u8, 1, 2];
+        let r = [3u8; 10];
+        let a = semiglobal_align(&q, &r, &scheme()).unwrap();
+        assert_eq!(a.cigar.query_len(), 3);
+    }
+
+    #[test]
+    fn score_only_matches_full() {
+        let q = [0u8, 1, 2, 3, 0, 1];
+        let r = [2u8, 3, 0, 1, 2, 3, 0, 1, 3];
+        let s = scheme();
+        assert_eq!(
+            semiglobal_score(&q, &r, &s),
+            semiglobal_align(&q, &r, &s).unwrap().score
+        );
+    }
+
+    #[test]
+    fn segment_rescores() {
+        let q = [0u8, 1, 2, 3, 0];
+        let r = [3u8, 3, 0, 1, 3, 3, 0, 2];
+        let s = scheme();
+        let a = semiglobal_align(&q, &r, &s).unwrap();
+        let seg = &r[a.reference_range.clone()];
+        assert_eq!(a.cigar.score(&q, seg, &s).unwrap(), a.score);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn semiglobal_properties(
+            q in proptest::collection::vec(0u8..4, 1..40),
+            r in proptest::collection::vec(0u8..4, 1..60),
+        ) {
+            let s = scheme();
+            let a = semiglobal_align(&q, &r, &s).unwrap();
+            prop_assert_eq!(a.score, semiglobal_score(&q, &r, &s));
+            prop_assert!(a.score >= crate::dp::score_only(&q, &r, &s));
+            prop_assert_eq!(a.cigar.query_len(), q.len());
+            let seg = &r[a.reference_range.clone()];
+            prop_assert_eq!(a.cigar.score(&q, seg, &s).unwrap(), a.score);
+        }
+    }
+}

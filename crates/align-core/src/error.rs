@@ -1,0 +1,97 @@
+//! Error types for the alignment foundation crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by sequence construction, scoring-scheme validation, and
+/// reference alignment routines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AlignError {
+    /// A character is not representable in the requested alphabet.
+    InvalidSymbol {
+        /// The offending character.
+        symbol: char,
+        /// The alphabet that rejected it.
+        alphabet: &'static str,
+    },
+    /// An encoded code point is out of range for the alphabet.
+    InvalidCode {
+        /// The offending code.
+        code: u8,
+        /// The alphabet that rejected it.
+        alphabet: &'static str,
+    },
+    /// A scoring scheme violates a structural requirement (for example a
+    /// negative match score or a positive gap penalty).
+    InvalidScoring(String),
+    /// The scoring scheme does not fit the requested element width: the
+    /// shifted score range `[0, theta]` would overflow `EW` bits.
+    ElementWidthOverflow {
+        /// Required value range upper bound (theta).
+        theta: i32,
+        /// Bits available per element.
+        ew_bits: u8,
+    },
+    /// Sequences passed to an alignment routine are empty or mismatched with
+    /// the routine's requirements.
+    EmptySequence,
+    /// Two sequences use different alphabets.
+    AlphabetMismatch,
+    /// An internal invariant was violated (indicates a bug, surfaced as an
+    /// error rather than a panic for robustness in harnesses).
+    Internal(String),
+}
+
+impl fmt::Display for AlignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AlignError::InvalidSymbol { symbol, alphabet } => {
+                write!(f, "symbol {symbol:?} is not valid for alphabet {alphabet}")
+            }
+            AlignError::InvalidCode { code, alphabet } => {
+                write!(f, "code {code} is out of range for alphabet {alphabet}")
+            }
+            AlignError::InvalidScoring(msg) => write!(f, "invalid scoring scheme: {msg}"),
+            AlignError::ElementWidthOverflow { theta, ew_bits } => write!(
+                f,
+                "score range [0, {theta}] does not fit in a {ew_bits}-bit element"
+            ),
+            AlignError::EmptySequence => write!(f, "sequences must be non-empty"),
+            AlignError::AlphabetMismatch => write!(f, "sequences use different alphabets"),
+            AlignError::Internal(msg) => write!(f, "internal invariant violated: {msg}"),
+        }
+    }
+}
+
+impl Error for AlignError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_nonempty() {
+        let errs = [
+            AlignError::InvalidSymbol { symbol: 'z', alphabet: "dna" },
+            AlignError::InvalidCode { code: 9, alphabet: "dna" },
+            AlignError::InvalidScoring("gap must be non-positive".into()),
+            AlignError::ElementWidthOverflow { theta: 40, ew_bits: 4 },
+            AlignError::EmptySequence,
+            AlignError::AlphabetMismatch,
+            AlignError::Internal("oops".into()),
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+            assert!(!s.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AlignError>();
+    }
+}

@@ -1,0 +1,145 @@
+//! Human-readable alignment rendering: the three-row query / match-line /
+//! reference layout alignment tools print.
+
+use crate::cigar::{Cigar, Op};
+use crate::error::AlignError;
+use crate::sequence::Sequence;
+
+/// Renders an alignment as wrapped three-row blocks:
+///
+/// ```text
+/// query      1 GATTACAGATT-ACA 14
+///              ||||||.|||| |||
+/// reference  1 GATTACCGATTTACA 15
+/// ```
+///
+/// `width` is the number of alignment columns per block (clamped to a
+/// sane minimum of 10).
+///
+/// # Errors
+///
+/// Returns [`AlignError::Internal`] if the CIGAR does not fit the
+/// sequences or mislabels an operation.
+pub fn render(
+    cigar: &Cigar,
+    query: &Sequence,
+    reference: &Sequence,
+    width: usize,
+) -> Result<String, AlignError> {
+    let width = width.max(10);
+    let (mut qi, mut rj) = (0usize, 0usize);
+    let mut q_row = String::new();
+    let mut m_row = String::new();
+    let mut r_row = String::new();
+    let q_text: Vec<char> = query.to_text().chars().collect();
+    let r_text: Vec<char> = reference.to_text().chars().collect();
+    for op in cigar.iter_ops() {
+        match op {
+            Op::Match | Op::Mismatch => {
+                let (a, b) = (
+                    *q_text.get(qi).ok_or_else(|| overrun("query"))?,
+                    *r_text.get(rj).ok_or_else(|| overrun("reference"))?,
+                );
+                if (a == b) != (op == Op::Match) {
+                    return Err(AlignError::Internal(format!(
+                        "cigar mislabels column at q[{qi}]"
+                    )));
+                }
+                q_row.push(a);
+                m_row.push(if op == Op::Match { '|' } else { '.' });
+                r_row.push(b);
+                qi += 1;
+                rj += 1;
+            }
+            Op::Insert => {
+                q_row.push(*q_text.get(qi).ok_or_else(|| overrun("query"))?);
+                m_row.push(' ');
+                r_row.push('-');
+                qi += 1;
+            }
+            Op::Delete => {
+                q_row.push('-');
+                m_row.push(' ');
+                r_row.push(*r_text.get(rj).ok_or_else(|| overrun("reference"))?);
+                rj += 1;
+            }
+        }
+    }
+    if qi != query.len() || rj != reference.len() {
+        return Err(AlignError::Internal("cigar does not consume the sequences".into()));
+    }
+
+    // Wrap into blocks with 1-based coordinates.
+    let cols: Vec<(char, char, char)> = q_row
+        .chars()
+        .zip(m_row.chars())
+        .zip(r_row.chars())
+        .map(|((q, m), r)| (q, m, r))
+        .collect();
+    let mut out = String::new();
+    let (mut q_pos, mut r_pos) = (1usize, 1usize);
+    for block in cols.chunks(width) {
+        let q_str: String = block.iter().map(|c| c.0).collect();
+        let m_str: String = block.iter().map(|c| c.1).collect();
+        let r_str: String = block.iter().map(|c| c.2).collect();
+        let q_consumed = block.iter().filter(|c| c.0 != '-').count();
+        let r_consumed = block.iter().filter(|c| c.2 != '-').count();
+        let q_end = if q_consumed > 0 { q_pos + q_consumed - 1 } else { q_pos };
+        let r_end = if r_consumed > 0 { r_pos + r_consumed - 1 } else { r_pos };
+        out.push_str(&format!("query     {q_pos:>6} {q_str} {q_end}\n"));
+        out.push_str(&format!("                 {m_str}\n"));
+        out.push_str(&format!("reference {r_pos:>6} {r_str} {r_end}\n\n"));
+        q_pos += q_consumed;
+        r_pos += r_consumed;
+    }
+    Ok(out)
+}
+
+fn overrun(which: &str) -> AlignError {
+    AlignError::Internal(format!("cigar overruns the {which} sequence"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+    use crate::dp;
+    use crate::scoring::ScoringScheme;
+
+    #[test]
+    fn renders_match_mismatch_and_gaps() {
+        let q = Sequence::from_text(Alphabet::Dna2, "GATTACAGATTACA").unwrap();
+        let r = Sequence::from_text(Alphabet::Dna2, "GATTACCGATTTACA").unwrap();
+        let aln = dp::align(&q, &r, &ScoringScheme::edit()).unwrap();
+        let text = render(&aln.cigar, &q, &r, 60).unwrap();
+        assert!(text.contains('|'), "{text}");
+        assert!(text.contains('-') || text.contains('.'), "{text}");
+        assert!(text.starts_with("query"));
+    }
+
+    #[test]
+    fn wrapping_produces_multiple_blocks() {
+        let q = Sequence::from_text(Alphabet::Dna2, &"ACGT".repeat(20)).unwrap();
+        let aln = dp::align(&q, &q, &ScoringScheme::edit()).unwrap();
+        let text = render(&aln.cigar, &q, &q, 25).unwrap();
+        assert_eq!(text.matches("query").count(), 4); // 80 cols / 25
+    }
+
+    #[test]
+    fn coordinates_advance_across_blocks() {
+        let q = Sequence::from_text(Alphabet::Dna2, &"A".repeat(30)).unwrap();
+        let aln = dp::align(&q, &q, &ScoringScheme::edit()).unwrap();
+        let text = render(&aln.cigar, &q, &q, 10).unwrap();
+        assert!(text.contains("query          1"));
+        assert!(text.contains("query         11"));
+        assert!(text.contains("query         21"));
+    }
+
+    #[test]
+    fn mismatched_cigar_rejected() {
+        let q = Sequence::from_text(Alphabet::Dna2, "ACGT").unwrap();
+        let r = Sequence::from_text(Alphabet::Dna2, "ACG").unwrap();
+        let bad: Cigar = "4=".parse().unwrap();
+        assert!(render(&bad, &q, &r, 60).is_err());
+    }
+}

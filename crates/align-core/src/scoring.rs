@@ -1,0 +1,282 @@
+//! Scoring schemes: edit, linear gap, and substitution-matrix models
+//! (paper §2.2).
+//!
+//! All schemes are *maximizing*: gap penalties and mismatches are
+//! non-positive, matches are non-negative. Edit distance is expressed as a
+//! maximal score (`M = 0, X = I = D = −1`), so an edit distance of `d`
+//! appears as a score of `−d`.
+
+use crate::error::AlignError;
+use crate::submat::SubstMatrix;
+
+/// A pairwise scoring scheme.
+///
+/// The `Matrix` variant embeds the 676-byte table directly: schemes are
+/// constructed once per run and passed by reference, so the size skew is
+/// intentional (no indirection on the score hot path).
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Default)]
+pub enum ScoringScheme {
+    /// Unit-cost edit model: match 0, mismatch −1, gaps −1.
+    #[default]
+    Edit,
+    /// Linear gap model with uniform match/mismatch scores.
+    Linear {
+        /// Score for a match (≥ 0).
+        match_score: i32,
+        /// Score for a mismatch (≤ 0).
+        mismatch: i32,
+        /// Penalty per inserted query character (≤ 0), `I` in the paper.
+        gap_insert: i32,
+        /// Penalty per deleted reference character (≤ 0), `D` in the paper.
+        gap_delete: i32,
+    },
+    /// Substitution-matrix model (protein alignment).
+    Matrix {
+        /// The 26×26 substitution matrix.
+        matrix: SubstMatrix,
+        /// Penalty per inserted query character (≤ 0).
+        gap_insert: i32,
+        /// Penalty per deleted reference character (≤ 0).
+        gap_delete: i32,
+    },
+}
+
+impl ScoringScheme {
+    /// The unit-cost edit model.
+    #[must_use]
+    pub fn edit() -> ScoringScheme {
+        ScoringScheme::Edit
+    }
+
+    /// A symmetric linear-gap scheme.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AlignError::InvalidScoring`] if `match_score < 0`,
+    /// `mismatch > 0`, or `gap >= 0` (a zero gap would break the shifted
+    /// differential encoding).
+    pub fn linear(match_score: i32, mismatch: i32, gap: i32) -> Result<ScoringScheme, AlignError> {
+        ScoringScheme::linear_asym(match_score, mismatch, gap, gap)
+    }
+
+    /// A linear-gap scheme with distinct insertion/deletion penalties.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ScoringScheme::linear`], checked per gap.
+    pub fn linear_asym(
+        match_score: i32,
+        mismatch: i32,
+        gap_insert: i32,
+        gap_delete: i32,
+    ) -> Result<ScoringScheme, AlignError> {
+        if match_score < 0 {
+            return Err(AlignError::InvalidScoring(format!(
+                "match score must be non-negative, got {match_score}"
+            )));
+        }
+        if mismatch > 0 {
+            return Err(AlignError::InvalidScoring(format!(
+                "mismatch score must be non-positive, got {mismatch}"
+            )));
+        }
+        if gap_insert >= 0 || gap_delete >= 0 {
+            return Err(AlignError::InvalidScoring(format!(
+                "gap penalties must be negative, got I={gap_insert} D={gap_delete}"
+            )));
+        }
+        Ok(ScoringScheme::Linear { match_score, mismatch, gap_insert, gap_delete })
+    }
+
+    /// A substitution-matrix scheme with a symmetric gap penalty.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AlignError::InvalidScoring`] if `gap >= 0` or the matrix is
+    /// asymmetric.
+    pub fn matrix(matrix: SubstMatrix, gap: i32) -> Result<ScoringScheme, AlignError> {
+        if gap >= 0 {
+            return Err(AlignError::InvalidScoring(format!(
+                "gap penalty must be negative, got {gap}"
+            )));
+        }
+        matrix.check_symmetric()?;
+        Ok(ScoringScheme::Matrix { matrix, gap_insert: gap, gap_delete: gap })
+    }
+
+    /// Substitution score `S(a, b)` for two alphabet codes.
+    #[must_use]
+    pub fn score(&self, a: u8, b: u8) -> i32 {
+        match self {
+            ScoringScheme::Edit => {
+                if a == b {
+                    0
+                } else {
+                    -1
+                }
+            }
+            ScoringScheme::Linear { match_score, mismatch, .. } => {
+                if a == b {
+                    *match_score
+                } else {
+                    *mismatch
+                }
+            }
+            ScoringScheme::Matrix { matrix, .. } => matrix.score(a, b),
+        }
+    }
+
+    /// Insertion penalty `I` (per query character consumed vertically).
+    #[must_use]
+    pub fn gap_insert(&self) -> i32 {
+        match self {
+            ScoringScheme::Edit => -1,
+            ScoringScheme::Linear { gap_insert, .. }
+            | ScoringScheme::Matrix { gap_insert, .. } => *gap_insert,
+        }
+    }
+
+    /// Deletion penalty `D` (per reference character consumed horizontally).
+    #[must_use]
+    pub fn gap_delete(&self) -> i32 {
+        match self {
+            ScoringScheme::Edit => -1,
+            ScoringScheme::Linear { gap_delete, .. }
+            | ScoringScheme::Matrix { gap_delete, .. } => *gap_delete,
+        }
+    }
+
+    /// Largest substitution score `S_max`.
+    #[must_use]
+    pub fn s_max(&self) -> i32 {
+        match self {
+            ScoringScheme::Edit => 0,
+            ScoringScheme::Linear { match_score, .. } => *match_score,
+            ScoringScheme::Matrix { matrix, .. } => matrix.max_score(),
+        }
+    }
+
+    /// Smallest substitution score `S_min`.
+    #[must_use]
+    pub fn s_min(&self) -> i32 {
+        match self {
+            ScoringScheme::Edit => -1,
+            ScoringScheme::Linear { mismatch, .. } => *mismatch,
+            ScoringScheme::Matrix { matrix, .. } => matrix.min_score(),
+        }
+    }
+
+    /// The differential-encoding range bound
+    /// `theta = S_max − I − D` (paper §4.1).
+    #[must_use]
+    pub fn theta(&self) -> i32 {
+        self.s_max() - self.gap_insert() - self.gap_delete()
+    }
+
+    /// Shifted substitution score `S'(a, b) = S(a, b) − I − D ∈ [0, theta]`
+    /// (paper Eq. 5–6).
+    #[must_use]
+    pub fn shifted_score(&self, a: u8, b: u8) -> i32 {
+        self.score(a, b) - self.gap_insert() - self.gap_delete()
+    }
+
+    /// Checks the structural requirement of the shifted encoding:
+    /// `S_min − I − D ≥ 0`, i.e. every shifted score is non-negative.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AlignError::InvalidScoring`] when some shifted score would
+    /// be negative (the scheme cannot be differentially encoded).
+    pub fn check_encodable(&self) -> Result<(), AlignError> {
+        let smin_shifted = self.s_min() - self.gap_insert() - self.gap_delete();
+        if smin_shifted < 0 {
+            return Err(AlignError::InvalidScoring(format!(
+                "shifted minimum score is negative ({smin_shifted}); \
+                 increase gap penalties or raise S_min"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Whether this scheme uses a substitution matrix (routes S′ generation
+    /// through the `smx_submat` memory rather than the comparator array).
+    #[must_use]
+    pub fn uses_matrix(&self) -> bool {
+        matches!(self, ScoringScheme::Matrix { .. })
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edit_model_values() {
+        let s = ScoringScheme::edit();
+        assert_eq!(s.score(1, 1), 0);
+        assert_eq!(s.score(1, 2), -1);
+        assert_eq!(s.gap_insert(), -1);
+        assert_eq!(s.gap_delete(), -1);
+        assert_eq!(s.theta(), 2);
+        s.check_encodable().unwrap();
+    }
+
+    #[test]
+    fn ksw2_defaults_theta() {
+        let s = ScoringScheme::linear(2, -4, -4).unwrap();
+        assert_eq!(s.theta(), 10);
+        s.check_encodable().unwrap();
+        assert_eq!(s.shifted_score(0, 0), 10);
+        assert_eq!(s.shifted_score(0, 1), 4);
+    }
+
+    #[test]
+    fn blosum50_gap5_theta() {
+        let s = ScoringScheme::matrix(SubstMatrix::blosum50(), -5).unwrap();
+        assert_eq!(s.theta(), 15 + 10);
+        s.check_encodable().unwrap();
+    }
+
+    #[test]
+    fn rejects_positive_gap() {
+        assert!(ScoringScheme::linear(1, -1, 1).is_err());
+        assert!(ScoringScheme::linear(1, -1, 0).is_err());
+        assert!(ScoringScheme::matrix(SubstMatrix::blosum50(), 0).is_err());
+    }
+
+    #[test]
+    fn rejects_negative_match() {
+        assert!(ScoringScheme::linear(-1, -1, -1).is_err());
+    }
+
+    #[test]
+    fn rejects_positive_mismatch() {
+        assert!(ScoringScheme::linear(1, 1, -1).is_err());
+    }
+
+    #[test]
+    fn unencodable_scheme_detected() {
+        // BLOSUM50 min is -5; gaps of -2 give shifted min of -1.
+        let s = ScoringScheme::matrix(SubstMatrix::blosum50(), -2).unwrap();
+        assert!(s.check_encodable().is_err());
+    }
+
+    #[test]
+    fn shifted_scores_in_range() {
+        let s = ScoringScheme::matrix(SubstMatrix::blosum50(), -5).unwrap();
+        for a in 0..26 {
+            for b in 0..26 {
+                let v = s.shifted_score(a, b);
+                assert!(v >= 0 && v <= s.theta(), "S'({a},{b}) = {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn default_is_edit() {
+        assert_eq!(ScoringScheme::default(), ScoringScheme::Edit);
+    }
+}

@@ -1,0 +1,325 @@
+//! 26×26 amino-acid substitution matrices (BLOSUM50, BLOSUM62, PAM250).
+//!
+//! SMX stores substitution scores for the full 26-letter alphabet
+//! (paper §4.2: a 26×26×6-bit memory). The standard matrices are defined
+//! over the 20 canonical amino acids plus a handful of ambiguity codes; the
+//! remaining letters (`B`, `J`, `Z`, `X`, `O`, `U`) are filled in with the
+//! conventional derived values (averages of the residues they stand for, or
+//! a neutral `-1` for fully ambiguous codes).
+
+use crate::error::AlignError;
+
+/// Canonical residue order used by published BLOSUM/PAM tables.
+const RESIDUES: [u8; 20] = [
+    b'A', b'R', b'N', b'D', b'C', b'Q', b'E', b'G', b'H', b'I', b'L', b'K', b'M', b'F', b'P',
+    b'S', b'T', b'W', b'Y', b'V',
+];
+
+/// A symmetric 26×26 substitution matrix over the letters `A`–`Z`.
+///
+/// Scores are indexed by alphabet code (`0 = 'A'`, …, `25 = 'Z'`).
+#[derive(Clone, PartialEq, Eq)]
+pub struct SubstMatrix {
+    name: &'static str,
+    scores: [[i8; 26]; 26],
+}
+
+impl std::fmt::Debug for SubstMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SubstMatrix")
+            .field("name", &self.name)
+            .field("max", &self.max_score())
+            .field("min", &self.min_score())
+            .finish()
+    }
+}
+
+impl SubstMatrix {
+    /// Builds a matrix from a 20×20 core table in [`RESIDUES`] order,
+    /// deriving ambiguity rows/columns.
+    fn from_core(name: &'static str, core: &[[i8; 20]; 20]) -> SubstMatrix {
+        let mut scores = [[-1i8; 26]; 26];
+        let idx = |c: u8| (c - b'A') as usize;
+        for (i, &a) in RESIDUES.iter().enumerate() {
+            for (j, &b) in RESIDUES.iter().enumerate() {
+                scores[idx(a)][idx(b)] = core[i][j];
+            }
+        }
+        // Conventional derived codes: B = N|D, Z = Q|E, J = I|L.
+        let pairs: [(u8, u8, u8); 3] = [(b'B', b'N', b'D'), (b'Z', b'Q', b'E'), (b'J', b'I', b'L')];
+        for &(amb, x, y) in &pairs {
+            for &c in &RESIDUES {
+                // Average, rounding toward negative infinity as NCBI does.
+                let v = (scores[idx(x)][idx(c)] as i16 + scores[idx(y)][idx(c)] as i16).div_euclid(2);
+                scores[idx(amb)][idx(c)] = v as i8;
+                scores[idx(c)][idx(amb)] = v as i8;
+            }
+        }
+        // Ambiguity-vs-ambiguity and the fully ambiguous codes (X, O, U)
+        // keep the neutral -1 default, except self-pairs of derived codes.
+        for &(amb, x, y) in &pairs {
+            let v = (scores[idx(x)][idx(x)] as i16 + scores[idx(y)][idx(y)] as i16).div_euclid(2);
+            scores[idx(amb)][idx(amb)] = v as i8;
+        }
+        SubstMatrix { name, scores }
+    }
+
+    /// Builds a matrix from a full 26×26 score table (for matrices parsed
+    /// from NCBI-format files or otherwise constructed at runtime).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AlignError::InvalidScoring`] if the table is asymmetric.
+    pub fn from_scores(name: &'static str, scores: [[i8; 26]; 26]) -> Result<SubstMatrix, AlignError> {
+        let m = SubstMatrix { name, scores };
+        m.check_symmetric()?;
+        Ok(m)
+    }
+
+    /// Builds a uniform match/mismatch matrix (used to express the
+    /// match-mismatch configuration through the substitution-matrix path).
+    #[must_use]
+    pub fn from_match_mismatch(match_score: i8, mismatch: i8) -> SubstMatrix {
+        let mut scores = [[mismatch; 26]; 26];
+        for (i, row) in scores.iter_mut().enumerate() {
+            row[i] = match_score;
+        }
+        SubstMatrix { name: "match-mismatch", scores }
+    }
+
+    /// The BLOSUM50 matrix (default protein configuration, paper §7).
+    #[must_use]
+    pub fn blosum50() -> SubstMatrix {
+        SubstMatrix::from_core("blosum50", &BLOSUM50_CORE)
+    }
+
+    /// The BLOSUM62 matrix (BLAST default).
+    #[must_use]
+    pub fn blosum62() -> SubstMatrix {
+        SubstMatrix::from_core("blosum62", &BLOSUM62_CORE)
+    }
+
+    /// The PAM250 matrix.
+    #[must_use]
+    pub fn pam250() -> SubstMatrix {
+        SubstMatrix::from_core("pam250", &PAM250_CORE)
+    }
+
+    /// Matrix name (for example `"blosum50"`).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Substitution score for alphabet codes `a`, `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either code is ≥ 26; protein sequences produced through
+    /// [`crate::Alphabet::Protein`] are always in range.
+    #[must_use]
+    pub fn score(&self, a: u8, b: u8) -> i32 {
+        self.scores[a as usize][b as usize] as i32
+    }
+
+    /// Largest score in the matrix (`S_max`, used for the theta bound).
+    #[must_use]
+    pub fn max_score(&self) -> i32 {
+        self.scores.iter().flatten().copied().max().unwrap_or(0) as i32
+    }
+
+    /// Smallest score in the matrix.
+    #[must_use]
+    pub fn min_score(&self) -> i32 {
+        self.scores.iter().flatten().copied().min().unwrap_or(0) as i32
+    }
+
+    /// Verifies symmetry; returns the first asymmetric pair if any.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AlignError::InvalidScoring`] naming the offending pair.
+    pub fn check_symmetric(&self) -> Result<(), AlignError> {
+        for a in 0..26 {
+            for b in (a + 1)..26 {
+                if self.scores[a][b] != self.scores[b][a] {
+                    return Err(AlignError::InvalidScoring(format!(
+                        "matrix {} is asymmetric at ({}, {})",
+                        self.name,
+                        (b'A' + a as u8) as char,
+                        (b'A' + b as u8) as char
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Raw row access (used by the ISA model's SRAM layout).
+    #[must_use]
+    pub fn row(&self, a: u8) -> &[i8; 26] {
+        &self.scores[a as usize]
+    }
+}
+
+/// BLOSUM50 20×20 core in `ARNDCQEGHILKMFPSTWYV` order.
+#[rustfmt::skip]
+const BLOSUM50_CORE: [[i8; 20]; 20] = [
+    [ 5,-2,-1,-2,-1,-1,-1, 0,-2,-1,-2,-1,-1,-3,-1, 1, 0,-3,-2, 0],
+    [-2, 7,-1,-2,-4, 1, 0,-3, 0,-4,-3, 3,-2,-3,-3,-1,-1,-3,-1,-3],
+    [-1,-1, 7, 2,-2, 0, 0, 0, 1,-3,-4, 0,-2,-4,-2, 1, 0,-4,-2,-3],
+    [-2,-2, 2, 8,-4, 0, 2,-1,-1,-4,-4,-1,-4,-5,-1, 0,-1,-5,-3,-4],
+    [-1,-4,-2,-4,13,-3,-3,-3,-3,-2,-2,-3,-2,-2,-4,-1,-1,-5,-3,-1],
+    [-1, 1, 0, 0,-3, 7, 2,-2, 1,-3,-2, 2, 0,-4,-1, 0,-1,-1,-1,-3],
+    [-1, 0, 0, 2,-3, 2, 6,-3, 0,-4,-3, 1,-2,-3,-1,-1,-1,-3,-2,-3],
+    [ 0,-3, 0,-1,-3,-2,-3, 8,-2,-4,-4,-2,-3,-4,-2, 0,-2,-3,-3,-4],
+    [-2, 0, 1,-1,-3, 1, 0,-2,10,-4,-3, 0,-1,-1,-2,-1,-2,-3, 2,-4],
+    [-1,-4,-3,-4,-2,-3,-4,-4,-4, 5, 2,-3, 2, 0,-3,-3,-1,-3,-1, 4],
+    [-2,-3,-4,-4,-2,-2,-3,-4,-3, 2, 5,-3, 3, 1,-4,-3,-1,-2,-1, 1],
+    [-1, 3, 0,-1,-3, 2, 1,-2, 0,-3,-3, 6,-2,-4,-1, 0,-1,-3,-2,-3],
+    [-1,-2,-2,-4,-2, 0,-2,-3,-1, 2, 3,-2, 7, 0,-3,-2,-1,-1, 0, 1],
+    [-3,-3,-4,-5,-2,-4,-3,-4,-1, 0, 1,-4, 0, 8,-4,-3,-2, 1, 4,-1],
+    [-1,-3,-2,-1,-4,-1,-1,-2,-2,-3,-4,-1,-3,-4,10,-1,-1,-4,-3,-3],
+    [ 1,-1, 1, 0,-1, 0,-1, 0,-1,-3,-3, 0,-2,-3,-1, 5, 2,-4,-2,-2],
+    [ 0,-1, 0,-1,-1,-1,-1,-2,-2,-1,-1,-1,-1,-2,-1, 2, 5,-3,-2, 0],
+    [-3,-3,-4,-5,-5,-1,-3,-3,-3,-3,-2,-3,-1, 1,-4,-4,-3,15, 2,-3],
+    [-2,-1,-2,-3,-3,-1,-2,-3, 2,-1,-1,-2, 0, 4,-3,-2,-2, 2, 8,-1],
+    [ 0,-3,-3,-4,-1,-3,-3,-4,-4, 4, 1,-3, 1,-1,-3,-2, 0,-3,-1, 5],
+];
+
+/// BLOSUM62 20×20 core in `ARNDCQEGHILKMFPSTWYV` order.
+#[rustfmt::skip]
+const BLOSUM62_CORE: [[i8; 20]; 20] = [
+    [ 4,-1,-2,-2, 0,-1,-1, 0,-2,-1,-1,-1,-1,-2,-1, 1, 0,-3,-2, 0],
+    [-1, 5, 0,-2,-3, 1, 0,-2, 0,-3,-2, 2,-1,-3,-2,-1,-1,-3,-2,-3],
+    [-2, 0, 6, 1,-3, 0, 0, 0, 1,-3,-3, 0,-2,-3,-2, 1, 0,-4,-2,-3],
+    [-2,-2, 1, 6,-3, 0, 2,-1,-1,-3,-4,-1,-3,-3,-1, 0,-1,-4,-3,-3],
+    [ 0,-3,-3,-3, 9,-3,-4,-3,-3,-1,-1,-3,-1,-2,-3,-1,-1,-2,-2,-1],
+    [-1, 1, 0, 0,-3, 5, 2,-2, 0,-3,-2, 1, 0,-3,-1, 0,-1,-2,-1,-2],
+    [-1, 0, 0, 2,-4, 2, 5,-2, 0,-3,-3, 1,-2,-3,-1, 0,-1,-3,-2,-2],
+    [ 0,-2, 0,-1,-3,-2,-2, 6,-2,-4,-4,-2,-3,-3,-2, 0,-2,-2,-3,-3],
+    [-2, 0, 1,-1,-3, 0, 0,-2, 8,-3,-3,-1,-2,-1,-2,-1,-2,-2, 2,-3],
+    [-1,-3,-3,-3,-1,-3,-3,-4,-3, 4, 2,-3, 1, 0,-3,-2,-1,-3,-1, 3],
+    [-1,-2,-3,-4,-1,-2,-3,-4,-3, 2, 4,-2, 2, 0,-3,-2,-1,-2,-1, 1],
+    [-1, 2, 0,-1,-3, 1, 1,-2,-1,-3,-2, 5,-1,-3,-1, 0,-1,-3,-2,-2],
+    [-1,-1,-2,-3,-1, 0,-2,-3,-2, 1, 2,-1, 5, 0,-2,-1,-1,-1,-1, 1],
+    [-2,-3,-3,-3,-2,-3,-3,-3,-1, 0, 0,-3, 0, 6,-4,-2,-2, 1, 3,-1],
+    [-1,-2,-2,-1,-3,-1,-1,-2,-2,-3,-3,-1,-2,-4, 7,-1,-1,-4,-3,-2],
+    [ 1,-1, 1, 0,-1, 0, 0, 0,-1,-2,-2, 0,-1,-2,-1, 4, 1,-3,-2,-2],
+    [ 0,-1, 0,-1,-1,-1,-1,-2,-2,-1,-1,-1,-1,-2,-1, 1, 5,-2,-2, 0],
+    [-3,-3,-4,-4,-2,-2,-3,-2,-2,-3,-2,-3,-1, 1,-4,-3,-2,11, 2,-3],
+    [-2,-2,-2,-3,-2,-1,-2,-3, 2,-1,-1,-2,-1, 3,-3,-2,-2, 2, 7,-1],
+    [ 0,-3,-3,-3,-1,-2,-2,-3,-3, 3, 1,-2, 1,-1,-2,-2, 0,-3,-1, 4],
+];
+
+/// PAM250 20×20 core in `ARNDCQEGHILKMFPSTWYV` order.
+#[rustfmt::skip]
+const PAM250_CORE: [[i8; 20]; 20] = [
+    [ 2,-2, 0, 0,-2, 0, 0, 1,-1,-1,-2,-1,-1,-3, 1, 1, 1,-6,-3, 0],
+    [-2, 6, 0,-1,-4, 1,-1,-3, 2,-2,-3, 3, 0,-4, 0, 0,-1, 2,-4,-2],
+    [ 0, 0, 2, 2,-4, 1, 1, 0, 2,-2,-3, 1,-2,-3, 0, 1, 0,-4,-2,-2],
+    [ 0,-1, 2, 4,-5, 2, 3, 1, 1,-2,-4, 0,-3,-6,-1, 0, 0,-7,-4,-2],
+    [-2,-4,-4,-5,12,-5,-5,-3,-3,-2,-6,-5,-5,-4,-3, 0,-2,-8, 0,-2],
+    [ 0, 1, 1, 2,-5, 4, 2,-1, 3,-2,-2, 1,-1,-5, 0,-1,-1,-5,-4,-2],
+    [ 0,-1, 1, 3,-5, 2, 4, 0, 1,-2,-3, 0,-2,-5,-1, 0, 0,-7,-4,-2],
+    [ 1,-3, 0, 1,-3,-1, 0, 5,-2,-3,-4,-2,-3,-5, 0, 1, 0,-7,-5,-1],
+    [-1, 2, 2, 1,-3, 3, 1,-2, 6,-2,-2, 0,-2,-2, 0,-1,-1,-3, 0,-2],
+    [-1,-2,-2,-2,-2,-2,-2,-3,-2, 5, 2,-2, 2, 1,-2,-1, 0,-5,-1, 4],
+    [-2,-3,-3,-4,-6,-2,-3,-4,-2, 2, 6,-3, 4, 2,-3,-3,-2,-2,-1, 2],
+    [-1, 3, 1, 0,-5, 1, 0,-2, 0,-2,-3, 5, 0,-5,-1, 0, 0,-3,-4,-2],
+    [-1, 0,-2,-3,-5,-1,-2,-3,-2, 2, 4, 0, 6, 0,-2,-2,-1,-4,-2, 2],
+    [-3,-4,-3,-6,-4,-5,-5,-5,-2, 1, 2,-5, 0, 9,-5,-3,-3, 0, 7,-1],
+    [ 1, 0, 0,-1,-3, 0,-1, 0, 0,-2,-3,-1,-2,-5, 6, 1, 0,-6,-5,-1],
+    [ 1, 0, 1, 0, 0,-1, 0, 1,-1,-1,-3, 0,-2,-3, 1, 2, 1,-2,-3,-1],
+    [ 1,-1, 0, 0,-2,-1, 0, 0,-1, 0,-2, 0,-1,-3, 0, 1, 3,-5,-3, 0],
+    [-6, 2,-4,-7,-8,-5,-7,-7,-3,-5,-2,-3,-4, 0,-6,-2,-5,17, 0,-6],
+    [-3,-4,-2,-4, 0,-4,-4,-5, 0,-1,-1,-4,-2, 7,-5,-3,-3, 0,10,-2],
+    [ 0,-2,-2,-2,-2,-2,-2,-1,-2, 4, 2,-2, 2,-1,-1,-1, 0,-6,-2, 4],
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code(c: char) -> u8 {
+        c as u8 - b'A'
+    }
+
+    #[test]
+    fn all_matrices_are_symmetric() {
+        for m in [SubstMatrix::blosum50(), SubstMatrix::blosum62(), SubstMatrix::pam250()] {
+            m.check_symmetric().unwrap();
+        }
+    }
+
+    #[test]
+    fn blosum50_known_values() {
+        let m = SubstMatrix::blosum50();
+        assert_eq!(m.score(code('W'), code('W')), 15);
+        assert_eq!(m.score(code('A'), code('A')), 5);
+        assert_eq!(m.score(code('A'), code('R')), -2);
+        assert_eq!(m.score(code('D'), code('F')), -5);
+        assert_eq!(m.max_score(), 15);
+    }
+
+    #[test]
+    fn blosum62_known_values() {
+        let m = SubstMatrix::blosum62();
+        assert_eq!(m.score(code('W'), code('W')), 11);
+        assert_eq!(m.score(code('C'), code('C')), 9);
+        assert_eq!(m.score(code('E'), code('D')), 2);
+        assert_eq!(m.max_score(), 11);
+    }
+
+    #[test]
+    fn pam250_known_values() {
+        let m = SubstMatrix::pam250();
+        assert_eq!(m.score(code('W'), code('W')), 17);
+        assert_eq!(m.score(code('C'), code('W')), -8);
+        assert_eq!(m.max_score(), 17);
+    }
+
+    #[test]
+    fn derived_codes_average_their_residues() {
+        let m = SubstMatrix::blosum62();
+        // B vs A = avg(N vs A, D vs A) = avg(-2, -2) = -2.
+        assert_eq!(m.score(code('B'), code('A')), -2);
+        // Z vs E = avg(Q vs E, E vs E) = avg(2, 5) = 3 (floor).
+        assert_eq!(m.score(code('Z'), code('E')), 3);
+    }
+
+    #[test]
+    fn fully_ambiguous_codes_are_neutral() {
+        let m = SubstMatrix::blosum50();
+        for c in 0..26u8 {
+            if c == code('X') || c == code('O') || c == code('U') {
+                continue;
+            }
+            assert_eq!(m.score(code('X'), c), -1);
+            assert_eq!(m.score(code('O'), c), -1);
+        }
+    }
+
+    #[test]
+    fn match_mismatch_matrix() {
+        let m = SubstMatrix::from_match_mismatch(2, -3);
+        assert_eq!(m.score(3, 3), 2);
+        assert_eq!(m.score(3, 4), -3);
+        m.check_symmetric().unwrap();
+        assert_eq!(m.max_score(), 2);
+        assert_eq!(m.min_score(), -3);
+    }
+
+    #[test]
+    fn blosum50_fits_paper_bit_budget() {
+        // Paper §4.3.3: matrices contain penalties in [-6, 15].
+        let m = SubstMatrix::blosum50();
+        assert!(m.min_score() >= -6);
+        assert!(m.max_score() <= 15);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        assert!(!format!("{:?}", SubstMatrix::blosum50()).is_empty());
+    }
+}

@@ -1,0 +1,142 @@
+//! Criterion microbenchmarks of the functional SMX kernels: the bit-exact
+//! PE, lane packing, the SMX-1D column kernel, SMX-2D tile/block compute,
+//! and the golden-model DP they are all validated against.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use smx::align::{dp, AlignmentConfig};
+use smx::coproc::block::BlockMode;
+use smx::coproc::SmxCoprocessor;
+use smx::diffenc::{pack::PackedSeq, pe};
+use smx::isa::{kernels, Smx1dUnit};
+
+fn seq(len: usize, seed: u64, card: u64) -> Vec<u8> {
+    let mut x = seed | 1;
+    (0..len)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (x % card) as u8
+        })
+        .collect()
+}
+
+fn bench_pe(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pe");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("pe_exact_w2", |b| {
+        b.iter(|| pe::pe_exact(smx::align::ElementWidth::W2, std::hint::black_box(1), 2, 2))
+    });
+    g.bench_function("pe_reference", |b| {
+        b.iter(|| pe::pe_reference(std::hint::black_box(1), 2, 2))
+    });
+    g.finish();
+}
+
+fn bench_pack(c: &mut Criterion) {
+    let codes = seq(4096, 7, 4);
+    let mut g = c.benchmark_group("pack");
+    g.throughput(Throughput::Elements(codes.len() as u64));
+    g.bench_function("packed_seq_w2", |b| {
+        b.iter(|| PackedSeq::from_codes(smx::align::ElementWidth::W2, std::hint::black_box(&codes)))
+    });
+    g.finish();
+}
+
+fn bench_block_kernels(c: &mut Criterion) {
+    let cfg = AlignmentConfig::DnaEdit;
+    let scheme = cfg.scoring();
+    let q = seq(512, 3, 4);
+    let r = seq(512, 11, 4);
+    let mut g = c.benchmark_group("block_512x512");
+    g.throughput(Throughput::Elements((q.len() * r.len()) as u64));
+    g.bench_function("golden_score", |b| {
+        b.iter(|| dp::score_only(std::hint::black_box(&q), &r, &scheme))
+    });
+    g.bench_function("smx1d_score", |b| {
+        b.iter_batched(
+            || Smx1dUnit::configure(cfg.element_width(), &scheme).unwrap(),
+            |mut unit| kernels::score_block(&mut unit, std::hint::black_box(&q), &r, None).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    let coproc = SmxCoprocessor::new(cfg.element_width(), &scheme, 4).unwrap();
+    g.bench_function("smx2d_score", |b| {
+        b.iter(|| {
+            coproc
+                .compute_block(std::hint::black_box(&q), &r, None, BlockMode::ScoreOnly)
+                .unwrap()
+        })
+    });
+    g.bench_function("smx2d_traceback", |b| {
+        b.iter(|| {
+            let out = coproc
+                .compute_block(std::hint::black_box(&q), &r, None, BlockMode::Traceback)
+                .unwrap();
+            coproc.traceback(&q, &r, &out).unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_software_baselines(c: &mut Criterion) {
+    use smx::algos::baselines::{myers, wfa};
+    let r = seq(4096, 21, 4);
+    let mut q = r.clone();
+    q[1000] ^= 1;
+    q.remove(3000);
+    let mut g = c.benchmark_group("edit_4k");
+    g.throughput(Throughput::Elements((q.len() * r.len()) as u64));
+    g.bench_function("myers_bitparallel", |b| {
+        b.iter(|| myers::edit_distance(std::hint::black_box(&q), &r, 4).unwrap())
+    });
+    g.bench_function("wfa", |b| {
+        b.iter(|| wfa::edit_distance(std::hint::black_box(&q), &r).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_extensions(c: &mut Criterion) {
+    use smx::align::dp_affine::AffineScheme;
+    use smx::align::ScoringScheme;
+    use smx::algos::adaptive;
+    use smx::coproc::affine::AffineEngine;
+    use smx::diffenc::affine::AffinePenalties;
+    let q = seq(1024, 5, 4);
+    let mut r = q.clone();
+    r.remove(512);
+    let mut g = c.benchmark_group("extensions_1k");
+    g.throughput(Throughput::Elements((q.len() * r.len()) as u64));
+    let pen = AffinePenalties::from_scheme(&AffineScheme::minimap2()).unwrap();
+    let engine = AffineEngine::new(smx::align::ElementWidth::W4, pen).unwrap();
+    g.bench_function("affine_engine_score", |b| {
+        b.iter(|| engine.score_block(std::hint::black_box(&q), &r).unwrap())
+    });
+    let scheme = ScoringScheme::edit();
+    g.bench_function("adaptive_band_w33", |b| {
+        b.iter(|| adaptive::adaptive_banded_align(std::hint::black_box(&q), &r, &scheme, 33, false))
+    });
+    g.finish();
+}
+
+fn bench_timing_sim(c: &mut Criterion) {
+    use smx::sim::coproc::{BlockShape, CoprocSim, CoprocTimingConfig};
+    let mut g = c.benchmark_group("timing_sim");
+    let shape = BlockShape::from_dims(10_000, 10_000, smx::align::ElementWidth::W2, false);
+    g.bench_function("coproc_10k_block", |b| {
+        let sim = CoprocSim::new(CoprocTimingConfig::for_ew(smx::align::ElementWidth::W2, 4));
+        b.iter(|| sim.simulate_uniform(std::hint::black_box(shape), 4))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_pe,
+    bench_pack,
+    bench_block_kernels,
+    bench_software_baselines,
+    bench_extensions,
+    bench_timing_sim
+);
+criterion_main!(benches);

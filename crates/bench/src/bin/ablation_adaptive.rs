@@ -1,0 +1,83 @@
+//! **Ablation: static vs adaptive banding.** A static band must be sized
+//! for the *cumulative* drift of the whole read (every structural indel
+//! adds up); the adaptive band (Suzuki–Kasahara, paper ref [98]) only
+//! needs to cover the largest single event, re-centering after each.
+//! This is the software-flexibility argument the SMX hardware is built to
+//! serve: the accelerator computes whatever band the algorithm asks for.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use smx::align::dp;
+use smx::datagen::{dna, ErrorProfile, SeqPair};
+use smx::prelude::*;
+use smx_bench::{header, row, scaled};
+
+/// Builds reads whose query lacks `events` separated blocks of `sv` bases
+/// (total drift `events × sv`), plus a light error channel.
+fn multi_sv_pairs(len: usize, sv: usize, events: usize, count: usize, seed: u64) -> Vec<SeqPair> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let reference = dna::random_dna(smx::align::Alphabet::Dna2, len, &mut rng);
+            let mut codes = Vec::with_capacity(len);
+            // Cluster all events in the first half of the read: the drift
+            // accumulates early and the static (length-scaled) diagonal
+            // sits far from the true path for most of the read.
+            let span = len / (2 * events);
+            let mut pos = 0usize;
+            for e in 0..events {
+                let cut = e * span + span / 2;
+                codes.extend_from_slice(&reference.codes()[pos..cut]);
+                pos = (cut + sv).min(len);
+            }
+            codes.extend_from_slice(&reference.codes()[pos..]);
+            let deleted =
+                smx::align::Sequence::from_codes(smx::align::Alphabet::Dna2, codes).unwrap();
+            let query = smx::datagen::mutate::mutate(&deleted, &ErrorProfile::moderate(), &mut rng);
+            SeqPair { query, reference }
+        })
+        .collect()
+}
+
+fn main() {
+    let len = scaled(6000, 1500);
+    let sv = len / 40; // e.g. 150 bases per event
+    let events = 6;
+    let pairs = multi_sv_pairs(len, sv, events, 4, 88);
+    let config = AlignmentConfig::DnaEdit;
+    let scheme = config.scoring();
+    let optimal: Vec<i32> = pairs
+        .iter()
+        .map(|p| dp::score_only(p.query.codes(), p.reference.codes(), &scheme))
+        .collect();
+
+    // Static bands must cover the cumulative drift; adaptive only the
+    // largest single event (with ~1.5x margin for re-centering lag).
+    let total_drift = events * sv;
+    let entries: Vec<(&str, Algorithm)> = vec![
+        ("static-largest-event", Algorithm::Banded { band: (3 * sv) / 2 }),
+        ("static-total-drift", Algorithm::Banded { band: (4 * total_drift) / 5 }),
+        ("adaptive", Algorithm::AdaptiveBanded { width: 2 * sv }),
+    ];
+
+    header(&format!(
+        "Ablation: static vs adaptive band ({} reads, ~{len} bp, {events} deletions of {sv} bases)",
+        pairs.len()
+    ));
+    row(&[&"band", &"cells (M)", &"recall"], &[18, 11, 8]);
+    for (name, algo) in entries {
+        let rep = SmxAligner::new(config).algorithm(algo).run_batch(&pairs).unwrap();
+        row(
+            &[
+                &name,
+                &format!("{:.1}", rep.work.cells as f64 / 1e6),
+                &format!("{:.2}", rep.recall(&optimal)),
+            ],
+            &[18, 11, 8],
+        );
+    }
+    println!();
+    println!("a static band sized for one event misses the read's later drift; one");
+    println!("sized for all events computes several times the cells the adaptive");
+    println!("band needs — and the gap widens with every additional variant.");
+}

@@ -1,0 +1,42 @@
+//! **Ablation: border-only tile storage.** The SMX-2D design keeps only
+//! tile borders and recomputes interiors during traceback (paper §5).
+//! Compare the memory footprint and writeback traffic against storing
+//! full tiles (what a traceback-memory DSA does) and against the
+//! software 32-bit matrix.
+
+use smx::align::AlignmentConfig;
+use smx::coproc::block::BlockMode;
+use smx::coproc::worker::{block_transfer_stats, full_matrix_bytes};
+use smx_bench::{header, ratio, row, scaled};
+
+fn main() {
+    let len = scaled(10_000, 2_000);
+    header(&format!("Ablation: traceback storage for one {len}x{len} DP-block"));
+    row(
+        &[&"config", &"borders B", &"full-tile B", &"sw 32-bit B", &"vs full", &"vs sw"],
+        &[9, 12, 13, 13, 9, 9],
+    );
+    for config in AlignmentConfig::ALL {
+        let ew = config.element_width();
+        let stats = block_transfer_stats(len, len, ew, BlockMode::Traceback);
+        let borders = stats.border_bytes_stored;
+        // Storing every tile interior = the whole matrix at EW bits.
+        let full_tiles = full_matrix_bytes(len, len, ew.bits() as usize);
+        let software = full_matrix_bytes(len, len, 32);
+        row(
+            &[
+                &config.name(),
+                &format!("{borders}"),
+                &format!("{full_tiles}"),
+                &format!("{software}"),
+                &ratio(full_tiles as f64, borders as f64),
+                &ratio(software as f64, borders as f64),
+            ],
+            &[9, 12, 13, 13, 9, 9],
+        );
+    }
+    println!();
+    println!("paper shape: borders cut footprint ~VL/2 x vs storing tiles (4-64x");
+    println!("over SMX-1D depending on EW) and up to ~256x vs the software matrix,");
+    println!("at the price of recomputing path tiles during traceback.");
+}

@@ -1,0 +1,47 @@
+//! **Ablation: worker count vs silicon (paper §8.1).** "Beyond 4 workers,
+//! performance gains are marginal, making the area increase
+//! unjustifiable" — this harness combines the utilization sweep with the
+//! area model into throughput-per-mm², showing where the knee sits.
+
+use smx::align::{AlignmentConfig, ElementWidth};
+use smx::physical::area::AreaModel;
+use smx::sim::coproc::{BlockShape, CoprocSim, CoprocTimingConfig};
+use smx_bench::{header, pct, row, scaled};
+
+fn main() {
+    let len = scaled(4000, 1500);
+    let config = AlignmentConfig::DnaEdit;
+    let ew: ElementWidth = config.element_width();
+    let shape = BlockShape::from_dims(len, len, ew, false);
+
+    header(&format!(
+        "Ablation: workers vs area ({len}x{len} DNA-edit blocks, throughput per mm^2)"
+    ));
+    row(
+        &[&"workers", &"utilization", &"GCUPS", &"SMX-2D mm^2", &"GCUPS/mm^2", &"marginal"],
+        &[8, 12, 8, 12, 11, 10],
+    );
+    let mut prev_gcups = 0.0;
+    for workers in 1..=8usize {
+        let sim = CoprocSim::new(CoprocTimingConfig::for_ew(ew, workers));
+        let r = sim.simulate_uniform(shape, workers.max(4) * 2);
+        let gcups = 1024.0 * r.utilization;
+        let area = AreaModel { workers }.smx2d_area();
+        let marginal = gcups - prev_gcups;
+        row(
+            &[
+                &workers,
+                &pct(r.utilization),
+                &format!("{gcups:.0}"),
+                &format!("{area:.4}"),
+                &format!("{:.0}", gcups / area),
+                &format!("{marginal:+.0}"),
+            ],
+            &[8, 12, 8, 12, 11, 10],
+        );
+        prev_gcups = gcups;
+    }
+    println!();
+    println!("each worker adds 0.0369 mm^2; the marginal GCUPS collapses once the");
+    println!("engine saturates, which is why the paper fixes the design at four.");
+}

@@ -1,0 +1,67 @@
+//! **Extension: software edit-distance baselines.** Functional (measured
+//! wall-clock) comparison of the exact software aligners this repository
+//! implements: scalar DP, Myers's blocked bit-parallel algorithm (the
+//! Edlib core), and the wavefront algorithm — the landscape SMX competes
+//! against on the DNA-edit configuration.
+
+use smx::algos::baselines::{myers, wfa};
+use smx::align::dp;
+use smx::prelude::*;
+use smx_bench::{header, row, scaled};
+use std::time::Instant;
+
+fn main() {
+    let len = scaled(20_000, 4_000);
+    for error_pct in [1.0f64, 5.0] {
+        let profile = smx::datagen::ErrorProfile {
+            sub_rate: error_pct / 100.0 * 0.5,
+            ins_rate: error_pct / 100.0 * 0.25,
+            del_rate: error_pct / 100.0 * 0.25,
+        };
+        let ds = Dataset::synthetic(AlignmentConfig::DnaEdit, len, 2, profile, 401);
+        header(&format!(
+            "Software edit-distance baselines ({len} bp, {error_pct}% error, wall-clock on this host)"
+        ));
+        row(&[&"algorithm", &"distance", &"cells", &"time", &"host GCUPS"], &[12, 9, 12, 10, 11]);
+        for p in &ds.pairs.iter().take(1).collect::<Vec<_>>() {
+            let (q, r) = (p.query.codes(), p.reference.codes());
+            let area = (q.len() as u64) * (r.len() as u64);
+
+            let t0 = Instant::now();
+            let scalar = dp::edit_distance(q, r);
+            let t_scalar = t0.elapsed();
+
+            let t0 = Instant::now();
+            let bitpar = myers::edit_distance(q, r, 4).unwrap();
+            let t_myers = t0.elapsed();
+
+            let t0 = Instant::now();
+            let wave = wfa::edit_distance(q, r).unwrap();
+            let t_wfa = t0.elapsed();
+
+            assert_eq!(scalar, bitpar);
+            assert_eq!(scalar, wave.distance);
+
+            let report = |name: &str, cells: u64, t: std::time::Duration| {
+                let gcups = cells as f64 / t.as_secs_f64() / 1e9;
+                row(
+                    &[
+                        &name,
+                        &format!("{scalar}"),
+                        &format!("{cells}"),
+                        &format!("{:.2?}", t),
+                        &format!("{gcups:.2}"),
+                    ],
+                    &[12, 9, 12, 10, 11],
+                );
+            };
+            report("scalar-dp", area, t_scalar);
+            report("myers", area, t_myers);
+            report("wfa", wave.cells, t_wfa);
+        }
+    }
+    println!();
+    println!("myers retires 64 cells per word (the strongest CPU edit baseline);");
+    println!("wfa's work collapses with similarity (O(n*s)); SMX's 1024 cells per");
+    println!("cycle at 1 GHz corresponds to 1024 GCUPS — above any of these.");
+}

@@ -1,0 +1,76 @@
+//! **Extension: a gap-affine SMX engine ("SMX-A").** The paper's engine
+//! implements the linear gap model; practical read aligners use affine
+//! gaps. The Suzuki–Kasahara difference recurrences extend to affine with
+//! two values per border element, preserving the systolic/tiled design.
+//! This harness validates the tiled affine engine against the Gotoh
+//! golden model and prices the extension with the area model.
+
+use smx::align::dp_affine::{affine_score, AffineScheme};
+use smx::align::ElementWidth;
+use smx::coproc::affine::AffineEngine;
+use smx::diffenc::affine::AffinePenalties;
+use smx::physical::area::AreaModel;
+use smx_bench::{header, row, scaled};
+
+fn dna(len: usize, seed: u64) -> Vec<u8> {
+    let mut x = seed | 1;
+    (0..len)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (x % 4) as u8
+        })
+        .collect()
+}
+
+fn main() {
+    let scheme = AffineScheme::minimap2();
+    let pen = AffinePenalties::from_scheme(&scheme).unwrap();
+    let engine = AffineEngine::new(ElementWidth::W4, pen).unwrap();
+
+    header("Extension: gap-affine SMX engine vs Gotoh golden model");
+    let len = scaled(2000, 500);
+    row(&[&"case", &"gotoh", &"smx-a", &"match"], &[22, 9, 9, 6]);
+    let cases: Vec<(&str, Vec<u8>, Vec<u8>)> = {
+        let r = dna(len, 7);
+        let mut gap = r.clone();
+        gap.drain(len / 3..len / 3 + 120);
+        let mut noisy = r.clone();
+        for k in (0..len).step_by(97) {
+            noisy[k] ^= 1;
+        }
+        vec![
+            ("identical", r.clone(), r.clone()),
+            ("120-base gap", gap, r.clone()),
+            ("1% substitutions", noisy, r.clone()),
+            ("unrelated", dna(len, 12345), r),
+        ]
+    };
+    for (name, q, r) in cases {
+        let golden = affine_score(&q, &r, &scheme);
+        let got = engine.score_block(&q, &r).unwrap();
+        row(
+            &[&name, &golden, &got, &if golden == got { "yes" } else { "NO" }],
+            &[22, 9, 9, 6],
+        );
+        assert_eq!(golden, got);
+    }
+
+    header("Area cost of the affine engine (22nm model)");
+    let m = AreaModel::new();
+    println!("linear SMX-engine : {:.4} mm^2 (paper: 0.1136)", m.engine_area());
+    println!("affine SMX-engine : {:.4} mm^2 ({:.1}x)", m.affine_engine_area(),
+        m.affine_engine_area() / m.engine_area());
+    println!(
+        "SMX-2D with affine engine: {:.4} mm^2 ({:.1}% of the processor)",
+        m.smx2d_area() - m.engine_area() + m.affine_engine_area(),
+        (m.smx2d_area() - m.engine_area() + m.affine_engine_area())
+            / smx::physical::area::PROCESSOR_AREA_MM2
+            * 100.0
+    );
+    println!();
+    println!("the affine datapath preserves the tile/supertile structure at ~3x the");
+    println!("engine area — the kind of flexibility-vs-area step the paper's case");
+    println!("study frames (the linear engine already covers DNA-gap and protein).");
+}

@@ -1,0 +1,30 @@
+//! **Figure 13 / §10**: physical design — post-PnR area breakdown of the
+//! SMX-enhanced processor at 22nm, and power at a 20% activity factor.
+//!
+//! Paper anchors: SMX-1D 0.0152 mm² (1.37% of the processor, comparable
+//! to a 2-cycle 64-bit multiplier); SMX-2D 0.3280 mm² (29.66%, 2.13× the
+//! 32 KB L1D), of which engine 0.1136 mm² and 0.0369 mm² per worker;
+//! power 0.342 mW.
+
+use smx::physical::area::{AreaModel, L1D_AREA_MM2, PROCESSOR_AREA_MM2};
+use smx_bench::{header, row};
+
+fn main() {
+    let model = AreaModel::new();
+    header("Figure 13b: area breakdown (22nm, post-PnR model, 1 GHz)");
+    row(&[&"module", &"mm^2", &"% of CPU"], &[16, 9, 9]);
+    for m in model.breakdown() {
+        row(
+            &[&m.name, &format!("{:.4}", m.mm2), &format!("{:.2}%", m.mm2 / PROCESSOR_AREA_MM2 * 100.0)],
+            &[16, 9, 9],
+        );
+    }
+    println!();
+    println!("SMX-1D total : {:.4} mm^2 ({:.2}% of processor; paper: 0.0152 / 1.37%)",
+        model.smx1d_area(), model.smx1d_area() / PROCESSOR_AREA_MM2 * 100.0);
+    println!("SMX-2D total : {:.4} mm^2 ({:.2}% of processor; paper: 0.3280 / 29.66%)",
+        model.smx2d_area(), model.smx2d_area() / PROCESSOR_AREA_MM2 * 100.0);
+    println!("SMX-2D / L1D : {:.2}x (paper: 2.13x)", model.smx2d_area() / L1D_AREA_MM2);
+    println!("SMX total    : {:.4} mm^2 (paper: ~0.34)", model.total_area());
+    println!("power @ 20%  : {:.3} mW (paper: 0.342)", model.power_mw(0.2));
+}

@@ -1,0 +1,71 @@
+//! **Figure 14**: alignments/s and recall of SMX against the state of the
+//! art on the ONT stand-in (DNA) and the UniProt stand-in (protein).
+//!
+//! Paper anchors: SMX(H) 5.9x over GMX(H); 411x over DPX(H); GACT(W) is
+//! 2.4x faster than SMX(W) but has zero recall on ONT; SMX(X) is 5.2x
+//! slower than GACT with 90% recall; SMX(H) 22.7x slower with 100%
+//! recall; a 72-core SMX Grace projects 1.7x over CUDASW++ on an H100.
+
+use smx::align::dp;
+use smx::algos::baselines;
+use smx::algos::xdrop;
+use smx::prelude::*;
+use smx_bench::{header, row, scaled};
+
+fn main() {
+    let len = scaled(8_000, 2_000);
+    // ONT reads spanning structural deletions, as real ultra-long reads
+    // do (the paper's window-heuristic recall is zero on ONT).
+    let ds = Dataset::ont_sv_like(AlignmentConfig::DnaEdit, len, len / 10, 6, 140);
+    let config = AlignmentConfig::DnaEdit;
+    let scheme = config.scoring();
+    let optimal: Vec<i32> = ds
+        .pairs
+        .iter()
+        .map(|p| dp::score_only(p.query.codes(), p.reference.codes(), &scheme))
+        .collect();
+
+    let band = xdrop::band_for_error_rate(len, 0.08);
+    let entries: Vec<(&str, Algorithm, EngineKind)> = vec![
+        ("GMX (H)", Algorithm::Hirschberg, EngineKind::Gmx),
+        ("DPX (H)", Algorithm::Hirschberg, EngineKind::Dpx),
+        ("GACT (W)", Algorithm::Window { w: 320, o: 128 }, EngineKind::Gact),
+        ("SMX (W)", Algorithm::Window { w: 320, o: 128 }, EngineKind::Smx),
+        ("SMX (X)", Algorithm::Xdrop { band, fraction: 0.4 }, EngineKind::Smx),
+        ("SMX (H)", Algorithm::Hirschberg, EngineKind::Smx),
+    ];
+
+    header(&format!("Figure 14: ONT DNA (~{len} bp, {} pairs), alignments/s and recall", ds.pairs.len()));
+    row(&[&"system", &"aln/s", &"recall", &"vs SMX(H)"], &[10, 12, 8, 10]);
+    let mut smx_h_aps = 0.0;
+    let mut results = Vec::new();
+    for (name, algorithm, engine) in entries {
+        let rep = SmxAligner::new(config)
+            .algorithm(algorithm)
+            .engine(engine)
+            .run_batch(&ds.pairs)
+            .unwrap();
+        let aps = rep.alignments_per_second();
+        let recall = rep.recall(&optimal);
+        if name == "SMX (H)" {
+            smx_h_aps = aps;
+        }
+        results.push((name, aps, recall));
+    }
+    for (name, aps, recall) in &results {
+        row(
+            &[name, &format!("{aps:.2e}"), &format!("{recall:.2}"), &format!("{:.1}x", aps / smx_h_aps)],
+            &[10, 12, 8, 10],
+        );
+    }
+
+    header("Figure 14 (right): protein throughput projection");
+    let h100 = baselines::cudasw_h100_effective_gcups();
+    let grace = baselines::smx_grace_protein_gcups();
+    println!("CUDASW++ 4.0 on H100 (effective): {h100:.0} GCUPS");
+    println!("72-core SMX-enhanced Grace at 1 GHz: {grace:.0} GCUPS");
+    println!("SMX advantage: {:.1}x (paper: 1.7x)", grace / h100);
+    println!();
+    println!("paper shape: GACT fastest but zero recall on SV-bearing ONT reads;");
+    println!("SMX trades throughput for recall across (W)->(X)->(H); GMX/DPX slower.");
+}

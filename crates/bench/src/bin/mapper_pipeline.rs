@@ -1,0 +1,82 @@
+//! **Extension: §9.3 measured on our own pipeline.** Instead of assuming
+//! Minimap2's published 70–76% alignment fraction, run the repository's
+//! mini-mapper, time the seeding/chaining stage with the CPU loop model
+//! and the extension stage on SIMD vs SMX, and compose the end-to-end
+//! speedup from measured parts.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use smx::algos::mapper::{map_read, KmerIndex};
+use smx::algos::timing::{estimate, BatchWork, EngineKind};
+use smx::datagen::mutate::{mutate, random_sequence};
+use smx::datagen::ErrorProfile;
+use smx::prelude::*;
+use smx::sim::cpu::{kernel_cycles, CpuConfig, LoopKernel, UopClass};
+use smx::sim::mem::MemParams;
+use smx_bench::{header, scaled};
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(9393);
+    let genome_len = scaled(200_000, 40_000);
+    let reads = scaled(50, 12);
+    let read_len = 2000;
+    let genome = random_sequence(Alphabet::Dna2, genome_len, &mut rng);
+    let idx = KmerIndex::build(genome.codes(), 17).unwrap();
+    let scheme = AlignmentConfig::DnaEdit.scoring();
+
+    let mut outcomes = Vec::new();
+    let mut seed_hits = 0u64;
+    for _ in 0..reads {
+        let start = rng.gen_range(0..genome.len() - read_len - 200);
+        let template = genome.subsequence(start..start + read_len);
+        let read = mutate(&template, &ErrorProfile::moderate(), &mut rng);
+        seed_hits += idx.seeds_of(read.codes()).len() as u64;
+        if let Some(m) = map_read(&idx, genome.codes(), read.codes(), &scheme, 48).unwrap() {
+            outcomes.push(m.outcome);
+        }
+    }
+
+    // Seeding + chaining cost: one hash probe per read position (random
+    // access into an index larger than the LLC) plus chaining overhead.
+    let cpu = CpuConfig::table1_ooo();
+    let mem = MemParams::table1();
+    let mut seeding = LoopKernel::compute_only(
+        "seed+chain",
+        (reads * read_len) as f64,
+        vec![
+            (UopClass::IntAlu, 6.0),
+            (UopClass::Load, 2.0),
+            (UopClass::Branch, 1.0),
+        ],
+        3.0,
+    );
+    seeding.random_accesses = 1.0;
+    seeding.working_set = (idx.distinct_kmers() * 24) as u64;
+    seeding.mispredicts = 0.05;
+    let seed_cycles = kernel_cycles(&seeding, &cpu, &mem)
+        + seed_hits as f64 * 4.0; // per-hit chaining work
+
+    let work = BatchWork::from_outcomes(AlignmentConfig::DnaEdit, false, &outcomes);
+    let ext_simd = estimate(EngineKind::Simd, &work, 4).cycles;
+    let ext_smx = estimate(EngineKind::Smx, &work, 4).cycles;
+
+    header(&format!(
+        "Mini-mapper pipeline: {reads} reads of {read_len} bp against {genome_len} bp"
+    ));
+    println!("mapped reads           : {}/{reads}", outcomes.len());
+    println!("seeding + chaining     : {seed_cycles:>14.0} cycles (CPU, both systems)");
+    println!("extension on SIMD      : {ext_simd:>14.0} cycles");
+    println!("extension on SMX       : {ext_smx:>14.0} cycles ({:.0}x kernel speedup)",
+        ext_simd / ext_smx);
+    let total_simd = seed_cycles + ext_simd;
+    let total_smx = seed_cycles + ext_smx;
+    let frac = ext_simd / total_simd;
+    println!();
+    println!("alignment fraction of baseline runtime: {:.0}%", frac * 100.0);
+    println!("end-to-end speedup     : {:.2}x (paper's Minimap2 range: 3.3-4.1x", total_simd / total_smx);
+    println!("                          at a 70-76% alignment fraction)");
+    println!();
+    println!("the end-to-end gain is capped by the seeding stage exactly as");
+    println!("Amdahl predicts — the part of the pipeline SMX deliberately leaves");
+    println!("on the general-purpose core.");
+}

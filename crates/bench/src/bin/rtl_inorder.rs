@@ -1,0 +1,50 @@
+//! **§7/§10 context**: SMX-1D on the Table-2 in-order single-issue edge
+//! processor — the core the paper's RTL physical design integrates SMX
+//! into. Shows that the ISA extension pays off even without an
+//! out-of-order engine behind it, and how much the 8-wide Table-1 core
+//! adds.
+
+use smx::algos::timing::{estimate_with, BatchWork, EngineKind};
+use smx::datagen::ErrorProfile;
+use smx::prelude::*;
+use smx::sim::cpu::CpuConfig;
+use smx::sim::mem::MemParams;
+use smx_bench::{header, ratio, row, scaled};
+
+fn main() {
+    let len = scaled(1000, 400);
+    header(&format!("SMX-1D on the in-order edge core (Table 2) vs the OoO SoC (Table 1), {len}x{len} score-only"));
+    row(
+        &[&"config", &"inorder simd", &"inorder smx1d", &"speedup", &"ooo smx1d", &"ooo gain"],
+        &[9, 13, 14, 9, 12, 9],
+    );
+    for config in AlignmentConfig::ALL {
+        let ds = Dataset::synthetic(config, len, 4, ErrorProfile::moderate(), 201);
+        let rep = SmxAligner::new(config)
+            .algorithm(Algorithm::Full)
+            .score_only(true)
+            .run_batch(&ds.pairs)
+            .unwrap();
+        let work = BatchWork::from_outcomes(config, true, &rep.outcomes);
+        let io = (CpuConfig::table2_inorder(), MemParams::table2());
+        let ooo = (CpuConfig::table1_ooo(), MemParams::table1());
+        let in_simd = estimate_with(EngineKind::Simd, &work, 4, &io.0, &io.1).cycles;
+        let in_smx1 = estimate_with(EngineKind::Smx1d, &work, 4, &io.0, &io.1).cycles;
+        let ooo_smx1 = estimate_with(EngineKind::Smx1d, &work, 4, &ooo.0, &ooo.1).cycles;
+        row(
+            &[
+                &config.name(),
+                &format!("{in_simd:.3e}"),
+                &format!("{in_smx1:.3e}"),
+                &ratio(in_simd, in_smx1),
+                &format!("{ooo_smx1:.3e}"),
+                &ratio(in_smx1, ooo_smx1),
+            ],
+            &[9, 13, 14, 9, 12, 9],
+        );
+    }
+    println!();
+    println!("the SMX-1D recurrence chain dominates on both cores, so the narrow");
+    println!("in-order pipeline keeps most of the ISA speedup — the property that");
+    println!("makes the 0.015 mm^2 edge-core integration (paper §10) worthwhile.");
+}

@@ -1,0 +1,63 @@
+//! **§9.3**: end-to-end application speedups for Minimap2 and DIAMOND by
+//! Amdahl composition of the measured kernel speedups.
+//!
+//! Paper anchors: Minimap2's alignment phase is 70–76% of runtime and
+//! accelerates 274x, giving 3.3–4.1x end to end; DIAMOND's alignment is
+//! ~99% and accelerates 744x, giving 88.3x.
+
+use smx::algos::xdrop;
+use smx::prelude::*;
+use smx_bench::{header, row, scaled};
+
+fn amdahl(fraction: f64, speedup: f64) -> f64 {
+    1.0 / ((1.0 - fraction) + fraction / speedup)
+}
+
+fn main() {
+    // Measure the two kernel speedups on the harness's own workloads.
+    let len = scaled(10_000, 2_000);
+    let mm2 = Dataset::synthetic(AlignmentConfig::DnaGap, len, 2, smx::datagen::ErrorProfile::pacbio_hifi(), 93);
+    let mut aligner = SmxAligner::new(AlignmentConfig::DnaGap);
+    aligner.algorithm(Algorithm::Xdrop { band: xdrop::band_for_error_rate(len, 0.02), fraction: 0.08 });
+    let simd = aligner.engine(EngineKind::Simd).run_batch(&mm2.pairs).unwrap();
+    let smx = aligner.engine(EngineKind::Smx).run_batch(&mm2.pairs).unwrap();
+    let mm2_kernel = simd.timing.cycles / smx.timing.cycles;
+
+    let prot = Dataset::uniprot_like(32, 94);
+    let mut paligner = SmxAligner::new(AlignmentConfig::Protein);
+    paligner.algorithm(Algorithm::Full).score_only(true);
+    let psimd = paligner.engine(EngineKind::Simd).run_batch(&prot.pairs).unwrap();
+    let psmx = paligner.engine(EngineKind::Smx).run_batch(&prot.pairs).unwrap();
+    let dia_kernel = psimd.timing.cycles / psmx.timing.cycles;
+
+    header("Section 9.3: end-to-end application speedups (Amdahl composition)");
+    row(
+        &[&"application", &"align %", &"kernel speedup", &"end-to-end", &"paper"],
+        &[12, 9, 15, 11, 12],
+    );
+    for (name, frac_lo, frac_hi, kernel, paper) in [
+        ("minimap2", 0.70, 0.76, mm2_kernel, "3.3-4.1x"),
+        ("diamond", 0.99, 0.99, dia_kernel, "88.3x"),
+    ] {
+        let lo = amdahl(frac_lo, kernel);
+        let hi = amdahl(frac_hi, kernel);
+        let e2e = if (lo - hi).abs() < 0.05 {
+            format!("{lo:.1}x")
+        } else {
+            format!("{lo:.1}-{hi:.1}x")
+        };
+        row(
+            &[
+                &name,
+                &format!("{:.0}-{:.0}%", frac_lo * 100.0, frac_hi * 100.0),
+                &format!("{kernel:.0}x"),
+                &e2e,
+                &paper,
+            ],
+            &[12, 9, 15, 11, 12],
+        );
+    }
+    println!();
+    println!("paper shape: the end-to-end gain saturates at 1/(1-f): Minimap2 is");
+    println!("bounded by its non-alignment 24-30%, DIAMOND is alignment-dominated.");
+}

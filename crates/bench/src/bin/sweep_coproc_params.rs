@@ -1,0 +1,45 @@
+//! **Design-space sweep: coprocessor sensitivity.** How the SMX-2D
+//! utilization responds to its two latency parameters — the engine
+//! pipeline depth (set by the 1 GHz timing closure, §7) and the L2 hit
+//! latency — for one and four workers. Quantifies the §5.3 argument that
+//! worker count is the design's latency-tolerance mechanism.
+
+use smx::align::ElementWidth;
+use smx::sim::coproc::{BlockShape, CoprocSim, CoprocTimingConfig};
+use smx_bench::{header, pct, row, scaled};
+
+fn util(ew: ElementWidth, workers: usize, depth: u64, l2: u64, len: usize) -> f64 {
+    let mut cfg = CoprocTimingConfig::for_ew(ew, workers);
+    cfg.pipeline_depth = depth;
+    cfg.l2_latency = l2;
+    CoprocSim::new(cfg)
+        .simulate_uniform(BlockShape::from_dims(len, len, ew, false), workers.max(4))
+        .utilization
+}
+
+fn main() {
+    let len = scaled(4000, 1500);
+    let ew = ElementWidth::W2;
+
+    header(&format!("Pipeline-depth sweep (DNA-edit {len}x{len}, L2 latency 18)"));
+    row(&[&"depth", &"w=1", &"w=4"], &[7, 8, 8]);
+    for depth in [1u64, 3, 5, 7, 10, 14] {
+        row(
+            &[&depth, &pct(util(ew, 1, depth, 18, len)), &pct(util(ew, 4, depth, 18, len))],
+            &[7, 8, 8],
+        );
+    }
+
+    header(&format!("L2-latency sweep (DNA-edit {len}x{len}, depth 7)"));
+    row(&[&"latency", &"w=1", &"w=4"], &[8, 8, 8]);
+    for l2 in [6u64, 12, 18, 30, 60, 120] {
+        row(
+            &[&l2, &pct(util(ew, 1, 7, l2, len)), &pct(util(ew, 4, 7, l2, len))],
+            &[8, 8, 8],
+        );
+    }
+    println!();
+    println!("one worker bleeds utilization linearly with either latency; four");
+    println!("workers flatten both curves — the latency tolerance the paper buys");
+    println!("with 0.0369 mm^2 of control per worker instead of deeper buffering.");
+}

@@ -1,0 +1,79 @@
+//! **Supplementary sweep: substitution matrices.** The protein
+//! configuration's reason to exist (paper §2.2, §4.3.3): different
+//! matrices trade sensitivity for specificity. This harness scores
+//! homolog and decoy pairs under BLOSUM50 / BLOSUM62 / PAM250 on the SMX
+//! device and reports the score separation each achieves.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use smx::align::{dp, ScoringScheme, SubstMatrix};
+use smx::datagen::protein;
+use smx_bench::{header, row};
+
+fn mean(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+fn std_dev(xs: &[f64]) -> f64 {
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(888);
+    let count = 24;
+    // Homolog pairs at 30% divergence; decoys are unrelated proteins.
+    let homologs: Vec<(Vec<u8>, Vec<u8>)> = (0..count)
+        .map(|_| {
+            let (r, q) = protein::homolog_pair(250, 0.30, &mut rng);
+            (q.codes().to_vec(), r.codes().to_vec())
+        })
+        .collect();
+    let decoys: Vec<(Vec<u8>, Vec<u8>)> = (0..count)
+        .map(|_| {
+            (
+                protein::random_protein(250, &mut rng).codes().to_vec(),
+                protein::random_protein(250, &mut rng).codes().to_vec(),
+            )
+        })
+        .collect();
+
+    header(&format!(
+        "Substitution-matrix sweep: {count} homolog (30% divergence) vs {count} decoy pairs"
+    ));
+    row(
+        &[&"matrix", &"homolog mean", &"decoy mean", &"separation (z)"],
+        &[10, 13, 11, 15],
+    );
+    for (name, matrix, gap) in [
+        ("blosum50", SubstMatrix::blosum50(), -5),
+        ("blosum62", SubstMatrix::blosum62(), -6),
+        ("pam250", SubstMatrix::pam250(), -6),
+    ] {
+        let scheme = ScoringScheme::matrix(matrix, gap).unwrap();
+        let score_all = |pairs: &[(Vec<u8>, Vec<u8>)]| -> Vec<f64> {
+            pairs
+                .iter()
+                .map(|(q, r)| f64::from(dp::score_only(q, r, &scheme)))
+                .collect()
+        };
+        let h = score_all(&homologs);
+        let d = score_all(&decoys);
+        let pooled = (std_dev(&h) + std_dev(&d)) / 2.0;
+        let z = (mean(&h) - mean(&d)) / pooled.max(1.0);
+        row(
+            &[
+                &name,
+                &format!("{:.0}", mean(&h)),
+                &format!("{:.0}", mean(&d)),
+                &format!("{z:.1}"),
+            ],
+            &[10, 13, 11, 15],
+        );
+        assert!(mean(&h) > mean(&d), "{name}: homologs must out-score decoys");
+    }
+    println!();
+    println!("every matrix cleanly separates homologs from decoys on global");
+    println!("alignment; the choice shifts the margin — which is why SMX keeps the");
+    println!("26x26 matrix programmable (submat SRAM) instead of baking one in.");
+}

@@ -1,0 +1,70 @@
+//! **Tables 1 & 2**: the simulated SoC configurations, printed from the
+//! actual model parameters so the configuration the harnesses run is the
+//! configuration reported (no drift between docs and code).
+
+use smx::align::ElementWidth;
+use smx::sim::coproc::CoprocTimingConfig;
+use smx::sim::cpu::CpuConfig;
+use smx::sim::mem::MemParams;
+use smx_bench::header;
+
+fn print_cpu(cpu: &CpuConfig) {
+    println!("  pipeline       : {} (issue width {})", cpu.name, cpu.width);
+    print!("  FU throughput  :");
+    for (c, t) in &cpu.throughput {
+        print!(" {c:?}={t}");
+    }
+    println!();
+    println!("  mispredict     : {} cycles", cpu.mispredict_penalty);
+    println!("  miss exposure  : {}", cpu.exposure);
+}
+
+fn print_mem(mem: &MemParams) {
+    println!(
+        "  L1D            : {} KB, {} cycles",
+        mem.l1_bytes >> 10,
+        mem.l1_latency
+    );
+    println!(
+        "  private L2     : {} KB, {} cycles",
+        mem.l2_bytes >> 10,
+        mem.l2_latency
+    );
+    println!(
+        "  LLC (per core) : {} KB, {} cycles",
+        mem.llc_bytes >> 10,
+        mem.llc_latency
+    );
+    println!(
+        "  DRAM           : {} cycles, {} B/cycle ({:.1} GB/s at 1 GHz)",
+        mem.dram_latency,
+        mem.dram_bytes_per_cycle,
+        mem.dram_bytes_per_cycle
+    );
+}
+
+fn main() {
+    header("Table 1: out-of-order SoC configuration (simulation model)");
+    print_cpu(&CpuConfig::table1_ooo());
+    print_mem(&MemParams::table1());
+    println!("  SMX-2D         : 4 workers per core on the private L2 port");
+
+    header("Table 2: in-order edge processor (RTL integration target)");
+    print_cpu(&CpuConfig::table2_inorder());
+    print_mem(&MemParams::table2());
+
+    header("SMX-engine design points (paper §7)");
+    for ew in ElementWidth::ALL {
+        let cfg = CoprocTimingConfig::for_ew(ew, 4);
+        println!(
+            "  EW={}  VL={:<3} tile {:>4} cells/cycle, pipeline {} cycles, L2 latency {}, fetch {} + store {} lines per supertile",
+            ew,
+            ew.vl(),
+            ew.vl() * ew.vl(),
+            cfg.pipeline_depth,
+            cfg.l2_latency,
+            cfg.fetch_lines,
+            cfg.store_lines
+        );
+    }
+}

@@ -1,0 +1,106 @@
+//! Shared helpers for the SMX benchmark harness.
+//!
+//! Each binary in `src/bin` regenerates one table or figure from the
+//! paper's evaluation (see DESIGN.md §3 for the experiment index). Run
+//! them with `cargo run -p smx-bench --release --bin <name>`.
+
+use std::fmt::Display;
+
+/// Prints a section header.
+pub fn header(title: &str) {
+    println!();
+    println!("=== {title} ===");
+}
+
+/// Prints one row of a fixed-width table.
+pub fn row(cells: &[&dyn Display], widths: &[usize]) {
+    let mut line = String::new();
+    for (c, w) in cells.iter().zip(widths) {
+        line.push_str(&format!("{:>width$}  ", c, width = w));
+    }
+    println!("{}", line.trim_end());
+}
+
+/// Formats a ratio as `Nx`.
+#[must_use]
+pub fn ratio(a: f64, b: f64) -> String {
+    format!("{:.1}x", a / b.max(1e-12))
+}
+
+/// Formats a fraction as a percentage.
+#[must_use]
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Opens a CSV artifact file for a harness when `SMX_BENCH_CSV` names a
+/// directory, so results can be post-processed; returns `None` (and the
+/// harness stays print-only) otherwise.
+#[must_use]
+pub fn csv_artifact(name: &str) -> Option<std::fs::File> {
+    let dir = std::env::var("SMX_BENCH_CSV").ok()?;
+    std::fs::create_dir_all(&dir).ok()?;
+    let path = std::path::Path::new(&dir).join(format!("{name}.csv"));
+    std::fs::File::create(path).ok()
+}
+
+/// Writes one CSV row (no quoting — harness values are plain tokens).
+pub fn csv_row(file: &mut Option<std::fs::File>, cells: &[&dyn Display]) {
+    use std::io::Write;
+    if let Some(f) = file {
+        let line: Vec<String> = cells.iter().map(|c| c.to_string()).collect();
+        let _ = writeln!(f, "{}", line.join(","));
+    }
+}
+
+/// Whether the harness should run in quick mode (smaller instances),
+/// controlled by the `SMX_BENCH_QUICK` environment variable.
+#[must_use]
+pub fn quick_mode() -> bool {
+    std::env::var("SMX_BENCH_QUICK").is_ok_and(|v| v != "0")
+}
+
+/// Scales an instance size down in quick mode.
+#[must_use]
+pub fn scaled(full: usize, quick: usize) -> usize {
+    if quick_mode() {
+        quick
+    } else {
+        full
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_formats() {
+        assert_eq!(ratio(10.0, 4.0), "2.5x");
+        assert_eq!(ratio(1.0, 0.0), format!("{:.1}x", 1.0 / 1e-12));
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.125), "12.5%");
+        assert_eq!(pct(1.0), "100.0%");
+    }
+
+    #[test]
+    fn scaled_honours_quick_mode() {
+        // Quick mode is driven by the environment; in a test process the
+        // variable is normally unset, so `scaled` returns the full size.
+        if std::env::var("SMX_BENCH_QUICK").is_err() {
+            assert_eq!(scaled(1000, 10), 1000);
+        }
+    }
+
+    #[test]
+    fn csv_artifact_disabled_without_env() {
+        if std::env::var("SMX_BENCH_CSV").is_err() {
+            assert!(csv_artifact("unit-test").is_none());
+            let mut none = None;
+            csv_row(&mut none, &[&1, &2]); // must be a no-op
+        }
+    }
+}

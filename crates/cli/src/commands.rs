@@ -1,0 +1,342 @@
+//! `smx-cli` subcommand implementations.
+
+use crate::args::Args;
+use smx::prelude::*;
+use smx_io::fasta;
+use smx_io::pairs::pair_positional;
+use std::fs::File;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+smx-cli: SMX heterogeneous sequence alignment (reproduction)
+
+commands:
+  align    --config <cfg> [--algorithm <algo>] [--engine <eng>] [--band N]
+           [--window N --overlap N] [--xdrop F] [--workers N] [--score-only]
+           [--pretty]
+           <query.fa|fastq> <reference.fa|fastq>
+  datagen  --config <cfg> --len N --count N [--profile perfect|moderate|hifi|ont]
+           [--sv N] [--seed N] --out <pairs.fa>
+  simulate --config <cfg> --len N [--blocks N] [--workers N]
+  matrix   --name blosum50|blosum62|pam250 [--out <file>] | --parse <file>
+  info
+
+configs:    dna-edit | dna-gap | protein | ascii
+algorithms: full | banded | adaptive | xdrop | hirschberg | window
+engines:    software | simd | dpx | gmx | smx-1d | smx-2d | smx | gact
+";
+
+fn parse_config(name: &str) -> Result<AlignmentConfig, String> {
+    AlignmentConfig::ALL
+        .into_iter()
+        .find(|c| c.name() == name)
+        .ok_or_else(|| format!("unknown config {name:?} (try dna-edit, dna-gap, protein, ascii)"))
+}
+
+fn parse_engine(name: &str) -> Result<EngineKind, String> {
+    [
+        EngineKind::Software,
+        EngineKind::Simd,
+        EngineKind::Dpx,
+        EngineKind::Gmx,
+        EngineKind::Smx1d,
+        EngineKind::Smx2d,
+        EngineKind::Smx,
+        EngineKind::Gact,
+    ]
+    .into_iter()
+    .find(|e| e.name() == name)
+    .ok_or_else(|| format!("unknown engine {name:?}"))
+}
+
+fn parse_algorithm(args: &Args) -> Result<Algorithm, String> {
+    let band = args.get_num("band", 64usize).map_err(|e| e.to_string())?;
+    let window = args.get_num("window", 320usize).map_err(|e| e.to_string())?;
+    let overlap = args.get_num("overlap", 128usize).map_err(|e| e.to_string())?;
+    let xdrop = args.get_num("xdrop", 0.08f64).map_err(|e| e.to_string())?;
+    match args.get_or("algorithm", "full") {
+        "full" => Ok(Algorithm::Full),
+        "banded" => Ok(Algorithm::Banded { band }),
+        "adaptive" => Ok(Algorithm::AdaptiveBanded { width: 2 * band + 1 }),
+        "xdrop" => Ok(Algorithm::Xdrop { band, fraction: xdrop }),
+        "hirschberg" => Ok(Algorithm::Hirschberg),
+        "window" => Ok(Algorithm::Window { w: window, o: overlap }),
+        other => Err(format!("unknown algorithm {other:?}")),
+    }
+}
+
+/// Loads records from a FASTA or FASTQ file (by extension).
+fn load_records(path: &str) -> Result<Vec<fasta::Record>, String> {
+    let file = File::open(path).map_err(|e| format!("{path}: {e}"))?;
+    if path.ends_with(".fastq") || path.ends_with(".fq") {
+        let records = smx_io::fastq::parse(file).map_err(|e| e.to_string())?;
+        Ok(records.into_iter().map(smx_io::fastq::FastqRecord::into_fasta).collect())
+    } else {
+        fasta::parse(file).map_err(|e| e.to_string())
+    }
+}
+
+/// `smx-cli align`: align FASTA/FASTQ files record-by-record.
+pub fn align(args: &Args) -> Result<(), String> {
+    let [_, query_path, ref_path] = args.positional.as_slice() else {
+        return Err("align needs <query.fa> <reference.fa>".into());
+    };
+    let config = parse_config(args.get_or("config", "dna-edit"))?;
+    let engine = parse_engine(args.get_or("engine", "smx"))?;
+    let algorithm = parse_algorithm(args)?;
+    let workers = args.get_num("workers", 4usize).map_err(|e| e.to_string())?;
+    let score_only = args.switch("score-only");
+
+    let queries = load_records(query_path)?;
+    let references = load_records(ref_path)?;
+    let named = pair_positional(&queries, &references, config.alphabet())
+        .map_err(|e| e.to_string())?;
+    if named.is_empty() {
+        return Err("no record pairs to align".into());
+    }
+
+    let mut aligner = SmxAligner::new(config);
+    aligner.algorithm(algorithm).engine(engine).workers(workers).score_only(score_only);
+    let pairs: Vec<SeqPair> = named
+        .iter()
+        .map(|p| SeqPair { query: p.query.clone(), reference: p.reference.clone() })
+        .collect();
+    let report = aligner.run_batch(&pairs).map_err(|e| e.to_string())?;
+
+    let pretty = args.switch("pretty");
+    for (p, o) in named.iter().zip(&report.outcomes) {
+        match (&o.score, &o.alignment) {
+            (Some(s), Some(a)) => {
+                println!("{}\t{}\tscore={s}\tcigar={}", p.query_id, p.reference_id, a.cigar);
+                if pretty {
+                    match smx::align::pretty::render(&a.cigar, &p.query, &p.reference, 60) {
+                        Ok(text) => print!("{text}"),
+                        Err(e) => eprintln!("# render failed: {e}"),
+                    }
+                }
+            }
+            (Some(s), None) => println!("{}\t{}\tscore={s}", p.query_id, p.reference_id),
+            (None, _) => println!("{}\t{}\tdropped", p.query_id, p.reference_id),
+        }
+    }
+    eprintln!(
+        "# engine={engine} cycles={:.0} ({:.3} GCUPS at 1 GHz, {} pairs)",
+        report.timing.cycles,
+        report.gcups(),
+        pairs.len()
+    );
+    Ok(())
+}
+
+/// `smx-cli datagen`: write an interleaved pair FASTA.
+pub fn datagen(args: &Args) -> Result<(), String> {
+    let config = parse_config(args.get_or("config", "dna-edit"))?;
+    let len = args.get_num("len", 1000usize).map_err(|e| e.to_string())?;
+    let count = args.get_num("count", 4usize).map_err(|e| e.to_string())?;
+    let seed = args.get_num("seed", 42u64).map_err(|e| e.to_string())?;
+    let sv = args.get_num("sv", 0usize).map_err(|e| e.to_string())?;
+    let out_path = args.get("out").ok_or("datagen needs --out <file>")?;
+    let profile = match args.get_or("profile", "moderate") {
+        "perfect" => smx::datagen::ErrorProfile::perfect(),
+        "moderate" => smx::datagen::ErrorProfile::moderate(),
+        "hifi" => smx::datagen::ErrorProfile::pacbio_hifi(),
+        "ont" => smx::datagen::ErrorProfile::ont(),
+        other => return Err(format!("unknown profile {other:?}")),
+    };
+    let ds = if sv > 0 {
+        Dataset::ont_sv_like(config, len, sv, count, seed)
+    } else {
+        Dataset::synthetic(config, len, count, profile, seed)
+    };
+    let mut records = Vec::with_capacity(2 * count);
+    for (i, p) in ds.pairs.iter().enumerate() {
+        records.push(fasta::Record::new(&format!("q{i}"), &p.query.to_text()));
+        records.push(fasta::Record::new(&format!("r{i}"), &p.reference.to_text()));
+    }
+    let file = File::create(out_path).map_err(|e| format!("{out_path}: {e}"))?;
+    fasta::write(file, &records).map_err(|e| e.to_string())?;
+    println!("wrote {} records ({count} pairs, {config}) to {out_path}", records.len());
+    Ok(())
+}
+
+/// `smx-cli simulate`: coprocessor utilization for a block workload.
+pub fn simulate(args: &Args) -> Result<(), String> {
+    use smx::sim::coproc::{BlockShape, CoprocSim, CoprocTimingConfig};
+    let config = parse_config(args.get_or("config", "dna-edit"))?;
+    let len = args.get_num("len", 1000usize).map_err(|e| e.to_string())?;
+    let blocks = args.get_num("blocks", 8usize).map_err(|e| e.to_string())?;
+    let workers = args.get_num("workers", 4usize).map_err(|e| e.to_string())?;
+    let ew = config.element_width();
+    let sim = CoprocSim::new(CoprocTimingConfig::for_ew(ew, workers));
+    let r = sim.simulate_uniform(BlockShape::from_dims(len, len, ew, false), blocks);
+    println!("config {config} (EW {ew}), {blocks} blocks of {len}x{len}, {workers} workers");
+    println!("  cycles            : {}", r.cycles);
+    println!("  tiles             : {}", r.tiles);
+    println!("  engine utilization: {:.1}%", r.utilization * 100.0);
+    println!("  L2 port busy      : {:.1}%", r.port_utilization * 100.0);
+    println!(
+        "  throughput        : {:.1} GCUPS at 1 GHz",
+        (len * len * blocks) as f64 / r.cycles as f64
+    );
+    Ok(())
+}
+
+/// `smx-cli matrix`: print, export, or validate substitution matrices.
+pub fn matrix(args: &Args) -> Result<(), String> {
+    use smx::align::SubstMatrix;
+    if let Some(path) = args.get("parse") {
+        let file = File::open(path).map_err(|e| format!("{path}: {e}"))?;
+        let m = smx_io::matrix::parse(file).map_err(|e| e.to_string())?;
+        println!(
+            "parsed matrix: scores in [{}, {}], symmetric, usable for protein alignment",
+            m.min_score(),
+            m.max_score()
+        );
+        return Ok(());
+    }
+    let name = args.get_or("name", "blosum50");
+    let m = match name {
+        "blosum50" => SubstMatrix::blosum50(),
+        "blosum62" => SubstMatrix::blosum62(),
+        "pam250" => SubstMatrix::pam250(),
+        other => return Err(format!("unknown matrix {other:?}")),
+    };
+    match args.get("out") {
+        Some(path) => {
+            let file = File::create(path).map_err(|e| format!("{path}: {e}"))?;
+            smx_io::matrix::write(file, &m).map_err(|e| e.to_string())?;
+            println!("wrote {name} to {path}");
+        }
+        None => {
+            smx_io::matrix::write(std::io::stdout().lock(), &m).map_err(|e| e.to_string())?;
+        }
+    }
+    Ok(())
+}
+
+/// `smx-cli info`: configuration and physical-design summary.
+pub fn info() -> Result<(), String> {
+    use smx::physical::area::AreaModel;
+    let model = AreaModel::new();
+    println!("SMX configurations:");
+    for c in AlignmentConfig::ALL {
+        let ew = c.element_width();
+        println!(
+            "  {:<9} EW={}  VL={:<3} peak {:>4} GCUPS  pipeline {} cycles",
+            c.name(),
+            ew,
+            ew.vl(),
+            ew.vl() * ew.vl(),
+            ew.engine_pipeline_depth()
+        );
+    }
+    println!();
+    println!("physical design (22nm model):");
+    println!("  SMX-1D {:.4} mm^2, SMX-2D {:.4} mm^2, total {:.4} mm^2",
+        model.smx1d_area(), model.smx2d_area(), model.total_area());
+    println!("  power {:.3} mW at 20% activity", model.power_mw(0.2));
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_and_engine_parsing() {
+        assert_eq!(parse_config("protein").unwrap(), AlignmentConfig::Protein);
+        assert!(parse_config("dna").is_err());
+        assert_eq!(parse_engine("smx-1d").unwrap(), EngineKind::Smx1d);
+        assert!(parse_engine("tpu").is_err());
+    }
+
+    #[test]
+    fn algorithm_parsing_with_params() {
+        let a = Args::parse(
+            ["--algorithm", "banded", "--band", "32"].iter().map(|s| s.to_string()),
+            &[],
+        )
+        .unwrap();
+        assert_eq!(parse_algorithm(&a).unwrap(), Algorithm::Banded { band: 32 });
+        let w = Args::parse(
+            ["--algorithm", "window", "--window", "64", "--overlap", "16"]
+                .iter()
+                .map(|s| s.to_string()),
+            &[],
+        )
+        .unwrap();
+        assert_eq!(parse_algorithm(&w).unwrap(), Algorithm::Window { w: 64, o: 16 });
+    }
+
+    #[test]
+    fn datagen_then_align_roundtrip() {
+        let dir = std::env::temp_dir().join("smx-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let pairs_path = dir.join("pairs.fa");
+        let out = pairs_path.to_str().unwrap().to_string();
+        let gen_args = Args::parse(
+            ["datagen", "--config", "dna-edit", "--len", "120", "--count", "2", "--out", &out]
+                .iter()
+                .map(|s| s.to_string()),
+            &[],
+        )
+        .unwrap();
+        datagen(&gen_args).unwrap();
+
+        // Split interleaved pairs into two files for align.
+        let recs = fasta::parse(File::open(&pairs_path).unwrap()).unwrap();
+        assert_eq!(recs.len(), 4);
+        let qs: Vec<_> = recs.iter().step_by(2).cloned().collect();
+        let rs: Vec<_> = recs.iter().skip(1).step_by(2).cloned().collect();
+        let qp = dir.join("q.fa");
+        let rp = dir.join("r.fa");
+        fasta::write(File::create(&qp).unwrap(), &qs).unwrap();
+        fasta::write(File::create(&rp).unwrap(), &rs).unwrap();
+
+        let align_args = Args::parse(
+            [
+                "align",
+                "--config",
+                "dna-edit",
+                "--algorithm",
+                "hirschberg",
+                qp.to_str().unwrap(),
+                rp.to_str().unwrap(),
+            ]
+            .iter()
+            .map(|s| s.to_string()),
+            &[],
+        )
+        .unwrap();
+        align(&align_args).unwrap();
+    }
+
+    #[test]
+    fn align_accepts_fastq_queries() {
+        let dir = std::env::temp_dir().join("smx-cli-fastq");
+        std::fs::create_dir_all(&dir).unwrap();
+        let qp = dir.join("q.fastq");
+        let rp = dir.join("r.fa");
+        std::fs::write(&qp, "@q0\nACGTACGT\n+\nIIIIIIII\n").unwrap();
+        std::fs::write(&rp, ">r0\nACGAACGT\n").unwrap();
+        let a = Args::parse(
+            ["align", "--config", "dna-edit", qp.to_str().unwrap(), rp.to_str().unwrap()]
+                .iter()
+                .map(|s| s.to_string()),
+            &[],
+        )
+        .unwrap();
+        align(&a).unwrap();
+    }
+
+    #[test]
+    fn simulate_and_info_run() {
+        let a = Args::parse(
+            ["simulate", "--config", "dna-gap", "--len", "500"].iter().map(|s| s.to_string()),
+            &[],
+        )
+        .unwrap();
+        simulate(&a).unwrap();
+        info().unwrap();
+    }
+}

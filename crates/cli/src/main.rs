@@ -1,0 +1,43 @@
+//! `smx-cli`: command-line front end for the SMX reproduction.
+//!
+//! ```text
+//! smx-cli align    --config dna-edit [--algorithm full|banded|xdrop|hirschberg|window]
+//!                  [--engine simd|smx-1d|smx-2d|smx] [--band N] [--score-only]
+//!                  <query.fa> <reference.fa>
+//! smx-cli datagen  --config dna-gap --len 1000 --count 4 --profile ont --seed 7 --out pairs.fa
+//! smx-cli simulate --config protein --len 1000 --blocks 8 --workers 4
+//! smx-cli info
+//! ```
+
+mod args;
+mod commands;
+
+use args::Args;
+
+fn main() {
+    let tokens: Vec<String> = std::env::args().skip(1).collect();
+    let code = match run(tokens) {
+        Ok(()) => 0,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn run(tokens: Vec<String>) -> Result<(), String> {
+    let args = Args::parse(tokens, &["score-only", "pretty", "help"]).map_err(|e| e.to_string())?;
+    if args.switch("help") || args.positional.is_empty() {
+        print!("{}", commands::USAGE);
+        return Ok(());
+    }
+    match args.positional[0].as_str() {
+        "align" => commands::align(&args),
+        "datagen" => commands::datagen(&args),
+        "simulate" => commands::simulate(&args),
+        "matrix" => commands::matrix(&args),
+        "info" => commands::info(),
+        other => Err(format!("unknown command {other:?}; try --help")),
+    }
+}

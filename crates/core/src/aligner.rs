@@ -1,0 +1,303 @@
+//! The high-level SMX aligner API: pick a configuration, an algorithm,
+//! and an engine; get functional results plus simulated performance.
+
+use smx_align_core::{AlignError, AlignmentConfig, ScoringScheme, Sequence};
+use smx_algos::{adaptive, banded, full, hirschberg, metrics, timing, window, xdrop};
+use smx_algos::{AlgoOutcome, BatchWork, EngineKind, TimingReport};
+use smx_datagen::SeqPair;
+
+/// The alignment algorithm to run (paper §2.3, §9).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Algorithm {
+    /// Full DP-matrix.
+    Full,
+    /// Banded heuristic with a half-band width.
+    Banded {
+        /// Half-band width (diagonals each side of the scaled diagonal).
+        band: usize,
+    },
+    /// Adaptive banded (Suzuki-Kasahara style): a fixed-width band over
+    /// antidiagonals that re-centers itself to follow path drift.
+    AdaptiveBanded {
+        /// Band width in cells per antidiagonal.
+        width: usize,
+    },
+    /// Banded with X-drop termination.
+    Xdrop {
+        /// Half-band width.
+        band: usize,
+        /// Drop threshold as a fraction of the perfect score (Fig. 14: 0.08).
+        fraction: f64,
+    },
+    /// Hirschberg's linear-memory algorithm.
+    Hirschberg,
+    /// GACT-style window heuristic.
+    Window {
+        /// Window size.
+        w: usize,
+        /// Window overlap.
+        o: usize,
+    },
+}
+
+impl Algorithm {
+    /// Short name for reports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::Full => "full",
+            Algorithm::Banded { .. } => "banded",
+            Algorithm::AdaptiveBanded { .. } => "adaptive-banded",
+            Algorithm::Xdrop { .. } => "xdrop",
+            Algorithm::Hirschberg => "hirschberg",
+            Algorithm::Window { .. } => "window",
+        }
+    }
+}
+
+/// Result for one pair: the functional outcome plus simulated timing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PairReport {
+    /// Functional outcome (score, optional alignment, work profile).
+    pub outcome: AlgoOutcome,
+    /// Simulated timing on the selected engine.
+    pub timing: TimingReport,
+}
+
+/// Result for a batch of pairs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchReport {
+    /// Per-pair outcomes.
+    pub outcomes: Vec<AlgoOutcome>,
+    /// The aggregated work profile.
+    pub work: BatchWork,
+    /// Simulated timing of the whole batch.
+    pub timing: TimingReport,
+}
+
+impl BatchReport {
+    /// Throughput in alignments per second at 1 GHz.
+    #[must_use]
+    pub fn alignments_per_second(&self) -> f64 {
+        self.outcomes.len() as f64 / (self.timing.cycles / 1e9)
+    }
+
+    /// Effective GCUPS over the cells the algorithm computed.
+    #[must_use]
+    pub fn gcups(&self) -> f64 {
+        self.timing.gcups(self.work.cells)
+    }
+
+    /// Recall against a list of known optimal scores.
+    #[must_use]
+    pub fn recall(&self, optimal: &[i32]) -> f64 {
+        metrics::recall(&self.outcomes, optimal)
+    }
+}
+
+/// Builder-style aligner façade.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SmxAligner {
+    config: AlignmentConfig,
+    scheme: ScoringScheme,
+    algorithm: Algorithm,
+    engine: EngineKind,
+    workers: usize,
+    score_only: bool,
+}
+
+impl SmxAligner {
+    /// An aligner for `config` with the paper's defaults: full alignment
+    /// on the heterogeneous SMX engine with 4 workers.
+    #[must_use]
+    pub fn new(config: AlignmentConfig) -> SmxAligner {
+        SmxAligner {
+            config,
+            scheme: config.scoring(),
+            algorithm: Algorithm::Full,
+            engine: EngineKind::Smx,
+            workers: 4,
+            score_only: false,
+        }
+    }
+
+    /// Selects the algorithm.
+    pub fn algorithm(&mut self, algorithm: Algorithm) -> &mut SmxAligner {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Selects the engine (architecture) to estimate timing for.
+    pub fn engine(&mut self, engine: EngineKind) -> &mut SmxAligner {
+        self.engine = engine;
+        self
+    }
+
+    /// Sets the SMX-worker count used by coprocessor engines.
+    pub fn workers(&mut self, workers: usize) -> &mut SmxAligner {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Requests score-only execution (no traceback).
+    pub fn score_only(&mut self, yes: bool) -> &mut SmxAligner {
+        self.score_only = yes;
+        self
+    }
+
+    /// Overrides the scoring scheme (defaults to the configuration's).
+    pub fn scheme(&mut self, scheme: ScoringScheme) -> &mut SmxAligner {
+        self.scheme = scheme;
+        self
+    }
+
+    /// Runs one pair.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AlignError::AlphabetMismatch`] if the sequences do not
+    /// match the configuration and [`AlignError::EmptySequence`] for
+    /// empty inputs.
+    pub fn run_pair(&self, query: &Sequence, reference: &Sequence) -> Result<PairReport, AlignError> {
+        let outcome = self.run_functional(query, reference)?;
+        let work =
+            BatchWork::from_outcomes(self.config, self.score_only, std::slice::from_ref(&outcome));
+        let timing = timing::estimate(self.engine, &work, self.workers);
+        Ok(PairReport { outcome, timing })
+    }
+
+    /// Runs a batch of pairs, aggregating the work for batch-level timing
+    /// (coprocessor workers overlap across pairs, Fig. 8b).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SmxAligner::run_pair`], on the first failing
+    /// pair.
+    pub fn run_batch(&self, pairs: &[SeqPair]) -> Result<BatchReport, AlignError> {
+        let outcomes = pairs
+            .iter()
+            .map(|p| self.run_functional(&p.query, &p.reference))
+            .collect::<Result<Vec<AlgoOutcome>, AlignError>>()?;
+        let work = BatchWork::from_outcomes(self.config, self.score_only, &outcomes);
+        let timing = timing::estimate(self.engine, &work, self.workers);
+        Ok(BatchReport { outcomes, work, timing })
+    }
+
+    fn run_functional(&self, query: &Sequence, reference: &Sequence) -> Result<AlgoOutcome, AlignError> {
+        if query.alphabet() != self.config.alphabet()
+            || reference.alphabet() != self.config.alphabet()
+        {
+            return Err(AlignError::AlphabetMismatch);
+        }
+        if query.is_empty() || reference.is_empty() {
+            return Err(AlignError::EmptySequence);
+        }
+        let (q, r) = (query.codes(), reference.codes());
+        let want_alignment = !self.score_only;
+        Ok(match self.algorithm {
+            Algorithm::Full => full::full_align(q, r, &self.scheme, want_alignment),
+            Algorithm::Banded { band } => {
+                banded::banded_align(q, r, &self.scheme, band, None, want_alignment)
+            }
+            Algorithm::AdaptiveBanded { width } => {
+                adaptive::adaptive_banded_align(q, r, &self.scheme, width, want_alignment)
+            }
+            Algorithm::Xdrop { band, fraction } => {
+                xdrop::xdrop_align_relative(q, r, &self.scheme, band, fraction, want_alignment)
+            }
+            Algorithm::Hirschberg => hirschberg::hirschberg_align(q, r, &self.scheme),
+            Algorithm::Window { w, o } => {
+                window::window_align(q, r, &self.scheme, w, o, want_alignment)
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smx_align_core::{dp, Alphabet};
+    use smx_datagen::{Dataset, ErrorProfile};
+
+    fn pair() -> (Sequence, Sequence) {
+        let q = Sequence::from_text(Alphabet::Dna2, "GATTACAGATTACAGATTACA").unwrap();
+        let r = Sequence::from_text(Alphabet::Dna2, "GATTACACATTACAGATTGCA").unwrap();
+        (q, r)
+    }
+
+    #[test]
+    fn full_pair_report() {
+        let (q, r) = pair();
+        let rep = SmxAligner::new(AlignmentConfig::DnaEdit).run_pair(&q, &r).unwrap();
+        let golden = dp::score_only(q.codes(), r.codes(), &ScoringScheme::edit());
+        assert_eq!(rep.outcome.score, Some(golden));
+        assert!(rep.timing.cycles > 0.0);
+    }
+
+    #[test]
+    fn all_algorithms_run() {
+        let (q, r) = pair();
+        for algo in [
+            Algorithm::Full,
+            Algorithm::Banded { band: 8 },
+            Algorithm::AdaptiveBanded { width: 16 },
+            Algorithm::Xdrop { band: 8, fraction: 0.5 },
+            Algorithm::Hirschberg,
+            Algorithm::Window { w: 16, o: 4 },
+        ] {
+            let rep = SmxAligner::new(AlignmentConfig::DnaEdit)
+                .algorithm(algo)
+                .run_pair(&q, &r)
+                .unwrap();
+            assert!(rep.outcome.score.is_some(), "{}", algo.name());
+        }
+    }
+
+    #[test]
+    fn batch_report_metrics() {
+        let ds = Dataset::synthetic(AlignmentConfig::DnaGap, 256, 4, ErrorProfile::moderate(), 9);
+        let rep = SmxAligner::new(AlignmentConfig::DnaGap)
+            .algorithm(Algorithm::Hirschberg)
+            .run_batch(&ds.pairs)
+            .unwrap();
+        assert_eq!(rep.outcomes.len(), 4);
+        assert!(rep.gcups() > 0.0);
+        assert!(rep.alignments_per_second() > 0.0);
+        let optimal: Vec<i32> = ds
+            .pairs
+            .iter()
+            .map(|p| dp::score_only(p.query.codes(), p.reference.codes(), &ds.config.scoring()))
+            .collect();
+        assert_eq!(rep.recall(&optimal), 1.0);
+    }
+
+    #[test]
+    fn dropped_outcomes_lower_recall() {
+        // X-drop with a tiny threshold on dissimilar pairs: outcomes drop
+        // and recall counts them as misses.
+        let q = Sequence::from_text(Alphabet::Dna2, &"ACGT".repeat(50)).unwrap();
+        let r = Sequence::from_text(Alphabet::Dna2, &"TTCA".repeat(50)).unwrap();
+        let pair = SeqPair { query: q, reference: r };
+        let rep = SmxAligner::new(AlignmentConfig::DnaEdit)
+            .algorithm(Algorithm::Xdrop { band: 16, fraction: 0.01 })
+            .run_batch(std::slice::from_ref(&pair))
+            .unwrap();
+        assert!(rep.outcomes[0].dropped);
+        assert_eq!(rep.recall(&[0]), 0.0);
+    }
+
+    #[test]
+    fn engine_choice_changes_timing() {
+        let (q, r) = pair();
+        let mut a = SmxAligner::new(AlignmentConfig::DnaEdit);
+        let simd = a.engine(EngineKind::Simd).run_pair(&q, &r).unwrap().timing.cycles;
+        let smx = a.engine(EngineKind::Smx).run_pair(&q, &r).unwrap().timing.cycles;
+        assert_ne!(simd, smx);
+    }
+
+    #[test]
+    fn wrong_alphabet_rejected() {
+        let q = Sequence::from_text(Alphabet::Protein, "WYV").unwrap();
+        assert!(SmxAligner::new(AlignmentConfig::DnaEdit).run_pair(&q, &q).is_err());
+    }
+}

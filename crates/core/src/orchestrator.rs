@@ -1,0 +1,303 @@
+//! The heterogeneous orchestration of paper §6 (Fig. 8a), functionally:
+//! the core packs sequences with `smx.pack`, offloads the DP-block to the
+//! SMX-2D coprocessor (which keeps only tile borders), and reconstructs
+//! the alignment by tracing back with selective tile recomputation —
+//! the role SMX-1D plays on the core.
+
+use smx_align_core::{AlignError, Alignment, AlignmentConfig, ScoringScheme, Sequence};
+use smx_coproc::block::BlockMode;
+use smx_coproc::traceback::RecomputeStats;
+use smx_coproc::SmxCoprocessor;
+use smx_isa::{kernels, InsnCounts, Smx1dUnit};
+
+/// A functional SMX device: one SMX-1D-extended core plus one SMX-2D
+/// coprocessor, sharing a configuration.
+#[derive(Debug, Clone)]
+pub struct SmxDevice {
+    config: AlignmentConfig,
+    scheme: ScoringScheme,
+    unit: Smx1dUnit,
+    coproc: SmxCoprocessor,
+    recompute: RecomputeStats,
+}
+
+impl SmxDevice {
+    /// Creates a device for `config` with `workers` SMX-workers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration errors from the ISA unit and coprocessor.
+    pub fn new(config: AlignmentConfig, workers: usize) -> Result<SmxDevice, AlignError> {
+        let scheme = config.scoring();
+        let ew = config.element_width();
+        Ok(SmxDevice {
+            config,
+            scheme: scheme.clone(),
+            unit: Smx1dUnit::configure(ew, &scheme)?,
+            coproc: SmxCoprocessor::new(ew, &scheme, workers)?,
+            recompute: RecomputeStats::default(),
+        })
+    }
+
+    /// The device configuration.
+    #[must_use]
+    pub fn config(&self) -> AlignmentConfig {
+        self.config
+    }
+
+    /// Dynamic SMX-1D instruction counts accumulated so far.
+    #[must_use]
+    pub fn insn_counts(&self) -> InsnCounts {
+        self.unit.counts()
+    }
+
+    /// Tile-recomputation statistics accumulated by tracebacks.
+    #[must_use]
+    pub fn recompute_stats(&self) -> RecomputeStats {
+        self.recompute
+    }
+
+    fn check(&self, q: &Sequence, r: &Sequence) -> Result<(), AlignError> {
+        if q.alphabet() != self.config.alphabet() || r.alphabet() != self.config.alphabet() {
+            return Err(AlignError::AlphabetMismatch);
+        }
+        if q.is_empty() || r.is_empty() {
+            return Err(AlignError::EmptySequence);
+        }
+        Ok(())
+    }
+
+    /// Packs a sequence through `smx.pack` (eight ASCII characters per
+    /// instruction) and cross-checks the codes.
+    fn pack(&mut self, s: &Sequence) -> Result<Vec<u8>, AlignError> {
+        let packed = kernels::pack_ascii_sequence(&mut self.unit, s.to_text().as_bytes())?;
+        let codes = packed.unpack();
+        if codes != s.codes() {
+            return Err(AlignError::Internal("smx.pack produced diverging codes".into()));
+        }
+        Ok(codes)
+    }
+
+    /// Full heterogeneous alignment: pack → offload → traceback with tile
+    /// recomputation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AlignError::AlphabetMismatch`] / [`AlignError::EmptySequence`]
+    /// on invalid inputs; internal errors indicate a model bug.
+    pub fn align(&mut self, query: &Sequence, reference: &Sequence) -> Result<Alignment, AlignError> {
+        self.check(query, reference)?;
+        let q = self.pack(query)?;
+        let r = self.pack(reference)?;
+        let out = self.coproc.compute_block(&q, &r, None, BlockMode::Traceback)?;
+        let (cigar, stats) = self.coproc.traceback(&q, &r, &out)?;
+        self.recompute.tiles += stats.tiles;
+        self.recompute.elements += stats.elements;
+        self.recompute.steps += stats.steps;
+        // Charge the recomputation to the SMX-1D unit, which performs it
+        // on the core (2 instructions per recomputed column).
+        let vl = self.config.element_width().vl() as u64;
+        self.unit.charge(0, 0, stats.steps * 4);
+        let cols = stats.elements / vl.max(1);
+        self.unit.charge(cols / 4, 0, cols * 2);
+        let alignment = Alignment { score: out.score, cigar };
+        alignment.verify(&q, &r, &self.scheme)?;
+        Ok(alignment)
+    }
+
+    /// Score-only heterogeneous alignment: pack → offload → Δ-summation.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SmxDevice::align`].
+    pub fn score(&mut self, query: &Sequence, reference: &Sequence) -> Result<i32, AlignError> {
+        self.check(query, reference)?;
+        let q = self.pack(query)?;
+        let r = self.pack(reference)?;
+        let out = self.coproc.compute_block(&q, &r, None, BlockMode::ScoreOnly)?;
+        Ok(out.score)
+    }
+}
+
+/// The gap-affine heterogeneous device ("SMX-A"): the extension
+/// counterpart of [`SmxDevice`], wiring the affine engine and its
+/// tile-recompute traceback behind the same pack → offload → traceback
+/// flow.
+#[derive(Debug, Clone)]
+pub struct AffineDevice {
+    scheme: smx_align_core::dp_affine::AffineScheme,
+    engine: smx_coproc::affine::AffineEngine,
+    alphabet: smx_align_core::Alphabet,
+}
+
+impl AffineDevice {
+    /// Creates an affine device for a DNA alphabet and scheme.
+    ///
+    /// # Errors
+    ///
+    /// Propagates datapath-width validation errors.
+    pub fn new(
+        alphabet: smx_align_core::Alphabet,
+        scheme: smx_align_core::dp_affine::AffineScheme,
+    ) -> Result<AffineDevice, AlignError> {
+        let pen = smx_diffenc::affine::AffinePenalties::from_scheme(&scheme)?;
+        let ew = match alphabet {
+            smx_align_core::Alphabet::Dna2 => smx_align_core::ElementWidth::W4,
+            smx_align_core::Alphabet::Dna4 => smx_align_core::ElementWidth::W4,
+            smx_align_core::Alphabet::Protein => smx_align_core::ElementWidth::W6,
+            smx_align_core::Alphabet::Ascii => smx_align_core::ElementWidth::W8,
+        };
+        Ok(AffineDevice {
+            scheme,
+            engine: smx_coproc::affine::AffineEngine::new(ew, pen)?,
+            alphabet,
+        })
+    }
+
+    /// Score-only affine alignment on the tiled engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AlignError::AlphabetMismatch`] / [`AlignError::EmptySequence`]
+    /// on invalid inputs.
+    pub fn score(&self, query: &Sequence, reference: &Sequence) -> Result<i32, AlignError> {
+        self.check(query, reference)?;
+        self.engine.score_block(query.codes(), reference.codes())
+    }
+
+    /// Full affine alignment: border-stored block + layered traceback.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`AffineDevice::score`].
+    pub fn align(&self, query: &Sequence, reference: &Sequence) -> Result<Alignment, AlignError> {
+        self.check(query, reference)?;
+        let res = self.engine.compute_block_traceback(query.codes(), reference.codes())?;
+        let cigar = self.engine.traceback(query.codes(), reference.codes(), &res)?;
+        let rescored = smx_align_core::dp_affine::affine_rescore(
+            &cigar,
+            query.codes(),
+            reference.codes(),
+            &self.scheme,
+        )?;
+        if rescored != res.score {
+            return Err(AlignError::Internal(format!(
+                "affine cigar re-scores to {rescored}, block claims {}",
+                res.score
+            )));
+        }
+        Ok(Alignment { score: res.score, cigar })
+    }
+
+    fn check(&self, q: &Sequence, r: &Sequence) -> Result<(), AlignError> {
+        if q.alphabet() != self.alphabet || r.alphabet() != self.alphabet {
+            return Err(AlignError::AlphabetMismatch);
+        }
+        if q.is_empty() || r.is_empty() {
+            return Err(AlignError::EmptySequence);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smx_align_core::dp;
+
+    fn seqs(config: AlignmentConfig, len: usize) -> (Sequence, Sequence) {
+        let card = config.alphabet().cardinality() as u32;
+        // ASCII codes below 32 are valid bytes; keep them printable for
+        // the pack path by staying within the alphabet anyway.
+        let take = |stride: u32, off: u32| -> Sequence {
+            let codes: Vec<u8> = (0..len as u32)
+                .map(|i| {
+                    let c = (i * stride + off + (i >> 4)) % card;
+                    if config == AlignmentConfig::Ascii {
+                        (32 + c % 95) as u8
+                    } else {
+                        c as u8
+                    }
+                })
+                .collect();
+            Sequence::from_codes(config.alphabet(), codes).unwrap()
+        };
+        (take(7, 1), take(5, 0))
+    }
+
+    #[test]
+    fn heterogeneous_align_matches_golden() {
+        for config in AlignmentConfig::ALL {
+            let (q, r) = seqs(config, 90);
+            let mut dev = SmxDevice::new(config, 4).unwrap();
+            let aln = dev.align(&q, &r).unwrap();
+            let golden = dp::align_codes(q.codes(), r.codes(), &config.scoring());
+            assert_eq!(aln.score, golden.score, "{config}");
+        }
+    }
+
+    #[test]
+    fn score_matches_align() {
+        let config = AlignmentConfig::DnaGap;
+        let (q, r) = seqs(config, 70);
+        let mut dev = SmxDevice::new(config, 2).unwrap();
+        let s = dev.score(&q, &r).unwrap();
+        let a = dev.align(&q, &r).unwrap();
+        assert_eq!(s, a.score);
+    }
+
+    #[test]
+    fn counts_accumulate_across_calls() {
+        let config = AlignmentConfig::DnaEdit;
+        let (q, r) = seqs(config, 64);
+        let mut dev = SmxDevice::new(config, 1).unwrap();
+        let _ = dev.align(&q, &r).unwrap();
+        let c1 = dev.insn_counts().smx_pack;
+        let _ = dev.align(&q, &r).unwrap();
+        assert!(dev.insn_counts().smx_pack > c1);
+        assert!(dev.recompute_stats().tiles >= 2);
+    }
+
+    #[test]
+    fn affine_device_matches_gotoh() {
+        use smx_align_core::dp_affine::{affine_score, AffineScheme};
+        let scheme = AffineScheme::minimap2();
+        let dev = AffineDevice::new(smx_align_core::Alphabet::Dna2, scheme).unwrap();
+        let r = Sequence::from_codes(
+            smx_align_core::Alphabet::Dna2,
+            (0..90u32).map(|i| ((i * 7 + (i >> 4)) % 4) as u8).collect(),
+        )
+        .unwrap();
+        let mut q_codes = r.codes().to_vec();
+        q_codes.drain(30..55);
+        let q = Sequence::from_codes(smx_align_core::Alphabet::Dna2, q_codes).unwrap();
+        let golden = affine_score(q.codes(), r.codes(), &scheme);
+        assert_eq!(dev.score(&q, &r).unwrap(), golden);
+        let aln = dev.align(&q, &r).unwrap();
+        assert_eq!(aln.score, golden);
+        // One consolidated 25-base deletion.
+        assert!(aln
+            .cigar
+            .runs()
+            .iter()
+            .any(|&(op, n)| op == smx_align_core::Op::Delete && n == 25));
+    }
+
+    #[test]
+    fn affine_device_rejects_mismatched_alphabet() {
+        let dev = AffineDevice::new(
+            smx_align_core::Alphabet::Dna2,
+            smx_align_core::dp_affine::AffineScheme::minimap2(),
+        )
+        .unwrap();
+        let p = Sequence::from_text(smx_align_core::Alphabet::Protein, "WYV").unwrap();
+        assert!(matches!(dev.score(&p, &p), Err(AlignError::AlphabetMismatch)));
+    }
+
+    #[test]
+    fn wrong_alphabet_rejected() {
+        let mut dev = SmxDevice::new(AlignmentConfig::DnaEdit, 1).unwrap();
+        let q = Sequence::from_text(smx_align_core::Alphabet::Protein, "WYV").unwrap();
+        assert!(matches!(dev.align(&q, &q), Err(AlignError::AlphabetMismatch)));
+    }
+}

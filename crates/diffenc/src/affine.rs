@@ -1,0 +1,342 @@
+//! Gap-affine differential encoding — the "SMX-A" extension.
+//!
+//! The paper's SMX-PE implements the linear-gap difference recurrences;
+//! practical read aligners (Minimap2/KSW2) use gap-affine penalties. The
+//! Suzuki–Kasahara difference formulation (the paper's reference [99],
+//! the kernel inside KSW2) extends to affine gaps with *two* values per
+//! direction, which keeps the systolic structure of the SMX engine: each
+//! cell receives `(u, x)` from the left and `(v, y)` from above, and
+//! produces `(u, x)` to the right and `(v, y)` below.
+//!
+//! With `H` the score matrix, `E`/`F` the gap matrices, `q` the gap-open
+//! and `e` the gap-extend penalty (both positive):
+//!
+//! ```text
+//! u_ij = H_ij − H_{i−1,j}        v_ij = H_ij − H_{i,j−1}
+//! x_ij = E_{i,j+1} − H_ij        y_ij = F_{i+1,j} − H_ij
+//!
+//! z    = max( s(a,b), x_left + u_left, y_up + v_up )
+//! u'   = z − v_up                v'   = z − u_left
+//! x'   = max(x_left + u_left − z, −q) − e
+//! y'   = max(y_up   + v_up   − z, −q) − e
+//! ```
+//!
+//! All four values are bounded (|u|,|v| ≤ s_max + q + e; x,y ∈
+//! [−q−e+e, e] shifted), so an affine SMX-PE needs only a slightly wider
+//! datapath than the linear one — the area trade the `ext_affine_engine`
+//! harness quantifies.
+
+use smx_align_core::dp_affine::AffineScheme;
+use smx_align_core::AlignError;
+
+/// The `(u, x)` pair flowing rightward between affine PEs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RightFlow {
+    /// Vertical score difference `u`.
+    pub u: i32,
+    /// Deletion-gap difference `x`.
+    pub x: i32,
+}
+
+/// The `(v, y)` pair flowing downward between affine PEs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DownFlow {
+    /// Horizontal score difference `v`.
+    pub v: i32,
+    /// Insertion-gap difference `y`.
+    pub y: i32,
+}
+
+/// Penalties in the positive-cost form the recurrences use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AffinePenalties {
+    /// Match score (≥ 0).
+    pub match_score: i32,
+    /// Mismatch score (≤ 0).
+    pub mismatch: i32,
+    /// Gap-open penalty `q` (> 0 cost).
+    pub q: i32,
+    /// Gap-extend penalty `e` (> 0 cost).
+    pub e: i32,
+}
+
+impl AffinePenalties {
+    /// Converts from the maximizing [`AffineScheme`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AlignError::InvalidScoring`] if the extend penalty is
+    /// zero (the recurrences need `e > 0`).
+    pub fn from_scheme(scheme: &AffineScheme) -> Result<AffinePenalties, AlignError> {
+        if scheme.gap_extend >= 0 {
+            return Err(AlignError::InvalidScoring("affine extend must be negative".into()));
+        }
+        Ok(AffinePenalties {
+            match_score: scheme.match_score,
+            mismatch: scheme.mismatch,
+            q: -scheme.gap_open,
+            e: -scheme.gap_extend,
+        })
+    }
+
+    fn s(&self, a: u8, b: u8) -> i32 {
+        if a == b {
+            self.match_score
+        } else {
+            self.mismatch
+        }
+    }
+
+    /// Bound on `|u|, |v|` (the datapath-width driver of an affine PE).
+    #[must_use]
+    pub fn uv_bound(&self) -> i32 {
+        self.match_score.max(-self.mismatch) + self.q + self.e
+    }
+
+    /// Bits per `u`/`v` value in a signed hardware representation.
+    #[must_use]
+    pub fn uv_bits(&self) -> u32 {
+        32 - (2 * self.uv_bound() + 1).leading_zeros()
+    }
+}
+
+/// One affine PE step: Fig. 5's datapath generalized to two values per
+/// direction.
+#[must_use]
+pub fn affine_pe(
+    pen: &AffinePenalties,
+    a: u8,
+    b: u8,
+    left: RightFlow,
+    up: DownFlow,
+) -> (RightFlow, DownFlow) {
+    let s = pen.s(a, b);
+    let from_e = left.x + left.u;
+    let from_f = up.y + up.v;
+    let z = s.max(from_e).max(from_f);
+    let u_out = z - up.v;
+    let v_out = z - left.u;
+    let x_out = (from_e - z).max(-pen.q) - pen.e;
+    let y_out = (from_f - z).max(-pen.q) - pen.e;
+    (RightFlow { u: u_out, x: x_out }, DownFlow { v: v_out, y: y_out })
+}
+
+/// Fresh (origin-anchored, global-alignment) borders for an `m × n`
+/// affine block: the `(v, y)` inputs of the top row and the `(u, x)`
+/// inputs of the left column.
+#[must_use]
+pub fn fresh_borders(pen: &AffinePenalties, m: usize, n: usize) -> (Vec<DownFlow>, Vec<RightFlow>) {
+    let top: Vec<DownFlow> = (0..n)
+        .map(|j| {
+            let v = if j == 0 { -(pen.q + pen.e) } else { -pen.e };
+            DownFlow { v, y: -(pen.q + pen.e) }
+        })
+        .collect();
+    let left: Vec<RightFlow> = (0..m)
+        .map(|i| {
+            let u = if i == 0 { -(pen.q + pen.e) } else { -pen.e };
+            RightFlow { u, x: -(pen.q + pen.e) }
+        })
+        .collect();
+    (top, left)
+}
+
+/// A fully computed affine block's output borders.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AffineBlockOut {
+    /// `(u, x)` leaving each row on the right.
+    pub right: Vec<RightFlow>,
+    /// `(v, y)` leaving each column at the bottom.
+    pub bottom: Vec<DownFlow>,
+}
+
+/// Computes an affine DP block from input borders (the functional model
+/// of an affine SMX-engine sweep).
+///
+/// # Errors
+///
+/// Returns [`AlignError::Internal`] on border-length mismatches and
+/// [`AlignError::EmptySequence`] for empty inputs.
+pub fn affine_block(
+    pen: &AffinePenalties,
+    query: &[u8],
+    reference: &[u8],
+    top: &[DownFlow],
+    left: &[RightFlow],
+) -> Result<AffineBlockOut, AlignError> {
+    let (m, n) = (query.len(), reference.len());
+    if m == 0 || n == 0 {
+        return Err(AlignError::EmptySequence);
+    }
+    if top.len() != n || left.len() != m {
+        return Err(AlignError::Internal(format!(
+            "affine borders ({}, {}) do not match block ({m}, {n})",
+            top.len(),
+            left.len()
+        )));
+    }
+    let mut down = top.to_vec();
+    let mut right = Vec::with_capacity(m);
+    for (i, &qc) in query.iter().enumerate() {
+        let mut flow = left[i];
+        for (j, &rc) in reference.iter().enumerate() {
+            let (r, d) = affine_pe(pen, qc, rc, flow, down[j]);
+            flow = r;
+            down[j] = d;
+        }
+        right.push(flow);
+    }
+    Ok(AffineBlockOut { right, bottom: down })
+}
+
+/// One column step of the affine chain — the SMX-A analogue of the
+/// SMX-1D column instruction. Lane `i` of the column consumes the left
+/// `(u, x)` pair from the previous column and the `(v, y)` pair chained
+/// from the lane above (`top` for lane 0).
+///
+/// Returns the new left-flow column (for the next column) and the bottom
+/// `(v, y)` pair (for the next row strip).
+///
+/// # Panics
+///
+/// Panics if `q_col` and `left` lengths differ.
+#[must_use]
+pub fn affine_column_step(
+    pen: &AffinePenalties,
+    q_col: &[u8],
+    r_char: u8,
+    left: &[RightFlow],
+    top: DownFlow,
+) -> (Vec<RightFlow>, DownFlow) {
+    assert_eq!(q_col.len(), left.len(), "query column and left flows must match");
+    let mut out = Vec::with_capacity(left.len());
+    let mut down = top;
+    for (&qc, &l) in q_col.iter().zip(left) {
+        let (r, d) = affine_pe(pen, qc, r_char, l, down);
+        out.push(r);
+        down = d;
+    }
+    (out, down)
+}
+
+/// Reconstructs the block's bottom-right score from the borders:
+/// `H(m,n) = Σ_j v_top(j) + Σ_i u_right(i)` relative to the block anchor.
+#[must_use]
+pub fn affine_block_score(top: &[DownFlow], out: &AffineBlockOut) -> i32 {
+    let top_sum: i32 = top.iter().map(|d| d.v).sum();
+    let right_sum: i32 = out.right.iter().map(|r| r.u).sum();
+    top_sum + right_sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use smx_align_core::dp_affine;
+
+    fn pen() -> AffinePenalties {
+        AffinePenalties::from_scheme(&AffineScheme::minimap2()).unwrap()
+    }
+
+    fn golden(q: &[u8], r: &[u8]) -> i32 {
+        dp_affine::affine_score(q, r, &AffineScheme::minimap2())
+    }
+
+    fn block_score(q: &[u8], r: &[u8]) -> i32 {
+        let p = pen();
+        let (top, left) = fresh_borders(&p, q.len(), r.len());
+        let out = affine_block(&p, q, r, &top, &left).unwrap();
+        affine_block_score(&top, &out)
+    }
+
+    #[test]
+    fn identical_sequences() {
+        let q = [0u8, 1, 2, 3, 0, 1];
+        assert_eq!(block_score(&q, &q), golden(&q, &q));
+    }
+
+    #[test]
+    fn single_gap() {
+        let r = [0u8, 1, 2, 3, 0, 1, 2, 3];
+        let q = [0u8, 1, 2, 3, 2, 3];
+        assert_eq!(block_score(&q, &r), golden(&q, &r));
+    }
+
+    #[test]
+    fn chained_blocks_equal_monolithic() {
+        let p = pen();
+        let q = [0u8, 1, 2, 3, 0, 1];
+        let r = [3u8, 1, 2, 0, 0, 1, 2];
+        let (top, left) = fresh_borders(&p, 6, 7);
+        let whole = affine_block(&p, &q, &r, &top, &left).unwrap();
+        // Split the reference: left block then right block fed by it.
+        let l = affine_block(&p, &q, &r[..3], &top[..3], &left).unwrap();
+        let rgt = affine_block(&p, &q, &r[3..], &top[3..], &l.right).unwrap();
+        assert_eq!(rgt.right, whole.right);
+        assert_eq!(rgt.bottom, whole.bottom[3..].to_vec());
+    }
+
+    #[test]
+    fn column_steps_compose_to_block() {
+        // Sweeping columns with affine_column_step must equal the
+        // row-major affine_block.
+        let p = pen();
+        let q = [0u8, 1, 2, 3, 0];
+        let r = [3u8, 1, 2, 0, 0, 1];
+        let (top, left) = fresh_borders(&p, q.len(), r.len());
+        let blk = affine_block(&p, &q, &r, &top, &left).unwrap();
+        let mut left_col = left.clone();
+        let mut bottoms = Vec::new();
+        for (j, &rc) in r.iter().enumerate() {
+            let (next, bottom) = affine_column_step(&p, &q, rc, &left_col, top[j]);
+            left_col = next;
+            bottoms.push(bottom);
+        }
+        assert_eq!(left_col, blk.right);
+        assert_eq!(bottoms, blk.bottom);
+    }
+
+    #[test]
+    fn uv_bound_fits_8_bits_for_minimap2() {
+        let p = pen();
+        assert_eq!(p.uv_bound(), 4 + 4 + 2);
+        assert!(p.uv_bits() <= 8);
+    }
+
+    #[test]
+    fn wrong_borders_rejected() {
+        let p = pen();
+        let (top, left) = fresh_borders(&p, 2, 2);
+        assert!(affine_block(&p, &[0, 1], &[0, 1, 2], &top, &left).is_err());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        #[test]
+        fn affine_blocks_match_gotoh(
+            q in proptest::collection::vec(0u8..4, 1..40),
+            r in proptest::collection::vec(0u8..4, 1..40),
+        ) {
+            prop_assert_eq!(block_score(&q, &r), golden(&q, &r));
+        }
+
+        #[test]
+        fn uv_values_stay_bounded(
+            q in proptest::collection::vec(0u8..4, 1..30),
+            r in proptest::collection::vec(0u8..4, 1..30),
+        ) {
+            let p = pen();
+            let (top, left) = fresh_borders(&p, q.len(), r.len());
+            let out = affine_block(&p, &q, &r, &top, &left).unwrap();
+            let bound = p.uv_bound();
+            for f in &out.right {
+                prop_assert!(f.u.abs() <= bound, "u {}", f.u);
+                prop_assert!(f.x <= -p.e && f.x >= -(p.q + p.e), "x {}", f.x);
+            }
+            for d in &out.bottom {
+                prop_assert!(d.v.abs() <= bound, "v {}", d.v);
+                prop_assert!(d.y <= -p.e && d.y >= -(p.q + p.e), "y {}", d.y);
+            }
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! Border bookkeeping: converting between absolute DP values and shifted
+//! deltas at block boundaries, and reconstructing scores from borders
+//! (paper §6: "the core then sums all Δh values along the first row and
+//! Δv along the last column to obtain the alignment score").
+
+use crate::delta::DeltaBlock;
+use smx_align_core::{AlignError, ScoringScheme};
+
+/// The input borders of a DP-block in shifted differential form.
+///
+/// `top_dh[j]` is the Δh′ of the cell directly above block column `j`;
+/// `left_dv[i]` is the Δv′ of the cell directly left of block row `i`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BlockBorders {
+    /// Shifted Δh′ inputs along the top (length = block columns).
+    pub top_dh: Vec<u8>,
+    /// Shifted Δv′ inputs along the left (length = block rows).
+    pub left_dv: Vec<u8>,
+}
+
+impl BlockBorders {
+    /// Fresh borders for a block anchored at the DP-matrix origin.
+    #[must_use]
+    pub fn fresh(rows: usize, cols: usize) -> BlockBorders {
+        BlockBorders { top_dh: vec![0; cols], left_dv: vec![0; rows] }
+    }
+
+    /// Borders assembled from neighbor outputs.
+    #[must_use]
+    pub fn from_neighbors(top_dh: Vec<u8>, left_dv: Vec<u8>) -> BlockBorders {
+        BlockBorders { top_dh, left_dv }
+    }
+
+    /// Block rows implied by the left border.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.left_dv.len()
+    }
+
+    /// Block columns implied by the top border.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.top_dh.len()
+    }
+
+    /// Bytes needed to store these borders at `ew_bits` per element —
+    /// the coprocessor's border-only footprint.
+    #[must_use]
+    pub fn storage_bits(&self, ew_bits: u8) -> usize {
+        (self.top_dh.len() + self.left_dv.len()) * ew_bits as usize
+    }
+}
+
+/// Converts a row of absolute DP values into shifted Δh′ deltas.
+///
+/// `row[j]` are absolute scores `M(i, j0+j)` for `j = 0..=n`; the result
+/// has `n` entries `Δh′ = M(i, j) − M(i, j−1) − D`.
+///
+/// # Errors
+///
+/// Returns [`AlignError::Internal`] if any delta falls outside `[0, θ]`
+/// (which would indicate the row did not come from a valid DP under this
+/// scheme).
+pub fn absolute_row_to_dh(row: &[i32], scheme: &ScoringScheme) -> Result<Vec<u8>, AlignError> {
+    deltas_from_absolute(row, scheme.gap_delete(), scheme.theta(), "Δh")
+}
+
+/// Converts a column of absolute DP values into shifted Δv′ deltas.
+pub fn absolute_col_to_dv(col: &[i32], scheme: &ScoringScheme) -> Result<Vec<u8>, AlignError> {
+    deltas_from_absolute(col, scheme.gap_insert(), scheme.theta(), "Δv")
+}
+
+fn deltas_from_absolute(
+    values: &[i32],
+    shift: i32,
+    theta: i32,
+    what: &str,
+) -> Result<Vec<u8>, AlignError> {
+    values
+        .windows(2)
+        .map(|w| {
+            let d = w[1] - w[0] - shift;
+            if (0..=theta).contains(&d) {
+                Ok(d as u8)
+            } else {
+                Err(AlignError::Internal(format!(
+                    "{what} delta {d} outside [0, {theta}]"
+                )))
+            }
+        })
+        .collect()
+}
+
+/// Reconstructs absolute values from shifted Δh′ deltas and a row anchor.
+#[must_use]
+pub fn dh_to_absolute_row(anchor: i32, dh: &[u8], scheme: &ScoringScheme) -> Vec<i32> {
+    accumulate(anchor, dh, scheme.gap_delete())
+}
+
+/// Reconstructs absolute values from shifted Δv′ deltas and a column anchor.
+#[must_use]
+pub fn dv_to_absolute_col(anchor: i32, dv: &[u8], scheme: &ScoringScheme) -> Vec<i32> {
+    accumulate(anchor, dv, scheme.gap_insert())
+}
+
+fn accumulate(anchor: i32, deltas: &[u8], shift: i32) -> Vec<i32> {
+    let mut out = Vec::with_capacity(deltas.len() + 1);
+    out.push(anchor);
+    let mut acc = anchor;
+    for &d in deltas {
+        acc += d as i32 + shift;
+        out.push(acc);
+    }
+    out
+}
+
+/// Computes the score at the bottom-right of a block from its anchor
+/// `M(i0, j0)`, its input top border, and its computed right column —
+/// exactly the Δ-summation the core performs for score-only use cases.
+#[must_use]
+pub fn block_score(
+    anchor: i32,
+    borders_in: &BlockBorders,
+    block: &DeltaBlock,
+    scheme: &ScoringScheme,
+) -> i32 {
+    let (gi, gd) = (scheme.gap_insert(), scheme.gap_delete());
+    let top: i32 = borders_in.top_dh.iter().map(|&d| d as i32 + gd).sum();
+    let right: i32 = block.right_dv().iter().map(|&d| d as i32 + gi).sum();
+    anchor + top + right
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smx_align_core::{dp, ElementWidth};
+
+    #[test]
+    fn row_roundtrip() {
+        let scheme = ScoringScheme::linear(2, -4, -4).unwrap();
+        let q = [0u8, 1, 2, 3];
+        let r = [0u8, 2, 1, 3, 3];
+        let golden = dp::full_matrix(&q, &r, &scheme);
+        let row: Vec<i32> = (0..=r.len()).map(|j| golden.get(2, j)).collect();
+        let dh = absolute_row_to_dh(&row, &scheme).unwrap();
+        assert_eq!(dh_to_absolute_row(row[0], &dh, &scheme), row);
+    }
+
+    #[test]
+    fn col_roundtrip() {
+        let scheme = ScoringScheme::edit();
+        let q = [0u8, 1, 2, 3, 1];
+        let r = [0u8, 2, 1];
+        let golden = dp::full_matrix(&q, &r, &scheme);
+        let col: Vec<i32> = (0..=q.len()).map(|i| golden.get(i, 2)).collect();
+        let dv = absolute_col_to_dv(&col, &scheme).unwrap();
+        assert_eq!(dv_to_absolute_col(col[0], &dv, &scheme), col);
+    }
+
+    #[test]
+    fn invalid_deltas_rejected() {
+        let scheme = ScoringScheme::edit(); // theta = 2, shift = -1
+        // A jump of +5 cannot come from an edit DP row.
+        assert!(absolute_row_to_dh(&[0, 5], &scheme).is_err());
+    }
+
+    #[test]
+    fn block_score_matches_golden() {
+        let scheme = ScoringScheme::linear(2, -4, -4).unwrap();
+        let q = [0u8, 1, 2, 3, 0, 1, 2];
+        let r = [0u8, 2, 1, 3, 3, 1];
+        let borders = BlockBorders::fresh(q.len(), r.len());
+        let blk = DeltaBlock::compute(
+            ElementWidth::W4,
+            &q,
+            &r,
+            &scheme,
+            &borders.top_dh,
+            &borders.left_dv,
+        )
+        .unwrap();
+        let expect = dp::score_only(&q, &r, &scheme);
+        assert_eq!(block_score(0, &borders, &blk, &scheme), expect);
+    }
+
+    #[test]
+    fn storage_bits_counts_borders_only() {
+        let b = BlockBorders::fresh(32, 32);
+        assert_eq!(b.storage_bits(2), 128);
+        assert_eq!(b.rows(), 32);
+        assert_eq!(b.cols(), 32);
+    }
+}

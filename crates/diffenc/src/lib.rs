@@ -1,0 +1,34 @@
+//! # smx-diffenc
+//!
+//! The SMX differential-encoding layer (paper §2.4 and §4.1): the Δv/Δh
+//! difference recurrences (Eq. 3–4), the shifted non-negative form
+//! Δv′/Δh′ with `S′ = S − I − D` (Eq. 5–6), a bit-exact model of the
+//! SMX Processing Element (four subtractors + two sign-controlled 3:1
+//! muxes, Fig. 5), and the EW-bit lane packing that lets 32/16/10/8
+//! DP-elements share one 64-bit word.
+//!
+//! Everything downstream — the SMX-1D ISA model and the SMX-2D coprocessor
+//! model — computes through this crate, and everything here is property
+//! tested against the golden absolute-value DP in `smx-align-core`.
+//!
+//! ## Example: one PE step equals the wide-integer reference
+//!
+//! ```
+//! use smx_align_core::{ElementWidth, ScoringScheme};
+//! use smx_diffenc::pe;
+//!
+//! let scheme = ScoringScheme::edit(); // theta = 2, fits EW = 2 bits
+//! let s = scheme.shifted_score(0, 0) as u8;
+//! // A fresh cell: boundary deltas are the shifted zeros.
+//! assert_eq!(pe::pe_exact(ElementWidth::W2, 0, 0, s), pe::pe_reference(0, 0, s));
+//! ```
+
+pub mod affine;
+pub mod boundary;
+pub mod delta;
+pub mod pack;
+pub mod pe;
+
+pub use boundary::BlockBorders;
+pub use delta::DeltaBlock;
+pub use pack::{PackedSeq, PackedVec};

@@ -1,0 +1,259 @@
+//! Adaptive banded DP (Suzuki–Kasahara style, paper reference [98]): a
+//! fixed-width band over *antidiagonals* that re-centers itself each step
+//! by comparing the scores at its two ends, following alignment paths
+//! that drift away from the main diagonal (long indels) without paying
+//! for a wide static band.
+//!
+//! On antidiagonal `a = i + j` the band covers query rows
+//! `i ∈ [off_a, off_a + W)`. Advancing to `a + 1` the band either moves
+//! *down* (`off` grows: the path is drifting toward insertions) or
+//! *right* (`off` stays: toward deletions), decided by which band end
+//! currently scores higher — the classic adaptive-band rule.
+
+use crate::metrics::AlgoOutcome;
+use smx_align_core::{Cigar, Op, ScoringScheme};
+
+const NEG: i32 = i32::MIN / 4;
+
+/// Runs the adaptive banded algorithm with a band of `width` cells per
+/// antidiagonal.
+///
+/// The final cell `(m, n)` must fall inside the last band for a score to
+/// be produced; otherwise the outcome is `dropped`.
+#[must_use]
+#[allow(clippy::needless_range_loop)] // band index mirrors the offset math
+pub fn adaptive_banded_align(
+    query: &[u8],
+    reference: &[u8],
+    scheme: &ScoringScheme,
+    width: usize,
+    want_alignment: bool,
+) -> AlgoOutcome {
+    let (m, n) = (query.len(), reference.len());
+    let mut out = AlgoOutcome::new();
+    out.pack_chars = (m + n) as u64;
+    if m == 0 || n == 0 || width == 0 {
+        out.dropped = true;
+        return out;
+    }
+    let (gi, gd) = (scheme.gap_insert(), scheme.gap_delete());
+    let diags = m + n + 1;
+    // offsets[a] = first query row covered on antidiagonal a.
+    let mut offsets: Vec<usize> = Vec::with_capacity(diags);
+    let mut bands: Vec<Vec<i32>> = Vec::with_capacity(diags);
+    let mut cells: u64 = 0;
+
+    for a in 0..diags {
+        let off = if a == 0 {
+            0
+        } else {
+            let prev_off = offsets[a - 1];
+            let prev = &bands[a - 1];
+            // Ends of the previous band (clamped to valid cells).
+            let i_lo = prev_off;
+            let i_hi = prev_off + prev.len() - 1;
+            let top = prev[0];
+            let bottom = prev[prev.len() - 1];
+            let mut off = if bottom > top && i_hi < m {
+                prev_off + 1 // move down: follow insertions
+            } else {
+                prev_off // move right
+            };
+            let _ = i_lo;
+            // Clamp so the band stays inside the matrix on diagonal a.
+            off = off.max(a.saturating_sub(n)); // j = a - i <= n
+            off.min(m.min(a))
+        };
+        // Valid i range on this antidiagonal: [max(0, a-n), min(a, m)].
+        let i_min = a.saturating_sub(n);
+        let i_max = a.min(m);
+        let len = width.min(i_max.saturating_sub(off) + 1);
+        let mut band = vec![NEG; len.max(1)];
+        let get = |aa: usize, ii: usize, offsets: &Vec<usize>, bands: &Vec<Vec<i32>>| -> i32 {
+            if aa >= bands.len() {
+                return NEG;
+            }
+            let o = offsets[aa];
+            let b = &bands[aa];
+            if ii >= o && ii < o + b.len() {
+                b[ii - o]
+            } else {
+                NEG
+            }
+        };
+        for idx in 0..band.len() {
+            let i = off + idx;
+            if i < i_min || i > i_max {
+                continue;
+            }
+            let j = a - i;
+            let v = if i == 0 {
+                j as i32 * gd
+            } else if j == 0 {
+                i as i32 * gi
+            } else {
+                let diag = if a >= 2 {
+                    get(a - 2, i - 1, &offsets, &bands)
+                        .saturating_add(scheme.score(query[i - 1], reference[j - 1]))
+                } else {
+                    NEG
+                };
+                let up = get(a - 1, i - 1, &offsets, &bands).saturating_add(gi); // (i-1, j)
+                let left = get(a - 1, i, &offsets, &bands).saturating_add(gd); // (i, j-1)
+                diag.max(up).max(left).max(NEG)
+            };
+            band[idx] = v;
+        }
+        cells += band.len() as u64;
+        offsets.push(off);
+        bands.push(band);
+    }
+
+    out.cells_computed = cells;
+    out.cells_stored = if want_alignment { cells } else { 3 * width as u64 };
+    out.blocks = crate::banded::strip_blocks(m, n, width / 2, crate::banded::STRIP_COLS);
+
+    let at = |i: usize, j: usize| -> i32 {
+        let a = i + j;
+        let o = offsets[a];
+        let b = &bands[a];
+        if i >= o && i < o + b.len() {
+            b[i - o]
+        } else {
+            NEG
+        }
+    };
+    let score = at(m, n);
+    if score <= NEG / 2 {
+        out.dropped = true;
+        return out;
+    }
+    out.score = Some(score);
+
+    if want_alignment {
+        let (mut i, mut j) = (m, n);
+        let mut cigar = Cigar::new();
+        while i > 0 || j > 0 {
+            let here = at(i, j);
+            if i > 0
+                && j > 0
+                && at(i - 1, j - 1) > NEG / 2
+                && here == at(i - 1, j - 1) + scheme.score(query[i - 1], reference[j - 1])
+            {
+                cigar.push(if query[i - 1] == reference[j - 1] { Op::Match } else { Op::Mismatch });
+                i -= 1;
+                j -= 1;
+            } else if i > 0 && at(i - 1, j) > NEG / 2 && here == at(i - 1, j) + gi {
+                cigar.push(Op::Insert);
+                i -= 1;
+            } else if j > 0 && at(i, j - 1) > NEG / 2 && here == at(i, j - 1) + gd {
+                cigar.push(Op::Delete);
+                j -= 1;
+            } else {
+                // The stored band does not contain a consistent path;
+                // surface as dropped rather than emit a bogus CIGAR.
+                out.score = None;
+                out.dropped = true;
+                return out;
+            }
+        }
+        cigar.reverse();
+        out.traceback_steps = cigar.len() as u64;
+        out.alignment = Some(smx_align_core::Alignment { score, cigar });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smx_align_core::dp;
+
+    fn dna(len: usize, seed: u64) -> Vec<u8> {
+        let mut x = seed | 1;
+        (0..len)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x % 4) as u8
+            })
+            .collect()
+    }
+
+    #[test]
+    fn full_width_matches_golden() {
+        let q = dna(80, 3);
+        let r = dna(75, 11);
+        let scheme = ScoringScheme::edit();
+        let out = adaptive_banded_align(&q, &r, &scheme, 200, true);
+        assert_eq!(out.score, Some(dp::score_only(&q, &r, &scheme)));
+        out.alignment.unwrap().verify(&q, &r, &scheme).unwrap();
+    }
+
+    #[test]
+    fn follows_a_long_deletion_where_static_band_fails() {
+        // The query lacks a 60-base block of the reference: the optimal
+        // path drifts 60 diagonals. The adaptive band follows the drift
+        // over the following antidiagonals; a static band of the same
+        // half-width misses it.
+        let r = dna(400, 7);
+        let mut q = r[..150].to_vec();
+        q.extend_from_slice(&r[210..]); // 60-base deletion
+        let scheme = ScoringScheme::linear(2, -4, -4).unwrap();
+        let golden = dp::score_only(&q, &r, &scheme);
+
+        let adaptive = adaptive_banded_align(&q, &r, &scheme, 80, true);
+        assert_eq!(adaptive.score, Some(golden), "adaptive follows the drift");
+        adaptive.alignment.unwrap().verify(&q, &r, &scheme).unwrap();
+
+        let static_band = crate::banded::banded_align(&q, &r, &scheme, 16, None, false);
+        assert!(
+            static_band.score.is_none_or(|s| s < golden),
+            "static narrow band should miss"
+        );
+    }
+
+    #[test]
+    fn cells_scale_with_width_not_matrix() {
+        let q = dna(500, 3);
+        let r = dna(500, 3);
+        let scheme = ScoringScheme::edit();
+        let out = adaptive_banded_align(&q, &r, &scheme, 33, false);
+        assert!(out.cells_computed < (1001 * 34) as u64);
+        assert_eq!(out.score, Some(0));
+    }
+
+    #[test]
+    fn moderate_errors_with_narrow_band() {
+        let r = dna(600, 9);
+        let mut q = r.clone();
+        q[100] ^= 1;
+        q[350] ^= 2;
+        q.remove(200);
+        q.insert(420, 3);
+        let scheme = ScoringScheme::edit();
+        let out = adaptive_banded_align(&q, &r, &scheme, 33, true);
+        assert_eq!(out.score, Some(dp::score_only(&q, &r, &scheme)));
+    }
+
+    #[test]
+    fn escaping_band_never_overclaims() {
+        let r = dna(120, 5);
+        let q = r[100..].to_vec();
+        let scheme = ScoringScheme::edit();
+        let out = adaptive_banded_align(&q, &r, &scheme, 8, false);
+        if let Some(s) = out.score {
+            assert!(s <= dp::score_only(&q, &r, &scheme));
+        } else {
+            assert!(out.dropped);
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs_drop() {
+        let scheme = ScoringScheme::edit();
+        assert!(adaptive_banded_align(&[], &[0], &scheme, 8, false).dropped);
+        assert!(adaptive_banded_align(&[0], &[0], &scheme, 0, false).dropped);
+    }
+}

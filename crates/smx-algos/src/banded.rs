@@ -1,0 +1,271 @@
+//! The banded heuristic (paper §2.3): compute only a diagonal band of the
+//! DP-matrix, with optional X-drop termination (§9's "banded Xdrop", the
+//! BLAST-style algorithm).
+
+use crate::metrics::AlgoOutcome;
+use smx_align_core::{Cigar, Op, ScoringScheme};
+
+/// Sentinel for out-of-band cells.
+const NEG: i32 = i32::MIN / 4;
+
+/// Reference-column strip width used when decomposing the band into
+/// DP-blocks for the coprocessor ("columns sized by the supertile's
+/// width", §9).
+pub const STRIP_COLS: usize = 256;
+
+/// Runs the banded algorithm with half-band `band` (cells with
+/// `|j − center(i)| ≤ band` are computed, where the band center follows
+/// the main diagonal scaled to the sequence lengths).
+///
+/// `xdrop` of `Some(x)` terminates the computation once the best score in
+/// a row falls more than `x` below the best score seen anywhere
+/// (`dropped` is set and no score is returned).
+#[must_use]
+pub fn banded_align(
+    query: &[u8],
+    reference: &[u8],
+    scheme: &ScoringScheme,
+    band: usize,
+    xdrop: Option<i32>,
+    want_alignment: bool,
+) -> AlgoOutcome {
+    let (m, n) = (query.len(), reference.len());
+    let mut out = AlgoOutcome::new();
+    out.pack_chars = (m + n) as u64;
+    if m == 0 || n == 0 {
+        out.score = Some(m as i32 * scheme.gap_insert() + n as i32 * scheme.gap_delete());
+        if want_alignment {
+            let mut cigar = Cigar::new();
+            cigar.push_run(Op::Insert, m as u32);
+            cigar.push_run(Op::Delete, n as u32);
+            out.score = Some(
+                cigar.score(query, reference, scheme).expect("gap-only cigar is consistent"),
+            );
+            out.traceback_steps = cigar.len() as u64;
+            out.alignment = Some(smx_align_core::Alignment { score: out.score.unwrap(), cigar });
+        }
+        return out;
+    }
+    let (gi, gd) = (scheme.gap_insert(), scheme.gap_delete());
+    let center = |i: usize| i * n / m;
+    let lo = |i: usize| center(i).saturating_sub(band);
+    let hi = |i: usize| (center(i) + band).min(n);
+
+    // rows[i] holds cells lo(i)..=hi(i).
+    let mut rows: Vec<Vec<i32>> = Vec::with_capacity(m + 1);
+    let mut cells: u64 = 0;
+    let row0: Vec<i32> = (lo(0)..=hi(0)).map(|j| j as i32 * gd).collect();
+    cells += row0.len() as u64;
+    rows.push(row0);
+    let mut best = 0i32;
+    let mut dropped = false;
+    let mut last_row_done = 0usize;
+
+    for i in 1..=m {
+        let (l, h) = (lo(i), hi(i));
+        let (pl, ph) = (lo(i - 1), hi(i - 1));
+        let prev = &rows[i - 1];
+        let get_prev = |j: usize| -> i32 {
+            if (pl..=ph).contains(&j) {
+                prev[j - pl]
+            } else {
+                NEG
+            }
+        };
+        let mut row = vec![NEG; h - l + 1];
+        let mut row_best = NEG;
+        for j in l..=h {
+            let v = if j == 0 {
+                i as i32 * gi
+            } else {
+                let diag = get_prev(j - 1) + scheme.score(query[i - 1], reference[j - 1]);
+                let up = get_prev(j) + gi;
+                let left = if j > l { row[j - 1 - l] + gd } else { NEG };
+                diag.max(up).max(left)
+            };
+            row[j - l] = v;
+            row_best = row_best.max(v);
+        }
+        cells += row.len() as u64;
+        rows.push(row);
+        last_row_done = i;
+        best = best.max(row_best);
+        if let Some(x) = xdrop {
+            if row_best < best - x {
+                dropped = true;
+                break;
+            }
+        }
+    }
+
+    out.cells_computed = cells;
+    out.cells_stored = if want_alignment { cells } else { (2 * (2 * band + 1)) as u64 };
+    out.dropped = dropped;
+    out.blocks = strip_blocks(last_row_done, n.min(hi(last_row_done)), band, STRIP_COLS);
+
+    if dropped {
+        return out;
+    }
+    // The final cell must be in band (it is: hi(m) = n, center(m) = n).
+    let final_score = rows[m][n - lo(m)];
+    if final_score <= NEG / 2 {
+        out.dropped = true;
+        return out;
+    }
+    out.score = Some(final_score);
+
+    if want_alignment {
+        let mut cigar = Cigar::new();
+        let (mut i, mut j) = (m, n);
+        let at = |i: usize, j: usize, rows: &Vec<Vec<i32>>| -> i32 {
+            if (lo(i)..=hi(i)).contains(&j) {
+                rows[i][j - lo(i)]
+            } else {
+                NEG
+            }
+        };
+        while i > 0 || j > 0 {
+            let here = at(i, j, &rows);
+            if i > 0
+                && j > 0
+                && at(i - 1, j - 1, &rows) > NEG / 2
+                && here == at(i - 1, j - 1, &rows) + scheme.score(query[i - 1], reference[j - 1])
+            {
+                cigar.push(if query[i - 1] == reference[j - 1] { Op::Match } else { Op::Mismatch });
+                i -= 1;
+                j -= 1;
+            } else if i > 0 && at(i - 1, j, &rows) > NEG / 2 && here == at(i - 1, j, &rows) + gi {
+                cigar.push(Op::Insert);
+                i -= 1;
+            } else {
+                debug_assert!(j > 0, "banded traceback stuck at ({i}, {j})");
+                cigar.push(Op::Delete);
+                j -= 1;
+            }
+        }
+        cigar.reverse();
+        out.traceback_steps = cigar.len() as u64;
+        out.alignment = Some(smx_align_core::Alignment { score: final_score, cigar });
+    }
+    out
+}
+
+/// Decomposes a band into column-strip DP-blocks for the coprocessor:
+/// each strip spans `strip` reference columns and the band rows that
+/// intersect it.
+#[must_use]
+pub fn strip_blocks(m: usize, n: usize, band: usize, strip: usize) -> Vec<(usize, usize)> {
+    if m == 0 || n == 0 {
+        return Vec::new();
+    }
+    let mut blocks = Vec::new();
+    let mut j0 = 0usize;
+    while j0 < n {
+        let cols = strip.min(n - j0);
+        // Rows whose band interval intersects [j0, j0+cols).
+        let i_lo = ((j0.saturating_sub(band)) * m) / n;
+        let i_hi = (((j0 + cols + band) * m) / n + 1).min(m);
+        if i_hi > i_lo {
+            blocks.push((i_hi - i_lo, cols));
+        }
+        j0 += cols;
+    }
+    blocks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smx_align_core::dp;
+
+    fn dna(len: usize, seed: u64) -> Vec<u8> {
+        let mut x = seed | 1;
+        (0..len)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x % 4) as u8
+            })
+            .collect()
+    }
+
+    #[test]
+    fn wide_band_matches_golden() {
+        let q = dna(120, 7);
+        let r = dna(110, 5);
+        let scheme = ScoringScheme::edit();
+        let out = banded_align(&q, &r, &scheme, 120, None, true);
+        assert_eq!(out.score, Some(dp::score_only(&q, &r, &scheme)));
+        out.alignment.as_ref().unwrap().verify(&q, &r, &scheme).unwrap();
+    }
+
+    #[test]
+    fn similar_sequences_need_narrow_band() {
+        // A handful of substitutions keeps the optimum on the diagonal.
+        let r = dna(400, 7);
+        let mut q = r.clone();
+        q[50] ^= 1;
+        q[200] ^= 2;
+        let scheme = ScoringScheme::edit();
+        let out = banded_align(&q, &r, &scheme, 8, None, true);
+        assert_eq!(out.score, Some(dp::score_only(&q, &r, &scheme)));
+        // Far fewer cells than the full matrix.
+        assert!(out.cells_computed < 400 * 20);
+    }
+
+    #[test]
+    fn narrow_band_may_miss_optimum() {
+        // A large indel pushes the optimal path outside a tiny band.
+        let r = dna(200, 7);
+        let mut q = r[..40].to_vec();
+        q.extend_from_slice(&r[120..]); // 80-base deletion
+        let scheme = ScoringScheme::edit();
+        let out = banded_align(&q, &r, &scheme, 4, None, false);
+        let golden = dp::score_only(&q, &r, &scheme);
+        assert!(out.score.unwrap_or(i32::MIN) < golden, "band should miss the optimum");
+    }
+
+    #[test]
+    fn xdrop_terminates_on_dissimilar_sequences() {
+        let q = dna(600, 7);
+        let r = dna(600, 99991); // unrelated sequence
+        let scheme = ScoringScheme::linear(2, -4, -4).unwrap();
+        let out = banded_align(&q, &r, &scheme, 32, Some(50), false);
+        assert!(out.dropped);
+        assert_eq!(out.score, None);
+        // Terminated early: computed fewer cells than the full band.
+        let full_band = banded_align(&q, &r, &scheme, 32, None, false);
+        assert!(out.cells_computed < full_band.cells_computed);
+    }
+
+    #[test]
+    fn xdrop_passes_similar_sequences() {
+        let r = dna(500, 7);
+        let mut q = r.clone();
+        q[100] ^= 1;
+        let scheme = ScoringScheme::linear(2, -4, -4).unwrap();
+        let out = banded_align(&q, &r, &scheme, 16, Some(100), true);
+        assert!(!out.dropped);
+        assert_eq!(out.score, Some(dp::score_only(&q, &r, &scheme)));
+    }
+
+    #[test]
+    fn strip_blocks_cover_band() {
+        let blocks = strip_blocks(1000, 1000, 50, 256);
+        assert_eq!(blocks.len(), 4);
+        for &(rows, cols) in &blocks {
+            assert!(cols <= 256);
+            assert!(rows <= 1000);
+            assert!(rows >= 256); // strip + band coverage
+        }
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let scheme = ScoringScheme::edit();
+        let out = banded_align(&[], &[0, 1], &scheme, 4, None, true);
+        assert_eq!(out.score, Some(-2));
+        assert_eq!(out.alignment.unwrap().cigar.to_string(), "2D");
+    }
+}

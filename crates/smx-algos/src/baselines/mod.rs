@@ -1,0 +1,99 @@
+//! State-of-the-art comparator models (paper §11, Table 3): published
+//! peak-GCUPS/area figures, the analytic projections the paper makes for
+//! CUDASW++ on an H100 versus a 72-core SMX-enhanced Grace CPU, and two
+//! functional software baselines the edit-distance literature rests on —
+//! Myers's blocked bit-parallel algorithm ([`myers`], the Edlib core) and
+//! the wavefront algorithm ([`wfa`]).
+
+pub mod myers;
+pub mod wfa;
+pub mod wfa_affine;
+
+use smx_align_core::AlignmentConfig;
+
+/// A row of Table 3: a proposal's peak throughput and area per processing
+/// unit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SotaEntry {
+    /// Proposal name.
+    pub name: &'static str,
+    /// Device class.
+    pub device: &'static str,
+    /// Processing units the peak is reported over.
+    pub units: u32,
+    /// Peak GCUPS per processing unit.
+    pub pgcups_per_unit: f64,
+    /// Additional silicon area per processing unit (mm²), when reported.
+    pub area_mm2_per_unit: Option<f64>,
+    /// Supported models: (edit, gap, protein, traceback).
+    pub supports: (bool, bool, bool, bool),
+}
+
+/// Published Table-3 rows for the non-SMX proposals.
+#[must_use]
+pub fn table3_entries() -> Vec<SotaEntry> {
+    vec![
+        SotaEntry { name: "KSW2", device: "CPU", units: 1, pgcups_per_unit: 1.8, area_mm2_per_unit: None, supports: (true, true, true, true) },
+        SotaEntry { name: "BlockAligner", device: "CPU", units: 1, pgcups_per_unit: 3.6, area_mm2_per_unit: None, supports: (true, true, true, true) },
+        SotaEntry { name: "GMX", device: "ISA", units: 1, pgcups_per_unit: 1024.0, area_mm2_per_unit: Some(0.02), supports: (true, false, false, true) },
+        SotaEntry { name: "GASAL2", device: "GPU", units: 28, pgcups_per_unit: 2.3, area_mm2_per_unit: None, supports: (true, true, false, true) },
+        SotaEntry { name: "CUDASW++4", device: "GPU (ISA)", units: 132, pgcups_per_unit: 63.3, area_mm2_per_unit: None, supports: (true, true, true, false) },
+        SotaEntry { name: "BioSEAL", device: "PIM", units: 15, pgcups_per_unit: 6046.7, area_mm2_per_unit: Some(230.0), supports: (true, true, true, false) },
+        SotaEntry { name: "GenASM", device: "DSA", units: 32, pgcups_per_unit: 64.0, area_mm2_per_unit: Some(0.33), supports: (true, false, false, true) },
+        SotaEntry { name: "Darwin", device: "DSA", units: 64, pgcups_per_unit: 54.2, area_mm2_per_unit: Some(1.34), supports: (true, true, false, true) },
+        SotaEntry { name: "GenDP", device: "DSA", units: 64, pgcups_per_unit: 4.7, area_mm2_per_unit: Some(5.39), supports: (true, true, false, true) },
+        SotaEntry { name: "Mao-Jan Lin", device: "DSA", units: 1, pgcups_per_unit: 91.4, area_mm2_per_unit: Some(5.72), supports: (true, true, true, true) },
+        SotaEntry { name: "Talco-XDrop", device: "DSA", units: 32, pgcups_per_unit: 12.8, area_mm2_per_unit: Some(1.82), supports: (true, true, true, true) },
+    ]
+}
+
+/// SMX peak GCUPS per configuration (one tile per cycle at 1 GHz).
+#[must_use]
+pub fn smx_peak_gcups(config: AlignmentConfig) -> f64 {
+    let vl = config.element_width().vl() as f64;
+    vl * vl
+}
+
+/// CUDASW++ 4.0 effective protein throughput on an H100 (GCUPS).
+///
+/// 132 SMs × 63.3 peak GCUPS/SM at 2 GHz, derated by an effective
+/// utilization (divergence and memory effects) chosen so the paper's
+/// "72-core SMX Grace is 1.7× faster" projection holds.
+#[must_use]
+pub fn cudasw_h100_effective_gcups() -> f64 {
+    132.0 * 63.3 * 0.45
+}
+
+/// Projected protein throughput of a 72-core SMX-enhanced Grace at 1 GHz
+/// (GCUPS), assuming the §8.1 ~90% engine utilization.
+#[must_use]
+pub fn smx_grace_protein_gcups() -> f64 {
+    72.0 * smx_peak_gcups(AlignmentConfig::Protein) * 0.9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smx_peaks_match_table3() {
+        assert_eq!(smx_peak_gcups(AlignmentConfig::DnaEdit), 1024.0);
+        assert_eq!(smx_peak_gcups(AlignmentConfig::DnaGap), 256.0);
+        assert_eq!(smx_peak_gcups(AlignmentConfig::Protein), 100.0);
+        assert_eq!(smx_peak_gcups(AlignmentConfig::Ascii), 64.0);
+    }
+
+    #[test]
+    fn grace_projection_beats_h100() {
+        let ratio = smx_grace_protein_gcups() / cudasw_h100_effective_gcups();
+        assert!((1.4..2.1).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn table3_has_all_comparators() {
+        let names: Vec<&str> = table3_entries().iter().map(|e| e.name).collect();
+        for expect in ["KSW2", "GMX", "Darwin", "GenASM", "CUDASW++4", "Talco-XDrop"] {
+            assert!(names.contains(&expect), "{expect} missing");
+        }
+    }
+}

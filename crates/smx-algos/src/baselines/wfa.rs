@@ -1,0 +1,153 @@
+//! The wavefront algorithm (WFA) for edit distance — the `O(n·s)` exact
+//! aligner family the SMX authors' earlier work introduced ([72] in the
+//! paper). Included as the modern software comparison point for the
+//! DNA-edit configuration: its work scales with the *score* `s` rather
+//! than with `m·n`, which is exactly the regime where DP-block
+//! accelerators and wavefront methods trade places.
+
+use smx_align_core::AlignError;
+
+/// Result of a wavefront edit-distance computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WfaResult {
+    /// The edit distance.
+    pub distance: u32,
+    /// Wavefront cells computed (the algorithm's work, `O(s²)`).
+    pub cells: u64,
+}
+
+/// Computes the global edit distance by wavefront expansion.
+///
+/// # Errors
+///
+/// Returns [`AlignError::EmptySequence`] for empty inputs.
+pub fn edit_distance(query: &[u8], reference: &[u8]) -> Result<WfaResult, AlignError> {
+    if query.is_empty() || reference.is_empty() {
+        return Err(AlignError::EmptySequence);
+    }
+    let (m, n) = (query.len() as i64, reference.len() as i64);
+    let target_k = n - m; // diagonal of the bottom-right cell
+    let target_offset = n; // offset = reference characters consumed (j)
+
+    // Wavefront for score s: offsets[k] = furthest j on diagonal k = j − i
+    // reachable with edit distance s. Stored densely over k ∈ [lo, hi].
+    let mut lo: i64 = 0;
+    let mut hi: i64 = 0;
+    let mut offsets: Vec<i64> = vec![0];
+    let mut cells: u64 = 1;
+
+    let extend = |k: i64, mut j: i64| -> i64 {
+        let mut i = j - k;
+        while i < m && j < n && query[i as usize] == reference[j as usize] {
+            i += 1;
+            j += 1;
+        }
+        j
+    };
+
+    // Score 0: extend along the main diagonal.
+    offsets[0] = extend(0, 0);
+    let mut s: u32 = 0;
+    loop {
+        if (lo..=hi).contains(&target_k) && offsets[(target_k - lo) as usize] >= target_offset {
+            return Ok(WfaResult { distance: s, cells });
+        }
+        // Expand to score s+1 over diagonals [lo-1, hi+1].
+        let new_lo = (lo - 1).max(-m);
+        let new_hi = (hi + 1).min(n);
+        let mut next: Vec<i64> = vec![i64::MIN; (new_hi - new_lo + 1) as usize];
+        for k in new_lo..=new_hi {
+            let get = |kk: i64| -> i64 {
+                if (lo..=hi).contains(&kk) {
+                    offsets[(kk - lo) as usize]
+                } else {
+                    i64::MIN
+                }
+            };
+            // Insertion (down a row): from k+1, same offset.
+            // Deletion (right a column): from k-1, offset + 1.
+            // Mismatch (diagonal): same k, offset + 1.
+            let best = get(k + 1)
+                .max(get(k - 1).saturating_add(1))
+                .max(get(k).saturating_add(1));
+            if best < 0 {
+                continue;
+            }
+            // Clamp to the matrix and extend along matches.
+            let i = best - k;
+            if i > m || best > n || i < 0 {
+                // Out of the matrix on this diagonal.
+                let clamped = best.min(n).min(m + k);
+                if clamped - k > m || clamped > n || clamped < 0 || clamped - k < 0 {
+                    continue;
+                }
+                next[(k - new_lo) as usize] = extend(k, clamped);
+            } else {
+                next[(k - new_lo) as usize] = extend(k, best);
+            }
+        }
+        cells += next.iter().filter(|&&v| v != i64::MIN).count() as u64;
+        offsets = next;
+        lo = new_lo;
+        hi = new_hi;
+        s += 1;
+        debug_assert!(s as i64 <= m + n, "wavefront failed to converge");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use smx_align_core::dp;
+
+    #[test]
+    fn matches_golden_small() {
+        let q = b"kitten".map(|c| c - b'a');
+        let r = b"sitting".map(|c| c - b'a');
+        assert_eq!(edit_distance(&q, &r).unwrap().distance, 3);
+    }
+
+    #[test]
+    fn identical_costs_one_wavefront() {
+        let q = vec![2u8; 500];
+        let res = edit_distance(&q, &q).unwrap();
+        assert_eq!(res.distance, 0);
+        assert_eq!(res.cells, 1);
+    }
+
+    #[test]
+    fn work_scales_with_score_not_area() {
+        // 2000-char strings differing by a handful of edits: WFA touches
+        // orders of magnitude fewer cells than the 4M-cell DP matrix.
+        let r: Vec<u8> = (0..2000u32).map(|i| (i.wrapping_mul(7) % 4) as u8).collect();
+        let mut q = r.clone();
+        q[100] ^= 1;
+        q[900] ^= 2;
+        q.remove(1500);
+        let res = edit_distance(&q, &r).unwrap();
+        assert_eq!(res.distance as u64, dp::edit_distance(&q, &r) as u64);
+        assert!(res.cells < 100, "cells {}", res.cells);
+    }
+
+    #[test]
+    fn length_difference_only() {
+        let q = vec![0u8; 10];
+        let r = vec![0u8; 25];
+        assert_eq!(edit_distance(&q, &r).unwrap().distance, 15);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn matches_golden_random(
+            q in proptest::collection::vec(0u8..4, 1..120),
+            r in proptest::collection::vec(0u8..4, 1..120),
+        ) {
+            prop_assert_eq!(
+                edit_distance(&q, &r).unwrap().distance,
+                dp::edit_distance(&q, &r)
+            );
+        }
+    }
+}

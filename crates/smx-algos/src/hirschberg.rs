@@ -1,0 +1,131 @@
+//! Hirschberg's linear-memory divide-and-conquer alignment (paper §2.3,
+//! §9). The query is split in half; a forward score row over the top half
+//! and a backward score row over the bottom half meet to find the optimal
+//! crossing column; both halves recurse. Memory is `O(m + n)` at the cost
+//! of computing roughly `2·m·n` DP-elements.
+
+use crate::metrics::AlgoOutcome;
+use smx_align_core::{dp, Alignment, Cigar, Op, ScoringScheme};
+
+/// Sub-problem size at which the recursion switches to a dense solve.
+pub const BASE_CELLS: usize = 64;
+
+/// Runs Hirschberg's algorithm, producing a guaranteed-optimal alignment.
+#[must_use]
+pub fn hirschberg_align(query: &[u8], reference: &[u8], scheme: &ScoringScheme) -> AlgoOutcome {
+    let mut out = AlgoOutcome::new();
+    let mut cigar = Cigar::new();
+    recurse(query, reference, scheme, &mut out, &mut cigar);
+    out.pack_chars = (query.len() + reference.len()) as u64;
+    out.cells_stored = (query.len() + reference.len() + 2) as u64;
+    out.traceback_steps = cigar.len() as u64;
+    let score = cigar
+        .score(query, reference, scheme)
+        .expect("hirschberg cigar consumes both sequences");
+    out.score = Some(score);
+    out.alignment = Some(Alignment { score, cigar });
+    out
+}
+
+fn recurse(
+    query: &[u8],
+    reference: &[u8],
+    scheme: &ScoringScheme,
+    out: &mut AlgoOutcome,
+    cigar: &mut Cigar,
+) {
+    let (m, n) = (query.len(), reference.len());
+    if m == 0 {
+        cigar.push_run(Op::Delete, n as u32);
+        return;
+    }
+    if n == 0 {
+        cigar.push_run(Op::Insert, m as u32);
+        return;
+    }
+    if m <= BASE_CELLS || n <= BASE_CELLS {
+        let aln = dp::align_codes(query, reference, scheme);
+        out.cells_computed += (m * n) as u64;
+        out.blocks.push((m, n));
+        cigar.extend_from(&aln.cigar);
+        return;
+    }
+    let mid = m / 2;
+    // Forward scores of the top half against the whole reference.
+    let fwd = dp::last_row(&query[..mid], reference, scheme);
+    // Backward scores of the bottom half against the reversed reference.
+    let q_rev: Vec<u8> = query[mid..].iter().rev().copied().collect();
+    let r_rev: Vec<u8> = reference.iter().rev().copied().collect();
+    let bwd = dp::last_row(&q_rev, &r_rev, scheme);
+    out.cells_computed += (mid * n) as u64 + ((m - mid) * n) as u64;
+    out.blocks.push((mid, n));
+    out.blocks.push((m - mid, n));
+
+    // Optimal crossing column: maximize fwd[j] + bwd[n - j].
+    let split = (0..=n)
+        .max_by_key(|&j| fwd[j] + bwd[n - j])
+        .expect("non-empty range");
+
+    recurse(&query[..mid], &reference[..split], scheme, out, cigar);
+    recurse(&query[mid..], &reference[split..], scheme, out, cigar);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use smx_align_core::ScoringScheme;
+
+    fn check(q: &[u8], r: &[u8], scheme: &ScoringScheme) {
+        let out = hirschberg_align(q, r, scheme);
+        let golden = dp::score_only(q, r, scheme);
+        assert_eq!(out.score, Some(golden));
+        out.alignment.as_ref().unwrap().verify(q, r, scheme).unwrap();
+    }
+
+    #[test]
+    fn matches_golden_small() {
+        let q: Vec<u8> = (0..10).map(|i| i % 4).collect();
+        let r: Vec<u8> = (0..12).map(|i| (i * 3) % 4).collect();
+        check(&q, &r, &ScoringScheme::edit());
+    }
+
+    #[test]
+    fn matches_golden_above_base() {
+        let q: Vec<u8> = (0..500u32).map(|i| ((i * 7 + (i >> 4)) % 4) as u8).collect();
+        let r: Vec<u8> = (0..430u32).map(|i| ((i * 5) % 4) as u8).collect();
+        check(&q, &r, &ScoringScheme::linear(2, -4, -4).unwrap());
+    }
+
+    #[test]
+    fn work_is_roughly_double_and_memory_linear() {
+        let q = vec![1u8; 512];
+        let r = vec![1u8; 512];
+        let out = hirschberg_align(&q, &r, &ScoringScheme::edit());
+        let mn = 512u64 * 512;
+        assert!(out.cells_computed > mn, "computed {}", out.cells_computed);
+        assert!(out.cells_computed < 3 * mn, "computed {}", out.cells_computed);
+        assert!(out.cells_stored < 2048);
+        assert!(out.blocks.len() > 2);
+    }
+
+    #[test]
+    fn empty_sides_emit_gap_runs() {
+        let out = hirschberg_align(&[0, 1], &[], &ScoringScheme::edit());
+        assert_eq!(out.alignment.unwrap().cigar.to_string(), "2I");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn random_optimality(
+            q in proptest::collection::vec(0u8..4, 1..200),
+            r in proptest::collection::vec(0u8..4, 1..200),
+        ) {
+            let scheme = ScoringScheme::linear(1, -3, -2).unwrap();
+            let out = hirschberg_align(&q, &r, &scheme);
+            prop_assert_eq!(out.score, Some(dp::score_only(&q, &r, &scheme)));
+            out.alignment.unwrap().verify(&q, &r, &scheme).unwrap();
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! # smx-algos
+//!
+//! Practical sequence-alignment algorithms (paper §2.3, §9) and the
+//! state-of-the-art comparators (§11), with a uniform outcome type that
+//! couples functional results (score, CIGAR, recall) to the work profile
+//! the timing models consume (cells computed/stored, DP-block list,
+//! traceback length).
+//!
+//! Algorithms: full-matrix, banded, banded + X-drop, Hirschberg, and the
+//! GACT-style window heuristic. Engines: software, KSW2-style SIMD, DPX,
+//! GMX, SMX-1D, SMX-2D, heterogeneous SMX, GACT, and CUDASW++ (the last
+//! four as calibrated timing models per DESIGN.md).
+//!
+//! ## Example
+//!
+//! ```
+//! use smx_align_core::AlignmentConfig;
+//! use smx_algos::{banded, timing};
+//!
+//! let cfg = AlignmentConfig::DnaEdit;
+//! let scheme = cfg.scoring();
+//! let q = vec![0u8; 400];
+//! let r = vec![0u8; 400];
+//! let out = banded::banded_align(&q, &r, &scheme, 32, None, true);
+//! assert_eq!(out.score, Some(0));
+//! let work = timing::BatchWork::from_outcomes(cfg, false, std::slice::from_ref(&out));
+//! let t = timing::estimate(timing::EngineKind::Smx, &work, 4);
+//! assert!(t.cycles > 0.0);
+//! ```
+
+pub mod adaptive;
+pub mod banded;
+pub mod baselines;
+pub mod full;
+pub mod hirschberg;
+pub mod mapper;
+pub mod metrics;
+pub mod timing;
+pub mod window;
+pub mod xdrop;
+
+pub use metrics::AlgoOutcome;
+pub use timing::{estimate, BatchWork, EngineKind, TimingReport};

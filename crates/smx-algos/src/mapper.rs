@@ -1,0 +1,292 @@
+//! A miniature seed–chain–extend read mapper — the pipeline shape of
+//! Minimap2, the paper's §9.3 end-to-end application. Seeding and
+//! chaining are the irregular, pointer-chasing work the general-purpose
+//! core keeps; the banded extension around the chained diagonal is the
+//! regular DP-block work SMX accelerates.
+//!
+//! This is deliberately small (exact k-mer seeds, one best chain), but it
+//! is a real mapper: it locates a read inside a reference it has never
+//! seen aligned, then produces a base-level alignment of the placed
+//! segment.
+
+use crate::banded::banded_align;
+use crate::metrics::AlgoOutcome;
+use smx_align_core::{AlignError, ScoringScheme};
+use std::collections::HashMap;
+
+/// A k-mer index over a reference sequence.
+#[derive(Debug, Clone)]
+pub struct KmerIndex {
+    k: usize,
+    /// k-mer key → reference positions (capped per key to bound repeats).
+    seeds: HashMap<u64, Vec<u32>>,
+}
+
+/// Maximum occurrences kept per k-mer (repeat masking).
+const MAX_OCC: usize = 32;
+
+impl KmerIndex {
+    /// Builds an index with k-mers of length `k` (2-bit packed, so codes
+    /// must be `< 4` and `k ≤ 31`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AlignError::InvalidScoring`] for an unusable `k` and
+    /// [`AlignError::InvalidCode`] for non-DNA codes.
+    pub fn build(reference: &[u8], k: usize) -> Result<KmerIndex, AlignError> {
+        if k == 0 || k > 31 {
+            return Err(AlignError::InvalidScoring(format!("k = {k} out of range 1..=31")));
+        }
+        if let Some(&bad) = reference.iter().find(|&&c| c >= 4) {
+            return Err(AlignError::InvalidCode { code: bad, alphabet: "dna2" });
+        }
+        let mut seeds: HashMap<u64, Vec<u32>> = HashMap::new();
+        if reference.len() >= k {
+            let mask = (1u64 << (2 * k)) - 1;
+            let mut key = 0u64;
+            for (i, &c) in reference.iter().enumerate() {
+                key = ((key << 2) | u64::from(c)) & mask;
+                if i + 1 >= k {
+                    let pos = (i + 1 - k) as u32;
+                    let entry = seeds.entry(key).or_default();
+                    if entry.len() < MAX_OCC {
+                        entry.push(pos);
+                    }
+                }
+            }
+        }
+        Ok(KmerIndex { k, seeds })
+    }
+
+    /// The k-mer length.
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of distinct k-mers indexed.
+    #[must_use]
+    pub fn distinct_kmers(&self) -> usize {
+        self.seeds.len()
+    }
+
+    /// Exact seed matches of `query` against the index:
+    /// `(query position, reference position)` pairs.
+    #[must_use]
+    pub fn seeds_of(&self, query: &[u8]) -> Vec<(u32, u32)> {
+        let k = self.k;
+        let mut out = Vec::new();
+        if query.len() < k || query.iter().any(|&c| c >= 4) {
+            return out;
+        }
+        let mask = (1u64 << (2 * k)) - 1;
+        let mut key = 0u64;
+        for (i, &c) in query.iter().enumerate() {
+            key = ((key << 2) | u64::from(c)) & mask;
+            if i + 1 >= k {
+                if let Some(positions) = self.seeds.get(&key) {
+                    let qpos = (i + 1 - k) as u32;
+                    out.extend(positions.iter().map(|&rpos| (qpos, rpos)));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A chained placement of the read on the reference.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Chain {
+    /// Seeds on the chain, ordered by query position.
+    pub seeds: Vec<(u32, u32)>,
+    /// Reference span implied by the chain (half-open, unclamped band).
+    pub ref_range: std::ops::Range<usize>,
+}
+
+/// Chains seeds by diagonal clustering + longest co-linear run: the
+/// irregular CPU-side task of the pipeline.
+///
+/// Returns `None` when no placement has at least `min_seeds` seeds.
+#[must_use]
+pub fn chain_seeds(seeds: &[(u32, u32)], min_seeds: usize, max_diag_spread: u32) -> Option<Chain> {
+    if seeds.is_empty() {
+        return None;
+    }
+    // Bucket by (coarse) diagonal, keep the best-populated bucket.
+    let mut buckets: HashMap<i64, Vec<(u32, u32)>> = HashMap::new();
+    for &(q, r) in seeds {
+        let diag = i64::from(r) - i64::from(q);
+        let coarse = diag.div_euclid(i64::from(max_diag_spread.max(1)));
+        for key in [coarse - 1, coarse, coarse + 1] {
+            buckets.entry(key).or_default();
+        }
+        buckets.get_mut(&coarse).expect("just inserted").push((q, r));
+    }
+    let (_, mut best) = buckets
+        .into_iter()
+        .max_by_key(|(key, v)| (v.len(), -key))?;
+    if best.len() < min_seeds {
+        return None;
+    }
+    // Keep a co-linear subset: sort by query position, drop back-steps.
+    best.sort_unstable();
+    let mut chain: Vec<(u32, u32)> = Vec::with_capacity(best.len());
+    for (q, r) in best {
+        if chain.last().is_none_or(|&(_, pr)| r >= pr) {
+            chain.push((q, r));
+        }
+    }
+    if chain.len() < min_seeds {
+        return None;
+    }
+    let first = chain[0];
+    let last = chain[chain.len() - 1];
+    let start = first.1 as usize;
+    let end = last.1 as usize;
+    Some(Chain { ref_range: start..end, seeds: chain })
+}
+
+/// A mapped read: placement plus base-level alignment of the segment.
+#[derive(Debug, Clone)]
+pub struct Mapping {
+    /// Where the read landed on the reference (half-open).
+    pub ref_range: std::ops::Range<usize>,
+    /// The banded alignment of the read against that segment.
+    pub outcome: AlgoOutcome,
+    /// Seeds supporting the placement.
+    pub seed_count: usize,
+}
+
+/// Maps one read: seed → chain → banded extend (the SMX-accelerated DP).
+///
+/// Returns `None` when the read cannot be placed.
+///
+/// # Errors
+///
+/// Propagates index errors (invalid codes).
+pub fn map_read(
+    index: &KmerIndex,
+    reference: &[u8],
+    read: &[u8],
+    scheme: &ScoringScheme,
+    band: usize,
+) -> Result<Option<Mapping>, AlignError> {
+    let seeds = index.seeds_of(read);
+    let Some(chain) = chain_seeds(&seeds, 3, 64) else {
+        return Ok(None);
+    };
+    // Expand the chained span to cover the whole read plus band slack.
+    let (q0, r0) = chain.seeds[0];
+    let lead = q0 as usize + band;
+    let start = (r0 as usize).saturating_sub(lead);
+    let (qk, rk) = *chain.seeds.last().expect("non-empty chain");
+    let tail = read.len() - qk as usize + band;
+    let end = (rk as usize + index.k() + tail).min(reference.len());
+    if start >= end {
+        return Ok(None);
+    }
+    let segment = &reference[start..end];
+    // The flanks shift the true path up to `band` diagonals away from the
+    // segment's scaled diagonal; widen the DP band to cover that offset.
+    let dp_band = 2 * band + 16;
+    let outcome = banded_align(read, segment, scheme, dp_band, None, true);
+    Ok(Some(Mapping {
+        ref_range: start..end,
+        outcome,
+        seed_count: chain.seeds.len(),
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smx_align_core::dp;
+
+    fn dna(len: usize, seed: u64) -> Vec<u8> {
+        let mut x = seed | 1;
+        (0..len)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x % 4) as u8
+            })
+            .collect()
+    }
+
+    #[test]
+    fn index_finds_exact_kmers() {
+        let reference = dna(500, 3);
+        let idx = KmerIndex::build(&reference, 15).unwrap();
+        let read = reference[100..160].to_vec();
+        let seeds = idx.seeds_of(&read);
+        assert!(!seeds.is_empty());
+        // The true placement (diagonal 100) must be among the seeds.
+        assert!(seeds.iter().any(|&(q, r)| r == q + 100));
+    }
+
+    #[test]
+    fn maps_a_clean_read() {
+        let reference = dna(2000, 7);
+        let read = reference[700..1000].to_vec();
+        let idx = KmerIndex::build(&reference, 15).unwrap();
+        let scheme = ScoringScheme::edit();
+        let m = map_read(&idx, &reference, &read, &scheme, 32).unwrap().unwrap();
+        assert!(m.ref_range.start <= 700 && m.ref_range.end >= 1000);
+        // The banded alignment of the segment recovers a perfect match
+        // for the core of the read.
+        let aln = m.outcome.alignment.as_ref().unwrap();
+        assert!(aln.cigar.stats().matches >= 300 - 1);
+    }
+
+    #[test]
+    fn maps_a_noisy_read() {
+        let reference = dna(3000, 9);
+        let mut read = reference[1200..1700].to_vec();
+        read[100] ^= 1;
+        read.remove(250);
+        read.insert(400, 2);
+        let idx = KmerIndex::build(&reference, 15).unwrap();
+        let scheme = ScoringScheme::edit();
+        let m = map_read(&idx, &reference, &read, &scheme, 48).unwrap().unwrap();
+        assert!(m.seed_count >= 3);
+        // Score of the placed segment should be close to the edit cost of
+        // the three introduced errors (flanks may add a few).
+        let seg = &reference[m.ref_range.clone()];
+        let golden = dp::score_only(&read, seg, &scheme);
+        assert_eq!(m.outcome.score, Some(golden));
+    }
+
+    #[test]
+    fn unrelated_read_fails_to_place() {
+        let reference = dna(2000, 11);
+        let read = dna(300, 99991);
+        let idx = KmerIndex::build(&reference, 17).unwrap();
+        let scheme = ScoringScheme::edit();
+        assert!(map_read(&idx, &reference, &read, &scheme, 32).unwrap().is_none());
+    }
+
+    #[test]
+    fn repeats_are_capped() {
+        let reference = vec![0u8; 4096]; // poly-A: one k-mer everywhere
+        let idx = KmerIndex::build(&reference, 15).unwrap();
+        assert_eq!(idx.distinct_kmers(), 1);
+        let seeds = idx.seeds_of(&[0u8; 64]);
+        assert!(seeds.len() <= MAX_OCC * (64 - 15 + 1));
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(KmerIndex::build(&[0, 1, 2], 0).is_err());
+        assert!(KmerIndex::build(&[0, 1, 9], 3).is_err());
+        let idx = KmerIndex::build(&[0, 1, 2], 5).unwrap();
+        assert_eq!(idx.distinct_kmers(), 0);
+        assert!(idx.seeds_of(&[0, 1]).is_empty());
+    }
+
+    #[test]
+    fn chain_rejects_sparse_matches() {
+        assert!(chain_seeds(&[(0, 100)], 3, 64).is_none());
+        assert!(chain_seeds(&[], 1, 64).is_none());
+    }
+}

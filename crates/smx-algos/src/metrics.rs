@@ -1,0 +1,111 @@
+//! The uniform algorithm-outcome type and recall accounting (Fig. 2,
+//! Fig. 14).
+
+use smx_align_core::Alignment;
+
+/// What one algorithm run produced, functionally and as a work profile.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AlgoOutcome {
+    /// Alignment score, if the algorithm completed (X-drop may terminate
+    /// without one).
+    pub score: Option<i32>,
+    /// Full alignment when requested and available.
+    pub alignment: Option<Alignment>,
+    /// DP-elements computed.
+    pub cells_computed: u64,
+    /// DP-elements simultaneously resident (algorithm-level, software
+    /// semantics — what Fig. 2's "stored" axis reports).
+    pub cells_stored: u64,
+    /// DP-blocks the algorithm would offload to SMX-2D, as `(rows, cols)`.
+    pub blocks: Vec<(usize, usize)>,
+    /// Traceback path length (0 for score-only runs).
+    pub traceback_steps: u64,
+    /// Characters packed before offload (query + reference).
+    pub pack_chars: u64,
+    /// Whether an X-drop style termination fired.
+    pub dropped: bool,
+}
+
+impl AlgoOutcome {
+    /// An empty outcome (used as a builder seed).
+    #[must_use]
+    pub fn new() -> AlgoOutcome {
+        AlgoOutcome {
+            score: None,
+            alignment: None,
+            cells_computed: 0,
+            cells_stored: 0,
+            blocks: Vec::new(),
+            traceback_steps: 0,
+            pack_chars: 0,
+            dropped: false,
+        }
+    }
+}
+
+impl Default for AlgoOutcome {
+    fn default() -> Self {
+        AlgoOutcome::new()
+    }
+}
+
+/// Fraction of outcomes whose score equals the known optimal score
+/// (the paper's recall metric: correctly aligned sequences / dataset).
+#[must_use]
+pub fn recall(outcomes: &[AlgoOutcome], optimal: &[i32]) -> f64 {
+    assert_eq!(outcomes.len(), optimal.len(), "recall needs one optimum per outcome");
+    if outcomes.is_empty() {
+        return 0.0;
+    }
+    let correct = outcomes
+        .iter()
+        .zip(optimal)
+        .filter(|(o, &opt)| o.score == Some(opt))
+        .count();
+    correct as f64 / outcomes.len() as f64
+}
+
+/// Percentage of the full DP-matrix the algorithm computed / stored
+/// (Fig. 2 axes), given the pair dimensions.
+#[must_use]
+pub fn matrix_fractions(outcome: &AlgoOutcome, m: usize, n: usize) -> (f64, f64) {
+    let total = (m as f64) * (n as f64);
+    if total == 0.0 {
+        return (0.0, 0.0);
+    }
+    (
+        outcome.cells_computed as f64 / total,
+        outcome.cells_stored as f64 / total,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn with_score(s: Option<i32>) -> AlgoOutcome {
+        AlgoOutcome { score: s, ..AlgoOutcome::new() }
+    }
+
+    #[test]
+    fn recall_counts_exact_scores() {
+        let outcomes = vec![with_score(Some(-3)), with_score(Some(-5)), with_score(None)];
+        let r = recall(&outcomes, &[-3, -4, -9]);
+        assert!((r - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recall_empty_is_zero() {
+        assert_eq!(recall(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn fractions() {
+        let mut o = AlgoOutcome::new();
+        o.cells_computed = 50;
+        o.cells_stored = 10;
+        let (c, s) = matrix_fractions(&o, 10, 10);
+        assert!((c - 0.5).abs() < 1e-12);
+        assert!((s - 0.1).abs() < 1e-12);
+    }
+}

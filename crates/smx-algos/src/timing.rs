@@ -1,0 +1,497 @@
+//! Engine timing models: maps a batch's work profile to simulated cycles
+//! on each architecture (paper §7 "Implementations", §11 comparators).
+//!
+//! Calibration notes (see DESIGN.md): the KSW2 SIMD kernel is limited by
+//! its ~9-deep dependent vector chain (≈0.6 GCUPS at 1 GHz, matching the
+//! paper's baseline); SMX-1D by the `smx.h → next column` recurrence
+//! (≈2.2 cycles/column, plus the submat access in the protein chain); the
+//! SMX-2D coprocessor by the cycle-level worker/engine simulation in
+//! `smx-sim`.
+
+use crate::metrics::AlgoOutcome;
+use smx_align_core::AlignmentConfig;
+use smx_sim::coproc::{BlockShape, CoprocSim, CoprocTimingConfig};
+use smx_sim::cpu::{kernel_cycles, CpuConfig, LoopKernel, UopClass};
+use smx_sim::mem::MemParams;
+
+/// The architecture executing a workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EngineKind {
+    /// Plain scalar software.
+    Software,
+    /// KSW2-style 128-bit SIMD (the paper's baseline).
+    Simd,
+    /// DPX-style fused max instructions on the SIMD unit (§11).
+    Dpx,
+    /// GMX tile ISA extension (§11).
+    Gmx,
+    /// SMX-1D ISA extension alone.
+    Smx1d,
+    /// SMX-2D coprocessor with software pre/post-processing.
+    Smx2d,
+    /// The full heterogeneous SMX (SMX-2D + SMX-1D).
+    Smx,
+    /// GACT (Darwin) standalone DSA running the window heuristic.
+    Gact,
+}
+
+impl EngineKind {
+    /// Short name for harness output.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::Software => "software",
+            EngineKind::Simd => "simd",
+            EngineKind::Dpx => "dpx",
+            EngineKind::Gmx => "gmx",
+            EngineKind::Smx1d => "smx-1d",
+            EngineKind::Smx2d => "smx-2d",
+            EngineKind::Smx => "smx",
+            EngineKind::Gact => "gact",
+        }
+    }
+}
+
+impl std::fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Aggregated work profile of a batch of algorithm outcomes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchWork {
+    /// The alignment configuration (determines EW/VL and kernels).
+    pub config: AlignmentConfig,
+    /// Whether only scores are needed (no traceback work).
+    pub score_only: bool,
+    /// Total DP-elements computed.
+    pub cells: u64,
+    /// DP-blocks to offload, as `(rows, cols)`.
+    pub blocks: Vec<(usize, usize)>,
+    /// Total traceback steps.
+    pub traceback_steps: u64,
+    /// Characters packed before offload.
+    pub pack_chars: u64,
+    /// Largest single-block cell count (working-set driver).
+    pub max_block_cells: u64,
+}
+
+impl BatchWork {
+    /// Builds a work profile from a batch of outcomes.
+    #[must_use]
+    pub fn from_outcomes(
+        config: AlignmentConfig,
+        score_only: bool,
+        outcomes: &[AlgoOutcome],
+    ) -> BatchWork {
+        let mut blocks = Vec::new();
+        let mut cells = 0u64;
+        let mut traceback_steps = 0u64;
+        let mut pack_chars = 0u64;
+        let mut max_block_cells = 0u64;
+        for o in outcomes {
+            cells += o.cells_computed;
+            traceback_steps += if score_only { 0 } else { o.traceback_steps };
+            pack_chars += o.pack_chars;
+            for &(r, c) in &o.blocks {
+                max_block_cells = max_block_cells.max(r as u64 * c as u64);
+                blocks.push((r, c));
+            }
+        }
+        BatchWork { config, score_only, cells, blocks, traceback_steps, pack_chars, max_block_cells }
+    }
+}
+
+/// Simulated timing of a batch on one engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimingReport {
+    /// Total cycles (makespan) at 1 GHz.
+    pub cycles: f64,
+    /// Core busy cycles.
+    pub cpu_busy: f64,
+    /// Coprocessor engine busy cycles (tiles issued).
+    pub coproc_busy: f64,
+    /// SMX-engine utilization over the makespan (0 when unused).
+    pub engine_utilization: f64,
+    /// Core busy fraction over the makespan.
+    pub core_busy_frac: f64,
+}
+
+impl TimingReport {
+    /// Giga-cells updated per second at 1 GHz for `cells` of work.
+    #[must_use]
+    pub fn gcups(&self, cells: u64) -> f64 {
+        cells as f64 / self.cycles.max(1.0)
+    }
+}
+
+fn cpu_only(cycles: f64) -> TimingReport {
+    TimingReport {
+        cycles,
+        cpu_busy: cycles,
+        coproc_busy: 0.0,
+        engine_utilization: 0.0,
+        core_busy_frac: 1.0,
+    }
+}
+
+/// The CPU-side traceback walk cost (branch-heavy, sequential).
+fn traceback_kernel(steps: u64) -> LoopKernel {
+    let mut k = LoopKernel::compute_only(
+        "traceback-walk",
+        steps as f64,
+        vec![
+            (UopClass::IntAlu, 6.0),
+            (UopClass::Load, 2.0),
+            (UopClass::Branch, 1.0),
+        ],
+        6.0,
+    );
+    k.mispredicts = 0.25;
+    k
+}
+
+/// Estimates the timing of `work` on `engine` with `workers` SMX-workers
+/// on the Table-1 out-of-order SoC.
+#[must_use]
+pub fn estimate(engine: EngineKind, work: &BatchWork, workers: usize) -> TimingReport {
+    estimate_with(engine, work, workers, &CpuConfig::table1_ooo(), &MemParams::table1())
+}
+
+/// Estimates the timing of `work` on `engine` for an explicit core/memory
+/// configuration (for example the Table-2 in-order edge processor the
+/// paper's RTL integrates SMX into).
+#[must_use]
+pub fn estimate_with(
+    engine: EngineKind,
+    work: &BatchWork,
+    workers: usize,
+    cpu: &CpuConfig,
+    mem: &MemParams,
+) -> TimingReport {
+    let cpu = cpu.clone();
+    let mem = *mem;
+    let ew = work.config.element_width();
+    let vl = ew.vl() as f64;
+    match engine {
+        EngineKind::Software => {
+            let mut k = LoopKernel::compute_only(
+                "scalar-dp",
+                work.cells as f64,
+                vec![
+                    (UopClass::IntAlu, 6.0),
+                    (UopClass::Load, 3.0),
+                    (UopClass::Store, 1.0),
+                    (UopClass::Branch, 1.0),
+                ],
+                4.0,
+            );
+            k.working_set = software_working_set(work, 4);
+            k.streamed_bytes = if work.score_only { 0.5 } else { 4.5 };
+            let mut cycles = kernel_cycles(&k, &cpu, &mem);
+            if !work.score_only {
+                cycles += kernel_cycles(&traceback_kernel(work.traceback_steps), &cpu, &mem);
+            }
+            cpu_only(cycles)
+        }
+        EngineKind::Simd | EngineKind::Dpx => {
+            let iters = work.cells as f64 / 16.0;
+            let protein = work.config == AlignmentConfig::Protein;
+            let mut k = LoopKernel::compute_only(
+                "ksw2-simd",
+                iters,
+                vec![
+                    (UopClass::Simd, 9.0),
+                    (UopClass::Load, if protein { 18.0 } else { 2.0 }),
+                    (UopClass::Store, if work.score_only { 1.0 } else { 2.0 }),
+                    (UopClass::IntAlu, 2.0),
+                    (UopClass::Branch, 1.0),
+                ],
+                // The difference recurrences form a ~9-op dependent vector
+                // chain (3-cycle SIMD latency); protein adds 16 serialized
+                // scalar substitution-matrix lookups (§8).
+                if protein { 27.0 + 16.0 * 7.0 } else { 27.0 },
+            );
+            k.mispredicts = 0.02;
+            k.working_set = software_working_set(work, 1);
+            k.streamed_bytes = if work.score_only { 4.0 } else { 20.0 };
+            let mut cycles = kernel_cycles(&k, &cpu, &mem);
+            if !work.score_only {
+                cycles += kernel_cycles(&traceback_kernel(work.traceback_steps), &cpu, &mem);
+            }
+            if engine == EngineKind::Dpx {
+                // DPX fuses the max-of-three ops: the paper measures a
+                // 1.07x improvement over the KSW2 baseline (§11).
+                cycles /= 1.07;
+            }
+            cpu_only(cycles)
+        }
+        EngineKind::Gmx => {
+            // 32x32 edit-distance tiles issued from the scalar pipeline;
+            // CPU dependencies limit occupancy to ~11% (§11).
+            let tiles = (work.cells as f64 / 1024.0).max(1.0);
+            let mut k = LoopKernel::compute_only(
+                "gmx-tiles",
+                tiles,
+                vec![
+                    (UopClass::Smx, 1.0),
+                    (UopClass::IntAlu, 4.0),
+                    (UopClass::Load, 2.0),
+                    (UopClass::Store, 1.0),
+                    (UopClass::Branch, 1.0),
+                ],
+                9.0,
+            );
+            k.working_set = software_working_set(work, 1);
+            let mut cycles = kernel_cycles(&k, &cpu, &mem);
+            if !work.score_only {
+                cycles += kernel_cycles(&traceback_kernel(work.traceback_steps), &cpu, &mem);
+                cycles += recompute_cells(work, 32) * 2.2 / 32.0;
+            }
+            cpu_only(cycles)
+        }
+        EngineKind::Smx1d => {
+            let columns = work.cells as f64 / vl;
+            let protein = work.config == AlignmentConfig::Protein;
+            let mut k = LoopKernel::compute_only(
+                "smx1d-columns",
+                columns,
+                vec![
+                    (UopClass::Smx, 2.0),
+                    (UopClass::IntAlu, 3.0),
+                    (UopClass::Load, 0.5),
+                    (UopClass::Store, if work.score_only { 0.1 } else { 1.0 }),
+                    (UopClass::Csr, 0.1),
+                    (UopClass::Branch, 1.0),
+                ],
+                // smx.h feeds the next column: the chain is the SMX unit
+                // latency plus operand composition; the protein unit adds
+                // the submat SRAM read to the chain.
+                if protein { 5.4 } else { 2.2 },
+            );
+            k.mispredicts = 0.01;
+            k.working_set = smx1d_working_set(work, ew.bits());
+            k.streamed_bytes = if work.score_only { 0.5 } else { vl * f64::from(ew.bits()) / 8.0 };
+            let mut cycles = kernel_cycles(&k, &cpu, &mem);
+            if !work.score_only {
+                cycles += kernel_cycles(&traceback_kernel(work.traceback_steps), &cpu, &mem);
+            }
+            cpu_only(cycles)
+        }
+        EngineKind::Smx2d | EngineKind::Smx => {
+            let shapes: Vec<BlockShape> = work
+                .blocks
+                .iter()
+                .map(|&(r, c)| BlockShape::from_dims(r, c, ew, !work.score_only))
+                .collect();
+            let sim = CoprocSim::new(CoprocTimingConfig::for_ew(ew, workers));
+            let coproc = sim.simulate(&shapes);
+
+            // Core-side work: packing, then score reduction or traceback
+            // with tile recomputation.
+            let pack = LoopKernel::compute_only(
+                "smx-pack",
+                work.pack_chars as f64 / 8.0,
+                vec![
+                    (UopClass::Smx, 1.0),
+                    (UopClass::Load, 1.0),
+                    (UopClass::Store, 1.0),
+                    (UopClass::IntAlu, 1.0),
+                ],
+                0.0,
+            );
+            let mut cpu_busy = kernel_cycles(&pack, &cpu, &mem);
+            if work.score_only {
+                // Border reductions per block (smx.redsum driven).
+                let rows_total: f64 = work.blocks.iter().map(|&(r, _)| r as f64).sum();
+                cpu_busy += rows_total / vl * 1.5 + 20.0 * work.blocks.len() as f64;
+            } else {
+                cpu_busy += kernel_cycles(&traceback_kernel(work.traceback_steps), &cpu, &mem);
+                let cells = recompute_cells(work, ew.vl());
+                cpu_busy += if engine == EngineKind::Smx {
+                    // Tile recomputation through SMX-1D (2.2 cycles/column).
+                    cells * 2.2 / vl
+                } else {
+                    // Software recomputation on the core.
+                    cells * 4.0
+                };
+            }
+            let makespan = (coproc.cycles as f64).max(cpu_busy) + 100.0;
+            TimingReport {
+                cycles: makespan,
+                cpu_busy,
+                coproc_busy: coproc.tiles as f64,
+                engine_utilization: coproc.tiles as f64 / makespan,
+                core_busy_frac: cpu_busy / makespan,
+            }
+        }
+        EngineKind::Gact => {
+            // A standalone DSA computes each window, including its
+            // traceback, in about 2W cycles (systolic fill + drain).
+            let cycles: f64 = work
+                .blocks
+                .iter()
+                .map(|&(r, c)| 2.0 * r.max(c) as f64 + 50.0)
+                .sum();
+            TimingReport {
+                cycles: cycles.max(1.0),
+                cpu_busy: 0.0,
+                coproc_busy: cycles,
+                engine_utilization: 1.0,
+                core_busy_frac: 0.0,
+            }
+        }
+    }
+}
+
+/// DP cells recomputed along the traceback path at tile size `vl`.
+fn recompute_cells(work: &BatchWork, vl: usize) -> f64 {
+    if work.traceback_steps == 0 {
+        return 0.0;
+    }
+    let tiles = (work.traceback_steps as f64 / vl as f64) * 1.4 + work.blocks.len() as f64;
+    tiles * (vl * vl) as f64
+}
+
+fn software_working_set(work: &BatchWork, bytes_per_cell: u64) -> u64 {
+    if work.score_only {
+        // A couple of rows of 16-bit lanes.
+        (work.max_block_cells as f64).sqrt() as u64 * 8
+    } else {
+        work.max_block_cells * bytes_per_cell
+    }
+}
+
+fn smx1d_working_set(work: &BatchWork, ew_bits: u8) -> u64 {
+    if work.score_only {
+        (work.max_block_cells as f64).sqrt() as u64 * u64::from(ew_bits) / 8 * 4
+    } else {
+        work.max_block_cells * u64::from(ew_bits) / 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn work(config: AlignmentConfig, n: usize, score_only: bool) -> BatchWork {
+        let mut o = AlgoOutcome::new();
+        o.cells_computed = (n * n) as u64;
+        o.blocks.push((n, n));
+        o.traceback_steps = if score_only { 0 } else { 2 * n as u64 };
+        o.pack_chars = 2 * n as u64;
+        BatchWork::from_outcomes(config, score_only, &[o])
+    }
+
+    #[test]
+    fn simd_baseline_near_paper_gcups() {
+        // KSW2 at 1 GHz: ~0.6 GCUPS for match/mismatch configs.
+        let w = work(AlignmentConfig::DnaEdit, 1000, true);
+        let t = estimate(EngineKind::Simd, &w, 4);
+        let g = t.gcups(w.cells);
+        assert!((0.3..1.2).contains(&g), "simd gcups {g}");
+    }
+
+    #[test]
+    fn protein_simd_much_slower() {
+        let dna = work(AlignmentConfig::DnaEdit, 1000, true);
+        let prot = work(AlignmentConfig::Protein, 1000, true);
+        let g_dna = estimate(EngineKind::Simd, &dna, 4).gcups(dna.cells);
+        let g_prot = estimate(EngineKind::Simd, &prot, 4).gcups(prot.cells);
+        assert!(g_prot < g_dna / 3.0, "{g_prot} vs {g_dna}");
+    }
+
+    #[test]
+    fn smx1d_speedup_ordering_matches_paper() {
+        // Paper §8 score-only speedups: DNA-edit ~23x > protein ~16x >
+        // DNA-gap ~11x > ASCII ~6x.
+        let mut ratios = Vec::new();
+        for cfg in AlignmentConfig::ALL {
+            let w = work(cfg, 1000, true);
+            let simd = estimate(EngineKind::Simd, &w, 4).cycles;
+            let smx1 = estimate(EngineKind::Smx1d, &w, 4).cycles;
+            ratios.push((cfg, simd / smx1));
+        }
+        let get = |c: AlignmentConfig| ratios.iter().find(|(k, _)| *k == c).unwrap().1;
+        assert!(get(AlignmentConfig::DnaEdit) > get(AlignmentConfig::DnaGap));
+        assert!(get(AlignmentConfig::DnaGap) > get(AlignmentConfig::Ascii));
+        assert!(get(AlignmentConfig::Protein) > get(AlignmentConfig::Ascii));
+        assert!(get(AlignmentConfig::DnaEdit) > 10.0);
+        assert!(get(AlignmentConfig::Ascii) > 3.0);
+    }
+
+    #[test]
+    fn smx_dominates_for_large_blocks() {
+        let w = work(AlignmentConfig::DnaEdit, 4000, true);
+        let simd = estimate(EngineKind::Simd, &w, 4).cycles;
+        let smx = estimate(EngineKind::Smx, &w, 4).cycles;
+        assert!(simd / smx > 200.0, "speedup {}", simd / smx);
+    }
+
+    #[test]
+    fn smx_beats_smx2d_on_full_alignment() {
+        // The SMX-1D traceback recompute outruns the software one.
+        let w = work(AlignmentConfig::DnaEdit, 2000, false);
+        let smx2d = estimate(EngineKind::Smx2d, &w, 4).cycles;
+        let smx = estimate(EngineKind::Smx, &w, 4).cycles;
+        assert!(smx <= smx2d, "{smx} vs {smx2d}");
+    }
+
+    #[test]
+    fn dpx_is_marginal_over_simd() {
+        let w = work(AlignmentConfig::DnaGap, 1000, true);
+        let simd = estimate(EngineKind::Simd, &w, 4).cycles;
+        let dpx = estimate(EngineKind::Dpx, &w, 4).cycles;
+        let ratio = simd / dpx;
+        assert!((1.0..1.2).contains(&ratio), "dpx ratio {ratio}");
+    }
+
+    #[test]
+    fn gmx_between_simd_and_smx() {
+        let w = work(AlignmentConfig::DnaEdit, 2000, true);
+        let simd = estimate(EngineKind::Simd, &w, 4).cycles;
+        let gmx = estimate(EngineKind::Gmx, &w, 4).cycles;
+        let smx = estimate(EngineKind::Smx, &w, 4).cycles;
+        assert!(gmx < simd);
+        assert!(smx < gmx);
+    }
+
+    #[test]
+    fn software_engine_is_slowest() {
+        let w = work(AlignmentConfig::DnaEdit, 1000, true);
+        let sw = estimate(EngineKind::Software, &w, 4).cycles;
+        let simd = estimate(EngineKind::Simd, &w, 4).cycles;
+        assert!(sw > simd, "{sw} vs {simd}");
+    }
+
+    #[test]
+    fn gact_scales_with_window_sides() {
+        let mut o1 = AlgoOutcome::new();
+        o1.blocks.push((320, 320));
+        let mut o2 = AlgoOutcome::new();
+        o2.blocks.extend(std::iter::repeat_n((320, 320), 10));
+        let w1 = BatchWork::from_outcomes(AlignmentConfig::DnaEdit, true, &[o1]);
+        let w2 = BatchWork::from_outcomes(AlignmentConfig::DnaEdit, true, &[o2]);
+        let c1 = estimate(EngineKind::Gact, &w1, 4).cycles;
+        let c2 = estimate(EngineKind::Gact, &w2, 4).cycles;
+        assert!((c2 / c1 - 10.0).abs() < 0.5, "{c1} {c2}");
+    }
+
+    #[test]
+    fn utilization_reported_for_coproc_engines() {
+        let outcomes: Vec<AlgoOutcome> = (0..8)
+            .map(|_| {
+                let mut o = AlgoOutcome::new();
+                o.cells_computed = 1_000_000;
+                o.blocks.push((1000, 1000));
+                o.pack_chars = 2000;
+                o
+            })
+            .collect();
+        let w = BatchWork::from_outcomes(AlignmentConfig::DnaEdit, true, &outcomes);
+        let t = estimate(EngineKind::Smx, &w, 4);
+        assert!(t.engine_utilization > 0.5, "{}", t.engine_utilization);
+        assert!(t.core_busy_frac < 0.5);
+    }
+}

@@ -1,0 +1,147 @@
+//! The GACT-style window heuristic (paper §11, Fig. 14 "(W)"): align a
+//! `W × W` window, keep the path up to an overlap margin, re-anchor, and
+//! repeat. Fast and memory-light, but the greedy window commits to a path
+//! that can diverge from the global optimum — the recall collapse the
+//! paper demonstrates on ONT reads.
+
+use crate::metrics::AlgoOutcome;
+use smx_align_core::{dp, Cigar, Op, ScoringScheme};
+
+/// Paper window size (Darwin/GACT configuration, §11).
+pub const GACT_W: usize = 320;
+/// Paper window overlap.
+pub const GACT_O: usize = 128;
+
+/// Runs the window heuristic with window `w` and overlap `o`.
+///
+/// # Panics
+///
+/// Panics if `o >= w` (the window would never advance).
+#[must_use]
+pub fn window_align(
+    query: &[u8],
+    reference: &[u8],
+    scheme: &ScoringScheme,
+    w: usize,
+    o: usize,
+    want_alignment: bool,
+) -> AlgoOutcome {
+    assert!(o < w, "overlap must be smaller than the window");
+    let (m, n) = (query.len(), reference.len());
+    let mut out = AlgoOutcome::new();
+    out.pack_chars = (m + n) as u64;
+    out.cells_stored = (w * w) as u64;
+    let mut cigar = Cigar::new();
+    let (mut i, mut j) = (0usize, 0usize);
+
+    loop {
+        if i == m {
+            cigar.push_run(Op::Delete, (n - j) as u32);
+            break;
+        }
+        if j == n {
+            cigar.push_run(Op::Insert, (m - i) as u32);
+            break;
+        }
+        let wi = w.min(m - i);
+        let wj = w.min(n - j);
+        let q_seg = &query[i..i + wi];
+        let r_seg = &reference[j..j + wj];
+        let aln = dp::align_codes(q_seg, r_seg, scheme);
+        out.cells_computed += (wi * wj) as u64;
+        out.blocks.push((wi, wj));
+        let last_window = i + wi == m && j + wj == n;
+        if last_window {
+            cigar.extend_from(&aln.cigar);
+            break;
+        }
+        // Keep the path prefix until w − o of either side is consumed.
+        let (keep_q, keep_r) = (wi.saturating_sub(o).max(1), wj.saturating_sub(o).max(1));
+        let (mut dq, mut dr) = (0usize, 0usize);
+        for op in aln.cigar.iter_ops() {
+            if dq >= keep_q || dr >= keep_r {
+                break;
+            }
+            cigar.push(op);
+            if op.consumes_query() {
+                dq += 1;
+            }
+            if op.consumes_reference() {
+                dr += 1;
+            }
+        }
+        debug_assert!(dq > 0 || dr > 0, "window made no progress");
+        i += dq;
+        j += dr;
+    }
+
+    out.traceback_steps = cigar.len() as u64;
+    let score = cigar
+        .score(query, reference, scheme)
+        .expect("window cigar consumes both sequences");
+    out.score = Some(score);
+    if want_alignment {
+        out.alignment = Some(smx_align_core::Alignment { score, cigar });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dna(len: usize, stride: u32) -> Vec<u8> {
+        (0..len as u32).map(|i| ((i * stride + (i >> 6)) % 4) as u8).collect()
+    }
+
+    #[test]
+    fn single_window_is_optimal() {
+        let q = dna(100, 7);
+        let r = dna(90, 5);
+        let scheme = ScoringScheme::edit();
+        let out = window_align(&q, &r, &scheme, 320, 128, true);
+        assert_eq!(out.score, Some(dp::score_only(&q, &r, &scheme)));
+        out.alignment.unwrap().verify(&q, &r, &scheme).unwrap();
+    }
+
+    #[test]
+    fn low_error_long_sequences_stay_optimal() {
+        let r = dna(900, 7);
+        let mut q = r.clone();
+        q[300] ^= 1; // one substitution
+        let scheme = ScoringScheme::edit();
+        let out = window_align(&q, &r, &scheme, 320, 128, false);
+        assert_eq!(out.score, Some(dp::score_only(&q, &r, &scheme)));
+        assert!(out.blocks.len() > 1, "needs several windows");
+    }
+
+    #[test]
+    fn large_indel_defeats_the_window() {
+        // A deletion larger than the window pushes the global optimum
+        // beyond what greedy windows can recover.
+        let r = dna(1500, 7);
+        let mut q = r[..200].to_vec();
+        q.extend_from_slice(&r[800..]); // 600-base deletion > W
+        let scheme = ScoringScheme::edit();
+        let out = window_align(&q, &r, &scheme, 320, 128, false);
+        let golden = dp::score_only(&q, &r, &scheme);
+        assert!(out.score.unwrap() < golden, "window should be suboptimal");
+    }
+
+    #[test]
+    fn cigar_always_consumes_everything() {
+        let q = dna(777, 11);
+        let r = dna(701, 13);
+        let scheme = ScoringScheme::linear(2, -4, -4).unwrap();
+        let out = window_align(&q, &r, &scheme, 128, 32, true);
+        let aln = out.alignment.unwrap();
+        assert_eq!(aln.cigar.query_len(), q.len());
+        assert_eq!(aln.cigar.reference_len(), r.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap must be smaller")]
+    fn overlap_must_be_smaller_than_window() {
+        let _ = window_align(&[0], &[0], &ScoringScheme::edit(), 8, 8, false);
+    }
+}

@@ -1,0 +1,224 @@
+//! Banded X-drop alignment (paper §9, "Xdrop-SMX"): the banded heuristic
+//! with BLAST-style score-drop termination, plus the band/threshold
+//! presets used by the harnesses.
+
+use crate::banded::banded_align;
+use crate::metrics::AlgoOutcome;
+use smx_align_core::ScoringScheme;
+
+/// Default X-drop threshold as a fraction of the attainable match score
+/// (Fig. 14 uses an X-drop of 8%).
+pub const DEFAULT_XDROP_FRACTION: f64 = 0.08;
+
+/// Runs banded X-drop with an absolute threshold `x`.
+#[must_use]
+pub fn xdrop_align(
+    query: &[u8],
+    reference: &[u8],
+    scheme: &ScoringScheme,
+    band: usize,
+    x: i32,
+    want_alignment: bool,
+) -> AlgoOutcome {
+    banded_align(query, reference, scheme, band, Some(x), want_alignment)
+}
+
+/// Runs banded X-drop with the Fig. 14 relative threshold: `x` is
+/// `fraction` of the perfect-match score of the query.
+#[must_use]
+pub fn xdrop_align_relative(
+    query: &[u8],
+    reference: &[u8],
+    scheme: &ScoringScheme,
+    band: usize,
+    fraction: f64,
+    want_alignment: bool,
+) -> AlgoOutcome {
+    let per_match = scheme.s_max().max(1);
+    let x = ((query.len() as f64) * f64::from(per_match) * fraction).ceil() as i32;
+    xdrop_align(query, reference, scheme, band, x.max(1), want_alignment)
+}
+
+/// A seed extension: how far an X-drop extension reached and what it
+/// scored — the BLAST/Minimap2 semantics where the alignment *ends where
+/// the score peaked*, rather than being forced to the corner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Extension {
+    /// Best score found.
+    pub score: i32,
+    /// Query characters consumed at the best-scoring point.
+    pub query_end: usize,
+    /// Reference characters consumed at the best-scoring point.
+    pub reference_end: usize,
+    /// DP cells computed before the drop fired (or the ends were reached).
+    pub cells: u64,
+}
+
+/// Extends an alignment rightward from `(0, 0)` under the X-drop rule:
+/// antidiagonals are computed within a band until their best score falls
+/// more than `x` below the global best, then the best prefix is reported.
+///
+/// This is the extension primitive seed-and-extend pipelines call per
+/// seed (paper §2.3's drop strategies; the use case behind Fig. 14's (X)
+/// column).
+#[must_use]
+pub fn extend_xdrop(
+    query: &[u8],
+    reference: &[u8],
+    scheme: &ScoringScheme,
+    band: usize,
+    x: i32,
+) -> Extension {
+    let (m, n) = (query.len(), reference.len());
+    let mut best = Extension { score: 0, query_end: 0, reference_end: 0, cells: 1 };
+    if m == 0 || n == 0 || band == 0 {
+        return best;
+    }
+    let (gi, gd) = (scheme.gap_insert(), scheme.gap_delete());
+    const NEG: i32 = i32::MIN / 4;
+    // Antidiagonal DP around the main diagonal, with X-drop.
+    let mut prev2: Vec<i32> = vec![0]; // antidiagonal a-2, offsets from lo2
+    let mut lo2 = 0i64;
+    // Antidiagonal a = 1: cells (0, 1) and (1, 0).
+    let mut prev: Vec<i32> = vec![gd, gi];
+    let mut lo1 = 0i64;
+    for a in 2..=(m + n) as i64 {
+        let i_min = (a - n as i64).max(0).max(a / 2 - band as i64);
+        let i_max = a.min(m as i64).min(a / 2 + band as i64);
+        if i_min > i_max {
+            break;
+        }
+        let mut row = vec![NEG; (i_max - i_min + 1) as usize];
+        let get = |v: &Vec<i32>, lo: i64, i: i64| -> i32 {
+            let idx = i - lo;
+            if idx >= 0 && (idx as usize) < v.len() {
+                v[idx as usize]
+            } else {
+                NEG
+            }
+        };
+        let mut diag_best = NEG;
+        for i in i_min..=i_max {
+            let j = a - i;
+            let v = if i == 0 {
+                (j as i32) * gd
+            } else if j == 0 {
+                (i as i32) * gi
+            } else {
+                let s = scheme.score(query[(i - 1) as usize], reference[(j - 1) as usize]);
+                get(&prev2, lo2, i - 1)
+                    .saturating_add(s)
+                    .max(get(&prev, lo1, i - 1).saturating_add(gi))
+                    .max(get(&prev, lo1, i).saturating_add(gd))
+                    .max(NEG)
+            };
+            row[(i - i_min) as usize] = v;
+            best.cells += 1;
+            if v > diag_best {
+                diag_best = v;
+            }
+            if v > best.score {
+                best = Extension {
+                    score: v,
+                    query_end: i as usize,
+                    reference_end: j as usize,
+                    cells: best.cells,
+                };
+            }
+        }
+        if diag_best < best.score - x {
+            break;
+        }
+        prev2 = prev;
+        lo2 = lo1;
+        prev = row;
+        lo1 = i_min;
+    }
+    best
+}
+
+/// A band wide enough for an expected error rate: `2 × rate × len`
+/// diagonals of slack plus a small constant.
+#[must_use]
+pub fn band_for_error_rate(len: usize, rate: f64) -> usize {
+    ((len as f64 * rate * 2.0).ceil() as usize + 16).min(len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smx_align_core::dp;
+
+    #[test]
+    fn relative_threshold_scales_with_length() {
+        let scheme = ScoringScheme::linear(2, -4, -4).unwrap();
+        let q = vec![0u8; 1000];
+        let out = xdrop_align_relative(&q, &q, &scheme, 16, 0.08, false);
+        assert!(!out.dropped);
+        assert_eq!(out.score, Some(dp::score_only(&q, &q, &scheme)));
+    }
+
+    #[test]
+    fn extension_stops_at_divergence_point() {
+        // Sequences agree for 200 bases then diverge completely: the
+        // extension must peak near (200, 200) and stop early.
+        let mut x = 7u64;
+        let mut gen = |len: usize, card: u64| -> Vec<u8> {
+            (0..len)
+                .map(|_| {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    (x % card) as u8
+                })
+                .collect()
+        };
+        let common = gen(200, 4);
+        let mut q = common.clone();
+        q.extend(gen(300, 2)); // diverging tails drawn from
+        let mut r = common;
+        r.extend(gen(300, 2).iter().map(|c| c + 2)); // disjoint alphabets
+        let scheme = ScoringScheme::linear(2, -4, -4).unwrap();
+        let ext = extend_xdrop(&q, &r, &scheme, 32, 60);
+        assert!((190..=210).contains(&ext.query_end), "q end {}", ext.query_end);
+        assert!((190..=210).contains(&ext.reference_end));
+        assert_eq!(ext.score, 2 * ext.query_end as i32);
+        // Early termination: far fewer cells than the full band.
+        assert!(ext.cells < (500 * 70) as u64, "cells {}", ext.cells);
+    }
+
+    #[test]
+    fn extension_reaches_the_end_of_similar_pairs() {
+        let q = vec![1u8; 300];
+        let scheme = ScoringScheme::linear(2, -4, -4).unwrap();
+        let ext = extend_xdrop(&q, &q, &scheme, 16, 40);
+        assert_eq!(ext.query_end, 300);
+        assert_eq!(ext.reference_end, 300);
+        assert_eq!(ext.score, 600);
+    }
+
+    #[test]
+    fn extension_with_scattered_errors_keeps_going() {
+        let mut q = vec![1u8; 400];
+        q[50] = 2;
+        q[200] = 0;
+        let r = vec![1u8; 400];
+        let scheme = ScoringScheme::linear(2, -4, -4).unwrap();
+        let ext = extend_xdrop(&q, &r, &scheme, 16, 50);
+        assert_eq!(ext.query_end, 400);
+        assert_eq!(ext.score, 398 * 2 - 2 * 4);
+    }
+
+    #[test]
+    fn degenerate_extension_inputs() {
+        let scheme = ScoringScheme::edit();
+        assert_eq!(extend_xdrop(&[], &[0], &scheme, 8, 10).score, 0);
+        assert_eq!(extend_xdrop(&[0], &[0], &scheme, 0, 10).score, 0);
+    }
+
+    #[test]
+    fn band_for_error_rate_bounds() {
+        assert!(band_for_error_rate(10_000, 0.07) >= 1400);
+        assert_eq!(band_for_error_rate(10, 1.0), 10);
+    }
+}

@@ -1,0 +1,479 @@
+//! "SMX-A": a gap-affine SMX-engine extension (score-only).
+//!
+//! The linear SMX-engine generalizes to affine gaps by carrying two
+//! values per border element (see `smx_diffenc::affine`). The systolic
+//! structure, supertile blocking, and border-only storage all carry over;
+//! each PE roughly doubles in area (two extra adders and a second 3:1
+//! mux pair), the trade quantified by the `ext_affine_engine` harness.
+
+use smx_align_core::{AlignError, ElementWidth};
+use smx_diffenc::affine::{
+    affine_block, affine_block_score, fresh_borders, AffineBlockOut, AffinePenalties, DownFlow,
+    RightFlow,
+};
+
+/// Functional model of an affine SMX-engine instance.
+#[derive(Debug, Clone, Copy)]
+pub struct AffineEngine {
+    pen: AffinePenalties,
+    ew: ElementWidth,
+}
+
+impl AffineEngine {
+    /// Builds an affine engine; `ew` selects the tile geometry exactly as
+    /// in the linear engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AlignError::InvalidScoring`] if the penalty ranges do
+    /// not fit the `EW+2`-bit affine datapath (u/v need sign plus the
+    /// `s_max + q + e` bound).
+    pub fn new(ew: ElementWidth, pen: AffinePenalties) -> Result<AffineEngine, AlignError> {
+        let needed = pen.uv_bits();
+        let available = u32::from(ew.bits()) + 2;
+        if needed > available {
+            return Err(AlignError::InvalidScoring(format!(
+                "affine u/v values need {needed} bits, the EW{}+2 datapath has {available}",
+                ew.bits()
+            )));
+        }
+        Ok(AffineEngine { pen, ew })
+    }
+
+    /// Tile side (`VL`), matching the linear engine's geometry.
+    #[must_use]
+    pub fn tile_dim(&self) -> usize {
+        self.ew.vl()
+    }
+
+    /// The penalties in positive-cost form.
+    #[must_use]
+    pub fn penalties(&self) -> AffinePenalties {
+        self.pen
+    }
+
+    /// Computes one tile (≤ `VL × VL`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AlignError::Internal`] on geometry violations.
+    pub fn compute_tile(
+        &self,
+        q_seg: &[u8],
+        r_seg: &[u8],
+        top: &[DownFlow],
+        left: &[RightFlow],
+    ) -> Result<AffineBlockOut, AlignError> {
+        let vl = self.tile_dim();
+        if q_seg.len() > vl || r_seg.len() > vl {
+            return Err(AlignError::Internal(format!(
+                "affine tile ({}, {}) exceeds VL={vl}",
+                q_seg.len(),
+                r_seg.len()
+            )));
+        }
+        affine_block(&self.pen, q_seg, r_seg, top, left)
+    }
+
+    /// Computes an arbitrary `m × n` block by sweeping the tile grid and
+    /// returns the global affine score (origin-anchored borders).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AlignError::EmptySequence`] for empty inputs.
+    pub fn score_block(&self, query: &[u8], reference: &[u8]) -> Result<i32, AlignError> {
+        let (m, n) = (query.len(), reference.len());
+        if m == 0 || n == 0 {
+            return Err(AlignError::EmptySequence);
+        }
+        let vl = self.tile_dim();
+        let (top0, left0) = fresh_borders(&self.pen, m, n);
+        let mut dh_carry: Vec<DownFlow> = top0.clone();
+        let mut right_all: Vec<RightFlow> = Vec::with_capacity(m);
+        for ti in 0..m.div_ceil(vl) {
+            let r0 = ti * vl;
+            let rows = (m - r0).min(vl);
+            let mut dv_carry: Vec<RightFlow> = left0[r0..r0 + rows].to_vec();
+            for tj in 0..n.div_ceil(vl) {
+                let c0 = tj * vl;
+                let cols = (n - c0).min(vl);
+                let out = self.compute_tile(
+                    &query[r0..r0 + rows],
+                    &reference[c0..c0 + cols],
+                    &dh_carry[c0..c0 + cols],
+                    &dv_carry,
+                )?;
+                dh_carry[c0..c0 + cols].copy_from_slice(&out.bottom);
+                dv_carry = out.right;
+            }
+            right_all.extend_from_slice(&dv_carry);
+        }
+        Ok(affine_block_score(&top0, &AffineBlockOut { right: right_all, bottom: dh_carry }))
+    }
+}
+
+/// Stored per-tile state for affine traceback: input flows and absolute
+/// `H` anchors at tile corners.
+#[derive(Debug, Clone)]
+pub struct AffineStore {
+    vl: usize,
+    m: usize,
+    n: usize,
+    t_cols: usize,
+    /// `(top flows, left flows)` per tile, row-major.
+    inputs: Vec<(Vec<DownFlow>, Vec<RightFlow>)>,
+    anchors: Vec<i32>,
+}
+
+impl AffineStore {
+    fn input(&self, ti: usize, tj: usize) -> &(Vec<DownFlow>, Vec<RightFlow>) {
+        &self.inputs[ti * self.t_cols + tj]
+    }
+
+    fn anchor(&self, ti: usize, tj: usize) -> i32 {
+        self.anchors[ti * self.t_cols + tj]
+    }
+}
+
+/// An affine block computed with traceback state retained.
+#[derive(Debug, Clone)]
+pub struct AffineBlockResult {
+    /// Bottom-right score relative to the block anchor.
+    pub score: i32,
+    store: AffineStore,
+}
+
+const NEG: i32 = i32::MIN / 4;
+
+impl AffineEngine {
+    /// Computes a block keeping every tile's input borders and corner
+    /// anchors for traceback (the affine analogue of
+    /// [`crate::BlockMode::Traceback`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AlignError::EmptySequence`] for empty inputs.
+    pub fn compute_block_traceback(
+        &self,
+        query: &[u8],
+        reference: &[u8],
+    ) -> Result<AffineBlockResult, AlignError> {
+        let (m, n) = (query.len(), reference.len());
+        if m == 0 || n == 0 {
+            return Err(AlignError::EmptySequence);
+        }
+        let vl = self.tile_dim();
+        let t_rows = m.div_ceil(vl);
+        let t_cols = n.div_ceil(vl);
+        let (top0, left0) = fresh_borders(&self.pen, m, n);
+        let mut dh_carry: Vec<DownFlow> = top0.clone();
+        let mut inputs = Vec::with_capacity(t_rows * t_cols);
+        let mut anchors = Vec::with_capacity(t_rows * t_cols);
+        let mut right_all: Vec<RightFlow> = Vec::with_capacity(m);
+        let mut left_anchor = 0i32;
+        for ti in 0..t_rows {
+            let r0 = ti * vl;
+            let rows = (m - r0).min(vl);
+            let mut dv_carry: Vec<RightFlow> = left0[r0..r0 + rows].to_vec();
+            let mut anchor = left_anchor;
+            for tj in 0..t_cols {
+                let c0 = tj * vl;
+                let cols = (n - c0).min(vl);
+                let top_in = dh_carry[c0..c0 + cols].to_vec();
+                inputs.push((top_in.clone(), dv_carry.clone()));
+                anchors.push(anchor);
+                anchor += top_in.iter().map(|d| d.v).sum::<i32>();
+                let out = self.compute_tile(
+                    &query[r0..r0 + rows],
+                    &reference[c0..c0 + cols],
+                    &top_in,
+                    &dv_carry,
+                )?;
+                dh_carry[c0..c0 + cols].copy_from_slice(&out.bottom);
+                dv_carry = out.right;
+            }
+            right_all.extend_from_slice(&dv_carry);
+            left_anchor += left0[r0..r0 + rows].iter().map(|f| f.u).sum::<i32>();
+        }
+        let score = affine_block_score(
+            &top0,
+            &AffineBlockOut { right: right_all, bottom: dh_carry },
+        );
+        Ok(AffineBlockResult {
+            score,
+            store: AffineStore { vl, m, n, t_cols, inputs, anchors },
+        })
+    }
+
+    /// Traces back an affine block by recomputing the Gotoh layers of the
+    /// tiles on the optimal path. The CIGAR re-scores (under affine
+    /// penalties) to the block score.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AlignError::Internal`] on inconsistent inputs.
+    pub fn traceback(
+        &self,
+        query: &[u8],
+        reference: &[u8],
+        result: &AffineBlockResult,
+    ) -> Result<smx_align_core::Cigar, AlignError> {
+        use smx_align_core::{Cigar, Op};
+        let store = &result.store;
+        if query.len() != store.m || reference.len() != store.n {
+            return Err(AlignError::Internal("sequences do not match stored block".into()));
+        }
+        let pen = self.pen;
+        let (q_pen, e_pen) = (pen.q, pen.e);
+        let vl = store.vl;
+        let mut cigar = Cigar::new();
+        let (mut gi, mut gj) = (store.m, store.n);
+        // Traceback layer: 0 = H, 1 = E (deletion), 2 = F (insertion).
+        let mut layer = 0u8;
+
+        while gi > 0 || gj > 0 {
+            if gi == 0 {
+                cigar.push_run(Op::Delete, gj as u32);
+                break;
+            }
+            if gj == 0 {
+                cigar.push_run(Op::Insert, gi as u32);
+                break;
+            }
+            let ti = (gi - 1) / vl;
+            let tj = (gj - 1) / vl;
+            let (r0, c0) = (ti * vl, tj * vl);
+            let rows = (store.m - r0).min(vl);
+            let cols = (store.n - c0).min(vl);
+            let (top_in, left_in) = store.input(ti, tj);
+            let q_seg = &query[r0..r0 + rows];
+            let r_seg = &reference[c0..c0 + cols];
+            let anchor = store.anchor(ti, tj);
+
+            // Recompute absolute H/E/F for the tile.
+            let w = cols + 1;
+            let mut h = vec![NEG; (rows + 1) * w];
+            let mut e = vec![NEG; (rows + 1) * w];
+            let mut f = vec![NEG; (rows + 1) * w];
+            h[0] = anchor;
+            for j in 1..=cols {
+                h[j] = h[j - 1] + top_in[j - 1].v;
+                f[w + j] = h[j] + top_in[j - 1].y; // F(1, j) from the y flow
+            }
+            for i in 1..=rows {
+                h[i * w] = h[(i - 1) * w] + left_in[i - 1].u;
+                e[i * w + 1] = h[i * w] + left_in[i - 1].x; // E(i, 1) from x
+            }
+            for i in 1..=rows {
+                for j in 1..=cols {
+                    if j >= 2 {
+                        e[i * w + j] =
+                            (e[i * w + j - 1] - e_pen).max(h[i * w + j - 1] - q_pen - e_pen);
+                    }
+                    if i >= 2 {
+                        f[i * w + j] =
+                            (f[(i - 1) * w + j] - e_pen).max(h[(i - 1) * w + j] - q_pen - e_pen);
+                    }
+                    let s = if q_seg[i - 1] == r_seg[j - 1] {
+                        pen.match_score
+                    } else {
+                        pen.mismatch
+                    };
+                    h[i * w + j] =
+                        (h[(i - 1) * w + j - 1] + s).max(e[i * w + j]).max(f[i * w + j]);
+                }
+            }
+
+            // Walk within the tile.
+            let mut li = gi - r0;
+            let mut lj = gj - c0;
+            while li > 0 && lj > 0 {
+                match layer {
+                    0 => {
+                        let here = h[li * w + lj];
+                        let s = if q_seg[li - 1] == r_seg[lj - 1] {
+                            pen.match_score
+                        } else {
+                            pen.mismatch
+                        };
+                        if here == h[(li - 1) * w + lj - 1] + s {
+                            cigar.push(if q_seg[li - 1] == r_seg[lj - 1] {
+                                Op::Match
+                            } else {
+                                Op::Mismatch
+                            });
+                            li -= 1;
+                            lj -= 1;
+                        } else if here == e[li * w + lj] {
+                            layer = 1;
+                        } else if here == f[li * w + lj] {
+                            layer = 2;
+                        } else {
+                            return Err(AlignError::Internal(format!(
+                                "broken affine H traceback at ({gi}, {gj})"
+                            )));
+                        }
+                    }
+                    1 => {
+                        // Deletion layer: consume one reference char.
+                        let here = e[li * w + lj];
+                        cigar.push(Op::Delete);
+                        if lj >= 2 && here == e[li * w + lj - 1] - e_pen {
+                            // stay in E
+                        } else if here == h[li * w + lj - 1] - q_pen - e_pen {
+                            layer = 0;
+                        } else if lj == 1 {
+                            // The gap continues into the tile to the left;
+                            // stay in E and cross the border.
+                        } else {
+                            return Err(AlignError::Internal(format!(
+                                "broken affine E traceback at ({gi}, {gj})"
+                            )));
+                        }
+                        lj -= 1;
+                    }
+                    _ => {
+                        let here = f[li * w + lj];
+                        cigar.push(Op::Insert);
+                        if li >= 2 && here == f[(li - 1) * w + lj] - e_pen {
+                            // stay in F
+                        } else if here == h[(li - 1) * w + lj] - q_pen - e_pen {
+                            layer = 0;
+                        } else if li == 1 {
+                            // Gap continues into the tile above.
+                        } else {
+                            return Err(AlignError::Internal(format!(
+                                "broken affine F traceback at ({gi}, {gj})"
+                            )));
+                        }
+                        li -= 1;
+                    }
+                }
+                gi = r0 + li;
+                gj = c0 + lj;
+            }
+        }
+        let mut out = cigar;
+        out.reverse();
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use smx_align_core::dp_affine::{affine_rescore, affine_score, AffineScheme};
+
+    fn engine() -> AffineEngine {
+        let pen = AffinePenalties::from_scheme(&AffineScheme::minimap2()).unwrap();
+        AffineEngine::new(ElementWidth::W4, pen).unwrap()
+    }
+
+    fn dna(len: usize, seed: u64) -> Vec<u8> {
+        let mut x = seed | 1;
+        (0..len)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x % 4) as u8
+            })
+            .collect()
+    }
+
+    #[test]
+    fn tiled_blocks_match_gotoh() {
+        let e = engine();
+        let scheme = AffineScheme::minimap2();
+        let q = dna(70, 3);
+        let r = dna(55, 9);
+        assert_eq!(e.score_block(&q, &r).unwrap(), affine_score(&q, &r, &scheme));
+    }
+
+    #[test]
+    fn long_gap_consolidation_survives_tiling() {
+        // A 40-base gap spans multiple 16-wide tiles: the (u, x) carries
+        // must keep the gap open across tile borders.
+        let e = engine();
+        let scheme = AffineScheme::minimap2();
+        let r = dna(100, 7);
+        let mut q = r.clone();
+        q.drain(30..70);
+        assert_eq!(e.score_block(&q, &r).unwrap(), affine_score(&q, &r, &scheme));
+    }
+
+    #[test]
+    fn datapath_width_validated() {
+        // Huge penalties do not fit the EW2+2 = 4-bit signed datapath.
+        let pen = AffinePenalties { match_score: 10, mismatch: -20, q: 30, e: 5 };
+        assert!(AffineEngine::new(ElementWidth::W2, pen).is_err());
+        assert!(AffineEngine::new(ElementWidth::W8, pen).is_ok());
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert!(engine().score_block(&[], &[0]).is_err());
+    }
+
+    #[test]
+    fn traceback_rescores_to_block_score() {
+        let e = engine();
+        let scheme = AffineScheme::minimap2();
+        let r = dna(90, 5);
+        let mut q = r.clone();
+        q.drain(20..45); // long gap crossing tile borders
+        q[50] ^= 1;
+        let res = e.compute_block_traceback(&q, &r).unwrap();
+        assert_eq!(res.score, affine_score(&q, &r, &scheme));
+        let cigar = e.traceback(&q, &r, &res).unwrap();
+        assert_eq!(affine_rescore(&cigar, &q, &r, &scheme).unwrap(), res.score);
+        // The 25-base deletion must appear as one consolidated run.
+        let dels: Vec<u32> = cigar
+            .runs()
+            .iter()
+            .filter(|(op, _)| *op == smx_align_core::Op::Delete)
+            .map(|&(_, n)| n)
+            .collect();
+        assert!(dels.contains(&25), "deletions {dels:?}");
+    }
+
+    #[test]
+    fn traceback_gap_only_edges() {
+        let e = engine();
+        let scheme = AffineScheme::minimap2();
+        let q = dna(5, 3);
+        let r = dna(40, 9);
+        let res = e.compute_block_traceback(&q, &r).unwrap();
+        let cigar = e.traceback(&q, &r, &res).unwrap();
+        assert_eq!(affine_rescore(&cigar, &q, &r, &scheme).unwrap(), res.score);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn random_tiled_blocks_match_gotoh(
+            q in proptest::collection::vec(0u8..4, 1..80),
+            r in proptest::collection::vec(0u8..4, 1..80),
+        ) {
+            let e = engine();
+            let scheme = AffineScheme::minimap2();
+            prop_assert_eq!(e.score_block(&q, &r).unwrap(), affine_score(&q, &r, &scheme));
+        }
+
+        #[test]
+        fn random_tracebacks_rescore(
+            q in proptest::collection::vec(0u8..4, 1..60),
+            r in proptest::collection::vec(0u8..4, 1..60),
+        ) {
+            let e = engine();
+            let scheme = AffineScheme::minimap2();
+            let res = e.compute_block_traceback(&q, &r).unwrap();
+            prop_assert_eq!(res.score, affine_score(&q, &r, &scheme));
+            let cigar = e.traceback(&q, &r, &res).unwrap();
+            prop_assert_eq!(affine_rescore(&cigar, &q, &r, &scheme).unwrap(), res.score);
+            prop_assert_eq!(cigar.query_len(), q.len());
+            prop_assert_eq!(cigar.reference_len(), r.len());
+        }
+    }
+}

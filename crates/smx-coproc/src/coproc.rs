@@ -1,0 +1,120 @@
+//! The SMX-2D coprocessor façade (paper §5.1): an engine shared by
+//! multiple SMX-workers, exposed through the block-offload interface the
+//! core drives via memory-mapped configuration registers.
+
+use crate::block::{compute_block, BlockMode, BlockOutput};
+use crate::engine::SmxEngine;
+use crate::traceback::{traceback_block, RecomputeStats};
+use smx_align_core::{AlignError, Cigar, ElementWidth, ScoringScheme};
+use smx_diffenc::boundary::BlockBorders;
+
+/// The SMX-2D coprocessor: one SMX-engine plus `workers` SMX-worker
+/// control units.
+///
+/// The worker count does not change functional results — it determines
+/// how many DP-blocks can be in flight, which the timing model in
+/// `smx-sim` consumes.
+#[derive(Debug, Clone)]
+pub struct SmxCoprocessor {
+    engine: SmxEngine,
+    workers: usize,
+}
+
+impl SmxCoprocessor {
+    /// Default worker count used in the paper's evaluation (§7).
+    pub const DEFAULT_WORKERS: usize = 4;
+
+    /// Builds a coprocessor for `ew` / `scheme` with `workers` workers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine configuration errors; rejects zero workers.
+    pub fn new(
+        ew: ElementWidth,
+        scheme: &ScoringScheme,
+        workers: usize,
+    ) -> Result<SmxCoprocessor, AlignError> {
+        if workers == 0 {
+            return Err(AlignError::Internal("coprocessor needs at least one worker".into()));
+        }
+        Ok(SmxCoprocessor { engine: SmxEngine::new(ew, scheme)?, workers })
+    }
+
+    /// The compute engine.
+    #[must_use]
+    pub fn engine(&self) -> &SmxEngine {
+        &self.engine
+    }
+
+    /// Number of SMX-workers.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Offloads one DP-block computation.
+    ///
+    /// # Errors
+    ///
+    /// See [`compute_block`].
+    pub fn compute_block(
+        &self,
+        query: &[u8],
+        reference: &[u8],
+        input: Option<&BlockBorders>,
+        mode: BlockMode,
+    ) -> Result<BlockOutput, AlignError> {
+        compute_block(&self.engine, query, reference, input, mode)
+    }
+
+    /// Traces back a block previously computed in traceback mode.
+    ///
+    /// # Errors
+    ///
+    /// See [`traceback_block`].
+    pub fn traceback(
+        &self,
+        query: &[u8],
+        reference: &[u8],
+        output: &BlockOutput,
+    ) -> Result<(Cigar, RecomputeStats), AlignError> {
+        let store = output.borders.as_ref().ok_or_else(|| {
+            AlignError::Internal("block was computed in score-only mode".into())
+        })?;
+        traceback_block(&self.engine, query, reference, store)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smx_align_core::{dp, AlignmentConfig};
+
+    #[test]
+    fn full_offload_roundtrip() {
+        let cfg = AlignmentConfig::DnaGap;
+        let c = SmxCoprocessor::new(cfg.element_width(), &cfg.scoring(), 4).unwrap();
+        let q: Vec<u8> = (0..50).map(|i| (i % 4) as u8).collect();
+        let r: Vec<u8> = (0..45).map(|i| (i % 3) as u8).collect();
+        let out = c.compute_block(&q, &r, None, BlockMode::Traceback).unwrap();
+        let (cigar, _) = c.traceback(&q, &r, &out).unwrap();
+        let scheme = cfg.scoring();
+        assert_eq!(out.score, dp::score_only(&q, &r, &scheme));
+        assert_eq!(cigar.score(&q, &r, &scheme).unwrap(), out.score);
+    }
+
+    #[test]
+    fn score_only_block_cannot_trace() {
+        let cfg = AlignmentConfig::DnaEdit;
+        let c = SmxCoprocessor::new(cfg.element_width(), &cfg.scoring(), 1).unwrap();
+        let q = vec![0u8; 8];
+        let out = c.compute_block(&q, &q, None, BlockMode::ScoreOnly).unwrap();
+        assert!(c.traceback(&q, &q, &out).is_err());
+    }
+
+    #[test]
+    fn zero_workers_rejected() {
+        let cfg = AlignmentConfig::DnaEdit;
+        assert!(SmxCoprocessor::new(cfg.element_width(), &cfg.scoring(), 0).is_err());
+    }
+}

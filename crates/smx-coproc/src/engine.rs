@@ -1,0 +1,172 @@
+//! The SMX-engine (paper §5.2): a 2D array of SMX-PEs computing one
+//! `VL × VL` DP-tile per cycle, with per-EW geometry (32×32, 16×16,
+//! 10×10, 8×8) and the pipeline depths of the 1 GHz design point.
+
+use crate::tile::{TileInput, TileOutput};
+use smx_align_core::{AlignError, ElementWidth, ScoringScheme};
+use smx_diffenc::delta::DeltaBlock;
+use smx_isa::config::SmxConfig;
+
+/// Functional model of the SMX-engine compute array.
+///
+/// Holds the validated configuration and scoring scheme (the hardware
+/// keeps the substitution matrix in registers so ten columns can be read
+/// per cycle — functionally equivalent to a scheme lookup).
+#[derive(Debug, Clone)]
+pub struct SmxEngine {
+    ew: ElementWidth,
+    scheme: ScoringScheme,
+}
+
+impl SmxEngine {
+    /// Builds an engine for `ew` and `scheme`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration validation errors (theta overflow,
+    /// non-encodable scheme).
+    pub fn new(ew: ElementWidth, scheme: &ScoringScheme) -> Result<SmxEngine, AlignError> {
+        let _ = SmxConfig::from_scheme(ew, scheme)?;
+        Ok(SmxEngine { ew, scheme: scheme.clone() })
+    }
+
+    /// The configured element width.
+    #[must_use]
+    pub fn ew(&self) -> ElementWidth {
+        self.ew
+    }
+
+    /// The scoring scheme.
+    #[must_use]
+    pub fn scheme(&self) -> &ScoringScheme {
+        &self.scheme
+    }
+
+    /// Tile side length (`VL`).
+    #[must_use]
+    pub fn tile_dim(&self) -> usize {
+        self.ew.vl()
+    }
+
+    /// Pipeline depth in cycles at the 1 GHz design point.
+    #[must_use]
+    pub fn pipeline_depth(&self) -> u32 {
+        self.ew.engine_pipeline_depth()
+    }
+
+    /// Peak DP-elements per cycle (`VL²`): 1024 / 256 / 100 / 64.
+    #[must_use]
+    pub fn peak_elements_per_cycle(&self) -> u32 {
+        (self.tile_dim() * self.tile_dim()) as u32
+    }
+
+    /// Computes one tile's output borders.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AlignError::Internal`] if the segment lengths disagree
+    /// with the input borders or exceed `VL`.
+    pub fn compute_tile(
+        &self,
+        q_seg: &[u8],
+        r_seg: &[u8],
+        input: &TileInput,
+    ) -> Result<TileOutput, AlignError> {
+        let blk = self.compute_tile_full(q_seg, r_seg, input)?;
+        Ok(TileOutput { dv_right: blk.right_dv(), dh_bottom: blk.bottom_dh() })
+    }
+
+    /// Computes one tile keeping the full interior (the traceback
+    /// recompute path).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SmxEngine::compute_tile`].
+    pub fn compute_tile_full(
+        &self,
+        q_seg: &[u8],
+        r_seg: &[u8],
+        input: &TileInput,
+    ) -> Result<DeltaBlock, AlignError> {
+        let vl = self.tile_dim();
+        if q_seg.len() > vl || r_seg.len() > vl {
+            return Err(AlignError::Internal(format!(
+                "tile segment ({}, {}) exceeds VL={vl}",
+                q_seg.len(),
+                r_seg.len()
+            )));
+        }
+        if input.rows() != q_seg.len() || input.cols() != r_seg.len() {
+            return Err(AlignError::Internal(format!(
+                "tile borders ({}, {}) do not match segments ({}, {})",
+                input.rows(),
+                input.cols(),
+                q_seg.len(),
+                r_seg.len()
+            )));
+        }
+        DeltaBlock::compute(self.ew, q_seg, r_seg, &self.scheme, &input.dh_top, &input.dv_left)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smx_align_core::{dp, AlignmentConfig};
+
+    fn engine(cfg: AlignmentConfig) -> SmxEngine {
+        SmxEngine::new(cfg.element_width(), &cfg.scoring()).unwrap()
+    }
+
+    #[test]
+    fn geometry_matches_paper() {
+        assert_eq!(engine(AlignmentConfig::DnaEdit).peak_elements_per_cycle(), 1024);
+        assert_eq!(engine(AlignmentConfig::DnaGap).peak_elements_per_cycle(), 256);
+        assert_eq!(engine(AlignmentConfig::Protein).peak_elements_per_cycle(), 100);
+        assert_eq!(engine(AlignmentConfig::Ascii).peak_elements_per_cycle(), 64);
+    }
+
+    #[test]
+    fn full_tile_matches_golden_score() {
+        let cfg = AlignmentConfig::DnaEdit;
+        let e = engine(cfg);
+        let q: Vec<u8> = (0..32).map(|i| (i % 4) as u8).collect();
+        let r: Vec<u8> = (0..32).map(|i| (i % 3) as u8).collect();
+        let out = e.compute_tile(&q, &r, &TileInput::fresh(32, 32)).unwrap();
+        let scheme = cfg.scoring();
+        // Reconstruct score from borders and compare to golden.
+        let score: i32 = r.len() as i32 * scheme.gap_delete()
+            + out
+                .dv_right
+                .iter()
+                .map(|&d| i32::from(d) + scheme.gap_insert())
+                .sum::<i32>();
+        assert_eq!(score, dp::score_only(&q, &r, &scheme));
+    }
+
+    #[test]
+    fn partial_tile_supported() {
+        let e = engine(AlignmentConfig::Protein);
+        let q = [7u8, 4, 0];
+        let r = [15u8, 0];
+        let out = e.compute_tile(&q, &r, &TileInput::fresh(3, 2)).unwrap();
+        assert_eq!(out.dv_right.len(), 3);
+        assert_eq!(out.dh_bottom.len(), 2);
+    }
+
+    #[test]
+    fn oversized_tile_rejected() {
+        let e = engine(AlignmentConfig::Ascii); // VL = 8
+        let q = vec![0u8; 9];
+        let r = vec![0u8; 8];
+        assert!(e.compute_tile(&q, &r, &TileInput::fresh(9, 8)).is_err());
+    }
+
+    #[test]
+    fn mismatched_borders_rejected() {
+        let e = engine(AlignmentConfig::DnaEdit);
+        let q = vec![0u8; 4];
+        let r = vec![0u8; 4];
+        assert!(e.compute_tile(&q, &r, &TileInput::fresh(3, 4)).is_err());
+    }
+}

@@ -1,0 +1,57 @@
+//! DP-tile border types (paper §5.2).
+//!
+//! A DP-tile is a `rows × cols` region (at most `VL × VL`) whose inputs
+//! are the Δv′ values entering from the left and the Δh′ values entering
+//! from the top, and whose outputs are the Δv′ leaving on the right and
+//! the Δh′ leaving at the bottom — the `ΔV′`/`ΔH′` vectors of Fig. 6.
+
+/// Input borders of a tile in shifted differential form.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TileInput {
+    /// Δv′ entering each row from the left (length = tile rows).
+    pub dv_left: Vec<u8>,
+    /// Δh′ entering each column from the top (length = tile cols).
+    pub dh_top: Vec<u8>,
+}
+
+impl TileInput {
+    /// Fresh (origin-anchored) inputs for a `rows × cols` tile.
+    #[must_use]
+    pub fn fresh(rows: usize, cols: usize) -> TileInput {
+        TileInput { dv_left: vec![0; rows], dh_top: vec![0; cols] }
+    }
+
+    /// Tile rows implied by the left border.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.dv_left.len()
+    }
+
+    /// Tile columns implied by the top border.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.dh_top.len()
+    }
+}
+
+/// Output borders of a tile.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TileOutput {
+    /// Δv′ leaving each row on the right (length = tile rows).
+    pub dv_right: Vec<u8>,
+    /// Δh′ leaving each column at the bottom (length = tile cols).
+    pub dh_bottom: Vec<u8>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_dimensions() {
+        let t = TileInput::fresh(10, 7);
+        assert_eq!(t.rows(), 10);
+        assert_eq!(t.cols(), 7);
+        assert!(t.dv_left.iter().all(|&v| v == 0));
+    }
+}

@@ -1,0 +1,153 @@
+//! SMX-worker bookkeeping (paper §5.3, Fig. 7): supertile partitioning and
+//! the memory-transfer ledger.
+//!
+//! A *supertile* groups the DP-tiles whose query and reference segments
+//! share cache lines. With a 64-byte line and `EW`-bit characters a line
+//! holds `512 / EW` characters, so a supertile border (one side) is
+//! exactly one cache line of packed deltas — the property the worker
+//! exploits to turn border traffic into whole-line transfers.
+
+use crate::block::BlockMode;
+use smx_align_core::ElementWidth;
+
+/// Cache line size assumed throughout the SoC model (bytes).
+pub const CACHE_LINE_BYTES: usize = 64;
+
+/// Memory-transfer and work statistics for one DP-block computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TransferStats {
+    /// DP-tiles computed.
+    pub tiles: u64,
+    /// Supertiles traversed.
+    pub supertiles: u64,
+    /// Cache lines fetched from the L2 (sequences + input borders).
+    pub lines_loaded: u64,
+    /// Cache lines written back to the L2 (output borders, and interior
+    /// tile borders when tracing back).
+    pub lines_stored: u64,
+    /// Bytes of border state retained for traceback.
+    pub border_bytes_stored: u64,
+    /// DP-elements computed.
+    pub elements: u64,
+}
+
+impl TransferStats {
+    /// Accumulates another block's statistics.
+    pub fn merge(&mut self, other: &TransferStats) {
+        self.tiles += other.tiles;
+        self.supertiles += other.supertiles;
+        self.lines_loaded += other.lines_loaded;
+        self.lines_stored += other.lines_stored;
+        self.border_bytes_stored += other.border_bytes_stored;
+        self.elements += other.elements;
+    }
+
+    /// Total lines moved through the L2 port.
+    #[must_use]
+    pub fn lines_total(&self) -> u64 {
+        self.lines_loaded + self.lines_stored
+    }
+}
+
+/// Characters per cache line at a given element width.
+#[must_use]
+pub fn chars_per_line(ew: ElementWidth) -> usize {
+    CACHE_LINE_BYTES * 8 / ew.bits() as usize
+}
+
+/// Computes the transfer ledger for an `m × n` DP-block.
+///
+/// Loads per supertile: one query line, one reference line, one top-border
+/// line, one left-border line. Stores per supertile: bottom and right
+/// border lines. In [`BlockMode::Traceback`] the interior tile borders
+/// (2 × VL elements per tile) are additionally written back for later
+/// recomputation.
+#[must_use]
+pub fn block_transfer_stats(m: usize, n: usize, ew: ElementWidth, mode: BlockMode) -> TransferStats {
+    let vl = ew.vl();
+    let cpl = chars_per_line(ew);
+    let st_rows = m.div_ceil(cpl) as u64;
+    let st_cols = n.div_ceil(cpl) as u64;
+    let t_rows = m.div_ceil(vl) as u64;
+    let t_cols = n.div_ceil(vl) as u64;
+    let supertiles = st_rows * st_cols;
+    let tiles = t_rows * t_cols;
+    let lines_loaded = supertiles * 4;
+    let mut lines_stored = supertiles * 2;
+    let mut border_bytes_stored = 0u64;
+    if mode == BlockMode::Traceback {
+        // Every tile's input borders (2 × VL elements of EW bits).
+        let bytes_per_tile = (2 * vl * ew.bits() as usize).div_ceil(8) as u64;
+        border_bytes_stored = tiles * bytes_per_tile;
+        lines_stored += border_bytes_stored.div_ceil(CACHE_LINE_BYTES as u64);
+    }
+    TransferStats {
+        tiles,
+        supertiles,
+        lines_loaded,
+        lines_stored,
+        border_bytes_stored,
+        elements: (m as u64) * (n as u64),
+    }
+}
+
+/// Memory footprint (bytes) of a software implementation storing the full
+/// DP-matrix at `bits` per element — the baseline the paper's 4–64×
+/// footprint-reduction claims compare against.
+#[must_use]
+pub fn full_matrix_bytes(m: usize, n: usize, bits: usize) -> u64 {
+    ((m as u64) * (n as u64) * bits as u64).div_ceil(8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chars_per_line_by_width() {
+        assert_eq!(chars_per_line(ElementWidth::W2), 256);
+        assert_eq!(chars_per_line(ElementWidth::W4), 128);
+        assert_eq!(chars_per_line(ElementWidth::W6), 85);
+        assert_eq!(chars_per_line(ElementWidth::W8), 64);
+    }
+
+    #[test]
+    fn score_only_stats() {
+        let s = block_transfer_stats(1024, 1024, ElementWidth::W2, BlockMode::ScoreOnly);
+        assert_eq!(s.supertiles, 16); // 4x4 supertiles of 256x256
+        assert_eq!(s.tiles, 1024); // 32x32 tiles of 32x32
+        assert_eq!(s.lines_loaded, 64);
+        assert_eq!(s.lines_stored, 32);
+        assert_eq!(s.border_bytes_stored, 0);
+        assert_eq!(s.elements, 1024 * 1024);
+    }
+
+    #[test]
+    fn traceback_mode_stores_tile_borders() {
+        let s = block_transfer_stats(1024, 1024, ElementWidth::W2, BlockMode::Traceback);
+        // 1024 tiles x (2*32 elements * 2 bits / 8) = 16 bytes per tile.
+        assert_eq!(s.border_bytes_stored, 1024 * 16);
+        assert!(s.lines_stored > 32);
+    }
+
+    #[test]
+    fn footprint_reduction_vs_software() {
+        // Paper §5: up to 256x reduction vs a 32-bit software matrix.
+        let m = 10_000;
+        let n = 10_000;
+        let sw = full_matrix_bytes(m, n, 32);
+        let smx =
+            block_transfer_stats(m, n, ElementWidth::W2, BlockMode::Traceback).border_bytes_stored;
+        let reduction = sw as f64 / smx as f64;
+        assert!(reduction > 200.0, "reduction {reduction}");
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = block_transfer_stats(100, 100, ElementWidth::W8, BlockMode::ScoreOnly);
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.tiles, 2 * b.tiles);
+        assert_eq!(a.lines_total(), 2 * b.lines_total());
+    }
+}

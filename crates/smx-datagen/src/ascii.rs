@@ -1,0 +1,61 @@
+//! ASCII text generation with a typo channel (the text/information-
+//! retrieval use case of the ASCII-edit configuration).
+
+use crate::mutate::{mutate, ErrorProfile};
+use rand::rngs::StdRng;
+use rand::Rng;
+use smx_align_core::{Alphabet, Sequence};
+
+const WORDS: &[&str] = &[
+    "sequence", "alignment", "matrix", "vector", "kernel", "memory", "cache", "worker",
+    "engine", "tile", "block", "score", "trace", "query", "reference", "protein", "genome",
+    "hardware", "systolic", "pipeline", "register", "parallel", "compute", "border",
+];
+
+/// Generates pseudo-English text of roughly `len` characters.
+#[must_use]
+pub fn random_text(len: usize, rng: &mut StdRng) -> Sequence {
+    let mut out = String::with_capacity(len + 16);
+    while out.len() < len {
+        if !out.is_empty() {
+            out.push(' ');
+        }
+        out.push_str(WORDS[rng.gen_range(0..WORDS.len())]);
+    }
+    out.truncate(len);
+    Sequence::from_text(Alphabet::Ascii, &out).expect("generated text is ASCII")
+}
+
+/// A (reference, query) text pair with a typo channel of the given rate.
+#[must_use]
+pub fn text_pair(len: usize, typo_rate: f64, rng: &mut StdRng) -> (Sequence, Sequence) {
+    let reference = random_text(len, rng);
+    let profile = ErrorProfile {
+        sub_rate: typo_rate * 0.6,
+        ins_rate: typo_rate * 0.2,
+        del_rate: typo_rate * 0.2,
+    };
+    let query = mutate(&reference, &profile, rng);
+    (reference, query)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn text_has_requested_length() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let t = random_text(500, &mut rng);
+        assert_eq!(t.len(), 500);
+    }
+
+    #[test]
+    fn typos_create_small_edit_distance() {
+        let mut rng = StdRng::seed_from_u64(32);
+        let (r, q) = text_pair(2000, 0.02, &mut rng);
+        let d = smx_align_core::dp::edit_distance(q.codes(), r.codes());
+        assert!(d > 0 && d < 150, "distance {d}");
+    }
+}

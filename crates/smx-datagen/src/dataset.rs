@@ -1,0 +1,245 @@
+//! Named datasets: seeded collections of (reference, query) pairs matching
+//! the paper's evaluation inputs (§7).
+
+use crate::{ascii, dna, mutate::ErrorProfile, protein};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use smx_align_core::{AlignmentConfig, Sequence};
+
+/// One alignment task: a reference and a query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeqPair {
+    /// The reference sequence.
+    pub reference: Sequence,
+    /// The query sequence.
+    pub query: Sequence,
+}
+
+impl SeqPair {
+    /// DP-matrix cell count for this pair.
+    #[must_use]
+    pub fn cells(&self) -> u64 {
+        self.reference.len() as u64 * self.query.len() as u64
+    }
+}
+
+/// A named, seeded dataset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dataset {
+    /// Dataset name (shown in harness output).
+    pub name: String,
+    /// The configuration the dataset targets.
+    pub config: AlignmentConfig,
+    /// The alignment tasks.
+    pub pairs: Vec<SeqPair>,
+}
+
+impl Dataset {
+    /// Synthetic fixed-length pairs for the Fig. 9 sweeps.
+    #[must_use]
+    pub fn synthetic(
+        config: AlignmentConfig,
+        len: usize,
+        count: usize,
+        profile: ErrorProfile,
+        seed: u64,
+    ) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pairs = (0..count)
+            .map(|_| {
+                let (reference, query) = match config {
+                    AlignmentConfig::DnaEdit | AlignmentConfig::DnaGap => {
+                        dna::synthetic_pair(config.alphabet(), len, &profile, &mut rng)
+                    }
+                    AlignmentConfig::Protein => {
+                        let r = protein::random_protein(len, &mut rng);
+                        let q = crate::mutate::mutate(&r, &profile, &mut rng);
+                        (r, q)
+                    }
+                    AlignmentConfig::Ascii => {
+                        let r = ascii::random_text(len, &mut rng);
+                        let q = crate::mutate::mutate(&r, &profile, &mut rng);
+                        (r, q)
+                    }
+                };
+                SeqPair { reference, query }
+            })
+            .collect();
+        Dataset { name: format!("{}-{len}bp", config.name()), config, pairs }
+    }
+
+    /// PacBio-HiFi stand-in (~15 kbp, ~0.5% error), DNA-gap configuration.
+    #[must_use]
+    pub fn pacbio_like(count: usize, seed: u64) -> Dataset {
+        let config = AlignmentConfig::DnaGap;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pairs = (0..count)
+            .map(|_| {
+                let (reference, query) = dna::pacbio_pair(config.alphabet(), &mut rng);
+                SeqPair { reference, query }
+            })
+            .collect();
+        Dataset { name: "pacbio-hifi".into(), config, pairs }
+    }
+
+    /// ONT stand-in (~50 kbp, ~7% indel-heavy error), DNA-edit
+    /// configuration by default (Edlib-style filtering uses edit distance).
+    #[must_use]
+    pub fn ont_like(config: AlignmentConfig, count: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pairs = (0..count)
+            .map(|_| {
+                let (reference, query) = dna::ont_pair(config.alphabet(), &mut rng);
+                SeqPair { reference, query }
+            })
+            .collect();
+        Dataset { name: "ont".into(), config, pairs }
+    }
+
+    /// ONT stand-in with structural variants: every pair carries a
+    /// deletion of `sv_len` bases besides the per-base error channel
+    /// (what makes window-limited heuristics fail, Fig. 14).
+    #[must_use]
+    pub fn ont_sv_like(
+        config: AlignmentConfig,
+        len: usize,
+        sv_len: usize,
+        count: usize,
+        seed: u64,
+    ) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pairs = (0..count)
+            .map(|_| {
+                let (reference, query) = dna::structural_variant_pair(
+                    config.alphabet(),
+                    len,
+                    sv_len,
+                    &crate::mutate::ErrorProfile::ont(),
+                    &mut rng,
+                );
+                SeqPair { reference, query }
+            })
+            .collect();
+        Dataset { name: "ont-sv".into(), config, pairs }
+    }
+
+    /// Repeat-rich DNA pairs: references with tandem repeats and
+    /// homopolymer runs (the low-complexity structure that stresses
+    /// banded heuristics), mutated with the given profile.
+    #[must_use]
+    pub fn repeat_rich(
+        config: AlignmentConfig,
+        len: usize,
+        repeat_fraction: f64,
+        count: usize,
+        seed: u64,
+    ) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pairs = (0..count)
+            .map(|_| {
+                let reference =
+                    dna::repeat_rich_dna(config.alphabet(), len, repeat_fraction, &mut rng);
+                let query =
+                    crate::mutate::mutate(&reference, &crate::mutate::ErrorProfile::moderate(), &mut rng);
+                SeqPair { reference, query }
+            })
+            .collect();
+        Dataset { name: "repeat-rich".into(), config, pairs }
+    }
+
+    /// UniProt-style protein query set (~350 aa homolog pairs).
+    #[must_use]
+    pub fn uniprot_like(count: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pairs = (0..count)
+            .map(|_| {
+                let (reference, query) =
+                    protein::homolog_pair(protein::PROTEIN_MEAN_LEN, 0.25, &mut rng);
+                SeqPair { reference, query }
+            })
+            .collect();
+        Dataset { name: "uniprot".into(), config: AlignmentConfig::Protein, pairs }
+    }
+
+    /// ASCII text pairs with a 2% typo channel.
+    #[must_use]
+    pub fn ascii_like(len: usize, count: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pairs = (0..count)
+            .map(|_| {
+                let (reference, query) = ascii::text_pair(len, 0.02, &mut rng);
+                SeqPair { reference, query }
+            })
+            .collect();
+        Dataset { name: "ascii-text".into(), config: AlignmentConfig::Ascii, pairs }
+    }
+
+    /// Total DP cells across all pairs.
+    #[must_use]
+    pub fn total_cells(&self) -> u64 {
+        self.pairs.iter().map(SeqPair::cells).sum()
+    }
+
+    /// Mean sequence length across pairs (reference side).
+    #[must_use]
+    pub fn mean_reference_len(&self) -> f64 {
+        if self.pairs.is_empty() {
+            return 0.0;
+        }
+        self.pairs.iter().map(|p| p.reference.len()).sum::<usize>() as f64
+            / self.pairs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_is_deterministic() {
+        let a = Dataset::synthetic(AlignmentConfig::DnaEdit, 200, 3, ErrorProfile::moderate(), 5);
+        let b = Dataset::synthetic(AlignmentConfig::DnaEdit, 200, 3, ErrorProfile::moderate(), 5);
+        assert_eq!(a, b);
+        let c = Dataset::synthetic(AlignmentConfig::DnaEdit, 200, 3, ErrorProfile::moderate(), 6);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn all_configs_generate() {
+        for cfg in AlignmentConfig::ALL {
+            let ds = Dataset::synthetic(cfg, 64, 2, ErrorProfile::moderate(), 1);
+            assert_eq!(ds.pairs.len(), 2);
+            assert_eq!(ds.config, cfg);
+            for p in &ds.pairs {
+                assert_eq!(p.reference.alphabet(), cfg.alphabet());
+                assert!(!p.query.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn real_dataset_standins_have_expected_scale() {
+        let pb = Dataset::pacbio_like(2, 3);
+        assert!(pb.mean_reference_len() > 10_000.0);
+        let ont = Dataset::ont_like(AlignmentConfig::DnaEdit, 2, 3);
+        assert!(ont.mean_reference_len() > 35_000.0);
+        let up = Dataset::uniprot_like(4, 3);
+        assert!(up.mean_reference_len() > 200.0 && up.mean_reference_len() < 600.0);
+    }
+
+    #[test]
+    fn repeat_rich_generates() {
+        let ds = Dataset::repeat_rich(AlignmentConfig::DnaEdit, 2000, 0.5, 3, 5);
+        assert_eq!(ds.pairs.len(), 3);
+        for p in &ds.pairs {
+            assert_eq!(p.reference.len(), 2000);
+            assert!(!p.query.is_empty());
+        }
+    }
+
+    #[test]
+    fn cells_accounting() {
+        let ds = Dataset::ascii_like(100, 2, 4);
+        assert_eq!(ds.total_cells(), ds.pairs.iter().map(|p| p.cells()).sum::<u64>());
+    }
+}

@@ -1,0 +1,174 @@
+//! DNA sequence generation with long-read sequencing profiles.
+
+use crate::mutate::{mutate, random_sequence, ErrorProfile};
+use rand::rngs::StdRng;
+use rand::Rng;
+use smx_align_core::{Alphabet, Sequence};
+
+/// Mean read length of the PacBio-HiFi stand-in (paper: ≈15 kbp).
+pub const PACBIO_MEAN_LEN: usize = 15_000;
+/// Mean read length of the ONT stand-in (paper: ≈50 kbp).
+pub const ONT_MEAN_LEN: usize = 50_000;
+
+/// A random DNA reference of `len` bases.
+#[must_use]
+pub fn random_dna(alphabet: Alphabet, len: usize, rng: &mut StdRng) -> Sequence {
+    debug_assert!(matches!(alphabet, Alphabet::Dna2 | Alphabet::Dna4));
+    // Draw only the four canonical bases even for the 4-bit alphabet, as
+    // real references are overwhelmingly ACGT.
+    let codes: Vec<u8> = (0..len).map(|_| rng.gen_range(0..4u8)).collect();
+    Sequence::from_codes(alphabet, codes).expect("codes 0..4 valid for DNA alphabets")
+}
+
+/// A (reference, query) read pair with the given profile; the read length
+/// is jittered ±20% around `mean_len`.
+#[must_use]
+pub fn read_pair(
+    alphabet: Alphabet,
+    mean_len: usize,
+    profile: &ErrorProfile,
+    rng: &mut StdRng,
+) -> (Sequence, Sequence) {
+    let jitter = (mean_len / 5).max(1);
+    let len = mean_len - jitter + rng.gen_range(0..2 * jitter);
+    let reference = random_dna(alphabet, len, rng);
+    let query = mutate(&reference, profile, rng);
+    (reference, query)
+}
+
+/// A PacBio-HiFi-like pair (2-bit or 4-bit alphabet).
+#[must_use]
+pub fn pacbio_pair(alphabet: Alphabet, rng: &mut StdRng) -> (Sequence, Sequence) {
+    read_pair(alphabet, PACBIO_MEAN_LEN, &ErrorProfile::pacbio_hifi(), rng)
+}
+
+/// An ONT-like pair.
+#[must_use]
+pub fn ont_pair(alphabet: Alphabet, rng: &mut StdRng) -> (Sequence, Sequence) {
+    read_pair(alphabet, ONT_MEAN_LEN, &ErrorProfile::ont(), rng)
+}
+
+/// Uniform random DNA (for the synthetic length sweeps).
+#[must_use]
+pub fn synthetic_pair(
+    alphabet: Alphabet,
+    len: usize,
+    profile: &ErrorProfile,
+    rng: &mut StdRng,
+) -> (Sequence, Sequence) {
+    let reference = random_dna(alphabet, len, rng);
+    let query = mutate(&reference, profile, rng);
+    (reference, query)
+}
+
+/// Re-exported helper for non-DNA alphabets.
+#[must_use]
+pub fn uniform(alphabet: Alphabet, len: usize, rng: &mut StdRng) -> Sequence {
+    random_sequence(alphabet, len, rng)
+}
+
+/// A DNA reference containing realistic low-complexity structure: tandem
+/// repeats and homopolymer runs interspersed with random sequence. Long
+/// reads over such regions are what stress banded heuristics (the band
+/// must widen where the aligner can slide along a repeat).
+#[must_use]
+pub fn repeat_rich_dna(
+    alphabet: Alphabet,
+    len: usize,
+    repeat_fraction: f64,
+    rng: &mut StdRng,
+) -> Sequence {
+    debug_assert!(matches!(alphabet, Alphabet::Dna2 | Alphabet::Dna4));
+    let mut codes: Vec<u8> = Vec::with_capacity(len + 32);
+    while codes.len() < len {
+        if rng.gen_bool(repeat_fraction.clamp(0.0, 1.0)) {
+            if rng.gen_bool(0.5) {
+                // Tandem repeat: unit of 2-6 bases, 4-20 copies.
+                let unit_len = rng.gen_range(2..=6);
+                let copies = rng.gen_range(4..=20);
+                let unit: Vec<u8> = (0..unit_len).map(|_| rng.gen_range(0..4u8)).collect();
+                for _ in 0..copies {
+                    codes.extend_from_slice(&unit);
+                }
+            } else {
+                // Homopolymer run of 5-25 bases.
+                let base = rng.gen_range(0..4u8);
+                let run = rng.gen_range(5..=25);
+                codes.extend(std::iter::repeat_n(base, run));
+            }
+        } else {
+            // A random stretch.
+            let stretch = rng.gen_range(20..=80);
+            codes.extend((0..stretch).map(|_| rng.gen_range(0..4u8)));
+        }
+    }
+    codes.truncate(len);
+    Sequence::from_codes(alphabet, codes).expect("codes 0..4 valid for DNA alphabets")
+}
+
+/// A read pair containing a structural deletion of `sv_len` bases at a
+/// random position, on top of the per-base error channel. Long ONT reads
+/// routinely span such variants; they are what defeats window-limited
+/// heuristics (paper Fig. 14's zero-recall GACT column).
+#[must_use]
+pub fn structural_variant_pair(
+    alphabet: Alphabet,
+    len: usize,
+    sv_len: usize,
+    profile: &ErrorProfile,
+    rng: &mut StdRng,
+) -> (Sequence, Sequence) {
+    let reference = random_dna(alphabet, len, rng);
+    let sv_len = sv_len.min(len / 2);
+    let pos = rng.gen_range(len / 4..len / 2);
+    let mut codes = reference.codes()[..pos].to_vec();
+    codes.extend_from_slice(&reference.codes()[pos + sv_len..]);
+    let deleted = Sequence::from_codes(alphabet, codes).expect("codes stay valid");
+    let query = mutate(&deleted, profile, rng);
+    (reference, query)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pacbio_pairs_are_long_and_similar() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let (r, q) = pacbio_pair(Alphabet::Dna2, &mut rng);
+        assert!(r.len() > 10_000 && r.len() < 20_000);
+        let dl = (r.len() as i64 - q.len() as i64).unsigned_abs() as usize;
+        assert!(dl < r.len() / 50, "length delta {dl}");
+    }
+
+    #[test]
+    fn ont_pairs_are_longer_and_noisier() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let (r, _q) = ont_pair(Alphabet::Dna4, &mut rng);
+        assert!(r.len() > 35_000);
+    }
+
+    #[test]
+    fn repeat_rich_has_low_complexity_regions() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let s = repeat_rich_dna(Alphabet::Dna2, 5000, 0.5, &mut rng);
+        assert_eq!(s.len(), 5000);
+        // Count positions equal to the previous base: repeat-rich DNA has
+        // far more than the 25% expected of uniform random sequence.
+        let same: usize = s.codes().windows(2).filter(|w| w[0] == w[1]).count();
+        let frac = same as f64 / 4999.0;
+        assert!(frac > 0.30, "self-similarity {frac}");
+        // And a zero repeat fraction stays near uniform.
+        let u = repeat_rich_dna(Alphabet::Dna2, 5000, 0.0, &mut rng);
+        let same_u: usize = u.codes().windows(2).filter(|w| w[0] == w[1]).count();
+        assert!((same_u as f64 / 4999.0) < 0.30);
+    }
+
+    #[test]
+    fn dna4_references_stay_acgt() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let s = random_dna(Alphabet::Dna4, 1000, &mut rng);
+        assert!(s.iter().all(|c| c < 4));
+    }
+}

@@ -1,0 +1,28 @@
+//! # smx-datagen
+//!
+//! Synthetic dataset generation standing in for the paper's experimental
+//! datasets (§7): length-parameterized random sequences for the four
+//! alignment configurations, plus profile-matched stand-ins for the real
+//! datasets — PacBio-HiFi (~15 kbp, low substitution-dominated error),
+//! ONT (~50 kbp, high indel-heavy error), and a UniProt-style protein
+//! query set. All generation is deterministic given a seed.
+//!
+//! ## Example
+//!
+//! ```
+//! use smx_datagen::{Dataset, ErrorProfile};
+//! use smx_align_core::AlignmentConfig;
+//!
+//! let ds = Dataset::synthetic(AlignmentConfig::DnaEdit, 1000, 4, ErrorProfile::moderate(), 7);
+//! assert_eq!(ds.pairs.len(), 4);
+//! assert!(ds.pairs.iter().all(|p| p.reference.len() == 1000));
+//! ```
+
+pub mod ascii;
+pub mod dataset;
+pub mod dna;
+pub mod mutate;
+pub mod protein;
+
+pub use dataset::{Dataset, SeqPair};
+pub use mutate::ErrorProfile;

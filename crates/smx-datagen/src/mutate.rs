@@ -1,0 +1,155 @@
+//! The mutation channel: substitutions, insertions, and deletions applied
+//! at configurable rates to derive a query from a reference.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use smx_align_core::{Alphabet, Sequence};
+
+/// Per-base error rates of a sequencing (or typo) channel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorProfile {
+    /// Probability a base is substituted.
+    pub sub_rate: f64,
+    /// Probability an insertion occurs after a base.
+    pub ins_rate: f64,
+    /// Probability a base is deleted.
+    pub del_rate: f64,
+}
+
+impl ErrorProfile {
+    /// No errors (identical pairs).
+    #[must_use]
+    pub fn perfect() -> ErrorProfile {
+        ErrorProfile { sub_rate: 0.0, ins_rate: 0.0, del_rate: 0.0 }
+    }
+
+    /// A moderate ~3% error channel (1% each).
+    #[must_use]
+    pub fn moderate() -> ErrorProfile {
+        ErrorProfile { sub_rate: 0.01, ins_rate: 0.01, del_rate: 0.01 }
+    }
+
+    /// PacBio-HiFi-like: ~0.5% total, substitution-dominated.
+    #[must_use]
+    pub fn pacbio_hifi() -> ErrorProfile {
+        ErrorProfile { sub_rate: 0.003, ins_rate: 0.001, del_rate: 0.001 }
+    }
+
+    /// ONT-like: ~7% total, indel-heavy.
+    #[must_use]
+    pub fn ont() -> ErrorProfile {
+        ErrorProfile { sub_rate: 0.025, ins_rate: 0.02, del_rate: 0.025 }
+    }
+
+    /// Total error rate.
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.sub_rate + self.ins_rate + self.del_rate
+    }
+}
+
+/// Applies the error channel to `reference`, producing a mutated query.
+///
+/// Substituted and inserted symbols are drawn uniformly from the
+/// alphabet's valid codes (excluding the original symbol for
+/// substitutions).
+///
+/// # Panics
+///
+/// Panics if the alphabet has fewer than two symbols (all supported
+/// alphabets have ≥ 4).
+#[must_use]
+pub fn mutate(reference: &Sequence, profile: &ErrorProfile, rng: &mut StdRng) -> Sequence {
+    let alphabet = reference.alphabet();
+    let card = alphabet.cardinality() as u32;
+    assert!(card >= 2, "alphabet too small to mutate");
+    let mut codes = Vec::with_capacity(reference.len() + 8);
+    for c in reference.iter() {
+        if rng.gen_bool(profile.del_rate.min(1.0)) {
+            continue;
+        }
+        if rng.gen_bool(profile.sub_rate.min(1.0)) {
+            // Draw from the other card-1 symbols, skipping the original.
+            let mut s = rng.gen_range(0..card - 1) as u8;
+            if s >= c {
+                s = s.wrapping_add(1);
+            }
+            codes.push(s);
+        } else {
+            codes.push(c);
+        }
+        if rng.gen_bool(profile.ins_rate.min(1.0)) {
+            codes.push(rng.gen_range(0..card) as u8);
+        }
+    }
+    if codes.is_empty() {
+        codes.push(0);
+    }
+    Sequence::from_codes(alphabet, codes).expect("mutated codes are valid by construction")
+}
+
+/// Draws a uniformly random sequence of `len` symbols.
+#[must_use]
+pub fn random_sequence(alphabet: Alphabet, len: usize, rng: &mut StdRng) -> Sequence {
+    let card = alphabet.cardinality() as u32;
+    let codes: Vec<u8> = (0..len).map(|_| rng.gen_range(0..card) as u8).collect();
+    Sequence::from_codes(alphabet, codes).expect("random codes are valid by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use smx_align_core::dp;
+
+    #[test]
+    fn perfect_profile_is_identity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let r = random_sequence(Alphabet::Dna2, 500, &mut rng);
+        let q = mutate(&r, &ErrorProfile::perfect(), &mut rng);
+        assert_eq!(q, r);
+    }
+
+    #[test]
+    fn mutation_rate_tracks_profile() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let r = random_sequence(Alphabet::Dna2, 4_000, &mut rng);
+        let profile = ErrorProfile { sub_rate: 0.05, ins_rate: 0.0, del_rate: 0.0 };
+        let q = mutate(&r, &profile, &mut rng);
+        assert_eq!(q.len(), r.len());
+        let dist = dp::edit_distance(q.codes(), r.codes()) as f64 / r.len() as f64;
+        assert!((dist - 0.05).abs() < 0.015, "distance {dist}");
+    }
+
+    #[test]
+    fn indels_change_length() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let r = random_sequence(Alphabet::Dna4, 10_000, &mut rng);
+        let ins_only = ErrorProfile { sub_rate: 0.0, ins_rate: 0.05, del_rate: 0.0 };
+        let q = mutate(&r, &ins_only, &mut rng);
+        assert!(q.len() > r.len());
+        let del_only = ErrorProfile { sub_rate: 0.0, ins_rate: 0.0, del_rate: 0.05 };
+        let q2 = mutate(&r, &del_only, &mut rng);
+        assert!(q2.len() < r.len());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut rng1 = StdRng::seed_from_u64(9);
+        let mut rng2 = StdRng::seed_from_u64(9);
+        let r1 = random_sequence(Alphabet::Protein, 100, &mut rng1);
+        let r2 = random_sequence(Alphabet::Protein, 100, &mut rng2);
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn substitution_never_produces_same_symbol() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let r = random_sequence(Alphabet::Dna2, 5000, &mut rng);
+        let all_subs = ErrorProfile { sub_rate: 1.0, ins_rate: 0.0, del_rate: 0.0 };
+        let q = mutate(&r, &all_subs, &mut rng);
+        for (a, b) in q.iter().zip(r.iter()) {
+            assert_ne!(a, b);
+        }
+    }
+}

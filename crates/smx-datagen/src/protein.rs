@@ -1,0 +1,90 @@
+//! Protein sequence generation with realistic amino-acid frequencies and
+//! homolog-pair derivation (the UniProt query-set stand-in).
+
+use crate::mutate::{mutate, ErrorProfile};
+use rand::rngs::StdRng;
+use rand::Rng;
+use smx_align_core::{Alphabet, Sequence};
+
+/// Approximate UniProt amino-acid frequencies (per mille), indexed by
+/// alphabet code `0 = 'A' .. 25 = 'Z'`. Codes that are not canonical amino
+/// acids (B, J, O, U, X, Z) get a tiny residual weight.
+const AA_WEIGHTS: [u32; 26] = [
+    83, 1, 14, 55, 67, 39, 71, 22, 59, 1, 58, 97, 24, 41, 1, 47, 39, 55, 66, 54, 1, 69, 11, 1,
+    29, 1,
+];
+
+/// Mean length of generated proteins (UniProt average ≈ 350 aa).
+pub const PROTEIN_MEAN_LEN: usize = 350;
+
+/// Draws one amino acid from the frequency table.
+fn draw_aa(rng: &mut StdRng) -> u8 {
+    let total: u32 = AA_WEIGHTS.iter().sum();
+    let mut x = rng.gen_range(0..total);
+    for (code, &w) in AA_WEIGHTS.iter().enumerate() {
+        if x < w {
+            return code as u8;
+        }
+        x -= w;
+    }
+    0
+}
+
+/// A random protein of `len` residues with realistic composition.
+#[must_use]
+pub fn random_protein(len: usize, rng: &mut StdRng) -> Sequence {
+    let codes: Vec<u8> = (0..len).map(|_| draw_aa(rng)).collect();
+    Sequence::from_codes(Alphabet::Protein, codes).expect("codes < 26 are valid")
+}
+
+/// A homolog pair at roughly `divergence` substitutions per residue plus
+/// light indels — the shape of a UniProt query hit.
+#[must_use]
+pub fn homolog_pair(
+    mean_len: usize,
+    divergence: f64,
+    rng: &mut StdRng,
+) -> (Sequence, Sequence) {
+    let jitter = (mean_len / 4).max(1);
+    let len = mean_len - jitter + rng.gen_range(0..2 * jitter);
+    let reference = random_protein(len, rng);
+    let profile = ErrorProfile {
+        sub_rate: divergence,
+        ins_rate: divergence * 0.08,
+        del_rate: divergence * 0.08,
+    };
+    let query = mutate(&reference, &profile, rng);
+    (reference, query)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn composition_tracks_weights() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let s = random_protein(100_000, &mut rng);
+        let mut counts = [0usize; 26];
+        for c in s.iter() {
+            counts[c as usize] += 1;
+        }
+        // Leucine (code 11, 'L') is the most common canonical residue.
+        let leu = counts[11] as f64 / s.len() as f64;
+        assert!((0.07..0.13).contains(&leu), "L frequency {leu}");
+        // Rare codes stay rare.
+        assert!(counts[14] < 1000, "O count {}", counts[14]);
+    }
+
+    #[test]
+    fn homolog_pairs_diverge_but_align() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let (r, q) = homolog_pair(300, 0.2, &mut rng);
+        assert!(r.len() > 200);
+        assert!(q.len() > 150);
+        let dist = smx_align_core::dp::edit_distance(q.codes(), r.codes()) as f64
+            / r.len() as f64;
+        assert!((0.1..0.4).contains(&dist), "divergence {dist}");
+    }
+}

@@ -1,0 +1,210 @@
+//! Tolerant FASTA parsing and writing.
+
+use crate::IoError;
+use smx_align_core::{Alphabet, Sequence};
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// One FASTA record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    /// Identifier: the header up to the first whitespace.
+    pub id: String,
+    /// The rest of the header line (may be empty).
+    pub description: String,
+    /// Concatenated sequence lines (whitespace stripped).
+    pub sequence: String,
+}
+
+impl Record {
+    /// Builds a record, normalizing the sequence (strips whitespace).
+    #[must_use]
+    pub fn new(id: &str, sequence: &str) -> Record {
+        Record {
+            id: id.to_string(),
+            description: String::new(),
+            sequence: sequence.split_whitespace().collect(),
+        }
+    }
+
+    /// Decodes into a typed sequence under `alphabet`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IoError::Alphabet`] when a symbol is invalid.
+    pub fn to_sequence(&self, alphabet: Alphabet) -> Result<Sequence, IoError> {
+        Sequence::from_text(alphabet, &self.sequence)
+            .map_err(|source| IoError::Alphabet { id: self.id.clone(), source })
+    }
+}
+
+/// Parses all records from a reader.
+///
+/// Accepts multi-line sequences, blank lines, and `;` comment lines;
+/// rejects sequence data before the first header.
+///
+/// # Errors
+///
+/// Returns [`IoError::Parse`] with a line number on malformed input and
+/// [`IoError::Io`] on read failures.
+pub fn parse<R: Read>(reader: R) -> Result<Vec<Record>, IoError> {
+    let buf = BufReader::new(reader);
+    let mut records: Vec<Record> = Vec::new();
+    let mut current: Option<Record> = None;
+    for (lineno, line) in buf.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with(';') {
+            continue;
+        }
+        if let Some(header) = trimmed.strip_prefix('>') {
+            if let Some(done) = current.take() {
+                records.push(done);
+            }
+            let mut parts = header.splitn(2, char::is_whitespace);
+            let id = parts.next().unwrap_or("").to_string();
+            if id.is_empty() {
+                return Err(IoError::Parse {
+                    line: lineno + 1,
+                    message: "empty record identifier".into(),
+                });
+            }
+            current = Some(Record {
+                id,
+                description: parts.next().unwrap_or("").trim().to_string(),
+                sequence: String::new(),
+            });
+        } else {
+            match current.as_mut() {
+                Some(rec) => rec.sequence.extend(trimmed.split_whitespace().flat_map(str::chars)),
+                None => {
+                    return Err(IoError::Parse {
+                        line: lineno + 1,
+                        message: "sequence data before the first header".into(),
+                    })
+                }
+            }
+        }
+    }
+    if let Some(done) = current.take() {
+        records.push(done);
+    }
+    Ok(records)
+}
+
+/// Writes records in FASTA format, wrapping sequences at 70 columns.
+///
+/// # Errors
+///
+/// Returns [`IoError::Io`] on write failures.
+pub fn write<W: Write>(mut writer: W, records: &[Record]) -> Result<(), IoError> {
+    for r in records {
+        if r.description.is_empty() {
+            writeln!(writer, ">{}", r.id)?;
+        } else {
+            writeln!(writer, ">{} {}", r.id, r.description)?;
+        }
+        for chunk in r.sequence.as_bytes().chunks(70) {
+            writer.write_all(chunk)?;
+            writeln!(writer)?;
+        }
+    }
+    Ok(())
+}
+
+/// Parses a FASTA file and decodes every record under `alphabet`.
+///
+/// # Errors
+///
+/// Propagates parse, I/O, and alphabet errors.
+pub fn parse_typed<R: Read>(reader: R, alphabet: Alphabet) -> Result<Vec<(Record, Sequence)>, IoError> {
+    parse(reader)?
+        .into_iter()
+        .map(|r| {
+            let s = r.to_sequence(alphabet)?;
+            Ok((r, s))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_multi_line() {
+        let input = ">a desc here\nACGT\nacgt\n\n>b\nTT TT\n";
+        let recs = parse(input.as_bytes()).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].id, "a");
+        assert_eq!(recs[0].description, "desc here");
+        assert_eq!(recs[0].sequence, "ACGTacgt");
+        assert_eq!(recs[1].sequence, "TTTT");
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let input = "; a comment\n>x\nAC\n;mid comment\nGT\n";
+        let recs = parse(input.as_bytes()).unwrap();
+        assert_eq!(recs[0].sequence, "ACGT");
+    }
+
+    #[test]
+    fn sequence_before_header_rejected() {
+        let err = parse("ACGT\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, IoError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn empty_id_rejected() {
+        assert!(parse("> \nACGT\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn roundtrip_with_wrapping() {
+        let recs = vec![
+            Record { id: "long".into(), description: "d".into(), sequence: "A".repeat(150) },
+            Record::new("short", "ACGT"),
+        ];
+        let mut out = Vec::new();
+        write(&mut out, &recs).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.lines().all(|l| l.len() <= 71));
+        let back = parse(text.as_bytes()).unwrap();
+        assert_eq!(back, recs);
+    }
+
+    #[test]
+    fn typed_loading_validates() {
+        let ok = parse_typed(">a\nACGT\n".as_bytes(), Alphabet::Dna2).unwrap();
+        assert_eq!(ok[0].1.codes(), &[0, 1, 2, 3]);
+        let err = parse_typed(">a\nACGX\n".as_bytes(), Alphabet::Dna2).unwrap_err();
+        assert!(matches!(err, IoError::Alphabet { .. }));
+    }
+
+    #[test]
+    fn empty_input_is_empty() {
+        assert!(parse("".as_bytes()).unwrap().is_empty());
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(64))]
+        #[test]
+        fn parser_never_panics(input in proptest::string::string_regex("[ -~\\n]{0,200}").unwrap()) {
+            let _ = parse(input.as_bytes());
+        }
+
+        #[test]
+        fn valid_roundtrip(ids in proptest::collection::vec("[a-z]{1,8}", 1..4),
+                           seqs in proptest::collection::vec("[ACGT]{1,120}", 1..4)) {
+            let recs: Vec<Record> = ids
+                .iter()
+                .zip(&seqs)
+                .map(|(i, s)| Record::new(i, s))
+                .collect();
+            let mut out = Vec::new();
+            write(&mut out, &recs).unwrap();
+            let back = parse(out.as_slice()).unwrap();
+            proptest::prop_assert_eq!(back, recs);
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! FASTQ parsing (the format sequencers actually emit). Quality strings
+//! are validated for length but otherwise ignored — alignment consumes
+//! only the bases.
+
+use crate::fasta::Record;
+use crate::IoError;
+use std::io::{BufRead, BufReader, Read};
+
+/// One FASTQ record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FastqRecord {
+    /// Identifier (the `@` header up to the first whitespace).
+    pub id: String,
+    /// Sequence bases.
+    pub sequence: String,
+    /// Per-base quality string (same length as `sequence`).
+    pub quality: String,
+}
+
+impl FastqRecord {
+    /// Drops the quality, yielding a FASTA record.
+    #[must_use]
+    pub fn into_fasta(self) -> Record {
+        Record::new(&self.id, &self.sequence)
+    }
+
+    /// Mean Phred quality (offset 33).
+    #[must_use]
+    pub fn mean_quality(&self) -> f64 {
+        if self.quality.is_empty() {
+            return 0.0;
+        }
+        let total: u64 = self.quality.bytes().map(|b| u64::from(b.saturating_sub(33))).sum();
+        total as f64 / self.quality.len() as f64
+    }
+}
+
+/// Parses all records from a FASTQ reader.
+///
+/// Supports the plain four-line form (`@id`, bases, `+`, qualities);
+/// multi-line sequences are rejected for the usual ambiguity reasons.
+///
+/// # Errors
+///
+/// Returns [`IoError::Parse`] with a line number on structural problems
+/// (missing `@`/`+` markers, quality-length mismatch, truncated record).
+pub fn parse<R: Read>(reader: R) -> Result<Vec<FastqRecord>, IoError> {
+    let buf = BufReader::new(reader);
+    let mut lines = buf.lines().enumerate();
+    let mut records = Vec::new();
+    while let Some((lineno, line)) = lines.next() {
+        let header = line?;
+        if header.trim().is_empty() {
+            continue;
+        }
+        let Some(h) = header.strip_prefix('@') else {
+            return Err(IoError::Parse {
+                line: lineno + 1,
+                message: format!("expected '@' header, found {header:?}"),
+            });
+        };
+        let id = h.split_whitespace().next().unwrap_or("").to_string();
+        if id.is_empty() {
+            return Err(IoError::Parse { line: lineno + 1, message: "empty record id".into() });
+        }
+        let mut next_line = |what: &str| -> Result<(usize, String), IoError> {
+            match lines.next() {
+                Some((n, Ok(l))) => Ok((n, l)),
+                Some((_, Err(e))) => Err(IoError::Io(e)),
+                None => Err(IoError::Parse {
+                    line: lineno + 1,
+                    message: format!("truncated record {id:?}: missing {what}"),
+                }),
+            }
+        };
+        let (_, sequence) = next_line("sequence line")?;
+        let (plus_no, plus) = next_line("'+' separator")?;
+        if !plus.starts_with('+') {
+            return Err(IoError::Parse {
+                line: plus_no + 1,
+                message: format!("expected '+' separator, found {plus:?}"),
+            });
+        }
+        let (qual_no, quality) = next_line("quality line")?;
+        let sequence = sequence.trim().to_string();
+        let quality = quality.trim().to_string();
+        if sequence.len() != quality.len() {
+            return Err(IoError::Parse {
+                line: qual_no + 1,
+                message: format!(
+                    "quality length {} does not match sequence length {}",
+                    quality.len(),
+                    sequence.len()
+                ),
+            });
+        }
+        records.push(FastqRecord { id, sequence, quality });
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "@read1 desc\nACGT\n+\nIIII\n@read2\nTTAA\n+read2\n!!!!\n";
+
+    #[test]
+    fn parse_two_records() {
+        let recs = parse(SAMPLE.as_bytes()).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].id, "read1");
+        assert_eq!(recs[0].sequence, "ACGT");
+        assert!((recs[0].mean_quality() - 40.0).abs() < 1e-9);
+        assert!((recs[1].mean_quality() - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn into_fasta_drops_quality() {
+        let recs = parse(SAMPLE.as_bytes()).unwrap();
+        let fa = recs[0].clone().into_fasta();
+        assert_eq!(fa.id, "read1");
+        assert_eq!(fa.sequence, "ACGT");
+    }
+
+    #[test]
+    fn quality_length_mismatch_rejected() {
+        let bad = "@x\nACGT\n+\nII\n";
+        let err = parse(bad.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("quality length"));
+    }
+
+    #[test]
+    fn missing_plus_rejected() {
+        let bad = "@x\nACGT\nIIII\n";
+        assert!(parse(bad.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn truncated_record_rejected() {
+        let bad = "@x\nACGT\n+\n";
+        assert!(parse(bad.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn fasta_header_rejected() {
+        assert!(parse(">x\nACGT\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn empty_input_ok() {
+        assert!(parse("".as_bytes()).unwrap().is_empty());
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(64))]
+        #[test]
+        fn parser_never_panics(input in proptest::string::string_regex("[ -~\\n]{0,200}").unwrap()) {
+            let _ = parse(input.as_bytes());
+        }
+    }
+}

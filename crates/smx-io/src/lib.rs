@@ -1,0 +1,90 @@
+//! # smx-io
+//!
+//! FASTA and pair-file I/O for the SMX toolchain: a tolerant FASTA
+//! parser/writer and helpers for loading records into typed
+//! [`Sequence`](smx_align_core::Sequence)s and pairing them for
+//! alignment.
+//!
+//! ## Example
+//!
+//! ```
+//! use smx_io::fasta;
+//!
+//! let input = ">read1 a comment\nACGT\nACGT\n>read2\nTTTT\n";
+//! let records = fasta::parse(input.as_bytes())?;
+//! assert_eq!(records.len(), 2);
+//! assert_eq!(records[0].id, "read1");
+//! assert_eq!(records[0].sequence, "ACGTACGT");
+//! # Ok::<(), smx_io::IoError>(())
+//! ```
+
+pub mod fasta;
+pub mod fastq;
+pub mod matrix;
+pub mod pairs;
+
+pub use fasta::Record;
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from parsing or typed loading.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Malformed FASTA content.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// A sequence failed alphabet validation.
+    Alphabet {
+        /// Record id.
+        id: String,
+        /// The underlying alignment error.
+        source: smx_align_core::AlignError,
+    },
+}
+
+impl fmt::Display for IoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "i/o failure: {e}"),
+            IoError::Parse { line, message } => write!(f, "fasta parse error at line {line}: {message}"),
+            IoError::Alphabet { id, source } => {
+                write!(f, "record {id:?} failed alphabet validation: {source}")
+            }
+        }
+    }
+}
+
+impl Error for IoError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            IoError::Io(e) => Some(e),
+            IoError::Alphabet { source, .. } => Some(source),
+            IoError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> IoError {
+        IoError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display() {
+        let e = IoError::Parse { line: 3, message: "sequence before header".into() };
+        assert!(e.to_string().contains("line 3"));
+    }
+}

@@ -1,0 +1,190 @@
+//! NCBI-format substitution-matrix files (the format BLAST ships BLOSUM
+//! and PAM matrices in): a header row of residue letters, then one row
+//! per residue with integer scores. `#` lines are comments.
+
+use crate::IoError;
+use smx_align_core::SubstMatrix;
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Parses an NCBI-format matrix into a 26×26 [`SubstMatrix`].
+///
+/// Letters absent from the file keep a neutral `-1` score (matching the
+/// convention of the built-in matrices); the `*` stop column is ignored.
+///
+/// # Errors
+///
+/// Returns [`IoError::Parse`] with a line number on malformed content
+/// (unknown residues, wrong column counts, asymmetry).
+pub fn parse<R: Read>(reader: R) -> Result<SubstMatrix, IoError> {
+    let buf = BufReader::new(reader);
+    let mut columns: Vec<Option<usize>> = Vec::new(); // alphabet code per column
+    let mut scores = [[-1i8; 26]; 26];
+    let mut seen_rows = 0usize;
+    for (lineno, line) in buf.lines().enumerate() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        let parse_residue = |tok: &str| -> Result<Option<usize>, IoError> {
+            let c = tok.chars().next().unwrap_or(' ');
+            if tok.len() == 1 && c.is_ascii_uppercase() {
+                Ok(Some((c as u8 - b'A') as usize))
+            } else if tok == "*" {
+                Ok(None)
+            } else {
+                Err(IoError::Parse {
+                    line: lineno + 1,
+                    message: format!("unknown residue {tok:?}"),
+                })
+            }
+        };
+        if columns.is_empty() {
+            // Header row.
+            for tok in t.split_whitespace() {
+                columns.push(parse_residue(tok)?);
+            }
+            if columns.is_empty() {
+                return Err(IoError::Parse { line: lineno + 1, message: "empty header".into() });
+            }
+            continue;
+        }
+        let mut toks = t.split_whitespace();
+        let row_tok = toks.next().expect("non-empty line");
+        let Some(row) = parse_residue(row_tok)? else {
+            continue; // the '*' row
+        };
+        let values: Vec<&str> = toks.collect();
+        if values.len() != columns.len() {
+            return Err(IoError::Parse {
+                line: lineno + 1,
+                message: format!(
+                    "row {row_tok} has {} scores, header has {} columns",
+                    values.len(),
+                    columns.len()
+                ),
+            });
+        }
+        for (col, v) in columns.iter().zip(values) {
+            let Some(col) = col else { continue };
+            let score: i8 = v.parse().map_err(|_| IoError::Parse {
+                line: lineno + 1,
+                message: format!("invalid score {v:?}"),
+            })?;
+            scores[row][*col] = score;
+        }
+        seen_rows += 1;
+    }
+    if seen_rows == 0 {
+        return Err(IoError::Parse { line: 0, message: "no matrix rows found".into() });
+    }
+    SubstMatrix::from_scores("custom", scores).map_err(|e| IoError::Parse {
+        line: 0,
+        message: e.to_string(),
+    })
+}
+
+/// Writes a matrix in NCBI format over the 20 canonical residues plus the
+/// ambiguity codes the built-in matrices define.
+///
+/// # Errors
+///
+/// Returns [`IoError::Io`] on write failures.
+pub fn write<W: Write>(mut writer: W, matrix: &SubstMatrix) -> Result<(), IoError> {
+    const ORDER: &[u8] = b"ARNDCQEGHILKMFPSTWYVBZX";
+    writeln!(writer, "# {} (written by smx-io)", matrix.name())?;
+    write!(writer, " ")?;
+    for &c in ORDER {
+        write!(writer, " {:>3}", c as char)?;
+    }
+    writeln!(writer)?;
+    for &r in ORDER {
+        write!(writer, "{}", r as char)?;
+        for &c in ORDER {
+            write!(writer, " {:>3}", matrix.score(r - b'A', c - b'A'))?;
+        }
+        writeln!(writer)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SMALL: &str = "\
+# tiny test matrix
+   A  R  N  *
+A  4 -1 -2 -4
+R -1  5  0 -4
+N -2  0  6 -4
+* -4 -4 -4  1
+";
+
+    #[test]
+    fn parse_small_matrix() {
+        let m = parse(SMALL.as_bytes()).unwrap();
+        assert_eq!(m.score(0, 0), 4); // A-A
+        assert_eq!(m.score(0, 17), -1); // A-R
+        assert_eq!(m.score(13, 13), 6); // N-N
+        // Unlisted letters keep the neutral default.
+        assert_eq!(m.score(22, 22), -1); // W-W
+    }
+
+    #[test]
+    fn roundtrip_blosum62() {
+        let b62 = SubstMatrix::blosum62();
+        let mut out = Vec::new();
+        write(&mut out, &b62).unwrap();
+        let back = parse(out.as_slice()).unwrap();
+        // All canonical residues survive the roundtrip.
+        for a in 0..26u8 {
+            for b in 0..26u8 {
+                let orig = b62.score(a, b);
+                let is_written = |c: u8| b"ARNDCQEGHILKMFPSTWYVBZX".contains(&(b'A' + c));
+                if is_written(a) && is_written(b) {
+                    assert_eq!(back.score(a, b), orig, "{a} {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn asymmetric_rejected() {
+        let bad = "   A  R\nA  4 -1\nR -2  5\n";
+        assert!(parse(bad.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn wrong_column_count_rejected() {
+        let bad = "   A  R\nA  4\n";
+        let err = parse(bad.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn lowercase_residue_rejected() {
+        let bad = "   a  R\nA 4 -1\n";
+        assert!(parse(bad.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert!(parse("# only comments\n".as_bytes()).is_err());
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(64))]
+        #[test]
+        fn parser_never_panics(input in proptest::string::string_regex("[ -~\\n]{0,200}").unwrap()) {
+            let _ = parse(input.as_bytes());
+        }
+    }
+
+    #[test]
+    fn parsed_matrix_usable_in_scheme() {
+        let m = parse(SMALL.as_bytes()).unwrap();
+        let scheme = smx_align_core::ScoringScheme::matrix(m, -5).unwrap();
+        assert_eq!(scheme.score(0, 0), 4);
+    }
+}

@@ -1,0 +1,113 @@
+//! Pairing FASTA records into alignment tasks.
+
+use crate::fasta::Record;
+use crate::IoError;
+use smx_align_core::{Alphabet, Sequence};
+
+/// A named alignment pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NamedPair {
+    /// Query record id.
+    pub query_id: String,
+    /// Reference record id.
+    pub reference_id: String,
+    /// Decoded query.
+    pub query: Sequence,
+    /// Decoded reference.
+    pub reference: Sequence,
+}
+
+/// Pairs records positionally: one query file record against the
+/// reference file record at the same index (extra records in the longer
+/// file are ignored).
+///
+/// # Errors
+///
+/// Returns [`IoError::Alphabet`] if any sequence fails validation.
+pub fn pair_positional(
+    queries: &[Record],
+    references: &[Record],
+    alphabet: Alphabet,
+) -> Result<Vec<NamedPair>, IoError> {
+    queries
+        .iter()
+        .zip(references)
+        .map(|(q, r)| {
+            Ok(NamedPair {
+                query_id: q.id.clone(),
+                reference_id: r.id.clone(),
+                query: q.to_sequence(alphabet)?,
+                reference: r.to_sequence(alphabet)?,
+            })
+        })
+        .collect()
+}
+
+/// Pairs consecutive records of a single file: `(0,1), (2,3), …` — the
+/// layout `smx-cli datagen` emits.
+///
+/// # Errors
+///
+/// Returns [`IoError::Parse`] if the record count is odd and
+/// [`IoError::Alphabet`] on validation failures.
+pub fn pair_interleaved(records: &[Record], alphabet: Alphabet) -> Result<Vec<NamedPair>, IoError> {
+    if !records.len().is_multiple_of(2) {
+        return Err(IoError::Parse {
+            line: 0,
+            message: format!("interleaved pairing needs an even record count, got {}", records.len()),
+        });
+    }
+    records
+        .chunks(2)
+        .map(|pair| {
+            let (q, r) = (&pair[0], &pair[1]);
+            Ok(NamedPair {
+                query_id: q.id.clone(),
+                reference_id: r.id.clone(),
+                query: q.to_sequence(alphabet)?,
+                reference: r.to_sequence(alphabet)?,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(id: &str, seq: &str) -> Record {
+        Record::new(id, seq)
+    }
+
+    #[test]
+    fn positional_pairs() {
+        let qs = vec![rec("q1", "ACGT"), rec("q2", "TTTT")];
+        let rs = vec![rec("r1", "ACGA"), rec("r2", "TTAT"), rec("extra", "A")];
+        let pairs = pair_positional(&qs, &rs, Alphabet::Dna2).unwrap();
+        assert_eq!(pairs.len(), 2);
+        assert_eq!(pairs[0].query_id, "q1");
+        assert_eq!(pairs[0].reference_id, "r1");
+    }
+
+    #[test]
+    fn interleaved_pairs() {
+        let recs = vec![rec("a", "AC"), rec("b", "AG"), rec("c", "TT"), rec("d", "TA")];
+        let pairs = pair_interleaved(&recs, Alphabet::Dna2).unwrap();
+        assert_eq!(pairs.len(), 2);
+        assert_eq!(pairs[1].query_id, "c");
+    }
+
+    #[test]
+    fn odd_count_rejected() {
+        let recs = vec![rec("a", "AC")];
+        assert!(pair_interleaved(&recs, Alphabet::Dna2).is_err());
+    }
+
+    #[test]
+    fn bad_symbols_surface_record_id() {
+        let qs = vec![rec("bad", "ACGX")];
+        let rs = vec![rec("r", "ACGT")];
+        let err = pair_positional(&qs, &rs, Alphabet::Dna2).unwrap_err();
+        assert!(err.to_string().contains("bad"));
+    }
+}

@@ -1,0 +1,205 @@
+//! Assembler / disassembler for the SMX-1D instructions, using standard
+//! RISC-V register syntax (`x0`–`x31` or ABI names). Useful for tests,
+//! debugging dumps, and documenting kernel listings.
+
+use crate::insn::Insn;
+use smx_align_core::AlignError;
+
+const ABI_NAMES: [&str; 32] = [
+    "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1", "a2", "a3", "a4",
+    "a5", "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11", "t3", "t4",
+    "t5", "t6",
+];
+
+/// Formats a register as its ABI name.
+#[must_use]
+pub fn reg_name(reg: u8) -> &'static str {
+    ABI_NAMES[(reg & 0x1F) as usize]
+}
+
+/// Parses `x7`, `a0`, `s3`, … into a register number.
+///
+/// # Errors
+///
+/// Returns [`AlignError::Internal`] on an unknown register token.
+pub fn parse_reg(token: &str) -> Result<u8, AlignError> {
+    let t = token.trim().trim_end_matches(',');
+    if let Some(num) = t.strip_prefix('x') {
+        if let Ok(n) = num.parse::<u8>() {
+            if n < 32 {
+                return Ok(n);
+            }
+        }
+    }
+    if let Some(pos) = ABI_NAMES.iter().position(|&n| n == t) {
+        return Ok(pos as u8);
+    }
+    Err(AlignError::Internal(format!("unknown register {token:?}")))
+}
+
+/// Disassembles one instruction.
+#[must_use]
+pub fn disassemble(insn: Insn) -> String {
+    match insn {
+        Insn::SmxV { rd, rs1, rs2 } => {
+            format!("smx.v {}, {}, {}", reg_name(rd), reg_name(rs1), reg_name(rs2))
+        }
+        Insn::SmxH { rd, rs1, rs2 } => {
+            format!("smx.h {}, {}, {}", reg_name(rd), reg_name(rs1), reg_name(rs2))
+        }
+        Insn::SmxRedsum { rd, rs1 } => {
+            format!("smx.redsum {}, {}", reg_name(rd), reg_name(rs1))
+        }
+        Insn::SmxPack { rd, rs1 } => {
+            format!("smx.pack {}, {}", reg_name(rd), reg_name(rs1))
+        }
+        Insn::SmxVh { rd, rs1, rs2 } => {
+            format!("smx.vh {}, {}, {}", reg_name(rd), reg_name(rs1), reg_name(rs2))
+        }
+    }
+}
+
+/// Assembles one line (`mnemonic rd, rs1[, rs2]`, `#` comments allowed).
+///
+/// # Errors
+///
+/// Returns [`AlignError::Internal`] naming the malformed token.
+pub fn assemble_line(line: &str) -> Result<Option<Insn>, AlignError> {
+    let code = line.split('#').next().unwrap_or("").trim();
+    if code.is_empty() {
+        return Ok(None);
+    }
+    let mut parts = code.split_whitespace();
+    let mnemonic = parts.next().expect("non-empty line has a token");
+    let operands: Vec<&str> = parts.collect();
+    let expect = |n: usize| -> Result<(), AlignError> {
+        if operands.len() == n {
+            Ok(())
+        } else {
+            Err(AlignError::Internal(format!(
+                "{mnemonic} expects {n} operands, got {}",
+                operands.len()
+            )))
+        }
+    };
+    let insn = match mnemonic {
+        "smx.v" => {
+            expect(3)?;
+            Insn::SmxV {
+                rd: parse_reg(operands[0])?,
+                rs1: parse_reg(operands[1])?,
+                rs2: parse_reg(operands[2])?,
+            }
+        }
+        "smx.h" => {
+            expect(3)?;
+            Insn::SmxH {
+                rd: parse_reg(operands[0])?,
+                rs1: parse_reg(operands[1])?,
+                rs2: parse_reg(operands[2])?,
+            }
+        }
+        "smx.redsum" => {
+            expect(2)?;
+            Insn::SmxRedsum { rd: parse_reg(operands[0])?, rs1: parse_reg(operands[1])? }
+        }
+        "smx.pack" => {
+            expect(2)?;
+            Insn::SmxPack { rd: parse_reg(operands[0])?, rs1: parse_reg(operands[1])? }
+        }
+        "smx.vh" => {
+            expect(3)?;
+            Insn::SmxVh {
+                rd: parse_reg(operands[0])?,
+                rs1: parse_reg(operands[1])?,
+                rs2: parse_reg(operands[2])?,
+            }
+        }
+        other => return Err(AlignError::Internal(format!("unknown mnemonic {other:?}"))),
+    };
+    Ok(Some(insn))
+}
+
+/// Assembles a multi-line program into encoded instruction words.
+///
+/// # Errors
+///
+/// Returns the first line's error, annotated with its line number.
+pub fn assemble(program: &str) -> Result<Vec<u32>, AlignError> {
+    let mut words = Vec::new();
+    for (i, line) in program.lines().enumerate() {
+        match assemble_line(line) {
+            Ok(Some(insn)) => words.push(insn.encode()),
+            Ok(None) => {}
+            Err(AlignError::Internal(msg)) => {
+                return Err(AlignError::Internal(format!("line {}: {msg}", i + 1)))
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(words)
+}
+
+/// Disassembles encoded words into listing lines.
+///
+/// # Errors
+///
+/// Propagates decode errors.
+pub fn disassemble_words(words: &[u32]) -> Result<Vec<String>, AlignError> {
+    words.iter().map(|&w| Insn::decode(w).map(disassemble)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_mnemonics() {
+        let program = "\
+            # compute one column pair\n\
+            smx.v a0, a1, a2\n\
+            smx.h a3, a1, a2   # bottom delta\n\
+            smx.redsum t0, a0\n\
+            smx.pack t1, t2\n";
+        let words = assemble(program).unwrap();
+        assert_eq!(words.len(), 4);
+        let listing = disassemble_words(&words).unwrap();
+        assert_eq!(listing[0], "smx.v a0, a1, a2");
+        assert_eq!(listing[2], "smx.redsum t0, a0");
+        // Reassembling the listing yields identical words.
+        let again = assemble(&listing.join("\n")).unwrap();
+        assert_eq!(again, words);
+    }
+
+    #[test]
+    fn numeric_registers_accepted() {
+        let insn = assemble_line("smx.v x5, x10, x11").unwrap().unwrap();
+        assert_eq!(insn, Insn::SmxV { rd: 5, rs1: 10, rs2: 11 });
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = assemble("smx.v a0, a1, a2\nsmx.bogus a0, a1\n").unwrap_err();
+        assert!(err.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn operand_count_checked() {
+        assert!(assemble_line("smx.redsum a0, a1, a2").is_err());
+        assert!(assemble_line("smx.v a0, a1").is_err());
+    }
+
+    #[test]
+    fn bad_register_rejected() {
+        assert!(parse_reg("x32").is_err());
+        assert!(parse_reg("q7").is_err());
+        assert_eq!(parse_reg("zero").unwrap(), 0);
+        assert_eq!(parse_reg("t6").unwrap(), 31);
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let words = assemble("# nothing\n\n   \n").unwrap();
+        assert!(words.is_empty());
+    }
+}

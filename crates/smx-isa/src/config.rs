@@ -1,0 +1,184 @@
+//! The `smx_config` architectural register (paper §4.2).
+//!
+//! Holds the element width, the score-generation mode (match/mismatch
+//! comparator array vs. substitution-matrix memory), and the M/X/I/D
+//! penalties. Rarely written — it is reused across all alignments of an
+//! application, which is why the hardware can update it at commit without
+//! recovery machinery.
+
+use smx_align_core::{AlignError, ElementWidth, ScoringScheme};
+
+/// How the S′ inputs of the PE array are generated (paper §4.3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScoreMode {
+    /// Comparator array: match → `M − I − D`, mismatch → `X − I − D`.
+    MatchMismatch,
+    /// Lookup in the `smx_submat` memory (protein alignment).
+    SubstMatrix,
+}
+
+/// Decoded contents of the `smx_config` CSR.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SmxConfig {
+    /// Element width (selects the PE array and VL).
+    pub ew: ElementWidth,
+    /// S′ generation mode.
+    pub mode: ScoreMode,
+    /// Match score `M` (match/mismatch mode only).
+    pub match_score: i8,
+    /// Mismatch score `X` (match/mismatch mode only).
+    pub mismatch: i8,
+    /// Insertion penalty `I`.
+    pub gap_insert: i8,
+    /// Deletion penalty `D`.
+    pub gap_delete: i8,
+}
+
+impl SmxConfig {
+    /// Builds the configuration for a scoring scheme at a given width.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the scheme is not encodable, its theta exceeds
+    /// `ew`, or any penalty is outside the 8-bit CSR fields.
+    pub fn from_scheme(ew: ElementWidth, scheme: &ScoringScheme) -> Result<SmxConfig, AlignError> {
+        scheme.check_encodable()?;
+        let theta = scheme.theta();
+        if !ew.fits_theta(theta) {
+            return Err(AlignError::ElementWidthOverflow { theta, ew_bits: ew.bits() });
+        }
+        let field = |v: i32, what: &str| -> Result<i8, AlignError> {
+            i8::try_from(v).map_err(|_| {
+                AlignError::InvalidScoring(format!("{what} {v} does not fit an 8-bit CSR field"))
+            })
+        };
+        let (mode, match_score, mismatch) = match scheme {
+            ScoringScheme::Matrix { .. } => (ScoreMode::SubstMatrix, 0, 0),
+            _ => (
+                ScoreMode::MatchMismatch,
+                field(scheme.s_max(), "match score")?,
+                field(scheme.s_min(), "mismatch score")?,
+            ),
+        };
+        Ok(SmxConfig {
+            ew,
+            mode,
+            match_score,
+            mismatch,
+            gap_insert: field(scheme.gap_insert(), "insertion penalty")?,
+            gap_delete: field(scheme.gap_delete(), "deletion penalty")?,
+        })
+    }
+
+    /// Shifted score range bound `theta = S_max − I − D`.
+    ///
+    /// In substitution-matrix mode this uses the 6-bit submat ceiling
+    /// (the hardware bound); the precise value comes from the matrix.
+    #[must_use]
+    pub fn theta_bound(&self) -> i32 {
+        match self.mode {
+            ScoreMode::MatchMismatch => {
+                self.match_score as i32 - self.gap_insert as i32 - self.gap_delete as i32
+            }
+            ScoreMode::SubstMatrix => 63,
+        }
+    }
+
+    /// Encodes into the 64-bit CSR image.
+    ///
+    /// Layout: `[1:0]` EW selector, `[2]` mode, `[15:8]` M, `[23:16]` X,
+    /// `[31:24]` I, `[39:32]` D (all two's complement bytes).
+    #[must_use]
+    pub fn encode(&self) -> u64 {
+        let ew_sel = match self.ew {
+            ElementWidth::W2 => 0u64,
+            ElementWidth::W4 => 1,
+            ElementWidth::W6 => 2,
+            ElementWidth::W8 => 3,
+        };
+        let mode = match self.mode {
+            ScoreMode::MatchMismatch => 0u64,
+            ScoreMode::SubstMatrix => 1,
+        };
+        ew_sel
+            | (mode << 2)
+            | ((self.match_score as u8 as u64) << 8)
+            | ((self.mismatch as u8 as u64) << 16)
+            | ((self.gap_insert as u8 as u64) << 24)
+            | ((self.gap_delete as u8 as u64) << 32)
+    }
+
+    /// Decodes a CSR image written by software.
+    #[must_use]
+    pub fn decode(csr: u64) -> SmxConfig {
+        let ew = match csr & 0b11 {
+            0 => ElementWidth::W2,
+            1 => ElementWidth::W4,
+            2 => ElementWidth::W6,
+            _ => ElementWidth::W8,
+        };
+        let mode = if csr & 0b100 != 0 { ScoreMode::SubstMatrix } else { ScoreMode::MatchMismatch };
+        SmxConfig {
+            ew,
+            mode,
+            match_score: (csr >> 8) as u8 as i8,
+            mismatch: (csr >> 16) as u8 as i8,
+            gap_insert: (csr >> 24) as u8 as i8,
+            gap_delete: (csr >> 32) as u8 as i8,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smx_align_core::SubstMatrix;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        for cfg in [
+            SmxConfig::from_scheme(ElementWidth::W2, &ScoringScheme::edit()).unwrap(),
+            SmxConfig::from_scheme(ElementWidth::W4, &ScoringScheme::linear(2, -4, -4).unwrap())
+                .unwrap(),
+            SmxConfig::from_scheme(
+                ElementWidth::W6,
+                &ScoringScheme::matrix(SubstMatrix::blosum50(), -5).unwrap(),
+            )
+            .unwrap(),
+            SmxConfig::from_scheme(ElementWidth::W8, &ScoringScheme::edit()).unwrap(),
+        ] {
+            assert_eq!(SmxConfig::decode(cfg.encode()), cfg);
+        }
+    }
+
+    #[test]
+    fn matrix_scheme_sets_submat_mode() {
+        let scheme = ScoringScheme::matrix(SubstMatrix::blosum50(), -5).unwrap();
+        let cfg = SmxConfig::from_scheme(ElementWidth::W6, &scheme).unwrap();
+        assert_eq!(cfg.mode, ScoreMode::SubstMatrix);
+        assert_eq!(cfg.gap_insert, -5);
+    }
+
+    #[test]
+    fn theta_overflow_rejected() {
+        let scheme = ScoringScheme::linear(2, -4, -4).unwrap(); // theta 10
+        assert!(SmxConfig::from_scheme(ElementWidth::W2, &scheme).is_err());
+    }
+
+    #[test]
+    fn negative_penalties_survive_roundtrip() {
+        let scheme = ScoringScheme::linear_asym(3, -2, -5, -7).unwrap();
+        let cfg = SmxConfig::from_scheme(ElementWidth::W4, &scheme).unwrap();
+        let back = SmxConfig::decode(cfg.encode());
+        assert_eq!(back.gap_insert, -5);
+        assert_eq!(back.gap_delete, -7);
+        assert_eq!(back.mismatch, -2);
+    }
+
+    #[test]
+    fn theta_bound_match_mismatch() {
+        let cfg =
+            SmxConfig::from_scheme(ElementWidth::W2, &ScoringScheme::edit()).unwrap();
+        assert_eq!(cfg.theta_bound(), 2);
+    }
+}

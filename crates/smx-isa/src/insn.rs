@@ -1,0 +1,183 @@
+//! SMX-1D instruction encoding (paper §4.2): standard RISC-V R-type with
+//! a reserved custom opcode.
+//!
+//! | instruction  | funct3 | semantics                                   |
+//! |--------------|--------|---------------------------------------------|
+//! | `smx.v`      | 0      | column-vector ΔV′ computation               |
+//! | `smx.h`      | 1      | bottom Δh′ of the same column               |
+//! | `smx.redsum` | 2      | lane-sum of packed shifted deltas           |
+//! | `smx.pack`   | 3      | pack 8 ASCII chars to the configured EW     |
+//! | `smx.vh`     | 4      | merged ΔV′+Δh′ (dual-destination cores)     |
+
+use smx_align_core::AlignError;
+
+/// RISC-V *custom-0* major opcode used by SMX-1D.
+pub const SMX_OPCODE: u32 = 0b000_1011;
+
+/// A decoded SMX-1D instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Insn {
+    /// `smx.v rd, rs1, rs2` — compute a column vector of VL DP-elements.
+    SmxV {
+        /// Destination register.
+        rd: u8,
+        /// Source: packed ΔV′ inputs.
+        rs1: u8,
+        /// Source: Δh′ input (bits 7:0) and reference lane (bits 13:8).
+        rs2: u8,
+    },
+    /// `smx.h rd, rs1, rs2` — compute the column's bottom Δh′.
+    SmxH {
+        /// Destination register.
+        rd: u8,
+        /// Source: packed ΔV′ inputs.
+        rs1: u8,
+        /// Source: Δh′ input and reference lane.
+        rs2: u8,
+    },
+    /// `smx.redsum rd, rs1` — sum the VL packed lanes of `rs1`.
+    SmxRedsum {
+        /// Destination register.
+        rd: u8,
+        /// Source: packed shifted deltas.
+        rs1: u8,
+    },
+    /// `smx.pack rd, rs1` — pack 8 ASCII characters into EW-width codes.
+    SmxPack {
+        /// Destination register.
+        rd: u8,
+        /// Source: 8 ASCII bytes.
+        rs1: u8,
+    },
+    /// `smx.vh rd, rs1, rs2` — the merged column instruction for cores
+    /// with two destination register ports (paper §4.2): writes ΔV′ to
+    /// `rd` and the bottom Δh′ to `rd + 1`.
+    SmxVh {
+        /// First destination register (ΔV′); `rd + 1` receives Δh′.
+        rd: u8,
+        /// Source: packed ΔV′ inputs.
+        rs1: u8,
+        /// Source: Δh′ input, reference lane, active lanes.
+        rs2: u8,
+    },
+}
+
+impl Insn {
+    fn funct3(self) -> u32 {
+        match self {
+            Insn::SmxV { .. } => 0,
+            Insn::SmxH { .. } => 1,
+            Insn::SmxRedsum { .. } => 2,
+            Insn::SmxPack { .. } => 3,
+            Insn::SmxVh { .. } => 4,
+        }
+    }
+
+    /// Encodes to a 32-bit R-type instruction word.
+    #[must_use]
+    pub fn encode(self) -> u32 {
+        let (rd, rs1, rs2) = match self {
+            Insn::SmxV { rd, rs1, rs2 }
+            | Insn::SmxH { rd, rs1, rs2 }
+            | Insn::SmxVh { rd, rs1, rs2 } => (rd, rs1, rs2),
+            Insn::SmxRedsum { rd, rs1 } | Insn::SmxPack { rd, rs1 } => (rd, rs1, 0),
+        };
+        SMX_OPCODE
+            | (u32::from(rd & 0x1F) << 7)
+            | (self.funct3() << 12)
+            | (u32::from(rs1 & 0x1F) << 15)
+            | (u32::from(rs2 & 0x1F) << 20)
+    }
+
+    /// Decodes a 32-bit instruction word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AlignError::Internal`] if the opcode or funct7 is not an
+    /// SMX-1D encoding.
+    pub fn decode(word: u32) -> Result<Insn, AlignError> {
+        if word & 0x7F != SMX_OPCODE {
+            return Err(AlignError::Internal(format!(
+                "opcode {:#04x} is not SMX custom-0",
+                word & 0x7F
+            )));
+        }
+        if word >> 25 != 0 {
+            return Err(AlignError::Internal("non-zero funct7 in SMX encoding".into()));
+        }
+        let rd = ((word >> 7) & 0x1F) as u8;
+        let funct3 = (word >> 12) & 0x7;
+        let rs1 = ((word >> 15) & 0x1F) as u8;
+        let rs2 = ((word >> 20) & 0x1F) as u8;
+        match funct3 {
+            0 => Ok(Insn::SmxV { rd, rs1, rs2 }),
+            1 => Ok(Insn::SmxH { rd, rs1, rs2 }),
+            2 => Ok(Insn::SmxRedsum { rd, rs1 }),
+            3 => Ok(Insn::SmxPack { rd, rs1 }),
+            4 => Ok(Insn::SmxVh { rd, rs1, rs2 }),
+            f => Err(AlignError::Internal(format!("unknown SMX funct3 {f}"))),
+        }
+    }
+}
+
+/// Packs an `smx.v`/`smx.h` `rs2` operand value from a Δh′ input, a
+/// reference lane index, and an active-lane count (`0` means "all VL
+/// lanes"; partial counts serve the last row strip of a block).
+#[must_use]
+pub fn rs2_operand(dh_in: u8, ref_lane: u8, active_lanes: u8) -> u64 {
+    u64::from(dh_in)
+        | (u64::from(ref_lane & 0x3F) << 8)
+        | (u64::from(active_lanes & 0x3F) << 16)
+}
+
+/// Splits an `rs2` operand into (Δh′ input, reference lane, active lanes).
+#[must_use]
+pub fn split_rs2(value: u64) -> (u8, u8, u8) {
+    (
+        (value & 0xFF) as u8,
+        ((value >> 8) & 0x3F) as u8,
+        ((value >> 16) & 0x3F) as u8,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let insns = [
+            Insn::SmxV { rd: 5, rs1: 10, rs2: 11 },
+            Insn::SmxH { rd: 31, rs1: 0, rs2: 1 },
+            Insn::SmxRedsum { rd: 7, rs1: 8 },
+            Insn::SmxPack { rd: 1, rs1: 2 },
+            Insn::SmxVh { rd: 12, rs1: 13, rs2: 14 },
+        ];
+        for i in insns {
+            assert_eq!(Insn::decode(i.encode()).unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn wrong_opcode_rejected() {
+        assert!(Insn::decode(0x33).is_err()); // standard OP opcode
+    }
+
+    #[test]
+    fn nonzero_funct7_rejected() {
+        let w = Insn::SmxV { rd: 1, rs1: 2, rs2: 3 }.encode() | (1 << 25);
+        assert!(Insn::decode(w).is_err());
+    }
+
+    #[test]
+    fn rs2_operand_roundtrip() {
+        let v = rs2_operand(0xAB, 17, 32);
+        assert_eq!(split_rs2(v), (0xAB, 17, 32));
+    }
+
+    #[test]
+    fn opcode_is_custom0() {
+        // custom-0 is 0001011 per the RISC-V spec's reserved space.
+        assert_eq!(SMX_OPCODE, 0x0B);
+    }
+}

@@ -1,0 +1,155 @@
+//! SMX-A column kernels: the ISA-side of the gap-affine extension.
+//!
+//! The affine column operation carries two values per lane, so on a
+//! single-destination core it decomposes into four instructions per
+//! column (`smxa.u`, `smxa.x` for the right-flow pair and `smxa.v`,
+//! `smxa.y` for the bottom pair), or two on a dual-destination core —
+//! the same encoding trade as `smx.v`/`smx.h` vs `smx.vh` (§4.2). This
+//! module models the kernel functionally with instruction accounting;
+//! the per-lane datapath is `smx_diffenc::affine`.
+
+use crate::unit::InsnCounts;
+use smx_align_core::dp_affine::AffineScheme;
+use smx_align_core::AlignError;
+use smx_diffenc::affine::{
+    affine_column_step, fresh_borders, AffinePenalties, DownFlow, RightFlow,
+};
+
+/// Result of an affine column-strip block computation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AffineBlockResult {
+    /// Bottom-right score relative to the block anchor.
+    pub score: i32,
+    /// Dynamic instructions executed.
+    pub counts: InsnCounts,
+}
+
+/// Computes the gap-affine score of a block by column strips of `vl`
+/// lanes, the way an SMX-A-extended core would drive it.
+///
+/// `dual_port` selects the merged two-instruction-per-column encoding.
+///
+/// # Errors
+///
+/// Returns [`AlignError::EmptySequence`] for empty inputs and propagates
+/// penalty-validation errors.
+pub fn affine_score_block(
+    scheme: &AffineScheme,
+    vl: usize,
+    query: &[u8],
+    reference: &[u8],
+    dual_port: bool,
+) -> Result<AffineBlockResult, AlignError> {
+    let (m, n) = (query.len(), reference.len());
+    if m == 0 || n == 0 {
+        return Err(AlignError::EmptySequence);
+    }
+    if vl == 0 {
+        return Err(AlignError::InvalidScoring("vl must be positive".into()));
+    }
+    let pen = AffinePenalties::from_scheme(scheme)?;
+    let (top0, left0) = fresh_borders(&pen, m, n);
+    let mut counts = InsnCounts::default();
+    // (v, y) flows carried from strip to strip, one per column.
+    let mut down_carry: Vec<DownFlow> = top0.clone();
+    let mut right_sum: i64 = 0;
+
+    for (s_idx, strip) in query.chunks(vl).enumerate() {
+        let row0 = s_idx * vl;
+        let mut left: Vec<RightFlow> = left0[row0..row0 + strip.len()].to_vec();
+        counts.csr_write += 1; // query register load
+        counts.load_words += 1;
+        for (j, &rc) in reference.iter().enumerate() {
+            if j % vl == 0 {
+                counts.csr_write += 1; // reference register reload
+                counts.load_words += 1;
+            }
+            let (next_left, bottom) = affine_column_step(&pen, strip, rc, &left, down_carry[j]);
+            left = next_left;
+            down_carry[j] = bottom;
+            // Instruction accounting: two value-pairs per column.
+            if dual_port {
+                counts.smx_vh += 2;
+            } else {
+                counts.smx_v += 2;
+                counts.smx_h += 2;
+            }
+            counts.scalar_ops += 2;
+        }
+        counts.smx_redsum += 1;
+        counts.scalar_ops += 2;
+        right_sum += left.iter().map(|f| i64::from(f.u)).sum::<i64>();
+    }
+    let top_sum: i64 = top0.iter().map(|d| i64::from(d.v)).sum();
+    counts.scalar_ops += n as u64;
+    Ok(AffineBlockResult { score: (top_sum + right_sum) as i32, counts })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use smx_align_core::dp_affine::affine_score;
+
+    fn scheme() -> AffineScheme {
+        AffineScheme::minimap2()
+    }
+
+    fn dna(len: usize, seed: u64) -> Vec<u8> {
+        let mut x = seed | 1;
+        (0..len)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x % 4) as u8
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_gotoh_across_strips() {
+        let q = dna(45, 3); // 3 strips of 16
+        let r = dna(37, 9);
+        let res = affine_score_block(&scheme(), 16, &q, &r, false).unwrap();
+        assert_eq!(res.score, affine_score(&q, &r, &scheme()));
+    }
+
+    #[test]
+    fn dual_port_halves_smx_ops() {
+        let q = dna(32, 5);
+        let r = dna(32, 7);
+        let single = affine_score_block(&scheme(), 16, &q, &r, false).unwrap();
+        let dual = affine_score_block(&scheme(), 16, &q, &r, true).unwrap();
+        assert_eq!(single.score, dual.score);
+        assert_eq!(dual.counts.smx_vh * 2, single.counts.smx_v + single.counts.smx_h);
+    }
+
+    #[test]
+    fn four_ops_per_column() {
+        let q = dna(16, 5);
+        let r = dna(10, 7);
+        let res = affine_score_block(&scheme(), 16, &q, &r, false).unwrap();
+        // One strip, 10 columns, 4 SMX-A ops each.
+        assert_eq!(res.counts.smx_v + res.counts.smx_h, 40);
+    }
+
+    #[test]
+    fn rejects_degenerate_inputs() {
+        assert!(affine_score_block(&scheme(), 16, &[], &[0], false).is_err());
+        assert!(affine_score_block(&scheme(), 0, &[0], &[0], false).is_err());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn random_strips_match_gotoh(
+            q in proptest::collection::vec(0u8..4, 1..70),
+            r in proptest::collection::vec(0u8..4, 1..70),
+            vl in 1usize..24,
+        ) {
+            let res = affine_score_block(&scheme(), vl, &q, &r, false).unwrap();
+            prop_assert_eq!(res.score, affine_score(&q, &r, &scheme()));
+        }
+    }
+}

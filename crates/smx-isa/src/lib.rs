@@ -1,0 +1,50 @@
+//! # smx-isa
+//!
+//! Functional model of the **SMX-1D ISA extension** (paper §4): the
+//! `smx.v`, `smx.h`, `smx.redsum`, and `smx.pack` instructions, the
+//! architectural state (`smx_query`, `smx_reference`, `smx_config`, and
+//! the 78×64-bit `smx_submat` memory), and software kernels built on the
+//! ISA — column-strip DP-block computation, score-only reduction, and the
+//! tile-recompute traceback that the heterogeneous SMX architecture runs
+//! on the core.
+//!
+//! ## ISA elaboration
+//!
+//! The paper leaves the reference-lane selection of `smx.v`/`smx.h`
+//! implicit (the `smx_reference` register holds `VL` packed characters but
+//! each column computation consumes exactly one). We encode the reference
+//! lane index in bits `[13:8]` of `rs2`, alongside the `Δh′` input in bits
+//! `[7:0]` — a micro-architectural detail that does not change the
+//! instruction count or data movement the paper reasons about.
+//!
+//! ## Example
+//!
+//! ```
+//! use smx_align_core::AlignmentConfig;
+//! use smx_isa::{kernels, Smx1dUnit};
+//!
+//! # fn main() -> Result<(), smx_align_core::AlignError> {
+//! let cfg = AlignmentConfig::DnaEdit;
+//! let mut unit = Smx1dUnit::configure(cfg.element_width(), &cfg.scoring())?;
+//! let q = [0u8, 1, 2, 3, 0, 1];
+//! let r = [0u8, 1, 2, 2, 0, 1];
+//! let result = kernels::compute_block(&mut unit, &q, &r, None)?;
+//! assert_eq!(result.score, -1); // one mismatch under the edit model
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod asm;
+pub mod config;
+pub mod insn;
+pub mod kernels;
+pub mod kernels_affine;
+pub mod machine;
+pub mod regs;
+pub mod unit;
+
+pub use config::{ScoreMode, SmxConfig};
+pub use insn::Insn;
+pub use regs::ArchState;
+pub use machine::Machine;
+pub use unit::{InsnCounts, Smx1dUnit};

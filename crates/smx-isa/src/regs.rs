@@ -1,0 +1,210 @@
+//! SMX-1D architectural state (paper §4.2): the `smx_query`,
+//! `smx_reference`, and `smx_config` CSRs plus the 78×64-bit `smx_submat`
+//! memory holding a 26×26×6-bit substitution matrix (three words per
+//! reference-character row).
+
+use crate::config::SmxConfig;
+use smx_align_core::{AlignError, ScoringScheme};
+
+/// CSR address of `smx_query` (custom read/write CSR space).
+pub const CSR_SMX_QUERY: u16 = 0x7C0;
+/// CSR address of `smx_reference`.
+pub const CSR_SMX_REFERENCE: u16 = 0x7C1;
+/// CSR address of `smx_config`.
+pub const CSR_SMX_CONFIG: u16 = 0x7C2;
+/// Base CSR address of the `smx_submat` window (78 consecutive words).
+pub const CSR_SMX_SUBMAT_BASE: u16 = 0x7D0;
+
+/// Number of 64-bit words in the `smx_submat` memory.
+pub const SUBMAT_WORDS: usize = 78;
+/// Words allocated per reference-character row (26 entries × 6 bits
+/// rounded up to whole words).
+pub const SUBMAT_WORDS_PER_ROW: usize = 3;
+/// 6-bit entries packed per submat word.
+const ENTRIES_PER_WORD: usize = 10;
+
+/// The SMX-1D architectural register file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArchState {
+    /// Packed query subsequence (VL symbols).
+    pub smx_query: u64,
+    /// Packed reference subsequence (VL symbols).
+    pub smx_reference: u64,
+    /// Encoded [`SmxConfig`].
+    pub smx_config: u64,
+    submat: [u64; SUBMAT_WORDS],
+}
+
+impl Default for ArchState {
+    fn default() -> Self {
+        ArchState { smx_query: 0, smx_reference: 0, smx_config: 0, submat: [0; SUBMAT_WORDS] }
+    }
+}
+
+impl ArchState {
+    /// Fresh, zeroed state.
+    #[must_use]
+    pub fn new() -> ArchState {
+        ArchState::default()
+    }
+
+    /// Reads a CSR by address.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AlignError::Internal`] for an unmapped address.
+    pub fn read_csr(&self, addr: u16) -> Result<u64, AlignError> {
+        match addr {
+            CSR_SMX_QUERY => Ok(self.smx_query),
+            CSR_SMX_REFERENCE => Ok(self.smx_reference),
+            CSR_SMX_CONFIG => Ok(self.smx_config),
+            a if (CSR_SMX_SUBMAT_BASE..CSR_SMX_SUBMAT_BASE + SUBMAT_WORDS as u16).contains(&a) => {
+                Ok(self.submat[(a - CSR_SMX_SUBMAT_BASE) as usize])
+            }
+            _ => Err(AlignError::Internal(format!("unmapped SMX CSR {addr:#x}"))),
+        }
+    }
+
+    /// Writes a CSR by address.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AlignError::Internal`] for an unmapped address.
+    pub fn write_csr(&mut self, addr: u16, value: u64) -> Result<(), AlignError> {
+        match addr {
+            CSR_SMX_QUERY => self.smx_query = value,
+            CSR_SMX_REFERENCE => self.smx_reference = value,
+            CSR_SMX_CONFIG => self.smx_config = value,
+            a if (CSR_SMX_SUBMAT_BASE..CSR_SMX_SUBMAT_BASE + SUBMAT_WORDS as u16).contains(&a) => {
+                self.submat[(a - CSR_SMX_SUBMAT_BASE) as usize] = value;
+            }
+            _ => return Err(AlignError::Internal(format!("unmapped SMX CSR {addr:#x}"))),
+        }
+        Ok(())
+    }
+
+    /// The decoded configuration register.
+    #[must_use]
+    pub fn config(&self) -> SmxConfig {
+        SmxConfig::decode(self.smx_config)
+    }
+
+    /// Serializes the *shifted* substitution scores of `scheme` into the
+    /// submat memory: entry `(r, q)` holds `S′(q, r) = S(q, r) − I − D` as
+    /// an unsigned 6-bit value; row `r` occupies words `3r .. 3r+3` with
+    /// ten entries per word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AlignError::InvalidScoring`] if a shifted score does not
+    /// fit 6 bits or the scheme is not matrix-based / not encodable.
+    pub fn load_submat(&mut self, scheme: &ScoringScheme) -> Result<(), AlignError> {
+        if !scheme.uses_matrix() {
+            return Err(AlignError::InvalidScoring(
+                "submat load requires a substitution-matrix scheme".into(),
+            ));
+        }
+        scheme.check_encodable()?;
+        let mut words = [0u64; SUBMAT_WORDS];
+        for r in 0..26u8 {
+            for q in 0..26u8 {
+                let s = scheme.shifted_score(q, r);
+                if !(0..=63).contains(&s) {
+                    return Err(AlignError::InvalidScoring(format!(
+                        "shifted score {s} for ({q}, {r}) does not fit 6 bits"
+                    )));
+                }
+                let entry = q as usize;
+                let word = r as usize * SUBMAT_WORDS_PER_ROW + entry / ENTRIES_PER_WORD;
+                let lane = entry % ENTRIES_PER_WORD;
+                words[word] |= (s as u64) << (lane * 6);
+            }
+        }
+        self.submat = words;
+        Ok(())
+    }
+
+    /// Reads the shifted score `S′(q, r)` from the submat memory.
+    ///
+    /// Models the SRAM access pattern: select row `r`, then extract the
+    /// entry for query character `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` or `r` ≥ 26 (codes are validated upstream).
+    #[must_use]
+    pub fn submat_lookup(&self, q: u8, r: u8) -> u8 {
+        assert!(q < 26 && r < 26, "submat codes out of range ({q}, {r})");
+        let entry = q as usize;
+        let word = r as usize * SUBMAT_WORDS_PER_ROW + entry / ENTRIES_PER_WORD;
+        let lane = entry % ENTRIES_PER_WORD;
+        ((self.submat[word] >> (lane * 6)) & 0x3F) as u8
+    }
+
+    /// Raw view of the submat words (for the coprocessor's register copy).
+    #[must_use]
+    pub fn submat_words(&self) -> &[u64; SUBMAT_WORDS] {
+        &self.submat
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smx_align_core::SubstMatrix;
+
+    #[test]
+    fn csr_read_write_roundtrip() {
+        let mut st = ArchState::new();
+        st.write_csr(CSR_SMX_QUERY, 0xDEAD).unwrap();
+        st.write_csr(CSR_SMX_REFERENCE, 0xBEEF).unwrap();
+        st.write_csr(CSR_SMX_CONFIG, 0x42).unwrap();
+        st.write_csr(CSR_SMX_SUBMAT_BASE + 77, 0x1234).unwrap();
+        assert_eq!(st.read_csr(CSR_SMX_QUERY).unwrap(), 0xDEAD);
+        assert_eq!(st.read_csr(CSR_SMX_REFERENCE).unwrap(), 0xBEEF);
+        assert_eq!(st.read_csr(CSR_SMX_CONFIG).unwrap(), 0x42);
+        assert_eq!(st.read_csr(CSR_SMX_SUBMAT_BASE + 77).unwrap(), 0x1234);
+    }
+
+    #[test]
+    fn unmapped_csr_rejected() {
+        let mut st = ArchState::new();
+        assert!(st.read_csr(0x100).is_err());
+        assert!(st.write_csr(CSR_SMX_SUBMAT_BASE + 78, 0).is_err());
+    }
+
+    #[test]
+    fn submat_serialization_matches_scheme() {
+        let scheme = ScoringScheme::matrix(SubstMatrix::blosum50(), -5).unwrap();
+        let mut st = ArchState::new();
+        st.load_submat(&scheme).unwrap();
+        for q in 0..26u8 {
+            for r in 0..26u8 {
+                assert_eq!(
+                    st.submat_lookup(q, r) as i32,
+                    scheme.shifted_score(q, r),
+                    "({q}, {r})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn submat_rejects_non_matrix_scheme() {
+        let mut st = ArchState::new();
+        assert!(st.load_submat(&ScoringScheme::edit()).is_err());
+    }
+
+    #[test]
+    fn submat_uses_three_words_per_row() {
+        // 26 six-bit entries = 156 bits -> words 3r..3r+2, never beyond.
+        let scheme = ScoringScheme::matrix(SubstMatrix::blosum62(), -6).unwrap();
+        let mut st = ArchState::new();
+        st.load_submat(&scheme).unwrap();
+        // Word 3r+2 holds entries 20..25 (36 bits); its top 28 bits are 0.
+        for r in 0..26 {
+            let w = st.submat_words()[r * SUBMAT_WORDS_PER_ROW + 2];
+            assert_eq!(w >> 36, 0, "row {r}");
+        }
+    }
+}

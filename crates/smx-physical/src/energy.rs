@@ -1,0 +1,83 @@
+//! Energy model: an extension of the paper's §10 power figure into
+//! per-alignment energy, enabling efficiency comparisons between SMX and
+//! the general-purpose core.
+//!
+//! Both models are area-proportional dynamic-power estimates at the 22nm
+//! design point: `P = area · density · activity` (the calibration that
+//! reproduces the paper's 0.342 mW for SMX at 20% activity), integrated
+//! over the simulated cycles of a workload.
+
+use crate::area::{AreaModel, POWER_MW_PER_MM2, PROCESSOR_AREA_MM2};
+use smx_align_core::AlignmentConfig;
+
+/// Activity factor assumed for a busy general-purpose core.
+pub const CPU_ACTIVITY: f64 = 0.35;
+/// Activity factor of SMX while streaming tiles (paper's reporting point).
+pub const SMX_ACTIVITY: f64 = 0.20;
+
+/// Energy in nanojoules for `cycles` at 1 GHz on the general-purpose core
+/// (the whole Table-2-class processor, SIMD unit included).
+#[must_use]
+pub fn cpu_energy_nj(cycles: f64) -> f64 {
+    // mW = mJ/s; at 1 GHz one cycle is 1 ns, so mW × cycles × 1e-9 s = mJ·1e-9 → nJ = pW·ns…
+    // Simplify: P[mW] × t[ns] = pJ; /1000 → nJ.
+    PROCESSOR_AREA_MM2 * POWER_MW_PER_MM2 * CPU_ACTIVITY * cycles * 1e-3
+}
+
+/// Energy in nanojoules for `cycles` of SMX activity (SMX-1D + SMX-2D),
+/// plus the host core at light activity for orchestration.
+#[must_use]
+pub fn smx_energy_nj(cycles: f64, core_busy_frac: f64) -> f64 {
+    let smx = AreaModel::new().total_area() * POWER_MW_PER_MM2 * SMX_ACTIVITY;
+    let host = PROCESSOR_AREA_MM2 * POWER_MW_PER_MM2 * CPU_ACTIVITY * core_busy_frac.clamp(0.0, 1.0);
+    (smx + host) * cycles * 1e-3
+}
+
+/// Energy per DP-element (picojoules) at SMX's peak rate for a
+/// configuration — the efficiency headline a DSA comparison reports.
+#[must_use]
+pub fn smx_pj_per_cell(config: AlignmentConfig) -> f64 {
+    let cells_per_cycle = crate::gcups::peak_gcups(config);
+    let power_mw = AreaModel::new().total_area() * POWER_MW_PER_MM2 * SMX_ACTIVITY;
+    // mW at 1 GHz = pJ per cycle.
+    power_mw / cells_per_cycle
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpu_energy_scales_linearly() {
+        let e1 = cpu_energy_nj(1000.0);
+        let e2 = cpu_energy_nj(2000.0);
+        assert!((e2 / e1 - 2.0).abs() < 1e-9);
+        assert!(e1 > 0.0);
+    }
+
+    #[test]
+    fn smx_adds_host_share() {
+        let idle_host = smx_energy_nj(1000.0, 0.0);
+        let busy_host = smx_energy_nj(1000.0, 1.0);
+        assert!(busy_host > idle_host);
+        // A fully busy host dominates the small SMX block.
+        assert!(busy_host / idle_host > 5.0);
+    }
+
+    #[test]
+    fn pj_per_cell_ordering() {
+        // Narrower elements compute more cells per cycle in the same
+        // silicon: DNA-edit is the most energy-efficient per cell.
+        let edit = smx_pj_per_cell(AlignmentConfig::DnaEdit);
+        let ascii = smx_pj_per_cell(AlignmentConfig::Ascii);
+        assert!(edit < ascii / 10.0, "{edit} vs {ascii}");
+        assert!(edit < 0.01, "DNA-edit pJ/cell {edit}");
+    }
+
+    #[test]
+    fn smx_beats_cpu_per_cycle_when_host_idle() {
+        // The SMX add-on is ~31% of the processor area at a lower
+        // activity factor: cheaper per cycle than the busy core.
+        assert!(smx_energy_nj(1.0, 0.05) < cpu_energy_nj(1.0));
+    }
+}

@@ -1,0 +1,26 @@
+//! # smx-physical
+//!
+//! Analytic physical-design model of SMX (paper §10, Fig. 13, Table 3):
+//! a bottom-up area model of the SMX-1D unit and SMX-2D coprocessor
+//! calibrated to the paper's 22nm post-PnR results, a dynamic-power model
+//! at a configurable activity factor, technology scaling for cross-node
+//! comparisons, and the peak-GCUPS arithmetic behind Table 3.
+//!
+//! ## Example
+//!
+//! ```
+//! use smx_physical::AreaModel;
+//!
+//! let model = AreaModel::new();
+//! // The paper's post-PnR totals at 22nm.
+//! assert!((model.smx1d_area() - 0.0152).abs() < 0.002);
+//! assert!((model.smx2d_area() - 0.3280).abs() < 0.01);
+//! assert!((model.power_mw(0.2) - 0.342).abs() < 0.04);
+//! ```
+
+pub mod area;
+pub mod energy;
+pub mod gcups;
+
+pub use area::{scale_area, AreaModel, ModuleArea};
+pub use gcups::{peak_gcups, peak_gcups_per_mm2};

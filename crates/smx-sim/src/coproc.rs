@@ -1,0 +1,467 @@
+//! Cycle-level event-driven timing of the SMX-2D coprocessor
+//! (paper §5, §8.1): SMX-workers fetch supertile cache lines through the
+//! shared L2 port, issue DP-tiles into the pipelined SMX-engine along
+//! antidiagonals, and write border lines back. The engine accepts one tile
+//! per cycle; a dependent antidiagonal can start only after the previous
+//! one's outputs have drained through the pipeline and the worker's
+//! forwarding path.
+
+use smx_align_core::ElementWidth;
+use std::collections::VecDeque;
+
+/// Timing parameters of one SMX-2D instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoprocTimingConfig {
+    /// Number of SMX-workers.
+    pub workers: usize,
+    /// SMX-engine pipeline depth (cycles), per the EW design point.
+    pub pipeline_depth: u64,
+    /// Border forwarding latency through the worker SRAM (cycles).
+    pub forward_latency: u64,
+    /// L2 hit latency seen by the coprocessor (cycles).
+    pub l2_latency: u64,
+    /// Cache lines fetched per supertile (query, reference, two borders).
+    pub fetch_lines: u64,
+    /// Border lines written back per supertile (score-only mode).
+    pub store_lines: u64,
+    /// Core-side dispatch cost per block (configuration-register writes).
+    pub dispatch_latency: u64,
+    /// Whether workers prefetch the next supertile's lines during the
+    /// current compute phase (hides the L2 latency; an ablation knob —
+    /// the baseline design hides latency with worker count instead).
+    pub prefetch: bool,
+}
+
+impl CoprocTimingConfig {
+    /// The evaluation configuration for a given element width.
+    #[must_use]
+    pub fn for_ew(ew: ElementWidth, workers: usize) -> CoprocTimingConfig {
+        CoprocTimingConfig {
+            workers: workers.max(1),
+            pipeline_depth: u64::from(ew.engine_pipeline_depth()),
+            forward_latency: 2,
+            l2_latency: 18,
+            fetch_lines: 4,
+            store_lines: 2,
+            dispatch_latency: 40,
+            prefetch: false,
+        }
+    }
+}
+
+/// The tile-grid shape of one DP-block job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockShape {
+    /// Tiles along the query dimension.
+    pub tile_rows: usize,
+    /// Tiles along the reference dimension.
+    pub tile_cols: usize,
+    /// Tiles per supertile side (8 at a 64-byte line for every EW).
+    pub st_side: usize,
+    /// Extra border lines stored per supertile (traceback mode).
+    pub extra_store_lines: u64,
+}
+
+impl BlockShape {
+    /// Shape of an `m × n` DP-block at element width `ew`.
+    ///
+    /// `traceback` adds the interior tile-border writeback traffic.
+    #[must_use]
+    pub fn from_dims(m: usize, n: usize, ew: ElementWidth, traceback: bool) -> BlockShape {
+        let vl = ew.vl();
+        let cpl = 512 / ew.bits() as usize; // chars per 64-byte line
+        let st_side = (cpl / vl).max(1);
+        let tile_rows = m.div_ceil(vl).max(1);
+        let tile_cols = n.div_ceil(vl).max(1);
+        let extra_store_lines = if traceback {
+            let tiles_per_st = (st_side * st_side) as u64;
+            let bytes_per_tile = (2 * vl * ew.bits() as usize).div_ceil(8) as u64;
+            (tiles_per_st * bytes_per_tile).div_ceil(64)
+        } else {
+            0
+        };
+        BlockShape { tile_rows, tile_cols, st_side, extra_store_lines }
+    }
+
+    /// Total tiles in the block.
+    #[must_use]
+    pub fn tiles(&self) -> u64 {
+        (self.tile_rows * self.tile_cols) as u64
+    }
+
+    fn st_rows(&self) -> usize {
+        self.tile_rows.div_ceil(self.st_side)
+    }
+
+    fn st_cols(&self) -> usize {
+        self.tile_cols.div_ceil(self.st_side)
+    }
+}
+
+/// Result of simulating a batch of blocks on one coprocessor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoprocResult {
+    /// Makespan in cycles.
+    pub cycles: u64,
+    /// Tiles issued (engine-busy cycles).
+    pub tiles: u64,
+    /// SMX-engine utilization (tiles / cycles).
+    pub utilization: f64,
+    /// L2-port grants consumed.
+    pub port_grants: u64,
+    /// L2-port utilization (grants / cycles).
+    pub port_utilization: f64,
+}
+
+/// Single-cycle-granularity resource (engine issue slot or L2 port),
+/// backed by a growable bitset over cycles.
+#[derive(Debug, Default)]
+struct Resource {
+    words: Vec<u64>,
+    grants: u64,
+}
+
+impl Resource {
+    /// Grants the first free cycle ≥ `t`.
+    fn grant(&mut self, t: u64) -> u64 {
+        let mut word = (t / 64) as usize;
+        let mut mask = !0u64 << (t % 64);
+        loop {
+            if word >= self.words.len() {
+                self.words.resize(word + 1, 0);
+            }
+            let free = !self.words[word] & mask;
+            if free != 0 {
+                let pos = free.trailing_zeros();
+                self.words[word] |= 1u64 << pos;
+                self.grants += 1;
+                return word as u64 * 64 + u64::from(pos);
+            }
+            word += 1;
+            mask = !0;
+        }
+    }
+
+    fn grants(&self) -> u64 {
+        self.grants
+    }
+}
+
+#[derive(Debug)]
+enum Phase {
+    Fetch { remaining: u64, last_completion: u64 },
+    Compute { diag: usize, idx: usize, diag_first_grant: u64, diag_lb: u64, last_grant: u64 },
+    Store { remaining: u64 },
+}
+
+#[derive(Debug)]
+struct SupertileRun {
+    k_rows: usize,
+    k_cols: usize,
+    store_lines: u64,
+}
+
+impl SupertileRun {
+    fn diag_count(&self) -> usize {
+        self.k_rows + self.k_cols - 1
+    }
+
+    fn diag_len(&self, d: usize) -> usize {
+        let lo = d.saturating_sub(self.k_cols - 1);
+        let hi = d.min(self.k_rows - 1);
+        hi - lo + 1
+    }
+}
+
+#[derive(Debug)]
+struct WorkerSim {
+    blocks: VecDeque<BlockShape>,
+    shape: Option<BlockShape>,
+    st_index: usize, // row-major over the supertile grid
+    run: Option<SupertileRun>,
+    phase: Phase,
+    ready: u64,
+    done: bool,
+}
+
+impl WorkerSim {
+    fn new(blocks: VecDeque<BlockShape>) -> WorkerSim {
+        let mut w = WorkerSim {
+            blocks,
+            shape: None,
+            st_index: 0,
+            run: None,
+            phase: Phase::Fetch { remaining: 0, last_completion: 0 },
+            ready: 0,
+            done: false,
+        };
+        w.next_block(0, 0);
+        w
+    }
+
+    fn next_block(&mut self, t: u64, dispatch: u64) {
+        match self.blocks.pop_front() {
+            Some(shape) => {
+                self.shape = Some(shape);
+                self.st_index = 0;
+                self.ready = t + dispatch;
+                self.start_supertile();
+            }
+            None => {
+                self.shape = None;
+                self.done = true;
+            }
+        }
+    }
+
+    fn start_supertile(&mut self) {
+        let shape = self.shape.expect("block active");
+        let (si, sj) = (self.st_index / shape.st_cols(), self.st_index % shape.st_cols());
+        let k_rows = (shape.tile_rows - si * shape.st_side).min(shape.st_side);
+        let k_cols = (shape.tile_cols - sj * shape.st_side).min(shape.st_side);
+        self.run = Some(SupertileRun { k_rows, k_cols, store_lines: shape.extra_store_lines });
+        self.phase = Phase::Fetch { remaining: 0, last_completion: 0 };
+    }
+}
+
+/// The SMX-2D timing simulator.
+#[derive(Debug, Clone)]
+pub struct CoprocSim {
+    cfg: CoprocTimingConfig,
+}
+
+impl CoprocSim {
+    /// Builds a simulator with the given configuration.
+    #[must_use]
+    pub fn new(cfg: CoprocTimingConfig) -> CoprocSim {
+        CoprocSim { cfg }
+    }
+
+    /// Simulates a batch of block jobs, distributed round-robin across the
+    /// configured workers, and returns the timing result.
+    #[must_use]
+    pub fn simulate(&self, jobs: &[BlockShape]) -> CoprocResult {
+        let cfg = self.cfg;
+        let mut queues: Vec<VecDeque<BlockShape>> = vec![VecDeque::new(); cfg.workers];
+        for (i, &j) in jobs.iter().enumerate() {
+            queues[i % cfg.workers].push_back(j);
+        }
+        let mut workers: Vec<WorkerSim> = queues.into_iter().map(WorkerSim::new).collect();
+        let mut engine = Resource::default();
+        let mut port = Resource::default();
+        let mut makespan: u64 = 0;
+
+        // Pick the non-done worker with the earliest ready time, until all
+        // workers drain.
+        while let Some(w_idx) = workers
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| !w.done)
+            .min_by_key(|(i, w)| (w.ready, *i))
+            .map(|(i, _)| i)
+        {
+            let fetch_total = cfg.fetch_lines;
+            let w = &mut workers[w_idx];
+            let t = w.ready;
+            let store_total =
+                cfg.store_lines + w.run.as_ref().map_or(0, |r| r.store_lines);
+            match &mut w.phase {
+                Phase::Fetch { remaining, last_completion } => {
+                    if *remaining == 0 {
+                        *remaining = fetch_total;
+                        *last_completion = 0;
+                    }
+                    let g = port.grant(t);
+                    // With prefetching the data was requested during the
+                    // previous supertile's compute; only the port slot is
+                    // paid here.
+                    *last_completion = if cfg.prefetch { g + 1 } else { g + cfg.l2_latency };
+                    *remaining -= 1;
+                    makespan = makespan.max(*last_completion);
+                    if *remaining == 0 {
+                        let fetch_done = *last_completion;
+                        w.phase = Phase::Compute {
+                            diag: 0,
+                            idx: 0,
+                            diag_first_grant: 0,
+                            diag_lb: fetch_done,
+                            last_grant: 0,
+                        };
+                        w.ready = fetch_done;
+                    } else {
+                        w.ready = g + 1;
+                    }
+                }
+                Phase::Compute { diag, idx, diag_first_grant, diag_lb, last_grant } => {
+                    let run = w.run.as_ref().expect("supertile active");
+                    let lb = if *idx == 0 { *diag_lb } else { (*last_grant) + 1 };
+                    let g = engine.grant(lb.max(t));
+                    if *idx == 0 {
+                        *diag_first_grant = g;
+                    }
+                    *last_grant = g;
+                    *idx += 1;
+                    makespan = makespan.max(g + cfg.pipeline_depth);
+                    if *idx == run.diag_len(*diag) {
+                        *idx = 0;
+                        *diag += 1;
+                        *diag_lb = *diag_first_grant + cfg.pipeline_depth + cfg.forward_latency;
+                        if *diag == run.diag_count() {
+                            // Outputs drain after the pipeline depth.
+                            w.ready = g + cfg.pipeline_depth;
+                            w.phase = Phase::Store { remaining: store_total };
+                        } else {
+                            w.ready = g + 1;
+                        }
+                    } else {
+                        w.ready = g + 1;
+                    }
+                }
+                Phase::Store { remaining } => {
+                    let g = port.grant(t);
+                    *remaining -= 1;
+                    makespan = makespan.max(g + 1);
+                    w.ready = g + 1;
+                    if *remaining == 0 {
+                        let shape = w.shape.expect("block active");
+                        w.st_index += 1;
+                        if w.st_index == shape.st_rows() * shape.st_cols() {
+                            w.next_block(g + 1, cfg.dispatch_latency);
+                        } else {
+                            w.start_supertile();
+                        }
+                    }
+                }
+            }
+        }
+
+        let tiles: u64 = jobs.iter().map(BlockShape::tiles).sum();
+        let cycles = makespan.max(1);
+        CoprocResult {
+            cycles,
+            tiles,
+            utilization: tiles as f64 / cycles as f64,
+            port_grants: port.grants(),
+            port_utilization: port.grants() as f64 / cycles as f64,
+        }
+    }
+
+    /// Convenience: simulate `count` identical blocks.
+    #[must_use]
+    pub fn simulate_uniform(&self, shape: BlockShape, count: usize) -> CoprocResult {
+        self.simulate(&vec![shape; count])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sim(ew: ElementWidth, workers: usize) -> CoprocSim {
+        CoprocSim::new(CoprocTimingConfig::for_ew(ew, workers))
+    }
+
+    #[test]
+    fn shape_geometry() {
+        let s = BlockShape::from_dims(1000, 1000, ElementWidth::W2, false);
+        assert_eq!(s.tile_rows, 32); // ceil(1000/32)
+        assert_eq!(s.tile_cols, 32);
+        assert_eq!(s.st_side, 8);
+        assert_eq!(s.tiles(), 1024);
+        assert_eq!(s.st_rows(), 4);
+    }
+
+    #[test]
+    fn st_side_is_8_for_every_width() {
+        for ew in ElementWidth::ALL {
+            let s = BlockShape::from_dims(10_000, 10_000, ew, false);
+            assert_eq!(s.st_side, 8, "{ew}");
+        }
+    }
+
+    #[test]
+    fn single_worker_utilization_on_large_block() {
+        // Paper §8.1: one worker reaches 30-45% on large blocks.
+        let r = sim(ElementWidth::W2, 1).simulate_uniform(
+            BlockShape::from_dims(10_000, 10_000, ElementWidth::W2, false),
+            1,
+        );
+        assert!(
+            r.utilization > 0.25 && r.utilization < 0.55,
+            "utilization {}",
+            r.utilization
+        );
+    }
+
+    #[test]
+    fn four_workers_reach_high_utilization() {
+        // Paper §8.1: 4 workers raise utilization to around 90%.
+        let shape = BlockShape::from_dims(10_000, 10_000, ElementWidth::W2, false);
+        let r = sim(ElementWidth::W2, 4).simulate_uniform(shape, 4);
+        assert!(r.utilization > 0.8, "utilization {}", r.utilization);
+    }
+
+    #[test]
+    fn utilization_monotone_in_workers() {
+        let shape = BlockShape::from_dims(1000, 1000, ElementWidth::W4, false);
+        let mut prev = 0.0;
+        // Worker counts that divide the job count evenly, so load
+        // imbalance does not mask the trend.
+        for w in [1usize, 2, 4, 8] {
+            let r = sim(ElementWidth::W4, w).simulate_uniform(shape, 8);
+            assert!(
+                r.utilization >= prev - 0.02,
+                "workers {w}: {} < {prev}",
+                r.utilization
+            );
+            prev = r.utilization;
+        }
+    }
+
+    #[test]
+    fn small_blocks_have_low_utilization() {
+        let small = BlockShape::from_dims(100, 100, ElementWidth::W2, false);
+        let large = BlockShape::from_dims(10_000, 10_000, ElementWidth::W2, false);
+        let rs = sim(ElementWidth::W2, 4).simulate_uniform(small, 16);
+        let rl = sim(ElementWidth::W2, 4).simulate_uniform(large, 4);
+        assert!(rs.utilization < rl.utilization, "{} vs {}", rs.utilization, rl.utilization);
+    }
+
+    #[test]
+    fn port_utilization_stays_bounded() {
+        // Paper §5.1: even at full occupancy the coprocessor uses ~25% of
+        // the L2 port.
+        let shape = BlockShape::from_dims(10_000, 10_000, ElementWidth::W2, false);
+        let r = sim(ElementWidth::W2, 4).simulate_uniform(shape, 4);
+        assert!(r.port_utilization < 0.30, "port {}", r.port_utilization);
+    }
+
+    #[test]
+    fn engine_never_oversubscribed() {
+        let shape = BlockShape::from_dims(500, 500, ElementWidth::W8, false);
+        let r = sim(ElementWidth::W8, 8).simulate_uniform(shape, 8);
+        assert!(r.utilization <= 1.0 + 1e-9);
+        assert!(r.cycles >= r.tiles);
+    }
+
+    #[test]
+    fn traceback_mode_adds_store_traffic() {
+        let s0 = BlockShape::from_dims(1000, 1000, ElementWidth::W2, false);
+        let s1 = BlockShape::from_dims(1000, 1000, ElementWidth::W2, true);
+        let r0 = sim(ElementWidth::W2, 4).simulate_uniform(s0, 4);
+        let r1 = sim(ElementWidth::W2, 4).simulate_uniform(s1, 4);
+        assert!(r1.port_grants > r0.port_grants);
+    }
+
+    #[test]
+    fn deeper_pipeline_lowers_single_worker_utilization() {
+        let mut cfg_shallow = CoprocTimingConfig::for_ew(ElementWidth::W8, 1);
+        let mut cfg_deep = cfg_shallow;
+        cfg_shallow.pipeline_depth = 3;
+        cfg_deep.pipeline_depth = 12;
+        let shape = BlockShape::from_dims(4000, 4000, ElementWidth::W8, false);
+        let rs = CoprocSim::new(cfg_shallow).simulate_uniform(shape, 1);
+        let rd = CoprocSim::new(cfg_deep).simulate_uniform(shape, 1);
+        assert!(rd.utilization < rs.utilization);
+    }
+}

@@ -1,0 +1,271 @@
+//! Loop-level CPU timing model (the Table-1 / Table-2 cores).
+//!
+//! A software kernel is described by its steady-state loop body: per-class
+//! micro-op counts, the loop-carried recurrence latency, per-iteration
+//! memory behaviour, and branch-misprediction rate. Cycles per iteration
+//! is the maximum of three initiation intervals — resource (functional
+//! units and issue width), recurrence (loop-carried dependency chain), and
+//! bandwidth (DRAM-bound streaming) — plus the exposed fraction of memory
+//! stalls. This is the standard modulo-scheduling bound an out-of-order
+//! core's steady state converges to, and it lets 10⁸-cell kernels be
+//! timed without per-instruction simulation.
+
+use crate::mem::MemParams;
+
+/// Micro-op classes with distinct functional units.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UopClass {
+    /// Scalar integer ALU.
+    IntAlu,
+    /// Integer multiply.
+    Mul,
+    /// Branch.
+    Branch,
+    /// Load (address generation + access).
+    Load,
+    /// Store.
+    Store,
+    /// 128/256-bit SIMD arithmetic.
+    Simd,
+    /// SMX-1D custom instruction (`smx.v`/`smx.h`/`smx.redsum`/`smx.pack`).
+    Smx,
+    /// CSR write (query/reference register loads).
+    Csr,
+}
+
+impl UopClass {
+    /// All classes.
+    pub const ALL: [UopClass; 8] = [
+        UopClass::IntAlu,
+        UopClass::Mul,
+        UopClass::Branch,
+        UopClass::Load,
+        UopClass::Store,
+        UopClass::Simd,
+        UopClass::Smx,
+        UopClass::Csr,
+    ];
+}
+
+/// Core configuration: issue width and per-class sustained throughputs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CpuConfig {
+    /// Human-readable name (shown in harness output).
+    pub name: &'static str,
+    /// Maximum micro-ops issued per cycle.
+    pub width: f64,
+    /// Per-class sustained throughput (micro-ops per cycle).
+    pub throughput: [(UopClass, f64); 8],
+    /// Branch-misprediction penalty (cycles).
+    pub mispredict_penalty: f64,
+    /// Fraction of cache-miss latency the core cannot hide
+    /// (0 = perfect overlap, 1 = fully exposed).
+    pub exposure: f64,
+}
+
+impl CpuConfig {
+    /// The Table-1 8-wide out-of-order core.
+    #[must_use]
+    pub fn table1_ooo() -> CpuConfig {
+        CpuConfig {
+            name: "8-wide OoO (Table 1)",
+            width: 8.0,
+            throughput: [
+                (UopClass::IntAlu, 4.0),
+                (UopClass::Mul, 1.0),
+                (UopClass::Branch, 2.0),
+                (UopClass::Load, 2.0),
+                (UopClass::Store, 1.0),
+                (UopClass::Simd, 2.0),
+                (UopClass::Smx, 1.0),
+                (UopClass::Csr, 1.0),
+            ],
+            mispredict_penalty: 14.0,
+            exposure: 0.35,
+        }
+    }
+
+    /// The Table-2 in-order single-issue edge core.
+    #[must_use]
+    pub fn table2_inorder() -> CpuConfig {
+        CpuConfig {
+            name: "in-order single-issue (Table 2)",
+            width: 1.0,
+            throughput: [
+                (UopClass::IntAlu, 1.0),
+                (UopClass::Mul, 1.0),
+                (UopClass::Branch, 1.0),
+                (UopClass::Load, 1.0),
+                (UopClass::Store, 1.0),
+                (UopClass::Simd, 1.0),
+                (UopClass::Smx, 1.0),
+                (UopClass::Csr, 1.0),
+            ],
+            mispredict_penalty: 7.0,
+            exposure: 1.0,
+        }
+    }
+
+    fn throughput_of(&self, class: UopClass) -> f64 {
+        self.throughput
+            .iter()
+            .find(|(c, _)| *c == class)
+            .map(|&(_, t)| t)
+            .unwrap_or(1.0)
+    }
+}
+
+/// A steady-state loop kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoopKernel {
+    /// Kernel name (for harness reporting).
+    pub name: String,
+    /// Number of loop iterations.
+    pub iterations: f64,
+    /// Per-iteration micro-op counts by class.
+    pub ops: Vec<(UopClass, f64)>,
+    /// Loop-carried critical-path latency per iteration (cycles).
+    pub recurrence_cycles: f64,
+    /// Sequentially streamed bytes per iteration.
+    pub streamed_bytes: f64,
+    /// Irregular (random) accesses per iteration.
+    pub random_accesses: f64,
+    /// Total working set touched by the kernel (bytes).
+    pub working_set: u64,
+    /// Branch mispredictions per iteration.
+    pub mispredicts: f64,
+}
+
+impl LoopKernel {
+    /// A kernel with no memory traffic or mispredictions.
+    #[must_use]
+    pub fn compute_only(name: &str, iterations: f64, ops: Vec<(UopClass, f64)>, recurrence: f64) -> LoopKernel {
+        LoopKernel {
+            name: name.to_string(),
+            iterations,
+            ops,
+            recurrence_cycles: recurrence,
+            streamed_bytes: 0.0,
+            random_accesses: 0.0,
+            working_set: 0,
+            mispredicts: 0.0,
+        }
+    }
+
+    /// Total micro-ops per iteration.
+    #[must_use]
+    pub fn uops_per_iter(&self) -> f64 {
+        self.ops.iter().map(|&(_, n)| n).sum()
+    }
+}
+
+/// Cycles per iteration in steady state (the initiation interval plus
+/// exposed stalls).
+#[must_use]
+pub fn iteration_cycles(kernel: &LoopKernel, cpu: &CpuConfig, mem: &MemParams) -> f64 {
+    // Resource II: issue width and per-class functional-unit limits.
+    let width_ii = kernel.uops_per_iter() / cpu.width;
+    let fu_ii = kernel
+        .ops
+        .iter()
+        .map(|&(c, n)| n / cpu.throughput_of(c))
+        .fold(0.0f64, f64::max);
+    let resource_ii = width_ii.max(fu_ii);
+
+    // Bandwidth II: DRAM-resident working sets are stream-bound.
+    let bandwidth_ii = if kernel.working_set > mem.llc_bytes + mem.l2_bytes {
+        kernel.streamed_bytes / mem.dram_bytes_per_cycle
+    } else {
+        0.0
+    };
+
+    // Exposed memory stalls.
+    let penalty = mem.miss_penalty(kernel.working_set);
+    let line_misses = kernel.streamed_bytes / crate::mem::LINE_BYTES as f64;
+    let random_stall = kernel.random_accesses * penalty.max(0.0);
+    let stall = cpu.exposure * (line_misses * penalty + random_stall)
+        + kernel.mispredicts * cpu.mispredict_penalty;
+
+    resource_ii.max(kernel.recurrence_cycles).max(bandwidth_ii) + stall
+}
+
+/// Total cycles for a kernel (steady state plus a fixed ramp-up).
+#[must_use]
+pub fn kernel_cycles(kernel: &LoopKernel, cpu: &CpuConfig, mem: &MemParams) -> f64 {
+    const RAMP_CYCLES: f64 = 24.0;
+    kernel.iterations * iteration_cycles(kernel, cpu, mem) + RAMP_CYCLES
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem() -> MemParams {
+        MemParams::table1()
+    }
+
+    #[test]
+    fn width_limits_wide_bodies() {
+        let k = LoopKernel::compute_only("w", 100.0, vec![(UopClass::IntAlu, 32.0)], 0.0);
+        let cpu = CpuConfig::table1_ooo();
+        // 32 IntAlu ops, 4 ALUs -> 8 cycles per iteration.
+        assert!((iteration_cycles(&k, &cpu, &mem()) - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn recurrence_dominates_when_longer() {
+        let k = LoopKernel::compute_only("r", 10.0, vec![(UopClass::Simd, 2.0)], 27.0);
+        let cpu = CpuConfig::table1_ooo();
+        assert!((iteration_cycles(&k, &cpu, &mem()) - 27.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inorder_core_is_slower() {
+        let k = LoopKernel::compute_only("x", 10.0, vec![(UopClass::IntAlu, 8.0)], 1.0);
+        let fast = kernel_cycles(&k, &CpuConfig::table1_ooo(), &mem());
+        let slow = kernel_cycles(&k, &CpuConfig::table2_inorder(), &mem());
+        assert!(slow > 2.0 * fast, "{slow} vs {fast}");
+    }
+
+    #[test]
+    fn dram_working_set_exposes_bandwidth() {
+        let mut k = LoopKernel::compute_only("s", 1000.0, vec![(UopClass::Load, 1.0)], 0.0);
+        k.streamed_bytes = 64.0;
+        k.working_set = 1 << 30;
+        let cpu = CpuConfig::table1_ooo();
+        let ii = iteration_cycles(&k, &cpu, &mem());
+        // Bandwidth bound: 64 B / 23.9 B-per-cycle ≈ 2.7 cycles, plus
+        // exposed miss latency.
+        assert!(ii > 64.0 / 23.9, "{ii}");
+    }
+
+    #[test]
+    fn cache_resident_streaming_is_cheap() {
+        let mut k = LoopKernel::compute_only("c", 1000.0, vec![(UopClass::Load, 1.0)], 0.0);
+        k.streamed_bytes = 8.0;
+        k.working_set = 16 << 10; // L1-resident
+        let cpu = CpuConfig::table1_ooo();
+        let ii = iteration_cycles(&k, &cpu, &mem());
+        assert!(ii <= 1.0, "{ii}");
+    }
+
+    #[test]
+    fn mispredicts_charge_penalty() {
+        let mut k = LoopKernel::compute_only("b", 10.0, vec![(UopClass::Branch, 1.0)], 0.0);
+        k.mispredicts = 0.5;
+        let cpu = CpuConfig::table1_ooo();
+        let ii = iteration_cycles(&k, &cpu, &mem());
+        assert!((ii - (0.5 + 7.0)).abs() < 1e-9, "{ii}");
+    }
+
+    #[test]
+    fn kernel_cycles_scale_with_iterations() {
+        let k1 = LoopKernel::compute_only("a", 100.0, vec![(UopClass::IntAlu, 4.0)], 0.0);
+        let mut k2 = k1.clone();
+        k2.iterations = 200.0;
+        let cpu = CpuConfig::table1_ooo();
+        let c1 = kernel_cycles(&k1, &cpu, &mem());
+        let c2 = kernel_cycles(&k2, &cpu, &mem());
+        assert!((c2 - c1) > 0.9 * (c1 - 24.0));
+    }
+}

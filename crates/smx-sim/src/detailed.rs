@@ -1,0 +1,216 @@
+//! A detailed micro-op list scheduler used to *validate* the analytic
+//! loop-timing model in [`crate::cpu`].
+//!
+//! The analytic model claims a loop's steady state converges to
+//! `max(resource II, recurrence II)`; this module schedules every
+//! micro-op of every iteration explicitly (dataflow order, per-class
+//! functional-unit capacity, issue width — an idealized out-of-order
+//! core with an unbounded window) and the test suite checks the two
+//! agree. Harnesses use the analytic model; this one exists so the
+//! substitution for gem5 is itself tested, not just asserted.
+
+use crate::cpu::{CpuConfig, UopClass};
+use std::collections::HashMap;
+
+/// One micro-op of a loop body.
+#[derive(Debug, Clone)]
+pub struct DetailedUop {
+    /// Functional-unit class.
+    pub class: UopClass,
+    /// Execution latency in cycles.
+    pub latency: u64,
+    /// Indices of same-iteration uops this one consumes.
+    pub deps: Vec<usize>,
+    /// Indices of *previous-iteration* uops this one consumes
+    /// (loop-carried dependencies).
+    pub carried: Vec<usize>,
+}
+
+impl DetailedUop {
+    /// A uop with no dependencies.
+    #[must_use]
+    pub fn free(class: UopClass, latency: u64) -> DetailedUop {
+        DetailedUop { class, latency, deps: Vec::new(), carried: Vec::new() }
+    }
+}
+
+/// Schedules `iterations` copies of `body` and returns the makespan in
+/// cycles.
+///
+/// # Panics
+///
+/// Panics if a dependency index is out of range (a malformed body).
+#[must_use]
+pub fn simulate_loop(body: &[DetailedUop], iterations: usize, cpu: &CpuConfig) -> u64 {
+    let width = cpu.width as u64;
+    let capacity: HashMap<UopClass, u64> = UopClass::ALL
+        .iter()
+        .map(|&c| {
+            let t = cpu
+                .throughput
+                .iter()
+                .find(|(k, _)| *k == c)
+                .map(|&(_, v)| v)
+                .unwrap_or(1.0);
+            (c, t.max(1.0) as u64)
+        })
+        .collect();
+
+    // Per-cycle issue bookkeeping (grows as needed).
+    let mut issued_total: Vec<u64> = Vec::new();
+    let mut issued_class: HashMap<(u64, UopClass), u64> = HashMap::new();
+    let mut completion_prev: Vec<u64> = vec![0; body.len()];
+    let mut makespan = 0u64;
+
+    for iter in 0..iterations {
+        let mut completion_cur: Vec<u64> = vec![0; body.len()];
+        for (j, uop) in body.iter().enumerate() {
+            let mut ready = 0u64;
+            for &d in &uop.deps {
+                assert!(d < j, "same-iteration deps must point backward");
+                ready = ready.max(completion_cur[d]);
+            }
+            if iter > 0 {
+                for &d in &uop.carried {
+                    assert!(d < body.len(), "carried dep out of range");
+                    ready = ready.max(completion_prev[d]);
+                }
+            }
+            // Find the first cycle >= ready with both width and class
+            // capacity available.
+            let cap = capacity[&uop.class];
+            let mut t = ready;
+            loop {
+                if t as usize >= issued_total.len() {
+                    issued_total.resize(t as usize + 1, 0);
+                }
+                let class_used = issued_class.get(&(t, uop.class)).copied().unwrap_or(0);
+                if issued_total[t as usize] < width && class_used < cap {
+                    issued_total[t as usize] += 1;
+                    *issued_class.entry((t, uop.class)).or_insert(0) += 1;
+                    break;
+                }
+                t += 1;
+            }
+            completion_cur[j] = t + uop.latency;
+            makespan = makespan.max(completion_cur[j]);
+        }
+        completion_prev = completion_cur;
+    }
+    makespan
+}
+
+/// Steady-state cycles per iteration measured over the tail of a run
+/// (skips warm-up iterations).
+#[must_use]
+pub fn measured_ii(body: &[DetailedUop], cpu: &CpuConfig) -> f64 {
+    const WARMUP: usize = 32;
+    const MEASURE: usize = 256;
+    let short = simulate_loop(body, WARMUP, cpu);
+    let long = simulate_loop(body, WARMUP + MEASURE, cpu);
+    (long - short) as f64 / MEASURE as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu::{iteration_cycles, LoopKernel};
+    use crate::mem::MemParams;
+
+    fn cpu() -> CpuConfig {
+        CpuConfig::table1_ooo()
+    }
+
+    /// Converts a detailed body into the analytic kernel description.
+    fn analytic_of(body: &[DetailedUop], recurrence: f64) -> LoopKernel {
+        let mut counts: HashMap<UopClass, f64> = HashMap::new();
+        for u in body {
+            *counts.entry(u.class).or_insert(0.0) += 1.0;
+        }
+        LoopKernel::compute_only("detailed", 1.0, counts.into_iter().collect(), recurrence)
+    }
+
+    #[test]
+    fn resource_bound_loop_matches_analytic() {
+        // 12 independent ALU ops: bound by 4 ALUs -> II = 3.
+        let body: Vec<DetailedUop> =
+            (0..12).map(|_| DetailedUop::free(UopClass::IntAlu, 1)).collect();
+        let measured = measured_ii(&body, &cpu());
+        let analytic = iteration_cycles(&analytic_of(&body, 0.0), &cpu(), &MemParams::table1());
+        assert!((measured - analytic).abs() / analytic < 0.10, "{measured} vs {analytic}");
+        assert!((measured - 3.0).abs() < 0.3);
+    }
+
+    #[test]
+    fn recurrence_bound_loop_matches_analytic() {
+        // One SMX op feeding itself across iterations with latency 4:
+        // II = 4 regardless of width.
+        let body = vec![DetailedUop {
+            class: UopClass::Smx,
+            latency: 4,
+            deps: vec![],
+            carried: vec![0],
+        }];
+        let measured = measured_ii(&body, &cpu());
+        assert!((measured - 4.0).abs() < 0.2, "{measured}");
+        let analytic = iteration_cycles(&analytic_of(&body, 4.0), &cpu(), &MemParams::table1());
+        assert!((measured - analytic).abs() / analytic < 0.10, "{measured} vs {analytic}");
+    }
+
+    #[test]
+    fn chained_recurrence_across_two_ops() {
+        // op0 (latency 2) -> op1 (latency 3) -> next iteration's op0:
+        // recurrence II = 5.
+        let body = vec![
+            DetailedUop { class: UopClass::Smx, latency: 2, deps: vec![], carried: vec![1] },
+            DetailedUop { class: UopClass::IntAlu, latency: 3, deps: vec![0], carried: vec![] },
+        ];
+        let measured = measured_ii(&body, &cpu());
+        assert!((measured - 5.0).abs() < 0.3, "{measured}");
+    }
+
+    #[test]
+    fn width_bound_loop() {
+        // 16 independent ops of mixed classes on an 8-wide core: II = 2.
+        let mut body = Vec::new();
+        for k in 0..16 {
+            let class = match k % 4 {
+                0 => UopClass::IntAlu,
+                1 => UopClass::Branch,
+                2 => UopClass::Load,
+                _ => UopClass::Simd,
+            };
+            body.push(DetailedUop::free(class, 1));
+        }
+        let measured = measured_ii(&body, &cpu());
+        let analytic = iteration_cycles(&analytic_of(&body, 0.0), &cpu(), &MemParams::table1());
+        assert!((measured - analytic).abs() / analytic < 0.15, "{measured} vs {analytic}");
+    }
+
+    #[test]
+    fn ksw2_shaped_loop_matches_analytic_model() {
+        // The KSW2 kernel shape used by the timing model: a 9-op SIMD
+        // dependent chain of 3-cycle ops (recurrence 27) plus overhead.
+        let mut body = Vec::new();
+        for k in 0..9 {
+            let deps = if k == 0 { vec![] } else { vec![k - 1] };
+            let carried = if k == 0 { vec![8] } else { vec![] };
+            body.push(DetailedUop { class: UopClass::Simd, latency: 3, deps, carried });
+        }
+        body.push(DetailedUop::free(UopClass::Load, 3));
+        body.push(DetailedUop::free(UopClass::Load, 3));
+        body.push(DetailedUop::free(UopClass::Store, 1));
+        body.push(DetailedUop::free(UopClass::IntAlu, 1));
+        body.push(DetailedUop::free(UopClass::Branch, 1));
+        let measured = measured_ii(&body, &cpu());
+        assert!((measured - 27.0).abs() < 1.5, "measured II {measured}");
+    }
+
+    #[test]
+    fn inorder_width_one_serializes() {
+        let body: Vec<DetailedUop> =
+            (0..4).map(|_| DetailedUop::free(UopClass::IntAlu, 1)).collect();
+        let measured = measured_ii(&body, &CpuConfig::table2_inorder());
+        assert!((measured - 4.0).abs() < 0.2, "{measured}");
+    }
+}

@@ -1,0 +1,48 @@
+//! # smx-sim
+//!
+//! The performance-simulation substrate replacing the paper's gem5 setup
+//! (paper §7, Table 1/Table 2). Three cooperating models:
+//!
+//! * [`mem`] — a multi-level cache/DRAM model (sizes, associativities and
+//!   latencies from Table 1) with a functional set-associative cache for
+//!   line-level experiments and an analytic service-latency view for the
+//!   loop-level CPU model.
+//! * [`cpu`] — a *loop-level* CPU timing model: software kernels are
+//!   described as per-iteration micro-op mixes with an explicit
+//!   loop-carried recurrence; steady-state cycles-per-iteration is the
+//!   maximum of the resource-, recurrence-, and bandwidth-implied
+//!   initiation intervals plus exposed memory stalls. This reproduces the
+//!   mechanisms an out-of-order core's steady state obeys without
+//!   simulating every instruction of a 10K×10K block.
+//! * [`coproc`] — a cycle-level event-driven model of the SMX-2D
+//!   coprocessor: SMX-workers fetching supertile lines through the shared
+//!   L2 port, the pipelined SMX-engine issuing one tile per cycle, and
+//!   antidiagonal dependency stalls (paper §5.3, §8.1).
+//!
+//! [`system`] composes them into the heterogeneous CPU+SMX-2D pipeline of
+//! Fig. 8b and the multicore SoC of §9.1.
+//!
+//! ## Example
+//!
+//! ```
+//! use smx_align_core::ElementWidth;
+//! use smx_sim::coproc::{BlockShape, CoprocSim, CoprocTimingConfig};
+//!
+//! // Four workers streaming 1K x 1K DNA-edit blocks reach ~99% engine
+//! // utilization (paper Fig. 10).
+//! let sim = CoprocSim::new(CoprocTimingConfig::for_ew(ElementWidth::W2, 4));
+//! let shape = BlockShape::from_dims(1000, 1000, ElementWidth::W2, false);
+//! let result = sim.simulate_uniform(shape, 8);
+//! assert!(result.utilization > 0.9);
+//! ```
+
+pub mod coproc;
+pub mod cpu;
+pub mod detailed;
+pub mod mem;
+pub mod system;
+
+pub use coproc::{BlockShape, CoprocResult, CoprocSim, CoprocTimingConfig};
+pub use cpu::{kernel_cycles, CpuConfig, LoopKernel, UopClass};
+pub use mem::MemParams;
+pub use system::{pipeline_makespan, TaskTiming};

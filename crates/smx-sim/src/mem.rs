@@ -1,0 +1,221 @@
+//! Memory-hierarchy model (paper Table 1): a functional set-associative
+//! cache for line-level simulations and an analytic parameter set used by
+//! the loop-level CPU model.
+
+/// Cache line size in bytes, shared across the SoC model.
+pub const LINE_BYTES: u64 = 64;
+
+/// A set-associative cache with LRU replacement, tracking real line
+/// addresses.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    sets: Vec<Vec<u64>>, // per set: tags, most-recent last
+    assoc: usize,
+    set_count: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl Cache {
+    /// Builds a cache of `size_bytes` with `assoc` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate (zero ways or fewer than one
+    /// set).
+    #[must_use]
+    pub fn new(size_bytes: u64, assoc: usize) -> Cache {
+        assert!(assoc > 0, "associativity must be positive");
+        let set_count = size_bytes / LINE_BYTES / assoc as u64;
+        assert!(set_count > 0, "cache too small for its associativity");
+        Cache {
+            sets: vec![Vec::with_capacity(assoc); set_count as usize],
+            assoc,
+            set_count,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Accesses the line containing `addr`; returns `true` on hit.
+    pub fn access(&mut self, addr: u64) -> bool {
+        let line = addr / LINE_BYTES;
+        let set = &mut self.sets[(line % self.set_count) as usize];
+        if let Some(pos) = set.iter().position(|&t| t == line) {
+            let tag = set.remove(pos);
+            set.push(tag);
+            self.hits += 1;
+            true
+        } else {
+            if set.len() == self.assoc {
+                set.remove(0);
+            }
+            set.push(line);
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Hits recorded so far.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses recorded so far.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Hit rate in `[0, 1]` (0 when never accessed).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Analytic parameters of the Table-1 hierarchy at the 1 GHz design point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemParams {
+    /// L1 data cache capacity (bytes).
+    pub l1_bytes: u64,
+    /// L1 hit latency (cycles).
+    pub l1_latency: f64,
+    /// Private L2 capacity (bytes).
+    pub l2_bytes: u64,
+    /// L2 hit latency (cycles).
+    pub l2_latency: f64,
+    /// Shared LLC capacity per core (bytes).
+    pub llc_bytes: u64,
+    /// LLC hit latency (cycles).
+    pub llc_latency: f64,
+    /// DRAM access latency (cycles).
+    pub dram_latency: f64,
+    /// DRAM bandwidth in bytes per cycle (23.9 GB/s at 1 GHz ≈ 23.9 B/c).
+    pub dram_bytes_per_cycle: f64,
+}
+
+impl MemParams {
+    /// The Table-1 SoC configuration.
+    #[must_use]
+    pub fn table1() -> MemParams {
+        MemParams {
+            l1_bytes: 64 << 10,
+            l1_latency: 3.0,
+            l2_bytes: 1 << 20,
+            l2_latency: 14.0,
+            llc_bytes: 1 << 20,
+            llc_latency: 34.0,
+            dram_latency: 110.0,
+            dram_bytes_per_cycle: 23.9,
+        }
+    }
+
+    /// The Table-2 edge-processor configuration (32 KB L1, no L2/LLC —
+    /// modelled as a small L2 standing in for its 16-MSHR memory path).
+    #[must_use]
+    pub fn table2() -> MemParams {
+        MemParams {
+            l1_bytes: 32 << 10,
+            l1_latency: 3.0,
+            l2_bytes: 256 << 10,
+            l2_latency: 20.0,
+            llc_bytes: 256 << 10,
+            llc_latency: 20.0,
+            dram_latency: 140.0,
+            dram_bytes_per_cycle: 8.0,
+        }
+    }
+
+    /// Latency (cycles) of the shallowest level whose capacity holds a
+    /// working set of `bytes`.
+    #[must_use]
+    pub fn service_latency(&self, bytes: u64) -> f64 {
+        if bytes <= self.l1_bytes {
+            self.l1_latency
+        } else if bytes <= self.l2_bytes {
+            self.l2_latency
+        } else if bytes <= self.llc_bytes + self.l2_bytes {
+            self.llc_latency
+        } else {
+            self.dram_latency
+        }
+    }
+
+    /// Extra latency beyond an L1 hit for the level serving `bytes`.
+    #[must_use]
+    pub fn miss_penalty(&self, bytes: u64) -> f64 {
+        (self.service_latency(bytes) - self.l1_latency).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_hits_after_fill() {
+        let mut c = Cache::new(4096, 4);
+        assert!(!c.access(0));
+        assert!(c.access(8)); // same line
+        assert!(c.access(63));
+        assert!(!c.access(64)); // next line
+        assert_eq!(c.hits(), 2);
+        assert_eq!(c.misses(), 2);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        // 2 sets, 2-way: lines mapping to set 0 are even line numbers.
+        let mut c = Cache::new(4 * 64, 2);
+        let line = |n: u64| n * 2 * LINE_BYTES; // all map to the same set
+        assert!(!c.access(line(0)));
+        assert!(!c.access(line(1)));
+        assert!(c.access(line(0))); // refresh 0, making 1 the LRU
+        assert!(!c.access(line(2))); // evicts 1
+        assert!(c.access(line(0)));
+        assert!(!c.access(line(1)));
+    }
+
+    #[test]
+    fn streaming_larger_than_cache_always_misses_on_revisit() {
+        let mut c = Cache::new(1024, 4); // 16 lines
+        for pass in 0..2 {
+            for i in 0..32u64 {
+                let hit = c.access(i * LINE_BYTES);
+                assert!(!hit, "pass {pass} line {i}");
+            }
+        }
+        assert_eq!(c.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn working_set_within_cache_hits_on_second_pass() {
+        let mut c = Cache::new(4096, 4); // 64 lines
+        for i in 0..32u64 {
+            c.access(i * LINE_BYTES);
+        }
+        let before = c.hits();
+        for i in 0..32u64 {
+            assert!(c.access(i * LINE_BYTES));
+        }
+        assert_eq!(c.hits(), before + 32);
+    }
+
+    #[test]
+    fn service_latency_tiers() {
+        let m = MemParams::table1();
+        assert_eq!(m.service_latency(1024), 3.0);
+        assert_eq!(m.service_latency(128 << 10), 14.0);
+        assert_eq!(m.service_latency(1536 << 10), 34.0);
+        assert_eq!(m.service_latency(1 << 30), 110.0);
+        assert_eq!(m.miss_penalty(1024), 0.0);
+        assert!(m.miss_penalty(1 << 30) > 100.0);
+    }
+}

@@ -1,0 +1,239 @@
+//! SoC-level composition (paper §6 Fig. 8b, §9.1): the heterogeneous
+//! CPU + SMX-2D software pipeline, and multicore scaling under a shared
+//! DRAM bandwidth budget.
+
+/// Per-alignment-task timing components, in cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TaskTiming {
+    /// Core work before offload (packing, scheduling, heuristics).
+    pub cpu_pre: f64,
+    /// Coprocessor busy time for the task's DP-blocks.
+    pub coproc: f64,
+    /// Core work after completion (traceback, reductions, drop checks).
+    pub cpu_post: f64,
+}
+
+/// Simulates the two-resource software pipeline of Fig. 8b: the core is a
+/// serial resource; the coprocessor can hold `coproc_slots` tasks in
+/// flight (its workers). Returns `(makespan, core_busy, coproc_busy)`.
+///
+/// Tasks are admitted in order: each task's pre-processing runs on the
+/// core, its block computation occupies a coprocessor slot, and its
+/// post-processing runs on the core once the blocks complete, interleaved
+/// with later tasks' pre-processing.
+#[must_use]
+pub fn pipeline_makespan(tasks: &[TaskTiming], coproc_slots: usize) -> (f64, f64, f64) {
+    let slots = coproc_slots.max(1);
+    let mut slot_free = vec![0.0f64; slots];
+    let mut cpu_free = 0.0f64;
+    let mut core_busy = 0.0f64;
+    let mut coproc_busy = 0.0f64;
+    let mut post_queue: Vec<(f64, f64)> = Vec::new(); // (ready, duration)
+    let mut makespan = 0.0f64;
+
+    for t in tasks {
+        // Drain any post-processing that became ready before the core
+        // would start this task's pre-processing (FIFO approximation).
+        post_queue.sort_by(|a, b| a.0.total_cmp(&b.0));
+        while let Some(&(ready, dur)) = post_queue.first() {
+            if ready <= cpu_free {
+                post_queue.remove(0);
+                let start = cpu_free.max(ready);
+                cpu_free = start + dur;
+                core_busy += dur;
+                makespan = makespan.max(cpu_free);
+            } else {
+                break;
+            }
+        }
+        // Pre-processing on the core.
+        let pre_start = cpu_free;
+        cpu_free = pre_start + t.cpu_pre;
+        core_busy += t.cpu_pre;
+        // Coprocessor slot.
+        let (slot_idx, _) = slot_free
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .expect("at least one slot");
+        let c_start = slot_free[slot_idx].max(cpu_free);
+        let c_end = c_start + t.coproc;
+        slot_free[slot_idx] = c_end;
+        coproc_busy += t.coproc;
+        makespan = makespan.max(c_end);
+        // Post-processing queued for the core.
+        post_queue.push((c_end, t.cpu_post));
+    }
+    // Drain remaining post-processing.
+    post_queue.sort_by(|a, b| a.0.total_cmp(&b.0));
+    for (ready, dur) in post_queue {
+        let start = cpu_free.max(ready);
+        cpu_free = start + dur;
+        core_busy += dur;
+        makespan = makespan.max(cpu_free);
+    }
+    (makespan.max(1.0), core_busy, coproc_busy)
+}
+
+/// One core's share of a multicore workload.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CoreWork {
+    /// Compute cycles the core needs in isolation.
+    pub cycles: f64,
+    /// DRAM bytes the core moves, spread over its execution.
+    pub dram_bytes: f64,
+}
+
+/// Fluid multicore simulation under a shared DRAM bandwidth budget:
+/// every active core issues memory traffic at its isolated rate; whenever
+/// the aggregate rate exceeds `dram_bytes_per_cycle`, all active cores
+/// slow down proportionally. Returns each core's finish time.
+///
+/// This refines [`multicore_speedup`] by handling heterogeneous per-core
+/// work and the tail effect (bandwidth frees up as cores finish).
+#[must_use]
+pub fn multicore_makespan(work: &[CoreWork], dram_bytes_per_cycle: f64) -> Vec<f64> {
+    let n = work.len();
+    let mut remaining: Vec<f64> = work.iter().map(|w| w.cycles.max(0.0)).collect();
+    let mut finish = vec![0.0f64; n];
+    let mut now = 0.0f64;
+    loop {
+        let active: Vec<usize> = (0..n).filter(|&i| remaining[i] > 1e-9).collect();
+        if active.is_empty() {
+            break;
+        }
+        // Aggregate demand rate of the active cores (bytes per cycle).
+        let demand: f64 = active
+            .iter()
+            .map(|&i| {
+                if work[i].cycles <= 0.0 {
+                    0.0
+                } else {
+                    work[i].dram_bytes / work[i].cycles
+                }
+            })
+            .sum();
+        let slowdown = (demand / dram_bytes_per_cycle.max(1e-9)).max(1.0);
+        // Advance until the next active core finishes at the scaled rate.
+        let step = active
+            .iter()
+            .map(|&i| remaining[i] * slowdown)
+            .fold(f64::INFINITY, f64::min);
+        now += step;
+        for &i in &active {
+            remaining[i] -= step / slowdown;
+            if remaining[i] <= 1e-9 {
+                remaining[i] = 0.0;
+                finish[i] = now;
+            }
+        }
+    }
+    finish
+}
+
+/// Multicore speedup with a shared DRAM bandwidth budget.
+///
+/// `single_core_cycles` is one core's makespan for its share of the work;
+/// `dram_bytes` the DRAM traffic that work generates. Scaling is linear
+/// until the aggregate bandwidth demand saturates
+/// `dram_bytes_per_cycle`.
+#[must_use]
+pub fn multicore_speedup(
+    single_core_cycles: f64,
+    dram_bytes: f64,
+    cores: usize,
+    dram_bytes_per_cycle: f64,
+) -> f64 {
+    let n = cores as f64;
+    let demand = n * dram_bytes / single_core_cycles.max(1.0);
+    let slowdown = (demand / dram_bytes_per_cycle).max(1.0);
+    n / slowdown
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_when_core_dominates() {
+        let tasks = vec![TaskTiming { cpu_pre: 100.0, coproc: 10.0, cpu_post: 50.0 }; 10];
+        let (makespan, core_busy, _) = pipeline_makespan(&tasks, 4);
+        // Core work is 1500; makespan cannot beat it.
+        assert!(makespan >= 1500.0);
+        assert!((core_busy - 1500.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn overlap_hides_coproc_time() {
+        let tasks = vec![TaskTiming { cpu_pre: 50.0, coproc: 100.0, cpu_post: 50.0 }; 20];
+        let (makespan, ..) = pipeline_makespan(&tasks, 4);
+        let serial: f64 = tasks.iter().map(|t| t.cpu_pre + t.coproc + t.cpu_post).sum();
+        assert!(makespan < 0.8 * serial, "makespan {makespan} vs serial {serial}");
+    }
+
+    #[test]
+    fn coproc_bound_when_blocks_dominate() {
+        let tasks = vec![TaskTiming { cpu_pre: 1.0, coproc: 1000.0, cpu_post: 1.0 }; 8];
+        let (makespan, _, coproc_busy) = pipeline_makespan(&tasks, 4);
+        // 8 tasks on 4 slots of 1000 cycles => at least 2000 cycles.
+        assert!(makespan >= 2000.0);
+        assert!((coproc_busy - 8000.0).abs() < 1e-6);
+        assert!(makespan < 2200.0, "{makespan}");
+    }
+
+    #[test]
+    fn single_slot_serializes_coproc() {
+        let tasks = vec![TaskTiming { cpu_pre: 0.0, coproc: 100.0, cpu_post: 0.0 }; 5];
+        let (m1, ..) = pipeline_makespan(&tasks, 1);
+        let (m4, ..) = pipeline_makespan(&tasks, 4);
+        assert!(m1 >= 500.0);
+        assert!(m4 < m1);
+    }
+
+    #[test]
+    fn fluid_sim_linear_when_unconstrained() {
+        let work = vec![CoreWork { cycles: 1000.0, dram_bytes: 100.0 }; 8];
+        let finish = multicore_makespan(&work, 23.9);
+        for f in finish {
+            assert!((f - 1000.0).abs() < 1e-6, "{f}");
+        }
+    }
+
+    #[test]
+    fn fluid_sim_saturates_and_recovers() {
+        // 8 cores each demanding 10 B/cycle against a 23.9 B/cycle budget:
+        // 3.35x oversubscribed while all run.
+        let work = vec![CoreWork { cycles: 1000.0, dram_bytes: 10_000.0 }; 8];
+        let finish = multicore_makespan(&work, 23.9);
+        let makespan = finish.iter().fold(0.0f64, |a, &b| a.max(b));
+        let expect = 1000.0 * 8.0 * 10.0 / 23.9; // fully bandwidth-bound
+        assert!((makespan - expect).abs() / expect < 0.01, "{makespan} vs {expect}");
+    }
+
+    #[test]
+    fn fluid_sim_tail_effect() {
+        // One memory-heavy core plus one light core: the light core
+        // finishes first and frees bandwidth for the heavy one.
+        let work = vec![
+            CoreWork { cycles: 1000.0, dram_bytes: 30_000.0 },
+            CoreWork { cycles: 100.0, dram_bytes: 100.0 },
+        ];
+        let finish = multicore_makespan(&work, 23.9);
+        assert!(finish[1] < finish[0]);
+        // The heavy core alone demands 30 B/c > 23.9: bounded by bandwidth.
+        assert!(finish[0] >= 30_000.0 / 23.9 - 1.0);
+    }
+
+    #[test]
+    fn speedup_linear_under_low_bandwidth() {
+        let s = multicore_speedup(1_000_000.0, 1000.0, 8, 23.9);
+        assert!((s - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn speedup_saturates_at_bandwidth() {
+        // Each core demands 20 B/cycle; 8 cores demand 160 >> 23.9.
+        let s = multicore_speedup(100.0, 2000.0, 8, 23.9);
+        assert!(s < 2.0, "{s}");
+    }
+}

@@ -1,0 +1,48 @@
+//! Hirschberg's algorithm on SMX: trade 2x the DP-elements computed for
+//! linear memory (paper §2.3, Fig. 2's memory axis; §9's Hirschberg-SMX).
+//! SMX-2D excels here because the recomputed blocks are large and regular.
+//!
+//! Run with: `cargo run -p smx --release --example low_memory_hirschberg`
+
+use smx::algos::metrics;
+use smx::prelude::*;
+
+fn main() -> Result<(), smx::align::AlignError> {
+    let config = AlignmentConfig::DnaEdit;
+    let ds = Dataset::synthetic(config, 8000, 2, smx::datagen::ErrorProfile::moderate(), 3);
+    let (m, n) = (ds.pairs[0].query.len(), ds.pairs[0].reference.len());
+    println!("aligning {} pairs of ~{m} x {n} DP-matrices", ds.pairs.len());
+
+    let mut aligner = SmxAligner::new(config);
+    let full = aligner
+        .algorithm(Algorithm::Full)
+        .engine(EngineKind::Smx)
+        .run_batch(&ds.pairs)?;
+    let hirsch = aligner
+        .algorithm(Algorithm::Hirschberg)
+        .engine(EngineKind::Smx)
+        .run_batch(&ds.pairs)?;
+
+    let (fc, fs) = metrics::matrix_fractions(&full.outcomes[0], m, n);
+    let (hc, hs) = metrics::matrix_fractions(&hirsch.outcomes[0], m, n);
+    println!();
+    println!("                     computed       stored       SMX cycles");
+    println!(
+        "  full            {:>8.2}x    {:>9.6}x    {:>12.0}",
+        fc, fs, full.timing.cycles
+    );
+    println!(
+        "  hirschberg      {:>8.2}x    {:>9.6}x    {:>12.0}",
+        hc, hs, hirsch.timing.cycles
+    );
+    println!();
+    println!(
+        "hirschberg computes {:.1}x the cells but stores {:.0}x less memory",
+        hirsch.work.cells as f64 / full.work.cells as f64,
+        full.outcomes[0].cells_stored as f64 / hirsch.outcomes[0].cells_stored as f64
+    );
+    // Both produce the optimal score.
+    assert_eq!(full.outcomes[0].score, hirsch.outcomes[0].score);
+    println!("identical optimal scores: {:?}", full.outcomes[0].score);
+    Ok(())
+}

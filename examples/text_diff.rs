@@ -1,0 +1,51 @@
+//! ASCII text diff: the information-retrieval / spell-checking use case
+//! of the 8-bit configuration. Aligns two versions of a sentence under
+//! the edit model and renders the operation-level diff from the CIGAR.
+//!
+//! Run with: `cargo run -p smx --release --example text_diff`
+
+use smx::align::Op;
+use smx::prelude::*;
+
+fn main() -> Result<(), smx::align::AlignError> {
+    let old_text = "the smx engine computes one tile per cycle";
+    let new_text = "the smx-engine computes a full tile each cycle";
+    let reference = Sequence::from_text(Alphabet::Ascii, old_text)?;
+    let query = Sequence::from_text(Alphabet::Ascii, new_text)?;
+
+    let mut device = SmxDevice::new(AlignmentConfig::Ascii, 4)?;
+    let alignment = device.align(&query, &reference)?;
+    println!("old: {old_text}");
+    println!("new: {new_text}");
+    println!("edit distance: {}", -alignment.score);
+    println!("cigar: {}", alignment.cigar);
+
+    // Render the diff: '-' deleted from old, '+' inserted by new.
+    let (mut qi, mut rj) = (0usize, 0usize);
+    let (qb, rb) = (new_text.as_bytes(), old_text.as_bytes());
+    let mut rendered = String::new();
+    for op in alignment.cigar.iter_ops() {
+        match op {
+            Op::Match => {
+                rendered.push(qb[qi] as char);
+                qi += 1;
+                rj += 1;
+            }
+            Op::Mismatch => {
+                rendered.push_str(&format!("{{{}->{}}}", rb[rj] as char, qb[qi] as char));
+                qi += 1;
+                rj += 1;
+            }
+            Op::Insert => {
+                rendered.push_str(&format!("{{+{}}}", qb[qi] as char));
+                qi += 1;
+            }
+            Op::Delete => {
+                rendered.push_str(&format!("{{-{}}}", rb[rj] as char));
+                rj += 1;
+            }
+        }
+    }
+    println!("diff: {rendered}");
+    Ok(())
+}

@@ -1,0 +1,112 @@
+//! Algorithm-level integration: recall and work accounting across the
+//! practical algorithms on generated datasets (the functional backbone of
+//! Figs. 2, 11, and 14).
+
+use smx::align::dp;
+use smx::algos::xdrop;
+use smx::datagen::ErrorProfile;
+use smx::prelude::*;
+
+fn optimal_scores(ds: &Dataset) -> Vec<i32> {
+    let scheme = ds.config.scoring();
+    ds.pairs
+        .iter()
+        .map(|p| dp::score_only(p.query.codes(), p.reference.codes(), &scheme))
+        .collect()
+}
+
+#[test]
+fn exact_algorithms_have_full_recall() {
+    let ds = Dataset::synthetic(AlignmentConfig::DnaEdit, 600, 5, ErrorProfile::ont(), 11);
+    let optimal = optimal_scores(&ds);
+    for algo in [Algorithm::Full, Algorithm::Hirschberg] {
+        let rep = SmxAligner::new(ds.config).algorithm(algo).run_batch(&ds.pairs).unwrap();
+        assert_eq!(rep.recall(&optimal), 1.0, "{}", algo.name());
+    }
+}
+
+#[test]
+fn banded_with_adequate_band_has_full_recall() {
+    let ds = Dataset::synthetic(AlignmentConfig::DnaGap, 800, 5, ErrorProfile::moderate(), 13);
+    let optimal = optimal_scores(&ds);
+    let band = xdrop::band_for_error_rate(800, 0.03);
+    let rep = SmxAligner::new(ds.config)
+        .algorithm(Algorithm::Banded { band })
+        .run_batch(&ds.pairs)
+        .unwrap();
+    assert_eq!(rep.recall(&optimal), 1.0);
+    // And it computes a small fraction of the matrix.
+    assert!(rep.work.cells < 800 * 800 * 5 / 2);
+}
+
+#[test]
+fn xdrop_keeps_recall_on_homologous_pairs() {
+    let ds = Dataset::synthetic(AlignmentConfig::DnaGap, 700, 6, ErrorProfile::moderate(), 17);
+    let optimal = optimal_scores(&ds);
+    let band = xdrop::band_for_error_rate(700, 0.03);
+    let rep = SmxAligner::new(ds.config)
+        .algorithm(Algorithm::Xdrop { band, fraction: 0.08 })
+        .run_batch(&ds.pairs)
+        .unwrap();
+    assert!(rep.recall(&optimal) >= 0.8, "recall {}", rep.recall(&optimal));
+}
+
+#[test]
+fn window_recall_collapses_on_indel_heavy_reads() {
+    // The Fig. 14 story: the window heuristic loses the global optimum on
+    // ONT-like reads spanning structural variants, while exact algorithms
+    // keep it.
+    let ds = Dataset::ont_sv_like(AlignmentConfig::DnaEdit, 3000, 500, 4, 19);
+    let optimal = optimal_scores(&ds);
+    let win = SmxAligner::new(ds.config)
+        .algorithm(Algorithm::Window { w: 320, o: 128 })
+        .run_batch(&ds.pairs)
+        .unwrap();
+    let hirsch = SmxAligner::new(ds.config)
+        .algorithm(Algorithm::Hirschberg)
+        .run_batch(&ds.pairs)
+        .unwrap();
+    assert_eq!(hirsch.recall(&optimal), 1.0);
+    assert!(
+        win.recall(&optimal) < hirsch.recall(&optimal),
+        "window {} vs hirschberg {}",
+        win.recall(&optimal),
+        hirsch.recall(&optimal)
+    );
+}
+
+#[test]
+fn work_accounting_is_ordered_as_figure_2() {
+    // cells computed: hirschberg > full > banded > xdrop(similar) and
+    // stored: full >> banded > hirschberg.
+    let ds = Dataset::synthetic(AlignmentConfig::DnaEdit, 1000, 2, ErrorProfile::moderate(), 23);
+    let mut aligner = SmxAligner::new(ds.config);
+    let full = aligner.algorithm(Algorithm::Full).run_batch(&ds.pairs).unwrap();
+    let hirsch = aligner.algorithm(Algorithm::Hirschberg).run_batch(&ds.pairs).unwrap();
+    let band = aligner
+        .algorithm(Algorithm::Banded { band: xdrop::band_for_error_rate(1000, 0.03) })
+        .run_batch(&ds.pairs)
+        .unwrap();
+    assert!(hirsch.work.cells > full.work.cells);
+    assert!(band.work.cells < full.work.cells);
+    let stored = |r: &smx::aligner::BatchReport| -> u64 {
+        r.outcomes.iter().map(|o| o.cells_stored).sum()
+    };
+    assert!(stored(&full) > stored(&band));
+    assert!(stored(&band) > stored(&hirsch));
+}
+
+#[test]
+fn protein_pipeline_end_to_end() {
+    let ds = Dataset::uniprot_like(6, 29);
+    let optimal = optimal_scores(&ds);
+    let rep = SmxAligner::new(AlignmentConfig::Protein)
+        .algorithm(Algorithm::Full)
+        .run_batch(&ds.pairs)
+        .unwrap();
+    assert_eq!(rep.recall(&optimal), 1.0);
+    for (o, p) in rep.outcomes.iter().zip(&ds.pairs) {
+        let aln = o.alignment.as_ref().unwrap();
+        aln.verify(p.query.codes(), p.reference.codes(), &ds.config.scoring()).unwrap();
+    }
+}

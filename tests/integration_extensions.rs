@@ -1,0 +1,174 @@
+//! Integration tests for the extension surface: the affine/local/
+//! semi-global golden models, the Myers and WFA software baselines, the
+//! adaptive band, matrix/CIGAR parsing, and failure injection on the
+//! coprocessor's border store.
+
+use smx::align::{dp, dp_affine, dp_local, dp_semiglobal, Cigar, ScoringScheme, SubstMatrix};
+use smx::algos::adaptive;
+use smx::algos::baselines::{myers, wfa, wfa_affine};
+use smx::coproc::block::BlockMode;
+use smx::coproc::SmxCoprocessor;
+use smx::prelude::*;
+
+fn dna(len: usize, seed: u64) -> Vec<u8> {
+    let mut x = seed | 1;
+    (0..len)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (x % 4) as u8
+        })
+        .collect()
+}
+
+#[test]
+fn edit_distance_engines_agree() {
+    // Golden DP, Myers bit-parallel, WFA, and the SMX device must all
+    // produce the same edit distance.
+    let r = dna(500, 3);
+    let mut q = r.clone();
+    q[100] ^= 1;
+    q.remove(300);
+    q.insert(400, 2);
+
+    let golden = dp::edit_distance(&q, &r);
+    assert_eq!(myers::edit_distance(&q, &r, 4).unwrap(), golden);
+    assert_eq!(wfa::edit_distance(&q, &r).unwrap().distance, golden);
+
+    let mut dev = SmxDevice::new(AlignmentConfig::DnaEdit, 4).unwrap();
+    let qs = Sequence::from_codes(Alphabet::Dna2, q.clone()).unwrap();
+    let rs = Sequence::from_codes(Alphabet::Dna2, r.clone()).unwrap();
+    assert_eq!(-dev.score(&qs, &rs).unwrap() as u32, golden);
+}
+
+#[test]
+fn affine_wfa_and_gotoh_agree_on_reads() {
+    let scheme = dp_affine::AffineScheme::minimap2();
+    let r = dna(300, 9);
+    let mut q = r.clone();
+    q.drain(120..150); // one 30-base gap: affine's home turf
+    let gotoh = dp_affine::affine_score(&q, &r, &scheme);
+    let wfa = wfa_affine::affine_wfa_score_general(&q, &r, &scheme).unwrap();
+    assert_eq!(wfa.score, gotoh);
+    // One consolidated gap must beat thirty unit gaps under affine.
+    let linear_equiv = ScoringScheme::linear(2, -4, -4).unwrap();
+    let linear = dp::score_only(&q, &r, &linear_equiv);
+    assert!(gotoh > linear, "affine {gotoh} vs linear-style {linear}");
+}
+
+#[test]
+fn alignment_mode_hierarchy() {
+    // local >= semiglobal >= global for any pair and scheme.
+    let scheme = ScoringScheme::linear(2, -3, -3).unwrap();
+    for seed in [1u64, 7, 23, 99] {
+        let q = dna(60, seed);
+        let r = dna(90, seed * 31 + 5);
+        let global = dp::score_only(&q, &r, &scheme);
+        let semi = dp_semiglobal::semiglobal_score(&q, &r, &scheme);
+        let local = dp_local::local_score(&q, &r, &scheme);
+        assert!(semi >= global, "seed {seed}");
+        assert!(local >= semi, "seed {seed}");
+    }
+}
+
+#[test]
+fn adaptive_band_through_the_aligner() {
+    let ds = Dataset::synthetic(
+        AlignmentConfig::DnaEdit,
+        800,
+        4,
+        smx::datagen::ErrorProfile::moderate(),
+        55,
+    );
+    let optimal: Vec<i32> = ds
+        .pairs
+        .iter()
+        .map(|p| dp::score_only(p.query.codes(), p.reference.codes(), &ds.config.scoring()))
+        .collect();
+    let rep = SmxAligner::new(ds.config)
+        .algorithm(Algorithm::AdaptiveBanded { width: 65 })
+        .run_batch(&ds.pairs)
+        .unwrap();
+    assert_eq!(rep.recall(&optimal), 1.0);
+    assert!(rep.work.cells < 2 * 801 * 66 * 4);
+}
+
+#[test]
+fn adaptive_direct_call_matches_golden() {
+    let scheme = ScoringScheme::edit();
+    let r = dna(400, 41);
+    let mut q = r.clone();
+    q.drain(100..140);
+    let out = adaptive::adaptive_banded_align(&q, &r, &scheme, 120, true);
+    assert_eq!(out.score, Some(dp::score_only(&q, &r, &scheme)));
+    out.alignment.unwrap().verify(&q, &r, &scheme).unwrap();
+}
+
+#[test]
+fn parsed_matrix_flows_through_the_stack() {
+    // Write BLOSUM62 in NCBI format, parse it back, align with it on the
+    // coprocessor, and match the golden model.
+    let mut text = Vec::new();
+    smx_io::matrix::write(&mut text, &SubstMatrix::blosum62()).unwrap();
+    let parsed = smx_io::matrix::parse(text.as_slice()).unwrap();
+    let scheme = ScoringScheme::matrix(parsed, -6).unwrap();
+
+    let q: Vec<u8> = b"HEAGAWGHEE".iter().map(|c| c - b'A').collect();
+    let r: Vec<u8> = b"PAWHEAE".iter().map(|c| c - b'A').collect();
+    let coproc = SmxCoprocessor::new(smx::align::ElementWidth::W6, &scheme, 2).unwrap();
+    let out = coproc.compute_block(&q, &r, None, BlockMode::ScoreOnly).unwrap();
+    assert_eq!(out.score, dp::score_only(&q, &r, &scheme));
+}
+
+#[test]
+fn cigar_parse_roundtrips_device_output() {
+    let mut dev = SmxDevice::new(AlignmentConfig::DnaGap, 2).unwrap();
+    let q = Sequence::from_codes(Alphabet::Dna4, dna(120, 5)).unwrap();
+    let r = Sequence::from_codes(Alphabet::Dna4, dna(110, 77)).unwrap();
+    let aln = dev.align(&q, &r).unwrap();
+    let text = aln.cigar.to_string();
+    let back = Cigar::parse(&text).unwrap();
+    assert_eq!(back, aln.cigar);
+    let stats = back.stats();
+    assert_eq!(
+        stats.matches + stats.mismatches + stats.insertions,
+        q.len() as u64
+    );
+}
+
+#[test]
+fn corrupted_border_store_is_detected() {
+    // Failure injection: recompute a tile against sequences that do not
+    // match the stored block; the traceback must fail loudly instead of
+    // emitting a wrong alignment.
+    let config = AlignmentConfig::DnaEdit;
+    let coproc = SmxCoprocessor::new(config.element_width(), &config.scoring(), 2).unwrap();
+    // An identical pair gives a distinctive stored optimum (score 0).
+    let r = dna(100, 29);
+    let q = r.clone();
+    let out = coproc.compute_block(&q, &r, None, BlockMode::Traceback).unwrap();
+    assert_eq!(out.score, 0);
+    // Tamper: swap the query for an unrelated sequence of equal length.
+    let tampered = dna(100, 9999);
+    let result = coproc.traceback(&tampered, &r, &out);
+    match result {
+        Err(_) => {}
+        Ok((cigar, _)) => {
+            // If a path still exists numerically it must NOT re-score to
+            // the stored optimum against the tampered sequences.
+            let claimed = out.score;
+            let actual = cigar.score(&tampered, &r, &config.scoring());
+            assert!(actual.is_err() || actual.unwrap() != claimed);
+        }
+    }
+}
+
+#[test]
+fn myers_and_wfa_reject_invalid_inputs() {
+    assert!(myers::edit_distance(&[], &[0], 4).is_err());
+    assert!(myers::edit_distance(&[7], &[0], 4).is_err());
+    assert!(wfa::edit_distance(&[], &[0]).is_err());
+    let bad = dp_affine::AffineScheme::minimap2();
+    assert!(wfa_affine::affine_wfa_score(&[0], &[0], &bad).is_err());
+}

@@ -1,0 +1,111 @@
+//! Cross-crate functional equivalence: the golden DP, the differential
+//! encoding, the SMX-1D ISA kernels, the SMX-2D coprocessor, and the
+//! heterogeneous orchestrator must all agree on scores and produce
+//! verifiable alignments for every configuration.
+
+use smx::align::{dp, AlignmentConfig, Sequence};
+use smx::coproc::block::BlockMode;
+use smx::coproc::SmxCoprocessor;
+use smx::isa::{kernels, Smx1dUnit};
+use smx::prelude::*;
+
+fn test_sequences(config: AlignmentConfig, len: usize, seed: u64) -> (Vec<u8>, Vec<u8>) {
+    let card = config.alphabet().cardinality() as u64;
+    let gen = |mut x: u64| -> Vec<u8> {
+        (0..len)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x % card) as u8
+            })
+            .collect()
+    };
+    (gen(seed | 1), gen((seed * 31 + 7) | 1))
+}
+
+#[test]
+fn all_engines_agree_on_scores() {
+    for config in AlignmentConfig::ALL {
+        let scheme = config.scoring();
+        let (q, r) = test_sequences(config, 120, 42);
+        let golden = dp::score_only(&q, &r, &scheme);
+
+        // SMX-1D kernel.
+        let mut unit = Smx1dUnit::configure(config.element_width(), &scheme).unwrap();
+        let isa = kernels::score_block(&mut unit, &q, &r, None).unwrap();
+        assert_eq!(isa.score, golden, "{config}: smx-1d");
+
+        // SMX-2D coprocessor.
+        let coproc = SmxCoprocessor::new(config.element_width(), &scheme, 4).unwrap();
+        let blk = coproc.compute_block(&q, &r, None, BlockMode::ScoreOnly).unwrap();
+        assert_eq!(blk.score, golden, "{config}: smx-2d");
+    }
+}
+
+#[test]
+fn all_engines_agree_on_alignments() {
+    for config in AlignmentConfig::ALL {
+        let scheme = config.scoring();
+        let (q, r) = test_sequences(config, 95, 17);
+        let golden = dp::align_codes(&q, &r, &scheme);
+
+        // SMX-1D full alignment.
+        let mut unit = Smx1dUnit::configure(config.element_width(), &scheme).unwrap();
+        let (aln_1d, _) = kernels::align_block(&mut unit, &q, &r, &scheme).unwrap();
+        assert_eq!(aln_1d.score, golden.score, "{config}: smx-1d score");
+        aln_1d.verify(&q, &r, &scheme).unwrap();
+
+        // SMX-2D + traceback.
+        let coproc = SmxCoprocessor::new(config.element_width(), &scheme, 4).unwrap();
+        let blk = coproc.compute_block(&q, &r, None, BlockMode::Traceback).unwrap();
+        let (cigar, _) = coproc.traceback(&q, &r, &blk).unwrap();
+        assert_eq!(cigar.score(&q, &r, &scheme).unwrap(), golden.score, "{config}: smx-2d");
+    }
+}
+
+#[test]
+fn orchestrator_matches_golden_for_every_config() {
+    for config in AlignmentConfig::ALL {
+        let (qc, rc) = test_sequences(config, 80, 5);
+        let q = Sequence::from_codes(config.alphabet(), qc).unwrap();
+        let r = Sequence::from_codes(config.alphabet(), rc).unwrap();
+        let mut dev = SmxDevice::new(config, 4).unwrap();
+        let aln = dev.align(&q, &r).unwrap();
+        let golden = dp::score_only(q.codes(), r.codes(), &config.scoring());
+        assert_eq!(aln.score, golden, "{config}");
+        assert_eq!(dev.score(&q, &r).unwrap(), golden, "{config}: score path");
+    }
+}
+
+#[test]
+fn aligner_and_device_agree() {
+    let config = AlignmentConfig::DnaGap;
+    let (qc, rc) = test_sequences(config, 150, 77);
+    let q = Sequence::from_codes(config.alphabet(), qc).unwrap();
+    let r = Sequence::from_codes(config.alphabet(), rc).unwrap();
+    let mut dev = SmxDevice::new(config, 4).unwrap();
+    let dev_score = dev.score(&q, &r).unwrap();
+    let rep = SmxAligner::new(config).run_pair(&q, &r).unwrap();
+    assert_eq!(rep.outcome.score, Some(dev_score));
+}
+
+#[test]
+fn split_blocks_compose_across_the_stack() {
+    // One big block on the coprocessor equals two half blocks chained via
+    // borders computed by the ISA kernel — the cross-component dataflow
+    // the heterogeneous design depends on.
+    let config = AlignmentConfig::DnaEdit;
+    let scheme = config.scoring();
+    let (q, r) = test_sequences(config, 100, 3);
+    let coproc = SmxCoprocessor::new(config.element_width(), &scheme, 1).unwrap();
+    let whole = coproc.compute_block(&q, &r, None, BlockMode::ScoreOnly).unwrap();
+
+    let mut unit = Smx1dUnit::configure(config.element_width(), &scheme).unwrap();
+    let top = kernels::score_block(&mut unit, &q[..50], &r, None).unwrap();
+    let borders = smx::diffenc::BlockBorders::from_neighbors(top.bottom_dh, vec![0; 50]);
+    let bottom = coproc
+        .compute_block(&q[50..], &r, Some(&borders), BlockMode::ScoreOnly)
+        .unwrap();
+    assert_eq!(bottom.bottom_dh, whole.bottom_dh);
+}

@@ -1,0 +1,132 @@
+//! Timing-model integration: the simulated performance relationships the
+//! paper's evaluation rests on (Figs. 9–12) must hold end to end through
+//! the aligner API.
+
+use smx::datagen::ErrorProfile;
+use smx::prelude::*;
+use smx::sim::coproc::{BlockShape, CoprocSim, CoprocTimingConfig};
+use smx::sim::system::multicore_speedup;
+
+fn batch(config: AlignmentConfig, len: usize, count: usize) -> Dataset {
+    Dataset::synthetic(config, len, count, ErrorProfile::moderate(), 31)
+}
+
+#[test]
+fn engine_ordering_for_score_workloads() {
+    // SMX < SMX-2D ≈ SMX (score-only), SMX-1D < SIMD cycles.
+    let ds = batch(AlignmentConfig::DnaEdit, 1000, 8);
+    let mut aligner = SmxAligner::new(ds.config);
+    aligner.algorithm(Algorithm::Full).score_only(true);
+    let cycles = |e: EngineKind, a: &mut SmxAligner| a.engine(e).run_batch(&ds.pairs).unwrap().timing.cycles;
+    let simd = cycles(EngineKind::Simd, &mut aligner);
+    let smx1d = cycles(EngineKind::Smx1d, &mut aligner);
+    let smx = cycles(EngineKind::Smx, &mut aligner);
+    assert!(smx1d < simd, "smx-1d {smx1d} vs simd {simd}");
+    assert!(smx < smx1d, "smx {smx} vs smx-1d {smx1d}");
+    let speedup = simd / smx;
+    assert!(speedup > 100.0, "heterogeneous speedup {speedup}");
+}
+
+#[test]
+fn speedup_grows_with_block_size() {
+    // Fig. 9: SMX speedups grow from 100x100 to 10Kx10K blocks.
+    let mut prev = 0.0;
+    for len in [100usize, 1000, 4000] {
+        let ds = batch(AlignmentConfig::DnaGap, len, 8);
+        let mut aligner = SmxAligner::new(ds.config);
+        aligner.algorithm(Algorithm::Full).score_only(true);
+        let simd = aligner.engine(EngineKind::Simd).run_batch(&ds.pairs).unwrap().timing.cycles;
+        let smx = aligner.engine(EngineKind::Smx).run_batch(&ds.pairs).unwrap().timing.cycles;
+        let speedup = simd / smx;
+        assert!(speedup > prev, "len {len}: {speedup} <= {prev}");
+        prev = speedup;
+    }
+}
+
+#[test]
+fn worker_sweep_matches_fig10_shape() {
+    let shape = BlockShape::from_dims(10_000, 10_000, smx::align::ElementWidth::W2, false);
+    let mut utils = Vec::new();
+    for workers in [1usize, 2, 4, 8] {
+        let sim = CoprocSim::new(CoprocTimingConfig::for_ew(smx::align::ElementWidth::W2, workers));
+        utils.push(sim.simulate_uniform(shape, 8).utilization);
+    }
+    assert!(utils[0] < 0.55, "1 worker {}", utils[0]);
+    assert!(utils[2] > 0.80, "4 workers {}", utils[2]);
+    // Beyond 4 workers gains are marginal (paper §8.1).
+    assert!(utils[3] - utils[2] < 0.12, "8 vs 4: {} vs {}", utils[3], utils[2]);
+}
+
+#[test]
+fn multicore_scaling_is_near_linear() {
+    // Fig. 12: blocks fit private caches, so DRAM traffic is small.
+    let ds = batch(AlignmentConfig::DnaEdit, 2000, 4);
+    let rep = SmxAligner::new(ds.config)
+        .algorithm(Algorithm::Hirschberg)
+        .engine(EngineKind::Smx)
+        .run_batch(&ds.pairs)
+        .unwrap();
+    let dram_bytes = 2.0 * 2000.0 * 4.0; // sequences in, borders out
+    for cores in [2usize, 4, 8] {
+        let s = multicore_speedup(rep.timing.cycles, dram_bytes, cores, 23.9);
+        assert!(s > 0.9 * cores as f64, "{cores} cores: {s}");
+    }
+}
+
+#[test]
+fn utilization_and_core_budget_reported() {
+    let ds = batch(AlignmentConfig::Protein, 350, 16);
+    let rep = SmxAligner::new(ds.config)
+        .algorithm(Algorithm::Full)
+        .score_only(true)
+        .engine(EngineKind::Smx)
+        .run_batch(&ds.pairs)
+        .unwrap();
+    // Protein score-only: engine busy, core nearly idle (Fig. 12 right).
+    assert!(rep.timing.engine_utilization > 0.2, "{}", rep.timing.engine_utilization);
+    assert!(rep.timing.core_busy_frac < 0.6, "{}", rep.timing.core_busy_frac);
+}
+
+#[test]
+fn fig9_anchor_ratios_hold_within_band() {
+    // Regression lock on the calibration: the 10K score-mode SMX/SIMD
+    // ratios must stay within a factor of ~1.5 of the paper's anchors
+    // (1465 / 379 / 778 / 96). Timing-only, so full 10K dims are cheap.
+    use smx::algos::timing::{estimate, BatchWork, EngineKind};
+    use smx::algos::AlgoOutcome;
+    let anchors = [
+        (AlignmentConfig::DnaEdit, 1465.0),
+        (AlignmentConfig::DnaGap, 379.0),
+        (AlignmentConfig::Protein, 778.0),
+        (AlignmentConfig::Ascii, 96.0),
+    ];
+    for (config, paper) in anchors {
+        let outcomes: Vec<AlgoOutcome> = (0..4)
+            .map(|_| {
+                let mut o = AlgoOutcome::new();
+                o.cells_computed = 100_000_000;
+                o.blocks.push((10_000, 10_000));
+                o.pack_chars = 20_000;
+                o
+            })
+            .collect();
+        let work = BatchWork::from_outcomes(config, true, &outcomes);
+        let simd = estimate(EngineKind::Simd, &work, 4).cycles;
+        let smx = estimate(EngineKind::Smx, &work, 4).cycles;
+        let ratio = simd / smx;
+        assert!(
+            ratio > paper / 1.6 && ratio < paper * 1.6,
+            "{config}: measured {ratio:.0}x vs paper {paper:.0}x"
+        );
+    }
+}
+
+#[test]
+fn alignment_mode_costs_more_than_score_mode() {
+    let ds = batch(AlignmentConfig::DnaEdit, 1500, 4);
+    let mut aligner = SmxAligner::new(ds.config);
+    aligner.algorithm(Algorithm::Full).engine(EngineKind::Smx);
+    let with_tb = aligner.score_only(false).run_batch(&ds.pairs).unwrap().timing.cycles;
+    let score = aligner.score_only(true).run_batch(&ds.pairs).unwrap().timing.cycles;
+    assert!(with_tb >= score, "{with_tb} vs {score}");
+}
