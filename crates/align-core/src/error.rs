@@ -38,9 +38,58 @@ pub enum AlignError {
     EmptySequence,
     /// Two sequences use different alphabets.
     AlphabetMismatch,
+    /// A DP-tile's border data failed its integrity check: the data read
+    /// back from the worker SRAM / L2 path does not match the checksum
+    /// computed at the engine output port (fault model, DESIGN.md).
+    TileCorrupted {
+        /// Tile row in the block's tile grid.
+        ti: usize,
+        /// Tile column in the block's tile grid.
+        tj: usize,
+    },
+    /// An SMX-worker missed its watchdog deadline while computing a tile
+    /// (hung worker / stalled engine handshake).
+    WorkerTimeout {
+        /// Tile row in the block's tile grid.
+        ti: usize,
+        /// Tile column in the block's tile grid.
+        tj: usize,
+        /// The deadline that was exceeded, in cycles.
+        deadline_cycles: u64,
+    },
+    /// `smx.pack` produced codes diverging from the reference encoding.
+    PackDivergence {
+        /// First sequence position whose code diverged.
+        position: usize,
+    },
+    /// Tile-level recovery exhausted its retry and fallback budget; the
+    /// enclosing alignment must degrade to the software path.
+    RecoveryExhausted {
+        /// Tile row of the tile that could not be recovered.
+        ti: usize,
+        /// Tile column of the tile that could not be recovered.
+        tj: usize,
+        /// Retries spent on the tile before giving up.
+        retries: u32,
+    },
     /// An internal invariant was violated (indicates a bug, surfaced as an
     /// error rather than a panic for robustness in harnesses).
     Internal(String),
+}
+
+impl AlignError {
+    /// Whether the error is a transient device fault that tile-level
+    /// retry or the software fallback can recover from (as opposed to an
+    /// input or configuration error, which retrying cannot fix).
+    #[must_use]
+    pub fn is_recoverable_fault(&self) -> bool {
+        matches!(
+            self,
+            AlignError::TileCorrupted { .. }
+                | AlignError::WorkerTimeout { .. }
+                | AlignError::RecoveryExhausted { .. }
+        )
+    }
 }
 
 impl fmt::Display for AlignError {
@@ -59,6 +108,20 @@ impl fmt::Display for AlignError {
             ),
             AlignError::EmptySequence => write!(f, "sequences must be non-empty"),
             AlignError::AlphabetMismatch => write!(f, "sequences use different alphabets"),
+            AlignError::TileCorrupted { ti, tj } => {
+                write!(f, "tile ({ti}, {tj}) failed its border checksum (corrupted data)")
+            }
+            AlignError::WorkerTimeout { ti, tj, deadline_cycles } => write!(
+                f,
+                "worker missed the {deadline_cycles}-cycle watchdog deadline on tile ({ti}, {tj})"
+            ),
+            AlignError::PackDivergence { position } => {
+                write!(f, "smx.pack produced diverging codes at position {position}")
+            }
+            AlignError::RecoveryExhausted { ti, tj, retries } => write!(
+                f,
+                "recovery exhausted after {retries} retries on tile ({ti}, {tj})"
+            ),
             AlignError::Internal(msg) => write!(f, "internal invariant violated: {msg}"),
         }
     }
@@ -79,6 +142,10 @@ mod tests {
             AlignError::ElementWidthOverflow { theta: 40, ew_bits: 4 },
             AlignError::EmptySequence,
             AlignError::AlphabetMismatch,
+            AlignError::TileCorrupted { ti: 1, tj: 2 },
+            AlignError::WorkerTimeout { ti: 0, tj: 3, deadline_cycles: 64 },
+            AlignError::PackDivergence { position: 17 },
+            AlignError::RecoveryExhausted { ti: 2, tj: 2, retries: 3 },
             AlignError::Internal("oops".into()),
         ];
         for e in errs {
@@ -93,5 +160,18 @@ mod tests {
     fn error_is_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<AlignError>();
+    }
+
+    #[test]
+    fn fault_variants_are_recoverable_input_errors_are_not() {
+        assert!(AlignError::TileCorrupted { ti: 0, tj: 0 }.is_recoverable_fault());
+        assert!(AlignError::WorkerTimeout { ti: 0, tj: 0, deadline_cycles: 1 }
+            .is_recoverable_fault());
+        assert!(AlignError::RecoveryExhausted { ti: 0, tj: 0, retries: 0 }
+            .is_recoverable_fault());
+        assert!(!AlignError::EmptySequence.is_recoverable_fault());
+        assert!(!AlignError::AlphabetMismatch.is_recoverable_fault());
+        assert!(!AlignError::PackDivergence { position: 0 }.is_recoverable_fault());
+        assert!(!AlignError::Internal("x".into()).is_recoverable_fault());
     }
 }

@@ -14,6 +14,8 @@ commands:
   align    --config <cfg> [--algorithm <algo>] [--engine <eng>] [--band N]
            [--window N --overlap N] [--xdrop F] [--workers N] [--score-only]
            [--pretty]
+           [--fault-rate F] [--fault-seed N] [--max-retries N] [--backoff N]
+           [--watchdog N] [--strict] [--no-degrade]
            <query.fa|fastq> <reference.fa|fastq>
   datagen  --config <cfg> --len N --count N [--profile perfect|moderate|hifi|ont]
            [--sv N] [--seed N] --out <pairs.fa>
@@ -24,6 +26,12 @@ commands:
 configs:    dna-edit | dna-gap | protein | ascii
 algorithms: full | banded | adaptive | xdrop | hirschberg | window
 engines:    software | simd | dpx | gmx | smx-1d | smx-2d | smx | gact
+
+fault injection (align): --fault-rate > 0 runs the functional SMX device
+with a seeded deterministic fault plan; faulty tiles are retried
+(--max-retries, --backoff cycles) and then recomputed in software unless
+--strict; --no-degrade fails a poisoned pair closed with a structured
+error instead of falling back to a full software alignment.
 ";
 
 fn parse_config(name: &str) -> Result<AlignmentConfig, String> {
@@ -95,6 +103,11 @@ pub fn align(args: &Args) -> Result<(), String> {
         return Err("no record pairs to align".into());
     }
 
+    let fault_rate = args.get_num("fault-rate", 0.0f64).map_err(|e| e.to_string())?;
+    if fault_rate > 0.0 {
+        return align_resilient(args, &named, config, workers, fault_rate);
+    }
+
     let mut aligner = SmxAligner::new(config);
     aligner.algorithm(algorithm).engine(engine).workers(workers).score_only(score_only);
     let pairs: Vec<SeqPair> = named
@@ -124,6 +137,56 @@ pub fn align(args: &Args) -> Result<(), String> {
         report.timing.cycles,
         report.gcups(),
         pairs.len()
+    );
+    Ok(())
+}
+
+/// Fault-injection path for `align`: runs the functional SMX device with a
+/// seeded fault plan and the tile-retry / software-fallback recovery stack,
+/// failing poisoned pairs closed with a per-batch summary.
+fn align_resilient(
+    args: &Args,
+    named: &[smx_io::pairs::NamedPair],
+    config: AlignmentConfig,
+    workers: usize,
+    fault_rate: f64,
+) -> Result<(), String> {
+    let seed = args.get_num("fault-seed", 42u64).map_err(|e| e.to_string())?;
+    let max_retries = args.get_num("max-retries", 2u32).map_err(|e| e.to_string())?;
+    let backoff = args.get_num("backoff", 16u64).map_err(|e| e.to_string())?;
+    let watchdog = args.get_num("watchdog", 4096u64).map_err(|e| e.to_string())?;
+    let policy = RecoveryPolicy {
+        max_retries,
+        backoff_cycles: backoff,
+        watchdog_cycles: watchdog,
+        software_fallback: !args.switch("strict"),
+    };
+
+    let mut dev = SmxDevice::new(config, workers).map_err(|e| e.to_string())?;
+    dev.enable_fault_injection(FaultPlan::new(seed, fault_rate), policy);
+    dev.set_graceful_degradation(!args.switch("no-degrade"));
+
+    let pairs: Vec<(Sequence, Sequence)> =
+        named.iter().map(|p| (p.query.clone(), p.reference.clone())).collect();
+    let report = dev.align_batch(&pairs);
+
+    for (p, outcome) in named.iter().zip(&report.alignments) {
+        match outcome {
+            Some(a) => {
+                println!("{}\t{}\tscore={}\tcigar={}", p.query_id, p.reference_id, a.score, a.cigar)
+            }
+            None => println!("{}\t{}\tfailed", p.query_id, p.reference_id),
+        }
+    }
+    if !report.failures.is_empty() {
+        eprintln!("{}", report.failure_summary());
+    }
+    let s = &report.recovery;
+    eprintln!(
+        "# faults: rate={fault_rate:.1e} seed={seed} injected={} detected={} retries={} \
+         fallbacks={} software-alignments={} cycles-lost={}",
+        s.faults_injected, s.faults_detected, s.retries, s.fallbacks, s.software_alignments,
+        s.cycles_lost
     );
     Ok(())
 }
@@ -309,6 +372,56 @@ mod tests {
         )
         .unwrap();
         align(&align_args).unwrap();
+    }
+
+    #[test]
+    fn align_with_fault_injection_recovers() {
+        let dir = std::env::temp_dir().join("smx-cli-faults");
+        std::fs::create_dir_all(&dir).unwrap();
+        let qp = dir.join("q.fa");
+        let rp = dir.join("r.fa");
+        std::fs::write(&qp, ">q0\nGATTACAGATTACAGATTACAGATTACA\n").unwrap();
+        std::fs::write(&rp, ">r0\nGATTACACATTACAGATTACAGATTACA\n").unwrap();
+        let a = Args::parse(
+            [
+                "align",
+                "--config",
+                "dna-edit",
+                "--fault-rate",
+                "0.05",
+                "--fault-seed",
+                "7",
+                qp.to_str().unwrap(),
+                rp.to_str().unwrap(),
+            ]
+            .iter()
+            .map(|s| s.to_string()),
+            &["strict", "no-degrade"],
+        )
+        .unwrap();
+        align(&a).unwrap();
+        // Strict + no-degrade with a certain fault must still complete the
+        // batch (failing closed), not error the whole command.
+        let b = Args::parse(
+            [
+                "align",
+                "--config",
+                "dna-edit",
+                "--fault-rate",
+                "1.0",
+                "--max-retries",
+                "0",
+                "--strict",
+                "--no-degrade",
+                qp.to_str().unwrap(),
+                rp.to_str().unwrap(),
+            ]
+            .iter()
+            .map(|s| s.to_string()),
+            &["strict", "no-degrade"],
+        )
+        .unwrap();
+        align(&b).unwrap();
     }
 
     #[test]

@@ -55,12 +55,13 @@ pub mod aligner;
 pub mod orchestrator;
 
 pub use aligner::{Algorithm, BatchReport, PairReport, SmxAligner};
-pub use orchestrator::{AffineDevice, SmxDevice};
+pub use orchestrator::{AffineDevice, BatchFailure, DeviceBatchReport, SmxDevice};
 
 /// Commonly used items in one import.
 pub mod prelude {
     pub use crate::aligner::{Algorithm, SmxAligner};
     pub use crate::orchestrator::SmxDevice;
+    pub use smx_coproc::faults::{FaultPlan, RecoveryPolicy, RecoveryStats};
     pub use smx_align_core::{
         Alignment, AlignmentConfig, Alphabet, Cigar, ElementWidth, ScoringScheme, Sequence,
     };

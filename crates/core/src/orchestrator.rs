@@ -4,8 +4,9 @@
 //! the alignment by tracing back with selective tile recomputation —
 //! the role SMX-1D plays on the core.
 
-use smx_align_core::{AlignError, Alignment, AlignmentConfig, ScoringScheme, Sequence};
+use smx_align_core::{dp, AlignError, Alignment, AlignmentConfig, ScoringScheme, Sequence};
 use smx_coproc::block::BlockMode;
+use smx_coproc::faults::{FaultEvent, FaultPlan, FaultSession, RecoveryPolicy, RecoveryStats};
 use smx_coproc::traceback::RecomputeStats;
 use smx_coproc::SmxCoprocessor;
 use smx_isa::{kernels, InsnCounts, Smx1dUnit};
@@ -19,6 +20,8 @@ pub struct SmxDevice {
     unit: Smx1dUnit,
     coproc: SmxCoprocessor,
     recompute: RecomputeStats,
+    faults: Option<FaultSession>,
+    degrade: bool,
 }
 
 impl SmxDevice {
@@ -36,7 +39,42 @@ impl SmxDevice {
             unit: Smx1dUnit::configure(ew, &scheme)?,
             coproc: SmxCoprocessor::new(ew, &scheme, workers)?,
             recompute: RecomputeStats::default(),
+            faults: None,
+            degrade: true,
         })
+    }
+
+    /// Enables deterministic fault injection on the coprocessor paths,
+    /// recovered under `policy` (tile retry, then software fallback or
+    /// escalation). Replaces any previous session and resets its
+    /// statistics.
+    pub fn enable_fault_injection(&mut self, plan: FaultPlan, policy: RecoveryPolicy) {
+        self.faults = Some(FaultSession::new(plan, policy));
+    }
+
+    /// Disables fault injection, discarding the session and its state.
+    pub fn disable_fault_injection(&mut self) {
+        self.faults = None;
+    }
+
+    /// Whether an unrecoverable device fault degrades the whole alignment
+    /// to the core's software path (default `true`). With degradation off
+    /// the structured fault error escalates to the caller — the
+    /// fail-closed batch mode records it per pair.
+    pub fn set_graceful_degradation(&mut self, yes: bool) {
+        self.degrade = yes;
+    }
+
+    /// Recovery counters accumulated since fault injection was enabled
+    /// (all zero when it never was).
+    #[must_use]
+    pub fn recovery_stats(&self) -> RecoveryStats {
+        self.faults.as_ref().map(FaultSession::stats).unwrap_or_default()
+    }
+
+    /// Drains the cycle-stamped fault event log.
+    pub fn take_fault_events(&mut self) -> Vec<FaultEvent> {
+        self.faults.as_mut().map(FaultSession::take_events).unwrap_or_default()
     }
 
     /// The device configuration.
@@ -73,7 +111,12 @@ impl SmxDevice {
         let packed = kernels::pack_ascii_sequence(&mut self.unit, s.to_text().as_bytes())?;
         let codes = packed.unpack();
         if codes != s.codes() {
-            return Err(AlignError::Internal("smx.pack produced diverging codes".into()));
+            let position = codes
+                .iter()
+                .zip(s.codes())
+                .position(|(a, b)| a != b)
+                .unwrap_or_else(|| codes.len().min(s.codes().len()));
+            return Err(AlignError::PackDivergence { position });
         }
         Ok(codes)
     }
@@ -89,8 +132,36 @@ impl SmxDevice {
         self.check(query, reference)?;
         let q = self.pack(query)?;
         let r = self.pack(reference)?;
-        let out = self.coproc.compute_block(&q, &r, None, BlockMode::Traceback)?;
-        let (cigar, stats) = self.coproc.traceback(&q, &r, &out)?;
+        match self.align_device(&q, &r) {
+            Ok(alignment) => Ok(alignment),
+            // Graceful degradation: when tile-level recovery is exhausted,
+            // the core recomputes the whole alignment on the SMX-1D /
+            // software path. The software path shares the global tie-break
+            // with the tiled traceback, so the degraded result is
+            // byte-identical (score and CIGAR) to the fault-free one.
+            Err(e) if e.is_recoverable_fault() && self.faults.is_some() && self.degrade => {
+                if let Some(s) = self.faults.as_mut() {
+                    s.record_software_alignment();
+                }
+                let alignment = dp::align_codes(&q, &r, &self.scheme);
+                alignment.verify(&q, &r, &self.scheme)?;
+                Ok(alignment)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// The device-side alignment flow (offload + traceback), routed
+    /// through the fault session when one is active.
+    fn align_device(&mut self, q: &[u8], r: &[u8]) -> Result<Alignment, AlignError> {
+        let out = match self.faults.as_mut() {
+            Some(s) => self.coproc.compute_block_resilient(q, r, None, BlockMode::Traceback, s)?,
+            None => self.coproc.compute_block(q, r, None, BlockMode::Traceback)?,
+        };
+        let (cigar, stats) = match self.faults.as_mut() {
+            Some(s) => self.coproc.traceback_resilient(q, r, &out, s)?,
+            None => self.coproc.traceback(q, r, &out)?,
+        };
         self.recompute.tiles += stats.tiles;
         self.recompute.elements += stats.elements;
         self.recompute.steps += stats.steps;
@@ -101,7 +172,7 @@ impl SmxDevice {
         let cols = stats.elements / vl.max(1);
         self.unit.charge(cols / 4, 0, cols * 2);
         let alignment = Alignment { score: out.score, cigar };
-        alignment.verify(&q, &r, &self.scheme)?;
+        alignment.verify(q, r, &self.scheme)?;
         Ok(alignment)
     }
 
@@ -114,8 +185,98 @@ impl SmxDevice {
         self.check(query, reference)?;
         let q = self.pack(query)?;
         let r = self.pack(reference)?;
-        let out = self.coproc.compute_block(&q, &r, None, BlockMode::ScoreOnly)?;
-        Ok(out.score)
+        let device = match self.faults.as_mut() {
+            Some(s) => self
+                .coproc
+                .compute_block_resilient(&q, &r, None, BlockMode::ScoreOnly, s)
+                .map(|out| out.score),
+            None => self.coproc.compute_block(&q, &r, None, BlockMode::ScoreOnly).map(|o| o.score),
+        };
+        match device {
+            Ok(score) => Ok(score),
+            Err(e) if e.is_recoverable_fault() && self.faults.is_some() && self.degrade => {
+                if let Some(s) = self.faults.as_mut() {
+                    s.record_software_alignment();
+                }
+                Ok(dp::score_only(&q, &r, &self.scheme))
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Aligns every pair in a batch, failing closed: a pair that cannot
+    /// be aligned (poisoned input, unrecoverable fault under a strict
+    /// policy) is recorded as a structured per-pair failure and the batch
+    /// continues with the remaining pairs.
+    pub fn align_batch(
+        &mut self,
+        pairs: &[(Sequence, Sequence)],
+    ) -> DeviceBatchReport {
+        let mut alignments = Vec::with_capacity(pairs.len());
+        let mut failures = Vec::new();
+        for (index, (q, r)) in pairs.iter().enumerate() {
+            match self.align(q, r) {
+                Ok(a) => alignments.push(Some(a)),
+                Err(error) => {
+                    alignments.push(None);
+                    failures.push(BatchFailure { index, error });
+                }
+            }
+        }
+        DeviceBatchReport { alignments, failures, recovery: self.recovery_stats() }
+    }
+}
+
+/// One pair's structured failure inside a batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchFailure {
+    /// Index of the failing pair within the batch.
+    pub index: usize,
+    /// The structured error that poisoned it.
+    pub error: AlignError,
+}
+
+/// Outcome of [`SmxDevice::align_batch`]: per-pair results (aligned
+/// positionally with the input), the failures, and the device's recovery
+/// counters after the batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceBatchReport {
+    /// One entry per input pair; `None` where the pair failed.
+    pub alignments: Vec<Option<Alignment>>,
+    /// Structured per-pair failures, in input order.
+    pub failures: Vec<BatchFailure>,
+    /// Recovery counters accumulated on the device (zero when fault
+    /// injection is disabled).
+    pub recovery: RecoveryStats,
+}
+
+impl DeviceBatchReport {
+    /// Number of pairs that aligned successfully.
+    #[must_use]
+    pub fn succeeded(&self) -> usize {
+        self.alignments.iter().filter(|a| a.is_some()).count()
+    }
+
+    /// Whether every pair aligned.
+    #[must_use]
+    pub fn all_succeeded(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// One-line-per-failure summary for logs and the CLI.
+    #[must_use]
+    pub fn failure_summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = format!(
+            "{}/{} pairs aligned, {} failed",
+            self.succeeded(),
+            self.alignments.len(),
+            self.failures.len()
+        );
+        for f in &self.failures {
+            let _ = write!(s, "\n  pair {}: {}", f.index, f.error);
+        }
+        s
     }
 }
 
@@ -299,5 +460,107 @@ mod tests {
         let mut dev = SmxDevice::new(AlignmentConfig::DnaEdit, 1).unwrap();
         let q = Sequence::from_text(smx_align_core::Alphabet::Protein, "WYV").unwrap();
         assert!(matches!(dev.align(&q, &q), Err(AlignError::AlphabetMismatch)));
+    }
+
+    #[test]
+    fn faulty_align_is_byte_identical_to_clean() {
+        for config in AlignmentConfig::ALL {
+            let (q, r) = seqs(config, 90);
+            let mut clean_dev = SmxDevice::new(config, 4).unwrap();
+            let clean = clean_dev.align(&q, &r).unwrap();
+            for rate in [1e-4, 1e-3, 1e-2, 0.5] {
+                let mut dev = SmxDevice::new(config, 4).unwrap();
+                dev.enable_fault_injection(FaultPlan::new(42, rate), RecoveryPolicy::default());
+                let aln = dev.align(&q, &r).unwrap();
+                assert_eq!(aln.score, clean.score, "{config} rate {rate}");
+                assert_eq!(
+                    aln.cigar.to_string(),
+                    clean.cigar.to_string(),
+                    "{config} rate {rate}"
+                );
+                assert!(dev.recovery_stats().invariants_hold(), "{config} rate {rate}");
+            }
+        }
+    }
+
+    #[test]
+    fn strict_policy_degrades_to_software() {
+        let config = AlignmentConfig::DnaGap;
+        let (q, r) = seqs(config, 90);
+        let clean = SmxDevice::new(config, 4).unwrap().align(&q, &r).unwrap();
+        let mut dev = SmxDevice::new(config, 4).unwrap();
+        // Every tile faults persistently and nothing retries or falls
+        // back at tile level: the whole alignment degrades to software.
+        dev.enable_fault_injection(
+            FaultPlan::new(7, 1.0).with_persistence(1.0),
+            RecoveryPolicy::strict(),
+        );
+        let aln = dev.align(&q, &r).unwrap();
+        assert_eq!(aln.score, clean.score);
+        assert_eq!(aln.cigar.to_string(), clean.cigar.to_string());
+        let stats = dev.recovery_stats();
+        assert_eq!(stats.software_alignments, 1);
+        assert!(!dev.take_fault_events().is_empty());
+    }
+
+    #[test]
+    fn degradation_off_escalates_structured_error() {
+        let config = AlignmentConfig::DnaGap;
+        let (q, r) = seqs(config, 90);
+        let mut dev = SmxDevice::new(config, 4).unwrap();
+        dev.enable_fault_injection(
+            FaultPlan::new(7, 1.0).with_persistence(1.0),
+            RecoveryPolicy::strict(),
+        );
+        dev.set_graceful_degradation(false);
+        let err = dev.align(&q, &r).unwrap_err();
+        assert!(matches!(err, AlignError::RecoveryExhausted { .. }), "{err}");
+    }
+
+    #[test]
+    fn faulty_score_matches_clean() {
+        let config = AlignmentConfig::DnaEdit;
+        let (q, r) = seqs(config, 80);
+        let clean = SmxDevice::new(config, 2).unwrap().score(&q, &r).unwrap();
+        let mut dev = SmxDevice::new(config, 2).unwrap();
+        dev.enable_fault_injection(FaultPlan::new(3, 0.3), RecoveryPolicy::default());
+        assert_eq!(dev.score(&q, &r).unwrap(), clean);
+    }
+
+    #[test]
+    fn batch_fails_closed_on_poisoned_pair() {
+        let config = AlignmentConfig::DnaGap;
+        let (q, r) = seqs(config, 60);
+        let poisoned = Sequence::from_text(smx_align_core::Alphabet::Protein, "WYVAC").unwrap();
+        let mut dev = SmxDevice::new(config, 2).unwrap();
+        dev.enable_fault_injection(FaultPlan::new(1, 1e-2), RecoveryPolicy::default());
+        let pairs = vec![
+            (q.clone(), r.clone()),
+            (poisoned.clone(), r.clone()),
+            (r.clone(), q.clone()),
+        ];
+        let report = dev.align_batch(&pairs);
+        assert_eq!(report.succeeded(), 2);
+        assert!(!report.all_succeeded());
+        assert!(report.alignments[0].is_some());
+        assert!(report.alignments[1].is_none());
+        assert_eq!(report.failures.len(), 1);
+        assert_eq!(report.failures[0].index, 1);
+        assert!(matches!(report.failures[0].error, AlignError::AlphabetMismatch));
+        let summary = report.failure_summary();
+        assert!(summary.contains("2/3 pairs aligned"), "{summary}");
+        assert!(summary.contains("pair 1:"), "{summary}");
+    }
+
+    #[test]
+    fn disable_fault_injection_resets_stats() {
+        let config = AlignmentConfig::DnaGap;
+        let (q, r) = seqs(config, 60);
+        let mut dev = SmxDevice::new(config, 2).unwrap();
+        dev.enable_fault_injection(FaultPlan::new(5, 1.0), RecoveryPolicy::default());
+        let _ = dev.align(&q, &r).unwrap();
+        assert!(dev.recovery_stats().faults_injected > 0);
+        dev.disable_fault_injection();
+        assert_eq!(dev.recovery_stats(), RecoveryStats::default());
     }
 }

@@ -1,0 +1,160 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the subset of the criterion API its benches use. Measurement
+//! is a simple best-of-N wall-clock loop with per-iteration reporting —
+//! adequate for relative comparisons in this environment; it makes no
+//! attempt at criterion's statistical rigor.
+
+use std::time::{Duration, Instant};
+
+/// How batched setup cost relates to the routine (accepted, unused).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One batch per allocation.
+    PerIteration,
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Per-benchmark timing driver.
+pub struct Bencher {
+    iters: u64,
+    best: Duration,
+}
+
+impl Bencher {
+    fn new() -> Bencher {
+        Bencher { iters: 0, best: Duration::MAX }
+    }
+
+    /// Times `routine`, keeping the best mean over a few rounds.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        const ROUNDS: u32 = 3;
+        const ITERS: u32 = 5;
+        for _ in 0..ROUNDS {
+            let start = Instant::now();
+            for _ in 0..ITERS {
+                std::hint::black_box(routine());
+            }
+            let mean = start.elapsed() / ITERS;
+            self.best = self.best.min(mean);
+            self.iters += u64::from(ITERS);
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup` (setup not timed).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        const ROUNDS: u32 = 3;
+        for _ in 0..ROUNDS {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            let once = start.elapsed();
+            self.best = self.best.min(once);
+            self.iters += 1;
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Runs one benchmark and prints its best time.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        let mut b = Bencher::new();
+        f(&mut b);
+        let per_iter = b.best.as_nanos().max(1);
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  {:.3} Melem/s", n as f64 * 1e3 / per_iter as f64)
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!("  {:.3} MB/s", n as f64 * 1e3 / per_iter as f64)
+            }
+            None => String::new(),
+        };
+        println!("{}/{id}: {per_iter} ns/iter{rate}", self.name);
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Benchmark registry and entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.to_string(), throughput: None, _criterion: self }
+    }
+}
+
+/// Declares a group-running function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($f:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $f(&mut c); )+
+        }
+    };
+}
+
+/// Declares `main` from group-running functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(100));
+        g.bench_function("add", |b| b.iter(|| std::hint::black_box(2u64) + 2));
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn harness_runs() {
+        let mut c = Criterion::default();
+        sample_bench(&mut c);
+    }
+}

@@ -1,0 +1,205 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the subset of the `proptest 1.x` surface it uses: the
+//! [`proptest!`] macro with `#![proptest_config(...)]`, integer-range and
+//! regex-string strategies, [`collection::vec`], and the `prop_assert*`
+//! macros. Generation is deterministic — each test function derives its
+//! seed from its module path and case index — so failures reproduce
+//! exactly. There is no shrinking: a failing case panics with the
+//! standard assertion message (the generated values are part of normal
+//! Rust panic output when asserted on).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+
+pub mod collection;
+pub mod string;
+
+/// Run configuration for a [`proptest!`] block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test function.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A generator of test values.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+    /// Draws one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut StdRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// String literals act as regex strategies, mirroring upstream proptest.
+///
+/// # Panics
+///
+/// Panics at sample time if the pattern is outside the supported regex
+/// subset (see [`string::string_regex`]).
+impl Strategy for &str {
+    type Value = String;
+    fn sample(&self, rng: &mut StdRng) -> String {
+        string::string_regex(self)
+            .unwrap_or_else(|e| panic!("invalid regex strategy {self:?}: {e}"))
+            .sample(rng)
+    }
+}
+
+/// Deterministic per-test-case generator: seeded from the test's
+/// identifier and the case index.
+#[must_use]
+pub fn test_rng(test_id: &str, case: u32) -> StdRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_id.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    StdRng::seed_from_u64(h ^ (u64::from(case) << 32 | u64::from(case)))
+}
+
+/// Declares property tests: each `fn name(binding in strategy, ...)`
+/// becomes a `#[test]` running `cases` deterministic draws.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!{ cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!{ cfg = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (cfg = ($cfg:expr); ) => {};
+    (cfg = ($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            for __case in 0..__cfg.cases {
+                let mut __rng = $crate::test_rng(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __case,
+                );
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut __rng);)*
+                $body
+            }
+        }
+        $crate::__proptest_fns!{ cfg = ($cfg); $($rest)* }
+    };
+}
+
+/// `assert!` under the upstream proptest spelling.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// `assert_eq!` under the upstream proptest spelling.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// `assert_ne!` under the upstream proptest spelling.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// The items tests conventionally glob-import.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn ranges_in_bounds(x in 3u8..9, y in 0..=4i32, n in 1usize..50) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((0..=4).contains(&y));
+            prop_assert!((1..50).contains(&n));
+        }
+
+        #[test]
+        fn vectors_have_requested_sizes(v in collection::vec(0u8..4, 2..10)) {
+            prop_assert!(v.len() >= 2 && v.len() < 10);
+            prop_assert!(v.iter().all(|&b| b < 4));
+        }
+
+        #[test]
+        fn string_regex_strategies(s in string::string_regex("[a-c]{2,5}").unwrap()) {
+            prop_assert!(s.len() >= 2 && s.len() <= 5);
+            prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+
+        #[test]
+        fn str_literal_is_a_strategy(words in collection::vec("[xy]{1,3}", 1..4)) {
+            prop_assert!(!words.is_empty());
+            for w in &words {
+                prop_assert!(w.chars().all(|c| c == 'x' || c == 'y'));
+            }
+        }
+    }
+
+    #[test]
+    fn determinism_across_invocations() {
+        let mut a = test_rng("t", 3);
+        let mut b = test_rng("t", 3);
+        let s = collection::vec(0u8..100, 5..6);
+        assert_eq!(s.sample(&mut a), s.sample(&mut b));
+    }
+}

@@ -1,0 +1,236 @@
+//! Regex-driven string strategies (`proptest::string::string_regex`).
+//!
+//! Supports the subset the workspace uses: sequences of atoms, where an
+//! atom is a literal character, an escape (`\n`, `\t`, `\\`, `\-`, …), or
+//! a character class `[...]` with ranges and escapes, each optionally
+//! followed by a `{n}` / `{min,max}` repetition. Anything else (groups,
+//! alternation, `*`/`+`/`?` quantifiers) is rejected with an error so an
+//! unsupported pattern fails loudly instead of generating wrong data.
+
+use crate::Strategy;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::fmt;
+
+/// Pattern rejected by the supported regex subset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+fn err<T>(message: impl Into<String>) -> Result<T, Error> {
+    Err(Error { message: message.into() })
+}
+
+#[derive(Debug, Clone)]
+struct Atom {
+    /// The characters this atom can produce (singleton for literals).
+    choices: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+/// A compiled string strategy.
+#[derive(Debug, Clone)]
+pub struct RegexGeneratorStrategy {
+    atoms: Vec<Atom>,
+}
+
+impl Strategy for RegexGeneratorStrategy {
+    type Value = String;
+    fn sample(&self, rng: &mut StdRng) -> String {
+        let mut out = String::new();
+        for atom in &self.atoms {
+            let n = rng.gen_range(atom.min..=atom.max);
+            for _ in 0..n {
+                out.push(atom.choices[rng.gen_range(0..atom.choices.len())]);
+            }
+        }
+        out
+    }
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        '0' => '\0',
+        other => other,
+    }
+}
+
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Result<Vec<char>, Error> {
+    let mut set: Vec<char> = Vec::new();
+    let mut pending: Option<char> = None;
+    loop {
+        let Some(c) = chars.next() else {
+            return err("unterminated character class");
+        };
+        match c {
+            ']' => {
+                if let Some(p) = pending {
+                    set.push(p);
+                }
+                if set.is_empty() {
+                    return err("empty character class");
+                }
+                set.dedup();
+                return Ok(set);
+            }
+            '-' => match (pending.take(), chars.peek().copied()) {
+                // A range like `a-z` (the `-` cannot end the class here;
+                // a trailing `-` is treated as a literal).
+                (Some(lo), Some(hi)) if hi != ']' => {
+                    let hi = if hi == '\\' {
+                        chars.next();
+                        match chars.next() {
+                            Some(e) => unescape(e),
+                            None => return err("dangling escape in class"),
+                        }
+                    } else {
+                        chars.next();
+                        hi
+                    };
+                    if lo > hi {
+                        return err(format!("inverted class range {lo:?}-{hi:?}"));
+                    }
+                    set.extend(lo..=hi);
+                }
+                (prev, _) => {
+                    if let Some(p) = prev {
+                        set.push(p);
+                    }
+                    pending = Some('-');
+                }
+            },
+            '\\' => {
+                if let Some(p) = pending.take() {
+                    set.push(p);
+                }
+                match chars.next() {
+                    Some(e) => pending = Some(unescape(e)),
+                    None => return err("dangling escape in class"),
+                }
+            }
+            other => {
+                if let Some(p) = pending.take() {
+                    set.push(p);
+                }
+                pending = Some(other);
+            }
+        }
+    }
+}
+
+fn parse_repetition(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+) -> Result<(usize, usize), Error> {
+    if chars.peek() != Some(&'{') {
+        return Ok((1, 1));
+    }
+    chars.next();
+    let mut body = String::new();
+    loop {
+        match chars.next() {
+            Some('}') => break,
+            Some(c) => body.push(c),
+            None => return err("unterminated repetition"),
+        }
+    }
+    let parse_n = |s: &str| -> Result<usize, Error> {
+        s.trim().parse().map_err(|_| Error { message: format!("bad repetition count {s:?}") })
+    };
+    let (min, max) = match body.split_once(',') {
+        None => {
+            let n = parse_n(&body)?;
+            (n, n)
+        }
+        Some((lo, hi)) => (parse_n(lo)?, parse_n(hi)?),
+    };
+    if min > max {
+        return err(format!("inverted repetition {{{min},{max}}}"));
+    }
+    Ok((min, max))
+}
+
+/// Compiles `pattern` into a string strategy.
+///
+/// # Errors
+///
+/// Returns [`Error`] when the pattern falls outside the supported subset.
+pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, Error> {
+    let mut chars = pattern.chars().peekable();
+    let mut atoms = Vec::new();
+    while let Some(c) = chars.next() {
+        let choices = match c {
+            '[' => parse_class(&mut chars)?,
+            '\\' => match chars.next() {
+                Some(e) => vec![unescape(e)],
+                None => return err("dangling escape"),
+            },
+            '(' | ')' | '|' | '*' | '+' | '?' | '.' | '^' | '$' => {
+                return err(format!("unsupported regex construct {c:?} in {pattern:?}"))
+            }
+            literal => vec![literal],
+        };
+        let (min, max) = parse_repetition(&mut chars)?;
+        atoms.push(Atom { choices, min, max });
+    }
+    Ok(RegexGeneratorStrategy { atoms })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(11)
+    }
+
+    #[test]
+    fn class_with_ranges_and_escapes() {
+        let s = string_regex("[ -~\\n]{0,200}").unwrap();
+        let mut r = rng();
+        for _ in 0..50 {
+            let v = s.sample(&mut r);
+            assert!(v.len() <= 200);
+            assert!(v.chars().all(|c| c == '\n' || (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn literal_atoms_and_counts() {
+        let s = string_regex("AB{3}").unwrap();
+        assert_eq!(s.sample(&mut rng()), "ABBB");
+    }
+
+    #[test]
+    fn fixed_class_lengths() {
+        let s = string_regex("[ACGT]{1,120}").unwrap();
+        let mut r = rng();
+        for _ in 0..50 {
+            let v = s.sample(&mut r);
+            assert!((1..=120).contains(&v.len()));
+            assert!(v.chars().all(|c| "ACGT".contains(c)));
+        }
+    }
+
+    #[test]
+    fn unsupported_constructs_rejected() {
+        assert!(string_regex("(ab)+").is_err());
+        assert!(string_regex("a|b").is_err());
+        assert!(string_regex("[z-a]").is_err());
+        assert!(string_regex("[abc").is_err());
+        assert!(string_regex("a{2,1}").is_err());
+    }
+}

@@ -3,6 +3,7 @@
 //! anchors needed to recompute any tile during traceback.
 
 use crate::engine::SmxEngine;
+use crate::faults::FaultSession;
 use crate::tile::{TileInput, TileOutput};
 use crate::worker::{block_transfer_stats, TransferStats};
 use smx_align_core::AlignError;
@@ -120,6 +121,37 @@ pub fn compute_block(
     input: Option<&BlockBorders>,
     mode: BlockMode,
 ) -> Result<BlockOutput, AlignError> {
+    compute_block_inner(engine, query, reference, input, mode, None)
+}
+
+/// [`compute_block`] under an active fault-injection session: every tile
+/// runs through the session's checksum/watchdog/retry/fallback machinery
+/// (see [`crate::faults`]).
+///
+/// # Errors
+///
+/// Same conditions as [`compute_block`], plus
+/// [`AlignError::RecoveryExhausted`] when a tile cannot be recovered
+/// under the session's policy.
+pub fn compute_block_resilient(
+    engine: &SmxEngine,
+    query: &[u8],
+    reference: &[u8],
+    input: Option<&BlockBorders>,
+    mode: BlockMode,
+    session: &mut FaultSession,
+) -> Result<BlockOutput, AlignError> {
+    compute_block_inner(engine, query, reference, input, mode, Some(session))
+}
+
+fn compute_block_inner(
+    engine: &SmxEngine,
+    query: &[u8],
+    reference: &[u8],
+    input: Option<&BlockBorders>,
+    mode: BlockMode,
+    mut session: Option<&mut FaultSession>,
+) -> Result<BlockOutput, AlignError> {
     let (m, n) = (query.len(), reference.len());
     if m == 0 || n == 0 {
         return Err(AlignError::EmptySequence);
@@ -148,6 +180,7 @@ pub fn compute_block(
         inputs.reserve(t_rows * t_cols);
         anchors.reserve(t_rows * t_cols);
     }
+    let epoch = session.as_mut().map_or(0, |s| s.begin_epoch());
 
     // Absolute anchor of the current tile-row's left edge.
     let mut left_anchor: i32 = 0;
@@ -169,7 +202,10 @@ pub fn compute_block(
             }
             // Advance the anchor across this tile's top edge.
             anchor += tin.dh_top.iter().map(|&d| i32::from(d) + gd).sum::<i32>();
-            let TileOutput { dv_right, dh_bottom } = engine.compute_tile(q_seg, r_seg, &tin)?;
+            let TileOutput { dv_right, dh_bottom } = match session.as_mut() {
+                Some(s) => s.run_tile(engine, q_seg, r_seg, &tin, epoch, ti, tj)?,
+                None => engine.compute_tile(q_seg, r_seg, &tin)?,
+            };
             dh_carry[c0..c0 + cols].copy_from_slice(&dh_bottom);
             dv_carry = dv_right;
         }
@@ -290,6 +326,27 @@ mod tests {
         let e = engine(AlignmentConfig::DnaEdit);
         let bb = BlockBorders::fresh(3, 3);
         assert!(compute_block(&e, &[0, 1], &[0, 1], Some(&bb), BlockMode::ScoreOnly).is_err());
+    }
+
+    #[test]
+    fn resilient_block_is_bit_exact_under_faults() {
+        use crate::faults::{FaultPlan, FaultSession, RecoveryPolicy};
+        let cfg = AlignmentConfig::DnaGap;
+        let e = engine(cfg);
+        let q = seq(cfg, 75, 7);
+        let r = seq(cfg, 90, 11);
+        let clean = compute_block(&e, &q, &r, None, BlockMode::Traceback).unwrap();
+        for rate in [0.0, 0.05, 0.5, 1.0] {
+            let plan = FaultPlan::new(99, rate);
+            let mut s = FaultSession::new(plan, RecoveryPolicy::default());
+            let out = compute_block_resilient(&e, &q, &r, None, BlockMode::Traceback, &mut s)
+                .unwrap();
+            assert_eq!(out.score, clean.score, "rate {rate}");
+            assert_eq!(out.bottom_dh, clean.bottom_dh, "rate {rate}");
+            assert_eq!(out.right_dv, clean.right_dv, "rate {rate}");
+            assert_eq!(out.borders, clean.borders, "rate {rate}");
+            assert!(s.stats().invariants_hold(), "rate {rate}: {:?}", s.stats());
+        }
     }
 
     #[test]

@@ -2,9 +2,10 @@
 //! multiple SMX-workers, exposed through the block-offload interface the
 //! core drives via memory-mapped configuration registers.
 
-use crate::block::{compute_block, BlockMode, BlockOutput};
+use crate::block::{compute_block, compute_block_resilient, BlockMode, BlockOutput};
 use crate::engine::SmxEngine;
-use crate::traceback::{traceback_block, RecomputeStats};
+use crate::faults::FaultSession;
+use crate::traceback::{traceback_block, traceback_block_resilient, RecomputeStats};
 use smx_align_core::{AlignError, Cigar, ElementWidth, ScoringScheme};
 use smx_diffenc::boundary::BlockBorders;
 
@@ -67,6 +68,23 @@ impl SmxCoprocessor {
         compute_block(&self.engine, query, reference, input, mode)
     }
 
+    /// Offloads one DP-block computation under an active fault-injection
+    /// session (tile-level detection, retry, and fallback).
+    ///
+    /// # Errors
+    ///
+    /// See [`compute_block_resilient`].
+    pub fn compute_block_resilient(
+        &self,
+        query: &[u8],
+        reference: &[u8],
+        input: Option<&BlockBorders>,
+        mode: BlockMode,
+        session: &mut FaultSession,
+    ) -> Result<BlockOutput, AlignError> {
+        compute_block_resilient(&self.engine, query, reference, input, mode, session)
+    }
+
     /// Traces back a block previously computed in traceback mode.
     ///
     /// # Errors
@@ -82,6 +100,25 @@ impl SmxCoprocessor {
             AlignError::Internal("block was computed in score-only mode".into())
         })?;
         traceback_block(&self.engine, query, reference, store)
+    }
+
+    /// Traces back under an active fault-injection session (border reads
+    /// cross the faulty L2 port and are checksum-verified).
+    ///
+    /// # Errors
+    ///
+    /// See [`traceback_block_resilient`].
+    pub fn traceback_resilient(
+        &self,
+        query: &[u8],
+        reference: &[u8],
+        output: &BlockOutput,
+        session: &mut FaultSession,
+    ) -> Result<(Cigar, RecomputeStats), AlignError> {
+        let store = output.borders.as_ref().ok_or_else(|| {
+            AlignError::Internal("block was computed in score-only mode".into())
+        })?;
+        traceback_block_resilient(&self.engine, query, reference, store, session)
     }
 }
 

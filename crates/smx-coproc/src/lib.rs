@@ -31,6 +31,7 @@ pub mod affine;
 pub mod block;
 pub mod coproc;
 pub mod engine;
+pub mod faults;
 pub mod tile;
 pub mod traceback;
 pub mod worker;
@@ -38,5 +39,6 @@ pub mod worker;
 pub use block::{BlockMode, BlockOutput, TileBorderStore};
 pub use coproc::SmxCoprocessor;
 pub use engine::SmxEngine;
+pub use faults::{FaultEvent, FaultKind, FaultPlan, FaultSession, RecoveryPolicy, RecoveryStats};
 pub use tile::{TileInput, TileOutput};
 pub use worker::TransferStats;

@@ -9,6 +9,8 @@
 
 use crate::block::TileBorderStore;
 use crate::engine::SmxEngine;
+use crate::faults::FaultSession;
+use crate::tile::TileInput;
 use smx_align_core::{AlignError, Cigar, Op};
 
 /// Work performed by a traceback (for Fig. 2's cells-computed accounting
@@ -39,6 +41,36 @@ pub fn traceback_block(
     reference: &[u8],
     store: &TileBorderStore,
 ) -> Result<(Cigar, RecomputeStats), AlignError> {
+    traceback_block_inner(engine, query, reference, store, None)
+}
+
+/// [`traceback_block`] under an active fault-injection session: every
+/// stored border the traceback re-reads crosses the (possibly faulty) L2
+/// port and is verified against the checksum recorded when the worker
+/// stored it (see [`crate::faults`]).
+///
+/// # Errors
+///
+/// Same conditions as [`traceback_block`], plus
+/// [`AlignError::RecoveryExhausted`] when a border read cannot be
+/// recovered under the session's policy.
+pub fn traceback_block_resilient(
+    engine: &SmxEngine,
+    query: &[u8],
+    reference: &[u8],
+    store: &TileBorderStore,
+    session: &mut FaultSession,
+) -> Result<(Cigar, RecomputeStats), AlignError> {
+    traceback_block_inner(engine, query, reference, store, Some(session))
+}
+
+fn traceback_block_inner(
+    engine: &SmxEngine,
+    query: &[u8],
+    reference: &[u8],
+    store: &TileBorderStore,
+    mut session: Option<&mut FaultSession>,
+) -> Result<(Cigar, RecomputeStats), AlignError> {
     let (m, n) = store.block_dims();
     if query.len() != m || reference.len() != n {
         return Err(AlignError::Internal(format!(
@@ -50,6 +82,7 @@ pub fn traceback_block(
     let scheme = engine.scheme().clone();
     let (gi, gd) = (scheme.gap_insert(), scheme.gap_delete());
     let vl = store.vl();
+    let epoch = session.as_mut().map_or(0, |s| s.begin_epoch());
     let mut stats = RecomputeStats::default();
     let mut cigar = Cigar::new();
     let mut gi_pos = m; // global row (cells consumed from query)
@@ -70,7 +103,14 @@ pub fn traceback_block(
         let tj = (gj_pos - 1) / vl;
         let (rspan, cspan) = store.tile_span(ti, tj);
         let (rows, cols) = (rspan.len(), cspan.len());
-        let tin = store.input(ti, tj);
+        let fetched: TileInput;
+        let tin: &TileInput = match session.as_mut() {
+            Some(s) => {
+                fetched = s.fetch_input(epoch, ti, tj, store.input(ti, tj))?;
+                &fetched
+            }
+            None => store.input(ti, tj),
+        };
         let q_seg = &query[rspan.clone()];
         let r_seg = &reference[cspan.clone()];
         let blk = engine.compute_tile_full(q_seg, r_seg, tin)?;
@@ -193,6 +233,41 @@ mod tests {
         assert_eq!(stats.tiles, 4, "only the 4 diagonal tiles");
         // 16 tiles exist; we recomputed a quarter of the block.
         assert_eq!(stats.elements, 4 * 32 * 32);
+    }
+
+    #[test]
+    fn cigar_is_byte_identical_to_golden() {
+        // The shared tie-break (diagonal ≻ insert ≻ delete) makes the tile
+        // traceback's CIGAR identical to the golden model's — which is
+        // what lets the software fallback preserve byte-identical output.
+        for cfg in AlignmentConfig::ALL {
+            let e = engine(cfg);
+            let q = seq(cfg, 70, 7);
+            let r = seq(cfg, 61, 5);
+            let out = compute_block(&e, &q, &r, None, BlockMode::Traceback).unwrap();
+            let store = out.borders.as_ref().unwrap();
+            let (cigar, _) = traceback_block(&e, &q, &r, store).unwrap();
+            let golden = dp::align_codes(&q, &r, &cfg.scoring());
+            assert_eq!(cigar.to_string(), golden.cigar.to_string(), "{cfg}");
+        }
+    }
+
+    #[test]
+    fn resilient_traceback_is_byte_identical_under_faults() {
+        use crate::faults::{FaultPlan, FaultSession, RecoveryPolicy};
+        let cfg = AlignmentConfig::DnaGap;
+        let e = engine(cfg);
+        let q = seq(cfg, 70, 7);
+        let r = seq(cfg, 61, 5);
+        let out = compute_block(&e, &q, &r, None, BlockMode::Traceback).unwrap();
+        let store = out.borders.as_ref().unwrap();
+        let (clean, _) = traceback_block(&e, &q, &r, store).unwrap();
+        for rate in [0.01, 0.2, 1.0] {
+            let mut s = FaultSession::new(FaultPlan::new(17, rate), RecoveryPolicy::default());
+            let (cigar, _) = traceback_block_resilient(&e, &q, &r, store, &mut s).unwrap();
+            assert_eq!(cigar.to_string(), clean.to_string(), "rate {rate}");
+            assert!(s.stats().invariants_hold(), "rate {rate}: {:?}", s.stats());
+        }
     }
 
     #[test]

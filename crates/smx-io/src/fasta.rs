@@ -51,7 +51,7 @@ pub fn parse<R: Read>(reader: R) -> Result<Vec<Record>, IoError> {
     let mut records: Vec<Record> = Vec::new();
     let mut current: Option<Record> = None;
     for (lineno, line) in buf.lines().enumerate() {
-        let line = line?;
+        let line = crate::decode_line(lineno, line)?;
         let trimmed = line.trim();
         if trimmed.is_empty() || trimmed.starts_with(';') {
             continue;
@@ -184,6 +184,23 @@ mod tests {
     #[test]
     fn empty_input_is_empty() {
         assert!(parse("".as_bytes()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn non_utf8_reported_with_line_number() {
+        let bad: &[u8] = b">a\nAC\xff\xfeGT\n";
+        let err = parse(bad).unwrap_err();
+        assert!(
+            matches!(err, IoError::Parse { line: 2, .. }),
+            "expected line-2 parse error, got {err}"
+        );
+    }
+
+    #[test]
+    fn truncated_header_only_file_is_tolerated() {
+        let recs = parse(">only-a-header\n".as_bytes()).unwrap();
+        assert_eq!(recs.len(), 1);
+        assert!(recs[0].sequence.is_empty());
     }
 
     proptest::proptest! {

@@ -4,6 +4,7 @@
 
 use crate::fasta::Record;
 use crate::IoError;
+use smx_align_core::{Alphabet, Sequence};
 use std::io::{BufRead, BufReader, Read};
 
 /// One FASTQ record.
@@ -49,7 +50,7 @@ pub fn parse<R: Read>(reader: R) -> Result<Vec<FastqRecord>, IoError> {
     let mut lines = buf.lines().enumerate();
     let mut records = Vec::new();
     while let Some((lineno, line)) = lines.next() {
-        let header = line?;
+        let header = crate::decode_line(lineno, line)?;
         if header.trim().is_empty() {
             continue;
         }
@@ -65,15 +66,14 @@ pub fn parse<R: Read>(reader: R) -> Result<Vec<FastqRecord>, IoError> {
         }
         let mut next_line = |what: &str| -> Result<(usize, String), IoError> {
             match lines.next() {
-                Some((n, Ok(l))) => Ok((n, l)),
-                Some((_, Err(e))) => Err(IoError::Io(e)),
+                Some((n, l)) => Ok((n, crate::decode_line(n, l)?)),
                 None => Err(IoError::Parse {
                     line: lineno + 1,
                     message: format!("truncated record {id:?}: missing {what}"),
                 }),
             }
         };
-        let (_, sequence) = next_line("sequence line")?;
+        let (seq_no, sequence) = next_line("sequence line")?;
         let (plus_no, plus) = next_line("'+' separator")?;
         if !plus.starts_with('+') {
             return Err(IoError::Parse {
@@ -84,6 +84,18 @@ pub fn parse<R: Read>(reader: R) -> Result<Vec<FastqRecord>, IoError> {
         let (qual_no, quality) = next_line("quality line")?;
         let sequence = sequence.trim().to_string();
         let quality = quality.trim().to_string();
+        if let Some(bad) = sequence.bytes().find(|b| !b.is_ascii_graphic()) {
+            return Err(IoError::Parse {
+                line: seq_no + 1,
+                message: format!("sequence contains non-printable or whitespace byte 0x{bad:02x}"),
+            });
+        }
+        if let Some(bad) = quality.bytes().find(|b| !b.is_ascii_graphic()) {
+            return Err(IoError::Parse {
+                line: qual_no + 1,
+                message: format!("quality contains non-printable or whitespace byte 0x{bad:02x}"),
+            });
+        }
         if sequence.len() != quality.len() {
             return Err(IoError::Parse {
                 line: qual_no + 1,
@@ -97,6 +109,26 @@ pub fn parse<R: Read>(reader: R) -> Result<Vec<FastqRecord>, IoError> {
         records.push(FastqRecord { id, sequence, quality });
     }
     Ok(records)
+}
+
+/// Parses a FASTQ file and decodes every record under `alphabet`.
+///
+/// # Errors
+///
+/// Propagates parse and I/O errors; returns [`IoError::Alphabet`] when a
+/// record's bases fall outside `alphabet`.
+pub fn parse_typed<R: Read>(
+    reader: R,
+    alphabet: Alphabet,
+) -> Result<Vec<(FastqRecord, Sequence)>, IoError> {
+    parse(reader)?
+        .into_iter()
+        .map(|r| {
+            let s = Sequence::from_text(alphabet, &r.sequence)
+                .map_err(|source| IoError::Alphabet { id: r.id.clone(), source })?;
+            Ok((r, s))
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -152,11 +184,47 @@ mod tests {
         assert!(parse("".as_bytes()).unwrap().is_empty());
     }
 
+    #[test]
+    fn non_utf8_reported_with_line_number() {
+        let bad: &[u8] = b"@x\nAC\xff\xfeGT\n+\nIIII\n";
+        let err = parse(bad).unwrap_err();
+        assert!(
+            matches!(err, IoError::Parse { line: 2, .. }),
+            "expected line-2 parse error, got {err}"
+        );
+    }
+
+    #[test]
+    fn embedded_whitespace_in_sequence_rejected() {
+        let bad = "@x\nAC\tGT\n+\nIIIII\n";
+        let err = parse(bad.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("non-printable"), "{err}");
+    }
+
+    #[test]
+    fn control_bytes_in_quality_rejected() {
+        let bad = "@x\nACGT\n+\nII\u{1}I\n";
+        assert!(parse(bad.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn typed_loading_validates_alphabet() {
+        let ok = parse_typed("@a\nACGT\n+\nIIII\n".as_bytes(), Alphabet::Dna2).unwrap();
+        assert_eq!(ok[0].1.codes(), &[0, 1, 2, 3]);
+        let err = parse_typed("@a\nACGX\n+\nIIII\n".as_bytes(), Alphabet::Dna2).unwrap_err();
+        assert!(matches!(err, IoError::Alphabet { .. }));
+    }
+
     proptest::proptest! {
         #![proptest_config(proptest::prelude::ProptestConfig::with_cases(64))]
         #[test]
         fn parser_never_panics(input in proptest::string::string_regex("[ -~\\n]{0,200}").unwrap()) {
             let _ = parse(input.as_bytes());
+        }
+
+        #[test]
+        fn parser_never_panics_on_bytes(input in proptest::collection::vec(0u8..=255, 0..200)) {
+            let _ = parse(input.as_slice());
         }
     }
 }

@@ -34,7 +34,7 @@ use std::fmt;
 pub enum IoError {
     /// Underlying I/O failure.
     Io(std::io::Error),
-    /// Malformed FASTA content.
+    /// Malformed FASTA/FASTQ/matrix content.
     Parse {
         /// 1-based line number.
         line: usize,
@@ -54,7 +54,7 @@ impl fmt::Display for IoError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             IoError::Io(e) => write!(f, "i/o failure: {e}"),
-            IoError::Parse { line, message } => write!(f, "fasta parse error at line {line}: {message}"),
+            IoError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
             IoError::Alphabet { id, source } => {
                 write!(f, "record {id:?} failed alphabet validation: {source}")
             }
@@ -76,6 +76,23 @@ impl From<std::io::Error> for IoError {
     fn from(e: std::io::Error) -> IoError {
         IoError::Io(e)
     }
+}
+
+/// Decodes one line from a `lines()` iterator, turning the opaque
+/// invalid-UTF-8 [`std::io::Error`] into a line-numbered parse error so
+/// binary garbage fed to a text parser is reported like any other
+/// malformed input.
+pub(crate) fn decode_line(
+    lineno: usize,
+    line: std::io::Result<String>,
+) -> Result<String, IoError> {
+    line.map_err(|e| {
+        if e.kind() == std::io::ErrorKind::InvalidData {
+            IoError::Parse { line: lineno + 1, message: "input is not valid UTF-8".into() }
+        } else {
+            IoError::Io(e)
+        }
+    })
 }
 
 #[cfg(test)]

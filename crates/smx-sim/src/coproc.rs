@@ -7,6 +7,7 @@
 //! forwarding path.
 
 use smx_align_core::ElementWidth;
+use smx_coproc::faults::{FaultKind, FaultPlan, RecoveryAction, RecoveryPolicy};
 use std::collections::VecDeque;
 
 /// Timing parameters of one SMX-2D instance.
@@ -98,6 +99,49 @@ impl BlockShape {
     }
 }
 
+/// Timing view of the fault model: the functional plan/policy from
+/// `smx-coproc` plus the cycle cost of a core-side tile recompute (the
+/// software fallback), which the functional layer cannot price.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultTiming {
+    /// The deterministic fault plan to inject.
+    pub plan: FaultPlan,
+    /// Tile-level recovery policy (retries, backoff, watchdog).
+    pub policy: RecoveryPolicy,
+    /// Cycles charged for one software-fallback tile recompute.
+    pub fallback_cycles: u64,
+}
+
+impl FaultTiming {
+    /// A timing config for `plan` under `policy` at element width `ew`:
+    /// the software recompute of a `VL × VL` tile is priced at ~2 cycles
+    /// per DP-cell on the SMX-1D path.
+    #[must_use]
+    pub fn for_ew(ew: ElementWidth, plan: FaultPlan, policy: RecoveryPolicy) -> FaultTiming {
+        let vl = ew.vl() as u64;
+        FaultTiming { plan, policy, fallback_cycles: 2 * vl * vl }
+    }
+}
+
+/// A cycle-stamped fault record from the detailed simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimFaultEvent {
+    /// Cycle at which the fault was detected and resolved.
+    pub cycle: u64,
+    /// Worker that owned the tile.
+    pub worker: usize,
+    /// Global tile row within the block.
+    pub ti: usize,
+    /// Global tile column within the block.
+    pub tj: usize,
+    /// Zero-based attempt at which the fault fired.
+    pub attempt: u32,
+    /// The injected failure mode.
+    pub kind: FaultKind,
+    /// How recovery responded.
+    pub action: RecoveryAction,
+}
+
 /// Result of simulating a batch of blocks on one coprocessor.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CoprocResult {
@@ -175,8 +219,9 @@ impl SupertileRun {
 
 #[derive(Debug)]
 struct WorkerSim {
-    blocks: VecDeque<BlockShape>,
+    blocks: VecDeque<(u64, BlockShape)>,
     shape: Option<BlockShape>,
+    job_id: u64,
     st_index: usize, // row-major over the supertile grid
     run: Option<SupertileRun>,
     phase: Phase,
@@ -185,10 +230,11 @@ struct WorkerSim {
 }
 
 impl WorkerSim {
-    fn new(blocks: VecDeque<BlockShape>) -> WorkerSim {
+    fn new(blocks: VecDeque<(u64, BlockShape)>) -> WorkerSim {
         let mut w = WorkerSim {
             blocks,
             shape: None,
+            job_id: 0,
             st_index: 0,
             run: None,
             phase: Phase::Fetch { remaining: 0, last_completion: 0 },
@@ -201,8 +247,9 @@ impl WorkerSim {
 
     fn next_block(&mut self, t: u64, dispatch: u64) {
         match self.blocks.pop_front() {
-            Some(shape) => {
+            Some((job_id, shape)) => {
                 self.shape = Some(shape);
+                self.job_id = job_id;
                 self.st_index = 0;
                 self.ready = t + dispatch;
                 self.start_supertile();
@@ -241,10 +288,34 @@ impl CoprocSim {
     /// configured workers, and returns the timing result.
     #[must_use]
     pub fn simulate(&self, jobs: &[BlockShape]) -> CoprocResult {
+        self.simulate_inner(jobs, None).0
+    }
+
+    /// Simulates the batch under a fault plan: each injected fault costs
+    /// its detection latency (watchdog wait for stalls, a pipeline drain
+    /// for checksum failures) plus retry backoff or the software-fallback
+    /// recompute, serialized on the owning worker. Returns the timing
+    /// result and the cycle-stamped fault events in detection order per
+    /// worker.
+    #[must_use]
+    pub fn simulate_with_faults(
+        &self,
+        jobs: &[BlockShape],
+        faults: &FaultTiming,
+    ) -> (CoprocResult, Vec<SimFaultEvent>) {
+        self.simulate_inner(jobs, Some(faults))
+    }
+
+    fn simulate_inner(
+        &self,
+        jobs: &[BlockShape],
+        faults: Option<&FaultTiming>,
+    ) -> (CoprocResult, Vec<SimFaultEvent>) {
         let cfg = self.cfg;
-        let mut queues: Vec<VecDeque<BlockShape>> = vec![VecDeque::new(); cfg.workers];
+        let mut events: Vec<SimFaultEvent> = Vec::new();
+        let mut queues: Vec<VecDeque<(u64, BlockShape)>> = vec![VecDeque::new(); cfg.workers];
         for (i, &j) in jobs.iter().enumerate() {
-            queues[i % cfg.workers].push_back(j);
+            queues[i % cfg.workers].push_back((i as u64, j));
         }
         let mut workers: Vec<WorkerSim> = queues.into_iter().map(WorkerSim::new).collect();
         let mut engine = Resource::default();
@@ -296,25 +367,70 @@ impl CoprocSim {
                     let run = w.run.as_ref().expect("supertile active");
                     let lb = if *idx == 0 { *diag_lb } else { (*last_grant) + 1 };
                     let g = engine.grant(lb.max(t));
+                    // Fault handling serializes on the owning worker: each
+                    // firing costs its detection latency (watchdog wait or
+                    // pipeline drain) plus retry backoff or the software
+                    // fallback recompute.
+                    let mut delay = 0u64;
+                    if let Some(ft) = faults {
+                        let shape = w.shape.expect("block active");
+                        let (si, sj) =
+                            (w.st_index / shape.st_cols(), w.st_index % shape.st_cols());
+                        let lo = diag.saturating_sub(run.k_cols - 1);
+                        let li = lo + *idx;
+                        let lj = *diag - li;
+                        let ti = si * shape.st_side + li;
+                        let tj = sj * shape.st_side + lj;
+                        let epoch = (w.job_id << 16) | w.st_index as u64;
+                        let mut attempt: u32 = 0;
+                        while let Some(kind) = ft.plan.draw(epoch, ti, tj, attempt) {
+                            delay += match kind {
+                                FaultKind::WorkerStall => ft.policy.watchdog_cycles,
+                                _ => cfg.pipeline_depth,
+                            };
+                            let action = if attempt < ft.policy.max_retries {
+                                delay += ft.policy.backoff_cycles;
+                                RecoveryAction::Retried
+                            } else if ft.policy.software_fallback {
+                                delay += ft.fallback_cycles;
+                                RecoveryAction::FellBack
+                            } else {
+                                RecoveryAction::Exhausted
+                            };
+                            events.push(SimFaultEvent {
+                                cycle: g + delay,
+                                worker: w_idx,
+                                ti,
+                                tj,
+                                attempt,
+                                kind,
+                                action,
+                            });
+                            if action != RecoveryAction::Retried {
+                                break;
+                            }
+                            attempt += 1;
+                        }
+                    }
                     if *idx == 0 {
                         *diag_first_grant = g;
                     }
                     *last_grant = g;
                     *idx += 1;
-                    makespan = makespan.max(g + cfg.pipeline_depth);
+                    makespan = makespan.max(g + cfg.pipeline_depth + delay);
                     if *idx == run.diag_len(*diag) {
                         *idx = 0;
                         *diag += 1;
                         *diag_lb = *diag_first_grant + cfg.pipeline_depth + cfg.forward_latency;
                         if *diag == run.diag_count() {
                             // Outputs drain after the pipeline depth.
-                            w.ready = g + cfg.pipeline_depth;
+                            w.ready = g + cfg.pipeline_depth + delay;
                             w.phase = Phase::Store { remaining: store_total };
                         } else {
-                            w.ready = g + 1;
+                            w.ready = g + 1 + delay;
                         }
                     } else {
-                        w.ready = g + 1;
+                        w.ready = g + 1 + delay;
                     }
                 }
                 Phase::Store { remaining } => {
@@ -337,13 +453,14 @@ impl CoprocSim {
 
         let tiles: u64 = jobs.iter().map(BlockShape::tiles).sum();
         let cycles = makespan.max(1);
-        CoprocResult {
+        let result = CoprocResult {
             cycles,
             tiles,
             utilization: tiles as f64 / cycles as f64,
             port_grants: port.grants(),
             port_utilization: port.grants() as f64 / cycles as f64,
-        }
+        };
+        (result, events)
     }
 
     /// Convenience: simulate `count` identical blocks.
@@ -451,6 +568,64 @@ mod tests {
         let r0 = sim(ElementWidth::W2, 4).simulate_uniform(s0, 4);
         let r1 = sim(ElementWidth::W2, 4).simulate_uniform(s1, 4);
         assert!(r1.port_grants > r0.port_grants);
+    }
+
+    #[test]
+    fn fault_free_plan_matches_plain_simulation() {
+        let shape = BlockShape::from_dims(1000, 1000, ElementWidth::W2, false);
+        let sim = sim(ElementWidth::W2, 4);
+        let plain = sim.simulate_uniform(shape, 4);
+        let ft = FaultTiming::for_ew(
+            ElementWidth::W2,
+            FaultPlan::none(),
+            RecoveryPolicy::default(),
+        );
+        let (faulty, events) = sim.simulate_with_faults(&[shape; 4], &ft);
+        assert_eq!(faulty, plain);
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn faults_slow_the_batch_and_stamp_events() {
+        let shape = BlockShape::from_dims(2000, 2000, ElementWidth::W2, false);
+        let jobs = vec![shape; 4];
+        let sim = sim(ElementWidth::W2, 4);
+        let clean = sim.simulate(&jobs);
+        let ft = FaultTiming::for_ew(
+            ElementWidth::W2,
+            FaultPlan::new(42, 1e-2),
+            RecoveryPolicy::default(),
+        );
+        let (faulty, events) = sim.simulate_with_faults(&jobs, &ft);
+        assert!(faulty.cycles > clean.cycles, "{} vs {}", faulty.cycles, clean.cycles);
+        assert!(!events.is_empty());
+        let (rows, cols) = (shape.tile_rows, shape.tile_cols);
+        for e in &events {
+            assert!(e.cycle <= faulty.cycles);
+            assert!(e.ti < rows && e.tj < cols, "tile ({}, {})", e.ti, e.tj);
+        }
+        // Deterministic replay: same plan, same events, same makespan.
+        let (again, events2) = sim.simulate_with_faults(&jobs, &ft);
+        assert_eq!(again, faulty);
+        assert_eq!(events2, events);
+    }
+
+    #[test]
+    fn higher_fault_rate_costs_more_cycles() {
+        let shape = BlockShape::from_dims(2000, 2000, ElementWidth::W4, false);
+        let jobs = vec![shape; 4];
+        let sim = sim(ElementWidth::W4, 4);
+        let mut prev = 0u64;
+        for rate in [1e-4, 1e-3, 1e-2, 1e-1] {
+            let ft = FaultTiming::for_ew(
+                ElementWidth::W4,
+                FaultPlan::new(7, rate),
+                RecoveryPolicy::default(),
+            );
+            let (r, _) = sim.simulate_with_faults(&jobs, &ft);
+            assert!(r.cycles >= prev, "rate {rate}: {} < {prev}", r.cycles);
+            prev = r.cycles;
+        }
     }
 
     #[test]

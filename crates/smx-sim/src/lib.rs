@@ -42,7 +42,9 @@ pub mod detailed;
 pub mod mem;
 pub mod system;
 
-pub use coproc::{BlockShape, CoprocResult, CoprocSim, CoprocTimingConfig};
+pub use coproc::{
+    BlockShape, CoprocResult, CoprocSim, CoprocTimingConfig, FaultTiming, SimFaultEvent,
+};
 pub use cpu::{kernel_cycles, CpuConfig, LoopKernel, UopClass};
 pub use mem::MemParams;
 pub use system::{pipeline_makespan, TaskTiming};

@@ -90,6 +90,74 @@ proptest! {
         prop_assert_eq!(r.port_grants, st * 6 * blocks as u64);
     }
 
+    /// Headline robustness invariant: at any injected fault rate the
+    /// recovered alignment is byte-identical (score *and* CIGAR) to the
+    /// fault-free run, and the recovery counters stay consistent
+    /// (fallbacks <= retries <= faults injected, every fault detected).
+    #[test]
+    fn recovery_is_byte_identical_under_random_faults(
+        seed in 0u64..10_000,
+        m in 1usize..140,
+        n in 1usize..140,
+        cfg_idx in 0usize..4,
+        rate in 0.0f64..0.6,
+    ) {
+        let config = AlignmentConfig::ALL[cfg_idx];
+        let card = config.alphabet().cardinality() as u64;
+        let gen = |mut x: u64, len: usize| -> Vec<u8> {
+            (0..len).map(|_| { x ^= x << 13; x ^= x >> 7; x ^= x << 17; (x % card) as u8 }).collect()
+        };
+        let q = Sequence::from_codes(config.alphabet(), gen(seed | 1, m)).unwrap();
+        let r = Sequence::from_codes(config.alphabet(), gen((seed * 31 + 7) | 1, n)).unwrap();
+
+        let mut clean = SmxDevice::new(config, 2).unwrap();
+        let reference = clean.align(&q, &r).unwrap();
+
+        let mut faulty = SmxDevice::new(config, 2).unwrap();
+        faulty.enable_fault_injection(FaultPlan::new(seed, rate), RecoveryPolicy::default());
+        let recovered = faulty.align(&q, &r).unwrap();
+
+        prop_assert_eq!(recovered.score, reference.score);
+        prop_assert_eq!(recovered.cigar.to_string(), reference.cigar.to_string());
+        let s = faulty.recovery_stats();
+        prop_assert!(s.invariants_hold(), "counter invariants violated: {:?}", s);
+        prop_assert_eq!(s.faults_detected, s.faults_injected);
+        prop_assert!(s.fallbacks <= s.retries || s.retries == 0);
+        prop_assert!(s.fallbacks + s.retries == 0 || s.faults_injected > 0);
+    }
+
+    /// With retries and tile fallback disabled, graceful degradation to
+    /// the software golden model still reproduces the fault-free output
+    /// byte for byte.
+    #[test]
+    fn strict_policy_degrades_byte_identically(
+        seed in 0u64..10_000,
+        m in 1usize..100,
+        n in 1usize..100,
+        rate in 0.05f64..1.0,
+    ) {
+        let config = AlignmentConfig::DnaGap;
+        let gen = |mut x: u64, len: usize| -> Vec<u8> {
+            (0..len).map(|_| { x ^= x << 13; x ^= x >> 7; x ^= x << 17; (x % 4) as u8 }).collect()
+        };
+        let q = Sequence::from_codes(config.alphabet(), gen(seed | 1, m)).unwrap();
+        let r = Sequence::from_codes(config.alphabet(), gen((seed * 131 + 3) | 1, n)).unwrap();
+
+        let mut clean = SmxDevice::new(config, 2).unwrap();
+        let reference = clean.align(&q, &r).unwrap();
+
+        let mut faulty = SmxDevice::new(config, 2).unwrap();
+        faulty.enable_fault_injection(FaultPlan::new(seed, rate), RecoveryPolicy::strict());
+        let recovered = faulty.align(&q, &r).unwrap();
+
+        prop_assert_eq!(recovered.score, reference.score);
+        prop_assert_eq!(recovered.cigar.to_string(), reference.cigar.to_string());
+        let s = faulty.recovery_stats();
+        prop_assert!(s.software_alignments <= 1);
+        prop_assert!(s.faults_injected == 0 || s.software_alignments == 1,
+            "a strict-policy fault must degrade to software: {:?}", s);
+    }
+
     /// Timing monotonicity: more work never takes fewer cycles, on any
     /// engine.
     #[test]
