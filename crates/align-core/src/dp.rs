@@ -81,17 +81,21 @@ pub fn full_matrix(query: &[u8], reference: &[u8], scheme: &ScoringScheme) -> Dp
     let (m, n) = (query.len(), reference.len());
     let mut dp = DpMatrix { rows: m + 1, cols: n + 1, data: vec![0; (m + 1) * (n + 1)] };
     let (gi, gd) = (scheme.gap_insert(), scheme.gap_delete());
+    // Saturating arithmetic throughout: pathological lengths × penalties
+    // (`i as i32 * gi` and long accumulation chains) must clamp instead of
+    // wrapping, so extreme inputs stay well-defined.
     for i in 1..=m {
-        dp.set(i, 0, i as i32 * gi);
+        dp.set(i, 0, (i as i32).saturating_mul(gi));
     }
     for j in 1..=n {
-        dp.set(0, j, j as i32 * gd);
+        dp.set(0, j, (j as i32).saturating_mul(gd));
     }
     for i in 1..=m {
         for j in 1..=n {
-            let diag = dp.get(i - 1, j - 1) + scheme.score(query[i - 1], reference[j - 1]);
-            let up = dp.get(i - 1, j) + gi;
-            let left = dp.get(i, j - 1) + gd;
+            let diag =
+                dp.get(i - 1, j - 1).saturating_add(scheme.score(query[i - 1], reference[j - 1]));
+            let up = dp.get(i - 1, j).saturating_add(gi);
+            let left = dp.get(i, j - 1).saturating_add(gd);
             dp.set(i, j, diag.max(up).max(left));
         }
     }
@@ -111,14 +115,14 @@ pub fn score_only(query: &[u8], reference: &[u8], scheme: &ScoringScheme) -> i32
 pub fn last_row(query: &[u8], reference: &[u8], scheme: &ScoringScheme) -> Vec<i32> {
     let n = reference.len();
     let (gi, gd) = (scheme.gap_insert(), scheme.gap_delete());
-    let mut row: Vec<i32> = (0..=n as i32).map(|j| j * gd).collect();
+    let mut row: Vec<i32> = (0..=n as i32).map(|j| j.saturating_mul(gd)).collect();
     for (i, &q) in query.iter().enumerate() {
         let mut prev_diag = row[0];
-        row[0] = (i as i32 + 1) * gi;
+        row[0] = (i as i32 + 1).saturating_mul(gi);
         for j in 1..=n {
-            let diag = prev_diag + scheme.score(q, reference[j - 1]);
-            let up = row[j] + gi;
-            let left = row[j - 1] + gd;
+            let diag = prev_diag.saturating_add(scheme.score(q, reference[j - 1]));
+            let up = row[j].saturating_add(gi);
+            let left = row[j - 1].saturating_add(gd);
             prev_diag = row[j];
             row[j] = diag.max(up).max(left);
         }
@@ -137,16 +141,22 @@ pub fn traceback(dp: &DpMatrix, query: &[u8], reference: &[u8], scheme: &Scoring
     let mut cigar = Cigar::new();
     while i > 0 || j > 0 {
         let here = dp.get(i, j);
-        if i > 0 && j > 0 && here == dp.get(i - 1, j - 1) + scheme.score(query[i - 1], reference[j - 1])
+        if i > 0
+            && j > 0
+            && here
+                == dp.get(i - 1, j - 1).saturating_add(scheme.score(query[i - 1], reference[j - 1]))
         {
             cigar.push(if query[i - 1] == reference[j - 1] { Op::Match } else { Op::Mismatch });
             i -= 1;
             j -= 1;
-        } else if i > 0 && here == dp.get(i - 1, j) + gi {
+        } else if i > 0 && here == dp.get(i - 1, j).saturating_add(gi) {
             cigar.push(Op::Insert);
             i -= 1;
         } else {
-            debug_assert!(j > 0 && here == dp.get(i, j - 1) + gd, "broken traceback at ({i},{j})");
+            debug_assert!(
+                j > 0 && here == dp.get(i, j - 1).saturating_add(gd),
+                "broken traceback at ({i},{j})"
+            );
             cigar.push(Op::Delete);
             j -= 1;
         }
@@ -310,6 +320,55 @@ mod tests {
         assert_eq!(dp.get(2, 0), -4);
         assert_eq!(dp.get(0, 1), -3);
         assert_eq!(dp.get(0, 3), -9);
+    }
+
+    #[test]
+    fn extreme_penalties_and_lengths_saturate_instead_of_overflowing() {
+        // 5000 rows x a -1e6 gap penalty drives the border init past
+        // i32::MIN (-5e9); without saturating arithmetic this wraps (and
+        // panics in debug builds). The score must stay well-defined and
+        // the three entry points must agree with each other.
+        let scheme = ScoringScheme::linear(1, -1_000_000_000, -1_000_000_000).unwrap();
+        let q = vec![0u8; 5000];
+        let r = vec![1u8; 4000];
+        let dp = full_matrix(&q, &r, &scheme);
+        assert_eq!(dp.get(5000, 0), i32::MIN, "border init must saturate");
+        assert_eq!(dp.final_score(), score_only(&q, &r, &scheme));
+        let row = last_row(&q, &r, &scheme);
+        assert_eq!(row[r.len()], dp.final_score());
+        // The traceback must still terminate and cover both sequences.
+        let cigar = traceback(&dp, &q, &r, &scheme);
+        assert_eq!(cigar.query_len() as usize, q.len());
+        assert_eq!(cigar.reference_len() as usize, r.len());
+    }
+
+    #[test]
+    fn degenerate_inputs_are_well_defined() {
+        let scheme = ScoringScheme::linear(1, -1, -2).unwrap();
+        // Empty query: the whole reference is deleted.
+        let a = align_codes(&[], &[0, 1, 2], &scheme);
+        assert_eq!(a.score, 3 * scheme.gap_delete());
+        assert_eq!(a.cigar.to_string(), "3D");
+        a.verify(&[], &[0, 1, 2], &scheme).unwrap();
+        // Empty reference: the whole query is inserted.
+        let a = align_codes(&[0, 1], &[], &scheme);
+        assert_eq!(a.score, 2 * scheme.gap_insert());
+        assert_eq!(a.cigar.to_string(), "2I");
+        // Both empty: zero score, empty CIGAR.
+        let a = align_codes(&[], &[], &scheme);
+        assert_eq!(a.score, 0);
+        assert!(a.cigar.runs().is_empty());
+        // Single symbols.
+        let a = align_codes(&[1], &[1], &scheme);
+        assert_eq!(a.score, 1);
+        assert_eq!(a.cigar.to_string(), "1=");
+        let a = align_codes(&[1], &[2], &scheme);
+        a.verify(&[1], &[2], &scheme).unwrap();
+        // query == reference: all matches, perfect score.
+        let q: Vec<u8> = (0..64).map(|i| (i % 4) as u8).collect();
+        let a = align_codes(&q, &q, &scheme);
+        assert_eq!(a.score, 64);
+        assert_eq!(a.cigar.to_string(), "64=");
     }
 
     #[test]

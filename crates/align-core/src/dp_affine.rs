@@ -54,14 +54,21 @@ impl AffineScheme {
         }
     }
 
-    /// Total penalty of a gap of `k` characters.
+    /// Total penalty of a gap of `k` characters (saturating: pathological
+    /// lengths × penalties clamp instead of wrapping).
     #[must_use]
     pub fn gap(&self, k: u32) -> i32 {
         if k == 0 {
             0
         } else {
-            self.gap_open + k as i32 * self.gap_extend
+            self.gap_open.saturating_add((k as i32).saturating_mul(self.gap_extend))
         }
+    }
+
+    /// `gap_open + gap_extend`, saturating — the cost of starting a new
+    /// gap segment, shared by the fill and traceback recurrences.
+    fn open_extend(&self) -> i32 {
+        self.gap_open.saturating_add(self.gap_extend)
     }
 }
 
@@ -98,15 +105,16 @@ pub fn affine_align(query: &[u8], reference: &[u8], scheme: &AffineScheme) -> Re
             let left = i * w + j - 1;
             let diag = (i - 1) * w + j - 1;
             let s = scheme.score(query[i - 1], reference[j - 1]);
+            let oe = scheme.open_extend();
             let best_prev = mm[diag].max(ii[diag]).max(dd[diag]);
-            mm[idx] = if best_prev <= NEG / 2 { NEG } else { best_prev + s };
-            ii[idx] = (mm[up] + scheme.gap_open + scheme.gap_extend)
-                .max(ii[up] + scheme.gap_extend)
-                .max(dd[up] + scheme.gap_open + scheme.gap_extend)
+            mm[idx] = if best_prev <= NEG / 2 { NEG } else { best_prev.saturating_add(s) };
+            ii[idx] = (mm[up].saturating_add(oe))
+                .max(ii[up].saturating_add(scheme.gap_extend))
+                .max(dd[up].saturating_add(oe))
                 .max(NEG);
-            dd[idx] = (mm[left] + scheme.gap_open + scheme.gap_extend)
-                .max(dd[left] + scheme.gap_extend)
-                .max(ii[left] + scheme.gap_open + scheme.gap_extend)
+            dd[idx] = (mm[left].saturating_add(oe))
+                .max(dd[left].saturating_add(scheme.gap_extend))
+                .max(ii[left].saturating_add(oe))
                 .max(NEG);
         }
     }
@@ -130,7 +138,7 @@ pub fn affine_align(query: &[u8], reference: &[u8], scheme: &AffineScheme) -> Re
                 debug_assert!(i > 0 && j > 0, "M layer at border");
                 cigar.push(if query[i - 1] == reference[j - 1] { Op::Match } else { Op::Mismatch });
                 let diag = (i - 1) * w + j - 1;
-                let v = mm[idx] - scheme.score(query[i - 1], reference[j - 1]);
+                let v = mm[idx].saturating_sub(scheme.score(query[i - 1], reference[j - 1]));
                 layer = if v == mm[diag] {
                     0
                 } else if v == ii[diag] {
@@ -146,9 +154,9 @@ pub fn affine_align(query: &[u8], reference: &[u8], scheme: &AffineScheme) -> Re
                 cigar.push(Op::Insert);
                 let up = (i - 1) * w + j;
                 let v = ii[idx];
-                layer = if v == mm[up] + scheme.gap_open + scheme.gap_extend {
+                layer = if v == mm[up].saturating_add(scheme.open_extend()) {
                     0
-                } else if v == ii[up] + scheme.gap_extend {
+                } else if v == ii[up].saturating_add(scheme.gap_extend) {
                     1
                 } else {
                     2
@@ -160,9 +168,9 @@ pub fn affine_align(query: &[u8], reference: &[u8], scheme: &AffineScheme) -> Re
                 cigar.push(Op::Delete);
                 let left = i * w + j - 1;
                 let v = dd[idx];
-                layer = if v == mm[left] + scheme.gap_open + scheme.gap_extend {
+                layer = if v == mm[left].saturating_add(scheme.open_extend()) {
                     0
-                } else if v == dd[left] + scheme.gap_extend {
+                } else if v == dd[left].saturating_add(scheme.gap_extend) {
                     2
                 } else {
                     1
@@ -203,15 +211,16 @@ pub fn affine_score(query: &[u8], reference: &[u8], scheme: &AffineScheme) -> i3
         for j in 1..=n {
             let (pm, pi, pd) = (mm[j], ii[j], dd[j]);
             let s = scheme.score(q, reference[j - 1]);
+            let oe = scheme.open_extend();
             let best_prev = diag_m.max(diag_i).max(diag_d);
-            let new_m = if best_prev <= NEG / 2 { NEG } else { best_prev + s };
-            let new_i = (pm + scheme.gap_open + scheme.gap_extend)
-                .max(pi + scheme.gap_extend)
-                .max(pd + scheme.gap_open + scheme.gap_extend)
+            let new_m = if best_prev <= NEG / 2 { NEG } else { best_prev.saturating_add(s) };
+            let new_i = (pm.saturating_add(oe))
+                .max(pi.saturating_add(scheme.gap_extend))
+                .max(pd.saturating_add(oe))
                 .max(NEG);
-            let new_d = (mm[j - 1] + scheme.gap_open + scheme.gap_extend)
-                .max(dd[j - 1] + scheme.gap_extend)
-                .max(ii[j - 1] + scheme.gap_open + scheme.gap_extend)
+            let new_d = (mm[j - 1].saturating_add(oe))
+                .max(dd[j - 1].saturating_add(scheme.gap_extend))
+                .max(ii[j - 1].saturating_add(oe))
                 .max(NEG);
             diag_m = pm;
             diag_i = pi;
@@ -288,6 +297,36 @@ mod tests {
         let a = affine_align(&q, &q, &s()).unwrap();
         assert_eq!(a.score, 12);
         assert_eq!(a.cigar.to_string(), "6=");
+    }
+
+    #[test]
+    fn extreme_penalties_saturate_instead_of_overflowing() {
+        // gap(k) = open + k·extend overflows i32 for k = 4000 at a -1e9
+        // extend penalty; the recurrences must clamp, stay consistent
+        // between the full and score-only variants, and terminate.
+        let scheme = AffineScheme::new(1, -1, -1_000_000_000, -1_000_000_000).unwrap();
+        assert_eq!(scheme.gap(4000), i32::MIN);
+        let q = vec![0u8; 3000];
+        let r = vec![1u8; 2500];
+        let a = affine_align(&q, &r, &scheme).unwrap();
+        assert_eq!(a.score, affine_score(&q, &r, &scheme));
+        assert_eq!(a.cigar.query_len() as usize, q.len());
+        assert_eq!(a.cigar.reference_len() as usize, r.len());
+    }
+
+    #[test]
+    fn degenerate_inputs_yield_typed_errors_or_defined_results() {
+        let scheme = s();
+        // Empty inputs are a typed error, never a panic.
+        assert!(matches!(affine_align(&[], &[0, 1], &scheme), Err(AlignError::EmptySequence)));
+        assert!(matches!(affine_align(&[0, 1], &[], &scheme), Err(AlignError::EmptySequence)));
+        assert!(matches!(affine_align(&[], &[], &scheme), Err(AlignError::EmptySequence)));
+        // Single symbols are well-defined.
+        let a = affine_align(&[1], &[1], &scheme).unwrap();
+        assert_eq!(a.cigar.to_string(), "1=");
+        assert_eq!(a.score, affine_score(&[1], &[1], &scheme));
+        let a = affine_align(&[1], &[2], &scheme).unwrap();
+        assert_eq!(a.score, affine_score(&[1], &[2], &scheme));
     }
 
     #[test]

@@ -43,10 +43,13 @@ pub fn local_align(
     let (mut best, mut bi, mut bj) = (0i32, 0usize, 0usize);
     for i in 1..=m {
         for j in 1..=n {
-            let v = (h[(i - 1) * w + j - 1] + scheme.score(query[i - 1], reference[j - 1]))
-                .max(h[(i - 1) * w + j] + gi)
-                .max(h[i * w + j - 1] + gd)
-                .max(0);
+            // Saturating: huge match scores or penalties clamp instead of
+            // wrapping on pathological inputs.
+            let v = (h[(i - 1) * w + j - 1]
+                .saturating_add(scheme.score(query[i - 1], reference[j - 1])))
+            .max(h[(i - 1) * w + j].saturating_add(gi))
+            .max(h[i * w + j - 1].saturating_add(gd))
+            .max(0);
             h[i * w + j] = v;
             if v > best {
                 best = v;
@@ -60,14 +63,15 @@ pub fn local_align(
     let mut cigar = Cigar::new();
     while i > 0 && j > 0 && h[i * w + j] > 0 {
         let here = h[i * w + j];
-        if here == h[(i - 1) * w + j - 1] + scheme.score(query[i - 1], reference[j - 1]) {
+        if here == h[(i - 1) * w + j - 1].saturating_add(scheme.score(query[i - 1], reference[j - 1]))
+        {
             cigar.push(if query[i - 1] == reference[j - 1] { Op::Match } else { Op::Mismatch });
             i -= 1;
             j -= 1;
-        } else if here == h[(i - 1) * w + j] + gi {
+        } else if here == h[(i - 1) * w + j].saturating_add(gi) {
             cigar.push(Op::Insert);
             i -= 1;
-        } else if here == h[i * w + j - 1] + gd {
+        } else if here == h[i * w + j - 1].saturating_add(gd) {
             cigar.push(Op::Delete);
             j -= 1;
         } else {
@@ -94,9 +98,9 @@ pub fn local_score(query: &[u8], reference: &[u8], scheme: &ScoringScheme) -> i3
     for &q in query {
         let mut diag = row[0];
         for j in 1..=n {
-            let v = (diag + scheme.score(q, reference[j - 1]))
-                .max(row[j] + gi)
-                .max(row[j - 1] + gd)
+            let v = (diag.saturating_add(scheme.score(q, reference[j - 1])))
+                .max(row[j].saturating_add(gi))
+                .max(row[j - 1].saturating_add(gd))
                 .max(0);
             diag = row[j];
             row[j] = v;
@@ -113,6 +117,31 @@ mod tests {
 
     fn scheme() -> ScoringScheme {
         ScoringScheme::linear(2, -3, -3).unwrap()
+    }
+
+    #[test]
+    fn extreme_scores_saturate_instead_of_overflowing() {
+        // A 2e9 match score over 3000 identical symbols would blow past
+        // i32::MAX without saturation; both variants must clamp and agree.
+        let scheme = ScoringScheme::linear(2_000_000_000, -1, -1).unwrap();
+        let q = vec![0u8; 3000];
+        let a = local_align(&q, &q, &scheme).unwrap();
+        assert_eq!(a.score, i32::MAX);
+        assert_eq!(a.score, local_score(&q, &q, &scheme));
+    }
+
+    #[test]
+    fn degenerate_inputs_yield_typed_errors_or_defined_results() {
+        let s = scheme();
+        assert!(matches!(local_align(&[], &[0], &s), Err(AlignError::EmptySequence)));
+        assert!(matches!(local_align(&[0], &[], &s), Err(AlignError::EmptySequence)));
+        let a = local_align(&[1], &[1], &s).unwrap();
+        assert_eq!(a.score, 2);
+        assert_eq!(a.cigar.to_string(), "1=");
+        // Single dissimilar symbols: empty zero-score alignment.
+        let a = local_align(&[1], &[2], &s).unwrap();
+        assert_eq!(a.score, 0);
+        assert!(a.cigar.runs().is_empty());
     }
 
     #[test]

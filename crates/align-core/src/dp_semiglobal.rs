@@ -151,6 +151,22 @@ mod tests {
         assert_eq!(a.cigar.score(&q, seg, &s).unwrap(), a.score);
     }
 
+    #[test]
+    fn degenerate_inputs_yield_typed_errors_or_defined_results() {
+        let s = scheme();
+        assert!(matches!(semiglobal_align(&[], &[0], &s), Err(AlignError::EmptySequence)));
+        assert!(matches!(semiglobal_align(&[0], &[], &s), Err(AlignError::EmptySequence)));
+        // A single-symbol query placed on its match in the reference.
+        let a = semiglobal_align(&[2], &[0, 2, 1], &s).unwrap();
+        assert_eq!(a.score, 2);
+        assert_eq!(a.cigar.to_string(), "1=");
+        // query == reference: end-to-end perfect placement.
+        let q: Vec<u8> = (0..32).map(|i| (i % 4) as u8).collect();
+        let a = semiglobal_align(&q, &q, &s).unwrap();
+        assert_eq!(a.score, 64);
+        assert_eq!(a.reference_range, 0..32);
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(32))]
         #[test]

@@ -72,6 +72,15 @@ pub enum AlignError {
         /// Retries spent on the tile before giving up.
         retries: u32,
     },
+    /// The pair's cancellation token was triggered; the alignment was
+    /// abandoned cooperatively at a tile boundary.
+    Cancelled,
+    /// The pair's wall-clock deadline expired before the alignment
+    /// completed (checked at tile boundaries via the watchdog hook).
+    DeadlineExceeded {
+        /// The per-pair budget that was exceeded, in milliseconds.
+        budget_ms: u64,
+    },
     /// An internal invariant was violated (indicates a bug, surfaced as an
     /// error rather than a panic for robustness in harnesses).
     Internal(String),
@@ -122,6 +131,10 @@ impl fmt::Display for AlignError {
                 f,
                 "recovery exhausted after {retries} retries on tile ({ti}, {tj})"
             ),
+            AlignError::Cancelled => write!(f, "alignment cancelled"),
+            AlignError::DeadlineExceeded { budget_ms } => {
+                write!(f, "deadline of {budget_ms} ms exceeded")
+            }
             AlignError::Internal(msg) => write!(f, "internal invariant violated: {msg}"),
         }
     }
@@ -146,6 +159,8 @@ mod tests {
             AlignError::WorkerTimeout { ti: 0, tj: 3, deadline_cycles: 64 },
             AlignError::PackDivergence { position: 17 },
             AlignError::RecoveryExhausted { ti: 2, tj: 2, retries: 3 },
+            AlignError::Cancelled,
+            AlignError::DeadlineExceeded { budget_ms: 250 },
             AlignError::Internal("oops".into()),
         ];
         for e in errs {
@@ -171,6 +186,10 @@ mod tests {
             .is_recoverable_fault());
         assert!(!AlignError::EmptySequence.is_recoverable_fault());
         assert!(!AlignError::AlphabetMismatch.is_recoverable_fault());
+        // Cancellation and deadline expiry must never trigger the software
+        // fallback: retrying or degrading would defeat their purpose.
+        assert!(!AlignError::Cancelled.is_recoverable_fault());
+        assert!(!AlignError::DeadlineExceeded { budget_ms: 1 }.is_recoverable_fault());
         assert!(!AlignError::PackDivergence { position: 0 }.is_recoverable_fault());
         assert!(!AlignError::Internal("x".into()).is_recoverable_fault());
     }

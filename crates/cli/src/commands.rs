@@ -16,6 +16,10 @@ commands:
            [--pretty]
            [--fault-rate F] [--fault-seed N] [--max-retries N] [--backoff N]
            [--watchdog N] [--strict] [--no-degrade]
+           [--jobs N] [--queue-cap N] [--shed] [--deadline-ms N]
+           [--checkpoint <manifest>] [--resume <manifest>]
+           [--breaker] [--breaker-window N] [--breaker-threshold F]
+           [--breaker-cooldown N] [--breaker-probes N]
            <query.fa|fastq> <reference.fa|fastq>
   datagen  --config <cfg> --len N --count N [--profile perfect|moderate|hifi|ont]
            [--sv N] [--seed N] --out <pairs.fa>
@@ -31,7 +35,17 @@ fault injection (align): --fault-rate > 0 runs the functional SMX device
 with a seeded deterministic fault plan; faulty tiles are retried
 (--max-retries, --backoff cycles) and then recomputed in software unless
 --strict; --no-degrade fails a poisoned pair closed with a structured
-error instead of falling back to a full software alignment.
+error instead of falling back to a full software alignment. --strict
+also exits non-zero when any pair in a batch fails.
+
+batch service (align): --jobs > 1 runs the batch through a worker pool
+of device clones fed from a bounded queue (--queue-cap); a full queue
+blocks the submitter unless --shed drops the pair. --deadline-ms bounds
+each pair's wall-clock time, enforced at tile boundaries. --breaker
+(tuned by --breaker-window/-threshold/-cooldown/-probes) trips the pool
+to the software baseline when the device fault rate spikes, probing its
+way back. --checkpoint appends completed pairs to a crash-safe manifest;
+--resume skips pairs already recorded there, byte-identically.
 ";
 
 fn parse_config(name: &str) -> Result<AlignmentConfig, String> {
@@ -104,6 +118,9 @@ pub fn align(args: &Args) -> Result<(), String> {
     }
 
     let fault_rate = args.get_num("fault-rate", 0.0f64).map_err(|e| e.to_string())?;
+    if service_requested(args) {
+        return align_service(args, &named, config, workers, fault_rate);
+    }
     if fault_rate > 0.0 {
         return align_resilient(args, &named, config, workers, fault_rate);
     }
@@ -141,6 +158,180 @@ pub fn align(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Whether any batch-service flag was given, routing `align` through the
+/// [`BatchExecutor`] instead of the plain sequential paths.
+fn service_requested(args: &Args) -> bool {
+    args.get("jobs").is_some()
+        || args.get("queue-cap").is_some()
+        || args.get("deadline-ms").is_some()
+        || args.get("checkpoint").is_some()
+        || args.get("resume").is_some()
+        || args.switch("shed")
+        || args.switch("breaker")
+        || args.get("breaker-window").is_some()
+        || args.get("breaker-threshold").is_some()
+        || args.get("breaker-cooldown").is_some()
+        || args.get("breaker-probes").is_some()
+}
+
+/// The tile-recovery policy shared by the resilient and service paths.
+fn recovery_policy(args: &Args) -> Result<RecoveryPolicy, String> {
+    Ok(RecoveryPolicy {
+        max_retries: args.get_num("max-retries", 2u32).map_err(|e| e.to_string())?,
+        backoff_cycles: args.get_num("backoff", 16u64).map_err(|e| e.to_string())?,
+        watchdog_cycles: args.get_num("watchdog", 4096u64).map_err(|e| e.to_string())?,
+        software_fallback: !args.switch("strict"),
+    })
+}
+
+/// Batch-service path for `align`: worker pool, backpressure, deadlines,
+/// circuit breaker, and crash-safe checkpoint/resume.
+fn align_service(
+    args: &Args,
+    named: &[smx_io::pairs::NamedPair],
+    config: AlignmentConfig,
+    workers: usize,
+    fault_rate: f64,
+) -> Result<(), String> {
+    use smx::service::{PairOutcome, RunOptions};
+    use smx_io::checkpoint::{CheckpointWriter, Manifest};
+    use std::path::Path;
+    use std::time::Duration;
+
+    let jobs = args.get_num("jobs", 1usize).map_err(|e| e.to_string())?;
+    let queue_cap = args.get_num("queue-cap", 64usize).map_err(|e| e.to_string())?;
+    let deadline_ms = args.get_num("deadline-ms", 0u64).map_err(|e| e.to_string())?;
+
+    let mut dev = SmxDevice::new(config, workers).map_err(|e| e.to_string())?;
+    if fault_rate > 0.0 {
+        let seed = args.get_num("fault-seed", 42u64).map_err(|e| e.to_string())?;
+        dev.enable_fault_injection(FaultPlan::new(seed, fault_rate), recovery_policy(args)?);
+        dev.set_graceful_degradation(!args.switch("no-degrade"));
+    }
+
+    let breaker_requested = args.switch("breaker")
+        || args.get("breaker-window").is_some()
+        || args.get("breaker-threshold").is_some()
+        || args.get("breaker-cooldown").is_some()
+        || args.get("breaker-probes").is_some();
+    let defaults = BreakerConfig::default();
+    let breaker = breaker_requested
+        .then(|| -> Result<BreakerConfig, String> {
+            let window =
+                args.get_num("breaker-window", defaults.window).map_err(|e| e.to_string())?;
+            Ok(BreakerConfig {
+                window,
+                min_samples: defaults.min_samples.min(window),
+                threshold: args
+                    .get_num("breaker-threshold", defaults.threshold)
+                    .map_err(|e| e.to_string())?,
+                cooldown_pairs: args
+                    .get_num("breaker-cooldown", defaults.cooldown_pairs)
+                    .map_err(|e| e.to_string())?,
+                probes: args
+                    .get_num("breaker-probes", defaults.probes)
+                    .map_err(|e| e.to_string())?,
+            })
+        })
+        .transpose()?;
+
+    let cfg = ExecutorConfig {
+        jobs,
+        queue_cap,
+        admission: if args.switch("shed") { AdmissionPolicy::Shed } else { AdmissionPolicy::Block },
+        deadline: (deadline_ms > 0).then(|| Duration::from_millis(deadline_ms)),
+        breaker,
+    };
+    let exec = BatchExecutor::new(dev, cfg).map_err(|e| e.to_string())?;
+
+    let resume_map = match args.get("resume") {
+        Some(path) => {
+            let manifest = Manifest::load(Path::new(path)).map_err(|e| e.to_string())?;
+            if manifest.torn_tail {
+                eprintln!("# resume: discarded a torn final line in {path}");
+            }
+            eprintln!("# resume: {} pairs already completed in {path}", manifest.completed.len());
+            Some(manifest.completed)
+        }
+        None => None,
+    };
+    let mut writer = match args.get("checkpoint") {
+        // Resuming into the same manifest: append, keeping prior records.
+        Some(path) if args.get("resume") == Some(path) => {
+            Some(CheckpointWriter::append(Path::new(path)).map_err(|e| e.to_string())?)
+        }
+        Some(path) => Some(CheckpointWriter::create(Path::new(path)).map_err(|e| e.to_string())?),
+        None => None,
+    };
+    let mut checkpoint_err: Option<String> = None;
+    let mut on_result = |index: usize, alignment: &Alignment| {
+        if let Some(w) = writer.as_mut() {
+            if let Err(e) = w.record(index, alignment) {
+                checkpoint_err.get_or_insert_with(|| e.to_string());
+            }
+        }
+    };
+
+    let pairs: Vec<(Sequence, Sequence)> =
+        named.iter().map(|p| (p.query.clone(), p.reference.clone())).collect();
+    let report = exec.run_with(
+        &pairs,
+        RunOptions { resume: resume_map.as_ref(), on_result: Some(&mut on_result), cancel: None },
+    );
+
+    for (p, outcome) in named.iter().zip(&report.outcomes) {
+        match outcome {
+            PairOutcome::Aligned(a) => {
+                println!("{}\t{}\tscore={}\tcigar={}", p.query_id, p.reference_id, a.score, a.cigar)
+            }
+            PairOutcome::Failed(e) => {
+                println!("{}\t{}\tfailed: {e}", p.query_id, p.reference_id)
+            }
+            PairOutcome::Shed => println!("{}\t{}\tshed", p.query_id, p.reference_id),
+        }
+    }
+    if let Some(e) = checkpoint_err {
+        return Err(format!("checkpoint write failed: {e}"));
+    }
+
+    let s = &report.stats;
+    eprintln!(
+        "# service: jobs={jobs} queue-cap={queue_cap} max-depth={} completed={} failed={} \
+         shed={} resumed={} deadline-exceeded={} cancelled={}",
+        s.max_queue_depth, s.completed, s.failed, s.shed, s.resumed, s.deadline_exceeded,
+        s.cancelled
+    );
+    eprintln!(
+        "# routing: device={} software={} probes={} faulted-pairs={}",
+        s.device_pairs, s.software_pairs, s.probe_pairs, s.faulted_pairs
+    );
+    if let Some(b) = &s.breaker {
+        eprintln!(
+            "# breaker: state={} opened={} half-opened={} closed={}",
+            b.state, b.transitions.opened, b.transitions.half_opened, b.transitions.closed
+        );
+    }
+    if fault_rate > 0.0 {
+        let r = &s.recovery;
+        eprintln!(
+            "# faults: rate={fault_rate:.1e} injected={} detected={} retries={} fallbacks={} \
+             software-alignments={} cycles-lost={}",
+            r.faults_injected, r.faults_detected, r.retries, r.fallbacks, r.software_alignments,
+            r.cycles_lost
+        );
+    }
+    if !report.all_succeeded() {
+        eprintln!("{}", report.failure_summary());
+        if args.switch("strict") {
+            return Err(format!(
+                "batch completed with {} failed and {} shed pairs under --strict",
+                s.failed, s.shed
+            ));
+        }
+    }
+    Ok(())
+}
+
 /// Fault-injection path for `align`: runs the functional SMX device with a
 /// seeded fault plan and the tile-retry / software-fallback recovery stack,
 /// failing poisoned pairs closed with a per-batch summary.
@@ -152,18 +343,8 @@ fn align_resilient(
     fault_rate: f64,
 ) -> Result<(), String> {
     let seed = args.get_num("fault-seed", 42u64).map_err(|e| e.to_string())?;
-    let max_retries = args.get_num("max-retries", 2u32).map_err(|e| e.to_string())?;
-    let backoff = args.get_num("backoff", 16u64).map_err(|e| e.to_string())?;
-    let watchdog = args.get_num("watchdog", 4096u64).map_err(|e| e.to_string())?;
-    let policy = RecoveryPolicy {
-        max_retries,
-        backoff_cycles: backoff,
-        watchdog_cycles: watchdog,
-        software_fallback: !args.switch("strict"),
-    };
-
     let mut dev = SmxDevice::new(config, workers).map_err(|e| e.to_string())?;
-    dev.enable_fault_injection(FaultPlan::new(seed, fault_rate), policy);
+    dev.enable_fault_injection(FaultPlan::new(seed, fault_rate), recovery_policy(args)?);
     dev.set_graceful_degradation(!args.switch("no-degrade"));
 
     let pairs: Vec<(Sequence, Sequence)> =
@@ -188,6 +369,12 @@ fn align_resilient(
         s.faults_injected, s.faults_detected, s.retries, s.fallbacks, s.software_alignments,
         s.cycles_lost
     );
+    if args.switch("strict") && !report.all_succeeded() {
+        return Err(format!(
+            "batch completed with {} failed pairs under --strict",
+            report.failures.len()
+        ));
+    }
     Ok(())
 }
 
@@ -400,8 +587,8 @@ mod tests {
         )
         .unwrap();
         align(&a).unwrap();
-        // Strict + no-degrade with a certain fault must still complete the
-        // batch (failing closed), not error the whole command.
+        // Strict + no-degrade with a certain fault fails the pair closed
+        // and — under --strict — the whole command exits non-zero.
         let b = Args::parse(
             [
                 "align",
@@ -421,7 +608,107 @@ mod tests {
             &["strict", "no-degrade"],
         )
         .unwrap();
-        align(&b).unwrap();
+        let err = align(&b).unwrap_err();
+        assert!(err.contains("--strict"), "{err}");
+        // Without --strict the same storm completes with failures noted.
+        let c = Args::parse(
+            [
+                "align",
+                "--config",
+                "dna-edit",
+                "--fault-rate",
+                "1.0",
+                "--max-retries",
+                "0",
+                "--no-degrade",
+                qp.to_str().unwrap(),
+                rp.to_str().unwrap(),
+            ]
+            .iter()
+            .map(|s| s.to_string()),
+            &["strict", "no-degrade"],
+        )
+        .unwrap();
+        align(&c).unwrap();
+    }
+
+    #[test]
+    fn align_service_pool_with_checkpoint_and_resume() {
+        let dir = std::env::temp_dir().join("smx-cli-service");
+        std::fs::create_dir_all(&dir).unwrap();
+        let qp = dir.join("q.fa");
+        let rp = dir.join("r.fa");
+        let mut qs = String::new();
+        let mut rs = String::new();
+        for i in 0..6 {
+            qs.push_str(&format!(">q{i}\nGATTACAGATTACAGATTACAGATTACA\n"));
+            rs.push_str(&format!(">r{i}\nGATTACACATTACAGATTACAGATTAC{}\n", ["A", "T"][i % 2]));
+        }
+        std::fs::write(&qp, qs).unwrap();
+        std::fs::write(&rp, rs).unwrap();
+        let manifest = dir.join("ckpt.tsv");
+        let _ = std::fs::remove_file(&manifest);
+        let run = |extra: &[&str]| {
+            let mut argv = vec![
+                "align",
+                "--config",
+                "dna-edit",
+                "--jobs",
+                "2",
+                "--fault-rate",
+                "0.01",
+                "--breaker",
+            ];
+            argv.extend_from_slice(extra);
+            argv.push(qp.to_str().unwrap());
+            argv.push(rp.to_str().unwrap());
+            let a = Args::parse(
+                argv.iter().map(|s| s.to_string()),
+                &["strict", "no-degrade", "shed", "breaker"],
+            )
+            .unwrap();
+            align(&a)
+        };
+        let m = manifest.to_str().unwrap();
+        run(&["--checkpoint", m]).unwrap();
+        // The manifest now holds all six pairs; resuming from it must
+        // recompute nothing and still succeed.
+        let loaded = smx_io::checkpoint::Manifest::load(&manifest).unwrap();
+        assert_eq!(loaded.completed.len(), 6);
+        run(&["--resume", m, "--checkpoint", m]).unwrap();
+    }
+
+    #[test]
+    fn align_service_strict_deadline_fails_command() {
+        let dir = std::env::temp_dir().join("smx-cli-deadline");
+        std::fs::create_dir_all(&dir).unwrap();
+        let qp = dir.join("q.fa");
+        let rp = dir.join("r.fa");
+        std::fs::write(&qp, ">q0\nGATTACAGATTACAGATTACAGATTACA\n").unwrap();
+        std::fs::write(&rp, ">r0\nGATTACACATTACAGATTACAGATTACA\n").unwrap();
+        // A deadline that can never be met: the token is forked already
+        // expired, so every pair fails with DeadlineExceeded. (1 ms can
+        // flake; the executor's own zero-deadline test pins exactness.)
+        let a = Args::parse(
+            [
+                "align",
+                "--config",
+                "dna-edit",
+                "--jobs",
+                "1",
+                "--deadline-ms",
+                "0",
+                "--strict",
+                qp.to_str().unwrap(),
+                rp.to_str().unwrap(),
+            ]
+            .iter()
+            .map(|s| s.to_string()),
+            &["strict", "no-degrade", "shed", "breaker"],
+        )
+        .unwrap();
+        // deadline-ms 0 disables the deadline; the run must succeed.
+        align(&a).unwrap();
     }
 
     #[test]

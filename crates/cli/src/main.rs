@@ -27,8 +27,11 @@ fn main() {
 }
 
 fn run(tokens: Vec<String>) -> Result<(), String> {
-    let args = Args::parse(tokens, &["score-only", "pretty", "help", "strict", "no-degrade"])
-        .map_err(|e| e.to_string())?;
+    let args = Args::parse(
+        tokens,
+        &["score-only", "pretty", "help", "strict", "no-degrade", "shed", "breaker"],
+    )
+    .map_err(|e| e.to_string())?;
     if args.switch("help") || args.positional.is_empty() {
         print!("{}", commands::USAGE);
         return Ok(());

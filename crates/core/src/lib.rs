@@ -53,14 +53,21 @@ pub use smx_sim as sim;
 
 pub mod aligner;
 pub mod orchestrator;
+pub mod service;
 
 pub use aligner::{Algorithm, BatchReport, PairReport, SmxAligner};
 pub use orchestrator::{AffineDevice, BatchFailure, DeviceBatchReport, SmxDevice};
+pub use service::{
+    AdmissionPolicy, BatchExecutor, BreakerConfig, BreakerSnapshot, BreakerState,
+    BreakerTransitions, ExecutorConfig, PairOutcome, RunOptions, ServiceBatchReport, ServiceStats,
+};
 
 /// Commonly used items in one import.
 pub mod prelude {
     pub use crate::aligner::{Algorithm, SmxAligner};
     pub use crate::orchestrator::SmxDevice;
+    pub use crate::service::{AdmissionPolicy, BatchExecutor, BreakerConfig, ExecutorConfig};
+    pub use smx_coproc::control::CancelToken;
     pub use smx_coproc::faults::{FaultPlan, RecoveryPolicy, RecoveryStats};
     pub use smx_align_core::{
         Alignment, AlignmentConfig, Alphabet, Cigar, ElementWidth, ScoringScheme, Sequence,

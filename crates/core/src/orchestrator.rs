@@ -6,6 +6,7 @@
 
 use smx_align_core::{dp, AlignError, Alignment, AlignmentConfig, ScoringScheme, Sequence};
 use smx_coproc::block::BlockMode;
+use smx_coproc::control::CancelToken;
 use smx_coproc::faults::{FaultEvent, FaultPlan, FaultSession, RecoveryPolicy, RecoveryStats};
 use smx_coproc::traceback::RecomputeStats;
 use smx_coproc::SmxCoprocessor;
@@ -63,6 +64,21 @@ impl SmxDevice {
     /// fail-closed batch mode records it per pair.
     pub fn set_graceful_degradation(&mut self, yes: bool) {
         self.degrade = yes;
+    }
+
+    /// Installs (or clears) a cooperative cancellation / deadline token.
+    /// The token is checked at every tile boundary of device block
+    /// computations and tracebacks, and at the entry of each alignment
+    /// stage, so a cancelled or expired pair aborts within one tile's
+    /// worth of work.
+    pub fn set_cancel_token(&mut self, token: Option<CancelToken>) {
+        self.coproc.set_control(token);
+    }
+
+    /// The installed cancellation token, if any.
+    #[must_use]
+    pub fn cancel_token(&self) -> Option<&CancelToken> {
+        self.coproc.control()
     }
 
     /// Recovery counters accumulated since fault injection was enabled
@@ -130,6 +146,9 @@ impl SmxDevice {
     /// on invalid inputs; internal errors indicate a model bug.
     pub fn align(&mut self, query: &Sequence, reference: &Sequence) -> Result<Alignment, AlignError> {
         self.check(query, reference)?;
+        if let Some(token) = self.coproc.control() {
+            token.check()?;
+        }
         let q = self.pack(query)?;
         let r = self.pack(reference)?;
         match self.align_device(&q, &r) {
@@ -176,6 +195,30 @@ impl SmxDevice {
         Ok(alignment)
     }
 
+    /// Pure software baseline on the core (no pack, no offload): the path
+    /// the service layer's circuit breaker routes pairs to while it is
+    /// open. Shares the global tie-break with the tiled device traceback,
+    /// so its output is byte-identical to a fault-free device run.
+    ///
+    /// # Errors
+    ///
+    /// Same input validation as [`SmxDevice::align`]. An installed
+    /// cancellation token is honoured at entry only — the software kernel
+    /// has no tile boundaries to poll.
+    pub fn align_software(
+        &mut self,
+        query: &Sequence,
+        reference: &Sequence,
+    ) -> Result<Alignment, AlignError> {
+        self.check(query, reference)?;
+        if let Some(token) = self.coproc.control() {
+            token.check()?;
+        }
+        let alignment = dp::align_codes(query.codes(), reference.codes(), &self.scheme);
+        alignment.verify(query.codes(), reference.codes(), &self.scheme)?;
+        Ok(alignment)
+    }
+
     /// Score-only heterogeneous alignment: pack → offload → Δ-summation.
     ///
     /// # Errors
@@ -183,6 +226,9 @@ impl SmxDevice {
     /// Same conditions as [`SmxDevice::align`].
     pub fn score(&mut self, query: &Sequence, reference: &Sequence) -> Result<i32, AlignError> {
         self.check(query, reference)?;
+        if let Some(token) = self.coproc.control() {
+            token.check()?;
+        }
         let q = self.pack(query)?;
         let r = self.pack(reference)?;
         let device = match self.faults.as_mut() {
@@ -206,24 +252,17 @@ impl SmxDevice {
 
     /// Aligns every pair in a batch, failing closed: a pair that cannot
     /// be aligned (poisoned input, unrecoverable fault under a strict
-    /// policy) is recorded as a structured per-pair failure and the batch
-    /// continues with the remaining pairs.
+    /// policy, an expired deadline) is recorded as a structured per-pair
+    /// failure and the batch continues with the remaining pairs.
+    ///
+    /// This is the single-device entry into the batch service layer; the
+    /// multi-worker pool with backpressure, deadlines, and the circuit
+    /// breaker lives in [`crate::service::BatchExecutor`].
     pub fn align_batch(
         &mut self,
         pairs: &[(Sequence, Sequence)],
     ) -> DeviceBatchReport {
-        let mut alignments = Vec::with_capacity(pairs.len());
-        let mut failures = Vec::new();
-        for (index, (q, r)) in pairs.iter().enumerate() {
-            match self.align(q, r) {
-                Ok(a) => alignments.push(Some(a)),
-                Err(error) => {
-                    alignments.push(None);
-                    failures.push(BatchFailure { index, error });
-                }
-            }
-        }
-        DeviceBatchReport { alignments, failures, recovery: self.recovery_stats() }
+        crate::service::device_batch(self, pairs)
     }
 }
 
@@ -263,7 +302,9 @@ impl DeviceBatchReport {
         self.failures.is_empty()
     }
 
-    /// One-line-per-failure summary for logs and the CLI.
+    /// One-line-per-failure summary for logs and the CLI, with an
+    /// aggregate cause breakdown (deadlines and cancellations called out
+    /// so operators can tell overload from bad input).
     #[must_use]
     pub fn failure_summary(&self) -> String {
         use std::fmt::Write as _;
@@ -273,6 +314,13 @@ impl DeviceBatchReport {
             self.alignments.len(),
             self.failures.len()
         );
+        let deadline =
+            self.failures.iter().filter(|f| matches!(f.error, AlignError::DeadlineExceeded { .. })).count();
+        let cancelled =
+            self.failures.iter().filter(|f| matches!(f.error, AlignError::Cancelled)).count();
+        if deadline + cancelled > 0 {
+            let _ = write!(s, " ({deadline} deadline-exceeded, {cancelled} cancelled)");
+        }
         for f in &self.failures {
             let _ = write!(s, "\n  pair {}: {}", f.index, f.error);
         }
@@ -550,6 +598,70 @@ mod tests {
         let summary = report.failure_summary();
         assert!(summary.contains("2/3 pairs aligned"), "{summary}");
         assert!(summary.contains("pair 1:"), "{summary}");
+    }
+
+    #[test]
+    fn degenerate_inputs_are_typed_errors_or_defined_results() {
+        let config = AlignmentConfig::DnaGap;
+        let mut dev = SmxDevice::new(config, 2).unwrap();
+        let empty = Sequence::from_codes(config.alphabet(), vec![]).unwrap();
+        let one = Sequence::from_codes(config.alphabet(), vec![2]).unwrap();
+        // Empty inputs surface as typed errors from every entry point.
+        assert!(matches!(dev.align(&empty, &one), Err(AlignError::EmptySequence)));
+        assert!(matches!(dev.align(&one, &empty), Err(AlignError::EmptySequence)));
+        assert!(matches!(dev.score(&empty, &one), Err(AlignError::EmptySequence)));
+        assert!(matches!(dev.align_software(&empty, &one), Err(AlignError::EmptySequence)));
+        // Single symbols align.
+        let a = dev.align(&one, &one).unwrap();
+        assert_eq!(a.cigar.to_string(), "1=");
+        // query == reference: perfect diagonal, device and software agree.
+        let (q, _) = seqs(config, 75);
+        let a = dev.align(&q, &q).unwrap();
+        let sw = dev.align_software(&q, &q).unwrap();
+        assert_eq!(a.score, sw.score);
+        assert_eq!(a.cigar.to_string(), sw.cigar.to_string());
+        assert_eq!(a.cigar.query_len(), q.len());
+        // Affine device too.
+        let adev = AffineDevice::new(
+            smx_align_core::Alphabet::Dna2,
+            smx_align_core::dp_affine::AffineScheme::minimap2(),
+        )
+        .unwrap();
+        let e2 = Sequence::from_codes(smx_align_core::Alphabet::Dna2, vec![]).unwrap();
+        let o2 = Sequence::from_codes(smx_align_core::Alphabet::Dna2, vec![1]).unwrap();
+        assert!(matches!(adev.align(&e2, &o2), Err(AlignError::EmptySequence)));
+        assert_eq!(adev.align(&o2, &o2).unwrap().cigar.to_string(), "1=");
+    }
+
+    #[test]
+    fn software_path_is_byte_identical_to_device_path() {
+        for config in AlignmentConfig::ALL {
+            let (q, r) = seqs(config, 80);
+            let mut dev = SmxDevice::new(config, 2).unwrap();
+            let device = dev.align(&q, &r).unwrap();
+            let software = dev.align_software(&q, &r).unwrap();
+            assert_eq!(device.score, software.score, "{config}");
+            assert_eq!(device.cigar.to_string(), software.cigar.to_string(), "{config}");
+        }
+    }
+
+    #[test]
+    fn cancel_token_aborts_align_and_deadline_is_typed() {
+        let config = AlignmentConfig::DnaGap;
+        let (q, r) = seqs(config, 80);
+        let mut dev = SmxDevice::new(config, 2).unwrap();
+        let token = CancelToken::new();
+        dev.set_cancel_token(Some(token.clone()));
+        assert!(dev.align(&q, &r).is_ok());
+        token.cancel();
+        assert!(matches!(dev.align(&q, &r), Err(AlignError::Cancelled)));
+        assert!(matches!(dev.align_software(&q, &r), Err(AlignError::Cancelled)));
+        dev.set_cancel_token(Some(
+            CancelToken::new().fork_with_deadline(std::time::Duration::ZERO),
+        ));
+        assert!(matches!(dev.align(&q, &r), Err(AlignError::DeadlineExceeded { .. })));
+        dev.set_cancel_token(None);
+        assert!(dev.align(&q, &r).is_ok());
     }
 
     #[test]

@@ -1,0 +1,1097 @@
+//! Resilient batch-alignment service layer (DESIGN.md §5).
+//!
+//! [`BatchExecutor`] runs a batch of pairs through a pool of
+//! [`SmxDevice`] workers fed from a bounded work queue with
+//! backpressure: submitters either block until a slot frees or shed the
+//! pair, per the [`AdmissionPolicy`]. Each pair runs under a cooperative
+//! cancellation token with an optional wall-clock deadline, checked at
+//! tile boundaries inside the coprocessor. A circuit [`Breaker`] tracks
+//! the fault rate over a sliding window of device outcomes and, when it
+//! trips, routes whole pairs to the core's software baseline until
+//! half-open probes show the device is healthy again.
+//!
+//! Every routing decision preserves the workspace's byte-identity
+//! invariant: the device path (with tile-level recovery), the degraded
+//! path, and the software baseline all share the global traceback
+//! tie-break, so a batch run under any fault pattern, pool width, or
+//! breaker state produces exactly the alignments of a fault-free
+//! sequential run. The service layer only decides *where* a pair is
+//! computed, never *what* it computes.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::mpsc;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+use smx_align_core::{AlignError, Alignment, Sequence};
+use smx_coproc::control::CancelToken;
+use smx_coproc::faults::RecoveryStats;
+
+use crate::orchestrator::{BatchFailure, DeviceBatchReport, SmxDevice};
+
+/// What a submitter does when the work queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AdmissionPolicy {
+    /// Block until a queue slot frees (lossless backpressure).
+    #[default]
+    Block,
+    /// Record the pair as [`PairOutcome::Shed`] and move on (load
+    /// shedding for latency-sensitive callers).
+    Shed,
+}
+
+/// Circuit-breaker tuning.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BreakerConfig {
+    /// Sliding-window length, in device-pair outcomes.
+    pub window: usize,
+    /// Minimum outcomes in the window before the breaker may trip.
+    pub min_samples: usize,
+    /// Faulted fraction of the window at which the breaker opens.
+    pub threshold: f64,
+    /// Pairs served on the software path while open, before probing.
+    pub cooldown_pairs: u64,
+    /// Consecutive clean device probes required to close again.
+    pub probes: u64,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> BreakerConfig {
+        BreakerConfig { window: 32, min_samples: 8, threshold: 0.5, cooldown_pairs: 16, probes: 4 }
+    }
+}
+
+/// Breaker state (the classic three-state machine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Pairs run on the device; outcomes feed the sliding window.
+    Closed,
+    /// Pairs run on the software baseline for the cooldown.
+    Open,
+    /// A limited number of probe pairs run on the device; the rest stay
+    /// on software until the probes deliver a verdict.
+    HalfOpen,
+}
+
+impl std::fmt::Display for BreakerState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half-open",
+        })
+    }
+}
+
+/// Counts of breaker state transitions over a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BreakerTransitions {
+    /// Closed/HalfOpen → Open trips.
+    pub opened: u64,
+    /// Open → HalfOpen transitions (cooldown expired, probing started).
+    pub half_opened: u64,
+    /// HalfOpen → Closed recoveries.
+    pub closed: u64,
+}
+
+/// Breaker state and transition counters at the end of a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerSnapshot {
+    /// State when the batch finished.
+    pub state: BreakerState,
+    /// Transition counts over the batch.
+    pub transitions: BreakerTransitions,
+}
+
+/// Where the breaker routed a pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Route {
+    /// Normal device path (breaker closed, or no breaker).
+    Device,
+    /// Device path as a half-open probe.
+    Probe,
+    /// Software baseline (breaker open, or half-open without a probe
+    /// slot).
+    Software,
+}
+
+/// The circuit breaker: a pure, deterministic state machine over pair
+/// outcomes. Cooldown is measured in *pairs served*, not wall time, so
+/// the machine is exactly reproducible in tests.
+#[derive(Debug)]
+pub struct Breaker {
+    cfg: BreakerConfig,
+    state: BreakerState,
+    window: VecDeque<bool>,
+    faulted_in_window: usize,
+    cooldown_left: u64,
+    probes_granted: u64,
+    probes_clean: u64,
+    transitions: BreakerTransitions,
+}
+
+impl Breaker {
+    /// A closed breaker with an empty window.
+    #[must_use]
+    pub fn new(cfg: BreakerConfig) -> Breaker {
+        Breaker {
+            cfg,
+            state: BreakerState::Closed,
+            window: VecDeque::new(),
+            faulted_in_window: 0,
+            cooldown_left: 0,
+            probes_granted: 0,
+            probes_clean: 0,
+            transitions: BreakerTransitions::default(),
+        }
+    }
+
+    /// Current state.
+    #[must_use]
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Transition counters so far.
+    #[must_use]
+    pub fn transitions(&self) -> BreakerTransitions {
+        self.transitions
+    }
+
+    /// Decides where the next pair runs, advancing cooldown/probe
+    /// accounting.
+    fn route(&mut self) -> Route {
+        match self.state {
+            BreakerState::Closed => Route::Device,
+            BreakerState::Open => {
+                if self.cooldown_left > 0 {
+                    self.cooldown_left -= 1;
+                    Route::Software
+                } else {
+                    self.state = BreakerState::HalfOpen;
+                    self.transitions.half_opened += 1;
+                    self.probes_granted = 1;
+                    self.probes_clean = 0;
+                    Route::Probe
+                }
+            }
+            BreakerState::HalfOpen => {
+                if self.probes_granted < self.cfg.probes {
+                    self.probes_granted += 1;
+                    Route::Probe
+                } else {
+                    // Probes are in flight; keep the rest of the traffic
+                    // safe until they deliver a verdict.
+                    Route::Software
+                }
+            }
+        }
+    }
+
+    /// Feeds back one pair's outcome for the given route.
+    fn record(&mut self, route: Route, faulted: bool) {
+        match route {
+            Route::Software => {}
+            Route::Probe => {
+                // A probe verdict from before a re-trip is stale.
+                if self.state != BreakerState::HalfOpen {
+                    return;
+                }
+                if faulted {
+                    self.trip();
+                } else {
+                    self.probes_clean += 1;
+                    if self.probes_clean >= self.cfg.probes {
+                        self.state = BreakerState::Closed;
+                        self.transitions.closed += 1;
+                        self.window.clear();
+                        self.faulted_in_window = 0;
+                    }
+                }
+            }
+            Route::Device => {
+                if self.state != BreakerState::Closed {
+                    return;
+                }
+                if self.window.len() == self.cfg.window
+                    && self.window.pop_front() == Some(true)
+                {
+                    self.faulted_in_window -= 1;
+                }
+                self.window.push_back(faulted);
+                if faulted {
+                    self.faulted_in_window += 1;
+                }
+                if self.window.len() >= self.cfg.min_samples
+                    && self.faulted_in_window as f64
+                        >= self.cfg.threshold * self.window.len() as f64
+                {
+                    self.trip();
+                }
+            }
+        }
+    }
+
+    fn trip(&mut self) {
+        self.state = BreakerState::Open;
+        self.transitions.opened += 1;
+        self.cooldown_left = self.cfg.cooldown_pairs;
+        self.probes_granted = 0;
+        self.probes_clean = 0;
+    }
+}
+
+/// Executor tuning.
+#[derive(Debug, Clone)]
+pub struct ExecutorConfig {
+    /// Worker threads (each with its own device clone). `1` runs the
+    /// batch inline on the calling thread, deterministically.
+    pub jobs: usize,
+    /// Bounded work-queue capacity (backpressure point).
+    pub queue_cap: usize,
+    /// Full-queue behaviour.
+    pub admission: AdmissionPolicy,
+    /// Per-pair wall-clock deadline, enforced at tile boundaries.
+    pub deadline: Option<Duration>,
+    /// Circuit breaker over the coprocessor fault rate; `None` disables
+    /// breaking (every pair takes the device path).
+    pub breaker: Option<BreakerConfig>,
+}
+
+impl Default for ExecutorConfig {
+    fn default() -> ExecutorConfig {
+        ExecutorConfig {
+            jobs: 1,
+            queue_cap: 64,
+            admission: AdmissionPolicy::Block,
+            deadline: None,
+            breaker: None,
+        }
+    }
+}
+
+/// One pair's outcome in a service batch.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PairOutcome {
+    /// The pair aligned (on whichever path the breaker chose).
+    Aligned(Alignment),
+    /// The pair failed with a typed error.
+    Failed(AlignError),
+    /// The pair was shed by the admission policy and never ran.
+    Shed,
+}
+
+/// Structured counters for one batch run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServiceStats {
+    /// Pairs in the input batch.
+    pub submitted: u64,
+    /// Pairs that aligned (including resumed ones).
+    pub completed: u64,
+    /// Pairs that failed with an error.
+    pub failed: u64,
+    /// Pairs shed at admission.
+    pub shed: u64,
+    /// Pairs satisfied from a resume manifest without running.
+    pub resumed: u64,
+    /// Failures caused by an expired per-pair deadline.
+    pub deadline_exceeded: u64,
+    /// Failures caused by batch cancellation.
+    pub cancelled: u64,
+    /// Pairs executed on the device path (incl. probes).
+    pub device_pairs: u64,
+    /// Pairs the breaker routed to the software baseline.
+    pub software_pairs: u64,
+    /// Device pairs that ran as half-open probes.
+    pub probe_pairs: u64,
+    /// Pairs during which the device injected at least one fault.
+    pub faulted_pairs: u64,
+    /// High-water mark of the bounded work queue.
+    pub max_queue_depth: usize,
+    /// Breaker state and transitions (when a breaker was configured).
+    pub breaker: Option<BreakerSnapshot>,
+    /// Tile-level recovery counters aggregated across all workers.
+    pub recovery: RecoveryStats,
+}
+
+/// Outcome of [`BatchExecutor::run`]: per-pair outcomes positionally
+/// aligned with the input, plus the run's counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceBatchReport {
+    /// One entry per input pair.
+    pub outcomes: Vec<PairOutcome>,
+    /// Structured counters for the run.
+    pub stats: ServiceStats,
+}
+
+impl ServiceBatchReport {
+    /// The alignment for pair `index`, when it succeeded.
+    #[must_use]
+    pub fn alignment(&self, index: usize) -> Option<&Alignment> {
+        match self.outcomes.get(index) {
+            Some(PairOutcome::Aligned(a)) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Whether every pair aligned.
+    #[must_use]
+    pub fn all_succeeded(&self) -> bool {
+        self.outcomes.iter().all(|o| matches!(o, PairOutcome::Aligned(_)))
+    }
+
+    /// Per-pair failures in input order (shed pairs are not failures).
+    #[must_use]
+    pub fn failures(&self) -> Vec<BatchFailure> {
+        self.outcomes
+            .iter()
+            .enumerate()
+            .filter_map(|(index, o)| match o {
+                PairOutcome::Failed(error) => {
+                    Some(BatchFailure { index, error: error.clone() })
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// One-line-per-failure summary with the aggregate cause breakdown,
+    /// mirroring [`DeviceBatchReport::failure_summary`].
+    #[must_use]
+    pub fn failure_summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = format!(
+            "{}/{} pairs aligned, {} failed, {} shed",
+            self.stats.completed,
+            self.outcomes.len(),
+            self.stats.failed,
+            self.stats.shed,
+        );
+        if self.stats.deadline_exceeded + self.stats.cancelled > 0 {
+            let _ = write!(
+                s,
+                " ({} deadline-exceeded, {} cancelled)",
+                self.stats.deadline_exceeded, self.stats.cancelled
+            );
+        }
+        for f in self.failures() {
+            let _ = write!(s, "\n  pair {}: {}", f.index, f.error);
+        }
+        s
+    }
+}
+
+/// Completion hook: called with `(pair index, alignment)` for every
+/// newly computed result, in completion order.
+pub type ResultHook<'a> = &'a mut dyn FnMut(usize, &Alignment);
+
+/// Per-run knobs that are not executor configuration: a batch-wide
+/// cancellation token, a resume manifest, and a completion callback.
+#[derive(Default)]
+pub struct RunOptions<'a> {
+    /// Batch-wide cancellation token; per-pair deadline tokens are
+    /// forked from it, so cancelling it aborts every in-flight and
+    /// queued pair at the next tile boundary.
+    pub cancel: Option<CancelToken>,
+    /// Previously completed pairs (index → alignment, e.g. from a
+    /// checkpoint manifest); they are re-emitted verbatim without
+    /// running.
+    pub resume: Option<&'a HashMap<usize, Alignment>>,
+    /// Called on the collector thread for every *newly computed*
+    /// alignment, in completion order — the checkpoint writer's hook.
+    pub on_result: Option<ResultHook<'a>>,
+}
+
+/// The resilient batch-alignment service: a worker pool over device
+/// clones with backpressure, deadlines, and a circuit breaker.
+///
+/// The executor owns a fully configured template device (fault
+/// injection, degradation policy); each worker clones it, so per-worker
+/// fault sessions are independent but identically planned.
+#[derive(Debug, Clone)]
+pub struct BatchExecutor {
+    device: SmxDevice,
+    cfg: ExecutorConfig,
+}
+
+impl BatchExecutor {
+    /// Builds an executor over `device` with `cfg`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects zero jobs, a zero-capacity queue, and malformed breaker
+    /// settings (threshold outside `(0, 1]`, window smaller than
+    /// `min_samples`, zero probes).
+    pub fn new(device: SmxDevice, cfg: ExecutorConfig) -> Result<BatchExecutor, AlignError> {
+        if cfg.jobs == 0 {
+            return Err(AlignError::Internal("executor needs at least one job".into()));
+        }
+        if cfg.queue_cap == 0 {
+            return Err(AlignError::Internal("queue capacity must be at least 1".into()));
+        }
+        if let Some(b) = &cfg.breaker {
+            if !(b.threshold > 0.0 && b.threshold <= 1.0) {
+                return Err(AlignError::Internal(format!(
+                    "breaker threshold {} outside (0, 1]",
+                    b.threshold
+                )));
+            }
+            if b.min_samples == 0 || b.window < b.min_samples {
+                return Err(AlignError::Internal(format!(
+                    "breaker window {} must be >= min_samples {} >= 1",
+                    b.window, b.min_samples
+                )));
+            }
+            if b.probes == 0 {
+                return Err(AlignError::Internal("breaker needs at least one probe".into()));
+            }
+        }
+        Ok(BatchExecutor { device, cfg })
+    }
+
+    /// The executor configuration.
+    #[must_use]
+    pub fn config(&self) -> &ExecutorConfig {
+        &self.cfg
+    }
+
+    /// Runs `pairs` with default options.
+    #[must_use]
+    pub fn run(&self, pairs: &[(Sequence, Sequence)]) -> ServiceBatchReport {
+        self.run_with(pairs, RunOptions::default())
+    }
+
+    /// Runs `pairs` under `opts`.
+    #[must_use]
+    pub fn run_with(
+        &self,
+        pairs: &[(Sequence, Sequence)],
+        mut opts: RunOptions<'_>,
+    ) -> ServiceBatchReport {
+        let n = pairs.len();
+        let mut outcomes: Vec<Option<PairOutcome>> = vec![None; n];
+        let mut stats = ServiceStats { submitted: n as u64, ..ServiceStats::default() };
+
+        if let Some(manifest) = opts.resume {
+            for (&index, alignment) in manifest {
+                if index < n && outcomes[index].is_none() {
+                    outcomes[index] = Some(PairOutcome::Aligned(alignment.clone()));
+                    stats.resumed += 1;
+                }
+            }
+        }
+        let todo: Vec<usize> = (0..n).filter(|&i| outcomes[i].is_none()).collect();
+
+        let batch_token = opts.cancel.clone().unwrap_or_default();
+        let breaker = self.cfg.breaker.map(|b| Mutex::new(Breaker::new(b)));
+
+        if self.cfg.jobs == 1 {
+            // Inline path: deterministic order, no queue, no shedding.
+            let mut dev = self.device.clone();
+            for index in todo {
+                let (q, r) = &pairs[index];
+                let (result, meta) =
+                    run_pair(&mut dev, q, r, self.cfg.deadline, &batch_token, breaker.as_ref());
+                tally(&mut stats, &meta, &result);
+                if let (Ok(a), Some(cb)) = (&result, opts.on_result.as_mut()) {
+                    cb(index, a);
+                }
+                outcomes[index] = Some(match result {
+                    Ok(a) => PairOutcome::Aligned(a),
+                    Err(e) => PairOutcome::Failed(e),
+                });
+            }
+            stats.recovery.merge(&dev.recovery_stats());
+        } else {
+            let queue = JobQueue::new(self.cfg.queue_cap);
+            let (tx, rx) = mpsc::channel::<WorkerMsg>();
+            std::thread::scope(|scope| {
+                for _ in 0..self.cfg.jobs {
+                    let tx = tx.clone();
+                    let queue = &queue;
+                    let breaker = breaker.as_ref();
+                    let batch_token = batch_token.clone();
+                    let deadline = self.cfg.deadline;
+                    let template = &self.device;
+                    scope.spawn(move || {
+                        let mut dev = template.clone();
+                        while let Some(index) = queue.pop() {
+                            let (q, r) = &pairs[index];
+                            let (result, meta) =
+                                run_pair(&mut dev, q, r, deadline, &batch_token, breaker);
+                            let _ = tx.send(WorkerMsg::Pair { index, result, meta });
+                        }
+                        let _ = tx.send(WorkerMsg::Done(dev.recovery_stats()));
+                    });
+                }
+                drop(tx);
+
+                let mut dispatched = 0usize;
+                for index in todo {
+                    match self.cfg.admission {
+                        AdmissionPolicy::Block => {
+                            queue.push_blocking(index);
+                            dispatched += 1;
+                        }
+                        AdmissionPolicy::Shed => {
+                            if queue.try_push(index) {
+                                dispatched += 1;
+                            } else {
+                                outcomes[index] = Some(PairOutcome::Shed);
+                                stats.shed += 1;
+                            }
+                        }
+                    }
+                }
+                queue.close();
+
+                let mut pairs_seen = 0usize;
+                let mut workers_done = 0usize;
+                while pairs_seen < dispatched || workers_done < self.cfg.jobs {
+                    match rx.recv().expect("workers outlive the channel") {
+                        WorkerMsg::Pair { index, result, meta } => {
+                            pairs_seen += 1;
+                            tally(&mut stats, &meta, &result);
+                            if let (Ok(a), Some(cb)) = (&result, opts.on_result.as_mut()) {
+                                cb(index, a);
+                            }
+                            outcomes[index] = Some(match result {
+                                Ok(a) => PairOutcome::Aligned(a),
+                                Err(e) => PairOutcome::Failed(e),
+                            });
+                        }
+                        WorkerMsg::Done(recovery) => {
+                            workers_done += 1;
+                            stats.recovery.merge(&recovery);
+                        }
+                    }
+                }
+                stats.max_queue_depth = queue.max_depth();
+            });
+        }
+
+        stats.completed =
+            outcomes.iter().flatten().filter(|o| matches!(o, PairOutcome::Aligned(_))).count()
+                as u64;
+        stats.failed =
+            outcomes.iter().flatten().filter(|o| matches!(o, PairOutcome::Failed(_))).count()
+                as u64;
+        if let Some(b) = breaker {
+            let b = b.into_inner().expect("breaker lock poisoned");
+            stats.breaker =
+                Some(BreakerSnapshot { state: b.state(), transitions: b.transitions() });
+        }
+        let outcomes = outcomes
+            .into_iter()
+            .map(|o| o.expect("every pair has an outcome"))
+            .collect();
+        ServiceBatchReport { outcomes, stats }
+    }
+}
+
+/// Per-pair metadata flowing from workers to the collector.
+#[derive(Debug, Clone, Copy)]
+struct PairMeta {
+    route: Route,
+    faulted: bool,
+}
+
+enum WorkerMsg {
+    Pair { index: usize, result: Result<Alignment, AlignError>, meta: PairMeta },
+    Done(RecoveryStats),
+}
+
+/// Runs one pair on `dev`: consult the breaker, fork the deadline token,
+/// execute on the chosen path, and feed the outcome back.
+fn run_pair(
+    dev: &mut SmxDevice,
+    q: &Sequence,
+    r: &Sequence,
+    deadline: Option<Duration>,
+    batch_token: &CancelToken,
+    breaker: Option<&Mutex<Breaker>>,
+) -> (Result<Alignment, AlignError>, PairMeta) {
+    let route = match breaker {
+        Some(b) => b.lock().expect("breaker lock poisoned").route(),
+        None => Route::Device,
+    };
+    let token = match deadline {
+        Some(d) => batch_token.fork_with_deadline(d),
+        None => batch_token.clone(),
+    };
+    dev.set_cancel_token(Some(token));
+    let before = dev.recovery_stats();
+    let result = match route {
+        Route::Software => dev.align_software(q, r),
+        Route::Device | Route::Probe => dev.align(q, r),
+    };
+    let after = dev.recovery_stats();
+    dev.set_cancel_token(None);
+    // A pair "faulted" for breaker purposes when the device injected at
+    // least one fault while it ran, or when it failed with a recoverable
+    // device fault. Deadline/cancellation failures are *not* faults —
+    // breaking on them would mask overload as device sickness.
+    let faulted = after.faults_injected > before.faults_injected
+        || result.as_ref().err().is_some_and(AlignError::is_recoverable_fault);
+    if let Some(b) = breaker {
+        b.lock().expect("breaker lock poisoned").record(route, faulted);
+    }
+    (result, PairMeta { route, faulted })
+}
+
+fn tally(stats: &mut ServiceStats, meta: &PairMeta, result: &Result<Alignment, AlignError>) {
+    match meta.route {
+        Route::Device => stats.device_pairs += 1,
+        Route::Probe => {
+            stats.device_pairs += 1;
+            stats.probe_pairs += 1;
+        }
+        Route::Software => stats.software_pairs += 1,
+    }
+    if meta.faulted {
+        stats.faulted_pairs += 1;
+    }
+    match result {
+        Err(AlignError::DeadlineExceeded { .. }) => stats.deadline_exceeded += 1,
+        Err(AlignError::Cancelled) => stats.cancelled += 1,
+        _ => {}
+    }
+}
+
+/// Sequential fail-closed batch on one device: the engine behind
+/// [`SmxDevice::align_batch`]. Runs on the caller's device (stats
+/// accumulate there) with whatever token the caller installed.
+pub(crate) fn device_batch(
+    dev: &mut SmxDevice,
+    pairs: &[(Sequence, Sequence)],
+) -> DeviceBatchReport {
+    let mut alignments = Vec::with_capacity(pairs.len());
+    let mut failures = Vec::new();
+    for (index, (q, r)) in pairs.iter().enumerate() {
+        match dev.align(q, r) {
+            Ok(a) => alignments.push(Some(a)),
+            Err(error) => {
+                alignments.push(None);
+                failures.push(BatchFailure { index, error });
+            }
+        }
+    }
+    DeviceBatchReport { alignments, failures, recovery: dev.recovery_stats() }
+}
+
+/// Bounded MPMC work queue: `Mutex<VecDeque>` + two condvars, closing
+/// semantics for shutdown, and a depth high-water mark for the counters.
+#[derive(Debug)]
+struct JobQueue {
+    cap: usize,
+    inner: Mutex<QueueInner>,
+    not_full: Condvar,
+    not_empty: Condvar,
+}
+
+#[derive(Debug)]
+struct QueueInner {
+    jobs: VecDeque<usize>,
+    closed: bool,
+    max_depth: usize,
+}
+
+impl JobQueue {
+    fn new(cap: usize) -> JobQueue {
+        JobQueue {
+            cap,
+            inner: Mutex::new(QueueInner {
+                jobs: VecDeque::new(),
+                closed: false,
+                max_depth: 0,
+            }),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+        }
+    }
+
+    /// Blocks until a slot frees (the backpressure point).
+    fn push_blocking(&self, index: usize) {
+        let mut inner = self.inner.lock().expect("queue lock poisoned");
+        while inner.jobs.len() >= self.cap {
+            inner = self.not_full.wait(inner).expect("queue lock poisoned");
+        }
+        inner.jobs.push_back(index);
+        inner.max_depth = inner.max_depth.max(inner.jobs.len());
+        self.not_empty.notify_one();
+    }
+
+    /// Non-blocking push; `false` means the pair was shed.
+    fn try_push(&self, index: usize) -> bool {
+        let mut inner = self.inner.lock().expect("queue lock poisoned");
+        if inner.jobs.len() >= self.cap {
+            return false;
+        }
+        inner.jobs.push_back(index);
+        inner.max_depth = inner.max_depth.max(inner.jobs.len());
+        self.not_empty.notify_one();
+        true
+    }
+
+    /// Blocks for work; `None` once the queue is closed and drained.
+    fn pop(&self) -> Option<usize> {
+        let mut inner = self.inner.lock().expect("queue lock poisoned");
+        loop {
+            if let Some(index) = inner.jobs.pop_front() {
+                self.not_full.notify_one();
+                return Some(index);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.not_empty.wait(inner).expect("queue lock poisoned");
+        }
+    }
+
+    fn close(&self) {
+        self.inner.lock().expect("queue lock poisoned").closed = true;
+        self.not_empty.notify_all();
+    }
+
+    fn max_depth(&self) -> usize {
+        self.inner.lock().expect("queue lock poisoned").max_depth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smx_align_core::AlignmentConfig;
+    use smx_coproc::faults::{FaultPlan, RecoveryPolicy};
+
+    fn pairs(config: AlignmentConfig, count: usize, len: usize) -> Vec<(Sequence, Sequence)> {
+        let card = config.alphabet().cardinality() as u32;
+        (0..count as u32)
+            .map(|p| {
+                let seq = |stride: u32, off: u32| {
+                    let codes: Vec<u8> = (0..len as u32)
+                        .map(|i| ((i * stride + off + p * 3 + (i >> 4)) % card) as u8)
+                        .collect();
+                    Sequence::from_codes(config.alphabet(), codes).unwrap()
+                };
+                (seq(7, 1), seq(5, p))
+            })
+            .collect()
+    }
+
+    fn clean_baseline(
+        config: AlignmentConfig,
+        batch: &[(Sequence, Sequence)],
+    ) -> Vec<Alignment> {
+        let mut dev = SmxDevice::new(config, 2).unwrap();
+        batch.iter().map(|(q, r)| dev.align(q, r).unwrap()).collect()
+    }
+
+    fn assert_byte_identical(report: &ServiceBatchReport, golden: &[Alignment]) {
+        assert_eq!(report.outcomes.len(), golden.len());
+        for (i, g) in golden.iter().enumerate() {
+            let a = report.alignment(i).unwrap_or_else(|| panic!("pair {i} not aligned"));
+            assert_eq!(a.score, g.score, "pair {i}");
+            assert_eq!(a.cigar.to_string(), g.cigar.to_string(), "pair {i}");
+        }
+    }
+
+    #[test]
+    fn pool_matches_sequential_baseline() {
+        let config = AlignmentConfig::DnaGap;
+        let batch = pairs(config, 16, 70);
+        let golden = clean_baseline(config, &batch);
+        let dev = SmxDevice::new(config, 2).unwrap();
+        let exec = BatchExecutor::new(
+            dev,
+            ExecutorConfig { jobs: 4, queue_cap: 4, ..ExecutorConfig::default() },
+        )
+        .unwrap();
+        let report = exec.run(&batch);
+        assert!(report.all_succeeded());
+        assert_byte_identical(&report, &golden);
+        assert_eq!(report.stats.completed, 16);
+        assert_eq!(report.stats.device_pairs, 16);
+        assert!(report.stats.max_queue_depth <= 4);
+    }
+
+    #[test]
+    fn fault_storm_through_pool_is_byte_identical_to_clean_run() {
+        let config = AlignmentConfig::DnaGap;
+        let batch = pairs(config, 20, 80);
+        let golden = clean_baseline(config, &batch);
+        let mut dev = SmxDevice::new(config, 2).unwrap();
+        dev.enable_fault_injection(FaultPlan::new(42, 0.3), RecoveryPolicy::default());
+        let exec = BatchExecutor::new(
+            dev,
+            ExecutorConfig {
+                jobs: 4,
+                queue_cap: 8,
+                breaker: Some(BreakerConfig::default()),
+                ..ExecutorConfig::default()
+            },
+        )
+        .unwrap();
+        let report = exec.run(&batch);
+        assert!(report.all_succeeded(), "{}", report.failure_summary());
+        assert_byte_identical(&report, &golden);
+        assert!(report.stats.recovery.invariants_hold());
+        assert!(report.stats.recovery.faults_injected > 0);
+    }
+
+    #[test]
+    fn breaker_opens_under_sustained_faults_and_outputs_stay_identical() {
+        let config = AlignmentConfig::DnaGap;
+        let batch = pairs(config, 40, 60);
+        let golden = clean_baseline(config, &batch);
+        let mut dev = SmxDevice::new(config, 2).unwrap();
+        // Every device pair faults somewhere: the breaker must trip.
+        dev.enable_fault_injection(FaultPlan::new(7, 1.0), RecoveryPolicy::default());
+        let exec = BatchExecutor::new(
+            dev,
+            ExecutorConfig {
+                jobs: 1, // deterministic transition sequence
+                breaker: Some(BreakerConfig {
+                    window: 8,
+                    min_samples: 4,
+                    threshold: 0.5,
+                    cooldown_pairs: 4,
+                    probes: 2,
+                }),
+                ..ExecutorConfig::default()
+            },
+        )
+        .unwrap();
+        let report = exec.run(&batch);
+        assert!(report.all_succeeded(), "{}", report.failure_summary());
+        assert_byte_identical(&report, &golden);
+        let snap = report.stats.breaker.expect("breaker configured");
+        assert!(snap.transitions.opened >= 2, "{snap:?}");
+        assert!(snap.transitions.half_opened >= 1, "{snap:?}");
+        assert_eq!(snap.transitions.closed, 0, "faults never stop: {snap:?}");
+        assert!(report.stats.software_pairs > 0);
+        assert!(report.stats.probe_pairs > 0);
+    }
+
+    #[test]
+    fn breaker_state_machine_transitions() {
+        let mut b = Breaker::new(BreakerConfig {
+            window: 4,
+            min_samples: 2,
+            threshold: 0.5,
+            cooldown_pairs: 2,
+            probes: 2,
+        });
+        assert_eq!(b.state(), BreakerState::Closed);
+        // Two faulted device pairs trip it.
+        assert_eq!(b.route(), Route::Device);
+        b.record(Route::Device, true);
+        assert_eq!(b.route(), Route::Device);
+        b.record(Route::Device, true);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.transitions().opened, 1);
+        // Cooldown: two software pairs.
+        assert_eq!(b.route(), Route::Software);
+        assert_eq!(b.route(), Route::Software);
+        // Then half-open probes.
+        assert_eq!(b.route(), Route::Probe);
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert_eq!(b.route(), Route::Probe);
+        // Probe budget exhausted: traffic stays on software.
+        assert_eq!(b.route(), Route::Software);
+        // Clean probes close it and clear the window.
+        b.record(Route::Probe, false);
+        b.record(Route::Probe, false);
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.transitions().closed, 1);
+        // A faulted probe after a re-trip is stale and ignored.
+        b.record(Route::Device, true);
+        b.record(Route::Device, true);
+        assert_eq!(b.state(), BreakerState::Open);
+        let opened = b.transitions().opened;
+        b.record(Route::Probe, true);
+        assert_eq!(b.transitions().opened, opened);
+    }
+
+    #[test]
+    fn faulted_probe_reopens_breaker() {
+        let mut b = Breaker::new(BreakerConfig {
+            window: 2,
+            min_samples: 2,
+            threshold: 0.5,
+            cooldown_pairs: 0,
+            probes: 1,
+        });
+        b.record(Route::Device, true);
+        b.record(Route::Device, true);
+        assert_eq!(b.state(), BreakerState::Open);
+        // Zero cooldown: next route is immediately a probe.
+        assert_eq!(b.route(), Route::Probe);
+        b.record(Route::Probe, true);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.transitions().opened, 2);
+    }
+
+    #[test]
+    fn zero_deadline_fails_every_pair_with_typed_error() {
+        let config = AlignmentConfig::DnaEdit;
+        let batch = pairs(config, 6, 50);
+        let dev = SmxDevice::new(config, 2).unwrap();
+        let exec = BatchExecutor::new(
+            dev,
+            ExecutorConfig {
+                jobs: 2,
+                deadline: Some(Duration::ZERO),
+                ..ExecutorConfig::default()
+            },
+        )
+        .unwrap();
+        let report = exec.run(&batch);
+        assert_eq!(report.stats.deadline_exceeded, 6);
+        assert_eq!(report.stats.failed, 6);
+        assert!(report
+            .outcomes
+            .iter()
+            .all(|o| matches!(o, PairOutcome::Failed(AlignError::DeadlineExceeded { .. }))));
+        assert!(report.failure_summary().contains("6 deadline-exceeded"));
+    }
+
+    #[test]
+    fn cancelled_batch_token_aborts_all_pairs() {
+        let config = AlignmentConfig::DnaEdit;
+        let batch = pairs(config, 5, 50);
+        let dev = SmxDevice::new(config, 2).unwrap();
+        let exec = BatchExecutor::new(
+            dev,
+            ExecutorConfig { jobs: 2, ..ExecutorConfig::default() },
+        )
+        .unwrap();
+        let token = CancelToken::new();
+        token.cancel();
+        let report = exec.run_with(
+            &batch,
+            RunOptions { cancel: Some(token), ..RunOptions::default() },
+        );
+        assert_eq!(report.stats.cancelled, 5);
+        assert!(report
+            .outcomes
+            .iter()
+            .all(|o| matches!(o, PairOutcome::Failed(AlignError::Cancelled))));
+    }
+
+    #[test]
+    fn shed_policy_preserves_accounting_invariants() {
+        let config = AlignmentConfig::DnaEdit;
+        let batch = pairs(config, 24, 60);
+        let dev = SmxDevice::new(config, 2).unwrap();
+        let exec = BatchExecutor::new(
+            dev,
+            ExecutorConfig {
+                jobs: 2,
+                queue_cap: 1,
+                admission: AdmissionPolicy::Shed,
+                ..ExecutorConfig::default()
+            },
+        )
+        .unwrap();
+        let report = exec.run(&batch);
+        let s = &report.stats;
+        assert_eq!(s.completed + s.failed + s.shed, 24);
+        assert_eq!(
+            report.outcomes.iter().filter(|o| matches!(o, PairOutcome::Shed)).count() as u64,
+            s.shed
+        );
+        // Whatever did run is byte-identical to the sequential baseline.
+        let golden = clean_baseline(config, &batch);
+        for (i, g) in golden.iter().enumerate() {
+            if let Some(a) = report.alignment(i) {
+                assert_eq!(a.score, g.score);
+                assert_eq!(a.cigar.to_string(), g.cigar.to_string());
+            }
+        }
+    }
+
+    #[test]
+    fn resume_skips_completed_pairs_and_reemits_them_verbatim() {
+        let config = AlignmentConfig::DnaGap;
+        let batch = pairs(config, 10, 60);
+        let dev = SmxDevice::new(config, 2).unwrap();
+        let exec =
+            BatchExecutor::new(dev, ExecutorConfig { jobs: 2, ..ExecutorConfig::default() })
+                .unwrap();
+        let full = exec.run(&batch);
+        assert!(full.all_succeeded());
+        // Pretend a crash happened after the even-indexed pairs.
+        let manifest: HashMap<usize, Alignment> = (0..10)
+            .step_by(2)
+            .map(|i| (i, full.alignment(i).unwrap().clone()))
+            .collect();
+        let mut computed = Vec::new();
+        let report = exec.run_with(
+            &batch,
+            RunOptions {
+                resume: Some(&manifest),
+                on_result: Some(&mut |i, _a: &Alignment| computed.push(i)),
+                ..RunOptions::default()
+            },
+        );
+        assert!(report.all_succeeded());
+        assert_eq!(report.stats.resumed, 5);
+        computed.sort_unstable();
+        assert_eq!(computed, vec![1, 3, 5, 7, 9], "only missing pairs recompute");
+        assert_eq!(report.outcomes, full.outcomes, "byte-identical to the full run");
+    }
+
+    #[test]
+    fn executor_config_validation() {
+        let config = AlignmentConfig::DnaEdit;
+        let dev = SmxDevice::new(config, 1).unwrap();
+        assert!(BatchExecutor::new(
+            dev.clone(),
+            ExecutorConfig { jobs: 0, ..ExecutorConfig::default() }
+        )
+        .is_err());
+        assert!(BatchExecutor::new(
+            dev.clone(),
+            ExecutorConfig { queue_cap: 0, ..ExecutorConfig::default() }
+        )
+        .is_err());
+        assert!(BatchExecutor::new(
+            dev.clone(),
+            ExecutorConfig {
+                breaker: Some(BreakerConfig { threshold: 1.5, ..BreakerConfig::default() }),
+                ..ExecutorConfig::default()
+            }
+        )
+        .is_err());
+        assert!(BatchExecutor::new(
+            dev,
+            ExecutorConfig {
+                breaker: Some(BreakerConfig { probes: 0, ..BreakerConfig::default() }),
+                ..ExecutorConfig::default()
+            }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn poisoned_pair_fails_closed_in_pool() {
+        let config = AlignmentConfig::DnaGap;
+        let mut batch = pairs(config, 6, 50);
+        let poisoned =
+            Sequence::from_text(smx_align_core::Alphabet::Protein, "WYVAC").unwrap();
+        batch[3] = (poisoned, batch[3].1.clone());
+        let dev = SmxDevice::new(config, 2).unwrap();
+        let exec =
+            BatchExecutor::new(dev, ExecutorConfig { jobs: 3, ..ExecutorConfig::default() })
+                .unwrap();
+        let report = exec.run(&batch);
+        assert_eq!(report.stats.failed, 1);
+        assert_eq!(report.stats.completed, 5);
+        assert!(matches!(
+            report.outcomes[3],
+            PairOutcome::Failed(AlignError::AlphabetMismatch)
+        ));
+        assert!(report.failure_summary().contains("pair 3:"));
+    }
+}

@@ -2,6 +2,7 @@
 //! sweeps the tile grid, keeps only tile borders, and tracks the absolute
 //! anchors needed to recompute any tile during traceback.
 
+use crate::control::CancelToken;
 use crate::engine::SmxEngine;
 use crate::faults::FaultSession;
 use crate::tile::{TileInput, TileOutput};
@@ -121,7 +122,28 @@ pub fn compute_block(
     input: Option<&BlockBorders>,
     mode: BlockMode,
 ) -> Result<BlockOutput, AlignError> {
-    compute_block_inner(engine, query, reference, input, mode, None)
+    compute_block_inner(engine, query, reference, input, mode, None, None)
+}
+
+/// [`compute_block`] with optional fault injection and cooperative
+/// control: `control` is checked at every tile boundary, abandoning the
+/// block with [`AlignError::Cancelled`] / [`AlignError::DeadlineExceeded`]
+/// when the token fires.
+///
+/// # Errors
+///
+/// Same conditions as [`compute_block_resilient`], plus the control
+/// errors above.
+pub fn compute_block_controlled(
+    engine: &SmxEngine,
+    query: &[u8],
+    reference: &[u8],
+    input: Option<&BlockBorders>,
+    mode: BlockMode,
+    session: Option<&mut FaultSession>,
+    control: Option<&CancelToken>,
+) -> Result<BlockOutput, AlignError> {
+    compute_block_inner(engine, query, reference, input, mode, session, control)
 }
 
 /// [`compute_block`] under an active fault-injection session: every tile
@@ -141,7 +163,7 @@ pub fn compute_block_resilient(
     mode: BlockMode,
     session: &mut FaultSession,
 ) -> Result<BlockOutput, AlignError> {
-    compute_block_inner(engine, query, reference, input, mode, Some(session))
+    compute_block_inner(engine, query, reference, input, mode, Some(session), None)
 }
 
 fn compute_block_inner(
@@ -151,6 +173,7 @@ fn compute_block_inner(
     input: Option<&BlockBorders>,
     mode: BlockMode,
     mut session: Option<&mut FaultSession>,
+    control: Option<&CancelToken>,
 ) -> Result<BlockOutput, AlignError> {
     let (m, n) = (query.len(), reference.len());
     if m == 0 || n == 0 {
@@ -192,6 +215,11 @@ fn compute_block_inner(
         let mut dv_carry: Vec<u8> = borders.left_dv[r0..r0 + rows].to_vec();
         let mut anchor = left_anchor;
         for tj in 0..t_cols {
+            // Tile boundary: the cooperative cancellation / deadline hook
+            // (same granularity as the fault watchdog).
+            if let Some(token) = control {
+                token.check()?;
+            }
             let c0 = tj * vl;
             let cols = (n - c0).min(vl);
             let r_seg = &reference[c0..c0 + cols];

@@ -2,10 +2,11 @@
 //! multiple SMX-workers, exposed through the block-offload interface the
 //! core drives via memory-mapped configuration registers.
 
-use crate::block::{compute_block, compute_block_resilient, BlockMode, BlockOutput};
+use crate::block::{compute_block_controlled, BlockMode, BlockOutput};
+use crate::control::CancelToken;
 use crate::engine::SmxEngine;
 use crate::faults::FaultSession;
-use crate::traceback::{traceback_block, traceback_block_resilient, RecomputeStats};
+use crate::traceback::{traceback_block_controlled, RecomputeStats};
 use smx_align_core::{AlignError, Cigar, ElementWidth, ScoringScheme};
 use smx_diffenc::boundary::BlockBorders;
 
@@ -19,6 +20,7 @@ use smx_diffenc::boundary::BlockBorders;
 pub struct SmxCoprocessor {
     engine: SmxEngine,
     workers: usize,
+    control: Option<CancelToken>,
 }
 
 impl SmxCoprocessor {
@@ -38,7 +40,20 @@ impl SmxCoprocessor {
         if workers == 0 {
             return Err(AlignError::Internal("coprocessor needs at least one worker".into()));
         }
-        Ok(SmxCoprocessor { engine: SmxEngine::new(ew, scheme)?, workers })
+        Ok(SmxCoprocessor { engine: SmxEngine::new(ew, scheme)?, workers, control: None })
+    }
+
+    /// Installs (or clears) the cooperative cancellation / deadline token
+    /// checked at every tile boundary of subsequent block computations and
+    /// tracebacks.
+    pub fn set_control(&mut self, control: Option<CancelToken>) {
+        self.control = control;
+    }
+
+    /// The installed control token, if any.
+    #[must_use]
+    pub fn control(&self) -> Option<&CancelToken> {
+        self.control.as_ref()
     }
 
     /// The compute engine.
@@ -65,7 +80,15 @@ impl SmxCoprocessor {
         input: Option<&BlockBorders>,
         mode: BlockMode,
     ) -> Result<BlockOutput, AlignError> {
-        compute_block(&self.engine, query, reference, input, mode)
+        compute_block_controlled(
+            &self.engine,
+            query,
+            reference,
+            input,
+            mode,
+            None,
+            self.control.as_ref(),
+        )
     }
 
     /// Offloads one DP-block computation under an active fault-injection
@@ -82,7 +105,15 @@ impl SmxCoprocessor {
         mode: BlockMode,
         session: &mut FaultSession,
     ) -> Result<BlockOutput, AlignError> {
-        compute_block_resilient(&self.engine, query, reference, input, mode, session)
+        compute_block_controlled(
+            &self.engine,
+            query,
+            reference,
+            input,
+            mode,
+            Some(session),
+            self.control.as_ref(),
+        )
     }
 
     /// Traces back a block previously computed in traceback mode.
@@ -99,7 +130,7 @@ impl SmxCoprocessor {
         let store = output.borders.as_ref().ok_or_else(|| {
             AlignError::Internal("block was computed in score-only mode".into())
         })?;
-        traceback_block(&self.engine, query, reference, store)
+        traceback_block_controlled(&self.engine, query, reference, store, None, self.control.as_ref())
     }
 
     /// Traces back under an active fault-injection session (border reads
@@ -118,7 +149,14 @@ impl SmxCoprocessor {
         let store = output.borders.as_ref().ok_or_else(|| {
             AlignError::Internal("block was computed in score-only mode".into())
         })?;
-        traceback_block_resilient(&self.engine, query, reference, store, session)
+        traceback_block_controlled(
+            &self.engine,
+            query,
+            reference,
+            store,
+            Some(session),
+            self.control.as_ref(),
+        )
     }
 }
 
@@ -147,6 +185,31 @@ mod tests {
         let q = vec![0u8; 8];
         let out = c.compute_block(&q, &q, None, BlockMode::ScoreOnly).unwrap();
         assert!(c.traceback(&q, &q, &out).is_err());
+    }
+
+    #[test]
+    fn cancelled_token_aborts_block_at_tile_boundary() {
+        let cfg = AlignmentConfig::DnaGap;
+        let mut c = SmxCoprocessor::new(cfg.element_width(), &cfg.scoring(), 2).unwrap();
+        let q: Vec<u8> = (0..64).map(|i| (i % 4) as u8).collect();
+        let token = CancelToken::new();
+        token.cancel();
+        c.set_control(Some(token));
+        let err = c.compute_block(&q, &q, None, BlockMode::Traceback).unwrap_err();
+        assert!(matches!(err, AlignError::Cancelled));
+        // Clearing the control restores normal operation.
+        c.set_control(None);
+        assert!(c.compute_block(&q, &q, None, BlockMode::Traceback).is_ok());
+    }
+
+    #[test]
+    fn expired_deadline_aborts_block() {
+        let cfg = AlignmentConfig::DnaEdit;
+        let mut c = SmxCoprocessor::new(cfg.element_width(), &cfg.scoring(), 2).unwrap();
+        let q = vec![0u8; 48];
+        c.set_control(Some(CancelToken::new().fork_with_deadline(std::time::Duration::ZERO)));
+        let err = c.compute_block(&q, &q, None, BlockMode::ScoreOnly).unwrap_err();
+        assert!(matches!(err, AlignError::DeadlineExceeded { .. }));
     }
 
     #[test]

@@ -29,6 +29,7 @@
 
 pub mod affine;
 pub mod block;
+pub mod control;
 pub mod coproc;
 pub mod engine;
 pub mod faults;
@@ -37,6 +38,7 @@ pub mod traceback;
 pub mod worker;
 
 pub use block::{BlockMode, BlockOutput, TileBorderStore};
+pub use control::CancelToken;
 pub use coproc::SmxCoprocessor;
 pub use engine::SmxEngine;
 pub use faults::{FaultEvent, FaultKind, FaultPlan, FaultSession, RecoveryPolicy, RecoveryStats};

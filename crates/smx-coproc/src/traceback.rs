@@ -8,6 +8,7 @@
 //! (diagonal ≻ insert ≻ delete).
 
 use crate::block::TileBorderStore;
+use crate::control::CancelToken;
 use crate::engine::SmxEngine;
 use crate::faults::FaultSession;
 use crate::tile::TileInput;
@@ -41,7 +42,26 @@ pub fn traceback_block(
     reference: &[u8],
     store: &TileBorderStore,
 ) -> Result<(Cigar, RecomputeStats), AlignError> {
-    traceback_block_inner(engine, query, reference, store, None)
+    traceback_block_inner(engine, query, reference, store, None, None)
+}
+
+/// [`traceback_block`] with optional fault injection and cooperative
+/// control: `control` is checked before every tile recomputation.
+///
+/// # Errors
+///
+/// Same conditions as [`traceback_block_resilient`], plus
+/// [`AlignError::Cancelled`] / [`AlignError::DeadlineExceeded`] when the
+/// token fires.
+pub fn traceback_block_controlled(
+    engine: &SmxEngine,
+    query: &[u8],
+    reference: &[u8],
+    store: &TileBorderStore,
+    session: Option<&mut FaultSession>,
+    control: Option<&CancelToken>,
+) -> Result<(Cigar, RecomputeStats), AlignError> {
+    traceback_block_inner(engine, query, reference, store, session, control)
 }
 
 /// [`traceback_block`] under an active fault-injection session: every
@@ -61,7 +81,7 @@ pub fn traceback_block_resilient(
     store: &TileBorderStore,
     session: &mut FaultSession,
 ) -> Result<(Cigar, RecomputeStats), AlignError> {
-    traceback_block_inner(engine, query, reference, store, Some(session))
+    traceback_block_inner(engine, query, reference, store, Some(session), None)
 }
 
 fn traceback_block_inner(
@@ -70,6 +90,7 @@ fn traceback_block_inner(
     reference: &[u8],
     store: &TileBorderStore,
     mut session: Option<&mut FaultSession>,
+    control: Option<&CancelToken>,
 ) -> Result<(Cigar, RecomputeStats), AlignError> {
     let (m, n) = store.block_dims();
     if query.len() != m || reference.len() != n {
@@ -98,6 +119,10 @@ fn traceback_block_inner(
             cigar.push_run(Op::Insert, gi_pos as u32);
             stats.steps += gi_pos as u64;
             break;
+        }
+        // Tile boundary: the cooperative cancellation / deadline hook.
+        if let Some(token) = control {
+            token.check()?;
         }
         let ti = (gi_pos - 1) / vl;
         let tj = (gj_pos - 1) / vl;

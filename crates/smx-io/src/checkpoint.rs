@@ -1,0 +1,319 @@
+//! Crash-safe batch checkpoint manifests (DESIGN.md §5.4).
+//!
+//! A manifest is an append-only text file with one line per *completed*
+//! pair, written and flushed as results arrive so a crash loses at most
+//! the line being written. Each line carries the pair index, the score,
+//! the CIGAR, and an FNV-1a checksum of the payload, so resuming can
+//! re-emit completed alignments byte-identically without recomputing
+//! them — and can detect a corrupted manifest instead of trusting it.
+//!
+//! Loading is tolerant of exactly one failure mode: a torn *final* line
+//! (the crash interrupted the last `write`). Anything malformed earlier
+//! in the file is a hard, line-numbered [`IoError::Parse`], because a
+//! corrupt middle line means the file was damaged after the fact, not
+//! torn by a crash.
+//!
+//! ```
+//! use smx_align_core::{Alignment, Cigar};
+//! use smx_io::checkpoint::{CheckpointWriter, Manifest};
+//!
+//! let mut buf = Vec::new();
+//! let mut w = CheckpointWriter::new(&mut buf);
+//! let aln = Alignment { score: 3, cigar: Cigar::parse("3=").unwrap() };
+//! w.record(0, &aln)?;
+//! let manifest = Manifest::parse(&buf[..])?;
+//! assert_eq!(manifest.completed[&0], aln);
+//! assert!(!manifest.torn_tail);
+//! # Ok::<(), smx_io::IoError>(())
+//! ```
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use smx_align_core::{Alignment, Cigar};
+
+use crate::IoError;
+
+/// FNV-1a 64-bit over the line payload; cheap, dependency-free, and
+/// plenty to catch truncation and bit rot in a text manifest.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn payload(index: usize, score: i32, cigar: &str) -> String {
+    format!("{index}\t{score}\t{cigar}")
+}
+
+/// Streams completed pairs into a manifest, flushing after every record
+/// so the file is crash-safe at line granularity.
+#[derive(Debug)]
+pub struct CheckpointWriter<W: Write> {
+    out: W,
+}
+
+impl CheckpointWriter<BufWriter<File>> {
+    /// Creates (truncating) a manifest file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-creation failures.
+    pub fn create(path: &Path) -> Result<CheckpointWriter<BufWriter<File>>, IoError> {
+        Ok(CheckpointWriter::new(BufWriter::new(File::create(path)?)))
+    }
+
+    /// Opens `path` for appending (the resume case: completed pairs from
+    /// the interrupted run stay valid, new ones are added after them).
+    ///
+    /// A torn final line left by the crash is truncated away first —
+    /// otherwise the tear and the first appended record would merge into
+    /// one corrupt *middle* line and poison the next load. (A corrupt
+    /// line elsewhere in the file already failed the [`Manifest::load`]
+    /// the resume flow does before appending.)
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-open and truncation failures.
+    pub fn append(path: &Path) -> Result<CheckpointWriter<BufWriter<File>>, IoError> {
+        let valid = match std::fs::read(path) {
+            Ok(bytes) => valid_prefix_len(&bytes),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => 0,
+            Err(e) => return Err(IoError::Io(e)),
+        };
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        file.set_len(valid as u64)?;
+        Ok(CheckpointWriter::new(BufWriter::new(file)))
+    }
+}
+
+impl<W: Write> CheckpointWriter<W> {
+    /// Wraps any writer (tests use a `Vec<u8>`).
+    pub fn new(out: W) -> CheckpointWriter<W> {
+        CheckpointWriter { out }
+    }
+
+    /// Appends one completed pair and flushes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write failures.
+    pub fn record(&mut self, index: usize, alignment: &Alignment) -> Result<(), IoError> {
+        let cigar = alignment.cigar.to_string();
+        let body = payload(index, alignment.score, &cigar);
+        let sum = fnv1a64(body.as_bytes());
+        writeln!(self.out, "{body}\t{sum:016x}")?;
+        self.out.flush()?;
+        Ok(())
+    }
+}
+
+/// A loaded manifest: the completed pairs, and whether the final line
+/// was torn by a crash.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Manifest {
+    /// Completed pairs by batch index. A pair recorded twice (a resume
+    /// appended over an older manifest) keeps the *last* record.
+    pub completed: HashMap<usize, Alignment>,
+    /// Whether a torn final line was discarded.
+    pub torn_tail: bool,
+}
+
+impl Manifest {
+    /// Parses a manifest from a reader.
+    ///
+    /// # Errors
+    ///
+    /// [`IoError::Parse`] with the 1-based line number for any malformed
+    /// line that is not the final one; I/O errors pass through. A torn
+    /// final line is tolerated and flagged in [`Manifest::torn_tail`].
+    pub fn parse<R: Read>(reader: R) -> Result<Manifest, IoError> {
+        let lines: Vec<String> =
+            BufReader::new(reader).lines().collect::<Result<_, _>>()?;
+        let mut manifest = Manifest::default();
+        let last = lines.len();
+        for (lineno, line) in lines.iter().enumerate() {
+            if line.is_empty() {
+                continue;
+            }
+            match parse_line(line) {
+                Ok((index, alignment)) => {
+                    manifest.completed.insert(index, alignment);
+                }
+                Err(message) if lineno + 1 == last => {
+                    // The crash tore the line being written; everything
+                    // before it is intact, so resume from there.
+                    let _ = message;
+                    manifest.torn_tail = true;
+                }
+                Err(message) => {
+                    return Err(IoError::Parse { line: lineno + 1, message });
+                }
+            }
+        }
+        Ok(manifest)
+    }
+
+    /// Parses the manifest at `path`; a missing file is an empty
+    /// manifest (a fresh run that has checkpointed nothing yet).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Manifest::parse`].
+    pub fn load(path: &Path) -> Result<Manifest, IoError> {
+        match File::open(path) {
+            Ok(f) => Manifest::parse(f),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Manifest::default()),
+            Err(e) => Err(IoError::Io(e)),
+        }
+    }
+}
+
+fn parse_line(line: &str) -> Result<(usize, Alignment), String> {
+    let fields: Vec<&str> = line.split('\t').collect();
+    let [index, score, cigar, sum] = fields.as_slice() else {
+        return Err(format!("expected 4 tab-separated fields, got {}", fields.len()));
+    };
+    let expected = u64::from_str_radix(sum, 16).map_err(|_| "unparseable checksum".to_string())?;
+    let body = payload_str(index, score, cigar);
+    let actual = fnv1a64(body.as_bytes());
+    if actual != expected {
+        return Err(format!("checksum mismatch: line says {expected:016x}, payload hashes to {actual:016x}"));
+    }
+    let index: usize = index.parse().map_err(|_| format!("bad pair index {index:?}"))?;
+    let score: i32 = score.parse().map_err(|_| format!("bad score {score:?}"))?;
+    let cigar = Cigar::parse(cigar).map_err(|e| format!("bad cigar: {e}"))?;
+    Ok((index, Alignment { score, cigar }))
+}
+
+fn payload_str(index: &str, score: &str, cigar: &str) -> String {
+    format!("{index}\t{score}\t{cigar}")
+}
+
+/// Length of the longest prefix of `bytes` made of whole, valid manifest
+/// lines — the safe point to truncate to before appending.
+fn valid_prefix_len(bytes: &[u8]) -> usize {
+    let mut end = 0;
+    let mut start = 0;
+    while let Some(nl) = bytes[start..].iter().position(|&b| b == b'\n') {
+        let line = &bytes[start..start + nl];
+        let ok = line.is_empty()
+            || std::str::from_utf8(line).is_ok_and(|l| parse_line(l).is_ok());
+        if !ok {
+            break;
+        }
+        start += nl + 1;
+        end = start;
+    }
+    end
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn aln(score: i32, cigar: &str) -> Alignment {
+        Alignment { score, cigar: Cigar::parse(cigar).unwrap() }
+    }
+
+    fn manifest_bytes(entries: &[(usize, Alignment)]) -> Vec<u8> {
+        let mut buf = Vec::new();
+        let mut w = CheckpointWriter::new(&mut buf);
+        for (i, a) in entries {
+            w.record(*i, a).unwrap();
+        }
+        buf
+    }
+
+    #[test]
+    fn roundtrip() {
+        let entries = vec![(0, aln(5, "5=")), (3, aln(-2, "2=1X1I1D")), (1, aln(0, "1=1X"))];
+        let buf = manifest_bytes(&entries);
+        let m = Manifest::parse(&buf[..]).unwrap();
+        assert!(!m.torn_tail);
+        assert_eq!(m.completed.len(), 3);
+        for (i, a) in &entries {
+            assert_eq!(&m.completed[i], a);
+        }
+    }
+
+    #[test]
+    fn torn_final_line_is_tolerated_at_any_truncation_point() {
+        let entries = vec![(0, aln(5, "5=")), (1, aln(7, "3=2X")), (2, aln(1, "1="))];
+        let buf = manifest_bytes(&entries);
+        // The full file parses; then any strictly-truncated prefix must
+        // also parse, keeping every intact line before the tear.
+        for cut in 0..buf.len() {
+            let m = Manifest::parse(&buf[..cut])
+                .unwrap_or_else(|e| panic!("cut at byte {cut}: {e}"));
+            // Number of complete lines before the cut.
+            let whole = buf[..cut].iter().filter(|&&b| b == b'\n').count();
+            assert!(m.completed.len() >= whole, "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn corrupt_middle_line_is_a_hard_lined_error() {
+        let entries = vec![(0, aln(5, "5=")), (1, aln(7, "3=2X")), (2, aln(1, "1="))];
+        let mut buf = manifest_bytes(&entries);
+        // Flip a digit inside the second line's score field.
+        let line2_start = buf.iter().position(|&b| b == b'\n').unwrap() + 1;
+        buf[line2_start] = b'9';
+        let err = Manifest::parse(&buf[..]).unwrap_err();
+        match err {
+            IoError::Parse { line, message } => {
+                assert_eq!(line, 2);
+                assert!(message.contains("checksum mismatch"), "{message}");
+            }
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_index_keeps_last_record() {
+        let buf = manifest_bytes(&[(4, aln(1, "1=")), (4, aln(9, "9="))]);
+        let m = Manifest::parse(&buf[..]).unwrap();
+        assert_eq!(m.completed[&4], aln(9, "9="));
+    }
+
+    #[test]
+    fn append_after_torn_tail_yields_loadable_manifest() {
+        let dir = std::env::temp_dir().join("smx-checkpoint-append");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("manifest.tsv");
+        let full = manifest_bytes(&[(0, aln(5, "5=")), (1, aln(7, "3=2X"))]);
+        // A crash tore the second line mid-way.
+        std::fs::write(&path, &full[..full.len() - 4]).unwrap();
+        let mut w = CheckpointWriter::append(&path).unwrap();
+        w.record(1, &aln(7, "3=2X")).unwrap();
+        w.record(2, &aln(1, "1=")).unwrap();
+        drop(w);
+        let m = Manifest::load(&path).unwrap();
+        assert!(!m.torn_tail, "the tear must have been truncated away");
+        assert_eq!(m.completed.len(), 3);
+        assert_eq!(m.completed[&1], aln(7, "3=2X"));
+    }
+
+    #[test]
+    fn missing_file_is_empty_manifest() {
+        let m = Manifest::load(Path::new("/nonexistent/smx-checkpoint-test")).unwrap();
+        assert!(m.completed.is_empty());
+    }
+
+    #[test]
+    fn malformed_field_counts_are_reported() {
+        let err = Manifest::parse(&b"0\t1\n1\t1\t1=\tdeadbeef\n"[..]).unwrap_err();
+        match err {
+            IoError::Parse { line, message } => {
+                assert_eq!(line, 1);
+                assert!(message.contains("4 tab-separated fields"), "{message}");
+            }
+            other => panic!("unexpected error {other}"),
+        }
+    }
+}

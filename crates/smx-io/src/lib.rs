@@ -18,6 +18,7 @@
 //! # Ok::<(), smx_io::IoError>(())
 //! ```
 
+pub mod checkpoint;
 pub mod fasta;
 pub mod fastq;
 pub mod matrix;
