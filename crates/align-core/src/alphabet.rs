@@ -25,12 +25,8 @@ pub enum Alphabet {
 
 impl Alphabet {
     /// All alphabets, in EW order.
-    pub const ALL: [Alphabet; 4] = [
-        Alphabet::Dna2,
-        Alphabet::Dna4,
-        Alphabet::Protein,
-        Alphabet::Ascii,
-    ];
+    pub const ALL: [Alphabet; 4] =
+        [Alphabet::Dna2, Alphabet::Dna4, Alphabet::Protein, Alphabet::Ascii];
 
     /// Bits used to encode one symbol (2, 4, 6, or 8).
     #[must_use]
@@ -127,14 +123,12 @@ impl Alphabet {
     pub fn decode(self, code: u8) -> Result<char, AlignError> {
         let err = || AlignError::InvalidCode { code, alphabet: self.name() };
         match self {
-            Alphabet::Dna2 => [b'A', b'C', b'G', b'T']
-                .get(code as usize)
-                .map(|&b| b as char)
-                .ok_or_else(err),
-            Alphabet::Dna4 => b"ACGTNRYSWKMBDHVU"
-                .get(code as usize)
-                .map(|&b| b as char)
-                .ok_or_else(err),
+            Alphabet::Dna2 => {
+                [b'A', b'C', b'G', b'T'].get(code as usize).map(|&b| b as char).ok_or_else(err)
+            }
+            Alphabet::Dna4 => {
+                b"ACGTNRYSWKMBDHVU".get(code as usize).map(|&b| b as char).ok_or_else(err)
+            }
             Alphabet::Protein => {
                 if code < 26 {
                     Ok((b'A' + code) as char)
@@ -179,10 +173,7 @@ mod tests {
 
     #[test]
     fn dna2_rejects_n() {
-        assert!(matches!(
-            Alphabet::Dna2.encode('N'),
-            Err(AlignError::InvalidSymbol { .. })
-        ));
+        assert!(matches!(Alphabet::Dna2.encode('N'), Err(AlignError::InvalidSymbol { .. })));
     }
 
     #[test]

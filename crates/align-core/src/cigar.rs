@@ -110,21 +110,13 @@ impl Cigar {
     /// Number of query symbols consumed.
     #[must_use]
     pub fn query_len(&self) -> usize {
-        self.runs
-            .iter()
-            .filter(|(op, _)| op.consumes_query())
-            .map(|&(_, n)| n as usize)
-            .sum()
+        self.runs.iter().filter(|(op, _)| op.consumes_query()).map(|&(_, n)| n as usize).sum()
     }
 
     /// Number of reference symbols consumed.
     #[must_use]
     pub fn reference_len(&self) -> usize {
-        self.runs
-            .iter()
-            .filter(|(op, _)| op.consumes_reference())
-            .map(|&(_, n)| n as usize)
-            .sum()
+        self.runs.iter().filter(|(op, _)| op.consumes_reference()).map(|&(_, n)| n as usize).sum()
     }
 
     /// Fraction of operations that are matches, in `[0, 1]`.
@@ -133,12 +125,8 @@ impl Cigar {
         if self.is_empty() {
             return 0.0;
         }
-        let matches: usize = self
-            .runs
-            .iter()
-            .filter(|(op, _)| *op == Op::Match)
-            .map(|&(_, n)| n as usize)
-            .sum();
+        let matches: usize =
+            self.runs.iter().filter(|(op, _)| *op == Op::Match).map(|&(_, n)| n as usize).sum();
         matches as f64 / self.len() as f64
     }
 
@@ -149,7 +137,12 @@ impl Cigar {
     ///
     /// Returns [`AlignError::Internal`] if the CIGAR does not consume
     /// exactly the two sequences or labels a match/mismatch incorrectly.
-    pub fn score(&self, query: &[u8], reference: &[u8], scheme: &ScoringScheme) -> Result<i32, AlignError> {
+    pub fn score(
+        &self,
+        query: &[u8],
+        reference: &[u8],
+        scheme: &ScoringScheme,
+    ) -> Result<i32, AlignError> {
         let mut qi = 0usize;
         let mut rj = 0usize;
         let mut total = 0i64;
@@ -244,9 +237,7 @@ impl Cigar {
                 'I' => Op::Insert,
                 'D' => Op::Delete,
                 other => {
-                    return Err(AlignError::Internal(format!(
-                        "unknown cigar operation {other:?}"
-                    )))
+                    return Err(AlignError::Internal(format!("unknown cigar operation {other:?}")))
                 }
             };
             cigar.push_run(op, count as u32);
@@ -327,7 +318,12 @@ impl Alignment {
     /// # Errors
     ///
     /// Returns [`AlignError::Internal`] describing the inconsistency.
-    pub fn verify(&self, query: &[u8], reference: &[u8], scheme: &ScoringScheme) -> Result<(), AlignError> {
+    pub fn verify(
+        &self,
+        query: &[u8],
+        reference: &[u8],
+        scheme: &ScoringScheme,
+    ) -> Result<(), AlignError> {
         let rescored = self.cigar.score(query, reference, scheme)?;
         if rescored != self.score {
             return Err(AlignError::Internal(format!(

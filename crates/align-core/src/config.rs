@@ -23,12 +23,8 @@ pub enum ElementWidth {
 
 impl ElementWidth {
     /// All widths in increasing order.
-    pub const ALL: [ElementWidth; 4] = [
-        ElementWidth::W2,
-        ElementWidth::W4,
-        ElementWidth::W6,
-        ElementWidth::W8,
-    ];
+    pub const ALL: [ElementWidth; 4] =
+        [ElementWidth::W2, ElementWidth::W4, ElementWidth::W6, ElementWidth::W8];
 
     /// Bits per DP-element.
     #[must_use]
@@ -206,10 +202,8 @@ mod tests {
 
     #[test]
     fn pipeline_depths_match_paper() {
-        let depths: Vec<u32> = ElementWidth::ALL
-            .iter()
-            .map(|ew| ew.engine_pipeline_depth())
-            .collect();
+        let depths: Vec<u32> =
+            ElementWidth::ALL.iter().map(|ew| ew.engine_pipeline_depth()).collect();
         assert_eq!(depths, vec![7, 5, 4, 3]);
     }
 

@@ -171,7 +171,11 @@ pub fn traceback(dp: &DpMatrix, query: &[u8], reference: &[u8], scheme: &Scoring
 ///
 /// Returns [`AlignError::AlphabetMismatch`] if the sequences use different
 /// alphabets and [`AlignError::EmptySequence`] if either is empty.
-pub fn align(query: &Sequence, reference: &Sequence, scheme: &ScoringScheme) -> Result<Alignment, AlignError> {
+pub fn align(
+    query: &Sequence,
+    reference: &Sequence,
+    scheme: &ScoringScheme,
+) -> Result<Alignment, AlignError> {
     if query.alphabet() != reference.alphabet() {
         return Err(AlignError::AlphabetMismatch);
     }

@@ -31,7 +31,12 @@ impl AffineScheme {
     /// # Errors
     ///
     /// Returns [`AlignError::InvalidScoring`] on sign violations.
-    pub fn new(match_score: i32, mismatch: i32, gap_open: i32, gap_extend: i32) -> Result<AffineScheme, AlignError> {
+    pub fn new(
+        match_score: i32,
+        mismatch: i32,
+        gap_open: i32,
+        gap_extend: i32,
+    ) -> Result<AffineScheme, AlignError> {
         if match_score < 0 || mismatch > 0 || gap_open > 0 || gap_extend >= 0 {
             return Err(AlignError::InvalidScoring(format!(
                 "affine scheme signs invalid: M={match_score} X={mismatch} O={gap_open} E={gap_extend}"
@@ -80,7 +85,11 @@ const NEG: i32 = i32::MIN / 4;
 ///
 /// Returns [`AlignError::EmptySequence`] for empty inputs.
 #[allow(clippy::needless_range_loop)] // index loops mirror the recurrences
-pub fn affine_align(query: &[u8], reference: &[u8], scheme: &AffineScheme) -> Result<Alignment, AlignError> {
+pub fn affine_align(
+    query: &[u8],
+    reference: &[u8],
+    scheme: &AffineScheme,
+) -> Result<Alignment, AlignError> {
     if query.is_empty() || reference.is_empty() {
         return Err(AlignError::EmptySequence);
     }
@@ -253,7 +262,9 @@ pub fn affine_rescore(
             Op::Match | Op::Mismatch => {
                 for _ in 0..count {
                     let (a, b) = (
-                        *query.get(qi).ok_or_else(|| AlignError::Internal("query overrun".into()))?,
+                        *query
+                            .get(qi)
+                            .ok_or_else(|| AlignError::Internal("query overrun".into()))?,
                         *reference
                             .get(rj)
                             .ok_or_else(|| AlignError::Internal("reference overrun".into()))?,
@@ -337,13 +348,8 @@ mod tests {
         let a = affine_align(&q, &r, &s()).unwrap();
         // Expect one 2-long deletion: 6 matches + gap(2) = 12 - 8 = 4.
         assert_eq!(a.score, 12 - (4 + 2 * 2));
-        let deletions: Vec<u32> = a
-            .cigar
-            .runs()
-            .iter()
-            .filter(|(op, _)| *op == Op::Delete)
-            .map(|&(_, n)| n)
-            .collect();
+        let deletions: Vec<u32> =
+            a.cigar.runs().iter().filter(|(op, _)| *op == Op::Delete).map(|&(_, n)| n).collect();
         assert_eq!(deletions, vec![2], "single consolidated gap");
     }
 

@@ -63,7 +63,8 @@ pub fn local_align(
     let mut cigar = Cigar::new();
     while i > 0 && j > 0 && h[i * w + j] > 0 {
         let here = h[i * w + j];
-        if here == h[(i - 1) * w + j - 1].saturating_add(scheme.score(query[i - 1], reference[j - 1]))
+        if here
+            == h[(i - 1) * w + j - 1].saturating_add(scheme.score(query[i - 1], reference[j - 1]))
         {
             cigar.push(if query[i - 1] == reference[j - 1] { Op::Match } else { Op::Mismatch });
             i -= 1;
@@ -80,12 +81,7 @@ pub fn local_align(
         }
     }
     cigar.reverse();
-    Ok(LocalAlignment {
-        score: best,
-        query_range: i..bi,
-        reference_range: j..bj,
-        cigar,
-    })
+    Ok(LocalAlignment { score: best, query_range: i..bi, reference_range: j..bj, cigar })
 }
 
 /// Score-only local alignment in `O(n)` memory.

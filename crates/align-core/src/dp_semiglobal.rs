@@ -84,9 +84,8 @@ pub fn semiglobal_score(query: &[u8], reference: &[u8], scheme: &ScoringScheme) 
         let mut diag = row[0];
         row[0] = (i as i32 + 1) * gi;
         for j in 1..=n {
-            let v = (diag + scheme.score(q, reference[j - 1]))
-                .max(row[j] + gi)
-                .max(row[j - 1] + gd);
+            let v =
+                (diag + scheme.score(q, reference[j - 1])).max(row[j] + gi).max(row[j - 1] + gd);
             diag = row[j];
             row[j] = v;
         }
@@ -135,10 +134,7 @@ mod tests {
         let q = [0u8, 1, 2, 3, 0, 1];
         let r = [2u8, 3, 0, 1, 2, 3, 0, 1, 3];
         let s = scheme();
-        assert_eq!(
-            semiglobal_score(&q, &r, &s),
-            semiglobal_align(&q, &r, &s).unwrap().score
-        );
+        assert_eq!(semiglobal_score(&q, &r, &s), semiglobal_align(&q, &r, &s).unwrap().score);
     }
 
     #[test]

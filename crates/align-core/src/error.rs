@@ -81,6 +81,18 @@ pub enum AlignError {
         /// The per-pair budget that was exceeded, in milliseconds.
         budget_ms: u64,
     },
+    /// A result audit caught a device returning a plausible-but-wrong
+    /// alignment: the CIGAR is malformed, disagrees with the sequences,
+    /// or does not re-score to the claimed score. Raised by the service
+    /// layer's scoreboard (`Cigar`/`Alignment` re-verification), never
+    /// by the device itself — silent readout corruption is by definition
+    /// invisible to the device's own border checksums.
+    IntegrityViolation {
+        /// Pool index of the device whose result failed the audit.
+        device: usize,
+        /// Human-readable description of the inconsistency.
+        detail: String,
+    },
     /// An internal invariant was violated (indicates a bug, surfaced as an
     /// error rather than a panic for robustness in harnesses).
     Internal(String),
@@ -111,10 +123,9 @@ impl fmt::Display for AlignError {
                 write!(f, "code {code} is out of range for alphabet {alphabet}")
             }
             AlignError::InvalidScoring(msg) => write!(f, "invalid scoring scheme: {msg}"),
-            AlignError::ElementWidthOverflow { theta, ew_bits } => write!(
-                f,
-                "score range [0, {theta}] does not fit in a {ew_bits}-bit element"
-            ),
+            AlignError::ElementWidthOverflow { theta, ew_bits } => {
+                write!(f, "score range [0, {theta}] does not fit in a {ew_bits}-bit element")
+            }
             AlignError::EmptySequence => write!(f, "sequences must be non-empty"),
             AlignError::AlphabetMismatch => write!(f, "sequences use different alphabets"),
             AlignError::TileCorrupted { ti, tj } => {
@@ -127,13 +138,15 @@ impl fmt::Display for AlignError {
             AlignError::PackDivergence { position } => {
                 write!(f, "smx.pack produced diverging codes at position {position}")
             }
-            AlignError::RecoveryExhausted { ti, tj, retries } => write!(
-                f,
-                "recovery exhausted after {retries} retries on tile ({ti}, {tj})"
-            ),
+            AlignError::RecoveryExhausted { ti, tj, retries } => {
+                write!(f, "recovery exhausted after {retries} retries on tile ({ti}, {tj})")
+            }
             AlignError::Cancelled => write!(f, "alignment cancelled"),
             AlignError::DeadlineExceeded { budget_ms } => {
                 write!(f, "deadline of {budget_ms} ms exceeded")
+            }
+            AlignError::IntegrityViolation { device, detail } => {
+                write!(f, "integrity audit failed on device {device}: {detail}")
             }
             AlignError::Internal(msg) => write!(f, "internal invariant violated: {msg}"),
         }
@@ -161,6 +174,7 @@ mod tests {
             AlignError::RecoveryExhausted { ti: 2, tj: 2, retries: 3 },
             AlignError::Cancelled,
             AlignError::DeadlineExceeded { budget_ms: 250 },
+            AlignError::IntegrityViolation { device: 3, detail: "score mismatch".into() },
             AlignError::Internal("oops".into()),
         ];
         for e in errs {
@@ -180,16 +194,20 @@ mod tests {
     #[test]
     fn fault_variants_are_recoverable_input_errors_are_not() {
         assert!(AlignError::TileCorrupted { ti: 0, tj: 0 }.is_recoverable_fault());
-        assert!(AlignError::WorkerTimeout { ti: 0, tj: 0, deadline_cycles: 1 }
-            .is_recoverable_fault());
-        assert!(AlignError::RecoveryExhausted { ti: 0, tj: 0, retries: 0 }
-            .is_recoverable_fault());
+        assert!(
+            AlignError::WorkerTimeout { ti: 0, tj: 0, deadline_cycles: 1 }.is_recoverable_fault()
+        );
+        assert!(AlignError::RecoveryExhausted { ti: 0, tj: 0, retries: 0 }.is_recoverable_fault());
         assert!(!AlignError::EmptySequence.is_recoverable_fault());
         assert!(!AlignError::AlphabetMismatch.is_recoverable_fault());
         // Cancellation and deadline expiry must never trigger the software
         // fallback: retrying or degrading would defeat their purpose.
         assert!(!AlignError::Cancelled.is_recoverable_fault());
         assert!(!AlignError::DeadlineExceeded { budget_ms: 1 }.is_recoverable_fault());
+        // Integrity violations are handled by the scoreboard's own
+        // retry-then-recompute ladder, not by tile-level recovery.
+        assert!(!AlignError::IntegrityViolation { device: 0, detail: String::new() }
+            .is_recoverable_fault());
         assert!(!AlignError::PackDivergence { position: 0 }.is_recoverable_fault());
         assert!(!AlignError::Internal("x".into()).is_recoverable_fault());
     }

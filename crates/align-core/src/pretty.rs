@@ -41,9 +41,7 @@ pub fn render(
                     *r_text.get(rj).ok_or_else(|| overrun("reference"))?,
                 );
                 if (a == b) != (op == Op::Match) {
-                    return Err(AlignError::Internal(format!(
-                        "cigar mislabels column at q[{qi}]"
-                    )));
+                    return Err(AlignError::Internal(format!("cigar mislabels column at q[{qi}]")));
                 }
                 q_row.push(a);
                 m_row.push(if op == Op::Match { '|' } else { '.' });
@@ -70,12 +68,8 @@ pub fn render(
     }
 
     // Wrap into blocks with 1-based coordinates.
-    let cols: Vec<(char, char, char)> = q_row
-        .chars()
-        .zip(m_row.chars())
-        .zip(r_row.chars())
-        .map(|((q, m), r)| (q, m, r))
-        .collect();
+    let cols: Vec<(char, char, char)> =
+        q_row.chars().zip(m_row.chars()).zip(r_row.chars()).map(|((q, m), r)| (q, m, r)).collect();
     let mut out = String::new();
     let (mut q_pos, mut r_pos) = (1usize, 1usize);
     for block in cols.chunks(width) {

@@ -15,8 +15,7 @@ use crate::submat::SubstMatrix;
 /// constructed once per run and passed by reference, so the size skew is
 /// intentional (no indirection on the score hot path).
 #[allow(clippy::large_enum_variant)]
-#[derive(Debug, Clone, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub enum ScoringScheme {
     /// Unit-cost edit model: match 0, mismatch −1, gaps −1.
     #[default]
@@ -133,8 +132,9 @@ impl ScoringScheme {
     pub fn gap_insert(&self) -> i32 {
         match self {
             ScoringScheme::Edit => -1,
-            ScoringScheme::Linear { gap_insert, .. }
-            | ScoringScheme::Matrix { gap_insert, .. } => *gap_insert,
+            ScoringScheme::Linear { gap_insert, .. } | ScoringScheme::Matrix { gap_insert, .. } => {
+                *gap_insert
+            }
         }
     }
 
@@ -143,8 +143,9 @@ impl ScoringScheme {
     pub fn gap_delete(&self) -> i32 {
         match self {
             ScoringScheme::Edit => -1,
-            ScoringScheme::Linear { gap_delete, .. }
-            | ScoringScheme::Matrix { gap_delete, .. } => *gap_delete,
+            ScoringScheme::Linear { gap_delete, .. } | ScoringScheme::Matrix { gap_delete, .. } => {
+                *gap_delete
+            }
         }
     }
 
@@ -207,7 +208,6 @@ impl ScoringScheme {
         matches!(self, ScoringScheme::Matrix { .. })
     }
 }
-
 
 #[cfg(test)]
 mod tests {

@@ -22,10 +22,8 @@ impl Sequence {
     /// Returns [`AlignError::InvalidSymbol`] on the first character that is
     /// not part of `alphabet`.
     pub fn from_text(alphabet: Alphabet, text: &str) -> Result<Sequence, AlignError> {
-        let codes = text
-            .chars()
-            .map(|c| alphabet.encode(c))
-            .collect::<Result<Vec<u8>, AlignError>>()?;
+        let codes =
+            text.chars().map(|c| alphabet.encode(c)).collect::<Result<Vec<u8>, AlignError>>()?;
         Ok(Sequence { alphabet, codes })
     }
 
@@ -78,10 +76,7 @@ impl Sequence {
     /// Decodes back to text.
     #[must_use]
     pub fn to_text(&self) -> String {
-        self.codes
-            .iter()
-            .map(|&c| self.alphabet.decode(c).expect("codes are validated"))
-            .collect()
+        self.codes.iter().map(|&c| self.alphabet.decode(c).expect("codes are validated")).collect()
     }
 
     /// A sub-sequence covering `range` (clamped to the sequence length).

@@ -11,8 +11,8 @@ use crate::error::AlignError;
 
 /// Canonical residue order used by published BLOSUM/PAM tables.
 const RESIDUES: [u8; 20] = [
-    b'A', b'R', b'N', b'D', b'C', b'Q', b'E', b'G', b'H', b'I', b'L', b'K', b'M', b'F', b'P',
-    b'S', b'T', b'W', b'Y', b'V',
+    b'A', b'R', b'N', b'D', b'C', b'Q', b'E', b'G', b'H', b'I', b'L', b'K', b'M', b'F', b'P', b'S',
+    b'T', b'W', b'Y', b'V',
 ];
 
 /// A symmetric 26×26 substitution matrix over the letters `A`–`Z`.
@@ -50,7 +50,8 @@ impl SubstMatrix {
         for &(amb, x, y) in &pairs {
             for &c in &RESIDUES {
                 // Average, rounding toward negative infinity as NCBI does.
-                let v = (scores[idx(x)][idx(c)] as i16 + scores[idx(y)][idx(c)] as i16).div_euclid(2);
+                let v =
+                    (scores[idx(x)][idx(c)] as i16 + scores[idx(y)][idx(c)] as i16).div_euclid(2);
                 scores[idx(amb)][idx(c)] = v as i8;
                 scores[idx(c)][idx(amb)] = v as i8;
             }
@@ -70,7 +71,10 @@ impl SubstMatrix {
     /// # Errors
     ///
     /// Returns [`AlignError::InvalidScoring`] if the table is asymmetric.
-    pub fn from_scores(name: &'static str, scores: [[i8; 26]; 26]) -> Result<SubstMatrix, AlignError> {
+    pub fn from_scores(
+        name: &'static str,
+        scores: [[i8; 26]; 26],
+    ) -> Result<SubstMatrix, AlignError> {
         let m = SubstMatrix { name, scores };
         m.check_symmetric()?;
         Ok(m)

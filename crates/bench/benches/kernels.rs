@@ -63,9 +63,7 @@ fn bench_block_kernels(c: &mut Criterion) {
     let coproc = SmxCoprocessor::new(cfg.element_width(), &scheme, 4).unwrap();
     g.bench_function("smx2d_score", |b| {
         b.iter(|| {
-            coproc
-                .compute_block(std::hint::black_box(&q), &r, None, BlockMode::ScoreOnly)
-                .unwrap()
+            coproc.compute_block(std::hint::black_box(&q), &r, None, BlockMode::ScoreOnly).unwrap()
         })
     });
     g.bench_function("smx2d_traceback", |b| {
@@ -97,9 +95,9 @@ fn bench_software_baselines(c: &mut Criterion) {
 }
 
 fn bench_extensions(c: &mut Criterion) {
+    use smx::algos::adaptive;
     use smx::align::dp_affine::AffineScheme;
     use smx::align::ScoringScheme;
-    use smx::algos::adaptive;
     use smx::coproc::affine::AffineEngine;
     use smx::diffenc::affine::AffinePenalties;
     let q = seq(1024, 5, 4);

@@ -15,7 +15,14 @@ fn main() {
     let len = scaled(1000, 400);
     header(&format!("Ablation: smx.v+smx.h vs merged smx.vh ({len}x{len} score-only)"));
     row(
-        &[&"config", &"2-insn SMX ops", &"merged ops", &"2-insn cyc/col*", &"merged cyc/col*", &"gain"],
+        &[
+            &"config",
+            &"2-insn SMX ops",
+            &"merged ops",
+            &"2-insn cyc/col*",
+            &"merged cyc/col*",
+            &"gain",
+        ],
         &[9, 14, 11, 14, 14, 7],
     );
     for config in AlignmentConfig::ALL {
@@ -25,8 +32,7 @@ fn main() {
         let mut u1 = Smx1dUnit::configure(config.element_width(), &scheme).unwrap();
         let mut u2 = Smx1dUnit::configure(config.element_width(), &scheme).unwrap();
         let two = kernels::score_block(&mut u1, q.codes(), r.codes(), None).unwrap();
-        let merged =
-            kernels::score_block_dualport(&mut u2, q.codes(), r.codes(), None).unwrap();
+        let merged = kernels::score_block_dualport(&mut u2, q.codes(), r.codes(), None).unwrap();
         assert_eq!(two.score, merged.score);
 
         // Per-column cycle model on the in-order edge core, where issue
@@ -40,11 +46,7 @@ fn main() {
             LoopKernel::compute_only(
                 "col",
                 1.0,
-                vec![
-                    (UopClass::Smx, smx_ops),
-                    (UopClass::IntAlu, 3.0),
-                    (UopClass::Branch, 1.0),
-                ],
+                vec![(UopClass::Smx, smx_ops), (UopClass::IntAlu, 3.0), (UopClass::Branch, 1.0)],
                 recurrence,
             )
         };

@@ -12,8 +12,7 @@ fn run(ew: ElementWidth, workers: usize, prefetch: bool, len: usize) -> f64 {
     let mut cfg = CoprocTimingConfig::for_ew(ew, workers);
     cfg.prefetch = prefetch;
     let sim = CoprocSim::new(cfg);
-    sim.simulate_uniform(BlockShape::from_dims(len, len, ew, false), workers.max(4))
-        .utilization
+    sim.simulate_uniform(BlockShape::from_dims(len, len, ew, false), workers.max(4)).utilization
 }
 
 fn main() {

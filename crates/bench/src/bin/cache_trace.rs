@@ -14,9 +14,9 @@ fn replay(len: usize, ew: ElementWidth, blocks: usize, l2_bytes: u64) -> f64 {
     let mut l2 = Cache::new(l2_bytes, 8);
     let cpl = 512 / ew.bits() as usize; // chars per line
     let st = len.div_ceil(cpl); // supertiles per side
-    // Address map: query at 0x1000_0000, reference at 0x2000_0000,
-    // Δh border row at 0x3000_0000 (reused across supertile rows),
-    // Δv border column buffer at 0x4000_0000.
+                                // Address map: query at 0x1000_0000, reference at 0x2000_0000,
+                                // Δh border row at 0x3000_0000 (reused across supertile rows),
+                                // Δv border column buffer at 0x4000_0000.
     for b in 0..blocks as u64 {
         let qbase = 0x1000_0000 + b * 0x0100_0000;
         let rbase = 0x2000_0000 + b * 0x0100_0000;
@@ -40,10 +40,7 @@ fn replay(len: usize, ew: ElementWidth, blocks: usize, l2_bytes: u64) -> f64 {
 
 fn main() {
     header("L2 behaviour of the coprocessor access stream (1 MB private L2, 8-way)");
-    row(
-        &[&"config", &"block", &"working set", &"L2 hit rate"],
-        &[9, 8, 12, 12],
-    );
+    row(&[&"config", &"block", &"working set", &"L2 hit rate"], &[9, 8, 12, 12]);
     let big = scaled(100_000, 40_000);
     for config in [AlignmentConfig::DnaEdit, AlignmentConfig::Ascii] {
         let ew = config.element_width();
@@ -52,12 +49,7 @@ fn main() {
             let ws = 2 * len * ew.bits() as usize / 8 + 2 * len * ew.bits() as usize / 8;
             let rate = replay(len, ew, 4, 1 << 20);
             row(
-                &[
-                    &config.name(),
-                    &format!("{len}"),
-                    &format!("{} KB", ws >> 10),
-                    &pct(rate),
-                ],
+                &[&config.name(), &format!("{len}"), &format!("{} KB", ws >> 10), &pct(rate)],
                 &[9, 8, 12, 12],
             );
         }

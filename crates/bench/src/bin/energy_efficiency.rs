@@ -14,14 +14,28 @@ fn main() {
             "hirschberg/dna",
             AlignmentConfig::DnaGap,
             Algorithm::Hirschberg,
-            Dataset::synthetic(AlignmentConfig::DnaGap, len, 2, smx::datagen::ErrorProfile::pacbio_hifi(), 301).pairs,
+            Dataset::synthetic(
+                AlignmentConfig::DnaGap,
+                len,
+                2,
+                smx::datagen::ErrorProfile::pacbio_hifi(),
+                301,
+            )
+            .pairs,
             false,
         ),
         (
             "xdrop/dna",
             AlignmentConfig::DnaGap,
             Algorithm::Xdrop { band: xdrop::band_for_error_rate(len, 0.02), fraction: 0.08 },
-            Dataset::synthetic(AlignmentConfig::DnaGap, len, 2, smx::datagen::ErrorProfile::pacbio_hifi(), 302).pairs,
+            Dataset::synthetic(
+                AlignmentConfig::DnaGap,
+                len,
+                2,
+                smx::datagen::ErrorProfile::pacbio_hifi(),
+                302,
+            )
+            .pairs,
             false,
         ),
         (
@@ -34,10 +48,7 @@ fn main() {
     ];
 
     header("Energy per alignment (22nm model, 1 GHz)");
-    row(
-        &[&"workload", &"simd nJ/aln", &"smx nJ/aln", &"saving"],
-        &[16, 12, 12, 9],
-    );
+    row(&[&"workload", &"simd nJ/aln", &"smx nJ/aln", &"saving"], &[16, 12, 12, 9]);
     for (name, config, algorithm, pairs, score_only) in workloads {
         let mut aligner = SmxAligner::new(config);
         aligner.algorithm(algorithm).score_only(score_only);
@@ -47,12 +58,7 @@ fn main() {
         let e_simd = cpu_energy_nj(simd.timing.cycles) / k;
         let e_smx = smx_energy_nj(smx.timing.cycles, smx.timing.core_busy_frac) / k;
         row(
-            &[
-                &name,
-                &format!("{e_simd:.1}"),
-                &format!("{e_smx:.3}"),
-                &ratio(e_simd, e_smx),
-            ],
+            &[&name, &format!("{e_simd:.1}"), &format!("{e_smx:.3}"), &ratio(e_simd, e_smx)],
             &[16, 12, 12, 9],
         );
     }

@@ -50,18 +50,18 @@ fn main() {
     for (name, q, r) in cases {
         let golden = affine_score(&q, &r, &scheme);
         let got = engine.score_block(&q, &r).unwrap();
-        row(
-            &[&name, &golden, &got, &if golden == got { "yes" } else { "NO" }],
-            &[22, 9, 9, 6],
-        );
+        row(&[&name, &golden, &got, &if golden == got { "yes" } else { "NO" }], &[22, 9, 9, 6]);
         assert_eq!(golden, got);
     }
 
     header("Area cost of the affine engine (22nm model)");
     let m = AreaModel::new();
     println!("linear SMX-engine : {:.4} mm^2 (paper: 0.1136)", m.engine_area());
-    println!("affine SMX-engine : {:.4} mm^2 ({:.1}x)", m.affine_engine_area(),
-        m.affine_engine_area() / m.engine_area());
+    println!(
+        "affine SMX-engine : {:.4} mm^2 ({:.1}x)",
+        m.affine_engine_area(),
+        m.affine_engine_area() / m.engine_area()
+    );
     println!(
         "SMX-2D with affine engine: {:.4} mm^2 ({:.1}% of the processor)",
         m.smx2d_area() - m.engine_area() + m.affine_engine_area(),

@@ -49,8 +49,15 @@ fn main() {
     let widths = [8, 8, 8, 9, 9, 11, 12, 9, 9];
     row(
         &[
-            &"rate", &"faults", &"retries", &"fallback", &"cyc-lost", &"sim-cycles", &"slowdown",
-            &"events", &"output",
+            &"rate",
+            &"faults",
+            &"retries",
+            &"fallback",
+            &"cyc-lost",
+            &"sim-cycles",
+            &"slowdown",
+            &"events",
+            &"output",
         ],
         &widths,
     );

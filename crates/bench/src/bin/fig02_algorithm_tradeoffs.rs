@@ -5,8 +5,8 @@
 //! banded and X-drop compute a few percent; Hirschberg computes ~200% but
 //! stores ~0%; the window heuristic computes little and loses recall.
 
-use smx::align::dp;
 use smx::algos::{metrics, xdrop};
+use smx::align::dp;
 use smx::prelude::*;
 use smx_bench::{header, pct, row, scaled};
 

@@ -13,11 +13,7 @@ use smx::prelude::*;
 use smx_bench::{csv_artifact, csv_row, header, row, scaled};
 
 fn main() {
-    let sizes: Vec<(usize, usize)> = vec![
-        (100, 16),
-        (1000, 8),
-        (scaled(10_000, 2_000), 4),
-    ];
+    let sizes: Vec<(usize, usize)> = vec![(100, 16), (1000, 8), (scaled(10_000, 2_000), 4)];
     let engines = [EngineKind::Simd, EngineKind::Smx1d, EngineKind::Smx2d, EngineKind::Smx];
     let mut csv = csv_artifact("fig09_throughput");
     csv_row(&mut csv, &[&"mode", &"config", &"size", &"simd", &"smx1d", &"smx2d", &"smx"]);
@@ -32,18 +28,21 @@ fn main() {
         );
         for config in AlignmentConfig::ALL {
             for &(len, count) in &sizes {
-                let ds =
-                    Dataset::synthetic(config, len, count, ErrorProfile::moderate(), 90 + len as u64);
+                let ds = Dataset::synthetic(
+                    config,
+                    len,
+                    count,
+                    ErrorProfile::moderate(),
+                    90 + len as u64,
+                );
                 // One functional pass; per-engine timing from the shared
                 // work profile.
                 let mut aligner = SmxAligner::new(config);
                 aligner.algorithm(Algorithm::Full).score_only(score_only);
                 let rep = aligner.run_batch(&ds.pairs).unwrap();
                 let work = BatchWork::from_outcomes(config, score_only, &rep.outcomes);
-                let cycles: Vec<f64> = engines
-                    .iter()
-                    .map(|&e| estimate(e, &work, 4).cycles / count as f64)
-                    .collect();
+                let cycles: Vec<f64> =
+                    engines.iter().map(|&e| estimate(e, &work, 4).cycles / count as f64).collect();
                 let bps = |c: f64| format!("{:.3e}", 1e9 / c);
                 csv_row(
                     &mut csv,

@@ -74,10 +74,7 @@ fn main() {
     ];
 
     header("Figure 11: SMX-accelerated algorithm throughput vs SIMD (1 GHz)");
-    row(
-        &[&"workload", &"pairs", &"simd aln/s", &"smx aln/s", &"speedup"],
-        &[18, 6, 12, 12, 9],
-    );
+    row(&[&"workload", &"pairs", &"simd aln/s", &"smx aln/s", &"speedup"], &[18, 6, 12, 12, 9]);
     for w in workloads {
         let mut aligner = SmxAligner::new(w.config);
         aligner.algorithm(w.algorithm);

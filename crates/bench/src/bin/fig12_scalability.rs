@@ -18,19 +18,40 @@ fn main() {
             "hirschberg/pacbio",
             AlignmentConfig::DnaGap,
             Algorithm::Hirschberg,
-            Dataset::synthetic(AlignmentConfig::DnaGap, len, 2, smx::datagen::ErrorProfile::pacbio_hifi(), 121).pairs,
+            Dataset::synthetic(
+                AlignmentConfig::DnaGap,
+                len,
+                2,
+                smx::datagen::ErrorProfile::pacbio_hifi(),
+                121,
+            )
+            .pairs,
         ),
         (
             "hirschberg/ont",
             AlignmentConfig::DnaGap,
             Algorithm::Hirschberg,
-            Dataset::synthetic(AlignmentConfig::DnaGap, len + len / 2, 2, smx::datagen::ErrorProfile::ont(), 122).pairs,
+            Dataset::synthetic(
+                AlignmentConfig::DnaGap,
+                len + len / 2,
+                2,
+                smx::datagen::ErrorProfile::ont(),
+                122,
+            )
+            .pairs,
         ),
         (
             "xdrop/ont",
             AlignmentConfig::DnaGap,
             Algorithm::Xdrop { band: xdrop::band_for_error_rate(len, 0.08), fraction: 0.2 },
-            Dataset::synthetic(AlignmentConfig::DnaGap, len, 2, smx::datagen::ErrorProfile::ont(), 123).pairs,
+            Dataset::synthetic(
+                AlignmentConfig::DnaGap,
+                len,
+                2,
+                smx::datagen::ErrorProfile::ont(),
+                123,
+            )
+            .pairs,
         ),
         (
             "full/uniprot",

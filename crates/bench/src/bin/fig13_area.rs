@@ -15,15 +15,25 @@ fn main() {
     row(&[&"module", &"mm^2", &"% of CPU"], &[16, 9, 9]);
     for m in model.breakdown() {
         row(
-            &[&m.name, &format!("{:.4}", m.mm2), &format!("{:.2}%", m.mm2 / PROCESSOR_AREA_MM2 * 100.0)],
+            &[
+                &m.name,
+                &format!("{:.4}", m.mm2),
+                &format!("{:.2}%", m.mm2 / PROCESSOR_AREA_MM2 * 100.0),
+            ],
             &[16, 9, 9],
         );
     }
     println!();
-    println!("SMX-1D total : {:.4} mm^2 ({:.2}% of processor; paper: 0.0152 / 1.37%)",
-        model.smx1d_area(), model.smx1d_area() / PROCESSOR_AREA_MM2 * 100.0);
-    println!("SMX-2D total : {:.4} mm^2 ({:.2}% of processor; paper: 0.3280 / 29.66%)",
-        model.smx2d_area(), model.smx2d_area() / PROCESSOR_AREA_MM2 * 100.0);
+    println!(
+        "SMX-1D total : {:.4} mm^2 ({:.2}% of processor; paper: 0.0152 / 1.37%)",
+        model.smx1d_area(),
+        model.smx1d_area() / PROCESSOR_AREA_MM2 * 100.0
+    );
+    println!(
+        "SMX-2D total : {:.4} mm^2 ({:.2}% of processor; paper: 0.3280 / 29.66%)",
+        model.smx2d_area(),
+        model.smx2d_area() / PROCESSOR_AREA_MM2 * 100.0
+    );
     println!("SMX-2D / L1D : {:.2}x (paper: 2.13x)", model.smx2d_area() / L1D_AREA_MM2);
     println!("SMX total    : {:.4} mm^2 (paper: ~0.34)", model.total_area());
     println!("power @ 20%  : {:.3} mW (paper: 0.342)", model.power_mw(0.2));

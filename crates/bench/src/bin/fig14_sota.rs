@@ -6,9 +6,9 @@
 //! slower than GACT with 90% recall; SMX(H) 22.7x slower with 100%
 //! recall; a 72-core SMX Grace projects 1.7x over CUDASW++ on an H100.
 
-use smx::align::dp;
 use smx::algos::baselines;
 use smx::algos::xdrop;
+use smx::align::dp;
 use smx::prelude::*;
 use smx_bench::{header, row, scaled};
 
@@ -35,7 +35,10 @@ fn main() {
         ("SMX (H)", Algorithm::Hirschberg, EngineKind::Smx),
     ];
 
-    header(&format!("Figure 14: ONT DNA (~{len} bp, {} pairs), alignments/s and recall", ds.pairs.len()));
+    header(&format!(
+        "Figure 14: ONT DNA (~{len} bp, {} pairs), alignments/s and recall",
+        ds.pairs.len()
+    ));
     row(&[&"system", &"aln/s", &"recall", &"vs SMX(H)"], &[10, 12, 8, 10]);
     let mut smx_h_aps = 0.0;
     let mut results = Vec::new();
@@ -54,7 +57,12 @@ fn main() {
     }
     for (name, aps, recall) in &results {
         row(
-            &[name, &format!("{aps:.2e}"), &format!("{recall:.2}"), &format!("{:.1}x", aps / smx_h_aps)],
+            &[
+                name,
+                &format!("{aps:.2e}"),
+                &format!("{recall:.2}"),
+                &format!("{:.1}x", aps / smx_h_aps),
+            ],
             &[10, 12, 8, 10],
         );
     }

@@ -1,0 +1,273 @@
+//! **Integrity storm: scoreboard, device pool, and hedging under
+//! silent-corruption storms.**
+//! Sweeps fault rate x pool size x hedge/quarantine settings through the
+//! batch service while every device result is at risk of *silent*
+//! corruption — faults past all checksums that only the host-side audit
+//! can catch. At every operating point the batch is asserted
+//! byte-identical (score *and* CIGAR) to a fault-free sequential run:
+//! the audit-recovery ladder (retry on device, then software recompute)
+//! must repair every corrupted pair. A second table isolates hedged
+//! execution, and the closing lines compare the single-device
+//! breaker-only service against the full pool + quarantine + hedge
+//! stack at each storm intensity.
+//!
+//! Quick mode (`SMX_BENCH_QUICK=1`) shrinks the workload for CI.
+
+use std::time::{Duration, Instant};
+
+use smx::coproc::faults::{FaultPlan, RecoveryPolicy};
+use smx::datagen::{Dataset, ErrorProfile};
+use smx::prelude::*;
+use smx::service::BreakerConfig;
+use smx::testkit::assert_byte_identical;
+use smx_bench::{csv_artifact, csv_row, header, row, scaled};
+
+/// One service run at an operating point. Returns (elapsed seconds,
+/// final stats, corrupted results that escaped into the output).
+///
+/// An *audited* stack must never let a corrupted result through, and
+/// that is asserted inline. An unaudited stack has no defense against
+/// silent corruption — there the escapes are counted and reported,
+/// which is the point of the comparison.
+fn run_point(
+    config: AlignmentConfig,
+    pairs: &[(Sequence, Sequence)],
+    clean: &[Alignment],
+    rate: f64,
+    seed: u64,
+    cfg: ExecutorConfig,
+) -> (f64, smx::service::ServiceStats, usize) {
+    let audited = cfg.audit.is_some();
+    let mut dev = SmxDevice::new(config, 4).expect("device");
+    if rate > 0.0 {
+        // Every injected fault is detectable *and* an equal rate of
+        // results are silently corrupted — the worst case for trust.
+        let plan = FaultPlan::new(seed, rate).with_silent_rate(rate);
+        dev.enable_fault_injection(plan, RecoveryPolicy::default());
+    }
+    let exec = BatchExecutor::new(dev, cfg).expect("executor");
+    let t0 = Instant::now();
+    let report = exec.run(pairs);
+    let dt = t0.elapsed().as_secs_f64();
+    if audited {
+        assert_byte_identical(&report, clean);
+        return (dt, report.stats, 0);
+    }
+    let escaped = clean
+        .iter()
+        .enumerate()
+        .filter(|(k, g)| {
+            !report
+                .alignment(*k)
+                .is_some_and(|a| a.score == g.score && a.cigar.to_string() == g.cigar.to_string())
+        })
+        .count();
+    (dt, report.stats, escaped)
+}
+
+fn main() {
+    let config = AlignmentConfig::DnaGap;
+    let len = scaled(1000, 160);
+    let count = scaled(40, 12);
+    let jobs = 4;
+    let seed = 42u64;
+    let ds = Dataset::synthetic(config, len, count, ErrorProfile::moderate(), 7);
+    let pairs: Vec<(Sequence, Sequence)> =
+        ds.pairs.iter().map(|p| (p.query.clone(), p.reference.clone())).collect();
+
+    // Fault-free sequential reference: the byte-identity baseline.
+    let mut clean_dev = SmxDevice::new(config, 4).expect("device");
+    let clean: Vec<Alignment> =
+        pairs.iter().map(|(q, r)| clean_dev.align(q, r).expect("clean align")).collect();
+
+    let breaker = Some(BreakerConfig {
+        window: 8,
+        min_samples: 4,
+        threshold: 0.25,
+        cooldown_pairs: 8,
+        probes: 2,
+    });
+    let quarantine = Some(QuarantineConfig {
+        alpha: 0.25,
+        threshold: 0.5,
+        min_samples: 4,
+        canary_period: 8,
+        canary_probes: 2,
+    });
+
+    let mut csv = csv_artifact("integrity_storm");
+    csv_row(
+        &mut csv,
+        &[
+            &"rate",
+            &"devices",
+            &"stack",
+            &"ms",
+            &"pairs_per_s",
+            &"audits",
+            &"violations",
+            &"recomputed",
+            &"quarantines",
+            &"canaries",
+            &"hedges",
+            &"escaped",
+        ],
+    );
+
+    header(&format!(
+        "integrity storm: {config}, {count} pairs x {len} bp, {jobs} jobs, seed {seed}, \
+         full audit, silent-rate = fault-rate"
+    ));
+    let widths = [6, 8, 9, 8, 9, 7, 11, 11, 6, 8, 7, 10];
+    row(
+        &[
+            &"rate",
+            &"devices",
+            &"stack",
+            &"ms",
+            &"pairs/s",
+            &"audits",
+            &"violations",
+            &"recomputed",
+            &"quar",
+            &"canary",
+            &"hedges",
+            &"escaped",
+        ],
+        &widths,
+    );
+
+    // stack sweep: breaker-only single device (the PR-2 service) vs the
+    // audited multi-device pool with quarantine and hedging.
+    let mut compare: Vec<(f64, f64, f64)> = Vec::new();
+    let mut total_escaped = [0usize; 2];
+    for rate in [0.0, 0.05, 0.15] {
+        let mut elapsed = [0.0f64; 2];
+        for (i, (stack, devices, audit, q, hedge)) in [
+            ("breaker", 1usize, None, None, None),
+            (
+                "pool",
+                4usize,
+                Some(AuditConfig::full()),
+                quarantine,
+                Some(HedgeConfig::after(Duration::from_millis(250))),
+            ),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let cfg = ExecutorConfig {
+                jobs,
+                queue_cap: 16,
+                breaker,
+                devices,
+                audit,
+                quarantine: q,
+                hedge,
+                ..ExecutorConfig::default()
+            };
+            let (dt, s, escaped) = run_point(config, &pairs, &clean, rate, seed, cfg);
+            elapsed[i] = dt;
+            total_escaped[i] += escaped;
+            let throughput = count as f64 / dt.max(1e-9);
+            row(
+                &[
+                    &format!("{rate:.2}"),
+                    &devices,
+                    &stack,
+                    &format!("{:.1}", dt * 1e3),
+                    &format!("{throughput:.0}"),
+                    &s.audits_run,
+                    &s.integrity_violations,
+                    &s.integrity_recomputed,
+                    &s.quarantines,
+                    &s.canary_runs,
+                    &s.hedges_launched,
+                    &escaped,
+                ],
+                &widths,
+            );
+            csv_row(
+                &mut csv,
+                &[
+                    &rate,
+                    &devices,
+                    &stack,
+                    &format!("{:.3}", dt * 1e3),
+                    &format!("{throughput:.1}"),
+                    &s.audits_run,
+                    &s.integrity_violations,
+                    &s.integrity_recomputed,
+                    &s.quarantines,
+                    &s.canary_runs,
+                    &s.hedges_launched,
+                    &escaped,
+                ],
+            );
+            // Whenever the device actually corrupted a result silently,
+            // the full-rate audit must have caught at least one — the
+            // byte-identity assertion above already proved recovery.
+            if audit.is_some() && s.recovery.silent_corruptions > 0 {
+                assert!(
+                    s.integrity_violations > 0,
+                    "rate {rate}: {} silent corruptions escaped a full audit",
+                    s.recovery.silent_corruptions
+                );
+            }
+        }
+        compare.push((rate, elapsed[0], elapsed[1]));
+    }
+
+    header("hedged execution: devices=2, rate 0.10, full audit");
+    let widths = [12, 8, 9, 9, 7, 10];
+    row(&[&"hedge", &"ms", &"pairs/s", &"launched", &"won", &"output"], &widths);
+    for (tag, hedge) in [
+        ("off", None),
+        ("after-250ms", Some(HedgeConfig::after(Duration::from_millis(250)))),
+        ("p95", Some(HedgeConfig::p95())),
+    ] {
+        let cfg = ExecutorConfig {
+            jobs,
+            queue_cap: 16,
+            breaker,
+            devices: 2,
+            audit: Some(AuditConfig::full()),
+            quarantine,
+            hedge,
+            ..ExecutorConfig::default()
+        };
+        let (dt, s, _) = run_point(config, &pairs, &clean, 0.10, seed, cfg);
+        row(
+            &[
+                &tag,
+                &format!("{:.1}", dt * 1e3),
+                &format!("{:.0}", count as f64 / dt.max(1e-9)),
+                &s.hedges_launched,
+                &s.hedges_won,
+                &"identical",
+            ],
+            &widths,
+        );
+    }
+
+    println!();
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    for (rate, breaker_s, pool_s) in &compare {
+        println!(
+            "pool+quarantine+hedge vs single-device breaker at rate {rate:.2}: \
+             {:.2}x throughput",
+            breaker_s / pool_s.max(1e-9)
+        );
+    }
+    if cores < 2 {
+        println!(
+            "(host has {cores} core; the pool's parallel dispatch over {jobs} jobs cannot show \
+             wall-clock gains here — compare the escaped-corruption column instead)"
+        );
+    }
+    println!(
+        "\ncorrupted results in final output: breaker-only {} / audited pool {}",
+        total_escaped[0], total_escaped[1]
+    );
+    println!("audited runs asserted byte-identical to the fault-free sequential run");
+}

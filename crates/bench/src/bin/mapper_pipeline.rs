@@ -43,18 +43,13 @@ fn main() {
     let mut seeding = LoopKernel::compute_only(
         "seed+chain",
         (reads * read_len) as f64,
-        vec![
-            (UopClass::IntAlu, 6.0),
-            (UopClass::Load, 2.0),
-            (UopClass::Branch, 1.0),
-        ],
+        vec![(UopClass::IntAlu, 6.0), (UopClass::Load, 2.0), (UopClass::Branch, 1.0)],
         3.0,
     );
     seeding.random_accesses = 1.0;
     seeding.working_set = (idx.distinct_kmers() * 24) as u64;
     seeding.mispredicts = 0.05;
-    let seed_cycles = kernel_cycles(&seeding, &cpu, &mem)
-        + seed_hits as f64 * 4.0; // per-hit chaining work
+    let seed_cycles = kernel_cycles(&seeding, &cpu, &mem) + seed_hits as f64 * 4.0; // per-hit chaining work
 
     let work = BatchWork::from_outcomes(AlignmentConfig::DnaEdit, false, &outcomes);
     let ext_simd = estimate(EngineKind::Simd, &work, 4).cycles;
@@ -66,14 +61,19 @@ fn main() {
     println!("mapped reads           : {}/{reads}", outcomes.len());
     println!("seeding + chaining     : {seed_cycles:>14.0} cycles (CPU, both systems)");
     println!("extension on SIMD      : {ext_simd:>14.0} cycles");
-    println!("extension on SMX       : {ext_smx:>14.0} cycles ({:.0}x kernel speedup)",
-        ext_simd / ext_smx);
+    println!(
+        "extension on SMX       : {ext_smx:>14.0} cycles ({:.0}x kernel speedup)",
+        ext_simd / ext_smx
+    );
     let total_simd = seed_cycles + ext_simd;
     let total_smx = seed_cycles + ext_smx;
     let frac = ext_simd / total_simd;
     println!();
     println!("alignment fraction of baseline runtime: {:.0}%", frac * 100.0);
-    println!("end-to-end speedup     : {:.2}x (paper's Minimap2 range: 3.3-4.1x", total_simd / total_smx);
+    println!(
+        "end-to-end speedup     : {:.2}x (paper's Minimap2 range: 3.3-4.1x",
+        total_simd / total_smx
+    );
     println!("                          at a 70-76% alignment fraction)");
     println!();
     println!("the end-to-end gain is capped by the seeding stage exactly as");

@@ -16,9 +16,18 @@ fn amdahl(fraction: f64, speedup: f64) -> f64 {
 fn main() {
     // Measure the two kernel speedups on the harness's own workloads.
     let len = scaled(10_000, 2_000);
-    let mm2 = Dataset::synthetic(AlignmentConfig::DnaGap, len, 2, smx::datagen::ErrorProfile::pacbio_hifi(), 93);
+    let mm2 = Dataset::synthetic(
+        AlignmentConfig::DnaGap,
+        len,
+        2,
+        smx::datagen::ErrorProfile::pacbio_hifi(),
+        93,
+    );
     let mut aligner = SmxAligner::new(AlignmentConfig::DnaGap);
-    aligner.algorithm(Algorithm::Xdrop { band: xdrop::band_for_error_rate(len, 0.02), fraction: 0.08 });
+    aligner.algorithm(Algorithm::Xdrop {
+        band: xdrop::band_for_error_rate(len, 0.02),
+        fraction: 0.08,
+    });
     let simd = aligner.engine(EngineKind::Simd).run_batch(&mm2.pairs).unwrap();
     let smx = aligner.engine(EngineKind::Smx).run_batch(&mm2.pairs).unwrap();
     let mm2_kernel = simd.timing.cycles / smx.timing.cycles;
@@ -41,11 +50,8 @@ fn main() {
     ] {
         let lo = amdahl(frac_lo, kernel);
         let hi = amdahl(frac_hi, kernel);
-        let e2e = if (lo - hi).abs() < 0.05 {
-            format!("{lo:.1}x")
-        } else {
-            format!("{lo:.1}-{hi:.1}x")
-        };
+        let e2e =
+            if (lo - hi).abs() < 0.05 { format!("{lo:.1}x") } else { format!("{lo:.1}-{hi:.1}x") };
         row(
             &[
                 &name,

@@ -30,39 +30,46 @@ fn main() {
 
     // Fault-free sequential reference: the byte-identity baseline.
     let mut clean_dev = SmxDevice::new(config, 4).expect("device");
-    let clean: Vec<Alignment> = pairs
-        .iter()
-        .map(|(q, r)| clean_dev.align(q, r).expect("clean align"))
-        .collect();
+    let clean: Vec<Alignment> =
+        pairs.iter().map(|(q, r)| clean_dev.align(q, r).expect("clean align")).collect();
 
     let mut csv = csv_artifact("service_storm");
     csv_row(
         &mut csv,
         &[
-            &"rate", &"breaker", &"ms", &"pairs_per_s", &"faulted", &"software", &"probes",
-            &"opened", &"closed", &"identical",
+            &"rate",
+            &"breaker",
+            &"ms",
+            &"pairs_per_s",
+            &"faulted",
+            &"software",
+            &"probes",
+            &"opened",
+            &"closed",
+            &"identical",
         ],
     );
 
-    header(&format!(
-        "service storm: {config}, {count} pairs x {len} bp, {jobs} jobs, seed {seed}"
-    ));
+    header(&format!("service storm: {config}, {count} pairs x {len} bp, {jobs} jobs, seed {seed}"));
     let widths = [6, 8, 8, 9, 8, 9, 7, 7, 7, 10];
     row(
         &[
-            &"rate", &"breaker", &"ms", &"pairs/s", &"faulted", &"software", &"probes",
-            &"opened", &"closed", &"output",
+            &"rate",
+            &"breaker",
+            &"ms",
+            &"pairs/s",
+            &"faulted",
+            &"software",
+            &"probes",
+            &"opened",
+            &"closed",
+            &"output",
         ],
         &widths,
     );
 
-    let breaker_cfg = BreakerConfig {
-        window: 8,
-        min_samples: 4,
-        threshold: 0.25,
-        cooldown_pairs: 8,
-        probes: 2,
-    };
+    let breaker_cfg =
+        BreakerConfig { window: 8, min_samples: 4, threshold: 0.25, cooldown_pairs: 8, probes: 2 };
     let mut gains: Vec<(f64, f64)> = Vec::new();
     for rate in [0.0, 0.05, 0.1, 0.3] {
         let mut elapsed = [0.0f64; 2];
@@ -88,9 +95,8 @@ fn main() {
             assert!(identical, "rate {rate} breaker {breaker:?}: outputs diverged");
             let s = &report.stats;
             let throughput = count as f64 / dt.max(1e-9);
-            let (opened, closed) = s
-                .breaker
-                .map_or((0, 0), |b| (b.transitions.opened, b.transitions.closed));
+            let (opened, closed) =
+                s.breaker.map_or((0, 0), |b| (b.transitions.opened, b.transitions.closed));
             let tag = if breaker.is_some() { "on" } else { "off" };
             row(
                 &[
@@ -134,11 +140,9 @@ fn main() {
     header("bounded-queue admission: blocking backpressure vs shedding");
     let widths = [8, 10, 10, 10, 7, 10];
     row(&[&"queue", &"policy", &"completed", &"shed", &"depth", &"output"], &widths);
-    for (cap, admission) in [
-        (16, AdmissionPolicy::Block),
-        (2, AdmissionPolicy::Block),
-        (2, AdmissionPolicy::Shed),
-    ] {
+    for (cap, admission) in
+        [(16, AdmissionPolicy::Block), (2, AdmissionPolicy::Block), (2, AdmissionPolicy::Shed)]
+    {
         let dev = SmxDevice::new(config, 4).expect("device");
         let exec = BatchExecutor::new(
             dev,
@@ -159,10 +163,7 @@ fn main() {
             AdmissionPolicy::Block => "block",
             AdmissionPolicy::Shed => "shed",
         };
-        row(
-            &[&cap, &policy, &s.completed, &s.shed, &s.max_queue_depth, &"identical"],
-            &widths,
-        );
+        row(&[&cap, &policy, &s.completed, &s.shed, &s.max_queue_depth, &"identical"], &widths);
     }
     println!("\nall outputs byte-identical to the fault-free sequential run");
 }

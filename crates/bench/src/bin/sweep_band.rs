@@ -24,10 +24,7 @@ fn main() {
         "Band sweep on ONT-profile reads (~{len} bp, {} pairs, edit model)",
         ds.pairs.len()
     ));
-    row(
-        &[&"kind", &"band", &"recall", &"cells (M)", &"smx cycles"],
-        &[10, 7, 8, 11, 12],
-    );
+    row(&[&"kind", &"band", &"recall", &"cells (M)", &"smx cycles"], &[10, 7, 8, 11, 12]);
     for band in [8usize, 16, 32, 64, 128, 256, 512] {
         for (kind, algo) in [
             ("static", Algorithm::Banded { band }),

@@ -33,10 +33,7 @@ fn main() {
     header(&format!("L2-latency sweep (DNA-edit {len}x{len}, depth 7)"));
     row(&[&"latency", &"w=1", &"w=4"], &[8, 8, 8]);
     for l2 in [6u64, 12, 18, 30, 60, 120] {
-        row(
-            &[&l2, &pct(util(ew, 1, 7, l2, len)), &pct(util(ew, 4, 7, l2, len))],
-            &[8, 8, 8],
-        );
+        row(&[&l2, &pct(util(ew, 1, 7, l2, len)), &pct(util(ew, 4, 7, l2, len))], &[8, 8, 8]);
     }
     println!();
     println!("one worker bleeds utilization linearly with either latency; four");

@@ -41,10 +41,7 @@ fn main() {
     header(&format!(
         "Substitution-matrix sweep: {count} homolog (30% divergence) vs {count} decoy pairs"
     ));
-    row(
-        &[&"matrix", &"homolog mean", &"decoy mean", &"separation (z)"],
-        &[10, 13, 11, 15],
-    );
+    row(&[&"matrix", &"homolog mean", &"decoy mean", &"separation (z)"], &[10, 13, 11, 15]);
     for (name, matrix, gap) in [
         ("blosum50", SubstMatrix::blosum50(), -5),
         ("blosum62", SubstMatrix::blosum62(), -6),
@@ -52,22 +49,14 @@ fn main() {
     ] {
         let scheme = ScoringScheme::matrix(matrix, gap).unwrap();
         let score_all = |pairs: &[(Vec<u8>, Vec<u8>)]| -> Vec<f64> {
-            pairs
-                .iter()
-                .map(|(q, r)| f64::from(dp::score_only(q, r, &scheme)))
-                .collect()
+            pairs.iter().map(|(q, r)| f64::from(dp::score_only(q, r, &scheme))).collect()
         };
         let h = score_all(&homologs);
         let d = score_all(&decoys);
         let pooled = (std_dev(&h) + std_dev(&d)) / 2.0;
         let z = (mean(&h) - mean(&d)) / pooled.max(1.0);
         row(
-            &[
-                &name,
-                &format!("{:.0}", mean(&h)),
-                &format!("{:.0}", mean(&d)),
-                &format!("{z:.1}"),
-            ],
+            &[&name, &format!("{:.0}", mean(&h)), &format!("{:.0}", mean(&d)), &format!("{z:.1}")],
             &[10, 13, 11, 15],
         );
         assert!(mean(&h) > mean(&d), "{name}: homologs must out-score decoys");

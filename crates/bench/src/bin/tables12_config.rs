@@ -20,26 +20,12 @@ fn print_cpu(cpu: &CpuConfig) {
 }
 
 fn print_mem(mem: &MemParams) {
-    println!(
-        "  L1D            : {} KB, {} cycles",
-        mem.l1_bytes >> 10,
-        mem.l1_latency
-    );
-    println!(
-        "  private L2     : {} KB, {} cycles",
-        mem.l2_bytes >> 10,
-        mem.l2_latency
-    );
-    println!(
-        "  LLC (per core) : {} KB, {} cycles",
-        mem.llc_bytes >> 10,
-        mem.llc_latency
-    );
+    println!("  L1D            : {} KB, {} cycles", mem.l1_bytes >> 10, mem.l1_latency);
+    println!("  private L2     : {} KB, {} cycles", mem.l2_bytes >> 10, mem.l2_latency);
+    println!("  LLC (per core) : {} KB, {} cycles", mem.llc_bytes >> 10, mem.llc_latency);
     println!(
         "  DRAM           : {} cycles, {} B/cycle ({:.1} GB/s at 1 GHz)",
-        mem.dram_latency,
-        mem.dram_bytes_per_cycle,
-        mem.dram_bytes_per_cycle
+        mem.dram_latency, mem.dram_bytes_per_cycle, mem.dram_bytes_per_cycle
     );
 }
 

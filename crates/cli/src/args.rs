@@ -74,9 +74,9 @@ impl Args {
     pub fn get_num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgError> {
         match self.get(key) {
             None => Ok(default),
-            Some(v) => v
-                .parse()
-                .map_err(|_| ArgError(format!("option --{key} has invalid value {v:?}"))),
+            Some(v) => {
+                v.parse().map_err(|_| ArgError(format!("option --{key} has invalid value {v:?}")))
+            }
         }
     }
 
@@ -97,8 +97,9 @@ mod tests {
 
     #[test]
     fn mixed_arguments() {
-        let a = Args::parse(toks("align --config dna-edit --score-only q.fa r.fa"), &["score-only"])
-            .unwrap();
+        let a =
+            Args::parse(toks("align --config dna-edit --score-only q.fa r.fa"), &["score-only"])
+                .unwrap();
         assert_eq!(a.positional, vec!["align", "q.fa", "r.fa"]);
         assert_eq!(a.get("config"), Some("dna-edit"));
         assert!(a.switch("score-only"));

@@ -20,6 +20,10 @@ commands:
            [--checkpoint <manifest>] [--resume <manifest>]
            [--breaker] [--breaker-window N] [--breaker-threshold F]
            [--breaker-cooldown N] [--breaker-probes N]
+           [--devices N] [--silent-rate F]
+           [--audit-rate F] [--audit-seed N] [--hedge-after-ms N]
+           [--quarantine] [--quarantine-threshold F] [--quarantine-alpha F]
+           [--quarantine-period N] [--quarantine-probes N]
            <query.fa|fastq> <reference.fa|fastq>
   datagen  --config <cfg> --len N --count N [--profile perfect|moderate|hifi|ont]
            [--sv N] [--seed N] --out <pairs.fa>
@@ -46,6 +50,18 @@ each pair's wall-clock time, enforced at tile boundaries. --breaker
 to the software baseline when the device fault rate spikes, probing its
 way back. --checkpoint appends completed pairs to a crash-safe manifest;
 --resume skips pairs already recorded there, byte-identically.
+
+integrity + fleet health (align): --devices N spreads the batch over a
+pool of N simulated devices, each with its own reseeded fault plan,
+breaker, and EWMA health score. --silent-rate F makes a fraction of
+device results silently corrupt (no checksum trips) — only the audit
+catches those. --audit-rate F re-verifies that fraction of device
+alignments against the scoring scheme; a failed audit is retried once
+on-device, then recomputed in software, so output stays byte-identical.
+--quarantine (tuned by --quarantine-threshold/-alpha/-period/-probes)
+sidelines chronically unhealthy devices and readmits them only after
+consecutive clean known-answer canaries. --hedge-after-ms N re-runs a
+pair on the software baseline when the device attempt exceeds N ms.
 ";
 
 fn parse_config(name: &str) -> Result<AlignmentConfig, String> {
@@ -111,8 +127,8 @@ pub fn align(args: &Args) -> Result<(), String> {
 
     let queries = load_records(query_path)?;
     let references = load_records(ref_path)?;
-    let named = pair_positional(&queries, &references, config.alphabet())
-        .map_err(|e| e.to_string())?;
+    let named =
+        pair_positional(&queries, &references, config.alphabet()).map_err(|e| e.to_string())?;
     if named.is_empty() {
         return Err("no record pairs to align".into());
     }
@@ -172,6 +188,22 @@ fn service_requested(args: &Args) -> bool {
         || args.get("breaker-threshold").is_some()
         || args.get("breaker-cooldown").is_some()
         || args.get("breaker-probes").is_some()
+        || args.get("devices").is_some()
+        || args.get("silent-rate").is_some()
+        || args.get("audit-rate").is_some()
+        || args.get("audit-seed").is_some()
+        || args.get("hedge-after-ms").is_some()
+        || quarantine_requested(args)
+}
+
+/// Whether any quarantine flag was given, enabling health scoring and
+/// canary-gated readmission in the device pool.
+fn quarantine_requested(args: &Args) -> bool {
+    args.switch("quarantine")
+        || args.get("quarantine-threshold").is_some()
+        || args.get("quarantine-alpha").is_some()
+        || args.get("quarantine-period").is_some()
+        || args.get("quarantine-probes").is_some()
 }
 
 /// The tile-recovery policy shared by the resilient and service paths.
@@ -202,10 +234,12 @@ fn align_service(
     let queue_cap = args.get_num("queue-cap", 64usize).map_err(|e| e.to_string())?;
     let deadline_ms = args.get_num("deadline-ms", 0u64).map_err(|e| e.to_string())?;
 
+    let silent_rate = args.get_num("silent-rate", 0.0f64).map_err(|e| e.to_string())?;
     let mut dev = SmxDevice::new(config, workers).map_err(|e| e.to_string())?;
-    if fault_rate > 0.0 {
+    if fault_rate > 0.0 || silent_rate > 0.0 {
         let seed = args.get_num("fault-seed", 42u64).map_err(|e| e.to_string())?;
-        dev.enable_fault_injection(FaultPlan::new(seed, fault_rate), recovery_policy(args)?);
+        let plan = FaultPlan::new(seed, fault_rate).with_silent_rate(silent_rate);
+        dev.enable_fault_injection(plan, recovery_policy(args)?);
         dev.set_graceful_degradation(!args.switch("no-degrade"));
     }
 
@@ -235,12 +269,42 @@ fn align_service(
         })
         .transpose()?;
 
+    let devices = args.get_num("devices", 1usize).map_err(|e| e.to_string())?;
+    let audit_rate = args.get_num("audit-rate", 0.0f64).map_err(|e| e.to_string())?;
+    let audit_seed = args.get_num("audit-seed", 0u64).map_err(|e| e.to_string())?;
+    let audit = (audit_rate > 0.0).then_some(AuditConfig { rate: audit_rate, seed: audit_seed });
+    let hedge_after_ms = args.get_num("hedge-after-ms", 0u64).map_err(|e| e.to_string())?;
+    let hedge =
+        (hedge_after_ms > 0).then(|| HedgeConfig::after(Duration::from_millis(hedge_after_ms)));
+    let qd = QuarantineConfig::default();
+    let quarantine = quarantine_requested(args)
+        .then(|| -> Result<QuarantineConfig, String> {
+            Ok(QuarantineConfig {
+                alpha: args.get_num("quarantine-alpha", qd.alpha).map_err(|e| e.to_string())?,
+                threshold: args
+                    .get_num("quarantine-threshold", qd.threshold)
+                    .map_err(|e| e.to_string())?,
+                min_samples: qd.min_samples,
+                canary_period: args
+                    .get_num("quarantine-period", qd.canary_period)
+                    .map_err(|e| e.to_string())?,
+                canary_probes: args
+                    .get_num("quarantine-probes", qd.canary_probes)
+                    .map_err(|e| e.to_string())?,
+            })
+        })
+        .transpose()?;
+
     let cfg = ExecutorConfig {
         jobs,
         queue_cap,
         admission: if args.switch("shed") { AdmissionPolicy::Shed } else { AdmissionPolicy::Block },
         deadline: (deadline_ms > 0).then(|| Duration::from_millis(deadline_ms)),
         breaker,
+        devices,
+        audit,
+        hedge,
+        quarantine,
     };
     let exec = BatchExecutor::new(dev, cfg).map_err(|e| e.to_string())?;
 
@@ -298,7 +362,12 @@ fn align_service(
     eprintln!(
         "# service: jobs={jobs} queue-cap={queue_cap} max-depth={} completed={} failed={} \
          shed={} resumed={} deadline-exceeded={} cancelled={}",
-        s.max_queue_depth, s.completed, s.failed, s.shed, s.resumed, s.deadline_exceeded,
+        s.max_queue_depth,
+        s.completed,
+        s.failed,
+        s.shed,
+        s.resumed,
+        s.deadline_exceeded,
         s.cancelled
     );
     eprintln!(
@@ -311,12 +380,47 @@ fn align_service(
             b.state, b.transitions.opened, b.transitions.half_opened, b.transitions.closed
         );
     }
-    if fault_rate > 0.0 {
+    if audit.is_some() {
+        eprintln!(
+            "# integrity: audit-rate={audit_rate} audits={} violations={} recomputed={}",
+            s.audits_run, s.integrity_violations, s.integrity_recomputed
+        );
+    }
+    if hedge.is_some() {
+        eprintln!(
+            "# hedge: after-ms={hedge_after_ms} launched={} won={}",
+            s.hedges_launched, s.hedges_won
+        );
+    }
+    if devices > 1 || quarantine.is_some() {
+        eprintln!(
+            "# pool: devices={devices} quarantines={} readmissions={} canaries={} \
+             canary-failures={}",
+            s.quarantines, s.readmissions, s.canary_runs, s.canary_failures
+        );
+        for (id, d) in s.per_device.iter().enumerate() {
+            eprintln!(
+                "# device {id}: pairs={} faulted={} violations={} deadline={} health={:.3}{}",
+                d.pairs,
+                d.faulted_pairs,
+                d.integrity_violations,
+                d.deadline_events,
+                d.health,
+                if d.quarantined { " quarantined" } else { "" }
+            );
+        }
+    }
+    if fault_rate > 0.0 || silent_rate > 0.0 {
         let r = &s.recovery;
         eprintln!(
             "# faults: rate={fault_rate:.1e} injected={} detected={} retries={} fallbacks={} \
-             software-alignments={} cycles-lost={}",
-            r.faults_injected, r.faults_detected, r.retries, r.fallbacks, r.software_alignments,
+             software-alignments={} silent-corruptions={} cycles-lost={}",
+            r.faults_injected,
+            r.faults_detected,
+            r.retries,
+            r.fallbacks,
+            r.software_alignments,
+            r.silent_corruptions,
             r.cycles_lost
         );
     }
@@ -366,7 +470,11 @@ fn align_resilient(
     eprintln!(
         "# faults: rate={fault_rate:.1e} seed={seed} injected={} detected={} retries={} \
          fallbacks={} software-alignments={} cycles-lost={}",
-        s.faults_injected, s.faults_detected, s.retries, s.fallbacks, s.software_alignments,
+        s.faults_injected,
+        s.faults_detected,
+        s.retries,
+        s.fallbacks,
+        s.software_alignments,
         s.cycles_lost
     );
     if args.switch("strict") && !report.all_succeeded() {
@@ -482,8 +590,12 @@ pub fn info() -> Result<(), String> {
     }
     println!();
     println!("physical design (22nm model):");
-    println!("  SMX-1D {:.4} mm^2, SMX-2D {:.4} mm^2, total {:.4} mm^2",
-        model.smx1d_area(), model.smx2d_area(), model.total_area());
+    println!(
+        "  SMX-1D {:.4} mm^2, SMX-2D {:.4} mm^2, total {:.4} mm^2",
+        model.smx1d_area(),
+        model.smx2d_area(),
+        model.total_area()
+    );
     println!("  power {:.3} mW at 20% activity", model.power_mw(0.2));
     Ok(())
 }
@@ -676,6 +788,48 @@ mod tests {
         let loaded = smx_io::checkpoint::Manifest::load(&manifest).unwrap();
         assert_eq!(loaded.completed.len(), 6);
         run(&["--resume", m, "--checkpoint", m]).unwrap();
+    }
+
+    #[test]
+    fn align_service_audit_recovers_silent_corruption_under_strict() {
+        let dir = std::env::temp_dir().join("smx-cli-audit");
+        std::fs::create_dir_all(&dir).unwrap();
+        let qp = dir.join("q.fa");
+        let rp = dir.join("r.fa");
+        let mut qs = String::new();
+        let mut rs = String::new();
+        for i in 0..4 {
+            qs.push_str(&format!(">q{i}\nGATTACAGATTACAGATTACAGATTACA\n"));
+            rs.push_str(&format!(">r{i}\nGATTACACATTACAGATTACAGATTAC{}\n", ["A", "T"][i % 2]));
+        }
+        std::fs::write(&qp, qs).unwrap();
+        std::fs::write(&rp, rs).unwrap();
+        // Every device result is silently corrupted; a full audit must
+        // catch each one and recover, so --strict still succeeds.
+        let a = Args::parse(
+            [
+                "align",
+                "--config",
+                "dna-edit",
+                "--devices",
+                "2",
+                "--silent-rate",
+                "1.0",
+                "--audit-rate",
+                "1.0",
+                "--hedge-after-ms",
+                "5000",
+                "--quarantine",
+                "--strict",
+                qp.to_str().unwrap(),
+                rp.to_str().unwrap(),
+            ]
+            .iter()
+            .map(|s| s.to_string()),
+            &["strict", "no-degrade", "shed", "breaker", "quarantine"],
+        )
+        .unwrap();
+        align(&a).unwrap();
     }
 
     #[test]

@@ -29,7 +29,7 @@ fn main() {
 fn run(tokens: Vec<String>) -> Result<(), String> {
     let args = Args::parse(
         tokens,
-        &["score-only", "pretty", "help", "strict", "no-degrade", "shed", "breaker"],
+        &["score-only", "pretty", "help", "strict", "no-degrade", "shed", "breaker", "quarantine"],
     )
     .map_err(|e| e.to_string())?;
     if args.switch("help") || args.positional.is_empty() {

@@ -1,9 +1,9 @@
 //! The high-level SMX aligner API: pick a configuration, an algorithm,
 //! and an engine; get functional results plus simulated performance.
 
-use smx_align_core::{AlignError, AlignmentConfig, ScoringScheme, Sequence};
 use smx_algos::{adaptive, banded, full, hirschberg, metrics, timing, window, xdrop};
 use smx_algos::{AlgoOutcome, BatchWork, EngineKind, TimingReport};
+use smx_align_core::{AlignError, AlignmentConfig, ScoringScheme, Sequence};
 use smx_datagen::SeqPair;
 
 /// The alignment algorithm to run (paper §2.3, §9).
@@ -158,7 +158,11 @@ impl SmxAligner {
     /// Returns [`AlignError::AlphabetMismatch`] if the sequences do not
     /// match the configuration and [`AlignError::EmptySequence`] for
     /// empty inputs.
-    pub fn run_pair(&self, query: &Sequence, reference: &Sequence) -> Result<PairReport, AlignError> {
+    pub fn run_pair(
+        &self,
+        query: &Sequence,
+        reference: &Sequence,
+    ) -> Result<PairReport, AlignError> {
         let outcome = self.run_functional(query, reference)?;
         let work =
             BatchWork::from_outcomes(self.config, self.score_only, std::slice::from_ref(&outcome));
@@ -183,7 +187,11 @@ impl SmxAligner {
         Ok(BatchReport { outcomes, work, timing })
     }
 
-    fn run_functional(&self, query: &Sequence, reference: &Sequence) -> Result<AlgoOutcome, AlignError> {
+    fn run_functional(
+        &self,
+        query: &Sequence,
+        reference: &Sequence,
+    ) -> Result<AlgoOutcome, AlignError> {
         if query.alphabet() != self.config.alphabet()
             || reference.alphabet() != self.config.alphabet()
         {
@@ -245,10 +253,8 @@ mod tests {
             Algorithm::Hirschberg,
             Algorithm::Window { w: 16, o: 4 },
         ] {
-            let rep = SmxAligner::new(AlignmentConfig::DnaEdit)
-                .algorithm(algo)
-                .run_pair(&q, &r)
-                .unwrap();
+            let rep =
+                SmxAligner::new(AlignmentConfig::DnaEdit).algorithm(algo).run_pair(&q, &r).unwrap();
             assert!(rep.outcome.score.is_some(), "{}", algo.name());
         }
     }

@@ -42,8 +42,8 @@
 //! * [`datagen`] — synthetic datasets (PacBio/ONT/UniProt stand-ins).
 //! * [`physical`] — area, power, and peak-GCUPS models.
 
-pub use smx_align_core as align;
 pub use smx_algos as algos;
+pub use smx_align_core as align;
 pub use smx_coproc as coproc;
 pub use smx_datagen as datagen;
 pub use smx_diffenc as diffenc;
@@ -53,10 +53,13 @@ pub use smx_sim as sim;
 
 pub mod aligner;
 pub mod orchestrator;
+pub mod pool;
 pub mod service;
+pub mod testkit;
 
 pub use aligner::{Algorithm, BatchReport, PairReport, SmxAligner};
 pub use orchestrator::{AffineDevice, BatchFailure, DeviceBatchReport, SmxDevice};
+pub use pool::{AuditConfig, DeviceStats, HedgeConfig, HedgeTrigger, QuarantineConfig};
 pub use service::{
     AdmissionPolicy, BatchExecutor, BreakerConfig, BreakerSnapshot, BreakerState,
     BreakerTransitions, ExecutorConfig, PairOutcome, RunOptions, ServiceBatchReport, ServiceStats,
@@ -66,12 +69,13 @@ pub use service::{
 pub mod prelude {
     pub use crate::aligner::{Algorithm, SmxAligner};
     pub use crate::orchestrator::SmxDevice;
+    pub use crate::pool::{AuditConfig, HedgeConfig, QuarantineConfig};
     pub use crate::service::{AdmissionPolicy, BatchExecutor, BreakerConfig, ExecutorConfig};
-    pub use smx_coproc::control::CancelToken;
-    pub use smx_coproc::faults::{FaultPlan, RecoveryPolicy, RecoveryStats};
+    pub use smx_algos::EngineKind;
     pub use smx_align_core::{
         Alignment, AlignmentConfig, Alphabet, Cigar, ElementWidth, ScoringScheme, Sequence,
     };
-    pub use smx_algos::EngineKind;
+    pub use smx_coproc::control::CancelToken;
+    pub use smx_coproc::faults::{FaultPlan, RecoveryPolicy, RecoveryStats};
     pub use smx_datagen::{Dataset, SeqPair};
 }

@@ -88,6 +88,19 @@ impl SmxDevice {
         self.faults.as_ref().map(FaultSession::stats).unwrap_or_default()
     }
 
+    /// The active fault plan, when injection is enabled. The device pool
+    /// reads this off its template device to derive per-device plans.
+    #[must_use]
+    pub fn fault_plan(&self) -> Option<FaultPlan> {
+        self.faults.as_ref().map(FaultSession::plan)
+    }
+
+    /// The active recovery policy, when injection is enabled.
+    #[must_use]
+    pub fn fault_policy(&self) -> Option<RecoveryPolicy> {
+        self.faults.as_ref().map(FaultSession::policy)
+    }
+
     /// Drains the cycle-stamped fault event log.
     pub fn take_fault_events(&mut self) -> Vec<FaultEvent> {
         self.faults.as_mut().map(FaultSession::take_events).unwrap_or_default()
@@ -144,7 +157,11 @@ impl SmxDevice {
     ///
     /// Returns [`AlignError::AlphabetMismatch`] / [`AlignError::EmptySequence`]
     /// on invalid inputs; internal errors indicate a model bug.
-    pub fn align(&mut self, query: &Sequence, reference: &Sequence) -> Result<Alignment, AlignError> {
+    pub fn align(
+        &mut self,
+        query: &Sequence,
+        reference: &Sequence,
+    ) -> Result<Alignment, AlignError> {
         self.check(query, reference)?;
         if let Some(token) = self.coproc.control() {
             token.check()?;
@@ -152,7 +169,16 @@ impl SmxDevice {
         let q = self.pack(query)?;
         let r = self.pack(reference)?;
         match self.align_device(&q, &r) {
-            Ok(alignment) => Ok(alignment),
+            // The result readout is the one hop past every checksum and
+            // the device's internal re-verification: a plan with a
+            // silent rate corrupts the finished alignment here, and only
+            // the service layer's audit can catch it.
+            Ok(mut alignment) => {
+                if let Some(s) = self.faults.as_mut() {
+                    s.corrupt_readout(&mut alignment);
+                }
+                Ok(alignment)
+            }
             // Graceful degradation: when tile-level recovery is exhausted,
             // the core recomputes the whole alignment on the SMX-1D /
             // software path. The software path shares the global tie-break
@@ -258,10 +284,7 @@ impl SmxDevice {
     /// This is the single-device entry into the batch service layer; the
     /// multi-worker pool with backpressure, deadlines, and the circuit
     /// breaker lives in [`crate::service::BatchExecutor`].
-    pub fn align_batch(
-        &mut self,
-        pairs: &[(Sequence, Sequence)],
-    ) -> DeviceBatchReport {
+    pub fn align_batch(&mut self, pairs: &[(Sequence, Sequence)]) -> DeviceBatchReport {
         crate::service::device_batch(self, pairs)
     }
 }
@@ -314,8 +337,11 @@ impl DeviceBatchReport {
             self.alignments.len(),
             self.failures.len()
         );
-        let deadline =
-            self.failures.iter().filter(|f| matches!(f.error, AlignError::DeadlineExceeded { .. })).count();
+        let deadline = self
+            .failures
+            .iter()
+            .filter(|f| matches!(f.error, AlignError::DeadlineExceeded { .. }))
+            .count();
         let cancelled =
             self.failures.iter().filter(|f| matches!(f.error, AlignError::Cancelled)).count();
         if deadline + cancelled > 0 {
@@ -521,11 +547,7 @@ mod tests {
                 dev.enable_fault_injection(FaultPlan::new(42, rate), RecoveryPolicy::default());
                 let aln = dev.align(&q, &r).unwrap();
                 assert_eq!(aln.score, clean.score, "{config} rate {rate}");
-                assert_eq!(
-                    aln.cigar.to_string(),
-                    clean.cigar.to_string(),
-                    "{config} rate {rate}"
-                );
+                assert_eq!(aln.cigar.to_string(), clean.cigar.to_string(), "{config} rate {rate}");
                 assert!(dev.recovery_stats().invariants_hold(), "{config} rate {rate}");
             }
         }
@@ -582,11 +604,8 @@ mod tests {
         let poisoned = Sequence::from_text(smx_align_core::Alphabet::Protein, "WYVAC").unwrap();
         let mut dev = SmxDevice::new(config, 2).unwrap();
         dev.enable_fault_injection(FaultPlan::new(1, 1e-2), RecoveryPolicy::default());
-        let pairs = vec![
-            (q.clone(), r.clone()),
-            (poisoned.clone(), r.clone()),
-            (r.clone(), q.clone()),
-        ];
+        let pairs =
+            vec![(q.clone(), r.clone()), (poisoned.clone(), r.clone()), (r.clone(), q.clone())];
         let report = dev.align_batch(&pairs);
         assert_eq!(report.succeeded(), 2);
         assert!(!report.all_succeeded());
@@ -662,6 +681,35 @@ mod tests {
         assert!(matches!(dev.align(&q, &r), Err(AlignError::DeadlineExceeded { .. })));
         dev.set_cancel_token(None);
         assert!(dev.align(&q, &r).is_ok());
+    }
+
+    #[test]
+    fn silent_corruption_escapes_the_device_undetected() {
+        let config = AlignmentConfig::DnaGap;
+        let (q, r) = seqs(config, 80);
+        let clean = SmxDevice::new(config, 2).unwrap().align(&q, &r).unwrap();
+        let mut dev = SmxDevice::new(config, 2).unwrap();
+        dev.enable_fault_injection(
+            FaultPlan::new(11, 0.0).with_silent_rate(1.0),
+            RecoveryPolicy::default(),
+        );
+        // The device "succeeds" — that is the whole problem: the result
+        // is plausible-but-wrong and nothing device-side flags it.
+        let aln = dev.align(&q, &r).unwrap();
+        assert_ne!(
+            (aln.score, aln.cigar.to_string()),
+            (clean.score, clean.cigar.to_string()),
+            "silent corruption must damage the readout"
+        );
+        let stats = dev.recovery_stats();
+        assert_eq!(stats.silent_corruptions, 1);
+        assert_eq!(stats.faults_detected, 0);
+        // The independent audit oracle catches it.
+        let scheme = config.scoring();
+        assert!(aln.verify(q.codes(), r.codes(), &scheme).is_err());
+        // Accessors used by the pool to derive per-device plans.
+        assert_eq!(dev.fault_plan().unwrap().silent_rate(), 1.0);
+        assert!(dev.fault_policy().unwrap().software_fallback);
     }
 
     #[test]

@@ -10,24 +10,39 @@
 //! trips, routes whole pairs to the core's software baseline until
 //! half-open probes show the device is healthy again.
 //!
+//! Since PR 3 the executor supervises a whole *pool* of devices
+//! ([`crate::pool`], DESIGN.md §6): each pool slot has its own seeded
+//! fault plan, its own breaker, and an EWMA health score that can
+//! quarantine it behind canary re-probes. On top of routing, the service
+//! defends result *content* with a scoreboard — device alignments are
+//! re-verified on the host at a configurable audit rate, and a failed
+//! audit ([`AlignError::IntegrityViolation`]) triggers one device retry
+//! and then a software recompute — and defends *latency* with hedged
+//! execution: a pair stuck past the hedge trigger is cancelled on the
+//! device and re-run on the software baseline with its remaining budget.
+//!
 //! Every routing decision preserves the workspace's byte-identity
 //! invariant: the device path (with tile-level recovery), the degraded
 //! path, and the software baseline all share the global traceback
 //! tie-break, so a batch run under any fault pattern, pool width, or
 //! breaker state produces exactly the alignments of a fault-free
 //! sequential run. The service layer only decides *where* a pair is
-//! computed, never *what* it computes.
+//! computed, never *what* it computes. Auditing and hedging therefore
+//! cannot change the output either — only which counters tick.
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::mpsc;
 use std::sync::{Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use smx_align_core::{AlignError, Alignment, Sequence};
 use smx_coproc::control::CancelToken;
 use smx_coproc::faults::RecoveryStats;
 
 use crate::orchestrator::{BatchFailure, DeviceBatchReport, SmxDevice};
+use crate::pool::{
+    AuditConfig, DevicePool, DeviceStats, Dispatch, HedgeConfig, OutcomeEvents, QuarantineConfig,
+};
 
 /// What a submitter does when the work queue is full.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -105,7 +120,7 @@ pub struct BreakerSnapshot {
 
 /// Where the breaker routed a pair.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Route {
+pub(crate) enum Route {
     /// Normal device path (breaker closed, or no breaker).
     Device,
     /// Device path as a half-open probe.
@@ -160,7 +175,7 @@ impl Breaker {
 
     /// Decides where the next pair runs, advancing cooldown/probe
     /// accounting.
-    fn route(&mut self) -> Route {
+    pub(crate) fn route(&mut self) -> Route {
         match self.state {
             BreakerState::Closed => Route::Device,
             BreakerState::Open => {
@@ -189,7 +204,7 @@ impl Breaker {
     }
 
     /// Feeds back one pair's outcome for the given route.
-    fn record(&mut self, route: Route, faulted: bool) {
+    pub(crate) fn record(&mut self, route: Route, faulted: bool) {
         match route {
             Route::Software => {}
             Route::Probe => {
@@ -213,9 +228,7 @@ impl Breaker {
                 if self.state != BreakerState::Closed {
                     return;
                 }
-                if self.window.len() == self.cfg.window
-                    && self.window.pop_front() == Some(true)
-                {
+                if self.window.len() == self.cfg.window && self.window.pop_front() == Some(true) {
                     self.faulted_in_window -= 1;
                 }
                 self.window.push_back(faulted);
@@ -254,8 +267,22 @@ pub struct ExecutorConfig {
     /// Per-pair wall-clock deadline, enforced at tile boundaries.
     pub deadline: Option<Duration>,
     /// Circuit breaker over the coprocessor fault rate; `None` disables
-    /// breaking (every pair takes the device path).
+    /// breaking (every pair takes the device path). With a multi-device
+    /// pool, every device gets its *own* breaker with this tuning.
     pub breaker: Option<BreakerConfig>,
+    /// Simulated devices in the pool. `0` (the default) sizes the pool
+    /// to `jobs`, preserving the PR-2 device-per-worker model. Device 0
+    /// keeps the template's fault plan verbatim; higher slots get the
+    /// same plan re-seeded so they fault independently.
+    pub devices: usize,
+    /// Result scoreboard: re-verify device alignments on the host at
+    /// this sampling config. `None` disables auditing.
+    pub audit: Option<AuditConfig>,
+    /// Hedged execution for latency-tail pairs. `None` disables hedging.
+    pub hedge: Option<HedgeConfig>,
+    /// Per-device health scoring and quarantine. `None` disables
+    /// quarantine (devices stay in rotation however sick).
+    pub quarantine: Option<QuarantineConfig>,
 }
 
 impl Default for ExecutorConfig {
@@ -266,6 +293,10 @@ impl Default for ExecutorConfig {
             admission: AdmissionPolicy::Block,
             deadline: None,
             breaker: None,
+            devices: 0,
+            audit: None,
+            hedge: None,
+            quarantine: None,
         }
     }
 }
@@ -308,9 +339,35 @@ pub struct ServiceStats {
     pub faulted_pairs: u64,
     /// High-water mark of the bounded work queue.
     pub max_queue_depth: usize,
-    /// Breaker state and transitions (when a breaker was configured).
+    /// Host-side result audits run (scoreboard checks).
+    pub audits_run: u64,
+    /// Audits that failed — device results caught being plausible but
+    /// wrong (summed over devices; primary and retry attempts counted
+    /// separately).
+    pub integrity_violations: u64,
+    /// Pairs recomputed on the software baseline after the device retry
+    /// also failed its audit.
+    pub integrity_recomputed: u64,
+    /// Hedge backups launched for latency-tail pairs.
+    pub hedges_launched: u64,
+    /// Hedge backups that produced the pair's result.
+    pub hedges_won: u64,
+    /// Device quarantine events across the pool.
+    pub quarantines: u64,
+    /// Devices readmitted after a clean canary streak.
+    pub readmissions: u64,
+    /// Canary probes run against quarantined devices.
+    pub canary_runs: u64,
+    /// Canary probes that failed.
+    pub canary_failures: u64,
+    /// Breaker state and transitions for device 0 (when a breaker was
+    /// configured) — the single-device view; see `per_device` for the
+    /// rest of the pool.
     pub breaker: Option<BreakerSnapshot>,
-    /// Tile-level recovery counters aggregated across all workers.
+    /// Per-device counters and final health/breaker state, indexed by
+    /// pool slot.
+    pub per_device: Vec<DeviceStats>,
+    /// Tile-level recovery counters aggregated across the device pool.
     pub recovery: RecoveryStats,
 }
 
@@ -347,9 +404,7 @@ impl ServiceBatchReport {
             .iter()
             .enumerate()
             .filter_map(|(index, o)| match o {
-                PairOutcome::Failed(error) => {
-                    Some(BatchFailure { index, error: error.clone() })
-                }
+                PairOutcome::Failed(error) => Some(BatchFailure { index, error: error.clone() }),
                 _ => None,
             })
             .collect()
@@ -446,6 +501,33 @@ impl BatchExecutor {
                 return Err(AlignError::Internal("breaker needs at least one probe".into()));
             }
         }
+        if let Some(a) = &cfg.audit {
+            if !(a.rate.is_finite() && (0.0..=1.0).contains(&a.rate)) {
+                return Err(AlignError::Internal(format!("audit rate {} outside [0, 1]", a.rate)));
+            }
+        }
+        if let Some(q) = &cfg.quarantine {
+            if !(q.alpha > 0.0 && q.alpha <= 1.0 && q.threshold > 0.0 && q.threshold <= 1.0) {
+                return Err(AlignError::Internal(format!(
+                    "quarantine alpha {} and threshold {} must lie in (0, 1]",
+                    q.alpha, q.threshold
+                )));
+            }
+            if q.canary_period == 0 || q.canary_probes == 0 {
+                return Err(AlignError::Internal(
+                    "quarantine needs a nonzero canary period and probe count".into(),
+                ));
+            }
+        }
+        if let Some(h) = &cfg.hedge {
+            if let crate::pool::HedgeTrigger::P95 { multiplier, .. } = h.trigger {
+                if !(multiplier.is_finite() && multiplier > 0.0) {
+                    return Err(AlignError::Internal(format!(
+                        "hedge p95 multiplier {multiplier} must be positive"
+                    )));
+                }
+            }
+        }
         Ok(BatchExecutor { device, cfg })
     }
 
@@ -483,15 +565,32 @@ impl BatchExecutor {
         let todo: Vec<usize> = (0..n).filter(|&i| outcomes[i].is_none()).collect();
 
         let batch_token = opts.cancel.clone().unwrap_or_default();
-        let breaker = self.cfg.breaker.map(|b| Mutex::new(Breaker::new(b)));
+        let n_devices = if self.cfg.devices == 0 { self.cfg.jobs } else { self.cfg.devices };
+        let pool =
+            match DevicePool::new(&self.device, n_devices, self.cfg.breaker, self.cfg.quarantine) {
+                Ok(pool) => pool,
+                Err(e) => {
+                    // Pool construction failing (canary golden could not be
+                    // computed) fails the whole batch closed with the typed
+                    // error rather than panicking.
+                    for index in todo {
+                        outcomes[index] = Some(PairOutcome::Failed(e.clone()));
+                        stats.failed += 1;
+                    }
+                    let outcomes = outcomes
+                        .into_iter()
+                        .map(|o| o.expect("every pair has an outcome"))
+                        .collect();
+                    return ServiceBatchReport { outcomes, stats };
+                }
+            };
 
         if self.cfg.jobs == 1 {
             // Inline path: deterministic order, no queue, no shedding.
-            let mut dev = self.device.clone();
+            let mut sw = self.software_baseline();
             for index in todo {
                 let (q, r) = &pairs[index];
-                let (result, meta) =
-                    run_pair(&mut dev, q, r, self.cfg.deadline, &batch_token, breaker.as_ref());
+                let (result, meta) = run_pair(&pool, &mut sw, index, q, r, &self.cfg, &batch_token);
                 tally(&mut stats, &meta, &result);
                 if let (Ok(a), Some(cb)) = (&result, opts.on_result.as_mut()) {
                     cb(index, a);
@@ -501,7 +600,6 @@ impl BatchExecutor {
                     Err(e) => PairOutcome::Failed(e),
                 });
             }
-            stats.recovery.merge(&dev.recovery_stats());
         } else {
             let queue = JobQueue::new(self.cfg.queue_cap);
             let (tx, rx) = mpsc::channel::<WorkerMsg>();
@@ -509,19 +607,19 @@ impl BatchExecutor {
                 for _ in 0..self.cfg.jobs {
                     let tx = tx.clone();
                     let queue = &queue;
-                    let breaker = breaker.as_ref();
+                    let pool = &pool;
                     let batch_token = batch_token.clone();
-                    let deadline = self.cfg.deadline;
-                    let template = &self.device;
+                    let cfg = &self.cfg;
+                    let this = &self;
                     scope.spawn(move || {
-                        let mut dev = template.clone();
+                        let mut sw = this.software_baseline();
                         while let Some(index) = queue.pop() {
                             let (q, r) = &pairs[index];
                             let (result, meta) =
-                                run_pair(&mut dev, q, r, deadline, &batch_token, breaker);
+                                run_pair(pool, &mut sw, index, q, r, cfg, &batch_token);
                             let _ = tx.send(WorkerMsg::Pair { index, result, meta });
                         }
-                        let _ = tx.send(WorkerMsg::Done(dev.recovery_stats()));
+                        let _ = tx.send(WorkerMsg::Done);
                     });
                 }
                 drop(tx);
@@ -560,10 +658,7 @@ impl BatchExecutor {
                                 Err(e) => PairOutcome::Failed(e),
                             });
                         }
-                        WorkerMsg::Done(recovery) => {
-                            workers_done += 1;
-                            stats.recovery.merge(&recovery);
-                        }
+                        WorkerMsg::Done => workers_done += 1,
                     }
                 }
                 stats.max_queue_depth = queue.max_depth();
@@ -576,16 +671,31 @@ impl BatchExecutor {
         stats.failed =
             outcomes.iter().flatten().filter(|o| matches!(o, PairOutcome::Failed(_))).count()
                 as u64;
-        if let Some(b) = breaker {
-            let b = b.into_inner().expect("breaker lock poisoned");
-            stats.breaker =
-                Some(BreakerSnapshot { state: b.state(), transitions: b.transitions() });
-        }
-        let outcomes = outcomes
-            .into_iter()
-            .map(|o| o.expect("every pair has an outcome"))
-            .collect();
+        let (per_device, counters, recovery) = pool.finish();
+        stats.recovery = recovery;
+        stats.audits_run = counters.audits_run;
+        stats.integrity_recomputed = counters.integrity_recomputed;
+        stats.hedges_launched = counters.hedges_launched;
+        stats.hedges_won = counters.hedges_won;
+        stats.integrity_violations = per_device.iter().map(|d| d.integrity_violations).sum();
+        stats.quarantines = per_device.iter().map(|d| d.quarantines).sum();
+        stats.readmissions = per_device.iter().map(|d| d.readmissions).sum();
+        stats.canary_runs = per_device.iter().map(|d| d.canary_runs).sum();
+        stats.canary_failures = per_device.iter().map(|d| d.canary_failures).sum();
+        stats.breaker = per_device.first().and_then(|d| d.breaker);
+        stats.per_device = per_device;
+        let outcomes =
+            outcomes.into_iter().map(|o| o.expect("every pair has an outcome")).collect();
         ServiceBatchReport { outcomes, stats }
+    }
+
+    /// A worker-local clone of the template running the trusted host
+    /// path: fault injection disabled, so audits never apply to it and
+    /// its results are correct by construction.
+    fn software_baseline(&self) -> SmxDevice {
+        let mut dev = self.device.clone();
+        dev.disable_fault_injection();
+        dev
     }
 }
 
@@ -598,45 +708,175 @@ struct PairMeta {
 
 enum WorkerMsg {
     Pair { index: usize, result: Result<Alignment, AlignError>, meta: PairMeta },
-    Done(RecoveryStats),
+    Done,
 }
 
-/// Runs one pair on `dev`: consult the breaker, fork the deadline token,
-/// execute on the chosen path, and feed the outcome back.
-fn run_pair(
-    dev: &mut SmxDevice,
+/// One attempt on pool device `id` under `token`. Returns the result
+/// plus whether the attempt counts as faulted for breaker/health
+/// purposes: the device injected at least one detectable fault while it
+/// ran, or it failed with a recoverable device fault. Deadline and
+/// cancellation failures are *not* faults — breaking on them would mask
+/// overload as device sickness.
+fn attempt_on_device(
+    pool: &DevicePool,
+    id: usize,
     q: &Sequence,
     r: &Sequence,
-    deadline: Option<Duration>,
-    batch_token: &CancelToken,
-    breaker: Option<&Mutex<Breaker>>,
-) -> (Result<Alignment, AlignError>, PairMeta) {
-    let route = match breaker {
-        Some(b) => b.lock().expect("breaker lock poisoned").route(),
-        None => Route::Device,
-    };
-    let token = match deadline {
-        Some(d) => batch_token.fork_with_deadline(d),
-        None => batch_token.clone(),
-    };
+    token: CancelToken,
+) -> (Result<Alignment, AlignError>, bool) {
+    let mut dev = pool.device(id);
     dev.set_cancel_token(Some(token));
     let before = dev.recovery_stats();
-    let result = match route {
-        Route::Software => dev.align_software(q, r),
-        Route::Device | Route::Probe => dev.align(q, r),
-    };
+    let result = dev.align(q, r);
     let after = dev.recovery_stats();
     dev.set_cancel_token(None);
-    // A pair "faulted" for breaker purposes when the device injected at
-    // least one fault while it ran, or when it failed with a recoverable
-    // device fault. Deadline/cancellation failures are *not* faults —
-    // breaking on them would mask overload as device sickness.
     let faulted = after.faults_injected > before.faults_injected
         || result.as_ref().err().is_some_and(AlignError::is_recoverable_fault);
-    if let Some(b) = breaker {
-        b.lock().expect("breaker lock poisoned").record(route, faulted);
+    (result, faulted)
+}
+
+/// One attempt on the worker-local software baseline under `token`.
+fn attempt_on_software(
+    sw: &mut SmxDevice,
+    q: &Sequence,
+    r: &Sequence,
+    token: CancelToken,
+) -> Result<Alignment, AlignError> {
+    sw.set_cancel_token(Some(token));
+    let result = sw.align_software(q, r);
+    sw.set_cancel_token(None);
+    result
+}
+
+/// Forks a token carrying whatever remains of the pair's deadline, or a
+/// plain clone of the batch token when no deadline is configured.
+fn remaining_token(
+    batch_token: &CancelToken,
+    deadline: Option<Duration>,
+    start: Instant,
+) -> CancelToken {
+    match deadline {
+        Some(d) => batch_token.fork_with_deadline(d.saturating_sub(start.elapsed())),
+        None => batch_token.clone(),
     }
-    (result, PairMeta { route, faulted })
+}
+
+/// Runs one pair through the pool: canary duty, dispatch, the primary
+/// attempt under `min(deadline, hedge trigger)`, the hedge backup, the
+/// audit retry-then-recompute ladder, and the health feedback — in that
+/// order. Whatever path wins, the alignment content is byte-identical.
+fn run_pair(
+    pool: &DevicePool,
+    sw: &mut SmxDevice,
+    index: usize,
+    q: &Sequence,
+    r: &Sequence,
+    cfg: &ExecutorConfig,
+    batch_token: &CancelToken,
+) -> (Result<Alignment, AlignError>, PairMeta) {
+    // Quarantined devices are re-probed opportunistically by whichever
+    // worker passes by next, so requalification needs no extra thread.
+    pool.run_due_canaries();
+    let (id, route) = match pool.health().dispatch() {
+        Dispatch::Device { id, route } => (id, route),
+        Dispatch::Software => {
+            // The whole pool is quarantined: serve from the baseline.
+            let token = remaining_token(batch_token, cfg.deadline, Instant::now());
+            let result = attempt_on_software(sw, q, r, token);
+            return (result, PairMeta { route: Route::Software, faulted: false });
+        }
+    };
+    if route == Route::Software {
+        // This device's breaker is open; its cooldown already advanced.
+        let token = remaining_token(batch_token, cfg.deadline, Instant::now());
+        let result = attempt_on_software(sw, q, r, token);
+        return (result, PairMeta { route, faulted: false });
+    }
+
+    let start = Instant::now();
+    let hedge_after = cfg.hedge.as_ref().and_then(|h| pool.health().hedge_threshold(h));
+    // The hedge trigger is implemented by capping the primary attempt's
+    // token budget: a primary that would run past the trigger cancels
+    // itself at the next tile boundary, and the backup takes over with
+    // the remainder of the real deadline (DESIGN.md §6).
+    let hedge_armed = hedge_after.is_some_and(|h| cfg.deadline.is_none_or(|d| h < d));
+    let primary_budget = match (cfg.deadline, hedge_after) {
+        (Some(d), Some(h)) => Some(d.min(h)),
+        (Some(d), None) => Some(d),
+        (None, h) => h,
+    };
+    let token = match primary_budget {
+        Some(b) => batch_token.fork_with_deadline(b),
+        None => batch_token.clone(),
+    };
+    let mut ev = OutcomeEvents::default();
+    let (mut result, faulted) = attempt_on_device(pool, id, q, r, token);
+    ev.faulted = faulted;
+
+    if matches!(result, Err(AlignError::DeadlineExceeded { .. })) {
+        ev.deadline = true;
+        let remaining = cfg.deadline.map(|d| d.saturating_sub(start.elapsed()));
+        if hedge_armed && remaining != Some(Duration::ZERO) {
+            // The primary hit the hedge trigger, not the real deadline:
+            // launch the backup on the always-healthy baseline with the
+            // remaining budget. Byte-identity makes the winner
+            // indistinguishable in the output.
+            ev.hedge_launched = true;
+            let backup_token = match remaining {
+                Some(rem) => batch_token.fork_with_deadline(rem),
+                None => batch_token.clone(),
+            };
+            let backup = attempt_on_software(sw, q, r, backup_token);
+            ev.hedge_won = backup.is_ok();
+            result = backup;
+        }
+    } else if result.is_ok() {
+        pool.health().record_latency(start.elapsed());
+    }
+
+    if cfg.audit.as_ref().is_some_and(|a| a.samples(index)) {
+        if let Ok(a) = &result {
+            if !ev.hedge_won {
+                ev.audits += 1;
+                if pool.audit(id, a, q, r).is_err() {
+                    ev.integrity += 1;
+                    result = audit_recovery(pool, sw, id, q, r, cfg, batch_token, start, &mut ev);
+                }
+            }
+        }
+    }
+
+    pool.health().record(id, route, ev);
+    (result, PairMeta { route, faulted: ev.faulted })
+}
+
+/// The scoreboard's recovery ladder after a failed audit: retry once on
+/// the same device (re-auditing the retry), then recompute on the
+/// software baseline. The corrupt alignment is never returned.
+#[allow(clippy::too_many_arguments)]
+fn audit_recovery(
+    pool: &DevicePool,
+    sw: &mut SmxDevice,
+    id: usize,
+    q: &Sequence,
+    r: &Sequence,
+    cfg: &ExecutorConfig,
+    batch_token: &CancelToken,
+    start: Instant,
+    ev: &mut OutcomeEvents,
+) -> Result<Alignment, AlignError> {
+    let (retry, retry_faulted) =
+        attempt_on_device(pool, id, q, r, remaining_token(batch_token, cfg.deadline, start));
+    ev.faulted |= retry_faulted;
+    if let Ok(a) = retry {
+        ev.audits += 1;
+        match pool.audit(id, &a, q, r) {
+            Ok(()) => return Ok(a),
+            Err(_) => ev.integrity += 1,
+        }
+    }
+    ev.recomputed = true;
+    attempt_on_software(sw, q, r, remaining_token(batch_token, cfg.deadline, start))
 }
 
 fn tally(stats: &mut ServiceStats, meta: &PairMeta, result: &Result<Alignment, AlignError>) {
@@ -700,11 +940,7 @@ impl JobQueue {
     fn new(cap: usize) -> JobQueue {
         JobQueue {
             cap,
-            inner: Mutex::new(QueueInner {
-                jobs: VecDeque::new(),
-                closed: false,
-                max_depth: 0,
-            }),
+            inner: Mutex::new(QueueInner { jobs: VecDeque::new(), closed: false, max_depth: 0 }),
             not_full: Condvar::new(),
             not_empty: Condvar::new(),
         }
@@ -761,6 +997,7 @@ impl JobQueue {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::testkit::{assert_all_aligned, assert_byte_identical, expect_aligned};
     use smx_align_core::AlignmentConfig;
     use smx_coproc::faults::{FaultPlan, RecoveryPolicy};
 
@@ -779,21 +1016,9 @@ mod tests {
             .collect()
     }
 
-    fn clean_baseline(
-        config: AlignmentConfig,
-        batch: &[(Sequence, Sequence)],
-    ) -> Vec<Alignment> {
+    fn clean_baseline(config: AlignmentConfig, batch: &[(Sequence, Sequence)]) -> Vec<Alignment> {
         let mut dev = SmxDevice::new(config, 2).unwrap();
         batch.iter().map(|(q, r)| dev.align(q, r).unwrap()).collect()
-    }
-
-    fn assert_byte_identical(report: &ServiceBatchReport, golden: &[Alignment]) {
-        assert_eq!(report.outcomes.len(), golden.len());
-        for (i, g) in golden.iter().enumerate() {
-            let a = report.alignment(i).unwrap_or_else(|| panic!("pair {i} not aligned"));
-            assert_eq!(a.score, g.score, "pair {i}");
-            assert_eq!(a.cigar.to_string(), g.cigar.to_string(), "pair {i}");
-        }
     }
 
     #[test]
@@ -939,11 +1164,7 @@ mod tests {
         let dev = SmxDevice::new(config, 2).unwrap();
         let exec = BatchExecutor::new(
             dev,
-            ExecutorConfig {
-                jobs: 2,
-                deadline: Some(Duration::ZERO),
-                ..ExecutorConfig::default()
-            },
+            ExecutorConfig { jobs: 2, deadline: Some(Duration::ZERO), ..ExecutorConfig::default() },
         )
         .unwrap();
         let report = exec.run(&batch);
@@ -961,17 +1182,12 @@ mod tests {
         let config = AlignmentConfig::DnaEdit;
         let batch = pairs(config, 5, 50);
         let dev = SmxDevice::new(config, 2).unwrap();
-        let exec = BatchExecutor::new(
-            dev,
-            ExecutorConfig { jobs: 2, ..ExecutorConfig::default() },
-        )
-        .unwrap();
+        let exec = BatchExecutor::new(dev, ExecutorConfig { jobs: 2, ..ExecutorConfig::default() })
+            .unwrap();
         let token = CancelToken::new();
         token.cancel();
-        let report = exec.run_with(
-            &batch,
-            RunOptions { cancel: Some(token), ..RunOptions::default() },
-        );
+        let report =
+            exec.run_with(&batch, RunOptions { cancel: Some(token), ..RunOptions::default() });
         assert_eq!(report.stats.cancelled, 5);
         assert!(report
             .outcomes
@@ -1016,16 +1232,13 @@ mod tests {
         let config = AlignmentConfig::DnaGap;
         let batch = pairs(config, 10, 60);
         let dev = SmxDevice::new(config, 2).unwrap();
-        let exec =
-            BatchExecutor::new(dev, ExecutorConfig { jobs: 2, ..ExecutorConfig::default() })
-                .unwrap();
+        let exec = BatchExecutor::new(dev, ExecutorConfig { jobs: 2, ..ExecutorConfig::default() })
+            .unwrap();
         let full = exec.run(&batch);
         assert!(full.all_succeeded());
         // Pretend a crash happened after the even-indexed pairs.
-        let manifest: HashMap<usize, Alignment> = (0..10)
-            .step_by(2)
-            .map(|i| (i, full.alignment(i).unwrap().clone()))
-            .collect();
+        let manifest: HashMap<usize, Alignment> =
+            (0..10).step_by(2).map(|i| (i, expect_aligned(&full, i).clone())).collect();
         let mut computed = Vec::new();
         let report = exec.run_with(
             &batch,
@@ -1078,20 +1291,321 @@ mod tests {
     fn poisoned_pair_fails_closed_in_pool() {
         let config = AlignmentConfig::DnaGap;
         let mut batch = pairs(config, 6, 50);
-        let poisoned =
-            Sequence::from_text(smx_align_core::Alphabet::Protein, "WYVAC").unwrap();
+        let poisoned = Sequence::from_text(smx_align_core::Alphabet::Protein, "WYVAC").unwrap();
         batch[3] = (poisoned, batch[3].1.clone());
         let dev = SmxDevice::new(config, 2).unwrap();
-        let exec =
-            BatchExecutor::new(dev, ExecutorConfig { jobs: 3, ..ExecutorConfig::default() })
-                .unwrap();
+        let exec = BatchExecutor::new(dev, ExecutorConfig { jobs: 3, ..ExecutorConfig::default() })
+            .unwrap();
         let report = exec.run(&batch);
         assert_eq!(report.stats.failed, 1);
         assert_eq!(report.stats.completed, 5);
-        assert!(matches!(
-            report.outcomes[3],
-            PairOutcome::Failed(AlignError::AlphabetMismatch)
-        ));
+        assert!(matches!(report.outcomes[3], PairOutcome::Failed(AlignError::AlphabetMismatch)));
         assert!(report.failure_summary().contains("pair 3:"));
+    }
+
+    /// The PR-3 acceptance scenario: a fault plan that *silently*
+    /// corrupts device readouts (past every checksum), full auditing,
+    /// and a batch that must still come out byte-identical to the
+    /// fault-free baseline with the violations caught and counted.
+    #[test]
+    fn full_audit_catches_silent_corruption_and_restores_byte_identity() {
+        let config = AlignmentConfig::DnaGap;
+        let batch = pairs(config, 12, 60);
+        let golden = clean_baseline(config, &batch);
+        let mut dev = SmxDevice::new(config, 2).unwrap();
+        dev.enable_fault_injection(
+            FaultPlan::new(11, 0.0).with_silent_rate(1.0),
+            RecoveryPolicy::default(),
+        );
+        let exec = BatchExecutor::new(
+            dev,
+            ExecutorConfig {
+                jobs: 1,
+                audit: Some(AuditConfig::full()),
+                ..ExecutorConfig::default()
+            },
+        )
+        .unwrap();
+        let report = exec.run(&batch);
+        assert_all_aligned(&report);
+        assert_byte_identical(&report, &golden);
+        let s = &report.stats;
+        // Every readout is corrupt: the primary audit fails, the device
+        // retry fails its audit too, and the software recompute restores
+        // the correct answer for every pair.
+        assert_eq!(s.audits_run, 24);
+        assert_eq!(s.integrity_violations, 24);
+        assert_eq!(s.integrity_recomputed, 12);
+        assert_eq!(s.recovery.silent_corruptions, 24);
+        assert_eq!(s.per_device.len(), 1);
+        assert_eq!(s.per_device[0].integrity_violations, 24);
+    }
+
+    /// Without the scoreboard, silent corruption sails through: the
+    /// batch "succeeds" with wrong content. This is the control run that
+    /// proves the audit is the defense, not the device's own checks.
+    #[test]
+    fn unaudited_silent_corruption_passes_through_undetected() {
+        let config = AlignmentConfig::DnaGap;
+        let batch = pairs(config, 8, 60);
+        let golden = clean_baseline(config, &batch);
+        let mut dev = SmxDevice::new(config, 2).unwrap();
+        dev.enable_fault_injection(
+            FaultPlan::new(11, 0.0).with_silent_rate(1.0),
+            RecoveryPolicy::default(),
+        );
+        let exec = BatchExecutor::new(dev, ExecutorConfig::default()).unwrap();
+        let report = exec.run(&batch);
+        assert_all_aligned(&report);
+        assert_eq!(report.stats.audits_run, 0);
+        assert_eq!(report.stats.integrity_violations, 0);
+        assert!(report.stats.recovery.silent_corruptions > 0);
+        let diverged =
+            golden.iter().enumerate().filter(|(i, g)| expect_aligned(&report, *i) != *g).count();
+        assert!(diverged > 0, "corruption reached the output unchallenged");
+    }
+
+    /// Sampled auditing is deterministic per pair index: sampled pairs
+    /// are guaranteed clean, unsampled ones may carry corruption.
+    #[test]
+    fn sampled_audit_cleans_exactly_the_sampled_pairs() {
+        let config = AlignmentConfig::DnaGap;
+        let batch = pairs(config, 20, 60);
+        let golden = clean_baseline(config, &batch);
+        let audit = AuditConfig { rate: 0.5, seed: 3 };
+        let mut dev = SmxDevice::new(config, 2).unwrap();
+        dev.enable_fault_injection(
+            FaultPlan::new(11, 0.0).with_silent_rate(1.0),
+            RecoveryPolicy::default(),
+        );
+        let exec = BatchExecutor::new(
+            dev,
+            ExecutorConfig { jobs: 2, audit: Some(audit), ..ExecutorConfig::default() },
+        )
+        .unwrap();
+        let report = exec.run(&batch);
+        assert_all_aligned(&report);
+        let sampled: Vec<usize> = (0..batch.len()).filter(|&i| audit.samples(i)).collect();
+        assert!(!sampled.is_empty() && sampled.len() < batch.len(), "{sampled:?}");
+        for &i in &sampled {
+            assert_eq!(expect_aligned(&report, i), &golden[i], "audited pair {i}");
+        }
+        assert!(report.stats.integrity_violations >= sampled.len() as u64);
+    }
+
+    /// A hedge trigger of zero makes every device leg "stuck"
+    /// immediately: the backup on the software baseline must win every
+    /// pair, byte-identically, with no deadline failures surfaced.
+    #[test]
+    fn hedge_backup_completes_stuck_pairs_on_the_baseline() {
+        let config = AlignmentConfig::DnaGap;
+        let batch = pairs(config, 6, 50);
+        let golden = clean_baseline(config, &batch);
+        let dev = SmxDevice::new(config, 2).unwrap();
+        let exec = BatchExecutor::new(
+            dev,
+            ExecutorConfig {
+                jobs: 2,
+                hedge: Some(HedgeConfig::after(Duration::ZERO)),
+                ..ExecutorConfig::default()
+            },
+        )
+        .unwrap();
+        let report = exec.run(&batch);
+        assert_all_aligned(&report);
+        assert_byte_identical(&report, &golden);
+        assert_eq!(report.stats.hedges_launched, 6);
+        assert_eq!(report.stats.hedges_won, 6);
+        assert_eq!(report.stats.deadline_exceeded, 0);
+    }
+
+    /// When the real deadline is at or below the hedge trigger, the
+    /// hedge must not fire: the pair fails with the typed deadline
+    /// error exactly as it would without hedging.
+    #[test]
+    fn hedge_never_overrides_the_real_deadline() {
+        let config = AlignmentConfig::DnaEdit;
+        let batch = pairs(config, 4, 50);
+        let dev = SmxDevice::new(config, 2).unwrap();
+        let exec = BatchExecutor::new(
+            dev,
+            ExecutorConfig {
+                jobs: 1,
+                deadline: Some(Duration::ZERO),
+                hedge: Some(HedgeConfig::after(Duration::ZERO)),
+                ..ExecutorConfig::default()
+            },
+        )
+        .unwrap();
+        let report = exec.run(&batch);
+        assert_eq!(report.stats.deadline_exceeded, 4);
+        assert_eq!(report.stats.hedges_launched, 0);
+        assert!(report
+            .outcomes
+            .iter()
+            .all(|o| matches!(o, PairOutcome::Failed(AlignError::DeadlineExceeded { .. }))));
+    }
+
+    /// A persistently faulting pool is quarantined device by device;
+    /// traffic degrades to the software baseline, canary probes keep
+    /// failing (the fault plan never heals), and the output stays
+    /// byte-identical throughout.
+    #[test]
+    fn sick_pool_quarantines_and_degrades_to_software() {
+        let config = AlignmentConfig::DnaGap;
+        let batch = pairs(config, 40, 60);
+        let golden = clean_baseline(config, &batch);
+        let mut dev = SmxDevice::new(config, 2).unwrap();
+        dev.enable_fault_injection(FaultPlan::new(7, 1.0), RecoveryPolicy::default());
+        let exec = BatchExecutor::new(
+            dev,
+            ExecutorConfig {
+                jobs: 1,
+                devices: 2,
+                quarantine: Some(QuarantineConfig {
+                    alpha: 0.5,
+                    threshold: 0.5,
+                    min_samples: 2,
+                    canary_period: 4,
+                    canary_probes: 2,
+                }),
+                ..ExecutorConfig::default()
+            },
+        )
+        .unwrap();
+        let report = exec.run(&batch);
+        assert_all_aligned(&report);
+        assert_byte_identical(&report, &golden);
+        let s = &report.stats;
+        assert_eq!(s.quarantines, 2, "both devices fault on every pair");
+        assert_eq!(s.readmissions, 0);
+        assert!(s.canary_runs > 0, "quarantined devices keep getting probed");
+        assert_eq!(s.canary_failures, s.canary_runs, "the plan never heals");
+        assert!(s.software_pairs > 0, "traffic degraded to the baseline");
+        assert_eq!(s.per_device.len(), 2);
+        assert!(s.per_device.iter().all(|d| d.quarantined));
+    }
+
+    /// PR-2 documented invariant, previously untested: a deadline
+    /// failure during a half-open probe must not trip the breaker —
+    /// deadlines say "overloaded", not "sick".
+    #[test]
+    fn deadline_failure_during_half_open_probe_does_not_trip_breaker() {
+        let mut b = Breaker::new(BreakerConfig {
+            window: 4,
+            min_samples: 2,
+            threshold: 0.5,
+            cooldown_pairs: 0,
+            probes: 2,
+        });
+        b.record(Route::Device, true);
+        b.record(Route::Device, true);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.route(), Route::Probe);
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        // The probe pair times out: run_pair classifies deadline errors
+        // as not-faulted, so the verdict reaching the breaker is clean.
+        b.record(Route::Probe, false);
+        assert_eq!(b.state(), BreakerState::HalfOpen, "no trip, no premature close");
+        assert_eq!(b.transitions().opened, 1, "the deadline did not re-open the breaker");
+    }
+
+    /// Executor-level companion: a deadline storm with a breaker
+    /// configured leaves the breaker closed.
+    #[test]
+    fn deadline_storm_does_not_trip_the_breaker() {
+        let config = AlignmentConfig::DnaEdit;
+        let batch = pairs(config, 12, 50);
+        let dev = SmxDevice::new(config, 2).unwrap();
+        let exec = BatchExecutor::new(
+            dev,
+            ExecutorConfig {
+                jobs: 1,
+                deadline: Some(Duration::ZERO),
+                breaker: Some(BreakerConfig {
+                    window: 4,
+                    min_samples: 2,
+                    threshold: 0.5,
+                    cooldown_pairs: 2,
+                    probes: 1,
+                }),
+                ..ExecutorConfig::default()
+            },
+        )
+        .unwrap();
+        let report = exec.run(&batch);
+        assert_eq!(report.stats.deadline_exceeded, 12);
+        let snap = report.stats.breaker.expect("breaker configured");
+        assert_eq!(snap.state, BreakerState::Closed);
+        assert_eq!(snap.transitions.opened, 0);
+    }
+
+    #[test]
+    fn pool_config_validation() {
+        let config = AlignmentConfig::DnaEdit;
+        let dev = SmxDevice::new(config, 1).unwrap();
+        assert!(BatchExecutor::new(
+            dev.clone(),
+            ExecutorConfig {
+                audit: Some(AuditConfig { rate: 1.5, seed: 0 }),
+                ..ExecutorConfig::default()
+            }
+        )
+        .is_err());
+        assert!(BatchExecutor::new(
+            dev.clone(),
+            ExecutorConfig {
+                quarantine: Some(QuarantineConfig { alpha: 0.0, ..QuarantineConfig::default() }),
+                ..ExecutorConfig::default()
+            }
+        )
+        .is_err());
+        assert!(BatchExecutor::new(
+            dev.clone(),
+            ExecutorConfig {
+                quarantine: Some(QuarantineConfig {
+                    canary_probes: 0,
+                    ..QuarantineConfig::default()
+                }),
+                ..ExecutorConfig::default()
+            }
+        )
+        .is_err());
+        assert!(BatchExecutor::new(
+            dev,
+            ExecutorConfig {
+                hedge: Some(HedgeConfig {
+                    trigger: crate::pool::HedgeTrigger::P95 { min_samples: 8, multiplier: 0.0 },
+                }),
+                ..ExecutorConfig::default()
+            }
+        )
+        .is_err());
+    }
+
+    /// Multi-device pools spread clean traffic round-robin and report
+    /// per-device accounting that sums to the batch totals.
+    #[test]
+    fn multi_device_pool_spreads_traffic_and_accounts_per_device() {
+        let config = AlignmentConfig::DnaGap;
+        let batch = pairs(config, 12, 60);
+        let golden = clean_baseline(config, &batch);
+        let dev = SmxDevice::new(config, 2).unwrap();
+        let exec = BatchExecutor::new(
+            dev,
+            ExecutorConfig { jobs: 1, devices: 3, ..ExecutorConfig::default() },
+        )
+        .unwrap();
+        let report = exec.run(&batch);
+        assert_all_aligned(&report);
+        assert_byte_identical(&report, &golden);
+        let s = &report.stats;
+        assert_eq!(s.per_device.len(), 3);
+        assert_eq!(s.per_device.iter().map(|d| d.pairs).sum::<u64>(), 12);
+        assert!(
+            s.per_device.iter().all(|d| d.pairs == 4),
+            "round-robin spreads evenly: {:?}",
+            s.per_device
+        );
     }
 }

@@ -1,0 +1,65 @@
+//! Assertion helpers shared by unit tests, integration tests, and the
+//! bench harnesses.
+//!
+//! Service reports are positional; a failed lookup should say *which*
+//! pair failed and *why the batch thinks it failed*, not just panic on
+//! a bare `unwrap`. Centralizing the checks keeps the panic messages
+//! descriptive and identical everywhere the byte-identity invariant is
+//! asserted — the unit tests, the proptest harnesses, and the
+//! `integrity_storm` bench all call the same code.
+
+use smx_align_core::Alignment;
+
+use crate::service::{PairOutcome, ServiceBatchReport};
+
+/// The alignment for pair `index`, or a panic that names the pair and
+/// dumps the report's failure summary.
+///
+/// # Panics
+///
+/// When the pair failed, was shed, or is out of range.
+#[must_use]
+pub fn expect_aligned(report: &ServiceBatchReport, index: usize) -> &Alignment {
+    match report.outcomes.get(index) {
+        Some(PairOutcome::Aligned(a)) => a,
+        Some(PairOutcome::Failed(e)) => {
+            panic!("pair {index} failed: {e}\n{}", report.failure_summary())
+        }
+        Some(PairOutcome::Shed) => {
+            panic!("pair {index} was shed by admission\n{}", report.failure_summary())
+        }
+        None => {
+            panic!("pair {index} out of range: the report has {} outcomes", report.outcomes.len())
+        }
+    }
+}
+
+/// Asserts every pair in the batch aligned.
+///
+/// # Panics
+///
+/// With the report's failure summary when any pair failed or was shed.
+pub fn assert_all_aligned(report: &ServiceBatchReport) {
+    assert!(report.all_succeeded(), "batch had failures:\n{}", report.failure_summary());
+}
+
+/// Asserts the report's alignments are byte-identical to `golden`
+/// (score and CIGAR string), pair by pair — the workspace's core
+/// invariant: no fault pattern, pool width, breaker state, audit rate,
+/// or hedge setting may change alignment content.
+///
+/// # Panics
+///
+/// Naming the first diverging pair and what diverged.
+pub fn assert_byte_identical(report: &ServiceBatchReport, golden: &[Alignment]) {
+    assert_eq!(report.outcomes.len(), golden.len(), "pair count mismatch");
+    for (i, g) in golden.iter().enumerate() {
+        let a = expect_aligned(report, i);
+        assert_eq!(a.score, g.score, "pair {i}: score diverged from the clean baseline");
+        assert_eq!(
+            a.cigar.to_string(),
+            g.cigar.to_string(),
+            "pair {i}: CIGAR diverged from the clean baseline"
+        );
+    }
+}

@@ -83,9 +83,7 @@ fn deltas_from_absolute(
             if (0..=theta).contains(&d) {
                 Ok(d as u8)
             } else {
-                Err(AlignError::Internal(format!(
-                    "{what} delta {d} outside [0, {theta}]"
-                )))
+                Err(AlignError::Internal(format!("{what} delta {d} outside [0, {theta}]")))
             }
         })
         .collect()
@@ -160,7 +158,7 @@ mod tests {
     #[test]
     fn invalid_deltas_rejected() {
         let scheme = ScoringScheme::edit(); // theta = 2, shift = -1
-        // A jump of +5 cannot come from an edit DP row.
+                                            // A jump of +5 cannot come from an edit DP row.
         assert!(absolute_row_to_dh(&[0, 5], &scheme).is_err());
     }
 

@@ -174,12 +174,7 @@ mod tests {
     /// Reconstructs the absolute DP matrix from a DeltaBlock and compares
     /// with the golden model. This is the central correctness property of
     /// the whole encoding.
-    fn assert_block_matches_golden(
-        ew: ElementWidth,
-        q: &[u8],
-        r: &[u8],
-        scheme: &ScoringScheme,
-    ) {
+    fn assert_block_matches_golden(ew: ElementWidth, q: &[u8], r: &[u8], scheme: &ScoringScheme) {
         let (top, left) = DeltaBlock::fresh_borders(q.len(), r.len());
         let blk = DeltaBlock::compute(ew, q, r, scheme, &top, &left).unwrap();
         let golden = dp::full_matrix(q, r, scheme);
@@ -220,8 +215,7 @@ mod tests {
 
     #[test]
     fn protein_block_matches_golden() {
-        let scheme =
-            ScoringScheme::matrix(smx_align_core::SubstMatrix::blosum50(), -5).unwrap();
+        let scheme = ScoringScheme::matrix(smx_align_core::SubstMatrix::blosum50(), -5).unwrap();
         let q: Vec<u8> = b"HEAGAWGHEE".iter().map(|c| c - b'A').collect();
         let r: Vec<u8> = b"PAWHEAE".iter().map(|c| c - b'A').collect();
         assert_block_matches_golden(ElementWidth::W6, &q, &r, &scheme);
@@ -240,12 +234,10 @@ mod tests {
 
         let b00 =
             DeltaBlock::compute(ew, &q[..3], &r[..3], &scheme, &[0, 0, 0], &[0, 0, 0]).unwrap();
-        let b01 =
-            DeltaBlock::compute(ew, &q[..3], &r[3..], &scheme, &[0, 0, 0], &b00.right_dv())
-                .unwrap();
-        let b10 =
-            DeltaBlock::compute(ew, &q[3..], &r[..3], &scheme, &b00.bottom_dh(), &[0, 0, 0])
-                .unwrap();
+        let b01 = DeltaBlock::compute(ew, &q[..3], &r[3..], &scheme, &[0, 0, 0], &b00.right_dv())
+            .unwrap();
+        let b10 = DeltaBlock::compute(ew, &q[3..], &r[..3], &scheme, &b00.bottom_dh(), &[0, 0, 0])
+            .unwrap();
         let b11 =
             DeltaBlock::compute(ew, &q[3..], &r[3..], &scheme, &b01.bottom_dh(), &b10.right_dv())
                 .unwrap();

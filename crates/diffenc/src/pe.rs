@@ -65,7 +65,11 @@ pub fn pe_exact(ew: ElementWidth, dv_in: u8, dh_in: u8, s: u8) -> (u8, u8) {
     // Δv′ mux: sign(c) picks between a and b (a − b = c); the selected
     // value's own sign picks between it and zero.
     let dv_out = if !neg(c) {
-        if !neg(a) { a } else { 0 }
+        if !neg(a) {
+            a
+        } else {
+            0
+        }
     } else if !neg(b) {
         b
     } else {
@@ -73,7 +77,11 @@ pub fn pe_exact(ew: ElementWidth, dv_in: u8, dh_in: u8, s: u8) -> (u8, u8) {
     };
     // Δh′ mux: sign(a) picks between c and d (c − d = a).
     let dh_out = if !neg(a) {
-        if !neg(c) { c } else { 0 }
+        if !neg(c) {
+            c
+        } else {
+            0
+        }
     } else if !neg(d) {
         d
     } else {

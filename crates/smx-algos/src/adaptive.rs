@@ -208,10 +208,7 @@ mod tests {
         adaptive.alignment.unwrap().verify(&q, &r, &scheme).unwrap();
 
         let static_band = crate::banded::banded_align(&q, &r, &scheme, 16, None, false);
-        assert!(
-            static_band.score.is_none_or(|s| s < golden),
-            "static narrow band should miss"
-        );
+        assert!(static_band.score.is_none_or(|s| s < golden), "static narrow band should miss");
     }
 
     #[test]

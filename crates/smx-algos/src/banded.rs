@@ -38,9 +38,8 @@ pub fn banded_align(
             let mut cigar = Cigar::new();
             cigar.push_run(Op::Insert, m as u32);
             cigar.push_run(Op::Delete, n as u32);
-            out.score = Some(
-                cigar.score(query, reference, scheme).expect("gap-only cigar is consistent"),
-            );
+            out.score =
+                Some(cigar.score(query, reference, scheme).expect("gap-only cigar is consistent"));
             out.traceback_steps = cigar.len() as u64;
             out.alignment = Some(smx_align_core::Alignment { score: out.score.unwrap(), cigar });
         }

@@ -33,17 +33,94 @@ pub struct SotaEntry {
 #[must_use]
 pub fn table3_entries() -> Vec<SotaEntry> {
     vec![
-        SotaEntry { name: "KSW2", device: "CPU", units: 1, pgcups_per_unit: 1.8, area_mm2_per_unit: None, supports: (true, true, true, true) },
-        SotaEntry { name: "BlockAligner", device: "CPU", units: 1, pgcups_per_unit: 3.6, area_mm2_per_unit: None, supports: (true, true, true, true) },
-        SotaEntry { name: "GMX", device: "ISA", units: 1, pgcups_per_unit: 1024.0, area_mm2_per_unit: Some(0.02), supports: (true, false, false, true) },
-        SotaEntry { name: "GASAL2", device: "GPU", units: 28, pgcups_per_unit: 2.3, area_mm2_per_unit: None, supports: (true, true, false, true) },
-        SotaEntry { name: "CUDASW++4", device: "GPU (ISA)", units: 132, pgcups_per_unit: 63.3, area_mm2_per_unit: None, supports: (true, true, true, false) },
-        SotaEntry { name: "BioSEAL", device: "PIM", units: 15, pgcups_per_unit: 6046.7, area_mm2_per_unit: Some(230.0), supports: (true, true, true, false) },
-        SotaEntry { name: "GenASM", device: "DSA", units: 32, pgcups_per_unit: 64.0, area_mm2_per_unit: Some(0.33), supports: (true, false, false, true) },
-        SotaEntry { name: "Darwin", device: "DSA", units: 64, pgcups_per_unit: 54.2, area_mm2_per_unit: Some(1.34), supports: (true, true, false, true) },
-        SotaEntry { name: "GenDP", device: "DSA", units: 64, pgcups_per_unit: 4.7, area_mm2_per_unit: Some(5.39), supports: (true, true, false, true) },
-        SotaEntry { name: "Mao-Jan Lin", device: "DSA", units: 1, pgcups_per_unit: 91.4, area_mm2_per_unit: Some(5.72), supports: (true, true, true, true) },
-        SotaEntry { name: "Talco-XDrop", device: "DSA", units: 32, pgcups_per_unit: 12.8, area_mm2_per_unit: Some(1.82), supports: (true, true, true, true) },
+        SotaEntry {
+            name: "KSW2",
+            device: "CPU",
+            units: 1,
+            pgcups_per_unit: 1.8,
+            area_mm2_per_unit: None,
+            supports: (true, true, true, true),
+        },
+        SotaEntry {
+            name: "BlockAligner",
+            device: "CPU",
+            units: 1,
+            pgcups_per_unit: 3.6,
+            area_mm2_per_unit: None,
+            supports: (true, true, true, true),
+        },
+        SotaEntry {
+            name: "GMX",
+            device: "ISA",
+            units: 1,
+            pgcups_per_unit: 1024.0,
+            area_mm2_per_unit: Some(0.02),
+            supports: (true, false, false, true),
+        },
+        SotaEntry {
+            name: "GASAL2",
+            device: "GPU",
+            units: 28,
+            pgcups_per_unit: 2.3,
+            area_mm2_per_unit: None,
+            supports: (true, true, false, true),
+        },
+        SotaEntry {
+            name: "CUDASW++4",
+            device: "GPU (ISA)",
+            units: 132,
+            pgcups_per_unit: 63.3,
+            area_mm2_per_unit: None,
+            supports: (true, true, true, false),
+        },
+        SotaEntry {
+            name: "BioSEAL",
+            device: "PIM",
+            units: 15,
+            pgcups_per_unit: 6046.7,
+            area_mm2_per_unit: Some(230.0),
+            supports: (true, true, true, false),
+        },
+        SotaEntry {
+            name: "GenASM",
+            device: "DSA",
+            units: 32,
+            pgcups_per_unit: 64.0,
+            area_mm2_per_unit: Some(0.33),
+            supports: (true, false, false, true),
+        },
+        SotaEntry {
+            name: "Darwin",
+            device: "DSA",
+            units: 64,
+            pgcups_per_unit: 54.2,
+            area_mm2_per_unit: Some(1.34),
+            supports: (true, true, false, true),
+        },
+        SotaEntry {
+            name: "GenDP",
+            device: "DSA",
+            units: 64,
+            pgcups_per_unit: 4.7,
+            area_mm2_per_unit: Some(5.39),
+            supports: (true, true, false, true),
+        },
+        SotaEntry {
+            name: "Mao-Jan Lin",
+            device: "DSA",
+            units: 1,
+            pgcups_per_unit: 91.4,
+            area_mm2_per_unit: Some(5.72),
+            supports: (true, true, true, true),
+        },
+        SotaEntry {
+            name: "Talco-XDrop",
+            device: "DSA",
+            units: 32,
+            pgcups_per_unit: 12.8,
+            area_mm2_per_unit: Some(1.82),
+            supports: (true, true, true, true),
+        },
     ]
 }
 

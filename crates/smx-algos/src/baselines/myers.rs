@@ -133,10 +133,7 @@ mod tests {
         let mut r = q.clone();
         r[10] ^= 1;
         r.remove(40);
-        assert_eq!(
-            edit_distance(&q, &r, 4).unwrap(),
-            dp::edit_distance(&q, &r)
-        );
+        assert_eq!(edit_distance(&q, &r, 4).unwrap(), dp::edit_distance(&q, &r));
     }
 
     #[test]
@@ -144,11 +141,7 @@ mod tests {
         for m in [1usize, 63, 64, 65, 127, 128, 129, 200] {
             let q: Vec<u8> = (0..m as u32).map(|i| (i.wrapping_mul(7) % 4) as u8).collect();
             let r: Vec<u8> = (0..(m + 13) as u32).map(|i| (i.wrapping_mul(5) % 4) as u8).collect();
-            assert_eq!(
-                edit_distance(&q, &r, 4).unwrap(),
-                dp::edit_distance(&q, &r),
-                "m = {m}"
-            );
+            assert_eq!(edit_distance(&q, &r, 4).unwrap(), dp::edit_distance(&q, &r), "m = {m}");
         }
     }
 

@@ -67,9 +67,7 @@ pub fn edit_distance(query: &[u8], reference: &[u8]) -> Result<WfaResult, AlignE
             // Insertion (down a row): from k+1, same offset.
             // Deletion (right a column): from k-1, offset + 1.
             // Mismatch (diagonal): same k, offset + 1.
-            let best = get(k + 1)
-                .max(get(k - 1).saturating_add(1))
-                .max(get(k).saturating_add(1));
+            let best = get(k + 1).max(get(k - 1).saturating_add(1)).max(get(k).saturating_add(1));
             if best < 0 {
                 continue;
             }

@@ -32,9 +32,9 @@ pub fn full_align(
         } else {
             // Functionally equivalent optimal path via Hirschberg; the
             // full algorithm's work profile is reported regardless.
-            crate::hirschberg::hirschberg_align(query, reference, scheme).alignment.expect(
-                "hirschberg always yields an alignment",
-            )
+            crate::hirschberg::hirschberg_align(query, reference, scheme)
+                .alignment
+                .expect("hirschberg always yields an alignment")
         };
         out.traceback_steps = alignment.cigar.len() as u64;
         out.score = Some(alignment.score);

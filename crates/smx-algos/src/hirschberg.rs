@@ -19,9 +19,8 @@ pub fn hirschberg_align(query: &[u8], reference: &[u8], scheme: &ScoringScheme) 
     out.pack_chars = (query.len() + reference.len()) as u64;
     out.cells_stored = (query.len() + reference.len() + 2) as u64;
     out.traceback_steps = cigar.len() as u64;
-    let score = cigar
-        .score(query, reference, scheme)
-        .expect("hirschberg cigar consumes both sequences");
+    let score =
+        cigar.score(query, reference, scheme).expect("hirschberg cigar consumes both sequences");
     out.score = Some(score);
     out.alignment = Some(Alignment { score, cigar });
     out
@@ -62,9 +61,7 @@ fn recurse(
     out.blocks.push((m - mid, n));
 
     // Optimal crossing column: maximize fwd[j] + bwd[n - j].
-    let split = (0..=n)
-        .max_by_key(|&j| fwd[j] + bwd[n - j])
-        .expect("non-empty range");
+    let split = (0..=n).max_by_key(|&j| fwd[j] + bwd[n - j]).expect("non-empty range");
 
     recurse(&query[..mid], &reference[..split], scheme, out, cigar);
     recurse(&query[mid..], &reference[split..], scheme, out, cigar);

@@ -122,9 +122,7 @@ pub fn chain_seeds(seeds: &[(u32, u32)], min_seeds: usize, max_diag_spread: u32)
         }
         buckets.get_mut(&coarse).expect("just inserted").push((q, r));
     }
-    let (_, mut best) = buckets
-        .into_iter()
-        .max_by_key(|(key, v)| (v.len(), -key))?;
+    let (_, mut best) = buckets.into_iter().max_by_key(|(key, v)| (v.len(), -key))?;
     if best.len() < min_seeds {
         return None;
     }
@@ -190,11 +188,7 @@ pub fn map_read(
     // segment's scaled diagonal; widen the DP band to cover that offset.
     let dp_band = 2 * band + 16;
     let outcome = banded_align(read, segment, scheme, dp_band, None, true);
-    Ok(Some(Mapping {
-        ref_range: start..end,
-        outcome,
-        seed_count: chain.seeds.len(),
-    }))
+    Ok(Some(Mapping { ref_range: start..end, outcome, seed_count: chain.seeds.len() }))
 }
 
 #[cfg(test)]

@@ -57,11 +57,7 @@ pub fn recall(outcomes: &[AlgoOutcome], optimal: &[i32]) -> f64 {
     if outcomes.is_empty() {
         return 0.0;
     }
-    let correct = outcomes
-        .iter()
-        .zip(optimal)
-        .filter(|(o, &opt)| o.score == Some(opt))
-        .count();
+    let correct = outcomes.iter().zip(optimal).filter(|(o, &opt)| o.score == Some(opt)).count();
     correct as f64 / outcomes.len() as f64
 }
 
@@ -73,10 +69,7 @@ pub fn matrix_fractions(outcome: &AlgoOutcome, m: usize, n: usize) -> (f64, f64)
     if total == 0.0 {
         return (0.0, 0.0);
     }
-    (
-        outcome.cells_computed as f64 / total,
-        outcome.cells_stored as f64 / total,
-    )
+    (outcome.cells_computed as f64 / total, outcome.cells_stored as f64 / total)
 }
 
 #[cfg(test)]

@@ -99,7 +99,15 @@ impl BatchWork {
                 blocks.push((r, c));
             }
         }
-        BatchWork { config, score_only, cells, blocks, traceback_steps, pack_chars, max_block_cells }
+        BatchWork {
+            config,
+            score_only,
+            cells,
+            blocks,
+            traceback_steps,
+            pack_chars,
+            max_block_cells,
+        }
     }
 }
 
@@ -141,11 +149,7 @@ fn traceback_kernel(steps: u64) -> LoopKernel {
     let mut k = LoopKernel::compute_only(
         "traceback-walk",
         steps as f64,
-        vec![
-            (UopClass::IntAlu, 6.0),
-            (UopClass::Load, 2.0),
-            (UopClass::Branch, 1.0),
-        ],
+        vec![(UopClass::IntAlu, 6.0), (UopClass::Load, 2.0), (UopClass::Branch, 1.0)],
         6.0,
     );
     k.mispredicts = 0.25;
@@ -329,11 +333,7 @@ pub fn estimate_with(
         EngineKind::Gact => {
             // A standalone DSA computes each window, including its
             // traceback, in about 2W cycles (systolic fill + drain).
-            let cycles: f64 = work
-                .blocks
-                .iter()
-                .map(|&(r, c)| 2.0 * r.max(c) as f64 + 50.0)
-                .sum();
+            let cycles: f64 = work.blocks.iter().map(|&(r, c)| 2.0 * r.max(c) as f64 + 50.0).sum();
             TimingReport {
                 cycles: cycles.max(1.0),
                 cpu_busy: 0.0,

@@ -76,9 +76,8 @@ pub fn window_align(
     }
 
     out.traceback_steps = cigar.len() as u64;
-    let score = cigar
-        .score(query, reference, scheme)
-        .expect("window cigar consumes both sequences");
+    let score =
+        cigar.score(query, reference, scheme).expect("window cigar consumes both sequences");
     out.score = Some(score);
     if want_alignment {
         out.alignment = Some(smx_align_core::Alignment { score, cigar });

@@ -195,14 +195,9 @@ impl AffineEngine {
             right_all.extend_from_slice(&dv_carry);
             left_anchor += left0[r0..r0 + rows].iter().map(|f| f.u).sum::<i32>();
         }
-        let score = affine_block_score(
-            &top0,
-            &AffineBlockOut { right: right_all, bottom: dh_carry },
-        );
-        Ok(AffineBlockResult {
-            score,
-            store: AffineStore { vl, m, n, t_cols, inputs, anchors },
-        })
+        let score =
+            affine_block_score(&top0, &AffineBlockOut { right: right_all, bottom: dh_carry });
+        Ok(AffineBlockResult { score, store: AffineStore { vl, m, n, t_cols, inputs, anchors } })
     }
 
     /// Traces back an affine block by recomputing the Gotoh layers of the
@@ -274,13 +269,9 @@ impl AffineEngine {
                         f[i * w + j] =
                             (f[(i - 1) * w + j] - e_pen).max(h[(i - 1) * w + j] - q_pen - e_pen);
                     }
-                    let s = if q_seg[i - 1] == r_seg[j - 1] {
-                        pen.match_score
-                    } else {
-                        pen.mismatch
-                    };
-                    h[i * w + j] =
-                        (h[(i - 1) * w + j - 1] + s).max(e[i * w + j]).max(f[i * w + j]);
+                    let s =
+                        if q_seg[i - 1] == r_seg[j - 1] { pen.match_score } else { pen.mismatch };
+                    h[i * w + j] = (h[(i - 1) * w + j - 1] + s).max(e[i * w + j]).max(f[i * w + j]);
                 }
             }
 

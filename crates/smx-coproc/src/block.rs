@@ -84,7 +84,11 @@ impl TileBorderStore {
 
     /// The (row, col) ranges covered by tile `(ti, tj)`.
     #[must_use]
-    pub fn tile_span(&self, ti: usize, tj: usize) -> (std::ops::Range<usize>, std::ops::Range<usize>) {
+    pub fn tile_span(
+        &self,
+        ti: usize,
+        tj: usize,
+    ) -> (std::ops::Range<usize>, std::ops::Range<usize>) {
         let r0 = ti * self.vl;
         let c0 = tj * self.vl;
         (r0..(r0 + self.vl).min(self.m), c0..(c0 + self.vl).min(self.n))
@@ -223,7 +227,8 @@ fn compute_block_inner(
             let c0 = tj * vl;
             let cols = (n - c0).min(vl);
             let r_seg = &reference[c0..c0 + cols];
-            let tin = TileInput { dv_left: dv_carry.clone(), dh_top: dh_carry[c0..c0 + cols].to_vec() };
+            let tin =
+                TileInput { dv_left: dv_carry.clone(), dh_top: dh_carry[c0..c0 + cols].to_vec() };
             if keep {
                 inputs.push(tin.clone());
                 anchors.push(anchor);
@@ -251,15 +256,7 @@ fn compute_block_inner(
         score: top_sum + right_sum,
         bottom_dh: dh_carry,
         right_dv,
-        borders: keep.then_some(TileBorderStore {
-            vl,
-            m,
-            n,
-            t_rows,
-            t_cols,
-            inputs,
-            anchors,
-        }),
+        borders: keep.then_some(TileBorderStore { vl, m, n, t_rows, t_cols, inputs, anchors }),
         stats,
     })
 }
@@ -367,8 +364,8 @@ mod tests {
         for rate in [0.0, 0.05, 0.5, 1.0] {
             let plan = FaultPlan::new(99, rate);
             let mut s = FaultSession::new(plan, RecoveryPolicy::default());
-            let out = compute_block_resilient(&e, &q, &r, None, BlockMode::Traceback, &mut s)
-                .unwrap();
+            let out =
+                compute_block_resilient(&e, &q, &r, None, BlockMode::Traceback, &mut s).unwrap();
             assert_eq!(out.score, clean.score, "rate {rate}");
             assert_eq!(out.bottom_dh, clean.bottom_dh, "rate {rate}");
             assert_eq!(out.right_dv, clean.right_dv, "rate {rate}");

@@ -127,10 +127,18 @@ impl SmxCoprocessor {
         reference: &[u8],
         output: &BlockOutput,
     ) -> Result<(Cigar, RecomputeStats), AlignError> {
-        let store = output.borders.as_ref().ok_or_else(|| {
-            AlignError::Internal("block was computed in score-only mode".into())
-        })?;
-        traceback_block_controlled(&self.engine, query, reference, store, None, self.control.as_ref())
+        let store = output
+            .borders
+            .as_ref()
+            .ok_or_else(|| AlignError::Internal("block was computed in score-only mode".into()))?;
+        traceback_block_controlled(
+            &self.engine,
+            query,
+            reference,
+            store,
+            None,
+            self.control.as_ref(),
+        )
     }
 
     /// Traces back under an active fault-injection session (border reads
@@ -146,9 +154,10 @@ impl SmxCoprocessor {
         output: &BlockOutput,
         session: &mut FaultSession,
     ) -> Result<(Cigar, RecomputeStats), AlignError> {
-        let store = output.borders.as_ref().ok_or_else(|| {
-            AlignError::Internal("block was computed in score-only mode".into())
-        })?;
+        let store = output
+            .borders
+            .as_ref()
+            .ok_or_else(|| AlignError::Internal("block was computed in score-only mode".into()))?;
         traceback_block_controlled(
             &self.engine,
             query,

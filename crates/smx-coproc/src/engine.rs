@@ -136,11 +136,7 @@ mod tests {
         let scheme = cfg.scoring();
         // Reconstruct score from borders and compare to golden.
         let score: i32 = r.len() as i32 * scheme.gap_delete()
-            + out
-                .dv_right
-                .iter()
-                .map(|&d| i32::from(d) + scheme.gap_insert())
-                .sum::<i32>();
+            + out.dv_right.iter().map(|&d| i32::from(d) + scheme.gap_insert()).sum::<i32>();
         assert_eq!(score, dp::score_only(&q, &r, &scheme));
     }
 

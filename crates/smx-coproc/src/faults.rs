@@ -29,7 +29,7 @@ use std::fmt;
 
 use crate::engine::SmxEngine;
 use crate::tile::{TileInput, TileOutput};
-use smx_align_core::AlignError;
+use smx_align_core::{AlignError, Alignment, Cigar, Op};
 
 /// The failure modes the plan can inject.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -94,6 +94,34 @@ pub struct FaultEvent {
     pub action: RecoveryAction,
 }
 
+/// Shapes of *silent* readout corruption: damage applied to a finished
+/// alignment as it crosses the result path back to the host, after every
+/// border checksum and the device's internal re-verification have
+/// passed. The device cannot detect these by construction — only an
+/// independent host-side audit ([`Alignment::verify`]) can.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SilentKind {
+    /// The reported score is skewed by a small nonzero delta while the
+    /// CIGAR stays intact (score/CIGAR disagreement).
+    ScoreSkew,
+    /// One CIGAR run's operation is flipped (`=`↔`X`, `I`↔`D`), so the
+    /// operations disagree with the actual symbols or consumption.
+    OpFlip,
+    /// One CIGAR run's length is inflated, so the path walks off the end
+    /// of the query/reference (malformed run length).
+    RunOverrun,
+}
+
+impl fmt::Display for SilentKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SilentKind::ScoreSkew => "score-skew",
+            SilentKind::OpFlip => "op-flip",
+            SilentKind::RunOverrun => "run-overrun",
+        })
+    }
+}
+
 /// A seeded, deterministic plan of which tile computations fault.
 ///
 /// Draws are pure functions of `(seed, epoch, ti, tj, attempt)`: the same
@@ -107,6 +135,7 @@ pub struct FaultPlan {
     seed: u64,
     rate: f64,
     persistence: f64,
+    silent_rate: f64,
 }
 
 /// Salt distinguishing the fault-site draw from derived draws.
@@ -115,6 +144,8 @@ const SALT_SITE: u64 = 0x5157_u64;
 const SALT_CORRUPT: u64 = 0xC0FF_u64;
 /// Salt for the fault-kind draw.
 const SALT_KIND: u64 = 0x4B49_u64;
+/// Salt for the silent readout-corruption draw.
+const SALT_SILENT: u64 = 0x51E7_u64;
 
 impl FaultPlan {
     /// A plan injecting faults at `rate` per tile transfer, seeded by
@@ -122,7 +153,7 @@ impl FaultPlan {
     /// 0.25 (three quarters of faults are transient).
     #[must_use]
     pub fn new(seed: u64, rate: f64) -> FaultPlan {
-        FaultPlan { seed, rate: rate.clamp(0.0, 1.0), persistence: 0.25 }
+        FaultPlan { seed, rate: rate.clamp(0.0, 1.0), persistence: 0.25, silent_rate: 0.0 }
     }
 
     /// A plan that never faults (the fault-free baseline).
@@ -135,6 +166,25 @@ impl FaultPlan {
     #[must_use]
     pub fn with_persistence(mut self, persistence: f64) -> FaultPlan {
         self.persistence = persistence.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Enables silent readout corruption at `rate` per completed device
+    /// alignment (clamped to `[0, 1]`). Unlike the detectable tile
+    /// faults, these bypass every checksum — only a host-side audit
+    /// catches them.
+    #[must_use]
+    pub fn with_silent_rate(mut self, rate: f64) -> FaultPlan {
+        self.silent_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Re-seeds the plan, keeping every rate. Pool construction derives
+    /// each device's plan from the template this way so the N simulated
+    /// devices fault independently but reproducibly.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> FaultPlan {
+        self.seed = seed;
         self
     }
 
@@ -154,6 +204,12 @@ impl FaultPlan {
     #[must_use]
     pub fn persistence(&self) -> f64 {
         self.persistence
+    }
+
+    /// Per-alignment silent readout-corruption probability.
+    #[must_use]
+    pub fn silent_rate(&self) -> f64 {
+        self.silent_rate
     }
 
     fn hash(&self, epoch: u64, ti: usize, tj: usize, salt: u64) -> u64 {
@@ -200,6 +256,65 @@ impl FaultPlan {
             _ => FaultKind::L2BitFlip,
         })
     }
+
+    /// Whether (and how) the `readout`-th result readout is silently
+    /// corrupted. Draws are pure functions of `(seed, readout)`.
+    #[must_use]
+    pub fn draw_silent(&self, readout: u64) -> Option<SilentKind> {
+        if self.silent_rate <= 0.0 {
+            return None;
+        }
+        let site = self.hash(readout, 0, 0, SALT_SILENT);
+        if Self::unit(site) >= self.silent_rate {
+            return None;
+        }
+        let kind = self.hash(readout, 1, 0, SALT_SILENT ^ SALT_KIND);
+        Some(match kind % 3 {
+            0 => SilentKind::ScoreSkew,
+            1 => SilentKind::OpFlip,
+            _ => SilentKind::RunOverrun,
+        })
+    }
+}
+
+/// Applies `kind`'s corruption to a finished alignment, placed by hash
+/// `h`. Every shape is guaranteed to change the alignment in a way a
+/// full [`Alignment::verify`] re-check catches: a nonzero score delta, a
+/// run whose operation disagrees with the symbols or consumption, or a
+/// run that overruns a sequence.
+fn corrupt_alignment(aln: &mut Alignment, kind: SilentKind, h: u64) {
+    let runs = aln.cigar.runs().to_vec();
+    if runs.is_empty() || kind == SilentKind::ScoreSkew {
+        // An empty CIGAR leaves only the score to damage.
+        let delta = 1 + ((h >> 8) as i32 & 0x7);
+        aln.score =
+            if h & 1 == 0 { aln.score.wrapping_add(delta) } else { aln.score.wrapping_sub(delta) };
+        return;
+    }
+    let target = (h as usize) % runs.len();
+    let mut rebuilt = Cigar::new();
+    for (i, &(op, n)) in runs.iter().enumerate() {
+        if i != target {
+            rebuilt.push_run(op, n);
+            continue;
+        }
+        match kind {
+            SilentKind::OpFlip => {
+                let flipped = match op {
+                    Op::Match => Op::Mismatch,
+                    Op::Mismatch => Op::Match,
+                    Op::Insert => Op::Delete,
+                    Op::Delete => Op::Insert,
+                };
+                rebuilt.push_run(flipped, n);
+            }
+            SilentKind::RunOverrun => {
+                rebuilt.push_run(op, n.saturating_add(1 + ((h >> 16) as u32 & 0x3)));
+            }
+            SilentKind::ScoreSkew => unreachable!("handled above"),
+        }
+    }
+    aln.cigar = rebuilt;
 }
 
 /// Tile-level recovery policy: how hard the device tries before degrading.
@@ -265,6 +380,10 @@ pub struct RecoveryStats {
     pub software_alignments: u64,
     /// Cycles spent on watchdog waits, backoff, and wasted attempts.
     pub cycles_lost: u64,
+    /// Silent readout corruptions injected past the checksums. These are
+    /// *not* counted in `faults_injected`/`faults_detected`: the device
+    /// cannot detect them, only the service layer's audit can.
+    pub silent_corruptions: u64,
 }
 
 impl RecoveryStats {
@@ -277,6 +396,7 @@ impl RecoveryStats {
         self.fallbacks += other.fallbacks;
         self.software_alignments += other.software_alignments;
         self.cycles_lost += other.cycles_lost;
+        self.silent_corruptions += other.silent_corruptions;
     }
 
     /// The counter invariants that hold under any policy with
@@ -338,6 +458,7 @@ pub struct FaultSession {
     events_dropped: u64,
     cycle: u64,
     epoch: u64,
+    readouts: u64,
 }
 
 impl FaultSession {
@@ -352,6 +473,7 @@ impl FaultSession {
             events_dropped: 0,
             cycle: 0,
             epoch: 0,
+            readouts: 0,
         }
     }
 
@@ -406,6 +528,21 @@ impl FaultSession {
     /// Records an orchestrator-level degradation to the software path.
     pub fn record_software_alignment(&mut self) {
         self.stats.software_alignments += 1;
+    }
+
+    /// Runs one finished device alignment through the (possibly faulty)
+    /// result readout path. When the plan's silent rate fires, the
+    /// alignment is corrupted *after* all device-side verification — no
+    /// checksum sees it — and the shape of the damage is returned so
+    /// harnesses can assert on it. The corruption counter is the only
+    /// device-side trace; detection is entirely the auditor's job.
+    pub fn corrupt_readout(&mut self, aln: &mut Alignment) -> Option<SilentKind> {
+        self.readouts += 1;
+        let kind = self.plan.draw_silent(self.readouts)?;
+        let h = self.plan.hash(self.readouts, 2, 0, SALT_SILENT ^ SALT_CORRUPT);
+        corrupt_alignment(aln, kind, h);
+        self.stats.silent_corruptions += 1;
+        Some(kind)
     }
 
     fn push_event(&mut self, event: FaultEvent) {
@@ -743,6 +880,71 @@ mod tests {
         let stats = session.stats();
         assert_eq!(stats.retries, 1);
         assert_eq!(stats.fallbacks, 0);
+    }
+
+    #[test]
+    fn silent_draws_are_deterministic_and_gated_by_rate() {
+        let plan = FaultPlan::new(17, 0.0).with_silent_rate(0.3);
+        for readout in 0..256 {
+            assert_eq!(plan.draw_silent(readout), plan.draw_silent(readout));
+        }
+        let off = FaultPlan::new(17, 0.5);
+        assert!((0..256).all(|r| off.draw_silent(r).is_none()), "default silent rate is 0");
+        let always = FaultPlan::new(17, 0.0).with_silent_rate(1.0);
+        assert!((1..64).all(|r| always.draw_silent(r).is_some()));
+    }
+
+    #[test]
+    fn with_seed_changes_draws_but_keeps_rates() {
+        let a = FaultPlan::new(1, 0.3).with_persistence(0.7).with_silent_rate(0.2);
+        let b = a.with_seed(2);
+        assert_eq!(b.seed(), 2);
+        assert_eq!(b.rate(), a.rate());
+        assert_eq!(b.persistence(), a.persistence());
+        assert_eq!(b.silent_rate(), a.silent_rate());
+        let differs = (0..512).any(|t| a.draw(0, t, 0, 0) != b.draw(0, t, 0, 0));
+        assert!(differs, "reseeding must decorrelate the fault sites");
+    }
+
+    #[test]
+    fn every_silent_corruption_shape_is_caught_by_a_full_audit() {
+        use smx_align_core::ScoringScheme;
+        let scheme = ScoringScheme::edit();
+        let q = vec![0u8, 1, 2, 3, 0, 1];
+        let r = vec![0u8, 1, 2, 0, 0, 1];
+        let clean = smx_align_core::dp::align_codes(&q, &r, &scheme);
+        clean.verify(&q, &r, &scheme).unwrap();
+        for kind in [SilentKind::ScoreSkew, SilentKind::OpFlip, SilentKind::RunOverrun] {
+            for h in 0..64u64 {
+                let mut aln = clean.clone();
+                corrupt_alignment(&mut aln, kind, h);
+                assert_ne!(
+                    (aln.score, aln.cigar.to_string()),
+                    (clean.score, clean.cigar.to_string()),
+                    "{kind} h={h} must change the alignment"
+                );
+                assert!(
+                    aln.verify(&q, &r, &scheme).is_err(),
+                    "{kind} h={h} must fail re-verification"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_readout_counts_but_stays_invisible_to_detection_counters() {
+        let plan = FaultPlan::new(5, 0.0).with_silent_rate(1.0);
+        let mut session = FaultSession::new(plan, RecoveryPolicy::default());
+        let mut aln = Alignment { score: 3, cigar: Cigar::parse("3=").unwrap() };
+        let clean = aln.clone();
+        assert!(session.corrupt_readout(&mut aln).is_some());
+        assert_ne!((aln.score, aln.cigar.to_string()), (clean.score, clean.cigar.to_string()));
+        let stats = session.stats();
+        assert_eq!(stats.silent_corruptions, 1);
+        assert_eq!(stats.faults_injected, 0, "silent faults bypass detection");
+        assert_eq!(stats.faults_detected, 0);
+        assert!(stats.invariants_hold());
+        assert!(session.events().is_empty(), "the device cannot log what it cannot see");
     }
 
     #[test]

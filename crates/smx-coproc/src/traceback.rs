@@ -203,7 +203,9 @@ mod tests {
 
     fn seq(cfg: AlignmentConfig, len: usize, stride: u32) -> Vec<u8> {
         let card = cfg.alphabet().cardinality() as u32;
-        (0..len as u32).map(|i| (i.wrapping_mul(stride).wrapping_add(i >> 3) % card) as u8).collect()
+        (0..len as u32)
+            .map(|i| (i.wrapping_mul(stride).wrapping_add(i >> 3) % card) as u8)
+            .collect()
     }
 
     fn roundtrip(cfg: AlignmentConfig, q: &[u8], r: &[u8]) {

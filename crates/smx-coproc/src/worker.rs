@@ -63,7 +63,12 @@ pub fn chars_per_line(ew: ElementWidth) -> usize {
 /// (2 × VL elements per tile) are additionally written back for later
 /// recomputation.
 #[must_use]
-pub fn block_transfer_stats(m: usize, n: usize, ew: ElementWidth, mode: BlockMode) -> TransferStats {
+pub fn block_transfer_stats(
+    m: usize,
+    n: usize,
+    ew: ElementWidth,
+    mode: BlockMode,
+) -> TransferStats {
     let vl = ew.vl();
     let cpl = chars_per_line(ew);
     let st_rows = m.div_ceil(cpl) as u64;

@@ -7,9 +7,30 @@ use rand::Rng;
 use smx_align_core::{Alphabet, Sequence};
 
 const WORDS: &[&str] = &[
-    "sequence", "alignment", "matrix", "vector", "kernel", "memory", "cache", "worker",
-    "engine", "tile", "block", "score", "trace", "query", "reference", "protein", "genome",
-    "hardware", "systolic", "pipeline", "register", "parallel", "compute", "border",
+    "sequence",
+    "alignment",
+    "matrix",
+    "vector",
+    "kernel",
+    "memory",
+    "cache",
+    "worker",
+    "engine",
+    "tile",
+    "block",
+    "score",
+    "trace",
+    "query",
+    "reference",
+    "protein",
+    "genome",
+    "hardware",
+    "systolic",
+    "pipeline",
+    "register",
+    "parallel",
+    "compute",
+    "border",
 ];
 
 /// Generates pseudo-English text of roughly `len` characters.

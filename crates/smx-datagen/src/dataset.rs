@@ -139,8 +139,11 @@ impl Dataset {
             .map(|_| {
                 let reference =
                     dna::repeat_rich_dna(config.alphabet(), len, repeat_fraction, &mut rng);
-                let query =
-                    crate::mutate::mutate(&reference, &crate::mutate::ErrorProfile::moderate(), &mut rng);
+                let query = crate::mutate::mutate(
+                    &reference,
+                    &crate::mutate::ErrorProfile::moderate(),
+                    &mut rng,
+                );
                 SeqPair { reference, query }
             })
             .collect();
@@ -186,8 +189,7 @@ impl Dataset {
         if self.pairs.is_empty() {
             return 0.0;
         }
-        self.pairs.iter().map(|p| p.reference.len()).sum::<usize>() as f64
-            / self.pairs.len() as f64
+        self.pairs.iter().map(|p| p.reference.len()).sum::<usize>() as f64 / self.pairs.len() as f64
     }
 }
 

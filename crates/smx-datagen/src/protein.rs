@@ -10,8 +10,8 @@ use smx_align_core::{Alphabet, Sequence};
 /// alphabet code `0 = 'A' .. 25 = 'Z'`. Codes that are not canonical amino
 /// acids (B, J, O, U, X, Z) get a tiny residual weight.
 const AA_WEIGHTS: [u32; 26] = [
-    83, 1, 14, 55, 67, 39, 71, 22, 59, 1, 58, 97, 24, 41, 1, 47, 39, 55, 66, 54, 1, 69, 11, 1,
-    29, 1,
+    83, 1, 14, 55, 67, 39, 71, 22, 59, 1, 58, 97, 24, 41, 1, 47, 39, 55, 66, 54, 1, 69, 11, 1, 29,
+    1,
 ];
 
 /// Mean length of generated proteins (UniProt average ≈ 350 aa).
@@ -40,11 +40,7 @@ pub fn random_protein(len: usize, rng: &mut StdRng) -> Sequence {
 /// A homolog pair at roughly `divergence` substitutions per residue plus
 /// light indels — the shape of a UniProt query hit.
 #[must_use]
-pub fn homolog_pair(
-    mean_len: usize,
-    divergence: f64,
-    rng: &mut StdRng,
-) -> (Sequence, Sequence) {
+pub fn homolog_pair(mean_len: usize, divergence: f64, rng: &mut StdRng) -> (Sequence, Sequence) {
     let jitter = (mean_len / 4).max(1);
     let len = mean_len - jitter + rng.gen_range(0..2 * jitter);
     let reference = random_protein(len, rng);
@@ -83,8 +79,7 @@ mod tests {
         let (r, q) = homolog_pair(300, 0.2, &mut rng);
         assert!(r.len() > 200);
         assert!(q.len() > 150);
-        let dist = smx_align_core::dp::edit_distance(q.codes(), r.codes()) as f64
-            / r.len() as f64;
+        let dist = smx_align_core::dp::edit_distance(q.codes(), r.codes()) as f64 / r.len() as f64;
         assert!((0.1..0.4).contains(&dist), "divergence {dist}");
     }
 }

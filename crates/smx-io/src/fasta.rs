@@ -116,7 +116,10 @@ pub fn write<W: Write>(mut writer: W, records: &[Record]) -> Result<(), IoError>
 /// # Errors
 ///
 /// Propagates parse, I/O, and alphabet errors.
-pub fn parse_typed<R: Read>(reader: R, alphabet: Alphabet) -> Result<Vec<(Record, Sequence)>, IoError> {
+pub fn parse_typed<R: Read>(
+    reader: R,
+    alphabet: Alphabet,
+) -> Result<Vec<(Record, Sequence)>, IoError> {
     parse(reader)?
         .into_iter()
         .map(|r| {

@@ -83,10 +83,7 @@ impl From<std::io::Error> for IoError {
 /// invalid-UTF-8 [`std::io::Error`] into a line-numbered parse error so
 /// binary garbage fed to a text parser is reported like any other
 /// malformed input.
-pub(crate) fn decode_line(
-    lineno: usize,
-    line: std::io::Result<String>,
-) -> Result<String, IoError> {
+pub(crate) fn decode_line(lineno: usize, line: std::io::Result<String>) -> Result<String, IoError> {
     line.map_err(|e| {
         if e.kind() == std::io::ErrorKind::InvalidData {
             IoError::Parse { line: lineno + 1, message: "input is not valid UTF-8".into() }

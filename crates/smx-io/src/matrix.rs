@@ -78,10 +78,8 @@ pub fn parse<R: Read>(reader: R) -> Result<SubstMatrix, IoError> {
     if seen_rows == 0 {
         return Err(IoError::Parse { line: 0, message: "no matrix rows found".into() });
     }
-    SubstMatrix::from_scores("custom", scores).map_err(|e| IoError::Parse {
-        line: 0,
-        message: e.to_string(),
-    })
+    SubstMatrix::from_scores("custom", scores)
+        .map_err(|e| IoError::Parse { line: 0, message: e.to_string() })
 }
 
 /// Writes a matrix in NCBI format over the 20 canonical residues plus the
@@ -127,7 +125,7 @@ N -2  0  6 -4
         assert_eq!(m.score(0, 0), 4); // A-A
         assert_eq!(m.score(0, 17), -1); // A-R
         assert_eq!(m.score(13, 13), 6); // N-N
-        // Unlisted letters keep the neutral default.
+                                        // Unlisted letters keep the neutral default.
         assert_eq!(m.score(22, 22), -1); // W-W
     }
 

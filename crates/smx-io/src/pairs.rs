@@ -54,7 +54,10 @@ pub fn pair_interleaved(records: &[Record], alphabet: Alphabet) -> Result<Vec<Na
     if !records.len().is_multiple_of(2) {
         return Err(IoError::Parse {
             line: 0,
-            message: format!("interleaved pairing needs an even record count, got {}", records.len()),
+            message: format!(
+                "interleaved pairing needs an even record count, got {}",
+                records.len()
+            ),
         });
     }
     records

@@ -177,8 +177,7 @@ mod tests {
 
     #[test]
     fn theta_bound_match_mismatch() {
-        let cfg =
-            SmxConfig::from_scheme(ElementWidth::W2, &ScoringScheme::edit()).unwrap();
+        let cfg = SmxConfig::from_scheme(ElementWidth::W2, &ScoringScheme::edit()).unwrap();
         assert_eq!(cfg.theta_bound(), 2);
     }
 }

@@ -125,19 +125,13 @@ impl Insn {
 /// lanes"; partial counts serve the last row strip of a block).
 #[must_use]
 pub fn rs2_operand(dh_in: u8, ref_lane: u8, active_lanes: u8) -> u64 {
-    u64::from(dh_in)
-        | (u64::from(ref_lane & 0x3F) << 8)
-        | (u64::from(active_lanes & 0x3F) << 16)
+    u64::from(dh_in) | (u64::from(ref_lane & 0x3F) << 8) | (u64::from(active_lanes & 0x3F) << 16)
 }
 
 /// Splits an `rs2` operand into (Δh′ input, reference lane, active lanes).
 #[must_use]
 pub fn split_rs2(value: u64) -> (u8, u8, u8) {
-    (
-        (value & 0xFF) as u8,
-        ((value >> 8) & 0x3F) as u8,
-        ((value >> 16) & 0x3F) as u8,
-    )
+    ((value & 0xFF) as u8, ((value >> 8) & 0x3F) as u8, ((value >> 16) & 0x3F) as u8)
 }
 
 #[cfg(test)]

@@ -162,8 +162,7 @@ fn run_block(
     }
 
     // Top-border contribution, summed in software.
-    let top_sum: i64 =
-        borders.top_dh.iter().map(|&d| i64::from(d) + i64::from(gd)).sum();
+    let top_sum: i64 = borders.top_dh.iter().map(|&d| i64::from(d) + i64::from(gd)).sum();
     unit.charge(0, 0, n as u64);
 
     let after = unit.counts();
@@ -256,10 +255,7 @@ pub fn traceback_from_columns(
     while i > 0 || j > 0 {
         ops_cost += 4; // compare/branch/update per step
         let here = cur[i];
-        if i > 0
-            && j > 0
-            && here == prev[i - 1] + scheme.score(query[i - 1], reference[j - 1])
-        {
+        if i > 0 && j > 0 && here == prev[i - 1] + scheme.score(query[i - 1], reference[j - 1]) {
             cigar.push(if query[i - 1] == reference[j - 1] {
                 smx_align_core::Op::Match
             } else {
@@ -321,10 +317,7 @@ pub fn align_block(
 /// # Errors
 ///
 /// Propagates packing errors (codes always fit EW by construction).
-pub fn pack_ascii_sequence(
-    unit: &mut Smx1dUnit,
-    ascii: &[u8],
-) -> Result<PackedSeq, AlignError> {
+pub fn pack_ascii_sequence(unit: &mut Smx1dUnit, ascii: &[u8]) -> Result<PackedSeq, AlignError> {
     let ew = unit.config().ew;
     let mut codes = Vec::with_capacity(ascii.len());
     for chunk in ascii.chunks(8) {
@@ -380,8 +373,7 @@ mod tests {
         let r: Vec<u8> = (0..30).map(|i| (i % 3) as u8).collect();
         let res = compute_block(&mut u, &q, &r, None).unwrap();
         let (top, left) = DeltaBlock::fresh_borders(q.len(), r.len());
-        let blk =
-            DeltaBlock::compute(ElementWidth::W4, &q, &r, &scheme, &top, &left).unwrap();
+        let blk = DeltaBlock::compute(ElementWidth::W4, &q, &r, &scheme, &top, &left).unwrap();
         assert_eq!(res.bottom_dh, blk.bottom_dh());
         assert_eq!(res.right_dv, blk.right_dv());
     }

@@ -45,6 +45,6 @@ pub mod unit;
 
 pub use config::{ScoreMode, SmxConfig};
 pub use insn::Insn;
-pub use regs::ArchState;
 pub use machine::Machine;
+pub use regs::ArchState;
 pub use unit::{InsnCounts, Smx1dUnit};

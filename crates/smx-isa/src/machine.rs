@@ -90,9 +90,8 @@ impl Machine {
     /// Returns the first decode error (annotated with the word index).
     pub fn run(&mut self, words: &[u32]) -> Result<(), AlignError> {
         for (i, &w) in words.iter().enumerate() {
-            let insn = Insn::decode(w).map_err(|e| {
-                AlignError::Internal(format!("instruction {i}: {e}"))
-            })?;
+            let insn = Insn::decode(w)
+                .map_err(|e| AlignError::Internal(format!("instruction {i}: {e}")))?;
             self.step(insn);
         }
         Ok(())

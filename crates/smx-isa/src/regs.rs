@@ -180,11 +180,7 @@ mod tests {
         st.load_submat(&scheme).unwrap();
         for q in 0..26u8 {
             for r in 0..26u8 {
-                assert_eq!(
-                    st.submat_lookup(q, r) as i32,
-                    scheme.shifted_score(q, r),
-                    "({q}, {r})"
-                );
+                assert_eq!(st.submat_lookup(q, r) as i32, scheme.shifted_score(q, r), "({q}, {r})");
             }
         }
     }

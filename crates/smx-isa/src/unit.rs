@@ -272,8 +272,7 @@ mod tests {
         let rs1 = PackedVec::from_lanes(ElementWidth::W2, &dv_in).unwrap().word();
         let rs2 = crate::insn::rs2_operand(0, 0, 0);
         let out = u.exec_v(rs1, rs2);
-        let s_col: Vec<u8> =
-            q.iter().map(|&qc| scheme.shifted_score(qc, 1) as u8).collect();
+        let s_col: Vec<u8> = q.iter().map(|&qc| scheme.shifted_score(qc, 1) as u8).collect();
         let (expect, _) = pe::pe_chain(ElementWidth::W2, &dv_in, 0, &s_col);
         assert_eq!(PackedVec::from_word(ElementWidth::W2, out).to_lanes(32), expect);
     }

@@ -74,10 +74,7 @@ impl AreaModel {
     /// comparator array, the 26×26×6-bit submat SRAM, and control.
     #[must_use]
     pub fn smx1d_area(&self) -> f64 {
-        let pes: f64 = ElementWidth::ALL
-            .iter()
-            .map(|&ew| AreaModel::pe_array(ew.vl(), ew))
-            .sum();
+        let pes: f64 = ElementWidth::ALL.iter().map(|&ew| AreaModel::pe_array(ew.vl(), ew)).sum();
         let comparators = 32.0 * COMPARATOR_MM2;
         let submat_sram = 26.0 * 26.0 * 6.0 * SRAM_BIT_MM2;
         pes + comparators + submat_sram + SMX1D_CONTROL_MM2
@@ -88,10 +85,8 @@ impl AreaModel {
     /// antidiagonal segmentation registers / wiring.
     #[must_use]
     pub fn engine_area(&self) -> f64 {
-        let pes: f64 = ElementWidth::ALL
-            .iter()
-            .map(|&ew| AreaModel::pe_array(ew.vl() * ew.vl(), ew))
-            .sum();
+        let pes: f64 =
+            ElementWidth::ALL.iter().map(|&ew| AreaModel::pe_array(ew.vl() * ew.vl(), ew)).sum();
         let submat_regs = 26.0 * 26.0 * 6.0 * REG_BIT_MM2;
         let comparators = (32.0 * 32.0) * COMPARATOR_MM2;
         let base = pes + submat_regs + comparators;

@@ -29,7 +29,8 @@ pub fn cpu_energy_nj(cycles: f64) -> f64 {
 #[must_use]
 pub fn smx_energy_nj(cycles: f64, core_busy_frac: f64) -> f64 {
     let smx = AreaModel::new().total_area() * POWER_MW_PER_MM2 * SMX_ACTIVITY;
-    let host = PROCESSOR_AREA_MM2 * POWER_MW_PER_MM2 * CPU_ACTIVITY * core_busy_frac.clamp(0.0, 1.0);
+    let host =
+        PROCESSOR_AREA_MM2 * POWER_MW_PER_MM2 * CPU_ACTIVITY * core_busy_frac.clamp(0.0, 1.0);
     (smx + host) * cycles * 1e-3
 }
 

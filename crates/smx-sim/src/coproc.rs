@@ -334,8 +334,7 @@ impl CoprocSim {
             let fetch_total = cfg.fetch_lines;
             let w = &mut workers[w_idx];
             let t = w.ready;
-            let store_total =
-                cfg.store_lines + w.run.as_ref().map_or(0, |r| r.store_lines);
+            let store_total = cfg.store_lines + w.run.as_ref().map_or(0, |r| r.store_lines);
             match &mut w.phase {
                 Phase::Fetch { remaining, last_completion } => {
                     if *remaining == 0 {
@@ -374,8 +373,7 @@ impl CoprocSim {
                     let mut delay = 0u64;
                     if let Some(ft) = faults {
                         let shape = w.shape.expect("block active");
-                        let (si, sj) =
-                            (w.st_index / shape.st_cols(), w.st_index % shape.st_cols());
+                        let (si, sj) = (w.st_index / shape.st_cols(), w.st_index % shape.st_cols());
                         let lo = diag.saturating_sub(run.k_cols - 1);
                         let li = lo + *idx;
                         let lj = *diag - li;
@@ -499,15 +497,9 @@ mod tests {
     #[test]
     fn single_worker_utilization_on_large_block() {
         // Paper §8.1: one worker reaches 30-45% on large blocks.
-        let r = sim(ElementWidth::W2, 1).simulate_uniform(
-            BlockShape::from_dims(10_000, 10_000, ElementWidth::W2, false),
-            1,
-        );
-        assert!(
-            r.utilization > 0.25 && r.utilization < 0.55,
-            "utilization {}",
-            r.utilization
-        );
+        let r = sim(ElementWidth::W2, 1)
+            .simulate_uniform(BlockShape::from_dims(10_000, 10_000, ElementWidth::W2, false), 1);
+        assert!(r.utilization > 0.25 && r.utilization < 0.55, "utilization {}", r.utilization);
     }
 
     #[test]
@@ -526,11 +518,7 @@ mod tests {
         // imbalance does not mask the trend.
         for w in [1usize, 2, 4, 8] {
             let r = sim(ElementWidth::W4, w).simulate_uniform(shape, 8);
-            assert!(
-                r.utilization >= prev - 0.02,
-                "workers {w}: {} < {prev}",
-                r.utilization
-            );
+            assert!(r.utilization >= prev - 0.02, "workers {w}: {} < {prev}", r.utilization);
             prev = r.utilization;
         }
     }
@@ -575,11 +563,8 @@ mod tests {
         let shape = BlockShape::from_dims(1000, 1000, ElementWidth::W2, false);
         let sim = sim(ElementWidth::W2, 4);
         let plain = sim.simulate_uniform(shape, 4);
-        let ft = FaultTiming::for_ew(
-            ElementWidth::W2,
-            FaultPlan::none(),
-            RecoveryPolicy::default(),
-        );
+        let ft =
+            FaultTiming::for_ew(ElementWidth::W2, FaultPlan::none(), RecoveryPolicy::default());
         let (faulty, events) = sim.simulate_with_faults(&[shape; 4], &ft);
         assert_eq!(faulty, plain);
         assert!(events.is_empty());

@@ -107,11 +107,7 @@ impl CpuConfig {
     }
 
     fn throughput_of(&self, class: UopClass) -> f64 {
-        self.throughput
-            .iter()
-            .find(|(c, _)| *c == class)
-            .map(|&(_, t)| t)
-            .unwrap_or(1.0)
+        self.throughput.iter().find(|(c, _)| *c == class).map(|&(_, t)| t).unwrap_or(1.0)
     }
 }
 
@@ -139,7 +135,12 @@ pub struct LoopKernel {
 impl LoopKernel {
     /// A kernel with no memory traffic or mispredictions.
     #[must_use]
-    pub fn compute_only(name: &str, iterations: f64, ops: Vec<(UopClass, f64)>, recurrence: f64) -> LoopKernel {
+    pub fn compute_only(
+        name: &str,
+        iterations: f64,
+        ops: Vec<(UopClass, f64)>,
+        recurrence: f64,
+    ) -> LoopKernel {
         LoopKernel {
             name: name.to_string(),
             iterations,
@@ -165,11 +166,7 @@ impl LoopKernel {
 pub fn iteration_cycles(kernel: &LoopKernel, cpu: &CpuConfig, mem: &MemParams) -> f64 {
     // Resource II: issue width and per-class functional-unit limits.
     let width_ii = kernel.uops_per_iter() / cpu.width;
-    let fu_ii = kernel
-        .ops
-        .iter()
-        .map(|&(c, n)| n / cpu.throughput_of(c))
-        .fold(0.0f64, f64::max);
+    let fu_ii = kernel.ops.iter().map(|&(c, n)| n / cpu.throughput_of(c)).fold(0.0f64, f64::max);
     let resource_ii = width_ii.max(fu_ii);
 
     // Bandwidth II: DRAM-resident working sets are stream-bound.

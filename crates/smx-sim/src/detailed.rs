@@ -46,12 +46,7 @@ pub fn simulate_loop(body: &[DetailedUop], iterations: usize, cpu: &CpuConfig) -
     let capacity: HashMap<UopClass, u64> = UopClass::ALL
         .iter()
         .map(|&c| {
-            let t = cpu
-                .throughput
-                .iter()
-                .find(|(k, _)| *k == c)
-                .map(|&(_, v)| v)
-                .unwrap_or(1.0);
+            let t = cpu.throughput.iter().find(|(k, _)| *k == c).map(|&(_, v)| v).unwrap_or(1.0);
             (c, t.max(1.0) as u64)
         })
         .collect();
@@ -145,12 +140,8 @@ mod tests {
     fn recurrence_bound_loop_matches_analytic() {
         // One SMX op feeding itself across iterations with latency 4:
         // II = 4 regardless of width.
-        let body = vec![DetailedUop {
-            class: UopClass::Smx,
-            latency: 4,
-            deps: vec![],
-            carried: vec![0],
-        }];
+        let body =
+            vec![DetailedUop { class: UopClass::Smx, latency: 4, deps: vec![], carried: vec![0] }];
         let measured = measured_ii(&body, &cpu());
         assert!((measured - 4.0).abs() < 0.2, "{measured}");
         let analytic = iteration_cycles(&analytic_of(&body, 4.0), &cpu(), &MemParams::table1());

@@ -105,20 +105,11 @@ pub fn multicore_makespan(work: &[CoreWork], dram_bytes_per_cycle: f64) -> Vec<f
         // Aggregate demand rate of the active cores (bytes per cycle).
         let demand: f64 = active
             .iter()
-            .map(|&i| {
-                if work[i].cycles <= 0.0 {
-                    0.0
-                } else {
-                    work[i].dram_bytes / work[i].cycles
-                }
-            })
+            .map(|&i| if work[i].cycles <= 0.0 { 0.0 } else { work[i].dram_bytes / work[i].cycles })
             .sum();
         let slowdown = (demand / dram_bytes_per_cycle.max(1e-9)).max(1.0);
         // Advance until the next active core finishes at the scaled rate.
-        let step = active
-            .iter()
-            .map(|&i| remaining[i] * slowdown)
-            .fold(f64::INFINITY, f64::min);
+        let step = active.iter().map(|&i| remaining[i] * slowdown).fold(f64::INFINITY, f64::min);
         now += step;
         for &i in &active {
             remaining[i] -= step / slowdown;

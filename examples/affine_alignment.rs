@@ -42,10 +42,7 @@ fn main() -> Result<(), smx::align::AlignError> {
     println!("affine score (match 2, mismatch -4, open -4, extend -2): {}", res.score);
     println!("cigar: {cigar}");
     let stats = cigar.stats();
-    println!(
-        "gap segments: {} ({} deleted bases total)",
-        stats.gap_segments, stats.deletions
-    );
+    println!("gap segments: {} ({} deleted bases total)", stats.gap_segments, stats.deletions);
 
     // Contrast with the linear model: the same 60-base gap costs 60
     // separate unit gaps instead of one open + 60 extends.
@@ -53,11 +50,7 @@ fn main() -> Result<(), smx::align::AlignError> {
     let linear_score = smx::align::dp::score_only(&q_codes, &r_codes, &linear);
     println!();
     println!("linear-gap score of the same pair: {linear_score}");
-    println!(
-        "affine consolidates the event: {} vs {} for the gap alone",
-        scheme.gap(60),
-        60 * -4
-    );
+    println!("affine consolidates the event: {} vs {} for the gap alone", scheme.gap(60), 60 * -4);
 
     let m = AreaModel::new();
     println!();

@@ -11,13 +11,7 @@ use smx::prelude::*;
 fn main() -> Result<(), smx::align::AlignError> {
     let config = AlignmentConfig::DnaGap;
     // Scaled-down PacBio-like reads so the example runs in seconds.
-    let ds = Dataset::synthetic(
-        config,
-        4000,
-        6,
-        smx::datagen::ErrorProfile::pacbio_hifi(),
-        7,
-    );
+    let ds = Dataset::synthetic(config, 4000, 6, smx::datagen::ErrorProfile::pacbio_hifi(), 7);
     let band = xdrop::band_for_error_rate(4000, 0.01);
     println!("dataset: {} pairs of ~4 kbp reads, band {band}", ds.pairs.len());
 

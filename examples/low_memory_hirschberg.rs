@@ -14,27 +14,16 @@ fn main() -> Result<(), smx::align::AlignError> {
     println!("aligning {} pairs of ~{m} x {n} DP-matrices", ds.pairs.len());
 
     let mut aligner = SmxAligner::new(config);
-    let full = aligner
-        .algorithm(Algorithm::Full)
-        .engine(EngineKind::Smx)
-        .run_batch(&ds.pairs)?;
-    let hirsch = aligner
-        .algorithm(Algorithm::Hirschberg)
-        .engine(EngineKind::Smx)
-        .run_batch(&ds.pairs)?;
+    let full = aligner.algorithm(Algorithm::Full).engine(EngineKind::Smx).run_batch(&ds.pairs)?;
+    let hirsch =
+        aligner.algorithm(Algorithm::Hirschberg).engine(EngineKind::Smx).run_batch(&ds.pairs)?;
 
     let (fc, fs) = metrics::matrix_fractions(&full.outcomes[0], m, n);
     let (hc, hs) = metrics::matrix_fractions(&hirsch.outcomes[0], m, n);
     println!();
     println!("                     computed       stored       SMX cycles");
-    println!(
-        "  full            {:>8.2}x    {:>9.6}x    {:>12.0}",
-        fc, fs, full.timing.cycles
-    );
-    println!(
-        "  hirschberg      {:>8.2}x    {:>9.6}x    {:>12.0}",
-        hc, hs, hirsch.timing.cycles
-    );
+    println!("  full            {:>8.2}x    {:>9.6}x    {:>12.0}", fc, fs, full.timing.cycles);
+    println!("  hirschberg      {:>8.2}x    {:>9.6}x    {:>12.0}", hc, hs, hirsch.timing.cycles);
     println!();
     println!(
         "hirschberg computes {:.1}x the cells but stores {:.0}x less memory",

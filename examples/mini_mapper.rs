@@ -18,11 +18,7 @@ fn main() -> Result<(), smx::align::AlignError> {
     // A 50 kbp "genome" and 20 reads sampled from it with sequencing errors.
     let genome = random_sequence(Alphabet::Dna2, 50_000, &mut rng);
     let idx = KmerIndex::build(genome.codes(), 17)?;
-    println!(
-        "reference: {} bp, index: {} distinct 17-mers",
-        genome.len(),
-        idx.distinct_kmers()
-    );
+    println!("reference: {} bp, index: {} distinct 17-mers", genome.len(), idx.distinct_kmers());
 
     let scheme = AlignmentConfig::DnaEdit.scoring();
     let mut outcomes = Vec::new();
@@ -45,18 +41,18 @@ fn main() -> Result<(), smx::align::AlignError> {
             outcomes.push(m.outcome);
         }
     }
-    println!(
-        "placed {placed}/{} reads, {correct} within one band of the true origin",
-        reads.len()
-    );
+    println!("placed {placed}/{} reads, {correct} within one band of the true origin", reads.len());
 
     // What the extension stage costs on each engine.
     let work = BatchWork::from_outcomes(AlignmentConfig::DnaEdit, false, &outcomes);
     let simd = estimate(EngineKind::Simd, &work, 4);
     let smx = estimate(EngineKind::Smx, &work, 4);
     println!();
-    println!("extension stage ({} banded alignments, {:.1}M cells):", outcomes.len(),
-        work.cells as f64 / 1e6);
+    println!(
+        "extension stage ({} banded alignments, {:.1}M cells):",
+        outcomes.len(),
+        work.cells as f64 / 1e6
+    );
     println!("  SIMD baseline : {:>12.0} cycles", simd.cycles);
     println!("  SMX           : {:>12.0} cycles ({:.0}x)", smx.cycles, simd.cycles / smx.cycles);
     println!();

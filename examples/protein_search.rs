@@ -30,7 +30,11 @@ fn main() -> Result<(), smx::align::AlignError> {
         .collect::<Result<_, smx::align::AlignError>>()?;
     hits.sort_by_key(|&(_, s)| std::cmp::Reverse(s));
 
-    println!("query: {} residues; database: {} entries (BLOSUM50, gap -5)", query.len(), database.len());
+    println!(
+        "query: {} residues; database: {} entries (BLOSUM50, gap -5)",
+        query.len(),
+        database.len()
+    );
     println!("top hits by SMX score:");
     for (name, score) in hits.iter().take(5) {
         println!("  {name:<12} score {score:>6}");
@@ -47,8 +51,16 @@ fn main() -> Result<(), smx::align::AlignError> {
     let smx = aligner.engine(EngineKind::Smx).run_batch(&pairs)?;
     println!();
     println!("simulated search throughput at 1 GHz:");
-    println!("  SIMD : {:>12.0} alignments/s ({:.3} GCUPS)", simd.alignments_per_second(), simd.gcups());
-    println!("  SMX  : {:>12.0} alignments/s ({:.3} GCUPS)", smx.alignments_per_second(), smx.gcups());
+    println!(
+        "  SIMD : {:>12.0} alignments/s ({:.3} GCUPS)",
+        simd.alignments_per_second(),
+        simd.gcups()
+    );
+    println!(
+        "  SMX  : {:>12.0} alignments/s ({:.3} GCUPS)",
+        smx.alignments_per_second(),
+        smx.gcups()
+    );
     println!("  speedup: {:.0}x", simd.timing.cycles / smx.timing.cycles);
     Ok(())
 }

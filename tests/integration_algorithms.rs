@@ -2,17 +2,14 @@
 //! practical algorithms on generated datasets (the functional backbone of
 //! Figs. 2, 11, and 14).
 
-use smx::align::dp;
 use smx::algos::xdrop;
+use smx::align::dp;
 use smx::datagen::ErrorProfile;
 use smx::prelude::*;
 
 fn optimal_scores(ds: &Dataset) -> Vec<i32> {
     let scheme = ds.config.scoring();
-    ds.pairs
-        .iter()
-        .map(|p| dp::score_only(p.query.codes(), p.reference.codes(), &scheme))
-        .collect()
+    ds.pairs.iter().map(|p| dp::score_only(p.query.codes(), p.reference.codes(), &scheme)).collect()
 }
 
 #[test]
@@ -62,10 +59,8 @@ fn window_recall_collapses_on_indel_heavy_reads() {
         .algorithm(Algorithm::Window { w: 320, o: 128 })
         .run_batch(&ds.pairs)
         .unwrap();
-    let hirsch = SmxAligner::new(ds.config)
-        .algorithm(Algorithm::Hirschberg)
-        .run_batch(&ds.pairs)
-        .unwrap();
+    let hirsch =
+        SmxAligner::new(ds.config).algorithm(Algorithm::Hirschberg).run_batch(&ds.pairs).unwrap();
     assert_eq!(hirsch.recall(&optimal), 1.0);
     assert!(
         win.recall(&optimal) < hirsch.recall(&optimal),
@@ -89,9 +84,8 @@ fn work_accounting_is_ordered_as_figure_2() {
         .unwrap();
     assert!(hirsch.work.cells > full.work.cells);
     assert!(band.work.cells < full.work.cells);
-    let stored = |r: &smx::aligner::BatchReport| -> u64 {
-        r.outcomes.iter().map(|o| o.cells_stored).sum()
-    };
+    let stored =
+        |r: &smx::aligner::BatchReport| -> u64 { r.outcomes.iter().map(|o| o.cells_stored).sum() };
     assert!(stored(&full) > stored(&band));
     assert!(stored(&band) > stored(&hirsch));
 }

@@ -3,9 +3,9 @@
 //! adaptive band, matrix/CIGAR parsing, and failure injection on the
 //! coprocessor's border store.
 
-use smx::align::{dp, dp_affine, dp_local, dp_semiglobal, Cigar, ScoringScheme, SubstMatrix};
 use smx::algos::adaptive;
 use smx::algos::baselines::{myers, wfa, wfa_affine};
+use smx::align::{dp, dp_affine, dp_local, dp_semiglobal, Cigar, ScoringScheme, SubstMatrix};
 use smx::coproc::block::BlockMode;
 use smx::coproc::SmxCoprocessor;
 use smx::prelude::*;
@@ -131,10 +131,7 @@ fn cigar_parse_roundtrips_device_output() {
     let back = Cigar::parse(&text).unwrap();
     assert_eq!(back, aln.cigar);
     let stats = back.stats();
-    assert_eq!(
-        stats.matches + stats.mismatches + stats.insertions,
-        q.len() as u64
-    );
+    assert_eq!(stats.matches + stats.mismatches + stats.insertions, q.len() as u64);
 }
 
 #[test]

@@ -104,8 +104,6 @@ fn split_blocks_compose_across_the_stack() {
     let mut unit = Smx1dUnit::configure(config.element_width(), &scheme).unwrap();
     let top = kernels::score_block(&mut unit, &q[..50], &r, None).unwrap();
     let borders = smx::diffenc::BlockBorders::from_neighbors(top.bottom_dh, vec![0; 50]);
-    let bottom = coproc
-        .compute_block(&q[50..], &r, Some(&borders), BlockMode::ScoreOnly)
-        .unwrap();
+    let bottom = coproc.compute_block(&q[50..], &r, Some(&borders), BlockMode::ScoreOnly).unwrap();
     assert_eq!(bottom.bottom_dh, whole.bottom_dh);
 }

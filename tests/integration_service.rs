@@ -11,7 +11,12 @@ use smx::service::RunOptions;
 use smx_io::checkpoint::{CheckpointWriter, Manifest};
 use smx_io::IoError;
 
-fn gen_batch(config: AlignmentConfig, count: usize, len: usize, seed: u64) -> Vec<(Sequence, Sequence)> {
+fn gen_batch(
+    config: AlignmentConfig,
+    count: usize,
+    len: usize,
+    seed: u64,
+) -> Vec<(Sequence, Sequence)> {
     let card = config.alphabet().cardinality() as u64;
     let gen = |mut x: u64, len: usize| -> Vec<u8> {
         (0..len)
@@ -25,8 +30,10 @@ fn gen_batch(config: AlignmentConfig, count: usize, len: usize, seed: u64) -> Ve
     };
     (0..count as u64)
         .map(|p| {
-            let q = Sequence::from_codes(config.alphabet(), gen(seed * 977 + p * 31 + 1, len)).unwrap();
-            let r = Sequence::from_codes(config.alphabet(), gen(seed * 613 + p * 47 + 5, len)).unwrap();
+            let q =
+                Sequence::from_codes(config.alphabet(), gen(seed * 977 + p * 31 + 1, len)).unwrap();
+            let r =
+                Sequence::from_codes(config.alphabet(), gen(seed * 613 + p * 47 + 5, len)).unwrap();
             (q, r)
         })
         .collect()
@@ -62,6 +69,7 @@ proptest! {
             RunOptions { on_result: Some(&mut on_result), ..RunOptions::default() },
         );
         prop_assert!(full.all_succeeded());
+        drop(writer); // flush-on-drop; releases the borrow of the buffer
 
         // The crash leaves an arbitrary prefix of the manifest behind.
         let cut = manifest_bytes.len() * cut_permille / 1000;
@@ -92,10 +100,8 @@ fn file_manifest_crash_resume_roundtrip() {
 
     let mut writer = CheckpointWriter::create(&path).unwrap();
     let mut on_result = |i: usize, a: &Alignment| writer.record(i, a).unwrap();
-    let full = exec.run_with(
-        &pairs,
-        RunOptions { on_result: Some(&mut on_result), ..RunOptions::default() },
-    );
+    let full = exec
+        .run_with(&pairs, RunOptions { on_result: Some(&mut on_result), ..RunOptions::default() });
     assert!(full.all_succeeded());
     drop(writer);
 
@@ -146,10 +152,8 @@ fn corrupted_manifest_line_is_a_lined_error() {
     let exec = storm_executor(config, 9, 1);
     let mut writer = CheckpointWriter::create(&path).unwrap();
     let mut on_result = |i: usize, a: &Alignment| writer.record(i, a).unwrap();
-    let report = exec.run_with(
-        &pairs,
-        RunOptions { on_result: Some(&mut on_result), ..RunOptions::default() },
-    );
+    let report = exec
+        .run_with(&pairs, RunOptions { on_result: Some(&mut on_result), ..RunOptions::default() });
     assert!(report.all_succeeded());
     drop(writer);
 

@@ -17,7 +17,8 @@ fn engine_ordering_for_score_workloads() {
     let ds = batch(AlignmentConfig::DnaEdit, 1000, 8);
     let mut aligner = SmxAligner::new(ds.config);
     aligner.algorithm(Algorithm::Full).score_only(true);
-    let cycles = |e: EngineKind, a: &mut SmxAligner| a.engine(e).run_batch(&ds.pairs).unwrap().timing.cycles;
+    let cycles =
+        |e: EngineKind, a: &mut SmxAligner| a.engine(e).run_batch(&ds.pairs).unwrap().timing.cycles;
     let simd = cycles(EngineKind::Simd, &mut aligner);
     let smx1d = cycles(EngineKind::Smx1d, &mut aligner);
     let smx = cycles(EngineKind::Smx, &mut aligner);
