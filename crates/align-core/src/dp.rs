@@ -130,6 +130,27 @@ pub fn last_row(query: &[u8], reference: &[u8], scheme: &ScoringScheme) -> Vec<i
     row
 }
 
+/// The last-needle-row scoring contract shared by the streaming kernels:
+/// the maximum over a final DP row and the **leftmost** column attaining
+/// it (the natural prefix-alignment end position).
+///
+/// # Panics
+///
+/// Panics if `row` is empty (a DP row always has `n + 1` entries).
+#[must_use]
+pub fn last_row_best(row: &[i32]) -> (i32, usize) {
+    assert!(!row.is_empty(), "a DP row has at least the border column");
+    let mut best = row[0];
+    let mut end = 0;
+    for (j, &v) in row.iter().enumerate().skip(1) {
+        if v > best {
+            best = v;
+            end = j;
+        }
+    }
+    (best, end)
+}
+
 /// Traces back through a full DP matrix, producing the optimal path.
 ///
 /// Tie-break order: diagonal ≻ up (insert) ≻ left (delete).

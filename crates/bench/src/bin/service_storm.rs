@@ -12,11 +12,12 @@
 
 use std::time::Instant;
 
+use smx::algos::simd::{self, SimdWorkspace};
 use smx::coproc::faults::{FaultPlan, RecoveryPolicy};
 use smx::datagen::{Dataset, ErrorProfile};
 use smx::prelude::*;
 use smx::service::BreakerConfig;
-use smx_bench::{csv_artifact, csv_row, header, row, scaled};
+use smx_bench::{csv_artifact, csv_row, header, ratio, row, scaled};
 
 fn main() {
     let config = AlignmentConfig::DnaGap;
@@ -32,6 +33,26 @@ fn main() {
     let mut clean_dev = SmxDevice::new(config, 4).expect("device");
     let clean: Vec<Alignment> =
         pairs.iter().map(|(q, r)| clean_dev.align(q, r).expect("clean align")).collect();
+
+    // Streaming score-kernel identity on the storm workload: the scalar
+    // and vectorized passes (the audit fast path) must agree with the
+    // clean run on every pair before any storm timing runs.
+    let scheme = config.scoring();
+    let mut ws = SimdWorkspace::new();
+    let mut kernel_s = [0.0f64; 2];
+    for (i, baseline) in [Baseline::Scalar, Baseline::Simd].into_iter().enumerate() {
+        let t0 = Instant::now();
+        for ((q, r), g) in pairs.iter().zip(&clean) {
+            let p = simd::score_profile(q.codes(), r.codes(), &scheme, baseline, &mut ws);
+            assert_eq!(p.score, g.score, "{baseline} kernel diverged from the clean run");
+        }
+        kernel_s[i] = t0.elapsed().as_secs_f64();
+    }
+    println!(
+        "score kernels byte-identical on storm traffic; {} {} over scalar",
+        simd::selected_kernel(Baseline::Simd, &scheme, len, len).name(),
+        ratio(kernel_s[0], kernel_s[1]),
+    );
 
     let mut csv = csv_artifact("service_storm");
     csv_row(

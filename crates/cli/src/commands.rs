@@ -15,7 +15,7 @@ commands:
            [--window N --overlap N] [--xdrop F] [--workers N] [--score-only]
            [--pretty]
            [--fault-rate F] [--fault-seed N] [--max-retries N] [--backoff N]
-           [--watchdog N] [--strict] [--no-degrade]
+           [--watchdog N] [--strict] [--no-degrade] [--baseline scalar|simd|auto]
            [--jobs N] [--queue-cap N] [--shed] [--deadline-ms N]
            [--checkpoint <manifest>] [--resume <manifest>]
            [--breaker] [--breaker-window N] [--breaker-threshold F]
@@ -62,6 +62,13 @@ on-device, then recomputed in software, so output stays byte-identical.
 sidelines chronically unhealthy devices and readmits them only after
 consecutive clean known-answer canaries. --hedge-after-ms N re-runs a
 pair on the software baseline when the device attempt exceeds N ms.
+
+software baseline (align): --baseline picks the streaming score kernel
+the device paths fall back on (degraded score-only work and the audit's
+optimal-score pass): `scalar` is the row-streaming reference, `simd` the
+vectorized anti-diagonal kernel (AVX2 when available), and `auto` (the
+default) selects at runtime, honouring SMX_FORCE_SCALAR. All kernels are
+byte-identical; the flag only changes speed.
 ";
 
 fn parse_config(name: &str) -> Result<AlignmentConfig, String> {
@@ -206,6 +213,12 @@ fn quarantine_requested(args: &Args) -> bool {
         || args.get("quarantine-probes").is_some()
 }
 
+/// The software-baseline kernel selection shared by the device paths.
+fn parse_baseline(args: &Args) -> Result<Baseline, String> {
+    let name = args.get_or("baseline", "auto");
+    Baseline::parse(name).ok_or_else(|| format!("unknown baseline {name:?} (scalar|simd|auto)"))
+}
+
 /// The tile-recovery policy shared by the resilient and service paths.
 fn recovery_policy(args: &Args) -> Result<RecoveryPolicy, String> {
     Ok(RecoveryPolicy {
@@ -236,6 +249,7 @@ fn align_service(
 
     let silent_rate = args.get_num("silent-rate", 0.0f64).map_err(|e| e.to_string())?;
     let mut dev = SmxDevice::new(config, workers).map_err(|e| e.to_string())?;
+    dev.set_baseline(parse_baseline(args)?);
     if fault_rate > 0.0 || silent_rate > 0.0 {
         let seed = args.get_num("fault-seed", 42u64).map_err(|e| e.to_string())?;
         let plan = FaultPlan::new(seed, fault_rate).with_silent_rate(silent_rate);
@@ -448,6 +462,7 @@ fn align_resilient(
 ) -> Result<(), String> {
     let seed = args.get_num("fault-seed", 42u64).map_err(|e| e.to_string())?;
     let mut dev = SmxDevice::new(config, workers).map_err(|e| e.to_string())?;
+    dev.set_baseline(parse_baseline(args)?);
     dev.enable_fault_injection(FaultPlan::new(seed, fault_rate), recovery_policy(args)?);
     dev.set_graceful_degradation(!args.switch("no-degrade"));
 
@@ -742,6 +757,59 @@ mod tests {
         )
         .unwrap();
         align(&c).unwrap();
+    }
+
+    #[test]
+    fn align_baseline_flag_selects_kernel_and_rejects_unknown() {
+        let dir = std::env::temp_dir().join("smx-cli-baseline");
+        std::fs::create_dir_all(&dir).unwrap();
+        let qp = dir.join("q.fa");
+        let rp = dir.join("r.fa");
+        std::fs::write(&qp, ">q0\nGATTACAGATTACAGATTACAGATTACA\n").unwrap();
+        std::fs::write(&rp, ">r0\nGATTACACATTACAGATTACAGATTACA\n").unwrap();
+        // The resilient path routes degraded scoring through the selected
+        // kernel; all three names must be accepted and behave identically.
+        for baseline in ["scalar", "simd", "auto"] {
+            let a = Args::parse(
+                [
+                    "align",
+                    "--config",
+                    "dna-edit",
+                    "--fault-rate",
+                    "0.05",
+                    "--fault-seed",
+                    "7",
+                    "--baseline",
+                    baseline,
+                    qp.to_str().unwrap(),
+                    rp.to_str().unwrap(),
+                ]
+                .iter()
+                .map(|s| s.to_string()),
+                &[],
+            )
+            .unwrap();
+            align(&a).unwrap_or_else(|e| panic!("baseline {baseline}: {e}"));
+        }
+        let bad = Args::parse(
+            [
+                "align",
+                "--config",
+                "dna-edit",
+                "--fault-rate",
+                "0.05",
+                "--baseline",
+                "avx512",
+                qp.to_str().unwrap(),
+                rp.to_str().unwrap(),
+            ]
+            .iter()
+            .map(|s| s.to_string()),
+            &[],
+        )
+        .unwrap();
+        let err = align(&bad).unwrap_err();
+        assert!(err.contains("unknown baseline"), "{err}");
     }
 
     #[test]

@@ -64,6 +64,7 @@ pub use service::{
     AdmissionPolicy, BatchExecutor, BreakerConfig, BreakerSnapshot, BreakerState,
     BreakerTransitions, ExecutorConfig, PairOutcome, RunOptions, ServiceBatchReport, ServiceStats,
 };
+pub use smx_algos::simd::Baseline;
 
 /// Commonly used items in one import.
 pub mod prelude {
@@ -71,6 +72,7 @@ pub mod prelude {
     pub use crate::orchestrator::SmxDevice;
     pub use crate::pool::{AuditConfig, HedgeConfig, QuarantineConfig};
     pub use crate::service::{AdmissionPolicy, BatchExecutor, BreakerConfig, ExecutorConfig};
+    pub use smx_algos::simd::Baseline;
     pub use smx_algos::EngineKind;
     pub use smx_align_core::{
         Alignment, AlignmentConfig, Alphabet, Cigar, ElementWidth, ScoringScheme, Sequence,

@@ -4,7 +4,10 @@
 //! the alignment by tracing back with selective tile recomputation —
 //! the role SMX-1D plays on the core.
 
-use smx_align_core::{dp, AlignError, Alignment, AlignmentConfig, ScoringScheme, Sequence};
+use smx_algos::simd::{self, Baseline, SimdWorkspace};
+use smx_align_core::{
+    dp, AlignError, Alignment, AlignmentConfig, Cigar, Op, ScoringScheme, Sequence,
+};
 use smx_coproc::block::BlockMode;
 use smx_coproc::control::CancelToken;
 use smx_coproc::faults::{FaultEvent, FaultPlan, FaultSession, RecoveryPolicy, RecoveryStats};
@@ -23,6 +26,8 @@ pub struct SmxDevice {
     recompute: RecomputeStats,
     faults: Option<FaultSession>,
     degrade: bool,
+    baseline: Baseline,
+    simd_ws: SimdWorkspace,
 }
 
 impl SmxDevice {
@@ -42,7 +47,51 @@ impl SmxDevice {
             recompute: RecomputeStats::default(),
             faults: None,
             degrade: true,
+            baseline: Baseline::default(),
+            simd_ws: SimdWorkspace::new(),
         })
+    }
+
+    /// Selects the software-baseline kernel (`scalar`, `simd`, or `auto`)
+    /// that score-only fallbacks and the service audit's score pass route
+    /// through. All kernels are byte-identical; this only picks *how* the
+    /// score is computed. The pool template propagates the choice to
+    /// every pooled device.
+    pub fn set_baseline(&mut self, baseline: Baseline) {
+        self.baseline = baseline;
+    }
+
+    /// The configured software-baseline kernel.
+    #[must_use]
+    pub fn baseline(&self) -> Baseline {
+        self.baseline
+    }
+
+    /// Streaming software score via the configured baseline kernel: no
+    /// pack, no offload, no matrix, no traceback — the cheap first phase
+    /// of the two-phase contract (full CIGARs are recomputed separately,
+    /// and only when needed).
+    ///
+    /// # Errors
+    ///
+    /// Same input validation as [`SmxDevice::align`].
+    pub fn score_streaming(
+        &mut self,
+        query: &Sequence,
+        reference: &Sequence,
+    ) -> Result<i32, AlignError> {
+        self.check(query, reference)?;
+        if let Some(token) = self.coproc.control() {
+            token.check()?;
+        }
+        let profile = simd::score_profile(
+            query.codes(),
+            reference.codes(),
+            &self.scheme,
+            self.baseline,
+            &mut self.simd_ws,
+        );
+        Ok(profile.score)
     }
 
     /// Enables deterministic fault injection on the coprocessor paths,
@@ -240,8 +289,23 @@ impl SmxDevice {
         if let Some(token) = self.coproc.control() {
             token.check()?;
         }
-        let alignment = dp::align_codes(query.codes(), reference.codes(), &self.scheme);
-        alignment.verify(query.codes(), reference.codes(), &self.scheme)?;
+        let (q, r) = (query.codes(), reference.codes());
+        // Perfect-match fast path: for identical sequences under uniform
+        // match scoring the all-diagonal path is optimal and is exactly
+        // what the golden tie-break (diagonal ≻ up ≻ left) walks, so the
+        // O(m·n) DP collapses to a memcmp plus a score fold. Matrix
+        // schemes skip this (a substitution matrix need not be
+        // diagonally dominant).
+        if !self.scheme.uses_matrix() && q == r {
+            let score = q.iter().fold(0i32, |acc, &c| acc.saturating_add(self.scheme.score(c, c)));
+            let mut cigar = Cigar::new();
+            cigar.push_run(Op::Match, q.len() as u32);
+            let alignment = Alignment { score, cigar };
+            alignment.verify(q, r, &self.scheme)?;
+            return Ok(alignment);
+        }
+        let alignment = dp::align_codes(q, r, &self.scheme);
+        alignment.verify(q, r, &self.scheme)?;
         Ok(alignment)
     }
 
@@ -270,7 +334,12 @@ impl SmxDevice {
                 if let Some(s) = self.faults.as_mut() {
                     s.record_software_alignment();
                 }
-                Ok(dp::score_only(&q, &r, &self.scheme))
+                // Degraded score-only work routes through the streaming
+                // kernel (byte-identical to dp::score_only, minus the
+                // matrix and traceback the device path never needed).
+                let profile =
+                    simd::score_profile(&q, &r, &self.scheme, self.baseline, &mut self.simd_ws);
+                Ok(profile.score)
             }
             Err(e) => Err(e),
         }
@@ -491,6 +560,55 @@ mod tests {
         let _ = dev.align(&q, &r).unwrap();
         assert!(dev.insn_counts().smx_pack > c1);
         assert!(dev.recompute_stats().tiles >= 2);
+    }
+
+    #[test]
+    fn score_streaming_matches_device_score_and_golden() {
+        for config in AlignmentConfig::ALL {
+            let (q, r) = seqs(config, 90);
+            let mut dev = SmxDevice::new(config, 2).unwrap();
+            let golden = dp::score_only(q.codes(), r.codes(), &config.scoring());
+            assert_eq!(dev.score(&q, &r).unwrap(), golden, "{config} device");
+            for b in Baseline::ALL {
+                dev.set_baseline(b);
+                assert_eq!(dev.baseline(), b);
+                assert_eq!(dev.score_streaming(&q, &r).unwrap(), golden, "{config} {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn perfect_match_fast_path_is_byte_identical() {
+        // Identical sequences hit the memcmp fast path on uniform schemes
+        // and the full DP on matrix schemes; both must reproduce the
+        // golden model byte-for-byte.
+        for config in AlignmentConfig::ALL {
+            let (q, _) = seqs(config, 120);
+            let mut dev = SmxDevice::new(config, 2).unwrap();
+            let fast = dev.align_software(&q, &q).unwrap();
+            let golden = dp::align_codes(q.codes(), q.codes(), &config.scoring());
+            assert_eq!(fast.score, golden.score, "{config}");
+            assert_eq!(fast.cigar.to_string(), golden.cigar.to_string(), "{config}");
+        }
+    }
+
+    #[test]
+    fn degraded_score_fallback_routes_through_the_kernel() {
+        let config = AlignmentConfig::DnaGap;
+        let (q, r) = seqs(config, 90);
+        let clean = SmxDevice::new(config, 2).unwrap().score(&q, &r).unwrap();
+        for b in Baseline::ALL {
+            let mut dev = SmxDevice::new(config, 2).unwrap();
+            dev.set_baseline(b);
+            // Every tile faults persistently under a strict policy: the
+            // score-only path degrades to the streaming kernel.
+            dev.enable_fault_injection(
+                FaultPlan::new(7, 1.0).with_persistence(1.0),
+                RecoveryPolicy::strict(),
+            );
+            assert_eq!(dev.score(&q, &r).unwrap(), clean, "{b}");
+            assert_eq!(dev.recovery_stats().software_alignments, 1, "{b}");
+        }
     }
 
     #[test]

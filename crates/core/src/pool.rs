@@ -26,6 +26,7 @@
 use std::sync::Mutex;
 use std::time::Duration;
 
+use smx_algos::simd::{self, Baseline, SimdWorkspace};
 use smx_align_core::{AlignError, Alignment, ScoringScheme, Sequence};
 
 use crate::orchestrator::SmxDevice;
@@ -445,6 +446,12 @@ pub(crate) struct DevicePool {
     health: Mutex<PoolHealth>,
     canaries: Vec<Canary>,
     scheme: ScoringScheme,
+    /// Baseline kernel the audit's score pass runs on (inherited from the
+    /// template device, like everything else pool-wide).
+    baseline: Baseline,
+    /// Shared audit workspace; audits that would contend on it fall back
+    /// to a fresh local workspace instead of serializing workers.
+    simd_ws: Mutex<SimdWorkspace>,
 }
 
 /// Lengths of the generated canary pairs (distinct, so a device sick in
@@ -502,6 +509,8 @@ impl DevicePool {
             health: Mutex::new(PoolHealth::new(devices, breaker_cfg, quarantine)),
             canaries,
             scheme,
+            baseline: template.baseline(),
+            simd_ws: Mutex::new(SimdWorkspace::new()),
         })
     }
 
@@ -515,9 +524,20 @@ impl DevicePool {
         self.devices[id].lock().expect("device lock poisoned")
     }
 
-    /// Audits one device-produced alignment on the host: CIGAR
-    /// well-formedness, operation/symbol agreement against the actual
-    /// sequences, and score recomputation.
+    /// Audits one device-produced alignment on the host, in two phases:
+    ///
+    /// 1. **Consistency** — CIGAR well-formedness, operation/symbol
+    ///    agreement against the actual sequences, and score recomputation
+    ///    ([`Alignment::verify`]). Catches corrupted results.
+    /// 2. **Optimality** — the streaming score kernel independently
+    ///    recomputes the *optimal* score (no matrix, no traceback) and
+    ///    compares it to the claimed one. Catches valid-but-suboptimal
+    ///    results, which phase 1 by construction cannot: a consistent
+    ///    CIGAR that scores itself correctly can still be the wrong path.
+    ///
+    /// Only on a mismatch does the caller escalate to a full CIGAR
+    /// recompute (the service's audit-recovery ladder) — the two-phase
+    /// contract that keeps the common all-clean case cheap.
     ///
     /// # Errors
     ///
@@ -533,7 +553,39 @@ impl DevicePool {
     ) -> Result<(), AlignError> {
         alignment
             .verify(query.codes(), reference.codes(), &self.scheme)
-            .map_err(|e| AlignError::IntegrityViolation { device, detail: e.to_string() })
+            .map_err(|e| AlignError::IntegrityViolation { device, detail: e.to_string() })?;
+        let optimal = match self.simd_ws.try_lock() {
+            Ok(mut ws) => {
+                simd::score_profile(
+                    query.codes(),
+                    reference.codes(),
+                    &self.scheme,
+                    self.baseline,
+                    &mut ws,
+                )
+                .score
+            }
+            Err(_) => {
+                simd::score_profile(
+                    query.codes(),
+                    reference.codes(),
+                    &self.scheme,
+                    self.baseline,
+                    &mut SimdWorkspace::new(),
+                )
+                .score
+            }
+        };
+        if optimal != alignment.score {
+            return Err(AlignError::IntegrityViolation {
+                device,
+                detail: format!(
+                    "alignment is consistent but suboptimal: claimed score {}, optimal {optimal}",
+                    alignment.score
+                ),
+            });
+        }
+        Ok(())
     }
 
     /// Runs every due canary probe (there may be none). Called by
@@ -648,6 +700,36 @@ mod tests {
                 }
                 other => panic!("{label}: expected IntegrityViolation, got {other:?}"),
             }
+        }
+    }
+
+    /// A *consistent* wrong answer — well-formed CIGAR, correct
+    /// self-score, but a suboptimal path — passes the phase-1 walk by
+    /// construction; only the streaming kernel's independent
+    /// optimal-score pass (phase 2) can catch it.
+    #[test]
+    fn suboptimal_but_consistent_result_fails_the_score_audit() {
+        let config = AlignmentConfig::DnaGap;
+        let dev = SmxDevice::new(config, 2).unwrap();
+        let pool = DevicePool::new(&dev, 1, None, None).unwrap();
+        let scheme = config.scoring();
+        let codes: Vec<u8> = (0..32u32).map(|i| (i % 4) as u8).collect();
+        let q = Sequence::from_codes(config.alphabet(), codes.clone()).unwrap();
+        let r = Sequence::from_codes(config.alphabet(), codes).unwrap();
+        // Insert the whole query, then delete the whole reference:
+        // perfectly self-consistent, wildly suboptimal for identical
+        // sequences.
+        let mut cigar = Cigar::new();
+        cigar.push_run(Op::Insert, 32);
+        cigar.push_run(Op::Delete, 32);
+        let score = 32 * (scheme.gap_insert() + scheme.gap_delete());
+        let sneaky = Alignment { score, cigar };
+        sneaky.verify(q.codes(), r.codes(), &scheme).expect("the phase-1 walk cannot catch this");
+        match pool.audit(0, &sneaky, &q, &r) {
+            Err(AlignError::IntegrityViolation { device: 0, detail }) => {
+                assert!(detail.contains("suboptimal"), "{detail}");
+            }
+            other => panic!("expected IntegrityViolation, got {other:?}"),
         }
     }
 

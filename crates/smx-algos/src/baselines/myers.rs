@@ -40,11 +40,17 @@ impl PatternEq {
 /// incoming horizontal delta `hin ∈ {-1, 0, +1}`; returns the outgoing
 /// horizontal delta.
 fn step(pv: &mut u64, mv: &mut u64, eq: u64, hin: i32) -> i32 {
+    // Edlib's canonical operation order: Xv is derived from the *raw*
+    // match mask, before the incoming horizontal delta folds into bit 0 of
+    // Eq for the Xh carry chain. (When hin < 0 the adjusted bit 0 is
+    // masked out of the Pv'/Mv' update by the forced Mh bit below, so the
+    // distinction is unobservable — but matching the reference ordering
+    // keeps the high-bit carry reasoning auditable against Edlib.)
+    let xv = eq | *mv;
     let mut eq = eq;
     if hin < 0 {
         eq |= 1;
     }
-    let xv = eq | *mv;
     let xh = (((eq & *pv).wrapping_add(*pv)) ^ *pv) | eq;
     let mut ph = *mv | !(xh | *pv);
     let mut mh = *pv & xh;
@@ -142,6 +148,99 @@ mod tests {
             let q: Vec<u8> = (0..m as u32).map(|i| (i.wrapping_mul(7) % 4) as u8).collect();
             let r: Vec<u8> = (0..(m + 13) as u32).map(|i| (i.wrapping_mul(5) % 4) as u8).collect();
             assert_eq!(edit_distance(&q, &r, 4).unwrap(), dp::edit_distance(&q, &r), "m = {m}");
+        }
+    }
+
+    #[test]
+    fn word_boundary_edit_at_block_seam() {
+        // Pattern lengths straddling the 64-bit word boundary, with the
+        // single edit placed exactly at the seam rows (63, 64, 65), so the
+        // vertical-delta transfer between blocks is what carries the
+        // distance. Each case must match the golden DP.
+        for m in [63usize, 64, 65, 128] {
+            let q: Vec<u8> = (0..m as u32).map(|i| (i % 4) as u8).collect();
+            for edit_at in [0usize, 62, 63, 64, m - 1] {
+                let edit_at = edit_at.min(m - 1);
+                // Substitution at the seam.
+                let mut r = q.clone();
+                r[edit_at] ^= 1;
+                assert_eq!(
+                    edit_distance(&q, &r, 4).unwrap(),
+                    dp::edit_distance(&q, &r),
+                    "m={m} subst at {edit_at}"
+                );
+                // Deletion at the seam (reference one shorter).
+                if m > 1 {
+                    let mut r = q.clone();
+                    r.remove(edit_at);
+                    assert_eq!(
+                        edit_distance(&q, &r, 4).unwrap(),
+                        dp::edit_distance(&q, &r),
+                        "m={m} del at {edit_at}"
+                    );
+                }
+                // Insertion at the seam (reference one longer).
+                let mut r = q.clone();
+                r.insert(edit_at, 3);
+                assert_eq!(
+                    edit_distance(&q, &r, 4).unwrap(),
+                    dp::edit_distance(&q, &r),
+                    "m={m} ins at {edit_at}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn word_boundary_high_bit_carry_stress() {
+        // All-mismatch pairs maximize +1 horizontal deltas, driving the Ph
+        // high bit (the inter-block carry) on every column; all-match tails
+        // after a mismatch head drive the Mh high bit on the way back down.
+        for m in [63usize, 64, 65, 128] {
+            let q = vec![0u8; m];
+            for n in [m - 1, m, m + 1, 2 * m] {
+                let r = vec![1u8; n];
+                assert_eq!(
+                    edit_distance(&q, &r, 4).unwrap(),
+                    dp::edit_distance(&q, &r),
+                    "all-mismatch m={m} n={n}"
+                );
+            }
+            // Mismatch head, match tail: the distance is decided by Mv bits
+            // above the first block.
+            let mut q2 = vec![2u8; m];
+            let r2 = vec![3u8; m];
+            for c in q2.iter_mut().skip(m / 2) {
+                *c = 3;
+            }
+            assert_eq!(
+                edit_distance(&q2, &r2, 4).unwrap(),
+                dp::edit_distance(&q2, &r2),
+                "half-mismatch m={m}"
+            );
+        }
+    }
+
+    #[test]
+    fn step_preserves_delta_word_disjointness() {
+        // Pv and Mv encode +1/−1 vertical deltas; a row can't be both, so
+        // the words must stay disjoint through any step — the invariant the
+        // blocked formulation's carry logic relies on.
+        let mut pv = u64::MAX;
+        let mut mv = 0u64;
+        for (i, &(eq, hin)) in [
+            (0u64, 1i32),
+            (0x8000_0000_0000_0001, -1),
+            (u64::MAX, 0),
+            (0x5555_5555_5555_5555, 1),
+            (0xAAAA_AAAA_AAAA_AAAA, -1),
+        ]
+        .iter()
+        .enumerate()
+        {
+            let hout = step(&mut pv, &mut mv, eq, hin);
+            assert!((-1..=1).contains(&hout), "round {i}");
+            assert_eq!(pv & mv, 0, "Pv/Mv overlap after round {i}");
         }
     }
 

@@ -21,6 +21,19 @@ pub struct AffineWfaResult {
 
 const NONE: i64 = i64::MIN / 4;
 
+/// Advances a wavefront offset by one cell, guarding the sentinel
+/// *before* arithmetic: `NONE` must never flow through `+1`, or a
+/// sentinel-valued cell near the saturation boundary could masquerade as
+/// a (deeply negative but comparable) offset in the `max` reductions
+/// below. Valid offsets are small (`0..=n`), so plain addition is exact.
+fn succ(offset: i64) -> i64 {
+    if offset <= NONE {
+        NONE
+    } else {
+        offset + 1
+    }
+}
+
 /// One wavefront: offsets per diagonal `k ∈ [lo, hi]`.
 #[derive(Debug, Clone)]
 struct Wavefront {
@@ -147,14 +160,21 @@ pub fn affine_wfa_score(
             let i_open = m_oe.get(k + 1);
             let i_ext = i_e.get(k + 1);
             let ival = i_open.max(i_ext);
-            let d_open = m_oe.get(k - 1).saturating_add(1);
-            let d_ext = d_e.get(k - 1).saturating_add(1);
-            let dval = d_open.max(d_ext).max(NONE);
-            let mval = m_x.get(k).saturating_add(1).max(NONE);
+            // Sentinels are guarded before the +1 (see `succ`), so every
+            // value below is either exactly NONE or a genuine offset —
+            // nothing in between can win a max() against a valid cell.
+            let d_open = succ(m_oe.get(k - 1));
+            let d_ext = succ(d_e.get(k - 1));
+            let dval = d_open.max(d_ext);
+            let mval = succ(m_x.get(k));
             let best = mval.max(ival).max(dval);
+            debug_assert!(
+                best == NONE || best >= 0,
+                "corrupted wavefront offset {best} at s={s} k={k}"
+            );
             new_i[idx] = ival;
-            new_d[idx] = if dval < NONE / 2 { NONE } else { dval };
-            if best < NONE / 2 {
+            new_d[idx] = dval;
+            if best == NONE {
                 continue;
             }
             // Clamp into the matrix, then extend matches on M.
@@ -165,7 +185,7 @@ pub fn affine_wfa_score(
             }
             new_m[idx] = extend(k, j);
         }
-        cells += new_m.iter().filter(|&&v| v > NONE / 2).count() as u64;
+        cells += new_m.iter().filter(|&&v| v > NONE).count() as u64;
         let wf_m = Wavefront { lo, hi, offsets: new_m };
         let wf_i = Wavefront { lo, hi, offsets: new_i };
         let wf_d = Wavefront { lo, hi, offsets: new_d };
@@ -210,9 +230,20 @@ pub fn affine_wfa_score_general(
     };
     let (m, n) = (query.len() as i64, reference.len() as i64);
     let res = affine_wfa_score(query, reference, &transformed)?;
-    // score_orig * f = score_transformed + M_s * (m + n) / 2.
+    // score_orig * f = score_transformed + M_s * (m + n) / 2. The scaled
+    // value is always an exact multiple of f (M_s is even after the
+    // doubling above, and the transform identity is exact per alignment),
+    // but the division must still be floor division: `/` truncates toward
+    // zero, which would round a negative score *up* if the invariant were
+    // ever violated. div_euclid floors, and the debug assert pins the
+    // exactness invariant itself.
     let scaled = i64::from(res.score) + i64::from(m_s) * (m + n) / 2;
-    Ok(AffineWfaResult { score: (scaled / i64::from(f)) as i32, cells: res.cells })
+    debug_assert_eq!(
+        scaled.rem_euclid(i64::from(f)),
+        0,
+        "rescaled WFA score must be an exact multiple of the doubling factor"
+    );
+    Ok(AffineWfaResult { score: scaled.div_euclid(i64::from(f)) as i32, cells: res.cells })
 }
 
 #[cfg(test)]
@@ -268,6 +299,67 @@ mod tests {
         assert!(affine_wfa_score(&[0], &[0], &s).is_err());
     }
 
+    #[test]
+    fn sentinel_is_guarded_before_arithmetic() {
+        // The sentinel must be absorbing under succ: a NONE cell may never
+        // pick up +1 per expansion step, or after enough steps it could
+        // compare above a valid offset in the max() reductions.
+        assert_eq!(succ(NONE), NONE);
+        assert_eq!(succ(0), 1);
+        assert_eq!(succ(41), 42);
+    }
+
+    #[test]
+    fn adversarial_high_error_pairs_match_gotoh() {
+        // Sentinel regression: high-error pairs keep most wavefront cells
+        // absent for many expansion rounds, so NONE floods the candidate
+        // maxes — exactly the traffic where unguarded sentinel arithmetic
+        // would corrupt offsets. Every shape must match the full affine DP.
+        let schemes = [
+            edit_like(),
+            // Zero gap-open: gap costs collapse onto the extend penalty and
+            // the open/extend sources coincide penalty-wise.
+            AffineScheme { match_score: 0, mismatch: -1, gap_open: 0, gap_extend: -1 },
+            // Heavy open, cheap extend: long absent I/D stretches.
+            AffineScheme { match_score: 0, mismatch: -2, gap_open: -11, gap_extend: -1 },
+        ];
+        let all_mismatch: (Vec<u8>, Vec<u8>) = (vec![0; 30], vec![1; 30]);
+        let skew_a: (Vec<u8>, Vec<u8>) = (vec![0; 1], vec![1; 30]);
+        let skew_b: (Vec<u8>, Vec<u8>) = (vec![0; 30], vec![1; 1]);
+        let alternating: (Vec<u8>, Vec<u8>) =
+            ((0..40u8).map(|i| i % 2).collect(), (0..40u8).map(|i| (i + 1) % 2).collect());
+        for s in &schemes {
+            for (q, r) in [&all_mismatch, &skew_a, &skew_b, &alternating] {
+                assert_eq!(
+                    affine_wfa_score(q, r, s).unwrap().score,
+                    dp_affine::affine_score(q, r, s),
+                    "scheme {s:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn negative_scores_with_odd_match_divide_exactly() {
+        // Truncation regression: an odd match score forces the f = 2
+        // doubling, so the rescaled value is divided at the end — on
+        // negative optimal scores `/` (truncation toward zero) would round
+        // the result up; floor division must agree with the affine DP.
+        let s = AffineScheme { match_score: 1, mismatch: -3, gap_open: -5, gap_extend: -2 };
+        let cases: [(Vec<u8>, Vec<u8>); 3] = [
+            (vec![0; 10], vec![1; 10]),
+            (vec![0, 1, 2, 3, 0, 1, 2, 3], vec![3, 2, 1, 0, 3, 2]),
+            (vec![2; 4], vec![3; 17]),
+        ];
+        let mut saw_negative = false;
+        for (q, r) in &cases {
+            let golden = dp_affine::affine_score(q, r, &s);
+            saw_negative |= golden < 0;
+            assert_eq!(affine_wfa_score_general(q, r, &s).unwrap().score, golden);
+        }
+        assert!(saw_negative, "cases must exercise negative optimal scores");
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(40))]
         #[test]
@@ -288,6 +380,35 @@ mod tests {
             r in proptest::collection::vec(0u8..4, 1..40),
         ) {
             let s = AffineScheme::minimap2();
+            prop_assert_eq!(
+                affine_wfa_score_general(&q, &r, &s).unwrap().score,
+                dp_affine::affine_score(&q, &r, &s)
+            );
+        }
+
+        #[test]
+        fn high_error_binary_matches_gotoh(
+            q in proptest::collection::vec(0u8..2, 1..50),
+            r in proptest::collection::vec(0u8..2, 1..50),
+        ) {
+            // Binary alphabet: ~50% substitution rate keeps the wavefront
+            // full of sentinel cells deep into the expansion.
+            let s = edit_like();
+            prop_assert_eq!(
+                affine_wfa_score(&q, &r, &s).unwrap().score,
+                dp_affine::affine_score(&q, &r, &s)
+            );
+        }
+
+        #[test]
+        fn odd_match_negative_scores_match_gotoh(
+            q in proptest::collection::vec(0u8..6, 1..35),
+            r in proptest::collection::vec(0u8..6, 1..35),
+        ) {
+            // Odd match score (f = 2 doubling) over a wide alphabet: most
+            // positions mismatch, so optimal scores are mostly negative and
+            // the final division is exercised on the rounding-sensitive side.
+            let s = AffineScheme { match_score: 3, mismatch: -5, gap_open: -7, gap_extend: -3 };
             prop_assert_eq!(
                 affine_wfa_score_general(&q, &r, &s).unwrap().score,
                 dp_affine::affine_score(&q, &r, &s)

@@ -35,6 +35,7 @@ pub mod full;
 pub mod hirschberg;
 pub mod mapper;
 pub mod metrics;
+pub mod simd;
 pub mod timing;
 pub mod window;
 pub mod xdrop;

@@ -1,0 +1,332 @@
+//! Anti-diagonal vectorized kernel.
+//!
+//! The row recurrence `M[i][j] = max(M[i-1][j-1]+s, M[i-1][j]+gi,
+//! M[i][j-1]+gd)` carries a dependency along `j` (each cell needs its
+//! left neighbour), which defeats vectorization. Re-indexing by
+//! anti-diagonal `d = i + j` removes it: every cell of diagonal `d`
+//! depends only on diagonals `d-1` and `d-2`, so the whole diagonal is
+//! one independent element-wise pass —
+//!
+//! ```text
+//! A_d[i] = max(A_{d-2}[i-1] + s(q[i-1], r[d-i-1]),   // diagonal
+//!              A_{d-1}[i-1] + gi,                    // up (insert)
+//!              A_{d-1}[i]   + gd)                    // left (delete)
+//! ```
+//!
+//! with borders `A_d[0] = d·gd` (cell `(0, d)`, while `d ≤ n`) and
+//! `A_d[d] = d·gi` (cell `(d, 0)`, while `d ≤ m`). The reference is
+//! pre-reversed (`rrev[t] = r[n-1-t]`) so the diagonal's substitution
+//! operands `r[d-i-1] = rrev[i+n-d]` load with forward unit stride, like
+//! every other operand.
+//!
+//! The inner loop is written branchlessly over exact pre-sliced ranges so
+//! LLVM auto-vectorizes it; on x86 the whole pass is additionally
+//! instantiated under `#[target_feature(enable = "avx2")]` (function
+//! multiversioning) and the wider instantiation is picked at runtime by
+//! the dispatcher in [`super`]. Arithmetic is *wrapping* (saturating
+//! lane ops don't vectorize); the dispatcher only routes here when the
+//! no-overflow bound behind [`super::selected_kernel`] proves wrapping
+//! and saturating arithmetic coincide, which makes this kernel
+//! byte-identical to the scalar reference wherever both run.
+//!
+//! Stats ride along as one lockstep `u32` diagonal packing the winning
+//! path's matches and query-insertions as `(matches << 16 |
+//! gap_inserts)`, selected with the same golden tie-break as the scalar
+//! kernel; both fields are bounded by the query length, and the dispatch
+//! bound `m < 2^15` keeps the packing carry-free. The other two counts
+//! are implied by the path shape.
+
+use super::{finish, ScoreProfile, SimdWorkspace};
+use smx_align_core::ScoringScheme;
+
+/// Substitution scorer a kernel instantiation is specialized over.
+trait SubScore: Copy {
+    fn sub(&self, a: u8, b: u8) -> i32;
+
+    /// Fills one diagonal's substitution scores; implementations may
+    /// override with a vectorized pass.
+    #[inline(always)]
+    fn fill(&self, qs: &[u8], rs: &[u8], sv: &mut [i32]) {
+        for t in 0..sv.len() {
+            sv[t] = self.sub(qs[t], rs[t]);
+        }
+    }
+}
+
+/// Uniform match/mismatch scoring (Edit and Linear schemes).
+#[derive(Clone, Copy)]
+struct Uniform {
+    matched: i32,
+    differs: i32,
+}
+
+impl SubScore for Uniform {
+    #[inline(always)]
+    fn sub(&self, a: u8, b: u8) -> i32 {
+        if a == b {
+            self.matched
+        } else {
+            self.differs
+        }
+    }
+}
+
+/// Substitution-matrix scoring via a flattened power-of-two-stride copy
+/// of the 26×26 table: `(a << 5 | b)` indexes a fixed 1024-entry array,
+/// so the masked lookup needs no bounds check and stays a single load
+/// (which LLVM can turn into a vector gather). Codes are `< 26` for any
+/// validated [`smx_align_core::Sequence`]; out-of-range codes would read
+/// a padding entry here where the scalar kernel's checked lookup panics.
+#[derive(Clone, Copy)]
+struct Table<'a> {
+    flat: &'a [i32; 1024],
+}
+
+impl SubScore for Table<'_> {
+    #[inline(always)]
+    fn sub(&self, a: u8, b: u8) -> i32 {
+        self.flat[((a as usize & 31) << 5) | (b as usize & 31)]
+    }
+
+    #[inline(always)]
+    fn fill(&self, qs: &[u8], rs: &[u8], sv: &mut [i32]) {
+        #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+        {
+            if std::is_x86_feature_detected!("avx2") {
+                // SAFETY: AVX2 support was just verified at runtime.
+                unsafe { fill_gather(self.flat, qs, rs, sv) };
+                return;
+            }
+        }
+        for t in 0..sv.len() {
+            sv[t] = self.sub(qs[t], rs[t]);
+        }
+    }
+}
+
+/// Table prefill with hardware gathers: eight (query, reference) byte
+/// pairs widen to `i32` lanes, combine into masked `a << 5 | b` offsets
+/// (all `< 1024`, the table length), and fetch in one `vpgatherdd`.
+#[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+#[target_feature(enable = "avx2")]
+unsafe fn fill_gather(flat: &[i32; 1024], qs: &[u8], rs: &[u8], sv: &mut [i32]) {
+    #[cfg(target_arch = "x86")]
+    use std::arch::x86::*;
+    #[cfg(target_arch = "x86_64")]
+    use std::arch::x86_64::*;
+
+    let w = sv.len();
+    let mask = _mm256_set1_epi32(31);
+    let mut t = 0;
+    while t + 8 <= w {
+        // SAFETY: t + 8 <= w and qs/rs/sv all have length w, so every
+        // 8-byte load and 32-byte store below stays in bounds; gather
+        // offsets are masked to 0..1024, the exact table length.
+        unsafe {
+            let q8 = _mm_loadl_epi64(qs.as_ptr().add(t).cast());
+            let r8 = _mm_loadl_epi64(rs.as_ptr().add(t).cast());
+            let qi = _mm256_and_si256(_mm256_cvtepu8_epi32(q8), mask);
+            let ri = _mm256_and_si256(_mm256_cvtepu8_epi32(r8), mask);
+            let idx = _mm256_or_si256(_mm256_slli_epi32(qi, 5), ri);
+            let v = _mm256_i32gather_epi32::<4>(flat.as_ptr(), idx);
+            _mm256_storeu_si256(sv.as_mut_ptr().add(t).cast(), v);
+        }
+        t += 8;
+    }
+    while t < w {
+        sv[t] = flat[((qs[t] as usize & 31) << 5) | (rs[t] as usize & 31)];
+        t += 1;
+    }
+}
+
+/// Score, path counts, and last-row contract produced by one kernel run.
+#[derive(Debug, Clone, Copy)]
+struct KernelOut {
+    score: i32,
+    cm: u32,
+    ci: u32,
+    best_score: i32,
+    best_end: usize,
+}
+
+/// Anti-diagonal score+stats pass. Caller guarantees non-empty slices
+/// and the no-overflow bound.
+pub(crate) fn profile(
+    query: &[u8],
+    reference: &[u8],
+    scheme: &ScoringScheme,
+    ws: &mut SimdWorkspace,
+) -> ScoreProfile {
+    ws.rrev.clear();
+    ws.rrev.extend(reference.iter().rev());
+    let len = query.len() + 1;
+    for buf in [&mut ws.d0, &mut ws.d1, &mut ws.d2] {
+        buf.clear();
+        buf.resize(len, 0);
+    }
+    for buf in [&mut ws.c0, &mut ws.c1, &mut ws.c2] {
+        buf.clear();
+        buf.resize(len, 0);
+    }
+    ws.subs.clear();
+    ws.subs.resize(len, 0);
+    ws.eqs.clear();
+    ws.eqs.resize(len, 0);
+    let (gi, gd) = (scheme.gap_insert(), scheme.gap_delete());
+    let out = match scheme {
+        ScoringScheme::Edit => dispatch(query, ws, gi, gd, Uniform { matched: 0, differs: -1 }),
+        ScoringScheme::Linear { match_score, mismatch, .. } => {
+            let sub = Uniform { matched: *match_score, differs: *mismatch };
+            dispatch(query, ws, gi, gd, sub)
+        }
+        ScoringScheme::Matrix { matrix, .. } => {
+            let mut flat = [0i32; 1024];
+            for a in 0..26u8 {
+                for b in 0..26u8 {
+                    flat[((a as usize) << 5) | b as usize] = matrix.score(a, b);
+                }
+            }
+            dispatch(query, ws, gi, gd, Table { flat: &flat })
+        }
+    };
+    finish(query.len(), reference.len(), out.score, out.cm, out.ci, out.best_score, out.best_end)
+}
+
+fn dispatch<S: SubScore>(
+    query: &[u8],
+    ws: &mut SimdWorkspace,
+    gi: i32,
+    gd: i32,
+    sub: S,
+) -> KernelOut {
+    #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+    {
+        if std::is_x86_feature_detected!("avx2") {
+            // SAFETY: AVX2 support was just verified at runtime.
+            return unsafe { run_avx2(query, ws, gi, gd, sub) };
+        }
+    }
+    run_portable(query, ws, gi, gd, sub)
+}
+
+#[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+#[target_feature(enable = "avx2")]
+unsafe fn run_avx2<S: SubScore>(
+    query: &[u8],
+    ws: &mut SimdWorkspace,
+    gi: i32,
+    gd: i32,
+    sub: S,
+) -> KernelOut {
+    run_body(query, ws, gi, gd, sub)
+}
+
+fn run_portable<S: SubScore>(
+    query: &[u8],
+    ws: &mut SimdWorkspace,
+    gi: i32,
+    gd: i32,
+    sub: S,
+) -> KernelOut {
+    run_body(query, ws, gi, gd, sub)
+}
+
+/// The shared kernel body: identical source for both instantiations, so
+/// the only difference is the ISA the compiler may use.
+#[inline(always)]
+fn run_body<S: SubScore>(
+    query: &[u8],
+    ws: &mut SimdWorkspace,
+    gi: i32,
+    gd: i32,
+    sub: S,
+) -> KernelOut {
+    let m = query.len();
+    let n = ws.rrev.len();
+    let rrev: &[u8] = &ws.rrev;
+    let (v0, v1, v2) = (&mut ws.d0, &mut ws.d1, &mut ws.d2);
+    let (c0, c1, c2) = (&mut ws.c0, &mut ws.c1, &mut ws.c2);
+    let (subs, eqs) = (&mut ws.subs, &mut ws.eqs);
+    // The d = 0 diagonal lives in the "1" slot (already zeroed): cell
+    // (0, 0) = 0 with zero counts.
+    let mut best_row = i32::MIN;
+    let mut best_end = 0usize;
+    for d in 1..=(m + n) {
+        let ilo = if d > n { d - n } else { 1 };
+        let ihi = if d - 1 < m { d - 1 } else { m };
+        if d <= n {
+            v0[0] = (d as i32).wrapping_mul(gd);
+            c0[0] = 0;
+        }
+        if d <= m {
+            // Border cell (d, 0): d query insertions, zero matches.
+            v0[d] = (d as i32).wrapping_mul(gi);
+            c0[d] = d as u32;
+        }
+        if ilo <= ihi {
+            let w = ihi - ilo + 1;
+            // Exact operand windows: all loads and stores walk forward
+            // with unit stride, which is what lets the loop vectorize.
+            let qs = &query[ilo - 1..ilo - 1 + w];
+            let rb = ilo + n - d;
+            let rs = &rrev[rb..rb + w];
+            let dgv = &v2[ilo - 1..ilo - 1 + w];
+            let dgc = &c2[ilo - 1..ilo - 1 + w];
+            let (upv, lfv) = (&v1[ilo - 1..ilo - 1 + w], &v1[ilo..ilo + w]);
+            let (upc, lfc) = (&c1[ilo - 1..ilo - 1 + w], &c1[ilo..ilo + w]);
+            let ov = &mut v0[ilo..ilo + w];
+            let oc = &mut c0[ilo..ilo + w];
+            let sv = &mut subs[..w];
+            let ev = &mut eqs[..w];
+            // Prefill pass: substitution scores and match flags widen the
+            // byte operands once, so the DP loop below is purely 32-bit.
+            // For matrix schemes this also keeps the table gather out of
+            // the auto-vectorized loop (Table::fill uses hardware
+            // gathers where available).
+            sub.fill(qs, rs, sv);
+            for t in 0..w {
+                ev[t] = u32::from(qs[t] == rs[t]);
+            }
+            for t in 0..w {
+                let diag = dgv[t].wrapping_add(sv[t]);
+                let up = upv[t].wrapping_add(gi);
+                let left = lfv[t].wrapping_add(gd);
+                let best = diag.max(up).max(left);
+                // Golden tie-break, branchless: diagonal ≻ up ≻ left.
+                // Counters ride packed as (matches << 16 | gap_inserts);
+                // both fields are < 2^15 (dispatch bound), so the +1 on
+                // the insert field can never carry across.
+                let d_win = diag >= up && diag >= left;
+                let u_win = up >= left;
+                let pk_d = dgc[t].wrapping_add(ev[t] << 16);
+                let pk_g = if u_win { upc[t].wrapping_add(1) } else { lfc[t] };
+                ov[t] = best;
+                oc[t] = if d_win { pk_d } else { pk_g };
+            }
+        }
+        // Last-needle-row contract: cell (m, d-m) is this diagonal's
+        // entry of row m. Strictly-greater keeps the leftmost maximum.
+        if d >= m {
+            let v = v0[m];
+            if v > best_row {
+                best_row = v;
+                best_end = d - m;
+            }
+        }
+        // Rotate (A, B, C) -> (B, C, A): the oldest diagonal's storage
+        // is reused for the next one.
+        std::mem::swap(v2, v1);
+        std::mem::swap(v1, v0);
+        std::mem::swap(c2, c1);
+        std::mem::swap(c1, c0);
+    }
+    // After the final rotation the d = m+n diagonal sits in the "1" slot.
+    let packed = c1[m];
+    KernelOut {
+        score: v1[m],
+        cm: packed >> 16,
+        ci: packed & 0xFFFF,
+        best_score: best_row,
+        best_end,
+    }
+}
