@@ -78,6 +78,30 @@ impl DpMatrix {
 /// small tiles; larger computations should use the engines built on it.
 #[must_use]
 pub fn full_matrix(query: &[u8], reference: &[u8], scheme: &ScoringScheme) -> DpMatrix {
+    full_matrix_checked(query, reference, scheme, &mut || Ok(()))
+        .expect("an infallible check cannot abort the DP")
+}
+
+/// Rows computed between cooperative `check` calls in
+/// [`full_matrix_checked`] — the host-side analogue of the coprocessor's
+/// tile-boundary granularity.
+const CHECK_INTERVAL_ROWS: usize = 64;
+
+/// [`full_matrix`] with a cooperative abort point every
+/// [`CHECK_INTERVAL_ROWS`] rows: `check`'s error (typically a
+/// cancellation or deadline) aborts the computation. This is what makes
+/// host-side recomputation honor the same deadline budget as the
+/// accelerated paths instead of running to completion regardless.
+///
+/// # Errors
+///
+/// Whatever `check` returns.
+pub fn full_matrix_checked(
+    query: &[u8],
+    reference: &[u8],
+    scheme: &ScoringScheme,
+    check: &mut dyn FnMut() -> Result<(), AlignError>,
+) -> Result<DpMatrix, AlignError> {
     let (m, n) = (query.len(), reference.len());
     let mut dp = DpMatrix { rows: m + 1, cols: n + 1, data: vec![0; (m + 1) * (n + 1)] };
     let (gi, gd) = (scheme.gap_insert(), scheme.gap_delete());
@@ -91,6 +115,9 @@ pub fn full_matrix(query: &[u8], reference: &[u8], scheme: &ScoringScheme) -> Dp
         dp.set(0, j, (j as i32).saturating_mul(gd));
     }
     for i in 1..=m {
+        if i % CHECK_INTERVAL_ROWS == 0 {
+            check()?;
+        }
         for j in 1..=n {
             let diag =
                 dp.get(i - 1, j - 1).saturating_add(scheme.score(query[i - 1], reference[j - 1]));
@@ -99,7 +126,7 @@ pub fn full_matrix(query: &[u8], reference: &[u8], scheme: &ScoringScheme) -> Dp
             dp.set(i, j, diag.max(up).max(left));
         }
     }
-    dp
+    Ok(dp)
 }
 
 /// Computes only the optimal score, using `O(n)` memory.
@@ -212,6 +239,24 @@ pub fn align_codes(query: &[u8], reference: &[u8], scheme: &ScoringScheme) -> Al
     let dp = full_matrix(query, reference, scheme);
     let cigar = traceback(&dp, query, reference, scheme);
     Alignment { score: dp.final_score(), cigar }
+}
+
+/// [`align_codes`] with the cooperative abort point of
+/// [`full_matrix_checked`]. An aborted alignment returns `check`'s error
+/// and produces no partial result.
+///
+/// # Errors
+///
+/// Whatever `check` returns.
+pub fn align_codes_checked(
+    query: &[u8],
+    reference: &[u8],
+    scheme: &ScoringScheme,
+    check: &mut dyn FnMut() -> Result<(), AlignError>,
+) -> Result<Alignment, AlignError> {
+    let dp = full_matrix_checked(query, reference, scheme, check)?;
+    let cigar = traceback(&dp, query, reference, scheme);
+    Ok(Alignment { score: dp.final_score(), cigar })
 }
 
 /// The edit distance between two code slices (a convenience built on the

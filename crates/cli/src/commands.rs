@@ -6,6 +6,43 @@ use smx_io::fasta;
 use smx_io::pairs::pair_positional;
 use std::fs::File;
 
+/// Generic failure (bad arguments, I/O, any untyped batch failure).
+pub const EXIT_GENERIC: i32 = 2;
+/// `--strict` batch ended with pairs shed at admission.
+pub const EXIT_SHED: i32 = 3;
+/// `--strict` batch ended with pairs past their deadline.
+pub const EXIT_DEADLINE: i32 = 4;
+/// `--strict` batch ended with a fail-closed integrity violation.
+pub const EXIT_INTEGRITY: i32 = 5;
+
+/// A command failure carrying its process exit code, so scripted callers
+/// can branch on *why* a strict batch failed without parsing stderr.
+#[derive(Debug)]
+pub struct CliError {
+    /// Process exit code (see the `EXIT_*` constants).
+    pub code: i32,
+    /// Human-readable message printed to stderr.
+    pub message: String,
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} (exit code {})", self.message, self.code)
+    }
+}
+
+impl From<String> for CliError {
+    fn from(message: String) -> CliError {
+        CliError { code: EXIT_GENERIC, message }
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(message: &str) -> CliError {
+        CliError { code: EXIT_GENERIC, message: message.to_string() }
+    }
+}
+
 /// Top-level usage text.
 pub const USAGE: &str = "\
 smx-cli: SMX heterogeneous sequence alignment (reproduction)
@@ -25,6 +62,14 @@ commands:
            [--quarantine] [--quarantine-threshold F] [--quarantine-alpha F]
            [--quarantine-period N] [--quarantine-probes N]
            <query.fa|fastq> <reference.fa|fastq>
+  serve    [--addr HOST:PORT | --port N] --config <cfg> [--workers N]
+           [--jobs N] [--queue-cap N] [--deadline-ms N] [--devices N]
+           [--fault-rate F] [--silent-rate F] [--audit-rate F]
+           [--hedge-after-ms N] [--breaker ...] [--quarantine ...]
+           [--rate F] [--burst F] [--max-conns N] [--max-outstanding N]
+           [--retry-attempts N] [--retry-backoff-ms N]
+           [--brownout-shed F] [--brownout-degrade F] [--brownout-refuse F]
+           [--checkpoint-dir DIR] [--resume-sessions]
   datagen  --config <cfg> --len N --count N [--profile perfect|moderate|hifi|ont]
            [--sv N] [--seed N] --out <pairs.fa>
   simulate --config <cfg> --len N [--blocks N] [--workers N]
@@ -62,6 +107,25 @@ on-device, then recomputed in software, so output stays byte-identical.
 sidelines chronically unhealthy devices and readmits them only after
 consecutive clean known-answer canaries. --hedge-after-ms N re-runs a
 pair on the software baseline when the device attempt exceeds N ms.
+
+server (serve): runs the batch-service stack as a long-lived framed-TCP
+front door (4-byte big-endian length prefix + tab-separated text). Each
+connection opens with HELLO <tenant> <priority> <session> <deadline-ms>;
+pairs are admitted through a per-tenant token bucket (--rate/--burst)
+into a three-class strict-priority queue. Overload walks a brownout
+ladder (--brownout-shed/-degrade/-refuse occupancy thresholds): shed
+audit/hedge extras, degrade low-priority tenants to the software
+baseline, then refuse low-priority work with a typed REJECT carrying a
+retry-after hint. --checkpoint-dir makes sessions crash-consistent:
+results are acked only after an fsynced manifest record, so kill -9 plus
+a --resume-sessions restart replays exactly the acked pairs,
+byte-identically. SIGTERM drains gracefully: stop accepting, flush
+in-flight pairs, report per-tenant counts. Send a STATS frame (or read
+the drain report) for per-tenant admission/shed/deadline counters.
+
+exit codes: 0 success; 2 generic error. Under --strict, typed codes
+rank the worst failure in the batch: 3 pairs shed at admission, 4
+deadline exceeded, 5 integrity violation (most severe wins).
 
 software baseline (align): --baseline picks the streaming score kernel
 the device paths fall back on (degraded score-only work and the audit's
@@ -122,7 +186,7 @@ fn load_records(path: &str) -> Result<Vec<fasta::Record>, String> {
 }
 
 /// `smx-cli align`: align FASTA/FASTQ files record-by-record.
-pub fn align(args: &Args) -> Result<(), String> {
+pub fn align(args: &Args) -> Result<(), CliError> {
     let [_, query_path, ref_path] = args.positional.as_slice() else {
         return Err("align needs <query.fa> <reference.fa>".into());
     };
@@ -229,24 +293,14 @@ fn recovery_policy(args: &Args) -> Result<RecoveryPolicy, String> {
     })
 }
 
-/// Batch-service path for `align`: worker pool, backpressure, deadlines,
-/// circuit breaker, and crash-safe checkpoint/resume.
-fn align_service(
+/// Builds the (possibly fault-injected) template device shared by the
+/// batch-service path and the server.
+fn service_device(
     args: &Args,
-    named: &[smx_io::pairs::NamedPair],
     config: AlignmentConfig,
     workers: usize,
     fault_rate: f64,
-) -> Result<(), String> {
-    use smx::service::{PairOutcome, RunOptions};
-    use smx_io::checkpoint::{CheckpointWriter, Manifest};
-    use std::path::Path;
-    use std::time::Duration;
-
-    let jobs = args.get_num("jobs", 1usize).map_err(|e| e.to_string())?;
-    let queue_cap = args.get_num("queue-cap", 64usize).map_err(|e| e.to_string())?;
-    let deadline_ms = args.get_num("deadline-ms", 0u64).map_err(|e| e.to_string())?;
-
+) -> Result<SmxDevice, String> {
     let silent_rate = args.get_num("silent-rate", 0.0f64).map_err(|e| e.to_string())?;
     let mut dev = SmxDevice::new(config, workers).map_err(|e| e.to_string())?;
     dev.set_baseline(parse_baseline(args)?);
@@ -256,6 +310,16 @@ fn align_service(
         dev.enable_fault_injection(plan, recovery_policy(args)?);
         dev.set_graceful_degradation(!args.switch("no-degrade"));
     }
+    Ok(dev)
+}
+
+/// Parses the executor flags shared by `align --jobs ...` and `serve`.
+fn executor_config(args: &Args) -> Result<ExecutorConfig, String> {
+    use std::time::Duration;
+
+    let jobs = args.get_num("jobs", 1usize).map_err(|e| e.to_string())?;
+    let queue_cap = args.get_num("queue-cap", 64usize).map_err(|e| e.to_string())?;
+    let deadline_ms = args.get_num("deadline-ms", 0u64).map_err(|e| e.to_string())?;
 
     let breaker_requested = args.switch("breaker")
         || args.get("breaker-window").is_some()
@@ -309,7 +373,7 @@ fn align_service(
         })
         .transpose()?;
 
-    let cfg = ExecutorConfig {
+    Ok(ExecutorConfig {
         jobs,
         queue_cap,
         admission: if args.switch("shed") { AdmissionPolicy::Shed } else { AdmissionPolicy::Block },
@@ -319,14 +383,72 @@ fn align_service(
         audit,
         hedge,
         quarantine,
-    };
+        // Fail-closed auditing: --no-degrade turns a failed audit retry
+        // into a typed IntegrityViolation instead of a silent software
+        // recompute (and, under --strict, into exit code 5).
+        integrity_fail_closed: args.switch("no-degrade"),
+    })
+}
+
+/// The `--strict` exit code for a batch that ended with failures, by
+/// severity: integrity violation ≻ deadline exceeded ≻ shed ≻ generic.
+fn strict_exit_code<'a, I: Iterator<Item = StrictFailure<'a>>>(failures: I) -> i32 {
+    let mut code = EXIT_GENERIC;
+    for f in failures {
+        let c = match f {
+            StrictFailure::Error(smx::align::AlignError::IntegrityViolation { .. }) => {
+                EXIT_INTEGRITY
+            }
+            StrictFailure::Error(smx::align::AlignError::DeadlineExceeded { .. }) => EXIT_DEADLINE,
+            StrictFailure::Shed => EXIT_SHED,
+            StrictFailure::Error(_) => EXIT_GENERIC,
+        };
+        code = code.max(c);
+    }
+    code
+}
+
+/// One strict-mode failure for exit-code ranking.
+enum StrictFailure<'a> {
+    /// A pair failed with this typed error.
+    Error(&'a smx::align::AlignError),
+    /// A pair was shed at admission.
+    Shed,
+}
+
+/// Batch-service path for `align`: worker pool, backpressure, deadlines,
+/// circuit breaker, and crash-safe checkpoint/resume.
+fn align_service(
+    args: &Args,
+    named: &[smx_io::pairs::NamedPair],
+    config: AlignmentConfig,
+    workers: usize,
+    fault_rate: f64,
+) -> Result<(), CliError> {
+    use smx::service::{PairOutcome, RunOptions};
+    use smx_io::checkpoint::{CheckpointWriter, Manifest};
+    use std::path::Path;
+
+    let dev = service_device(args, config, workers, fault_rate)?;
+    let cfg = executor_config(args)?;
+    let (jobs, queue_cap) = (cfg.jobs, cfg.queue_cap);
+    let devices = cfg.devices.max(1);
+    let audit = cfg.audit;
+    let hedge = cfg.hedge;
+    let quarantine = cfg.quarantine;
+    // Re-read the raw knobs for the stats footer.
+    let audit_rate = args.get_num("audit-rate", 0.0f64).map_err(|e| e.to_string())?;
+    let hedge_after_ms = args.get_num("hedge-after-ms", 0u64).map_err(|e| e.to_string())?;
+    let silent_rate = args.get_num("silent-rate", 0.0f64).map_err(|e| e.to_string())?;
     let exec = BatchExecutor::new(dev, cfg).map_err(|e| e.to_string())?;
 
     let resume_map = match args.get("resume") {
         Some(path) => {
             let manifest = Manifest::load(Path::new(path)).map_err(|e| e.to_string())?;
-            if manifest.torn_tail {
-                eprintln!("# resume: discarded a torn final line in {path}");
+            if let Some(offset) = manifest.torn_offset {
+                eprintln!(
+                    "# resume: discarded a torn final line in {path} at byte offset {offset}"
+                );
             }
             eprintln!("# resume: {} pairs already completed in {path}", manifest.completed.len());
             Some(manifest.completed)
@@ -369,7 +491,7 @@ fn align_service(
         }
     }
     if let Some(e) = checkpoint_err {
-        return Err(format!("checkpoint write failed: {e}"));
+        return Err(format!("checkpoint write failed: {e}").into());
     }
 
     let s = &report.stats;
@@ -441,10 +563,18 @@ fn align_service(
     if !report.all_succeeded() {
         eprintln!("{}", report.failure_summary());
         if args.switch("strict") {
-            return Err(format!(
-                "batch completed with {} failed and {} shed pairs under --strict",
-                s.failed, s.shed
-            ));
+            let code = strict_exit_code(report.outcomes.iter().filter_map(|o| match o {
+                PairOutcome::Failed(e) => Some(StrictFailure::Error(e)),
+                PairOutcome::Shed => Some(StrictFailure::Shed),
+                PairOutcome::Aligned(_) => None,
+            }));
+            return Err(CliError {
+                code,
+                message: format!(
+                    "batch completed with {} failed and {} shed pairs under --strict",
+                    s.failed, s.shed
+                ),
+            });
         }
     }
     Ok(())
@@ -459,7 +589,7 @@ fn align_resilient(
     config: AlignmentConfig,
     workers: usize,
     fault_rate: f64,
-) -> Result<(), String> {
+) -> Result<(), CliError> {
     let seed = args.get_num("fault-seed", 42u64).map_err(|e| e.to_string())?;
     let mut dev = SmxDevice::new(config, workers).map_err(|e| e.to_string())?;
     dev.set_baseline(parse_baseline(args)?);
@@ -493,16 +623,154 @@ fn align_resilient(
         s.cycles_lost
     );
     if args.switch("strict") && !report.all_succeeded() {
-        return Err(format!(
-            "batch completed with {} failed pairs under --strict",
-            report.failures.len()
-        ));
+        let code = strict_exit_code(report.failures.iter().map(|f| StrictFailure::Error(&f.error)));
+        return Err(CliError {
+            code,
+            message: format!(
+                "batch completed with {} failed pairs under --strict",
+                report.failures.len()
+            ),
+        });
     }
     Ok(())
 }
 
+/// Minimal signal latch for graceful drain: a raw `signal(2)` handler
+/// (no external crates) that flips an atomic the serve loop polls.
+#[cfg(unix)]
+mod sig {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static PENDING: AtomicBool = AtomicBool::new(false);
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        PENDING.store(true, Ordering::SeqCst);
+    }
+
+    /// Installs the drain handler for SIGTERM and SIGINT.
+    pub fn install() {
+        unsafe {
+            signal(SIGTERM, on_signal);
+            signal(SIGINT, on_signal);
+        }
+    }
+
+    /// True once a drain signal has arrived.
+    pub fn pending() -> bool {
+        PENDING.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(not(unix))]
+mod sig {
+    /// Non-unix stub: never signalled; the server runs until killed.
+    pub fn install() {}
+    pub fn pending() -> bool {
+        false
+    }
+}
+
+/// `smx-cli serve`: long-running framed-TCP alignment front door over the
+/// batch-service stack, with admission control, brownout, and graceful
+/// drain on SIGTERM/SIGINT.
+pub fn serve(args: &Args) -> Result<(), CliError> {
+    use smx::server::tenant::{BrownoutConfig, TenantPolicy};
+    use smx::{RetryConfig, Server, ServerConfig};
+    use std::time::Duration;
+
+    let config = parse_config(args.get_or("config", "dna-edit"))?;
+    let workers = args.get_num("workers", 4usize).map_err(|e| e.to_string())?;
+    let fault_rate = args.get_num("fault-rate", 0.0f64).map_err(|e| e.to_string())?;
+    let dev = service_device(args, config, workers, fault_rate)?;
+    let exec = executor_config(args)?;
+
+    let pd = TenantPolicy::default();
+    let bd = BrownoutConfig::default();
+    let rd = RetryConfig::default();
+    let cfg = ServerConfig {
+        exec,
+        policy: TenantPolicy {
+            rate: args.get_num("rate", pd.rate).map_err(|e| e.to_string())?,
+            burst: args.get_num("burst", pd.burst).map_err(|e| e.to_string())?,
+        },
+        brownout: BrownoutConfig {
+            shed_extras_at: args
+                .get_num("brownout-shed", bd.shed_extras_at)
+                .map_err(|e| e.to_string())?,
+            degrade_low_at: args
+                .get_num("brownout-degrade", bd.degrade_low_at)
+                .map_err(|e| e.to_string())?,
+            refuse_low_at: args
+                .get_num("brownout-refuse", bd.refuse_low_at)
+                .map_err(|e| e.to_string())?,
+        },
+        retry: RetryConfig {
+            attempts: args.get_num("retry-attempts", rd.attempts).map_err(|e| e.to_string())?,
+            backoff: Duration::from_millis(
+                args.get_num("retry-backoff-ms", 2u64).map_err(|e| e.to_string())?,
+            ),
+        },
+        max_conns: args.get_num("max-conns", 64usize).map_err(|e| e.to_string())?,
+        max_outstanding: args.get_num("max-outstanding", 256usize).map_err(|e| e.to_string())?,
+        checkpoint_dir: args.get("checkpoint-dir").map(std::path::PathBuf::from),
+        resume_sessions: args.switch("resume-sessions"),
+    };
+
+    let addr = match args.get("addr") {
+        Some(a) => a.to_string(),
+        None => format!("127.0.0.1:{}", args.get_or("port", "0")),
+    };
+    let handle = Server::bind(dev, cfg, &addr).map_err(|e| e.to_string())?;
+    // The storm harness and tests parse this line for the bound port, so
+    // flush it before settling into the signal loop.
+    println!("listening on {}", handle.addr());
+    use std::io::Write as _;
+    std::io::stdout().flush().ok();
+
+    sig::install();
+    while !sig::pending() {
+        std::thread::sleep(Duration::from_millis(25));
+    }
+
+    eprintln!("# drain: signal received; refusing new work and flushing in-flight pairs");
+    let report = handle.drain();
+    for (tenant, c) in &report.per_tenant {
+        eprintln!(
+            "# drain: tenant={tenant} admitted={} completed={} failed={} resumed={} \
+             rejected={} degraded={}",
+            c.admitted,
+            c.completed,
+            c.failed,
+            c.resumed,
+            c.rejected(),
+            c.degraded_software
+        );
+    }
+    let t = &report.totals;
+    eprintln!(
+        "# drain: totals admitted={} completed={} failed={} rejected={} resumed={} \
+         deadline-exceeded={} degraded={} max-depth={}",
+        t.admitted,
+        t.completed,
+        t.failed,
+        t.rejected,
+        t.resumed,
+        t.deadline_exceeded,
+        t.degraded_software,
+        t.max_queue_depth
+    );
+    Ok(())
+}
+
 /// `smx-cli datagen`: write an interleaved pair FASTA.
-pub fn datagen(args: &Args) -> Result<(), String> {
+pub fn datagen(args: &Args) -> Result<(), CliError> {
     let config = parse_config(args.get_or("config", "dna-edit"))?;
     let len = args.get_num("len", 1000usize).map_err(|e| e.to_string())?;
     let count = args.get_num("count", 4usize).map_err(|e| e.to_string())?;
@@ -514,7 +782,7 @@ pub fn datagen(args: &Args) -> Result<(), String> {
         "moderate" => smx::datagen::ErrorProfile::moderate(),
         "hifi" => smx::datagen::ErrorProfile::pacbio_hifi(),
         "ont" => smx::datagen::ErrorProfile::ont(),
-        other => return Err(format!("unknown profile {other:?}")),
+        other => return Err(format!("unknown profile {other:?}").into()),
     };
     let ds = if sv > 0 {
         Dataset::ont_sv_like(config, len, sv, count, seed)
@@ -533,7 +801,7 @@ pub fn datagen(args: &Args) -> Result<(), String> {
 }
 
 /// `smx-cli simulate`: coprocessor utilization for a block workload.
-pub fn simulate(args: &Args) -> Result<(), String> {
+pub fn simulate(args: &Args) -> Result<(), CliError> {
     use smx::sim::coproc::{BlockShape, CoprocSim, CoprocTimingConfig};
     let config = parse_config(args.get_or("config", "dna-edit"))?;
     let len = args.get_num("len", 1000usize).map_err(|e| e.to_string())?;
@@ -555,7 +823,7 @@ pub fn simulate(args: &Args) -> Result<(), String> {
 }
 
 /// `smx-cli matrix`: print, export, or validate substitution matrices.
-pub fn matrix(args: &Args) -> Result<(), String> {
+pub fn matrix(args: &Args) -> Result<(), CliError> {
     use smx::align::SubstMatrix;
     if let Some(path) = args.get("parse") {
         let file = File::open(path).map_err(|e| format!("{path}: {e}"))?;
@@ -572,7 +840,7 @@ pub fn matrix(args: &Args) -> Result<(), String> {
         "blosum50" => SubstMatrix::blosum50(),
         "blosum62" => SubstMatrix::blosum62(),
         "pam250" => SubstMatrix::pam250(),
-        other => return Err(format!("unknown matrix {other:?}")),
+        other => return Err(format!("unknown matrix {other:?}").into()),
     };
     match args.get("out") {
         Some(path) => {
@@ -588,7 +856,7 @@ pub fn matrix(args: &Args) -> Result<(), String> {
 }
 
 /// `smx-cli info`: configuration and physical-design summary.
-pub fn info() -> Result<(), String> {
+pub fn info() -> Result<(), CliError> {
     use smx::physical::area::AreaModel;
     let model = AreaModel::new();
     println!("SMX configurations:");
@@ -736,7 +1004,7 @@ mod tests {
         )
         .unwrap();
         let err = align(&b).unwrap_err();
-        assert!(err.contains("--strict"), "{err}");
+        assert!(err.message.contains("--strict"), "{err}");
         // Without --strict the same storm completes with failures noted.
         let c = Args::parse(
             [
@@ -809,7 +1077,7 @@ mod tests {
         )
         .unwrap();
         let err = align(&bad).unwrap_err();
-        assert!(err.contains("unknown baseline"), "{err}");
+        assert!(err.message.contains("unknown baseline"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,136 @@
+//! End-to-end exit-code contract for `--strict` batches: shed, deadline,
+//! and integrity failures each get a distinct process exit code so
+//! pipelines can branch without parsing stderr, and a torn checkpoint
+//! tail is reported with its byte offset on resume.
+
+use std::fs;
+use std::path::Path;
+use std::process::{Command, Output};
+
+fn smx_cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_smx-cli"))
+}
+
+fn run(args: &[&str]) -> Output {
+    smx_cli().args(args).output().expect("spawn smx-cli")
+}
+
+/// Deterministic DNA records, interleaved-pair style: one query file and
+/// one reference file with `count` records of `len` bases each.
+fn write_pairs(dir: &Path, count: usize, len: usize) -> (String, String) {
+    let mut state: u64 = 0x243f_6a88_85a3_08d3;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (state >> 33) as usize
+    };
+    let mut q = String::new();
+    let mut r = String::new();
+    const BASES: [char; 4] = ['A', 'C', 'G', 'T'];
+    for i in 0..count {
+        let seq: String = (0..len).map(|_| BASES[next() % 4]).collect();
+        // The reference is the query with a couple of point edits, so the
+        // alignment is non-trivial but still cheap to verify.
+        let mut rseq: Vec<char> = seq.chars().collect();
+        rseq[len / 3] = BASES[(next() + 1) % 4];
+        rseq[2 * len / 3] = BASES[(next() + 2) % 4];
+        q.push_str(&format!(">q{i}\n{seq}\n"));
+        r.push_str(&format!(">r{i}\n{}\n", rseq.into_iter().collect::<String>()));
+    }
+    let qp = dir.join("q.fa");
+    let rp = dir.join("r.fa");
+    fs::write(&qp, q).unwrap();
+    fs::write(&rp, r).unwrap();
+    (qp.to_string_lossy().into_owned(), rp.to_string_lossy().into_owned())
+}
+
+fn tempdir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("smx-exit-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn strict_shed_exits_with_code_3() {
+    let dir = tempdir("shed");
+    // Two workers, queue of one, big pairs: the submitter outruns the
+    // workers and the shed admission policy drops the overflow.
+    let (q, r) = write_pairs(&dir, 16, 2000);
+    let out = run(&["align", "--strict", "--shed", "--jobs", "2", "--queue-cap", "1", &q, &r]);
+    assert_eq!(out.status.code(), Some(3), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+}
+
+#[test]
+fn strict_deadline_exits_with_code_4() {
+    let dir = tempdir("deadline");
+    // Every pair needs far more than 1 ms of matrix work, so each one
+    // trips the deadline at a tile boundary.
+    let (q, r) = write_pairs(&dir, 4, 2000);
+    let out = run(&["align", "--strict", "--jobs", "2", "--deadline-ms", "1", &q, &r]);
+    assert_eq!(out.status.code(), Some(4), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+}
+
+#[test]
+fn strict_integrity_violation_exits_with_code_5() {
+    let dir = tempdir("integrity");
+    // Every device result is silently corrupt and every pair is audited;
+    // --no-degrade fails the audit closed instead of recomputing.
+    let (q, r) = write_pairs(&dir, 4, 200);
+    let out = run(&[
+        "align",
+        "--strict",
+        "--no-degrade",
+        "--jobs",
+        "2",
+        "--silent-rate",
+        "1.0",
+        "--audit-rate",
+        "1.0",
+        "--fault-seed",
+        "7",
+        &q,
+        &r,
+    ]);
+    assert_eq!(out.status.code(), Some(5), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+}
+
+#[test]
+fn generic_errors_exit_with_code_2() {
+    let out = run(&["align", "--config", "no-such-config", "a.fa", "b.fa"]);
+    assert_eq!(out.status.code(), Some(2), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+}
+
+#[test]
+fn resume_reports_torn_tail_byte_offset() {
+    let dir = tempdir("torn");
+    let (q, r) = write_pairs(&dir, 4, 120);
+    let manifest = dir.join("ckpt.tsv");
+    let manifest_s = manifest.to_string_lossy().into_owned();
+
+    let out = run(&["align", "--jobs", "2", "--checkpoint", &manifest_s, &q, &r]);
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+
+    // Simulate a crash mid-write: a final line with no newline.
+    let clean_len = fs::metadata(&manifest).unwrap().len();
+    let mut torn = fs::read(&manifest).unwrap();
+    torn.extend_from_slice(b"99\t17\t12");
+    fs::write(&manifest, torn).unwrap();
+
+    let out = run(&[
+        "align",
+        "--jobs",
+        "2",
+        "--resume",
+        &manifest_s,
+        "--checkpoint",
+        &manifest_s,
+        &q,
+        &r,
+    ]);
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains(&format!("byte offset {clean_len}")),
+        "expected torn-tail warning with byte offset {clean_len}, got: {stderr}"
+    );
+}

@@ -1,0 +1,181 @@
+//! Lifecycle tests for `smx-cli serve`: crash consistency under kill -9
+//! (acked pairs survive a restart byte-identically) and graceful drain
+//! on SIGTERM.
+
+#![cfg(unix)]
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+use smx::server::proto::{Request, Response};
+use smx::server::tenant::Priority;
+use smx::Client;
+
+extern "C" {
+    fn kill(pid: i32, sig: i32) -> i32;
+}
+
+const SIGTERM: i32 = 15;
+
+struct ServeProc {
+    child: Child,
+    addr: std::net::SocketAddr,
+}
+
+/// Spawns `smx-cli serve` on an ephemeral port and parses the bound
+/// address off its first stdout line.
+fn spawn_serve(extra: &[&str]) -> ServeProc {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_smx-cli"))
+        .arg("serve")
+        .args(["--port", "0", "--config", "dna-edit", "--jobs", "2"])
+        .args(extra)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn smx-cli serve");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut line = String::new();
+    BufReader::new(stdout).read_line(&mut line).expect("read listen line");
+    let addr = line
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner: {line:?}"))
+        .parse()
+        .expect("parse bound address");
+    ServeProc { child, addr }
+}
+
+fn connect(proc_: &ServeProc, session: &str) -> (Client, u64) {
+    let mut client = Client::connect(proc_.addr).expect("connect");
+    client.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    client
+        .send(&Request::Hello {
+            session: session.to_string(),
+            tenant: "itest".to_string(),
+            priority: Priority::Normal,
+            deadline_ms: 0,
+        })
+        .expect("send hello");
+    match client.recv().expect("recv hello reply") {
+        Some(Response::Ok { resumed, .. }) => (client, resumed),
+        other => panic!("expected OK, got {other:?}"),
+    }
+}
+
+fn pair(id: usize) -> Request {
+    // Distinct per-id sequences so a cross-wired replay would be caught
+    // by the score/cigar comparison.
+    let query = "ACGTACGTACGTACGT".repeat(1 + id % 3);
+    let mut reference = query.clone();
+    reference.insert(3, 'T');
+    Request::Pair { id, query, reference }
+}
+
+#[test]
+fn kill_dash_nine_then_resume_replays_every_acked_pair_byte_identically() {
+    let dir = std::env::temp_dir().join(format!("smx-serve-crash-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let dir_s = dir.to_string_lossy().into_owned();
+
+    let mut proc_ = spawn_serve(&["--checkpoint-dir", &dir_s]);
+    let (mut client, resumed) = connect(&proc_, "crashy");
+    assert_eq!(resumed, 0, "fresh session must have nothing to resume");
+
+    const PAIRS: usize = 6;
+    const ACKS_BEFORE_KILL: usize = 3;
+    for id in 0..PAIRS {
+        client.send(&pair(id)).unwrap();
+    }
+    let mut acked: HashMap<usize, (i32, String)> = HashMap::new();
+    while acked.len() < ACKS_BEFORE_KILL {
+        match client.recv().expect("recv result") {
+            Some(Response::Result { id, score, cigar, .. }) => {
+                acked.insert(id, (score, cigar));
+            }
+            Some(Response::Reject { .. }) => {}
+            other => panic!("expected RESULT, got {other:?}"),
+        }
+    }
+
+    // SIGKILL mid-stream: no drain, no flush beyond what fsync already
+    // made durable.
+    proc_.child.kill().unwrap();
+    proc_.child.wait().unwrap();
+    drop(client);
+
+    let mut proc_ = spawn_serve(&["--checkpoint-dir", &dir_s, "--resume-sessions"]);
+    let (mut client, resumed) = connect(&proc_, "crashy");
+    // Zero acked-but-lost: everything the client saw acked must be in
+    // the manifest the restart loaded (the server may have recorded a
+    // few more whose acks were still in flight).
+    assert!(
+        resumed >= acked.len() as u64,
+        "manifest resumed {resumed} pairs but client held {} acks",
+        acked.len()
+    );
+
+    for id in 0..PAIRS {
+        client.send(&pair(id)).unwrap();
+    }
+    let mut replayed: HashMap<usize, (i32, String, bool)> = HashMap::new();
+    while replayed.len() < PAIRS {
+        match client.recv().expect("recv replayed result") {
+            Some(Response::Result { id, score, cigar, resumed }) => {
+                replayed.insert(id, (score, cigar, resumed));
+            }
+            other => panic!("expected RESULT, got {other:?}"),
+        }
+    }
+    for (id, (score, cigar)) in &acked {
+        let (rs, rc, was_resumed) = &replayed[id];
+        assert_eq!((rs, rc.as_str()), (&score.clone(), cigar.as_str()), "pair {id} differs");
+        assert!(was_resumed, "acked pair {id} should replay from the manifest, not recompute");
+    }
+
+    client.send(&Request::Bye).unwrap();
+    match client.recv().expect("recv done") {
+        Some(Response::Done { resumed, .. }) => assert!(resumed >= acked.len() as u64),
+        other => panic!("expected DONE, got {other:?}"),
+    }
+    proc_.child.kill().ok();
+    proc_.child.wait().ok();
+}
+
+#[test]
+fn sigterm_drains_gracefully_and_reports_per_tenant_counts() {
+    let mut proc_ = spawn_serve(&[]);
+    let (mut client, _) = connect(&proc_, "-");
+
+    client.send(&pair(0)).unwrap();
+    match client.recv().expect("recv result") {
+        Some(Response::Result { id: 0, .. }) => {}
+        other => panic!("expected RESULT 0, got {other:?}"),
+    }
+
+    let rc = unsafe { kill(proc_.child.id() as i32, SIGTERM) };
+    assert_eq!(rc, 0, "kill(SIGTERM) failed");
+
+    // The drain flushes in-flight work and hands every connected
+    // session a DONE summary before closing.
+    loop {
+        match client.recv().expect("recv during drain") {
+            Some(Response::Done { completed, .. }) => {
+                assert!(completed >= 1);
+                break;
+            }
+            Some(_) => {}
+            None => panic!("connection closed without a DONE"),
+        }
+    }
+
+    let status = proc_.child.wait().expect("wait serve");
+    assert!(status.success(), "drain exit should be clean, got {status:?}");
+    let mut stderr = String::new();
+    use std::io::Read as _;
+    proc_.child.stderr.take().unwrap().read_to_string(&mut stderr).unwrap();
+    assert!(stderr.contains("# drain: totals"), "missing drain totals in stderr: {stderr}");
+    assert!(stderr.contains("tenant=itest"), "missing per-tenant drain line: {stderr}");
+}

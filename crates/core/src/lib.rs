@@ -41,6 +41,11 @@
 //! * [`algos`] — full/banded/X-drop/Hirschberg/window + SotA baselines.
 //! * [`datagen`] — synthetic datasets (PacBio/ONT/UniProt stand-ins).
 //! * [`physical`] — area, power, and peak-GCUPS models.
+//! * [`service`] — resilient batch executor: worker pool, deadlines,
+//!   breaker, checkpoint/resume.
+//! * [`pool`] — multi-device pool: audits, quarantine, hedging.
+//! * [`server`] — framed-TCP front door: tenant QoS, brownout ladder,
+//!   graceful drain, crash-consistent sessions.
 
 pub use smx_algos as algos;
 pub use smx_align_core as align;
@@ -54,12 +59,16 @@ pub use smx_sim as sim;
 pub mod aligner;
 pub mod orchestrator;
 pub mod pool;
+pub mod server;
 pub mod service;
 pub mod testkit;
 
 pub use aligner::{Algorithm, BatchReport, PairReport, SmxAligner};
 pub use orchestrator::{AffineDevice, BatchFailure, DeviceBatchReport, SmxDevice};
 pub use pool::{AuditConfig, DeviceStats, HedgeConfig, HedgeTrigger, QuarantineConfig};
+pub use server::{
+    Client, DrainReport, RetryConfig, Server, ServerConfig, ServerCounters, ServerHandle,
+};
 pub use service::{
     AdmissionPolicy, BatchExecutor, BreakerConfig, BreakerSnapshot, BreakerState,
     BreakerTransitions, ExecutorConfig, PairOutcome, RunOptions, ServiceBatchReport, ServiceStats,

@@ -304,7 +304,15 @@ impl SmxDevice {
             alignment.verify(q, r, &self.scheme)?;
             return Ok(alignment);
         }
-        let alignment = dp::align_codes(q, r, &self.scheme);
+        // With a token installed the host DP gets the same cooperative
+        // abort granularity as the coprocessor's tile boundaries, so a
+        // deadline caps software recomputation too (hedge backups, audit
+        // recomputes, degraded-mode service) instead of only the
+        // accelerated paths.
+        let alignment = match self.coproc.control() {
+            Some(token) => dp::align_codes_checked(q, r, &self.scheme, &mut || token.check())?,
+            None => dp::align_codes(q, r, &self.scheme),
+        };
         alignment.verify(q, r, &self.scheme)?;
         Ok(alignment)
     }

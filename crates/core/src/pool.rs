@@ -426,6 +426,26 @@ impl PoolHealth {
             .collect();
         (stats, self.counters)
     }
+
+    /// A non-consuming [`PoolHealth::finish`]: the same per-device stats
+    /// and counters, for live observability (the server's `/stats`)
+    /// while the pool keeps running.
+    pub(crate) fn snapshot(&self) -> (Vec<DeviceStats>, PoolCounters) {
+        let stats = self
+            .slots
+            .iter()
+            .map(|slot| DeviceStats {
+                health: slot.health,
+                quarantined: slot.quarantined,
+                breaker: slot
+                    .breaker
+                    .as_ref()
+                    .map(|b| BreakerSnapshot { state: b.state(), transitions: b.transitions() }),
+                ..slot.stats.clone()
+            })
+            .collect();
+        (stats, self.counters)
+    }
 }
 
 /// A known-answer canary pair: the two sequences plus the golden
@@ -632,6 +652,12 @@ impl DevicePool {
         let (stats, counters) =
             self.health.into_inner().expect("pool health lock poisoned").finish();
         (stats, counters, recovery)
+    }
+
+    /// Live per-device stats and pool counters without consuming the
+    /// pool (recovery stats are left to [`DevicePool::finish`]).
+    pub(crate) fn snapshot(&self) -> (Vec<DeviceStats>, PoolCounters) {
+        self.health().snapshot()
     }
 }
 

@@ -283,6 +283,11 @@ pub struct ExecutorConfig {
     /// Per-device health scoring and quarantine. `None` disables
     /// quarantine (devices stay in rotation however sick).
     pub quarantine: Option<QuarantineConfig>,
+    /// Fail closed on audit failure: when the audit retry also fails (or
+    /// errors), return [`AlignError::IntegrityViolation`] instead of
+    /// silently recomputing on the software baseline. Lets strict
+    /// pipelines surface corruption as a distinct, typed failure.
+    pub integrity_fail_closed: bool,
 }
 
 impl Default for ExecutorConfig {
@@ -297,6 +302,7 @@ impl Default for ExecutorConfig {
             audit: None,
             hedge: None,
             quarantine: None,
+            integrity_fail_closed: false,
         }
     }
 }
@@ -701,9 +707,9 @@ impl BatchExecutor {
 
 /// Per-pair metadata flowing from workers to the collector.
 #[derive(Debug, Clone, Copy)]
-struct PairMeta {
-    route: Route,
-    faulted: bool,
+pub(crate) struct PairMeta {
+    pub(crate) route: Route,
+    pub(crate) faulted: bool,
 }
 
 enum WorkerMsg {
@@ -736,7 +742,7 @@ fn attempt_on_device(
 }
 
 /// One attempt on the worker-local software baseline under `token`.
-fn attempt_on_software(
+pub(crate) fn attempt_on_software(
     sw: &mut SmxDevice,
     q: &Sequence,
     r: &Sequence,
@@ -765,7 +771,7 @@ fn remaining_token(
 /// attempt under `min(deadline, hedge trigger)`, the hedge backup, the
 /// audit retry-then-recompute ladder, and the health feedback — in that
 /// order. Whatever path wins, the alignment content is byte-identical.
-fn run_pair(
+pub(crate) fn run_pair(
     pool: &DevicePool,
     sw: &mut SmxDevice,
     index: usize,
@@ -868,12 +874,21 @@ fn audit_recovery(
     let (retry, retry_faulted) =
         attempt_on_device(pool, id, q, r, remaining_token(batch_token, cfg.deadline, start));
     ev.faulted |= retry_faulted;
-    if let Ok(a) = retry {
-        ev.audits += 1;
-        match pool.audit(id, &a, q, r) {
-            Ok(()) => return Ok(a),
-            Err(_) => ev.integrity += 1,
+    match retry {
+        Ok(a) => {
+            ev.audits += 1;
+            match pool.audit(id, &a, q, r) {
+                Ok(()) => return Ok(a),
+                Err(e) => {
+                    ev.integrity += 1;
+                    if cfg.integrity_fail_closed {
+                        return Err(e);
+                    }
+                }
+            }
         }
+        Err(e) if cfg.integrity_fail_closed => return Err(e),
+        Err(_) => {}
     }
     ev.recomputed = true;
     attempt_on_software(sw, q, r, remaining_token(batch_token, cfg.deadline, start))
@@ -1607,5 +1622,103 @@ mod tests {
             "round-robin spreads evenly: {:?}",
             s.per_device
         );
+    }
+
+    /// A half-open probe in flight and a queue shed against a full queue
+    /// are independent events: the shed neither consumes the probe slot
+    /// nor feeds the breaker, and the clean probe still closes it. The
+    /// interleaving is pinned step by step with [`Gate`], not left to
+    /// the scheduler.
+    #[test]
+    fn half_open_probe_races_queue_shed_deterministically() {
+        use crate::testkit::Gate;
+        let mut breaker = Breaker::new(BreakerConfig {
+            window: 4,
+            min_samples: 2,
+            threshold: 0.5,
+            cooldown_pairs: 1,
+            probes: 1,
+        });
+        // Trip the breaker with two faulted device pairs, then burn the
+        // one-pair cooldown so the next route is the half-open probe.
+        for _ in 0..2 {
+            assert_eq!(breaker.route(), Route::Device);
+            breaker.record(Route::Device, true);
+        }
+        assert_eq!(breaker.state(), BreakerState::Open);
+        assert_eq!(breaker.route(), Route::Software);
+
+        let queue = JobQueue::new(1);
+        let gate = Gate::new();
+        let breaker = Mutex::new(breaker);
+        std::thread::scope(|scope| {
+            let worker = scope.spawn(|| {
+                gate.wait_for(1); // the queue is full
+                let index = queue.pop().expect("job 0 is queued");
+                assert_eq!(index, 0);
+                let route = breaker.lock().unwrap().route();
+                assert_eq!(route, Route::Probe, "cooldown expired: this pair is the probe");
+                gate.arrive(2); // probe in flight
+                gate.wait_for(3); // ...while the submitter sheds
+                breaker.lock().unwrap().record(route, false);
+                gate.arrive(4);
+            });
+            assert!(queue.try_push(0));
+            gate.arrive(1);
+            gate.wait_for(2);
+            // The probe is in flight. Refill the freed seat, then shed
+            // against the full queue while the breaker is mid-probe.
+            assert!(queue.try_push(1));
+            assert!(!queue.try_push(2), "the full queue sheds while the probe is in flight");
+            assert_eq!(breaker.lock().unwrap().state(), BreakerState::HalfOpen);
+            gate.arrive(3);
+            gate.wait_for(4);
+            worker.join().unwrap();
+        });
+        // The shed fed nothing into the breaker; the clean probe verdict
+        // alone decided, and it closed.
+        let breaker = breaker.into_inner().unwrap();
+        assert_eq!(breaker.state(), BreakerState::Closed);
+        assert_eq!(
+            breaker.transitions(),
+            BreakerTransitions { opened: 1, half_opened: 1, closed: 1 }
+        );
+    }
+
+    /// When the hedge backup *also* exceeds the real deadline, the pair
+    /// fails typed (`DeadlineExceeded`), the launch is counted, and no
+    /// hedge win is claimed.
+    #[test]
+    fn hedge_backup_exceeding_deadline_fails_typed_with_no_win() {
+        let config = AlignmentConfig::DnaGap;
+        let batch = pairs(config, 3, 2000);
+        let dev = SmxDevice::new(config, 2).unwrap();
+        let exec = BatchExecutor::new(
+            dev,
+            ExecutorConfig {
+                jobs: 1,
+                // A zero hedge trigger forces the primary to hand over
+                // immediately; 2 ms cannot cover a 2000x2000 DP block on
+                // the backup either.
+                deadline: Some(Duration::from_millis(2)),
+                hedge: Some(HedgeConfig {
+                    trigger: crate::pool::HedgeTrigger::After(Duration::ZERO),
+                }),
+                ..ExecutorConfig::default()
+            },
+        )
+        .unwrap();
+        let report = exec.run(&batch);
+        let s = &report.stats;
+        assert_eq!(s.hedges_launched, 3, "every primary hit the trigger");
+        assert_eq!(s.hedges_won, 0, "an expired backup is not a win");
+        assert_eq!(s.deadline_exceeded, 3);
+        assert_eq!(s.completed, 0);
+        for (i, outcome) in report.outcomes.iter().enumerate() {
+            assert!(
+                matches!(outcome, PairOutcome::Failed(AlignError::DeadlineExceeded { .. })),
+                "pair {i}: expected a typed deadline failure, got {outcome:?}"
+            );
+        }
     }
 }

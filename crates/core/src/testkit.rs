@@ -8,9 +8,59 @@
 //! asserted — the unit tests, the proptest harnesses, and the
 //! `integrity_storm` bench all call the same code.
 
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
 use smx_align_core::Alignment;
 
 use crate::service::{PairOutcome, ServiceBatchReport};
+
+/// A monotone rendezvous counter for deterministic cross-thread
+/// interleavings in tests: threads [`Gate::arrive`] at numbered steps
+/// and [`Gate::wait_for`] the steps of others, turning a racy schedule
+/// into an explicit happens-before chain.
+///
+/// Waits are bounded (10 s) so a wrong schedule fails the test with a
+/// panic naming the step it was stuck on instead of hanging CI.
+#[derive(Debug, Default)]
+pub struct Gate {
+    step: Mutex<u64>,
+    advanced: Condvar,
+}
+
+impl Gate {
+    /// A gate at step 0.
+    #[must_use]
+    pub fn new() -> Gate {
+        Gate::default()
+    }
+
+    /// Marks `step` reached (steps are monotone: arriving at a lower
+    /// step than the current one is a no-op) and wakes all waiters.
+    pub fn arrive(&self, step: u64) {
+        let mut cur = self.step.lock().expect("gate lock poisoned");
+        if step > *cur {
+            *cur = step;
+        }
+        drop(cur);
+        self.advanced.notify_all();
+    }
+
+    /// Blocks until some thread has arrived at `step` (or beyond).
+    ///
+    /// # Panics
+    ///
+    /// After 10 seconds — a deadlocked schedule is a test bug.
+    pub fn wait_for(&self, step: u64) {
+        let deadline = Duration::from_secs(10);
+        let guard = self.step.lock().expect("gate lock poisoned");
+        let (guard, timeout) = self
+            .advanced
+            .wait_timeout_while(guard, deadline, |cur| *cur < step)
+            .expect("gate lock poisoned");
+        assert!(!timeout.timed_out(), "gate stuck waiting for step {step} (at {})", *guard);
+    }
+}
 
 /// The alignment for pair `index`, or a panic that names the pair and
 /// dumps the report's failure summary.

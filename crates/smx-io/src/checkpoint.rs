@@ -30,7 +30,7 @@
 
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
-use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
 use smx_align_core::{Alignment, Cigar};
@@ -154,6 +154,11 @@ pub struct Manifest {
     pub completed: HashMap<usize, Alignment>,
     /// Whether a torn final line was discarded.
     pub torn_tail: bool,
+    /// Byte offset where the torn final line starts — the truncation
+    /// point a resume will cut back to. `None` when nothing was torn.
+    /// Callers resuming over a tear should log this offset so the
+    /// discarded record is visible in the run's record, not silent.
+    pub torn_offset: Option<u64>,
 }
 
 impl Manifest {
@@ -165,27 +170,46 @@ impl Manifest {
     /// line that is not the final one; I/O errors pass through. A torn
     /// final line is tolerated and flagged in [`Manifest::torn_tail`].
     pub fn parse<R: Read>(reader: R) -> Result<Manifest, IoError> {
-        let lines: Vec<String> = BufReader::new(reader).lines().collect::<Result<_, _>>()?;
+        let mut bytes = Vec::new();
+        BufReader::new(reader).read_to_end(&mut bytes)?;
+        // Line starts by byte offset, so a torn tail can be reported as
+        // the exact truncation point a resume will cut back to.
+        let mut starts: Vec<usize> = vec![0];
+        starts.extend(bytes.iter().enumerate().filter(|&(_, &b)| b == b'\n').map(|(at, _)| at + 1));
         let mut manifest = Manifest::default();
-        let last = lines.len();
-        for (lineno, line) in lines.iter().enumerate() {
-            if line.is_empty() {
-                continue;
-            }
-            match parse_line(line) {
-                Ok((index, alignment)) => {
-                    manifest.completed.insert(index, alignment);
-                }
+        let last = starts.len();
+        for (lineno, &start) in starts.iter().enumerate() {
+            let rest = &bytes[start..];
+            let end = rest.iter().position(|&b| b == b'\n').unwrap_or(rest.len());
+            let line = std::str::from_utf8(&rest[..end])
+                .map(|l| l.strip_suffix('\r').unwrap_or(l))
+                .map_err(|_| "line is not valid UTF-8".to_string());
+            match line {
+                Ok("") => continue,
+                Ok(line) => match parse_line(line) {
+                    Ok((index, alignment)) => {
+                        manifest.completed.insert(index, alignment);
+                        continue;
+                    }
+                    Err(message) if lineno + 1 == last => {
+                        // The crash tore the line being written;
+                        // everything before it is intact, so resume from
+                        // there — recording where the tear starts.
+                        let _ = message;
+                    }
+                    Err(message) => {
+                        return Err(IoError::Parse { line: lineno + 1, message });
+                    }
+                },
                 Err(message) if lineno + 1 == last => {
-                    // The crash tore the line being written; everything
-                    // before it is intact, so resume from there.
                     let _ = message;
-                    manifest.torn_tail = true;
                 }
                 Err(message) => {
                     return Err(IoError::Parse { line: lineno + 1, message });
                 }
             }
+            manifest.torn_tail = true;
+            manifest.torn_offset = Some(start as u64);
         }
         Ok(manifest)
     }
@@ -367,6 +391,38 @@ mod tests {
             assert_eq!(m.completed[&9], aln(4, "4="), "cut {cut}");
             assert!(m.completed.len() > whole, "cut {cut}");
         }
+    }
+
+    /// A torn tail is reported with the byte offset where the torn
+    /// record starts — exactly the offset `append` truncates back to —
+    /// so resume flows can log what was discarded instead of silently
+    /// dropping it.
+    #[test]
+    fn torn_tail_reports_its_byte_offset() {
+        let entries = vec![(0, aln(5, "5=")), (1, aln(7, "3=2X"))];
+        let buf = manifest_bytes(&entries);
+        let line2_start = buf.iter().position(|&b| b == b'\n').unwrap() as u64 + 1;
+        // Cut anywhere strictly inside the second record: the tear's
+        // reported offset is always the start of that record.
+        for cut in (line2_start as usize + 1)..buf.len() - 1 {
+            let m = Manifest::parse(&buf[..cut]).unwrap();
+            assert!(m.torn_tail, "cut {cut}");
+            assert_eq!(m.torn_offset, Some(line2_start), "cut {cut}");
+            assert_eq!(m.completed.len(), 1, "cut {cut}");
+        }
+        // An intact manifest reports no tear and no offset.
+        let m = Manifest::parse(&buf[..]).unwrap();
+        assert!(!m.torn_tail);
+        assert_eq!(m.torn_offset, None);
+        // The offset is the point `append` truncates to.
+        let dir = std::env::temp_dir().join("smx-checkpoint-offset");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("manifest.tsv");
+        std::fs::write(&path, &buf[..buf.len() - 3]).unwrap();
+        let m = Manifest::load(&path).unwrap();
+        assert_eq!(m.torn_offset, Some(line2_start));
+        drop(CheckpointWriter::append(&path).unwrap());
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), line2_start);
     }
 
     #[test]
