@@ -656,6 +656,9 @@ mod sig {
 
     /// Installs the drain handler for SIGTERM and SIGINT.
     pub fn install() {
+        // SAFETY: signal(2) with a valid signum and a handler that only
+        // touches an AtomicBool (async-signal-safe); the extern declaration
+        // matches the libc prototype.
         unsafe {
             signal(SIGTERM, on_signal);
             signal(SIGINT, on_signal);

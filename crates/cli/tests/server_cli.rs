@@ -155,6 +155,8 @@ fn sigterm_drains_gracefully_and_reports_per_tenant_counts() {
         other => panic!("expected RESULT 0, got {other:?}"),
     }
 
+    // SAFETY: kill(2) with the child's real pid and a standard signal;
+    // no memory is touched.
     let rc = unsafe { kill(proc_.child.id() as i32, SIGTERM) };
     assert_eq!(rc, 0, "kill(SIGTERM) failed");
 

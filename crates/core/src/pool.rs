@@ -277,10 +277,12 @@ impl PoolHealth {
         let n = self.slots.len();
         for k in 0..n {
             let id = (self.rr + k) % n;
+            // LINT: allow(panic) id = (rr + k) % slots.len() is always in bounds
             if self.slots[id].quarantined {
                 continue;
             }
             self.rr = (id + 1) % n;
+            // LINT: allow(panic) id = (rr + k) % slots.len() is always in bounds
             let route = match &mut self.slots[id].breaker {
                 Some(b) => b.route(),
                 None => Route::Device,
@@ -303,6 +305,7 @@ impl PoolHealth {
             return;
         }
         let q = self.quarantine;
+        // LINT: allow(panic) id comes from Dispatch::Device, produced by dispatch() from slots indices
         let slot = &mut self.slots[id];
         slot.stats.pairs += 1;
         if ev.faulted {
@@ -358,6 +361,7 @@ impl PoolHealth {
             None => return,
         };
         let breaker_cfg = self.breaker_cfg;
+        // LINT: allow(panic) id comes from claim_canary's enumerate over slots
         let slot = &mut self.slots[id];
         if !passed {
             slot.stats.canary_failures += 1;
@@ -382,6 +386,7 @@ impl PoolHealth {
         if self.latencies.len() < LATENCY_WINDOW {
             self.latencies.push(latency);
         } else {
+            // LINT: allow(panic) lat_next < LATENCY_WINDOW == latencies.len() once the window is full
             self.latencies[self.lat_next] = latency;
             self.lat_next = (self.lat_next + 1) % LATENCY_WINDOW;
         }
@@ -398,6 +403,7 @@ impl PoolHealth {
                 let mut sorted = self.latencies.clone();
                 sorted.sort_unstable();
                 let idx = (sorted.len() * 95 / 100).min(sorted.len() - 1);
+                // LINT: allow(panic) idx = min(len*95/100, len-1) and len >= 1 is checked above
                 Some(sorted[idx].mul_f64(multiplier))
             }
         }
@@ -534,14 +540,62 @@ impl DevicePool {
         })
     }
 
-    /// The routing/health state machine (one lock for all of it).
-    pub(crate) fn health(&self) -> std::sync::MutexGuard<'_, PoolHealth> {
-        self.health.lock().expect("pool health lock poisoned")
+    /// The routing/health state machine (one lock for all of it), with
+    /// poison surfaced as a typed error: the dispatch path must fail a
+    /// pair typed rather than panic the worker that inherited the
+    /// poison (a panicking worker here would cascade — every other
+    /// worker shares this lock).
+    pub(crate) fn health(&self) -> Result<std::sync::MutexGuard<'_, PoolHealth>, AlignError> {
+        self.health.lock().map_err(|_| AlignError::Internal("pool health lock poisoned".into()))
     }
 
-    /// Exclusive access to device `id`.
-    pub(crate) fn device(&self, id: usize) -> std::sync::MutexGuard<'_, SmxDevice> {
-        self.devices[id].lock().expect("device lock poisoned")
+    /// The health lock for feedback writers (outcome/latency records):
+    /// these must not be lost to poison — the state is per-field counter
+    /// updates, safe to keep using after a holder panicked — so the
+    /// poison flag is stripped instead of propagated.
+    fn health_feedback(&self) -> std::sync::MutexGuard<'_, PoolHealth> {
+        self.health.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Exclusive access to device `id`, typed: an out-of-range id or a
+    /// poisoned device mutex (a worker panicked mid-alignment on that
+    /// device) is an internal error on this pair, never a panic.
+    pub(crate) fn device(
+        &self,
+        id: usize,
+    ) -> Result<std::sync::MutexGuard<'_, SmxDevice>, AlignError> {
+        self.devices
+            .get(id)
+            .ok_or_else(|| AlignError::Internal(format!("device id {id} out of range")))?
+            .lock()
+            .map_err(|_| AlignError::Internal(format!("device {id} lock poisoned")))
+    }
+
+    /// One routing decision, with the health guard confined to this
+    /// call. Callers must NOT hold the returned guard across the pair —
+    /// this wrapper exists because a `match pool.health().dispatch()`
+    /// scrutinee would keep the pool-wide health lock alive through
+    /// every match arm (Rust's temporary-lifetime rule), serializing
+    /// all workers behind one pair's DP.
+    pub(crate) fn dispatch_pair(&self) -> Result<Dispatch, AlignError> {
+        Ok(self.health()?.dispatch())
+    }
+
+    /// Feeds one pair's outcome back into breaker/health/quarantine.
+    pub(crate) fn record_outcome(&self, id: usize, route: Route, ev: OutcomeEvents) {
+        self.health_feedback().record(id, route, ev);
+    }
+
+    /// Records one successful primary completion latency.
+    pub(crate) fn record_latency(&self, latency: Duration) {
+        self.health_feedback().record_latency(latency);
+    }
+
+    /// The current hedge budget, if armed (`None` also when the health
+    /// state is unreadable — a missing hedge is strictly less wrong
+    /// than a panicked worker).
+    pub(crate) fn hedge_threshold(&self, cfg: &HedgeConfig) -> Option<Duration> {
+        self.health().ok()?.hedge_threshold(cfg)
     }
 
     /// Audits one device-produced alignment on the host, in two phases:
@@ -616,11 +670,12 @@ impl DevicePool {
             // NB: claim under its own statement so the health guard is
             // dropped before the probe runs (a `while let` scrutinee
             // guard would live across the body and self-deadlock).
-            let due = self.health().claim_canary();
+            let due = self.health_feedback().claim_canary();
             let Some((id, rotation)) = due else { return };
+            // LINT: allow(panic) index is reduced mod canaries.len(), and canaries is non-empty by construction
             let canary = &self.canaries[(rotation as usize) % self.canaries.len()];
             let passed = self.run_canary(id, canary);
-            self.health().record_canary(id, passed);
+            self.health_feedback().record_canary(id, passed);
         }
     }
 
@@ -628,7 +683,9 @@ impl DevicePool {
     /// injected fault (detectable or silent) and reproduce the golden
     /// answer byte-identically.
     fn run_canary(&self, id: usize, canary: &Canary) -> bool {
-        let mut dev = self.device(id);
+        // An unreachable device (poisoned by a panicked worker) cannot
+        // pass a probe; it simply stays quarantined.
+        let Ok(mut dev) = self.device(id) else { return false };
         let before = dev.recovery_stats();
         let result = dev.align(&canary.query, &canary.reference);
         let after = dev.recovery_stats();
@@ -647,17 +704,20 @@ impl DevicePool {
     ) -> (Vec<DeviceStats>, PoolCounters, smx_coproc::faults::RecoveryStats) {
         let mut recovery = smx_coproc::faults::RecoveryStats::default();
         for dev in &self.devices {
-            recovery.merge(&dev.lock().expect("device lock poisoned").recovery_stats());
+            // Teardown is read-only over the counters; poison left by a
+            // panicked worker must not hide the stats of the others.
+            let dev = dev.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            recovery.merge(&dev.recovery_stats());
         }
         let (stats, counters) =
-            self.health.into_inner().expect("pool health lock poisoned").finish();
+            self.health.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner).finish();
         (stats, counters, recovery)
     }
 
     /// Live per-device stats and pool counters without consuming the
     /// pool (recovery stats are left to [`DevicePool::finish`]).
     pub(crate) fn snapshot(&self) -> (Vec<DeviceStats>, PoolCounters) {
-        self.health().snapshot()
+        self.health_feedback().snapshot()
     }
 }
 

@@ -194,6 +194,18 @@ enum WriterMsg {
     Bye,
 }
 
+/// Re-locks a mutex whose critical sections only mutate self-contained
+/// counter/registry state (queue depths, stats counters, tenant tables,
+/// join-handle lists). A panicking holder cannot leave these in a state
+/// worth failing other connections over — every update is a single
+/// field write or push — so poison is stripped rather than propagated.
+/// The session store is deliberately NOT accessed through this helper:
+/// its poison is handled as a typed connection teardown (see
+/// [`Shared::sessions`]).
+fn relock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 /// Three-class strict-priority bounded queue. Admission never blocks —
 /// a full queue is a typed reject, so backpressure is always visible to
 /// the client instead of stalling its connection.
@@ -223,11 +235,12 @@ impl ServerQueue {
     }
 
     fn try_push(&self, job: Job) -> Result<(), Job> {
-        let mut inner = self.inner.lock().expect("queue lock poisoned");
+        let mut inner = relock(&self.inner);
         if inner.len >= self.cap {
             return Err(job);
         }
         let class = job.priority.class();
+        // LINT: allow(panic) Priority::class() returns 0..3 and classes has exactly 3 entries
         inner.classes[class].push_back(job);
         inner.len += 1;
         inner.max_depth = inner.max_depth.max(inner.len);
@@ -239,7 +252,7 @@ impl ServerQueue {
     /// Highest-priority job, waiting for work. `None` once the server is
     /// draining with an empty queue, or crashed (queue abandoned).
     fn pop(&self, state: &AtomicU8) -> Option<Job> {
-        let mut inner = self.inner.lock().expect("queue lock poisoned");
+        let mut inner = relock(&self.inner);
         loop {
             if state.load(Ordering::SeqCst) == STATE_CRASHED {
                 return None;
@@ -254,17 +267,17 @@ impl ServerQueue {
             let (guard, _) = self
                 .ready
                 .wait_timeout(inner, Duration::from_millis(50))
-                .expect("queue lock poisoned");
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             inner = guard;
         }
     }
 
     fn depth(&self) -> usize {
-        self.inner.lock().expect("queue lock poisoned").len
+        relock(&self.inner).len
     }
 
     fn max_depth(&self) -> usize {
-        self.inner.lock().expect("queue lock poisoned").max_depth
+        relock(&self.inner).max_depth
     }
 
     fn wake_all(&self) {
@@ -313,7 +326,7 @@ impl Shared {
     /// rung of the degradation ladder the service is standing on.
     fn stats_text(&self) -> String {
         use std::fmt::Write as _;
-        let c = *self.counters.lock().expect("counters lock poisoned");
+        let c = *relock(&self.counters);
         let state = match self.state() {
             STATE_RUNNING => "running",
             STATE_DRAINING => "draining",
@@ -359,7 +372,7 @@ impl Shared {
         for (id, d) in devices.iter().enumerate() {
             let _ = writeln!(s, "device {id}: {}", device_line(d));
         }
-        for (name, t) in self.tenants.lock().expect("tenant lock poisoned").sorted() {
+        for (name, t) in relock(&self.tenants).sorted() {
             let _ =
                 writeln!(s, "tenant {name}: priority={} {}", t.priority, tenant_line(&t.counters));
         }
@@ -367,13 +380,25 @@ impl Shared {
     }
 
     fn bump<F: FnOnce(&mut ServerCounters)>(&self, f: F) {
-        f(&mut self.counters.lock().expect("counters lock poisoned"));
+        f(&mut relock(&self.counters));
     }
 
     fn tenant_bump<F: FnOnce(&mut TenantCounters)>(&self, tenant: &str, f: F) {
-        if let Some(c) = self.tenants.lock().expect("tenant lock poisoned").counters_mut(tenant) {
+        if let Some(c) = relock(&self.tenants).counters_mut(tenant) {
             f(c);
         }
+    }
+
+    /// The session store, with poison surfaced as a typed error.
+    ///
+    /// Unlike the counter/registry locks (see [`relock`]), the session
+    /// store backs the crash-consistency guarantee: a holder that
+    /// panicked mid-`open`/`release` may have left an `active` entry or
+    /// a manifest writer half-registered, and silently recovering could
+    /// hand two connections the same session manifest. Callers turn
+    /// this error into an `ERR` frame and tear the connection down.
+    fn sessions(&self) -> Result<std::sync::MutexGuard<'_, SessionStore>, AlignError> {
+        self.sessions.lock().map_err(|_| AlignError::Internal("session store lock poisoned".into()))
     }
 }
 
@@ -512,15 +537,12 @@ impl ServerHandle {
     pub fn drain(mut self) -> DrainReport {
         self.wind_down(STATE_DRAINING);
         let shared = &self.shared;
-        let per_tenant = shared
-            .tenants
-            .lock()
-            .expect("tenant lock poisoned")
+        let per_tenant = relock(&shared.tenants)
             .sorted()
             .into_iter()
             .map(|(name, t)| (name.to_string(), t.counters))
             .collect();
-        let mut totals = *shared.counters.lock().expect("counters lock poisoned");
+        let mut totals = *relock(&shared.counters);
         totals.max_queue_depth = shared.queue.max_depth();
         DrainReport { per_tenant, totals }
     }
@@ -547,9 +569,8 @@ impl ServerHandle {
         // Connection threads exit on their own once they observe the
         // state flip (bounded by their read/recv timeouts).
         loop {
-            let handles: Vec<JoinHandle<()>> = std::mem::take(
-                &mut *self.shared.conn_threads.lock().expect("conn threads lock poisoned"),
-            );
+            let handles: Vec<JoinHandle<()>> =
+                std::mem::take(&mut *relock(&self.shared.conn_threads));
             if handles.is_empty() {
                 break;
             }
@@ -579,7 +600,7 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
                     conn_loop(stream, &shared2);
                     shared2.conns.fetch_sub(1, Ordering::SeqCst);
                 });
-                shared.conn_threads.lock().expect("conn threads lock poisoned").push(handle);
+                relock(&shared.conn_threads).push(handle);
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(5));
@@ -751,25 +772,33 @@ fn conn_loop(stream: TcpStream, shared: &Arc<Shared>) {
             return;
         }
     };
-    let session = {
+    let opened = {
         let mut warn = |offset: u64| {
             eprintln!(
                 "# resume: session {session_id}: discarded a torn final record; \
                  manifest truncated to byte offset {offset}"
             );
         };
-        match shared.sessions.lock().expect("session lock poisoned").open(&session_id, &mut warn) {
-            Ok(s) => s,
-            Err(e) => {
-                let mut w = BufWriter::new(write_half);
-                let _ = write_frame(&mut w, &Response::Err(e.to_string()).encode());
-                return;
-            }
+        // The open result is hoisted out of the match so the store
+        // guard dies at this statement — an Err arm that wrote to the
+        // socket while still holding the lock would stall every other
+        // connection's open/release behind one slow client.
+        shared
+            .sessions()
+            .map_err(|e| e.to_string())
+            .and_then(|mut s| s.open(&session_id, &mut warn).map_err(|e| e.to_string()))
+    };
+    let session = match opened {
+        Ok(s) => s,
+        Err(detail) => {
+            let mut w = BufWriter::new(write_half);
+            let _ = write_frame(&mut w, &Response::Err(detail).encode());
+            return;
         }
     };
     let resume_ids: std::collections::HashSet<usize> = session.completed.keys().copied().collect();
     let resumed_count = resume_ids.len() as u64;
-    shared.tenants.lock().expect("tenant lock poisoned").entry(&tenant, priority);
+    relock(&shared.tenants).entry(&tenant, priority);
 
     let outstanding = Arc::new(AtomicUsize::new(0));
     let (tx, rx) = mpsc::channel::<WriterMsg>();
@@ -812,7 +841,9 @@ fn conn_loop(stream: TcpStream, shared: &Arc<Shared>) {
                         // Crashed: vanish without a goodbye.
                         drop(tx);
                         let _ = writer.join();
-                        shared.sessions.lock().expect("session lock poisoned").release(&session_id);
+                        if let Ok(mut s) = shared.sessions() {
+                            s.release(&session_id);
+                        }
                         return;
                     }
                 }
@@ -856,7 +887,11 @@ fn conn_loop(stream: TcpStream, shared: &Arc<Shared>) {
     let _ = tx.send(WriterMsg::Bye);
     drop(tx);
     let _ = writer.join();
-    shared.sessions.lock().expect("session lock poisoned").release(&session_id);
+    // A poisoned store here has nothing left worth tearing down — the
+    // connection is already ending; just skip the release.
+    if let Ok(mut s) = shared.sessions() {
+        s.release(&session_id);
+    }
 }
 
 /// The admission ladder, in order: drain, replay, rate limit, slow-reader
@@ -896,7 +931,7 @@ fn admit(
         return;
     }
     let wait = {
-        let mut tenants = shared.tenants.lock().expect("tenant lock poisoned");
+        let mut tenants = relock(&shared.tenants);
         tenants.entry(tenant, priority).bucket.try_take(Instant::now())
     };
     if let Err(wait) = wait {

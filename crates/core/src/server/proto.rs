@@ -85,6 +85,7 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<String>, ProtoError> {
     let mut len = [0u8; 4];
     match r.read(&mut len) {
         Ok(0) => return Ok(None),
+        // LINT: allow(panic) n <= 4 because read() filled at most the 4-byte buffer
         Ok(n) => r.read_exact(&mut len[n..])?,
         Err(e) => return Err(ProtoError::Io(e)),
     }

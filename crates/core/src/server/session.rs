@@ -126,6 +126,7 @@ impl SessionStore {
         if !self.active.insert(session.to_string()) {
             return Err(SessionError::Busy);
         }
+        // LINT: allow(panic) the in-memory early return above guarantees dir is Some here
         let path = self.manifest_path(session).expect("durable store has a dir");
         let resume = self.resume || self.seen.contains(session);
         self.seen.insert(session.to_string());

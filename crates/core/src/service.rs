@@ -585,6 +585,7 @@ impl BatchExecutor {
                     }
                     let outcomes = outcomes
                         .into_iter()
+                        // LINT: allow(panic) the shed loop above fills every remaining None slot
                         .map(|o| o.expect("every pair has an outcome"))
                         .collect();
                     return ServiceBatchReport { outcomes, stats };
@@ -652,6 +653,7 @@ impl BatchExecutor {
                 let mut pairs_seen = 0usize;
                 let mut workers_done = 0usize;
                 while pairs_seen < dispatched || workers_done < self.cfg.jobs {
+                    // LINT: allow(panic) workers_done < jobs means at least one worker still holds a sender
                     match rx.recv().expect("workers outlive the channel") {
                         WorkerMsg::Pair { index, result, meta } => {
                             pairs_seen += 1;
@@ -691,6 +693,7 @@ impl BatchExecutor {
         stats.breaker = per_device.first().and_then(|d| d.breaker);
         stats.per_device = per_device;
         let outcomes =
+            // LINT: allow(panic) every dispatched index received a Pair message or was marked Shed above
             outcomes.into_iter().map(|o| o.expect("every pair has an outcome")).collect();
         ServiceBatchReport { outcomes, stats }
     }
@@ -730,9 +733,17 @@ fn attempt_on_device(
     r: &Sequence,
     token: CancelToken,
 ) -> (Result<Alignment, AlignError>, bool) {
-    let mut dev = pool.device(id);
+    let mut dev = match pool.device(id) {
+        Ok(dev) => dev,
+        // The device mutex is poisoned (another worker panicked inside
+        // align): fail this pair typed. Not a fault — breaking the
+        // breaker on a poisoned lock would misread a process-level bug
+        // as device sickness.
+        Err(e) => return (Err(e), false),
+    };
     dev.set_cancel_token(Some(token));
     let before = dev.recovery_stats();
+    // LINT: allow(lock-order) the device guard must stay held across its own DP by design: the mutex IS the device's execution slot
     let result = dev.align(q, r);
     let after = dev.recovery_stats();
     dev.set_cancel_token(None);
@@ -783,7 +794,16 @@ pub(crate) fn run_pair(
     // Quarantined devices are re-probed opportunistically by whichever
     // worker passes by next, so requalification needs no extra thread.
     pool.run_due_canaries();
-    let (id, route) = match pool.health().dispatch() {
+    // `dispatch_pair` confines the health guard to the pool call. The
+    // previous `match pool.health().dispatch()` kept the pool-wide
+    // health lock alive through every arm below (scrutinee temporaries
+    // live to the end of the match) — including the Software arm's
+    // full baseline DP, serializing every other worker behind it.
+    let dispatch = match pool.dispatch_pair() {
+        Ok(d) => d,
+        Err(e) => return (Err(e), PairMeta { route: Route::Software, faulted: false }),
+    };
+    let (id, route) = match dispatch {
         Dispatch::Device { id, route } => (id, route),
         Dispatch::Software => {
             // The whole pool is quarantined: serve from the baseline.
@@ -800,7 +820,7 @@ pub(crate) fn run_pair(
     }
 
     let start = Instant::now();
-    let hedge_after = cfg.hedge.as_ref().and_then(|h| pool.health().hedge_threshold(h));
+    let hedge_after = cfg.hedge.as_ref().and_then(|h| pool.hedge_threshold(h));
     // The hedge trigger is implemented by capping the primary attempt's
     // token budget: a primary that would run past the trigger cancels
     // itself at the next tile boundary, and the backup takes over with
@@ -837,7 +857,7 @@ pub(crate) fn run_pair(
             result = backup;
         }
     } else if result.is_ok() {
-        pool.health().record_latency(start.elapsed());
+        pool.record_latency(start.elapsed());
     }
 
     if cfg.audit.as_ref().is_some_and(|a| a.samples(index)) {
@@ -852,7 +872,7 @@ pub(crate) fn run_pair(
         }
     }
 
-    pool.health().record(id, route, ev);
+    pool.record_outcome(id, route, ev);
     (result, PairMeta { route, faulted: ev.faulted })
 }
 

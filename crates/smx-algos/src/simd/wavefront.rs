@@ -109,6 +109,9 @@ impl SubScore for Table<'_> {
 /// (all `< 1024`, the table length), and fetch in one `vpgatherdd`.
 #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
 #[target_feature(enable = "avx2")]
+// SAFETY: callers must verify AVX2 via is_x86_feature_detected!. Every
+// gather offset is `(a & 31) << 5 | (b & 31)` and therefore < 1024, the
+// exact length of `flat`, so the full-mask vpgatherdd stays in bounds.
 unsafe fn fill_gather(flat: &[i32; 1024], qs: &[u8], rs: &[u8], sv: &mut [i32]) {
     #[cfg(target_arch = "x86")]
     use std::arch::x86::*;
@@ -211,6 +214,9 @@ fn dispatch<S: SubScore>(
 
 #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
 #[target_feature(enable = "avx2")]
+// SAFETY: callers must verify AVX2 via is_x86_feature_detected! before
+// dispatching here; the body itself is safe code that the attribute
+// merely recompiles with AVX2 codegen enabled.
 unsafe fn run_avx2<S: SubScore>(
     query: &[u8],
     ws: &mut SimdWorkspace,

@@ -1,0 +1,174 @@
+//! Grandfathered-findings baseline.
+//!
+//! The baseline file pins known, accepted findings so the build goes
+//! red only on *new* violations. Keys are robust to line-number drift:
+//!
+//! ```text
+//! <pass>:<rel-path>:<fnv1a64 of trimmed line text>:<occurrence-index>
+//! ```
+//!
+//! The occurrence index disambiguates identical lines in one file.
+//! The baseline is shrink-only: if a key no longer matches any current
+//! finding the entry is *stale* and the run fails, forcing the entry
+//! to be deleted (never silently kept as cover for a future finding).
+
+use crate::report::Finding;
+use std::collections::BTreeMap;
+
+/// FNV-1a 64-bit hash of a byte string. Stable, dependency-free.
+pub fn fnv1a64(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Computes baseline keys for a finding list, assigning occurrence
+/// indices in order of appearance.
+pub fn keys_for(findings: &[Finding]) -> Vec<String> {
+    let mut seen: BTreeMap<String, u32> = BTreeMap::new();
+    findings
+        .iter()
+        .map(|f| {
+            let base = format!("{}:{}:{:016x}", f.pass, f.file, fnv1a64(f.line_text.trim()));
+            let n = seen.entry(base.clone()).or_insert(0);
+            let key = format!("{}:{}", base, n);
+            *n += 1;
+            key
+        })
+        .collect()
+}
+
+/// Parsed baseline file: keys plus their original line numbers (for
+/// stale-entry error messages).
+pub struct Baseline {
+    /// key → file line number in the baseline file.
+    pub entries: BTreeMap<String, usize>,
+}
+
+impl Baseline {
+    /// Parses baseline text. Lines are `key  # comment` or blank.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut entries = BTreeMap::new();
+        for (n, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            // Minimal shape check: pass:path:hash:index with a
+            // 16-hex-digit hash and numeric index.
+            let parts: Vec<&str> = line.rsplitn(3, ':').collect();
+            if parts.len() != 3
+                || parts[0].parse::<u32>().is_err()
+                || parts[1].len() != 16
+                || !parts[1].chars().all(|c| c.is_ascii_hexdigit())
+            {
+                return Err(format!("baseline line {}: malformed key `{}`", n + 1, line));
+            }
+            if entries.insert(line.to_string(), n + 1).is_some() {
+                return Err(format!("baseline line {}: duplicate key `{}`", n + 1, line));
+            }
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// Splits findings into (new, baselined) and reports stale keys.
+    pub fn apply(&self, findings: Vec<Finding>) -> Split {
+        let keys = keys_for(&findings);
+        let mut new_findings = Vec::new();
+        let mut baselined = Vec::new();
+        let mut matched: std::collections::BTreeSet<&str> = std::collections::BTreeSet::new();
+        for (f, key) in findings.into_iter().zip(keys.iter()) {
+            if let Some((k, _)) = self.entries.get_key_value(key) {
+                matched.insert(k.as_str());
+                baselined.push(f);
+            } else {
+                new_findings.push(f);
+            }
+        }
+        let stale =
+            self.entries.keys().filter(|k| !matched.contains(k.as_str())).cloned().collect();
+        Split { new_findings, baselined, stale }
+    }
+}
+
+/// Result of matching findings against the baseline.
+pub struct Split {
+    /// Findings with no baseline entry — these fail the build.
+    pub new_findings: Vec<Finding>,
+    /// Grandfathered findings (reported, not fatal).
+    pub baselined: Vec<Finding>,
+    /// Baseline keys matching no current finding — shrink-only
+    /// violation, also fails the build.
+    pub stale: Vec<String>,
+}
+
+/// Renders a baseline file for the given findings (used by
+/// `--write-baseline`). One key per line with a locating comment.
+pub fn render(findings: &[Finding]) -> String {
+    let mut s = String::from(
+        "# smx-lint baseline — grandfathered findings. Shrink-only: delete\n\
+         # entries as the underlying code is fixed; never add new ones.\n\
+         # Key: <pass>:<file>:<fnv1a64(trimmed line)>:<occurrence>\n",
+    );
+    for (f, key) in findings.iter().zip(keys_for(findings)) {
+        s.push_str(&format!("{}  # line {}: {}\n", key, f.line, f.message));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(pass: &str, file: &str, line: u32, text: &str) -> Finding {
+        Finding {
+            pass: pass.into(),
+            file: file.into(),
+            line,
+            message: "m".into(),
+            line_text: text.into(),
+        }
+    }
+
+    #[test]
+    fn round_trip_and_line_shift_stability() {
+        let f = vec![finding("panic", "a.rs", 10, "x.unwrap();")];
+        let text = render(&f);
+        let b = Baseline::parse(&text).unwrap();
+        // Same line text at a different line number still matches.
+        let shifted = vec![finding("panic", "a.rs", 99, "x.unwrap();")];
+        let split = b.apply(shifted);
+        assert!(split.new_findings.is_empty());
+        assert_eq!(split.baselined.len(), 1);
+        assert!(split.stale.is_empty());
+    }
+
+    #[test]
+    fn stale_entries_are_reported() {
+        let f = vec![finding("panic", "a.rs", 10, "x.unwrap();")];
+        let b = Baseline::parse(&render(&f)).unwrap();
+        let split = b.apply(Vec::new());
+        assert_eq!(split.stale.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_lines_get_distinct_occurrence_indices() {
+        let fs = vec![
+            finding("panic", "a.rs", 1, "x.unwrap();"),
+            finding("panic", "a.rs", 2, "x.unwrap();"),
+        ];
+        let keys = keys_for(&fs);
+        assert_ne!(keys[0], keys[1]);
+        let b = Baseline::parse(&render(&fs)).unwrap();
+        let split = b.apply(fs);
+        assert!(split.new_findings.is_empty() && split.stale.is_empty());
+    }
+
+    #[test]
+    fn malformed_baseline_is_an_error() {
+        assert!(Baseline::parse("not-a-key\n").is_err());
+    }
+}

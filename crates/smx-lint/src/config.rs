@@ -1,0 +1,209 @@
+//! `lint.toml` configuration: lock hierarchy, zone paths, and the
+//! hand-rolled TOML-subset parser that reads it (no registry deps).
+//!
+//! Supported TOML subset: `[section]` / `[section.sub]` headers,
+//! `key = "string"`, `key = true/false`, `key = 123`, and string
+//! arrays which may span multiple lines. `#` comments. That is all
+//! this project needs; anything else is a parse error.
+
+use std::collections::BTreeMap;
+
+/// Parsed lint configuration.
+#[derive(Debug, Default)]
+pub struct Config {
+    /// Workspace-relative path prefixes excluded from walking.
+    pub exclude: Vec<String>,
+    /// Lock names, outermost first. Acquiring a lock while holding one
+    /// that appears *later* in this list is an inversion.
+    pub lock_hierarchy: Vec<String>,
+    /// Method/function names declared blocking: holding any lock
+    /// across a call to one of these is flagged.
+    pub blocking: Vec<String>,
+    /// Helper methods that return a guard: method name → lock name.
+    pub acquire_methods: BTreeMap<String, String>,
+    /// Panic-freedom zone: path prefixes where `unwrap`/`expect`/
+    /// `panic!`/`todo!` are denied.
+    pub panic_paths: Vec<String>,
+    /// Subset of the panic zone where slice indexing is also denied.
+    pub index_paths: Vec<String>,
+    /// Determinism zone: path prefixes where wall-clock, sleeps, and
+    /// `HashMap`/`HashSet` are denied.
+    pub determinism_paths: Vec<String>,
+    /// Kernel-arithmetic zone path prefixes.
+    pub arith_paths: Vec<String>,
+    /// Identifiers treated as score-typed in the arith zone.
+    pub score_idents: Vec<String>,
+}
+
+impl Config {
+    /// Whether `rel` (workspace-relative, `/`-separated) falls under
+    /// any of the given path prefixes.
+    pub fn in_zone(rel: &str, prefixes: &[String]) -> bool {
+        prefixes.iter().any(|p| rel.starts_with(p.as_str()))
+    }
+
+    /// Rank of a lock in the hierarchy (lower = outer). `None` for
+    /// locks not in the declared hierarchy — those are unranked and
+    /// never flagged for order (but still for blocking calls).
+    pub fn lock_rank(&self, name: &str) -> Option<usize> {
+        self.lock_hierarchy.iter().position(|l| l == name)
+    }
+
+    /// Parses the config text. Errors carry the offending line.
+    pub fn parse(text: &str) -> Result<Config, String> {
+        let mut cfg = Config::default();
+        let mut section = String::new();
+        let mut lines = text.lines().enumerate().peekable();
+        while let Some((n, raw)) = lines.next() {
+            let line = strip_comment(raw).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(h) = line.strip_prefix('[') {
+                let Some(h) = h.strip_suffix(']') else {
+                    return Err(format!("line {}: unterminated section header", n + 1));
+                };
+                section = h.trim().to_string();
+                continue;
+            }
+            let Some(eq) = line.find('=') else {
+                return Err(format!("line {}: expected `key = value`", n + 1));
+            };
+            let key = line[..eq].trim().to_string();
+            let mut value = line[eq + 1..].trim().to_string();
+            // Multiline array: keep consuming lines until brackets close.
+            if value.starts_with('[') {
+                while !array_closed(&value) {
+                    let Some((_, next)) = lines.next() else {
+                        return Err(format!("line {}: unterminated array", n + 1));
+                    };
+                    value.push(' ');
+                    value.push_str(strip_comment(next).trim());
+                }
+            }
+            cfg.set(&section, &key, &value).map_err(|e| format!("line {}: {}", n + 1, e))?;
+        }
+        Ok(cfg)
+    }
+
+    fn set(&mut self, section: &str, key: &str, value: &str) -> Result<(), String> {
+        match (section, key) {
+            ("workspace", "exclude") => self.exclude = parse_string_array(value)?,
+            ("locks", "hierarchy") => self.lock_hierarchy = parse_string_array(value)?,
+            ("locks", "blocking") => self.blocking = parse_string_array(value)?,
+            ("locks.acquire_methods", method) => {
+                self.acquire_methods.insert(method.to_string(), parse_string(value)?);
+            }
+            ("panic_freedom", "paths") => self.panic_paths = parse_string_array(value)?,
+            ("panic_freedom", "index_paths") => self.index_paths = parse_string_array(value)?,
+            ("determinism", "paths") => self.determinism_paths = parse_string_array(value)?,
+            ("arith", "paths") => self.arith_paths = parse_string_array(value)?,
+            ("arith", "score_idents") => self.score_idents = parse_string_array(value)?,
+            _ => return Err(format!("unknown key `{}` in section `[{}]`", key, section)),
+        }
+        Ok(())
+    }
+}
+
+/// Strips a `#` comment, respecting `#` inside double quotes.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Whether a (possibly partial) array literal has balanced brackets.
+fn array_closed(s: &str) -> bool {
+    let mut depth = 0i32;
+    let mut in_str = false;
+    for c in s.chars() {
+        match c {
+            '"' => in_str = !in_str,
+            '[' if !in_str => depth += 1,
+            ']' if !in_str => depth -= 1,
+            _ => {}
+        }
+    }
+    depth == 0
+}
+
+fn parse_string(v: &str) -> Result<String, String> {
+    let v = v.trim();
+    let inner = v
+        .strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .ok_or_else(|| format!("expected a quoted string, got `{}`", v))?;
+    Ok(inner.to_string())
+}
+
+fn parse_string_array(v: &str) -> Result<Vec<String>, String> {
+    let v = v.trim();
+    let inner = v
+        .strip_prefix('[')
+        .and_then(|s| s.strip_suffix(']'))
+        .ok_or_else(|| format!("expected an array, got `{}`", v))?;
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut in_str = false;
+    for c in inner.chars() {
+        match c {
+            '"' => {
+                if in_str {
+                    out.push(std::mem::take(&mut cur));
+                }
+                in_str = !in_str;
+            }
+            ',' if !in_str => {}
+            _ if in_str => cur.push(c),
+            _ if c.is_whitespace() => {}
+            _ => return Err(format!("unexpected `{}` in array", c)),
+        }
+    }
+    if in_str {
+        return Err("unterminated string in array".to_string());
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sections_arrays_and_maps() {
+        let cfg = Config::parse(
+            r#"
+# comment
+[workspace]
+exclude = ["a/b", "c"]
+
+[locks]
+hierarchy = [
+    "outer",  # outermost
+    "inner",
+]
+blocking = ["sleep"]
+
+[locks.acquire_methods]
+health = "health"
+"#,
+        )
+        .unwrap();
+        assert_eq!(cfg.exclude, vec!["a/b", "c"]);
+        assert_eq!(cfg.lock_hierarchy, vec!["outer", "inner"]);
+        assert_eq!(cfg.acquire_methods.get("health").unwrap(), "health");
+        assert_eq!(cfg.lock_rank("outer"), Some(0));
+        assert_eq!(cfg.lock_rank("nope"), None);
+    }
+
+    #[test]
+    fn rejects_unknown_keys() {
+        assert!(Config::parse("[locks]\nbogus = 1\n").is_err());
+    }
+}

@@ -1,0 +1,420 @@
+//! A small hand-written Rust lexer with line/column tracking.
+//!
+//! The passes in this crate reason about *token streams*, never raw
+//! text, so the lexer must get exactly the adversarial cases right that
+//! naive regex scanning gets wrong:
+//!
+//! * nested block comments (`/* /* */ */` is one comment);
+//! * raw strings (`r#"x.unwrap()"#` is a string literal, not a call);
+//! * `'a` lifetimes vs `'x'` char literals (a tick followed by an
+//!   identifier is a lifetime unless a closing tick follows);
+//! * `//` inside string literals (`"http://x"` stays one token);
+//! * doc comments (`///`, `//!`, `/** */`, `/*! */`) distinguished from
+//!   plain comments, and `////…` correctly *not* a doc comment.
+//!
+//! The lexer is total: malformed input never panics, it just terminates
+//! the current token at end of input. Positions are 1-based.
+
+/// Kind of one lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`foo`, `fn`, `unsafe`).
+    Ident,
+    /// Raw identifier (`r#type`).
+    RawIdent,
+    /// Lifetime (`'a`, `'static`, `'_`).
+    Lifetime,
+    /// Char or byte-char literal (`'x'`, `b'\n'`).
+    CharLit,
+    /// String literal (`"…"`).
+    StrLit,
+    /// Byte-string literal (`b"…"`).
+    ByteStrLit,
+    /// Raw (byte) string literal (`r"…"`, `r#"…"#`, `br#"…"#`).
+    RawStrLit,
+    /// Numeric literal (`42`, `0xFF`, `1.5e-3`, `1_000u64`).
+    NumLit,
+    /// `// …` comment (non-doc).
+    LineComment,
+    /// `/* … */` comment (non-doc; nesting handled).
+    BlockComment,
+    /// Doc comment of any shape (`///`, `//!`, `/** */`, `/*! */`).
+    DocComment,
+    /// Punctuation / operator, longest-match (`+=`, `::`, `..=`, `{`).
+    Punct,
+}
+
+/// One token with its source position (1-based line and column).
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokKind,
+    /// Verbatim source text (comments and literals keep their markers).
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based column of the token's first character.
+    pub col: u32,
+}
+
+impl Token {
+    /// Whether this token is any comment kind.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment | TokKind::DocComment)
+    }
+
+    /// 1-based line of the token's *last* character (block comments span).
+    pub fn end_line(&self) -> u32 {
+        self.line + self.text.chars().filter(|&c| c == '\n').count() as u32
+    }
+}
+
+/// Multi-character operators, longest first so matching is greedy.
+const PUNCTS: [&str; 25] = [
+    "<<=", ">>=", "..=", "...", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "+=", "-=",
+    "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>", "..", "?",
+];
+
+/// Lexes `src` into tokens. Never fails; unterminated constructs are
+/// closed at end of input.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer { chars: src.chars().collect(), i: 0, line: 1, col: 1, out: Vec::new() }.run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+    col: u32,
+    out: Vec<Token>,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).copied()
+    }
+
+    fn bump(&mut self, buf: &mut String) {
+        if let Some(c) = self.chars.get(self.i).copied() {
+            buf.push(c);
+            self.i += 1;
+            if c == '\n' {
+                self.line += 1;
+                self.col = 1;
+            } else {
+                self.col += 1;
+            }
+        }
+    }
+
+    fn skip(&mut self) {
+        let mut sink = String::new();
+        self.bump(&mut sink);
+    }
+
+    fn emit(&mut self, kind: TokKind, text: String, line: u32, col: u32) {
+        self.out.push(Token { kind, text, line, col });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            let (line, col) = (self.line, self.col);
+            if c.is_whitespace() {
+                self.skip();
+            } else if c == '/' && self.peek(1) == Some('/') {
+                self.line_comment(line, col);
+            } else if c == '/' && self.peek(1) == Some('*') {
+                self.block_comment(line, col);
+            } else if c == 'r' && self.raw_string_follows(1) {
+                self.raw_string(line, col, 1);
+            } else if c == 'r' && self.peek(1) == Some('#') && ident_start(self.peek(2)) {
+                self.raw_ident(line, col);
+            } else if c == 'b' && self.peek(1) == Some('r') && self.raw_string_follows(2) {
+                self.raw_string(line, col, 2);
+            } else if c == 'b' && self.peek(1) == Some('"') {
+                self.string(line, col, 1, TokKind::StrLit);
+            } else if c == 'b' && self.peek(1) == Some('\'') {
+                self.char_or_lifetime(line, col, 1);
+            } else if is_ident_start(c) {
+                self.ident(line, col);
+            } else if c.is_ascii_digit() {
+                self.number(line, col);
+            } else if c == '"' {
+                self.string(line, col, 0, TokKind::StrLit);
+            } else if c == '\'' {
+                self.char_or_lifetime(line, col, 0);
+            } else {
+                self.punct(line, col);
+            }
+        }
+        self.out
+    }
+
+    /// Whether a raw string opener (`#`* then `"`) starts `ahead` chars in.
+    fn raw_string_follows(&self, ahead: usize) -> bool {
+        let mut k = ahead;
+        while self.peek(k) == Some('#') {
+            k += 1;
+        }
+        self.peek(k) == Some('"')
+    }
+
+    fn line_comment(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            self.bump(&mut text);
+        }
+        // `///x` and `//!x` are doc comments; `////…` is not.
+        let doc = (text.starts_with("///") && !text.starts_with("////")) || text.starts_with("//!");
+        let kind = if doc { TokKind::DocComment } else { TokKind::LineComment };
+        self.emit(kind, text, line, col);
+    }
+
+    fn block_comment(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        self.bump(&mut text); // '/'
+        self.bump(&mut text); // '*'
+        let mut depth = 1usize;
+        while depth > 0 && self.peek(0).is_some() {
+            if self.peek(0) == Some('/') && self.peek(1) == Some('*') {
+                depth += 1;
+                self.bump(&mut text);
+                self.bump(&mut text);
+            } else if self.peek(0) == Some('*') && self.peek(1) == Some('/') {
+                depth -= 1;
+                self.bump(&mut text);
+                self.bump(&mut text);
+            } else {
+                self.bump(&mut text);
+            }
+        }
+        // `/**/` and `/***/` are not doc comments; `/**x` and `/*!` are.
+        let doc = (text.starts_with("/**") && text.len() > 4 && !text.starts_with("/***"))
+            || text.starts_with("/*!");
+        let kind = if doc { TokKind::DocComment } else { TokKind::BlockComment };
+        self.emit(kind, text, line, col);
+    }
+
+    /// Raw (byte) string: `prefix_len` covers the `r` / `br` prefix.
+    fn raw_string(&mut self, line: u32, col: u32, prefix_len: usize) {
+        let mut text = String::new();
+        for _ in 0..prefix_len {
+            self.bump(&mut text);
+        }
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            self.bump(&mut text);
+        }
+        self.bump(&mut text); // opening '"'
+        loop {
+            match self.peek(0) {
+                None => break,
+                Some('"') => {
+                    // Candidate close: '"' followed by `hashes` '#'s.
+                    let closes = (0..hashes).all(|k| self.peek(1 + k) == Some('#'));
+                    self.bump(&mut text);
+                    if closes {
+                        for _ in 0..hashes {
+                            self.bump(&mut text);
+                        }
+                        break;
+                    }
+                }
+                Some(_) => self.bump(&mut text),
+            }
+        }
+        self.emit(TokKind::RawStrLit, text, line, col);
+    }
+
+    fn raw_ident(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        self.bump(&mut text); // 'r'
+        self.bump(&mut text); // '#'
+        while ident_continue(self.peek(0)) {
+            self.bump(&mut text);
+        }
+        self.emit(TokKind::RawIdent, text, line, col);
+    }
+
+    fn ident(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        while ident_continue(self.peek(0)) {
+            self.bump(&mut text);
+        }
+        self.emit(TokKind::Ident, text, line, col);
+    }
+
+    fn number(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        self.bump(&mut text);
+        loop {
+            match self.peek(0) {
+                Some(c) if c.is_ascii_alphanumeric() || c == '_' => {
+                    self.bump(&mut text);
+                    // Exponent sign: `1e-3`, `2.5E+7`.
+                    if (c == 'e' || c == 'E')
+                        && !text.starts_with("0x")
+                        && matches!(self.peek(0), Some('+') | Some('-'))
+                        && self.peek(1).is_some_and(|d| d.is_ascii_digit())
+                    {
+                        self.bump(&mut text);
+                    }
+                }
+                // A fractional point, but never the `..` of a range.
+                Some('.')
+                    if self.peek(1).is_some_and(|d| d.is_ascii_digit()) && !text.contains('.') =>
+                {
+                    self.bump(&mut text);
+                }
+                _ => break,
+            }
+        }
+        self.emit(TokKind::NumLit, text, line, col);
+    }
+
+    /// Cooked (byte) string with escape handling.
+    fn string(&mut self, line: u32, col: u32, prefix_len: usize, kind: TokKind) {
+        let mut text = String::new();
+        for _ in 0..prefix_len {
+            self.bump(&mut text);
+        }
+        self.bump(&mut text); // opening '"'
+        loop {
+            match self.peek(0) {
+                None => break,
+                Some('\\') => {
+                    self.bump(&mut text);
+                    self.bump(&mut text);
+                }
+                Some('"') => {
+                    self.bump(&mut text);
+                    break;
+                }
+                Some(_) => self.bump(&mut text),
+            }
+        }
+        let kind = if prefix_len == 1 { TokKind::ByteStrLit } else { kind };
+        self.emit(kind, text, line, col);
+    }
+
+    /// The tick disambiguation: `'a` lifetime vs `'x'` char literal.
+    fn char_or_lifetime(&mut self, line: u32, col: u32, prefix_len: usize) {
+        let mut text = String::new();
+        for _ in 0..prefix_len {
+            self.bump(&mut text); // 'b'
+        }
+        self.bump(&mut text); // opening tick
+        match self.peek(0) {
+            Some('\\') => {
+                // Escaped char literal: consume escape, then to the close.
+                self.bump(&mut text);
+                self.bump(&mut text);
+                while self.peek(0).is_some() && self.peek(0) != Some('\'') {
+                    self.bump(&mut text);
+                }
+                self.bump(&mut text);
+                self.emit(TokKind::CharLit, text, line, col);
+            }
+            Some(c) if is_ident_start(c) => {
+                // Could be `'a` (lifetime) or `'a'` / `'word'`-ish (char).
+                let mut k = 0usize;
+                while ident_continue(self.peek(k)) {
+                    k += 1;
+                }
+                if self.peek(k) == Some('\'') {
+                    for _ in 0..=k {
+                        self.bump(&mut text);
+                    }
+                    self.emit(TokKind::CharLit, text, line, col);
+                } else {
+                    while ident_continue(self.peek(0)) {
+                        self.bump(&mut text);
+                    }
+                    self.emit(TokKind::Lifetime, text, line, col);
+                }
+            }
+            Some(_) => {
+                // `'1'`, `'.'`, `' '` and friends.
+                self.bump(&mut text);
+                if self.peek(0) == Some('\'') {
+                    self.bump(&mut text);
+                }
+                self.emit(TokKind::CharLit, text, line, col);
+            }
+            None => self.emit(TokKind::CharLit, text, line, col),
+        }
+    }
+
+    fn punct(&mut self, line: u32, col: u32) {
+        for p in PUNCTS {
+            if self
+                .chars
+                .get(self.i..self.i + p.len())
+                .is_some_and(|w| w.iter().collect::<String>() == p)
+            {
+                let mut text = String::new();
+                for _ in 0..p.len() {
+                    self.bump(&mut text);
+                }
+                self.emit(TokKind::Punct, text, line, col);
+                return;
+            }
+        }
+        let mut text = String::new();
+        self.bump(&mut text);
+        self.emit(TokKind::Punct, text, line, col);
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn ident_start(c: Option<char>) -> bool {
+    c.is_some_and(is_ident_start)
+}
+
+fn ident_continue(c: Option<char>) -> bool {
+    c.is_some_and(|c| c.is_alphanumeric() || c == '_')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let toks = kinds("fn f(x: i32) -> i32 { x += 1; x }");
+        assert!(toks.contains(&(TokKind::Punct, "->".into())));
+        assert!(toks.contains(&(TokKind::Punct, "+=".into())));
+        assert!(toks.contains(&(TokKind::Ident, "fn".into())));
+    }
+
+    #[test]
+    fn positions_are_one_based_and_track_lines() {
+        let toks = lex("a\n  bb");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn range_is_not_a_float() {
+        let toks = kinds("0..5");
+        assert_eq!(
+            toks,
+            vec![
+                (TokKind::NumLit, "0".into()),
+                (TokKind::Punct, "..".into()),
+                (TokKind::NumLit, "5".into()),
+            ]
+        );
+    }
+}

@@ -1,0 +1,106 @@
+//! smx-lint: workspace invariant checker.
+//!
+//! Five passes clippy cannot express, tuned to this codebase's failure
+//! modes (DESIGN.md §10): lock-order discipline, panic-freedom zones,
+//! unsafe SAFETY audit, determinism zones, and kernel arithmetic
+//! discipline. Fully self-contained — the lexer, TOML-subset config
+//! parser, JSON writer, and baseline engine are all in-tree, matching
+//! the workspace's no-registry-deps rule.
+
+pub mod baseline;
+pub mod config;
+pub mod lexer;
+pub mod passes;
+pub mod report;
+pub mod source;
+
+use config::Config;
+use report::Finding;
+use source::SourceFile;
+use std::path::{Path, PathBuf};
+
+/// Result of linting a set of files (before baseline matching).
+pub struct LintRun {
+    /// Number of `.rs` files analyzed.
+    pub files_checked: usize,
+    /// Findings surviving test-region and annotation suppression,
+    /// sorted by (file, line, pass) for deterministic output.
+    pub findings: Vec<Finding>,
+    /// All non-test unsafe sites: `(file, line, documented)`.
+    pub unsafe_inventory: Vec<(String, u32, bool)>,
+}
+
+/// Collects every workspace `.rs` file under `root`, skipping
+/// `target/`, hidden directories, and configured excludes. Sorted for
+/// deterministic traversal.
+pub fn walk_workspace(root: &Path, cfg: &Config) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    walk_dir(root, root, cfg, &mut out)?;
+    out.sort();
+    Ok(out)
+}
+
+fn walk_dir(root: &Path, dir: &Path, cfg: &Config, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if name.starts_with('.') || name == "target" {
+            continue;
+        }
+        let rel = path.strip_prefix(root).unwrap_or(&path).to_string_lossy().replace('\\', "/");
+        if cfg.exclude.iter().any(|e| rel.starts_with(e.as_str())) {
+            continue;
+        }
+        let ty = entry.file_type()?;
+        if ty.is_dir() {
+            walk_dir(root, &path, cfg, out)?;
+        } else if ty.is_file() && name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lints the given files against `cfg`.
+pub fn run_files(root: &Path, cfg: &Config, files: &[PathBuf]) -> std::io::Result<LintRun> {
+    let mut findings = Vec::new();
+    let mut unsafe_inventory = Vec::new();
+    let all_passes = passes::all();
+    for path in files {
+        let sf = SourceFile::load(root, path)?;
+        for p in &all_passes {
+            p.run(&sf, cfg, &mut findings);
+        }
+        unsafe_inventory.extend(passes::unsafe_audit::inventory(&sf));
+    }
+    findings.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.pass.as_str()).cmp(&(b.file.as_str(), b.line, b.pass.as_str()))
+    });
+    unsafe_inventory.sort();
+    Ok(LintRun { files_checked: files.len(), findings, unsafe_inventory })
+}
+
+/// Lints the whole workspace rooted at `root`.
+pub fn run_workspace(root: &Path, cfg: &Config) -> std::io::Result<LintRun> {
+    let files = walk_workspace(root, cfg)?;
+    run_files(root, cfg, &files)
+}
+
+/// Finds the workspace root by walking up from `start` looking for
+/// `lint.toml` (falls back to a `Cargo.toml` containing `[workspace]`).
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        if d.join("lint.toml").is_file() {
+            return Some(d);
+        }
+        if let Ok(t) = std::fs::read_to_string(d.join("Cargo.toml")) {
+            if t.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(|p| p.to_path_buf());
+    }
+    None
+}

@@ -1,0 +1,170 @@
+//! CLI for the workspace invariant checker.
+//!
+//! ```text
+//! cargo run -p smx-lint -- --workspace [--json out.json]
+//! cargo run -p smx-lint -- --workspace --write-baseline
+//! cargo run -p smx-lint -- --workspace --check-baseline
+//! ```
+//!
+//! Exit codes: 0 clean (or fully baselined), 1 new findings,
+//! 2 stale baseline entries (shrink-only violation), 3 config/IO error.
+
+use smx_lint::baseline::{self, Baseline};
+use smx_lint::config::Config;
+use smx_lint::report;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    workspace: bool,
+    json: Option<PathBuf>,
+    root: Option<PathBuf>,
+    config: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    write_baseline: bool,
+    check_baseline: bool,
+    files: Vec<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        workspace: false,
+        json: None,
+        root: None,
+        config: None,
+        baseline: None,
+        write_baseline: false,
+        check_baseline: false,
+        files: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--workspace" => args.workspace = true,
+            "--json" => args.json = Some(take(&mut it, "--json")?),
+            "--root" => args.root = Some(take(&mut it, "--root")?),
+            "--config" => args.config = Some(take(&mut it, "--config")?),
+            "--baseline" => args.baseline = Some(take(&mut it, "--baseline")?),
+            "--write-baseline" => args.write_baseline = true,
+            "--check-baseline" => args.check_baseline = true,
+            "--help" | "-h" => {
+                println!(
+                    "smx-lint: workspace invariant checker\n\n\
+                     usage: smx-lint --workspace [--json FILE] [--root DIR] [--config FILE]\n\
+                     \u{20}      smx-lint [FILES...]              lint specific files\n\
+                     \u{20}      --baseline FILE                  baseline path (default lint-baseline.txt)\n\
+                     \u{20}      --write-baseline                 regenerate the baseline from current findings\n\
+                     \u{20}      --check-baseline                 verify the baseline parses and has no stale entries"
+                );
+                std::process::exit(0);
+            }
+            f if !f.starts_with('-') => args.files.push(PathBuf::from(f)),
+            other => return Err(format!("unknown flag `{}`", other)),
+        }
+    }
+    if !args.workspace && args.files.is_empty() {
+        return Err("nothing to lint: pass --workspace or file paths (see --help)".to_string());
+    }
+    Ok(args)
+}
+
+fn take(it: &mut impl Iterator<Item = String>, flag: &str) -> Result<PathBuf, String> {
+    it.next().map(PathBuf::from).ok_or_else(|| format!("{} requires a value", flag))
+}
+
+fn main() -> ExitCode {
+    match real_main() {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("smx-lint: error: {}", e);
+            ExitCode::from(3)
+        }
+    }
+}
+
+fn real_main() -> Result<ExitCode, String> {
+    let args = parse_args()?;
+    let cwd = std::env::current_dir().map_err(|e| e.to_string())?;
+    let root = match &args.root {
+        Some(r) => r.clone(),
+        None => smx_lint::find_root(&cwd).ok_or("could not locate workspace root (lint.toml)")?,
+    };
+    let config_path = args.config.clone().unwrap_or_else(|| root.join("lint.toml"));
+    let config_text = std::fs::read_to_string(&config_path)
+        .map_err(|e| format!("{}: {}", config_path.display(), e))?;
+    let cfg =
+        Config::parse(&config_text).map_err(|e| format!("{}: {}", config_path.display(), e))?;
+
+    let run = if args.workspace {
+        smx_lint::run_workspace(&root, &cfg)
+    } else {
+        smx_lint::run_files(&root, &cfg, &args.files)
+    }
+    .map_err(|e| e.to_string())?;
+
+    let baseline_path = args.baseline.clone().unwrap_or_else(|| root.join("lint-baseline.txt"));
+
+    if args.write_baseline {
+        std::fs::write(&baseline_path, baseline::render(&run.findings))
+            .map_err(|e| format!("{}: {}", baseline_path.display(), e))?;
+        println!(
+            "smx-lint: wrote {} grandfathered finding(s) to {}",
+            run.findings.len(),
+            baseline_path.display()
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => {
+            Baseline::parse(&text).map_err(|e| format!("{}: {}", baseline_path.display(), e))?
+        }
+        Err(_) => Baseline::parse("").map_err(|e| e.to_string())?,
+    };
+    let split = baseline.apply(run.findings);
+
+    if let Some(json_path) = &args.json {
+        let json = report::to_json(
+            &split.new_findings,
+            &split.baselined,
+            &run.unsafe_inventory,
+            run.files_checked,
+        );
+        std::fs::write(json_path, json).map_err(|e| format!("{}: {}", json_path.display(), e))?;
+    }
+
+    for f in &split.new_findings {
+        println!("{}", f.render());
+    }
+    for key in &split.stale {
+        eprintln!(
+            "smx-lint: stale baseline entry `{}` — the finding is gone; delete the line \
+             (baseline is shrink-only)",
+            key
+        );
+    }
+    let undocumented = run.unsafe_inventory.iter().filter(|(_, _, d)| !d).count();
+    println!(
+        "smx-lint: {} file(s), {} new finding(s), {} baselined, {} stale baseline entr(y/ies), \
+         {} unsafe site(s) ({} undocumented)",
+        run.files_checked,
+        split.new_findings.len(),
+        split.baselined.len(),
+        split.stale.len(),
+        run.unsafe_inventory.len(),
+        undocumented,
+    );
+
+    if args.check_baseline {
+        // Baseline self-check: parse already succeeded; fail only on
+        // stale entries so the file can never grow cover for the future.
+        return Ok(if split.stale.is_empty() { ExitCode::SUCCESS } else { ExitCode::from(2) });
+    }
+    if !split.stale.is_empty() {
+        return Ok(ExitCode::from(2));
+    }
+    if !split.new_findings.is_empty() {
+        return Ok(ExitCode::from(1));
+    }
+    Ok(ExitCode::SUCCESS)
+}

@@ -1,0 +1,64 @@
+//! Kernel arithmetic discipline.
+//!
+//! In the DP/SIMD kernel files (`[arith] paths`), score values must
+//! use `saturating_*` / `wrapping_*` arithmetic — a bare `+`/`-`/`*`
+//! on a score-typed operand is exactly the overflow class PR 6
+//! hardened against. An identifier is score-typed when it appears in
+//! `[arith] score_idents`.
+//!
+//! Only *binary* uses are flagged: the operator must sit between two
+//! operand-shaped tokens, so unary minus (`-score` after `=`) and
+//! deref (`*score`) are not matched.
+
+use crate::config::Config;
+use crate::lexer::TokKind;
+use crate::passes::{emit, is_keyword, Pass};
+use crate::report::Finding;
+use crate::source::SourceFile;
+
+pub struct Arith;
+
+impl Pass for Arith {
+    fn name(&self) -> &'static str {
+        "arith"
+    }
+
+    fn run(&self, file: &SourceFile, cfg: &Config, out: &mut Vec<Finding>) {
+        if !Config::in_zone(&file.rel, &cfg.arith_paths) {
+            return;
+        }
+        let toks = &file.tokens;
+        for i in 0..toks.len() {
+            let t = &toks[i];
+            if t.kind != TokKind::Punct || !matches!(t.text.as_str(), "+" | "-" | "*") {
+                continue;
+            }
+            let Some(prev) = toks.get(i.wrapping_sub(1)) else { continue };
+            let Some(next) = toks.get(i + 1) else { continue };
+            // Binary position: the left neighbor must end an operand.
+            let binary = matches!(prev.kind, TokKind::Ident | TokKind::NumLit)
+                && !is_keyword(&prev.text)
+                || prev.text == "]"
+                || prev.text == ")";
+            if !binary {
+                continue;
+            }
+            let score = |tok: &crate::lexer::Token| {
+                tok.kind == TokKind::Ident && cfg.score_idents.iter().any(|s| s == &tok.text)
+            };
+            if score(prev) || score(next) {
+                let operand = if score(prev) { &prev.text } else { &next.text };
+                emit(
+                    file,
+                    "arith",
+                    t.line,
+                    format!(
+                        "bare `{}` on score-typed `{}` — use saturating_*/wrapping_* or annotate",
+                        t.text, operand
+                    ),
+                    out,
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Determinism zones.
+//!
+//! In files under `[determinism] paths` (the simulator and the
+//! deterministic kernel/audit code), forbids the usual sources of
+//! nondeterminism: wall-clock reads (`Instant::now`,
+//! `SystemTime::now`), `thread::sleep`, and the iteration-order
+//! hazards `HashMap`/`HashSet`. Timing-owning modules (server, bench,
+//! breaker cooldown) simply stay out of the zone paths.
+
+use crate::config::Config;
+use crate::lexer::TokKind;
+use crate::passes::{emit, Pass};
+use crate::report::Finding;
+use crate::source::SourceFile;
+
+pub struct Determinism;
+
+impl Pass for Determinism {
+    fn name(&self) -> &'static str {
+        "determinism"
+    }
+
+    fn run(&self, file: &SourceFile, cfg: &Config, out: &mut Vec<Finding>) {
+        if !Config::in_zone(&file.rel, &cfg.determinism_paths) {
+            return;
+        }
+        let toks = &file.tokens;
+        for i in 0..toks.len() {
+            let t = &toks[i];
+            if t.kind != TokKind::Ident {
+                continue;
+            }
+            let next = toks.get(i + 1).map(|n| n.text.as_str()).unwrap_or("");
+            let next2 = toks.get(i + 2).map(|n| n.text.as_str()).unwrap_or("");
+            match t.text.as_str() {
+                "Instant" | "SystemTime" if next == "::" && next2 == "now" => emit(
+                    file,
+                    "determinism",
+                    t.line,
+                    format!("`{}::now()` in a determinism zone", t.text),
+                    out,
+                ),
+                "sleep"
+                    if next == "("
+                        && toks.get(i.wrapping_sub(1)).map(|p| p.text.as_str()) != Some("fn") =>
+                {
+                    emit(
+                        file,
+                        "determinism",
+                        t.line,
+                        "`sleep` in a determinism zone".to_string(),
+                        out,
+                    )
+                }
+                "HashMap" | "HashSet" => emit(
+                    file,
+                    "determinism",
+                    t.line,
+                    format!(
+                        "`{}` in a determinism zone — iteration order leaks; use BTreeMap/BTreeSet \
+                         or annotate keyed-only access",
+                        t.text
+                    ),
+                    out,
+                ),
+                _ => {}
+            }
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! The five invariant passes. Each pass walks one file's token stream
+//! and emits findings; test regions and `// LINT: allow` annotations
+//! are honored centrally through [`emit`].
+
+pub mod arith;
+pub mod determinism;
+pub mod lock_order;
+pub mod panic_free;
+pub mod unsafe_audit;
+
+use crate::config::Config;
+use crate::report::Finding;
+use crate::source::SourceFile;
+
+/// A lint pass over one file.
+pub trait Pass {
+    /// Name used in reports, annotations, and baseline keys.
+    fn name(&self) -> &'static str;
+    /// Runs the pass, appending findings to `out`.
+    fn run(&self, file: &SourceFile, cfg: &Config, out: &mut Vec<Finding>);
+}
+
+/// All passes, in report order.
+pub fn all() -> Vec<Box<dyn Pass>> {
+    vec![
+        Box::new(lock_order::LockOrder),
+        Box::new(panic_free::PanicFree),
+        Box::new(unsafe_audit::UnsafeAudit),
+        Box::new(determinism::Determinism),
+        Box::new(arith::Arith),
+    ]
+}
+
+/// Emits one finding unless the line is in a test region or carries a
+/// matching allow annotation.
+pub fn emit(file: &SourceFile, pass: &str, line: u32, message: String, out: &mut Vec<Finding>) {
+    if file.in_test(line) || file.allowed(pass, line) {
+        return;
+    }
+    out.push(Finding {
+        pass: pass.to_string(),
+        file: file.rel.clone(),
+        line,
+        message,
+        line_text: file.line_text(line).to_string(),
+    });
+}
+
+/// Keywords that can syntactically precede `[` or `(` without being a
+/// value expression (so `mut [i32; 4]` is not indexing, `match (x)` is
+/// not a call, …).
+pub const KEYWORDS: [&str; 33] = [
+    "as", "box", "break", "const", "continue", "crate", "dyn", "else", "enum", "extern", "fn",
+    "for", "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub", "ref",
+    "return", "static", "struct", "trait", "type", "unsafe", "use", "where", "while", "yield",
+];
+
+/// Whether an identifier token is a Rust keyword (per [`KEYWORDS`]).
+pub fn is_keyword(text: &str) -> bool {
+    KEYWORDS.contains(&text)
+}

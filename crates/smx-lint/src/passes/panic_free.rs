@@ -1,0 +1,79 @@
+//! Panic-freedom zones.
+//!
+//! In files under `[panic_freedom] paths`, forbids the panicking
+//! surface: `.unwrap()`, `.expect(..)`, `panic!`, `todo!`,
+//! `unimplemented!`. In the stricter `index_paths` subset, slice/array
+//! indexing (`x[i]`) is also denied — every index must be annotated
+//! with its bounds argument or rewritten with `get`.
+
+use crate::config::Config;
+use crate::lexer::TokKind;
+use crate::passes::{emit, is_keyword, Pass};
+use crate::report::Finding;
+use crate::source::SourceFile;
+
+pub struct PanicFree;
+
+const MACROS: [&str; 3] = ["panic", "todo", "unimplemented"];
+
+impl Pass for PanicFree {
+    fn name(&self) -> &'static str {
+        "panic"
+    }
+
+    fn run(&self, file: &SourceFile, cfg: &Config, out: &mut Vec<Finding>) {
+        if !Config::in_zone(&file.rel, &cfg.panic_paths) {
+            return;
+        }
+        let index_zone = Config::in_zone(&file.rel, &cfg.index_paths);
+        let toks = &file.tokens;
+        for i in 0..toks.len() {
+            let t = &toks[i];
+            let prev = toks.get(i.wrapping_sub(1));
+            let next = toks.get(i + 1);
+            if t.kind == TokKind::Ident
+                && (t.text == "unwrap" || t.text == "expect")
+                && prev.is_some_and(|p| p.text == ".")
+                && next.is_some_and(|n| n.text == "(")
+            {
+                emit(
+                    file,
+                    "panic",
+                    t.line,
+                    format!(
+                        "`.{}()` in a panic-freedom zone — handle the error or annotate",
+                        t.text
+                    ),
+                    out,
+                );
+            }
+            if t.kind == TokKind::Ident
+                && MACROS.contains(&t.text.as_str())
+                && next.is_some_and(|n| n.text == "!")
+            {
+                emit(file, "panic", t.line, format!("`{}!` in a panic-freedom zone", t.text), out);
+            }
+            // Indexing: `[` in value position — previous token is a
+            // non-keyword identifier, `]`, or `)`. Attribute (`#[`),
+            // macro (`vec![`), type (`&[u8]`), and literal (`= [`)
+            // brackets all fail that test.
+            if index_zone && t.text == "[" {
+                let is_index = prev.is_some_and(|p| {
+                    (p.kind == TokKind::Ident && !is_keyword(&p.text))
+                        || p.text == "]"
+                        || p.text == ")"
+                });
+                if is_index {
+                    emit(
+                        file,
+                        "panic",
+                        t.line,
+                        "slice indexing in a panic-freedom zone — use `get` or annotate the bound"
+                            .to_string(),
+                        out,
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Unsafe audit: every `unsafe` block / fn / impl must be immediately
+//! preceded by a `// SAFETY:` comment stating the bound relied on.
+//! Lines between the comment and the `unsafe` token may only be blank
+//! or further comments. The pass also builds the inventory of all
+//! unsafe sites (documented or not) for the JSON report.
+
+use crate::config::Config;
+use crate::lexer::TokKind;
+use crate::passes::{emit, Pass};
+use crate::report::Finding;
+use crate::source::SourceFile;
+
+pub struct UnsafeAudit;
+
+impl Pass for UnsafeAudit {
+    fn name(&self) -> &'static str {
+        "unsafe"
+    }
+
+    fn run(&self, file: &SourceFile, _cfg: &Config, out: &mut Vec<Finding>) {
+        for (line, documented) in sites(file) {
+            if !documented {
+                emit(
+                    file,
+                    "unsafe",
+                    line,
+                    "`unsafe` without an immediately-preceding `// SAFETY:` comment".to_string(),
+                    out,
+                );
+            }
+        }
+    }
+}
+
+/// All non-test `unsafe` sites in the file: `(line, has SAFETY)`.
+pub fn sites(file: &SourceFile) -> Vec<(u32, bool)> {
+    let mut out = Vec::new();
+    for t in &file.tokens {
+        if t.kind == TokKind::Ident && t.text == "unsafe" && !file.in_test(t.line) {
+            out.push((t.line, has_safety_comment(file, t.line)));
+        }
+    }
+    out
+}
+
+/// Inventory rows for the JSON report: `(file, line, documented)`.
+pub fn inventory(file: &SourceFile) -> Vec<(String, u32, bool)> {
+    sites(file).into_iter().map(|(line, doc)| (file.rel.clone(), line, doc)).collect()
+}
+
+/// Whether a SAFETY comment ends on or directly above `line`, with
+/// only blank/comment lines in between.
+fn has_safety_comment(file: &SourceFile, line: u32) -> bool {
+    let safety_end = file
+        .comments
+        .iter()
+        .filter(|c| {
+            let body = c
+                .text
+                .trim_start_matches('/')
+                .trim_start_matches('*')
+                .trim_start_matches('!')
+                .trim_start();
+            body.starts_with("SAFETY:") && c.end_line() <= line
+        })
+        .map(|c| c.end_line())
+        .max();
+    let Some(end) = safety_end else { return false };
+    // Every line strictly between must be blank or comment-only.
+    (end + 1..line).all(|n| {
+        let t = file.line_text(n);
+        t.is_empty() || t.starts_with("//") || t.starts_with("/*") || t.starts_with('*')
+    })
+}

@@ -1,0 +1,93 @@
+//! Finding model and report rendering (text + hand-rolled JSON).
+
+/// One lint finding. Deny-by-default: every finding fails the build
+/// unless it is annotated in source or grandfathered in the baseline.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Pass that produced it (`lock-order`, `panic`, `unsafe`,
+    /// `determinism`, `arith`).
+    pub pass: String,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable description.
+    pub message: String,
+    /// Trimmed source line text (keys the baseline robustly against
+    /// line-number drift).
+    pub line_text: String,
+}
+
+impl Finding {
+    /// `pass:file:line: message` single-line rendering.
+    pub fn render(&self) -> String {
+        format!("{}: {}:{}: {}", self.pass, self.file, self.line, self.message)
+    }
+}
+
+/// Escapes a string for inclusion in a JSON document.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serializes the full report as pretty-printed JSON. `new_findings`
+/// is the subset not covered by the baseline; `unsafe_sites` is the
+/// unsafe-audit inventory (all sites, including SAFETY-documented).
+pub fn to_json(
+    new_findings: &[Finding],
+    baselined: &[Finding],
+    unsafe_sites: &[(String, u32, bool)],
+    files_checked: usize,
+) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!("  \"files_checked\": {},\n", files_checked));
+    s.push_str(&format!("  \"new_findings\": {},\n", findings_json(new_findings, 2)));
+    s.push_str(&format!("  \"baselined_findings\": {},\n", findings_json(baselined, 2)));
+    s.push_str("  \"unsafe_inventory\": [\n");
+    for (i, (file, line, documented)) in unsafe_sites.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"file\": \"{}\", \"line\": {}, \"safety_comment\": {}}}{}\n",
+            json_escape(file),
+            line,
+            documented,
+            if i + 1 < unsafe_sites.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n");
+    s.push_str("}\n");
+    s
+}
+
+fn findings_json(findings: &[Finding], indent: usize) -> String {
+    if findings.is_empty() {
+        return "[]".to_string();
+    }
+    let pad = " ".repeat(indent);
+    let mut s = String::from("[\n");
+    for (i, f) in findings.iter().enumerate() {
+        s.push_str(&format!(
+            "{}  {{\"pass\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\"}}{}\n",
+            pad,
+            json_escape(&f.pass),
+            json_escape(&f.file),
+            f.line,
+            json_escape(&f.message),
+            if i + 1 < findings.len() { "," } else { "" }
+        ));
+    }
+    s.push_str(&format!("{}]", pad));
+    s
+}

@@ -1,0 +1,9 @@
+// Deliberately-bad fixture: bare arithmetic on score-typed values in
+// a kernel file.
+
+fn kernel(score: i16, best: i16, gap: i16) -> i16 {
+    let up = score + gap; // BAD
+    let diag = best - 1; // BAD
+    let scaled = best * 2; // BAD
+    up.max(diag).max(scaled)
+}

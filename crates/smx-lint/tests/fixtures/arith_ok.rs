@@ -1,0 +1,13 @@
+// Known-good fixture: saturating/wrapping score arithmetic, non-score
+// index math, unary uses, and an annotated exception.
+
+fn kernel(score: i16, best: i16, gap: i16, idx: usize, width: usize) -> i16 {
+    let up = score.saturating_add(gap);
+    let diag = best.wrapping_sub(1);
+    let cell = idx + width * 2; // index math on non-score idents is fine
+    let neg = -score; // unary minus, not binary arithmetic
+    // LINT: allow(arith) bounded by the i8 score profile, proven in dispatch
+    let shifted = score + 1;
+    let _ = (cell, neg);
+    up.max(diag).max(shifted)
+}

@@ -1,0 +1,16 @@
+// Deliberately-bad fixture: nondeterminism in a determinism zone.
+
+use std::collections::HashMap; // BAD
+use std::collections::HashSet; // BAD
+
+fn simulate(steps: u32) -> u32 {
+    let started = std::time::Instant::now(); // BAD
+    let stamp = std::time::SystemTime::now(); // BAD
+    std::thread::sleep(std::time::Duration::from_millis(1)); // BAD
+    let mut seen: HashSet<u32> = HashSet::new(); // BAD (x2)
+    let mut m: HashMap<u32, u32> = HashMap::new(); // BAD (x2)
+    m.insert(steps, steps);
+    seen.insert(steps);
+    let _ = (started, stamp);
+    steps
+}

@@ -1,0 +1,13 @@
+// Known-good fixture: deterministic replacements plus an annotated
+// keyed-only map.
+
+use std::collections::BTreeMap;
+
+fn simulate(clock: u64, steps: u32) -> u64 {
+    let mut m: BTreeMap<u32, u64> = BTreeMap::new();
+    m.insert(steps, clock);
+    // LINT: allow(determinism) keyed access only, never iterated
+    let cache: std::collections::HashMap<u32, u64> = std::collections::HashMap::new();
+    let _ = cache;
+    clock.saturating_add(u64::from(steps))
+}

@@ -1,0 +1,47 @@
+// Known-good fixture: correct lock usage the pass must NOT flag.
+
+use std::sync::{Condvar, Mutex};
+
+struct S {
+    outer: Mutex<u32>,
+    inner: Mutex<u32>,
+    cv: Condvar,
+}
+
+impl S {
+    fn declared_order(&self) {
+        let o = self.outer.lock().unwrap();
+        let i = self.inner.lock().unwrap(); // outer -> inner matches the hierarchy
+        drop(i);
+        drop(o);
+    }
+
+    fn copy_out_is_not_a_guard(&self) {
+        let n = *self.inner.lock().unwrap(); // copies the value; guard dies at the `;`
+        let o = self.outer.lock().unwrap();
+        drop(o);
+        let _ = n;
+    }
+
+    fn drop_releases_early(&self) {
+        let i = self.inner.lock().unwrap();
+        drop(i);
+        let o = self.outer.lock().unwrap(); // inner already dropped
+        drop(o);
+    }
+
+    fn condvar_wait_releases_its_lock(&self) {
+        let mut g = self.inner.lock().unwrap();
+        while *g == 0 {
+            g = self.cv.wait(g).unwrap(); // waiting on the held guard is fine
+        }
+    }
+
+    fn annotated_by_design(&self) {
+        let i = self.inner.lock().unwrap();
+        // LINT: allow(lock-order) device guard must stay held across the DP by design
+        let r = heavy_dp(&i);
+        drop(i);
+        let _ = r;
+    }
+}

@@ -1,0 +1,14 @@
+// Deliberately-bad fixture: panicking surface in a panic-freedom zone.
+
+fn hot_path(v: &[u32], r: Result<u32, ()>) -> u32 {
+    let x = r.unwrap(); // BAD
+    let y = r.expect("always ok"); // BAD
+    let z = v[0]; // BAD: indexing in an index zone
+    if x == 0 {
+        panic!("boom"); // BAD
+    }
+    if y == 0 {
+        todo!(); // BAD
+    }
+    z
+}

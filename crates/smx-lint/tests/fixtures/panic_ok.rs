@@ -1,0 +1,17 @@
+// Known-good fixture: panic-free idioms plus the adversarial cases
+// the lexer must not misread as violations.
+
+fn hot_path(v: &[u32], r: Result<u32, ()>) -> u32 {
+    let x = r.unwrap_or(0); // different method, not `unwrap`
+    let y = v.first().copied().unwrap_or_default();
+    // A raw string *containing* `.unwrap()` is data, not a call:
+    let s = r#"value.unwrap() // and a fake comment"#;
+    // So is a cooked string with an escaped quote and `panic!`:
+    let t = "say \"panic!(now)\" and x[0]";
+    // And a plain comment mentioning v[3].unwrap() changes nothing.
+    // LINT: allow(panic) index bound: caller guarantees v.len() >= 2
+    let z = v[1];
+    let w = v.get(2).copied().unwrap_or(0); // LINT: allow(panic) trailing form unused here
+    let _ = (s, t);
+    x + y + z + w
+}

@@ -1,0 +1,13 @@
+// Deliberately-bad fixture: undocumented unsafe.
+
+fn read_first(p: *const u8) -> u8 {
+    unsafe { *p } // BAD: no SAFETY comment above
+}
+
+unsafe fn no_doc() {} // BAD: unsafe fn without SAFETY
+
+fn stale_comment(p: *const u8) -> u8 {
+    // SAFETY: this comment is not adjacent to the unsafe block.
+    let offset = 0usize;
+    unsafe { *p.add(offset) } // BAD: code intervenes after the comment
+}

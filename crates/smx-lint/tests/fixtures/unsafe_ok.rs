@@ -1,0 +1,24 @@
+// Known-good fixture: every unsafe site carries an adjacent SAFETY
+// comment.
+
+fn read_first(p: *const u8, len: usize) -> u8 {
+    assert!(len > 0);
+    // SAFETY: len > 0 checked above, so `p` points to at least one byte.
+    unsafe { *p }
+}
+
+// SAFETY: caller must pass a pointer valid for `len` bytes; this fn is
+// only reachable from the bounds-checked dispatch wrapper.
+unsafe fn documented(p: *const u8, len: usize) -> u8 {
+    if len == 0 {
+        return 0;
+    }
+    // SAFETY: len != 0 checked in the line above.
+    unsafe { *p }
+}
+
+fn multiline_block_comment(p: *const u8) -> u8 {
+    /* SAFETY: the pointer is produced by `Box::into_raw` two frames up
+       and is never freed before this read. */
+    unsafe { *p }
+}

@@ -1,0 +1,120 @@
+//! Golden tests for the hand-written lexer's adversarial cases — the
+//! exact inputs where a regex-based scanner produces false findings.
+
+use smx_lint::lexer::{lex, TokKind};
+
+fn kinds(src: &str) -> Vec<(TokKind, String)> {
+    lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+}
+
+#[test]
+fn raw_string_containing_unwrap_is_one_literal() {
+    let toks = kinds(r###"let s = r#"value.unwrap() // fake"#;"###);
+    assert_eq!(
+        toks.iter().filter(|(k, _)| *k == TokKind::RawStrLit).count(),
+        1,
+        "raw string must be a single token: {:?}",
+        toks
+    );
+    // No `unwrap` identifier token may leak out of the literal.
+    assert!(
+        !toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "unwrap"),
+        "unwrap leaked out of a raw string: {:?}",
+        toks
+    );
+}
+
+#[test]
+fn raw_string_hash_counts_must_match() {
+    // The `"#` inside does not close an `r##"…"##` literal.
+    let toks = kinds(r####"let s = r##"inner "# still inside"##;"####);
+    let raw: Vec<_> = toks.iter().filter(|(k, _)| *k == TokKind::RawStrLit).collect();
+    assert_eq!(raw.len(), 1);
+    assert!(raw[0].1.contains("still inside"));
+}
+
+#[test]
+fn byte_raw_string_is_lexed() {
+    let toks = kinds(r###"let s = br#"x.lock()"#;"###);
+    assert!(toks.iter().any(|(k, _)| *k == TokKind::RawStrLit));
+    assert!(!toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "lock"));
+}
+
+#[test]
+fn lifetime_vs_char_literal() {
+    let toks = kinds("fn f<'a>(x: &'a str) -> char { 'x' }");
+    assert!(toks.iter().any(|(k, t)| *k == TokKind::Lifetime && t == "'a"));
+    assert!(toks.iter().any(|(k, t)| *k == TokKind::CharLit && t == "'x'"));
+    // `'a` appears twice as a lifetime, never as a char.
+    assert_eq!(toks.iter().filter(|(k, t)| *k == TokKind::Lifetime && t == "'a").count(), 2);
+}
+
+#[test]
+fn char_escapes_and_static_lifetime() {
+    let toks = kinds(r"let c = '\n'; let s: &'static str = x;");
+    assert!(toks.iter().any(|(k, t)| *k == TokKind::CharLit && t == r"'\n'"));
+    assert!(toks.iter().any(|(k, t)| *k == TokKind::Lifetime && t == "'static"));
+}
+
+#[test]
+fn nested_block_comments() {
+    let toks = kinds("a /* outer /* inner */ still comment */ b");
+    assert_eq!(
+        toks,
+        vec![
+            (TokKind::Ident, "a".into()),
+            (TokKind::BlockComment, "/* outer /* inner */ still comment */".into()),
+            (TokKind::Ident, "b".into()),
+        ]
+    );
+}
+
+#[test]
+fn line_comment_markers_inside_strings() {
+    let toks = kinds(r#"let url = "http://example.com"; // real comment"#);
+    let strs: Vec<_> = toks.iter().filter(|(k, _)| *k == TokKind::StrLit).collect();
+    assert_eq!(strs.len(), 1);
+    assert_eq!(strs[0].1, "\"http://example.com\"");
+    assert!(toks.iter().any(|(k, t)| *k == TokKind::LineComment && t == "// real comment"));
+}
+
+#[test]
+fn escaped_quote_does_not_end_string() {
+    let toks = kinds(r#"let s = "say \"panic!\" now";"#);
+    let strs: Vec<_> = toks.iter().filter(|(k, _)| *k == TokKind::StrLit).collect();
+    assert_eq!(strs.len(), 1);
+    assert!(strs[0].1.contains("panic!"));
+    assert!(!toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "panic"));
+}
+
+#[test]
+fn doc_comments_are_distinguished() {
+    let toks = kinds("/// doc\n//! inner doc\n//// not doc\n// plain\n/** block doc */\n/*! inner block doc */\n/* plain block */");
+    let doc = toks.iter().filter(|(k, _)| *k == TokKind::DocComment).count();
+    let line = toks.iter().filter(|(k, _)| *k == TokKind::LineComment).count();
+    let block = toks.iter().filter(|(k, _)| *k == TokKind::BlockComment).count();
+    assert_eq!((doc, line, block), (4, 2, 1));
+}
+
+#[test]
+fn raw_identifiers() {
+    let toks = kinds("let r#type = 1;");
+    assert!(toks.iter().any(|(k, t)| *k == TokKind::RawIdent && t == "r#type"));
+}
+
+#[test]
+fn numbers_ranges_and_multichar_puncts() {
+    let toks = kinds("for i in 0..=10 { x <<= 1; y = 1.5e-3; z = 0xFF_u32; }");
+    assert!(toks.iter().any(|(k, t)| *k == TokKind::Punct && t == "..="));
+    assert!(toks.iter().any(|(k, t)| *k == TokKind::Punct && t == "<<="));
+    assert!(toks.iter().any(|(k, t)| *k == TokKind::NumLit && t == "1.5e-3"));
+    assert!(toks.iter().any(|(k, t)| *k == TokKind::NumLit && t == "0xFF_u32"));
+}
+
+#[test]
+fn unterminated_constructs_do_not_panic() {
+    // The lexer is total: worst case it swallows to EOF.
+    for src in ["\"open", "r#\"open", "/* open /* deeper", "'", "b'"] {
+        let _ = lex(src);
+    }
+}

@@ -1,0 +1,50 @@
+//! Tier-1 enforcement: the real workspace must lint clean against the
+//! checked-in `lint.toml` and the shrink-only `lint-baseline.txt`.
+//!
+//! A new finding means either fix the code or annotate it with a
+//! reviewed `// LINT: allow(<pass>) <reason>`. A stale baseline entry
+//! means the underlying code was fixed — delete the entry.
+
+use smx_lint::baseline::Baseline;
+use smx_lint::config::Config;
+use std::path::PathBuf;
+
+fn workspace_root() -> PathBuf {
+    // crates/smx-lint -> crates -> workspace root
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("smx-lint sits two levels below the workspace root")
+        .to_path_buf()
+}
+
+#[test]
+fn workspace_lints_clean_against_baseline() {
+    let root = workspace_root();
+    let cfg_text =
+        std::fs::read_to_string(root.join("lint.toml")).expect("workspace lint.toml exists");
+    let cfg = Config::parse(&cfg_text).expect("workspace lint.toml parses");
+    let baseline_text = std::fs::read_to_string(root.join("lint-baseline.txt"))
+        .expect("workspace lint-baseline.txt exists");
+    let baseline = Baseline::parse(&baseline_text).expect("workspace baseline parses");
+
+    let run = smx_lint::run_workspace(&root, &cfg).expect("workspace lint run succeeds");
+    assert!(run.files_checked > 50, "suspiciously few files walked: {}", run.files_checked);
+
+    let split = baseline.apply(run.findings);
+    assert!(
+        split.new_findings.is_empty(),
+        "new lint findings — fix or annotate:\n{}",
+        split.new_findings.iter().map(|f| f.render()).collect::<Vec<_>>().join("\n")
+    );
+    assert!(
+        split.stale.is_empty(),
+        "stale baseline entries — the code was fixed, shrink the baseline:\n{}",
+        split.stale.join("\n")
+    );
+    assert!(
+        run.unsafe_inventory.iter().all(|(_, _, documented)| *documented),
+        "undocumented unsafe sites: {:?}",
+        run.unsafe_inventory.iter().filter(|(_, _, d)| !*d).collect::<Vec<_>>()
+    );
+}

@@ -10,6 +10,7 @@
 //! substitution for gem5 is itself tested, not just asserted.
 
 use crate::cpu::{CpuConfig, UopClass};
+// LINT: allow(determinism) keyed access only; these maps are never iterated
 use std::collections::HashMap;
 
 /// One micro-op of a loop body.
@@ -43,6 +44,7 @@ impl DetailedUop {
 #[must_use]
 pub fn simulate_loop(body: &[DetailedUop], iterations: usize, cpu: &CpuConfig) -> u64 {
     let width = cpu.width as u64;
+    // LINT: allow(determinism) keyed access only; these maps are never iterated
     let capacity: HashMap<UopClass, u64> = UopClass::ALL
         .iter()
         .map(|&c| {
@@ -53,6 +55,7 @@ pub fn simulate_loop(body: &[DetailedUop], iterations: usize, cpu: &CpuConfig) -
 
     // Per-cycle issue bookkeeping (grows as needed).
     let mut issued_total: Vec<u64> = Vec::new();
+    // LINT: allow(determinism) keyed access only; these maps are never iterated
     let mut issued_class: HashMap<(u64, UopClass), u64> = HashMap::new();
     let mut completion_prev: Vec<u64> = vec![0; body.len()];
     let mut makespan = 0u64;
