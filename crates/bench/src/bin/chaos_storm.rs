@@ -1,0 +1,851 @@
+//! **Chaos storm: seeded failpoint schedules against the full stack.**
+//!
+//! Peer of `server_storm`/`integrity_storm`, but the faults live in the
+//! *host* paths instead of the simulated device: checkpoint write/fsync,
+//! the framed-TCP codec, pool dispatch, the session ack (see DESIGN.md
+//! §10). Each run installs one seeded [`FailSchedule`], drives the full
+//! serve→align→checkpoint→resume lifecycle through a reconnecting
+//! client, and asserts the standing invariants:
+//!
+//! * every `RESULT` ever acked is byte-identical to a fault-free
+//!   reference run of the same workload;
+//! * zero acked-but-lost pairs across a mid-run crash (`kill -9`
+//!   simulated in-process, and for real via a spawned `smx-cli serve`
+//!   child killed by a pinned `kill=` failpoint);
+//! * no deadlock — every run finishes under a watchdog;
+//! * breaker/quarantine liveness — a device poisoned by the schedule is
+//!   canary-readmitted once its faults stop.
+//!
+//! A failing seed is greedily shrunk (drop one injection at a time) to a
+//! minimal schedule and reported with a one-line replay command; replay
+//! it with `--replay '<schedule>'`. Writes `BENCH_chaos.json`. Quick
+//! mode (`SMX_BENCH_QUICK=1`) shrinks the seed count for CI.
+//!
+//! Requires `--features failpoints`; without it this binary is a stub
+//! that explains how to rebuild (a fault-free "chaos" run would pass
+//! vacuously).
+
+#[cfg(not(feature = "failpoints"))]
+fn main() {
+    eprintln!(
+        "chaos_storm needs armed failpoints; rebuild with\n  cargo run --release -p smx-bench \
+         --features failpoints --bin chaos_storm"
+    );
+    std::process::exit(2);
+}
+
+#[cfg(feature = "failpoints")]
+fn main() {
+    armed::main()
+}
+
+#[cfg(feature = "failpoints")]
+mod armed {
+    use std::collections::HashMap;
+    use std::io::Write as _;
+    use std::net::TcpStream;
+    use std::time::Duration;
+
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use smx::coproc::faults::{FaultPlan, RecoveryPolicy};
+    use smx::failpoint::{self, Action, FailSchedule};
+    use smx::prelude::*;
+    use smx::server::proto::{read_frame, write_frame, Request, Response};
+    use smx::server::tenant::{Priority, TenantPolicy};
+    use smx::service::ServiceStats;
+    use smx::{RetryConfig, Server, ServerConfig, ServerHandle, SmxDevice};
+    use smx_bench::{header, quick_mode, scaled};
+
+    const CONFIG: AlignmentConfig = AlignmentConfig::DnaEdit;
+    const PAIR_LEN: usize = 64;
+    /// Rounds of submit→read a schedule run may take before the harness
+    /// declares it stuck (every schedule's rules are hit-limited, so a
+    /// healthy stack always converges long before this).
+    const MAX_ROUNDS: usize = 60;
+
+    /// Exits with a message instead of panicking: the harness is held to
+    /// the same panic-freedom lint zone as the code it attacks.
+    fn must<T, E: std::fmt::Display>(r: Result<T, E>, what: &str) -> T {
+        match r {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("chaos_storm: {what}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    fn must_some<T>(o: Option<T>, what: &str) -> T {
+        match o {
+            Some(v) => v,
+            None => {
+                eprintln!("chaos_storm: {what}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    /// Aborts the whole harness if a run outlives `secs` — the
+    /// no-deadlock invariant. Dropping the guard disarms it.
+    struct Watchdog {
+        _tx: std::sync::mpsc::Sender<()>,
+    }
+
+    fn watchdog(label: String, secs: u64) -> Watchdog {
+        let (tx, rx) = std::sync::mpsc::channel::<()>();
+        std::thread::spawn(move || {
+            if rx.recv_timeout(Duration::from_secs(secs))
+                == Err(std::sync::mpsc::RecvTimeoutError::Timeout)
+            {
+                eprintln!("chaos_storm: WATCHDOG: {label} still running after {secs}s — deadlock");
+                std::process::exit(1);
+            }
+        });
+        Watchdog { _tx: tx }
+    }
+
+    fn storm_device() -> SmxDevice {
+        let mut dev = must(SmxDevice::new(CONFIG, 2), "device");
+        // Device-level faults stay ON underneath the host-path chaos:
+        // the two fault planes must compose without breaking identity.
+        dev.enable_fault_injection(FaultPlan::new(42, 5e-4), RecoveryPolicy::default());
+        dev
+    }
+
+    fn chaos_server(dir: &std::path::Path, resume: bool) -> ServerHandle {
+        let cfg = ServerConfig {
+            exec: ExecutorConfig {
+                jobs: 2,
+                // Must exceed the full-mode workload (48 pairs all
+                // submitted in one round): a QueueFull reject would be
+                // legitimate backpressure, and the harness treats every
+                // reject as a violation.
+                queue_cap: 128,
+                breaker: Some(BreakerConfig::default()),
+                quarantine: Some(QuarantineConfig::default()),
+                ..ExecutorConfig::default()
+            },
+            // Admission generosity: every reject in a chaos run should
+            // come from an injected fault path, not the token bucket.
+            policy: TenantPolicy { rate: 1e6, burst: 1e6 },
+            retry: RetryConfig::default(),
+            checkpoint_dir: Some(dir.to_path_buf()),
+            resume_sessions: resume,
+            ..ServerConfig::default()
+        };
+        must(Server::bind(storm_device(), cfg, "127.0.0.1:0"), "bind")
+    }
+
+    fn make_pair(rng: &mut StdRng, id: usize) -> Request {
+        const BASES: [char; 4] = ['A', 'C', 'G', 'T'];
+        let query: String = (0..PAIR_LEN).map(|_| BASES[rng.gen_range(0..4usize)]).collect();
+        let mut reference = query.clone();
+        let i = rng.gen_range(0..PAIR_LEN);
+        reference.replace_range(i..=i, "T");
+        Request::Pair { id, query, reference }
+    }
+
+    /// The shared workload every schedule runs, and its fault-free
+    /// golden outcome (computed on a clean device, no fault plan).
+    fn build_workload(pairs: usize) -> (Vec<Request>, Vec<(i32, String)>) {
+        let mut rng = StdRng::seed_from_u64(7);
+        let workload: Vec<Request> = (0..pairs).map(|id| make_pair(&mut rng, id)).collect();
+        let mut clean = must(SmxDevice::new(CONFIG, 2), "reference device");
+        let mut reference = Vec::with_capacity(pairs);
+        for req in &workload {
+            let Request::Pair { query, reference: r, .. } = req else { continue };
+            let q = must(Sequence::from_text(Alphabet::Dna2, query), "query seq");
+            let r = must(Sequence::from_text(Alphabet::Dna2, r), "reference seq");
+            let a = must(clean.align(&q, &r), "reference align");
+            reference.push((a.score, a.cigar.to_string()));
+        }
+        (workload, reference)
+    }
+
+    /// Deterministic seed → schedule: 2–4 hit-limited rules drawn from
+    /// the site menu. Every rule carries a limit, so faults always stop
+    /// and a correct stack always converges.
+    fn schedule_for(seed: u64) -> FailSchedule {
+        let mut x = seed;
+        let mut next = move || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        const MENU: [(&str, Action); 8] = [
+            ("ckpt.fsync", Action::Error),
+            ("ckpt.write", Action::Partial),
+            ("proto.write_frame", Action::Partial),
+            ("proto.write_frame", Action::Error),
+            ("proto.read_frame", Action::Partial),
+            ("session.ack", Action::Error),
+            ("pool.dispatch", Action::Error),
+            ("proto.write_frame", Action::Delay(3)),
+        ];
+        let mut s = FailSchedule::new(seed);
+        let count = 2 + (next() % 3) as usize;
+        let mut picked: Vec<usize> = Vec::new();
+        while picked.len() < count {
+            let i = (next() % MENU.len() as u64) as usize;
+            if picked.contains(&i) {
+                continue;
+            }
+            picked.push(i);
+            let (site, action) = must_some(MENU.get(i).copied(), "menu index");
+            let rate = 0.02 + (next() % 12) as f64 * 0.01;
+            let limit = 8 + next() % 25;
+            s = s.rule(site, None, action, rate, Some(limit));
+        }
+        s
+    }
+
+    /// One framed session split into writer and reader halves, both with
+    /// short timeouts so an injected dead connection surfaces as an
+    /// error, never a hang.
+    struct Session {
+        wr: TcpStream,
+        rd: TcpStream,
+    }
+
+    /// Opens a session, retrying: the HELLO exchange itself runs through
+    /// the proto failpoints, and a just-dropped predecessor connection
+    /// may still hold the session busy for a beat.
+    fn try_open(addr: std::net::SocketAddr, session: &str) -> Option<Session> {
+        for _ in 0..40 {
+            let attempt = (|| -> Result<Session, ()> {
+                let mut wr = TcpStream::connect(addr).map_err(|_| ())?;
+                wr.set_nodelay(true).ok();
+                wr.set_write_timeout(Some(Duration::from_secs(2))).ok();
+                let mut rd = wr.try_clone().map_err(|_| ())?;
+                rd.set_read_timeout(Some(Duration::from_secs(2))).ok();
+                let hello = Request::Hello {
+                    session: session.to_string(),
+                    tenant: "chaos".to_string(),
+                    priority: Priority::Normal,
+                    deadline_ms: 0,
+                };
+                write_frame(&mut wr, &hello.encode()).map_err(|_| ())?;
+                let reply = read_frame(&mut rd).map_err(|_| ())?.ok_or(())?;
+                match Response::parse(&reply).map_err(|_| ())? {
+                    Response::Ok { .. } => Ok(Session { wr, rd }),
+                    _ => Err(()),
+                }
+            })();
+            if let Ok(sess) = attempt {
+                return Some(sess);
+            }
+            std::thread::sleep(Duration::from_millis(25));
+        }
+        None
+    }
+
+    struct RunSummary {
+        rounds: usize,
+        crashed: bool,
+    }
+
+    /// Drives the whole workload through a server living under
+    /// `schedule` until every pair is acked, reconnecting through
+    /// injected connection deaths; `crash_mid` kills the server
+    /// in-process after the first acks and restarts it with resume.
+    ///
+    /// Returns `Err(violation)` when a standing invariant breaks.
+    fn run_schedule(
+        schedule: &FailSchedule,
+        crash_mid: bool,
+        workload: &[Request],
+        reference: &[(i32, String)],
+        tag: &str,
+    ) -> Result<RunSummary, String> {
+        let dir = std::env::temp_dir().join(format!("smx-chaos-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            return Err(format!("harness: mkdir {}: {e}", dir.display()));
+        }
+        failpoint::install(schedule.clone());
+        let finish = |r: Result<RunSummary, String>| {
+            failpoint::clear();
+            let _ = std::fs::remove_dir_all(&dir);
+            r
+        };
+
+        let mut handle = Some(chaos_server(&dir, false));
+        let mut addr = must_some(handle.as_ref(), "live handle").addr();
+        // First-ack values; byte-identity is checked against `reference`
+        // on every RESULT, so re-acks are transitively identical too.
+        let mut acked: HashMap<usize, ()> = HashMap::new();
+        let mut acked_before_crash: Vec<usize> = Vec::new();
+        let mut crashed = false;
+        let mut resubmit_all = false;
+        let mut rounds = 0usize;
+
+        // Wedge detection is stagnation-based: with limited schedules the
+        // faults eventually stop firing, so a healthy server acks *some*
+        // pending pair every few rounds. Consecutive ack-less rounds mean
+        // the server can no longer make progress (e.g. a permanently
+        // unopenable session); bail fast so the shrinker stays cheap.
+        const STALE_ROUNDS: usize = 8;
+        let mut stale = 0usize;
+        while acked.len() < workload.len() {
+            rounds += 1;
+            if stale >= STALE_ROUNDS || rounds > MAX_ROUNDS {
+                return finish(Err(format!(
+                    "no progress: {}/{} pairs acked after {rounds} rounds \
+                     ({stale} consecutive rounds without a new ack)",
+                    acked.len(),
+                    workload.len()
+                )));
+            }
+            let acked_at_round_start = acked.len();
+            if crash_mid && !crashed && !acked.is_empty() {
+                // Simulated kill -9: cancel in-flight work, drop every
+                // socket, restart over the same checkpoint dir. All
+                // previously acked pairs must now replay from the
+                // manifest — recomputing one means its fsynced record
+                // was lost.
+                crashed = true;
+                acked_before_crash = acked.keys().copied().collect();
+                if let Some(h) = handle.take() {
+                    h.crash();
+                }
+                handle = Some(chaos_server(&dir, true));
+                addr = must_some(handle.as_ref(), "live handle").addr();
+                resubmit_all = true;
+            }
+            let Some(mut sess) = try_open(addr, "chaos") else { continue };
+            let mut submitted = 0usize;
+            for req in workload {
+                let Request::Pair { id, .. } = req else { continue };
+                if !resubmit_all && acked.contains_key(id) {
+                    continue;
+                }
+                // A crash run must actually crash with acks at stake:
+                // hold back half the workload until the kill has fired,
+                // so the run can never complete in a single pre-crash
+                // round.
+                if crash_mid && !crashed && submitted >= workload.len() / 2 {
+                    break;
+                }
+                if write_frame(&mut sess.wr, &req.encode()).is_err() {
+                    break;
+                }
+                submitted += 1;
+            }
+            let _ = write_frame(&mut sess.wr, &Request::Bye.encode());
+            while let Ok(Some(frame)) = read_frame(&mut sess.rd) {
+                match Response::parse(&frame) {
+                    Ok(Response::Result { id, score, cigar, resumed }) => {
+                        let Some((want_score, want_cigar)) = reference.get(id) else {
+                            return finish(Err(format!("RESULT for unknown pair {id}")));
+                        };
+                        if score != *want_score || cigar != *want_cigar {
+                            return finish(Err(format!(
+                                "pair {id} diverged from fault-free reference: got \
+                                 {score}/{cigar}, want {want_score}/{want_cigar}"
+                            )));
+                        }
+                        if crashed && !resumed && acked_before_crash.contains(&id) {
+                            return finish(Err(format!(
+                                "acked-but-lost: pair {id} was acked before the crash but \
+                                 recomputed (not replayed) after resume"
+                            )));
+                        }
+                        acked.insert(id, ());
+                    }
+                    Ok(Response::Reject { id, reason, .. }) => {
+                        return finish(Err(format!(
+                            "unexpected REJECT for pair {id} ({reason:?}) under a generous \
+                             admission policy"
+                        )));
+                    }
+                    // Typed FAILs are legitimate chaos outcomes (e.g.
+                    // "checkpoint write failed"); the pair stays pending
+                    // and is resubmitted next round.
+                    Ok(Response::Fail { .. }) => {}
+                    Ok(Response::Done { .. }) => break,
+                    Ok(_) => {}
+                    Err(_) => break,
+                }
+            }
+            resubmit_all = false;
+            stale = if acked.len() > acked_at_round_start { 0 } else { stale + 1 };
+        }
+        if let Some(h) = handle.take() {
+            h.drain();
+        }
+        finish(Ok(RunSummary { rounds, crashed }))
+    }
+
+    /// Greedy schedule shrink: repeatedly drop the first single rule or
+    /// kill whose removal still reproduces the failure, to a local
+    /// minimum. `failing` returns true when the candidate still fails.
+    fn shrink(
+        schedule: &FailSchedule,
+        failing: &mut dyn FnMut(&FailSchedule) -> bool,
+    ) -> FailSchedule {
+        let mut cur = schedule.clone();
+        loop {
+            let mut improved = false;
+            for i in 0..cur.rules.len() {
+                let mut cand = cur.clone();
+                cand.rules.remove(i);
+                if failing(&cand) {
+                    cur = cand;
+                    improved = true;
+                    break;
+                }
+            }
+            if improved {
+                continue;
+            }
+            for i in 0..cur.kills.len() {
+                let mut cand = cur.clone();
+                cand.kills.remove(i);
+                if failing(&cand) {
+                    cur = cand;
+                    improved = true;
+                    break;
+                }
+            }
+            if !improved {
+                return cur;
+            }
+        }
+    }
+
+    fn replay_command(schedule: &FailSchedule) -> String {
+        format!(
+            "cargo run --release -p smx-bench --features failpoints --bin chaos_storm -- \
+             --replay '{schedule}'"
+        )
+    }
+
+    /// The shrinker must find the exact minimal failing core, not just
+    /// some smaller schedule — proven here against a synthetic predicate
+    /// before any real shrink is trusted.
+    fn shrink_self_test() {
+        let fat = FailSchedule::new(1)
+            .rule("ckpt.fsync", None, Action::Error, 0.5, Some(10))
+            .rule("proto.write_frame", None, Action::Partial, 0.5, Some(10))
+            .rule("pool.dispatch", Some(1), Action::Error, 0.5, Some(10))
+            .kill_at("session.ack", None, 3)
+            .kill_at("ckpt.write", None, 9);
+        let mut evals = 0usize;
+        let mut failing = |s: &FailSchedule| {
+            evals += 1;
+            s.rules.iter().any(|r| r.site == "proto.write_frame")
+                && s.kills.iter().any(|k| k.site == "session.ack")
+        };
+        let min = shrink(&fat, &mut failing);
+        assert_eq!(min.rules.len(), 1, "shrunk to one rule: {min}");
+        assert_eq!(min.kills.len(), 1, "shrunk to one kill: {min}");
+        assert!(
+            min.rules.iter().any(|r| r.site == "proto.write_frame")
+                && min.kills.iter().any(|k| k.site == "session.ack"),
+            "shrink kept the failing core: {min}"
+        );
+        println!("shrinker self-test: 5 injections -> minimal 2-injection core ({evals} evals)");
+    }
+
+    /// Breaker/quarantine liveness under a schedule-driven poison: lane
+    /// 1 of the pool fails every dispatch for a bounded burst, then
+    /// heals; the quarantine ladder must readmit it through canaries.
+    fn quarantine_liveness_phase(quick: bool) -> ServiceStats {
+        let _wd = watchdog("quarantine liveness phase".to_string(), 120);
+        failpoint::install(FailSchedule::new(5).rule(
+            "pool.dispatch",
+            Some(1),
+            Action::Error,
+            1.0,
+            Some(30),
+        ));
+        let exec = must(
+            BatchExecutor::new(
+                storm_device(),
+                ExecutorConfig {
+                    jobs: 2,
+                    queue_cap: 32,
+                    devices: 3,
+                    breaker: Some(BreakerConfig::default()),
+                    quarantine: Some(QuarantineConfig::default()),
+                    ..ExecutorConfig::default()
+                },
+            ),
+            "executor",
+        );
+        let count = if quick { 300 } else { 600 };
+        let mut rng = StdRng::seed_from_u64(11);
+        let pairs: Vec<(Sequence, Sequence)> = (0..count)
+            .map(|id| {
+                let Request::Pair { query, reference, .. } = make_pair(&mut rng, id) else {
+                    return must(Err::<(Sequence, Sequence), &str>("not a pair"), "workload");
+                };
+                (
+                    must(Sequence::from_text(Alphabet::Dna2, &query), "q"),
+                    must(Sequence::from_text(Alphabet::Dna2, &reference), "r"),
+                )
+            })
+            .collect();
+        // A device fault fails that pair in the batch report by design
+        // (the server layer retries via client resubmission), so drive
+        // the executor the same way: re-run failed pairs in rounds. The
+        // liveness claim is that the faults stop (hit limit 30), the
+        // quarantined lane is canary-readmitted, and a bounded number of
+        // retry rounds reaches a clean pass.
+        let mut readmissions = 0u64;
+        let mut pending: Vec<(Sequence, Sequence)> = pairs;
+        let mut rounds = 0usize;
+        let mut stats = loop {
+            rounds += 1;
+            let report = exec.run(&pending);
+            readmissions += report.stats.readmissions;
+            let failed: Vec<(Sequence, Sequence)> =
+                report.failures().iter().map(|f| pending[f.index].clone()).collect();
+            if failed.is_empty() {
+                break report.stats;
+            }
+            assert!(
+                rounds < 6,
+                "poisoned-lane batch never reached a clean pass: {} pair(s) still failing \
+                 after {rounds} rounds ({:?})",
+                failed.len(),
+                report.stats
+            );
+            pending = failed;
+        };
+        stats.readmissions = readmissions;
+        failpoint::clear();
+        assert!(
+            stats.readmissions >= 1,
+            "device poisoned by the schedule was never canary-readmitted after its faults \
+             stopped: {stats:?}"
+        );
+        println!(
+            "quarantine liveness: lane 1 poisoned for 30 dispatches over {count} pairs -> \
+             {} readmission(s), all pairs completed in {rounds} round(s)",
+            stats.readmissions
+        );
+        stats
+    }
+
+    /// Real-process kill runs: spawn `smx-cli serve` with a pinned
+    /// `kill=session.ack:<hit>` schedule in `SMX_FAILPOINTS`, watch it
+    /// die mid-ack, restart with `--resume-sessions`, and assert every
+    /// pre-kill ack replays byte-identically (`resumed=true`).
+    ///
+    /// Returns the number of kill runs executed (0 when the CLI binary
+    /// is not present next to this harness — CI builds it first).
+    fn kill_process_phase(
+        seeds: &[u64],
+        workload: &[Request],
+        reference: &[(i32, String)],
+    ) -> usize {
+        failpoint::clear(); // only the child gets injections
+        let Some(cli) = std::env::current_exe()
+            .ok()
+            .and_then(|p| p.parent().map(|d| d.join("smx-cli")))
+            .filter(|p| p.exists())
+        else {
+            println!(
+                "kill phase: SKIPPED — smx-cli not built; run `cargo build --release -p \
+                 smx-cli --features failpoints` first"
+            );
+            return 0;
+        };
+        for &seed in seeds {
+            let hit = 3 + seed % 5;
+            let schedule = FailSchedule::new(seed).kill_at("session.ack", None, hit);
+            let _wd = watchdog(format!("kill run seed {seed}"), 120);
+            let dir =
+                std::env::temp_dir().join(format!("smx-chaos-kill-{}-{seed}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            must(std::fs::create_dir_all(&dir), "mkdir kill dir");
+
+            let (mut child, addr, banner) = spawn_serve(&cli, &dir, Some(&schedule));
+            assert!(
+                banner.contains("# failpoints:"),
+                "child never confirmed its schedule (got {banner:?}); was smx-cli built with \
+                 --features failpoints?"
+            );
+            // Drive until the pinned kill severs the connection.
+            let mut acked: Vec<usize> = Vec::new();
+            if let Some(mut sess) = try_open(addr, "kchaos") {
+                for req in workload {
+                    if write_frame(&mut sess.wr, &req.encode()).is_err() {
+                        break;
+                    }
+                }
+                while let Ok(Some(frame)) = read_frame(&mut sess.rd) {
+                    if let Ok(Response::Result { id, score, cigar, .. }) = Response::parse(&frame) {
+                        check_reference(id, score, &cigar, reference, "pre-kill");
+                        acked.push(id);
+                    }
+                }
+            }
+            let status = must(child.wait(), "wait killed child");
+            assert!(
+                !status.success(),
+                "child exited cleanly despite kill=session.ack:{hit} (status {status})"
+            );
+            assert!(!acked.is_empty(), "no pair was acked before the pinned kill at hit {hit}");
+
+            // Restart without injections; every pre-kill ack must come
+            // back replayed from the manifest, byte-identical.
+            let (mut child, addr, _) = spawn_serve(&cli, &dir, None);
+            let mut replayed: HashMap<usize, bool> = HashMap::new();
+            let mut rounds = 0usize;
+            while replayed.len() < workload.len() && rounds < MAX_ROUNDS {
+                rounds += 1;
+                let Some(mut sess) = try_open(addr, "kchaos") else { continue };
+                for req in workload {
+                    if write_frame(&mut sess.wr, &req.encode()).is_err() {
+                        break;
+                    }
+                }
+                let _ = write_frame(&mut sess.wr, &Request::Bye.encode());
+                while let Ok(Some(frame)) = read_frame(&mut sess.rd) {
+                    match Response::parse(&frame) {
+                        Ok(Response::Result { id, score, cigar, resumed }) => {
+                            check_reference(id, score, &cigar, reference, "post-kill");
+                            replayed.insert(id, resumed);
+                        }
+                        Ok(Response::Done { .. }) => break,
+                        _ => {}
+                    }
+                }
+            }
+            let mut lost = 0usize;
+            for id in &acked {
+                match replayed.get(id) {
+                    Some(true) => {}
+                    _ => lost += 1,
+                }
+            }
+            assert_eq!(
+                lost, 0,
+                "{lost} acked pair(s) were not replayed from the manifest after the kill \
+                 (seed {seed}); replay: SMX_FAILPOINTS='{schedule}' smx-cli serve ..."
+            );
+            assert_eq!(replayed.len(), workload.len(), "resume run did not finish (seed {seed})");
+            let _ = child.kill();
+            let _ = child.wait();
+            let _ = std::fs::remove_dir_all(&dir);
+            println!(
+                "kill run seed {seed}: killed at session.ack hit {hit} with {} acks, all \
+                 replayed byte-identically after resume, 0 acked-but-lost",
+                acked.len()
+            );
+        }
+        seeds.len()
+    }
+
+    fn check_reference(
+        id: usize,
+        score: i32,
+        cigar: &str,
+        reference: &[(i32, String)],
+        when: &str,
+    ) {
+        let (want_score, want_cigar) = must_some(reference.get(id), "reference index");
+        assert!(
+            score == *want_score && cigar == want_cigar,
+            "{when}: pair {id} diverged: got {score}/{cigar}, want {want_score}/{want_cigar}"
+        );
+    }
+
+    /// Spawns `smx-cli serve` over `dir`, optionally with a schedule in
+    /// the environment; returns the child, its bound address, and
+    /// whatever stderr banner lines arrived before "listening".
+    fn spawn_serve(
+        cli: &std::path::Path,
+        dir: &std::path::Path,
+        schedule: Option<&FailSchedule>,
+    ) -> (std::process::Child, std::net::SocketAddr, String) {
+        let mut cmd = std::process::Command::new(cli);
+        cmd.args([
+            "serve",
+            "--config",
+            "dna-edit",
+            "--port",
+            "0",
+            "--jobs",
+            "2",
+            "--checkpoint-dir",
+        ])
+        .arg(dir)
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped());
+        match schedule {
+            Some(s) => {
+                cmd.env(failpoint::ENV_VAR, s.to_string());
+            }
+            None => {
+                cmd.arg("--resume-sessions");
+                cmd.env_remove(failpoint::ENV_VAR);
+            }
+        }
+        let mut child = must(cmd.spawn(), "spawn smx-cli serve");
+        let stderr = must_some(child.stderr.take(), "child stderr");
+        let banner_rx = {
+            let (tx, rx) = std::sync::mpsc::channel::<String>();
+            std::thread::spawn(move || {
+                use std::io::BufRead as _;
+                let mut banner = String::new();
+                for line in std::io::BufReader::new(stderr).lines() {
+                    let Ok(line) = line else { break };
+                    if line.starts_with("# failpoints:") {
+                        banner = line.clone();
+                    }
+                    let _ = tx.send(banner.clone());
+                }
+            });
+            rx
+        };
+        let stdout = must_some(child.stdout.take(), "child stdout");
+        let mut addr: Option<std::net::SocketAddr> = None;
+        {
+            use std::io::BufRead as _;
+            for line in std::io::BufReader::new(stdout).lines() {
+                let Ok(line) = line else { break };
+                if let Some(rest) = line.strip_prefix("listening on ") {
+                    addr = rest.trim().parse().ok();
+                    break;
+                }
+            }
+        }
+        let addr = must_some(
+            addr,
+            "child never printed its address (a feature-off smx-cli refuses SMX_FAILPOINTS; \
+             rebuild it with --features smx-cli/failpoints)",
+        );
+        // Give the stderr thread a beat to surface the banner.
+        let mut banner = String::new();
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while std::time::Instant::now() < deadline {
+            match banner_rx.try_recv() {
+                Ok(b) if !b.is_empty() => {
+                    banner = b;
+                    break;
+                }
+                _ if schedule.is_none() => break,
+                _ => std::thread::sleep(Duration::from_millis(20)),
+            }
+        }
+        (child, addr, banner)
+    }
+
+    pub fn main() {
+        let args: Vec<String> = std::env::args().collect();
+        let quick = quick_mode();
+        let pairs = scaled(48, 24);
+        let (workload, reference) = build_workload(pairs);
+
+        // Replay mode: one schedule, straight from a failure report.
+        if args.get(1).map(String::as_str) == Some("--replay") {
+            let text = must_some(args.get(2), "--replay needs a schedule string");
+            let schedule = must(FailSchedule::parse(text), "parse replay schedule");
+            let crash_mid = schedule.seed % 4 == 3;
+            let _wd = watchdog(format!("replay {schedule}"), 120);
+            match run_schedule(&schedule, crash_mid, &workload, &reference, "replay") {
+                Ok(s) => {
+                    println!(
+                        "replay {schedule}: PASS ({} rounds, crashed={})",
+                        s.rounds, s.crashed
+                    );
+                }
+                Err(v) => {
+                    eprintln!("replay {schedule}: VIOLATION: {v}");
+                    std::process::exit(1);
+                }
+            }
+            return;
+        }
+
+        let seed_base: u64 =
+            std::env::var("SMX_CHAOS_SEED").ok().and_then(|v| v.parse().ok()).unwrap_or(42);
+        let seeds = scaled(32, 8);
+        let kill_seeds: Vec<u64> =
+            (0..scaled(4, 2) as u64).map(|i| seed_base ^ 0xdead ^ i).collect();
+
+        header(&format!(
+            "chaos storm: {CONFIG}, {pairs} pairs/run, {seeds} seeded schedules (base \
+             {seed_base}), device faults on underneath"
+        ));
+        println!("replay any seed with: SMX_CHAOS_SEED={seed_base} ... or a single schedule via");
+        println!("  {}", replay_command(&schedule_for(seed_base)));
+
+        shrink_self_test();
+
+        let mut violations: Vec<(FailSchedule, String)> = Vec::new();
+        let mut crash_runs = 0usize;
+        let mut total_rounds = 0usize;
+        for i in 0..seeds as u64 {
+            let seed = seed_base.wrapping_add(i);
+            let schedule = schedule_for(seed);
+            let crash_mid = seed % 4 == 3;
+            // The per-seed watchdog is scoped to the single run; the
+            // shrinker below re-runs many candidates (each failing one
+            // takes STALE_ROUNDS of read-timeouts) and gets its own,
+            // longer watchdog.
+            let outcome = {
+                let _wd = watchdog(format!("seed {seed} ({schedule})"), 120);
+                run_schedule(&schedule, crash_mid, &workload, &reference, &format!("s{seed}"))
+            };
+            match outcome {
+                Ok(s) => {
+                    total_rounds += s.rounds;
+                    crash_runs += usize::from(s.crashed);
+                    println!(
+                        "seed {seed}: ok in {} round(s){} [{schedule}]",
+                        s.rounds,
+                        if s.crashed { ", crash+resume" } else { "" }
+                    );
+                }
+                Err(v) => {
+                    eprintln!("seed {seed}: VIOLATION: {v}");
+                    eprintln!("  shrinking {schedule} ...");
+                    let _wd = watchdog(format!("shrink seed {seed}"), 600);
+                    let minimal = shrink(&schedule, &mut |cand| {
+                        run_schedule(cand, crash_mid, &workload, &reference, "shrink").is_err()
+                    });
+                    eprintln!("  minimal repro: {minimal}");
+                    eprintln!("  replay: {}", replay_command(&minimal));
+                    violations.push((minimal, v));
+                }
+            }
+        }
+
+        let qstats = quarantine_liveness_phase(quick);
+        let kill_runs = kill_process_phase(&kill_seeds, &workload, &reference);
+
+        println!(
+            "chaos storm: {seeds} schedules ({crash_runs} with crash+resume, {total_rounds} \
+             total rounds), {kill_runs} process-kill runs, {} violation(s)",
+            violations.len()
+        );
+
+        let mut json = String::from("{\n  \"bench\": \"chaos_storm\",\n");
+        json.push_str(&format!("  \"quick\": {quick},\n"));
+        json.push_str(&format!("  \"seed_base\": {seed_base},\n"));
+        json.push_str(&format!("  \"pairs_per_run\": {pairs},\n"));
+        json.push_str(&format!("  \"schedule_runs\": {seeds},\n"));
+        json.push_str(&format!("  \"crash_resume_runs\": {crash_runs},\n"));
+        json.push_str(&format!("  \"process_kill_runs\": {kill_runs},\n"));
+        json.push_str(&format!("  \"total_client_rounds\": {total_rounds},\n"));
+        json.push_str(&format!("  \"quarantine_readmissions\": {},\n", qstats.readmissions));
+        json.push_str(&format!("  \"violations\": {}\n}}\n", violations.len()));
+        let mut f = must(std::fs::File::create("BENCH_chaos.json"), "create BENCH_chaos.json");
+        must(f.write_all(json.as_bytes()), "write BENCH_chaos.json");
+        println!("wrote BENCH_chaos.json");
+
+        if !violations.is_empty() {
+            for (minimal, v) in &violations {
+                eprintln!("FAILED: {v}\n  minimal: {minimal}\n  {}", replay_command(minimal));
+            }
+            std::process::exit(1);
+        }
+    }
+}

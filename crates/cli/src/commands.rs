@@ -14,6 +14,10 @@ pub const EXIT_SHED: i32 = 3;
 pub const EXIT_DEADLINE: i32 = 4;
 /// `--strict` batch ended with a fail-closed integrity violation.
 pub const EXIT_INTEGRITY: i32 = 5;
+/// `serve` was forced down by a second SIGTERM/SIGINT mid-drain: the
+/// process exited immediately, abandoning in-flight pairs (their records
+/// are still crash-consistent and replay on resume).
+pub const EXIT_FORCED: i32 = 6;
 
 /// A command failure carrying its process exit code, so scripted callers
 /// can branch on *why* a strict batch failed without parsing stderr.
@@ -125,7 +129,10 @@ the drain report) for per-tenant admission/shed/deadline counters.
 
 exit codes: 0 success; 2 generic error. Under --strict, typed codes
 rank the worst failure in the batch: 3 pairs shed at admission, 4
-deadline exceeded, 5 integrity violation (most severe wins).
+deadline exceeded, 5 integrity violation (most severe wins). serve
+exits 6 when a second SIGTERM/SIGINT arrives mid-drain: the drain is
+abandoned and the process dies immediately (supervisors distinguish a
+forced stop from a clean drain; acked pairs stay durable either way).
 
 software baseline (align): --baseline picks the streaming score kernel
 the device paths fall back on (degraded score-only work and the audit's
@@ -639,9 +646,9 @@ fn align_resilient(
 /// (no external crates) that flips an atomic the serve loop polls.
 #[cfg(unix)]
 mod sig {
-    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
-    static PENDING: AtomicBool = AtomicBool::new(false);
+    static RECEIVED: AtomicUsize = AtomicUsize::new(0);
 
     const SIGINT: i32 = 2;
     const SIGTERM: i32 = 15;
@@ -651,13 +658,13 @@ mod sig {
     }
 
     extern "C" fn on_signal(_signum: i32) {
-        PENDING.store(true, Ordering::SeqCst);
+        RECEIVED.fetch_add(1, Ordering::SeqCst);
     }
 
     /// Installs the drain handler for SIGTERM and SIGINT.
     pub fn install() {
         // SAFETY: signal(2) with a valid signum and a handler that only
-        // touches an AtomicBool (async-signal-safe); the extern declaration
+        // touches an AtomicUsize (async-signal-safe); the extern declaration
         // matches the libc prototype.
         unsafe {
             signal(SIGTERM, on_signal);
@@ -667,7 +674,13 @@ mod sig {
 
     /// True once a drain signal has arrived.
     pub fn pending() -> bool {
-        PENDING.load(Ordering::SeqCst)
+        RECEIVED.load(Ordering::SeqCst) > 0
+    }
+
+    /// How many drain signals have arrived; the second one escalates a
+    /// graceful drain into a forced exit.
+    pub fn count() -> usize {
+        RECEIVED.load(Ordering::SeqCst)
     }
 }
 
@@ -677,6 +690,9 @@ mod sig {
     pub fn install() {}
     pub fn pending() -> bool {
         false
+    }
+    pub fn count() -> usize {
+        0
     }
 }
 
@@ -730,6 +746,15 @@ pub fn serve(args: &Args) -> Result<(), CliError> {
         Some(a) => a.to_string(),
         None => format!("127.0.0.1:{}", args.get_or("port", "0")),
     };
+    // Chaos harnesses drive a spawned server through SMX_FAILPOINTS; a
+    // binary built without the feature refuses the schedule instead of
+    // silently running fault-free (which would pass the harness
+    // vacuously). The banner confirms to the parent what was installed.
+    match smx::failpoint::install_from_env() {
+        Ok(Some(schedule)) => eprintln!("# failpoints: {schedule}"),
+        Ok(None) => {}
+        Err(e) => return Err(CliError { code: EXIT_GENERIC, message: e.to_string() }),
+    }
     let handle = Server::bind(dev, cfg, &addr).map_err(|e| e.to_string())?;
     // The storm harness and tests parse this line for the bound port, so
     // flush it before settling into the signal loop.
@@ -743,7 +768,32 @@ pub fn serve(args: &Args) -> Result<(), CliError> {
     }
 
     eprintln!("# drain: signal received; refusing new work and flushing in-flight pairs");
-    let report = handle.drain();
+    // Drain on a helper thread so a *second* signal can force the exit:
+    // a supervisor whose first SIGTERM hangs on slow in-flight pairs
+    // escalates, and gets a distinct typed exit code instead of a
+    // process stuck past its kill grace period. Forced exit abandons
+    // in-flight pairs, but every acked pair is already fsynced, so the
+    // session replays them on resume exactly as after kill -9.
+    let signals_at_drain = sig::count();
+    let (done_tx, done_rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        let _ = done_tx.send(handle.drain());
+    });
+    let report = loop {
+        match done_rx.recv_timeout(Duration::from_millis(10)) {
+            Ok(report) => break report,
+            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+                if sig::count() > signals_at_drain {
+                    eprintln!("# drain: second signal; forcing immediate exit");
+                    std::io::stderr().flush().ok();
+                    std::process::exit(EXIT_FORCED);
+                }
+            }
+            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
+                return Err("drain thread died before reporting".into());
+            }
+        }
+    };
     for (tenant, c) in &report.per_tenant {
         eprintln!(
             "# drain: tenant={tenant} admitted={} completed={} failed={} resumed={} \

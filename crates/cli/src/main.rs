@@ -17,6 +17,9 @@
 //! branch without parsing stderr: `3` pairs shed at admission, `4`
 //! deadline exceeded, `5` integrity violation (fail-closed audit). When
 //! several apply, the most severe wins: integrity ≻ deadline ≻ shed.
+//! `serve` exits `6` when a second SIGTERM/SIGINT lands mid-drain and
+//! forces an immediate stop (acked pairs stay durable; resume replays
+//! them).
 
 mod args;
 mod commands;

@@ -1,6 +1,6 @@
 //! Lifecycle tests for `smx-cli serve`: crash consistency under kill -9
-//! (acked pairs survive a restart byte-identically) and graceful drain
-//! on SIGTERM.
+//! (acked pairs survive a restart byte-identically), graceful drain on
+//! SIGTERM, and the forced-exit escape hatch on a second signal.
 
 #![cfg(unix)]
 
@@ -180,4 +180,52 @@ fn sigterm_drains_gracefully_and_reports_per_tenant_counts() {
     proc_.child.stderr.take().unwrap().read_to_string(&mut stderr).unwrap();
     assert!(stderr.contains("# drain: totals"), "missing drain totals in stderr: {stderr}");
     assert!(stderr.contains("tenant=itest"), "missing per-tenant drain line: {stderr}");
+}
+
+/// A second SIGTERM while the drain is still grinding through a slow
+/// backlog forces an immediate exit with the documented distinct code
+/// (6), instead of blocking until the backlog finishes. Acked pairs are
+/// already fsynced, so operators lose nothing by pulling this cord.
+#[test]
+fn second_sigterm_mid_drain_forces_exit_with_distinct_code() {
+    let mut proc_ = spawn_serve(&["--jobs", "1"]);
+    let (mut client, _) = connect(&proc_, "-");
+
+    // A backlog big enough that the single worker cannot drain it
+    // before the second signal lands: long sequences make each pair an
+    // O(m*n) grind.
+    let query = "ACGTACGTACGTACGT".repeat(750);
+    let mut reference = query.clone();
+    reference.insert(3, 'T');
+    for id in 0..8 {
+        client
+            .send(&Request::Pair { id, query: query.clone(), reference: reference.clone() })
+            .unwrap();
+    }
+    // Let the reader pull the pairs off the socket before signalling.
+    std::thread::sleep(Duration::from_millis(200));
+
+    // SAFETY: kill(2) with the child's real pid and a standard signal;
+    // no memory is touched.
+    let rc = unsafe { kill(proc_.child.id() as i32, SIGTERM) };
+    assert_eq!(rc, 0, "first kill(SIGTERM) failed");
+    std::thread::sleep(Duration::from_millis(300));
+    // SAFETY: as above.
+    let rc = unsafe { kill(proc_.child.id() as i32, SIGTERM) };
+    assert_eq!(rc, 0, "second kill(SIGTERM) failed");
+
+    let status = proc_.child.wait().expect("wait serve");
+    assert_eq!(
+        status.code(),
+        Some(6),
+        "second SIGTERM mid-drain must exit with the documented forced code, got {status:?}"
+    );
+    let mut stderr = String::new();
+    use std::io::Read as _;
+    proc_.child.stderr.take().unwrap().read_to_string(&mut stderr).unwrap();
+    assert!(
+        stderr.contains("forcing immediate exit"),
+        "missing forced-exit notice in stderr: {stderr}"
+    );
+    drop(client);
 }

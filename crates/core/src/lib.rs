@@ -46,12 +46,15 @@
 //! * [`pool`] — multi-device pool: audits, quarantine, hedging.
 //! * [`server`] — framed-TCP front door: tenant QoS, brownout ladder,
 //!   graceful drain, crash-consistent sessions.
+//! * [`failpoint`] — deterministic chaos: seeded failpoint schedules
+//!   over the host-side sites (no-op unless built with `failpoints`).
 
 pub use smx_algos as algos;
 pub use smx_align_core as align;
 pub use smx_coproc as coproc;
 pub use smx_datagen as datagen;
 pub use smx_diffenc as diffenc;
+pub use smx_failpoint as failpoint;
 pub use smx_isa as isa;
 pub use smx_physical as physical;
 pub use smx_sim as sim;

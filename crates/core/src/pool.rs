@@ -683,6 +683,12 @@ impl DevicePool {
     /// injected fault (detectable or silent) and reproduce the golden
     /// answer byte-identically.
     fn run_canary(&self, id: usize, canary: &Canary) -> bool {
+        // Failpoint `pool.canary` (lane = device id): the probe itself
+        // fails — a schedule can hold a device in quarantine past its
+        // cooldown and then release it, exercising readmission timing.
+        if smx_failpoint::hit_lane("pool.canary", id as u32).is_some() {
+            return false;
+        }
         // An unreachable device (poisoned by a panicked worker) cannot
         // pass a probe; it simply stays quarantined.
         let Ok(mut dev) = self.device(id) else { return false };

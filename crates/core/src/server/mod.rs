@@ -999,6 +999,13 @@ fn writer_loop(
     outstanding: &AtomicUsize,
 ) {
     let mut out = BufWriter::new(stream);
+    // Abandoning the connection mid-stream (dead socket, injected torn
+    // write, ack failpoint) must close the *socket*, not just this
+    // clone: the reader thread holds another clone, and the peer should
+    // observe a hard drop — the same thing a process death looks like.
+    let kill_socket = |out: &BufWriter<TcpStream>| {
+        let _ = out.get_ref().shutdown(std::net::Shutdown::Both);
+    };
     let mut local = (0u64, 0u64, 0u64, 0u64); // completed, failed, rejected, resumed
     let mut byeing = false;
     loop {
@@ -1028,7 +1035,13 @@ fn writer_loop(
                 if matches!(resp, Response::Reject { .. }) {
                     local.2 += 1;
                 }
-                let _ = write_frame(&mut out, &resp.encode());
+                if write_frame(&mut out, &resp.encode()).is_err() {
+                    // Dead socket (peer gone, or an injected torn
+                    // write): stop acking. Anything recorded but not
+                    // framed is replayed on resume.
+                    kill_socket(&out);
+                    return;
+                }
             }
             WriterMsg::Replay(id) => {
                 if let Some(a) = session.completed.get(&id) {
@@ -1041,7 +1054,10 @@ fn writer_loop(
                     local.3 += 1;
                     shared.bump(|c| c.resumed += 1);
                     shared.tenant_bump(tenant, |c| c.resumed += 1);
-                    let _ = write_frame(&mut out, &frame.encode());
+                    if write_frame(&mut out, &frame.encode()).is_err() {
+                        kill_socket(&out);
+                        return;
+                    }
                 }
             }
             WriterMsg::Done(c) => {
@@ -1054,7 +1070,17 @@ fn writer_loop(
                             if c.degraded {
                                 shared.tenant_bump(tenant, |t| t.degraded_software += 1);
                             }
-                            let _ = write_frame(
+                            // Failpoint `session.ack`: die between the
+                            // fsynced record and the RESULT frame — the
+                            // recorded-but-unacked window. Dropping the
+                            // connection here must never lose the pair:
+                            // resume replays it (at-least-once), which
+                            // is exactly what chaos_storm asserts.
+                            if smx_failpoint::hit("session.ack").is_some() {
+                                kill_socket(&out);
+                                return;
+                            }
+                            if write_frame(
                                 &mut out,
                                 &Response::Result {
                                     id: c.id,
@@ -1063,7 +1089,14 @@ fn writer_loop(
                                     resumed: false,
                                 }
                                 .encode(),
-                            );
+                            )
+                            .is_err()
+                            {
+                                // Recorded but the ack never reached the
+                                // wire: same recoverable window as above.
+                                kill_socket(&out);
+                                return;
+                            }
                         }
                         Err(e) => {
                             // The manifest write failed: the pair is NOT

@@ -68,6 +68,23 @@ pub fn write_frame<W: Write>(w: &mut W, payload: &str) -> Result<(), ProtoError>
     if bytes.len() > MAX_FRAME {
         return Err(ProtoError::Oversized(bytes.len()));
     }
+    // Failpoint `proto.write_frame`: Error drops the frame before any
+    // byte leaves (connection-level failure); Partial puts the header
+    // and half the payload on the wire — the torn frame a peer sees
+    // when a sender dies mid-write — then fails. Either way the caller
+    // must treat the stream as dead.
+    match smx_failpoint::hit("proto.write_frame") {
+        Some(smx_failpoint::Injected::Error) => {
+            return Err(ProtoError::Io(smx_failpoint::injected_io_error()));
+        }
+        Some(smx_failpoint::Injected::Partial) => {
+            w.write_all(&(bytes.len() as u32).to_be_bytes())?;
+            w.write_all(bytes.get(..bytes.len() / 2).unwrap_or(bytes))?;
+            w.flush()?;
+            return Err(ProtoError::Io(smx_failpoint::injected_io_error()));
+        }
+        None => {}
+    }
     w.write_all(&(bytes.len() as u32).to_be_bytes())?;
     w.write_all(bytes)?;
     w.flush()?;
@@ -82,6 +99,22 @@ pub fn write_frame<W: Write>(w: &mut W, payload: &str) -> Result<(), ProtoError>
 /// [`ProtoError::Oversized`] / [`ProtoError::NotUtf8`] for protocol
 /// violations; I/O errors (including read timeouts) pass through.
 pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<String>, ProtoError> {
+    // Failpoint `proto.read_frame`: Error surfaces a connection-level
+    // read failure; Partial is the peer dying mid-frame — exactly the
+    // typed UnexpectedEof a torn sender (see `proto.write_frame`)
+    // produces on this side of the wire.
+    match smx_failpoint::hit("proto.read_frame") {
+        Some(smx_failpoint::Injected::Error) => {
+            return Err(ProtoError::Io(smx_failpoint::injected_io_error()));
+        }
+        Some(smx_failpoint::Injected::Partial) => {
+            return Err(ProtoError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "failpoint: peer died mid-frame",
+            )));
+        }
+        None => {}
+    }
     let mut len = [0u8; 4];
     match r.read(&mut len) {
         Ok(0) => return Ok(None),

@@ -15,7 +15,6 @@
 //! away on reopen, with a one-line warning naming the byte offset.
 
 use std::collections::{HashMap, HashSet};
-use std::io::BufWriter;
 use std::path::{Path, PathBuf};
 
 use smx_align_core::Alignment;
@@ -30,7 +29,7 @@ pub struct Session {
     pub id: String,
     /// Completed pairs by client pair ID, replayed on re-submission.
     pub completed: HashMap<usize, Alignment>,
-    writer: Option<CheckpointWriter<BufWriter<SyncFile>>>,
+    writer: Option<CheckpointWriter<SyncFile>>,
 }
 
 impl Session {
@@ -145,7 +144,7 @@ impl SessionStore {
         path: &Path,
         resume: bool,
         warn: &mut dyn FnMut(u64),
-    ) -> Result<(HashMap<usize, Alignment>, CheckpointWriter<BufWriter<SyncFile>>), IoError> {
+    ) -> Result<(HashMap<usize, Alignment>, CheckpointWriter<SyncFile>), IoError> {
         if resume {
             let manifest = Manifest::load(path)?;
             if let Some(offset) = manifest.torn_offset {

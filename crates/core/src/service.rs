@@ -741,6 +741,14 @@ fn attempt_on_device(
         // as device sickness.
         Err(e) => return (Err(e), false),
     };
+    // Failpoint `pool.dispatch` (lane = device id): the dispatch path
+    // to this device fails before work starts. Surfaced as a
+    // recoverable TileCorrupted fault so the breaker, EWMA health, and
+    // quarantine ladder all react exactly as they would to real device
+    // sickness — which is what chaos schedules poison a device with.
+    if smx_failpoint::hit_lane("pool.dispatch", id as u32).is_some() {
+        return (Err(AlignError::TileCorrupted { ti: 0, tj: 0 }), true);
+    }
     dev.set_cancel_token(Some(token));
     let before = dev.recovery_stats();
     // LINT: allow(lock-order) the device guard must stay held across its own DP by design: the mutex IS the device's execution slot

@@ -1,0 +1,582 @@
+//! Deterministic failpoints for the SMX host-side stack (DESIGN.md §10).
+//!
+//! A *failpoint* is a named site compiled into a hot host path —
+//! checkpoint write/fsync, the framed-TCP codec, pool dispatch, the
+//! session ack — that can be told to misbehave on demand. Sites are
+//! controlled by a seeded [`FailSchedule`]: every hit of every site is
+//! mapped through SplitMix64 over `(seed, site, lane, hit-count)` to an
+//! [`Action`], so a chaos run is replayed exactly from its schedule
+//! string alone. In the spirit of tikv's `fail-rs`, but std-only and
+//! dependency-free like the rest of this tree.
+//!
+//! With the `failpoints` cargo feature off (the default), [`hit`] is an
+//! inlined `None` and no registry exists — instrumented paths compile to
+//! their production form with zero overhead. The schedule *types* are
+//! always available, so harnesses can build and print schedules
+//! regardless of how the target binary was compiled.
+//!
+//! ## Schedule strings
+//!
+//! ```text
+//! seed=42;ckpt.fsync=error@0.2;proto.write_frame=partial@0.1x5;kill=session.ack:17
+//! ```
+//!
+//! Clause grammar: `seed=<u64>`, `kill=<site>[#lane]:<hit>` (kill the
+//! process at exactly that hit), or `<site>[#lane]=<action>@<rate>[x<limit>]`
+//! where action is `error`, `partial`, `delay:<ms>`, or `kill`, rate is
+//! the per-hit firing probability, and `x<limit>` stops the rule after
+//! its site's first `limit` hits (how a storm "ends" so recovery can be
+//! observed). A lane distinguishes instances of one site (for example
+//! pool devices); a rule without a lane matches every lane.
+//!
+//! ```
+//! use smx_failpoint::FailSchedule;
+//! let s = FailSchedule::parse("seed=7;ckpt.fsync=error@0.25;kill=session.ack:3").unwrap();
+//! assert_eq!(s.seed, 7);
+//! assert_eq!(FailSchedule::parse(&s.to_string()).unwrap(), s, "display round-trips");
+//! ```
+
+use std::fmt;
+
+/// Environment variable a process reads its schedule from (see
+/// [`install_from_env`]); the `smx-cli serve` subcommand installs it at
+/// startup so a *spawned* server can be killed at an exact failpoint hit.
+pub const ENV_VAR: &str = "SMX_FAILPOINTS";
+
+/// What a schedule does to a site hit.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Action {
+    /// Surface an injected error from the site.
+    Error,
+    /// A torn half-effect: short write, truncated frame.
+    Partial,
+    /// Stall the hit for this many milliseconds, then proceed normally.
+    Delay(u64),
+    /// Kill the process on the spot (`abort`, as `kill -9` would).
+    Kill,
+}
+
+/// What an instrumented site must materialize. [`Action::Delay`] is
+/// slept and [`Action::Kill`] aborts inside the registry, so sites only
+/// ever see the two effects they have to fake themselves.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Injected {
+    /// Return the site's typed error without performing the operation.
+    Error,
+    /// Perform a torn half-operation, then return the typed error.
+    Partial,
+}
+
+/// One probabilistic rule: at each hit of `site` (on `lane`, or any
+/// lane when `None`), fire `action` with probability `rate`, but only
+/// while the site's hit-count is below `limit` (unbounded when `None`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Rule {
+    /// Site name, e.g. `ckpt.fsync`.
+    pub site: String,
+    /// Lane filter (`None` matches every lane).
+    pub lane: Option<u32>,
+    /// Action to fire.
+    pub action: Action,
+    /// Per-hit firing probability in `[0, 1]`.
+    pub rate: f64,
+    /// Stop firing once the hit-count reaches this (faults "end").
+    pub limit: Option<u64>,
+}
+
+/// A pinned process kill: abort at exactly hit `hit` of `site`/`lane`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct KillSpec {
+    /// Site name.
+    pub site: String,
+    /// Lane filter (`None` matches every lane).
+    pub lane: Option<u32>,
+    /// Zero-based hit-count to die at.
+    pub hit: u64,
+}
+
+/// A complete, replayable chaos schedule: a seed, probabilistic rules,
+/// and pinned kills. Its `Display` form is the replay string.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FailSchedule {
+    /// Seed feeding the per-hit SplitMix64 decision.
+    pub seed: u64,
+    /// Probabilistic rules, first match wins.
+    pub rules: Vec<Rule>,
+    /// Pinned kills, checked before the rules.
+    pub kills: Vec<KillSpec>,
+}
+
+impl FailSchedule {
+    /// An empty schedule with `seed`.
+    #[must_use]
+    pub fn new(seed: u64) -> FailSchedule {
+        FailSchedule { seed, rules: Vec::new(), kills: Vec::new() }
+    }
+
+    /// Builder: appends a rule.
+    #[must_use]
+    pub fn rule(
+        mut self,
+        site: &str,
+        lane: Option<u32>,
+        action: Action,
+        rate: f64,
+        limit: Option<u64>,
+    ) -> FailSchedule {
+        self.rules.push(Rule { site: site.to_string(), lane, action, rate, limit });
+        self
+    }
+
+    /// Builder: appends a pinned kill.
+    #[must_use]
+    pub fn kill_at(mut self, site: &str, lane: Option<u32>, hit: u64) -> FailSchedule {
+        self.kills.push(KillSpec { site: site.to_string(), lane, hit });
+        self
+    }
+
+    /// The deterministic decision for hit number `hit` (zero-based) of
+    /// `site` on `lane`. Pure: the registry calls this, and harnesses
+    /// can call it directly to predict where a schedule will fire.
+    #[must_use]
+    pub fn decide(&self, site: &str, lane: u32, hit: u64) -> Option<Action> {
+        for k in &self.kills {
+            if k.site == site && k.lane.is_none_or(|l| l == lane) && k.hit == hit {
+                return Some(Action::Kill);
+            }
+        }
+        for (idx, r) in self.rules.iter().enumerate() {
+            if r.site != site || r.lane.is_some_and(|l| l != lane) {
+                continue;
+            }
+            if r.limit.is_some_and(|lim| hit >= lim) {
+                continue;
+            }
+            if fires(self.seed, idx as u64, site, lane, hit, r.rate) {
+                return Some(r.action);
+            }
+        }
+        None
+    }
+
+    /// Parses a schedule string (see the module docs for the grammar).
+    ///
+    /// # Errors
+    ///
+    /// A message naming the malformed clause.
+    pub fn parse(text: &str) -> Result<FailSchedule, String> {
+        let mut s = FailSchedule::default();
+        for clause in text.split(';') {
+            let clause = clause.trim();
+            if clause.is_empty() {
+                continue;
+            }
+            if let Some(v) = clause.strip_prefix("seed=") {
+                s.seed = v.parse().map_err(|_| format!("bad seed {v:?}"))?;
+            } else if let Some(v) = clause.strip_prefix("kill=") {
+                let (target, hit) =
+                    v.split_once(':').ok_or_else(|| format!("kill clause {v:?} needs site:hit"))?;
+                let (site, lane) = parse_target(target)?;
+                let hit = hit.parse().map_err(|_| format!("bad kill hit {hit:?}"))?;
+                s.kills.push(KillSpec { site, lane, hit });
+            } else {
+                let (target, spec) = clause
+                    .split_once('=')
+                    .ok_or_else(|| format!("clause {clause:?} is not site=action@rate"))?;
+                let (site, lane) = parse_target(target)?;
+                let (action, rest) = spec
+                    .split_once('@')
+                    .ok_or_else(|| format!("rule {spec:?} is missing @rate"))?;
+                let action = parse_action(action)?;
+                let (rate, limit) = match rest.split_once('x') {
+                    Some((rate, lim)) => {
+                        (rate, Some(lim.parse().map_err(|_| format!("bad limit {lim:?}"))?))
+                    }
+                    None => (rest, None),
+                };
+                let rate: f64 = rate.parse().map_err(|_| format!("bad rate {rate:?}"))?;
+                if !(0.0..=1.0).contains(&rate) {
+                    return Err(format!("rate {rate} is outside [0, 1]"));
+                }
+                s.rules.push(Rule { site, lane, action, rate, limit });
+            }
+        }
+        Ok(s)
+    }
+}
+
+fn parse_target(target: &str) -> Result<(String, Option<u32>), String> {
+    let (site, lane) = match target.split_once('#') {
+        Some((site, lane)) => (site, Some(lane.parse().map_err(|_| format!("bad lane {lane:?}"))?)),
+        None => (target, None),
+    };
+    if site.is_empty()
+        || !site.bytes().all(|b| b.is_ascii_alphanumeric() || matches!(b, b'.' | b'_' | b'-'))
+    {
+        return Err(format!("site {site:?} must match [A-Za-z0-9._-]+"));
+    }
+    Ok((site.to_string(), lane))
+}
+
+fn parse_action(name: &str) -> Result<Action, String> {
+    if let Some(ms) = name.strip_prefix("delay:") {
+        return Ok(Action::Delay(ms.parse().map_err(|_| format!("bad delay {ms:?}"))?));
+    }
+    match name {
+        "error" => Ok(Action::Error),
+        "partial" => Ok(Action::Partial),
+        "kill" => Ok(Action::Kill),
+        other => Err(format!("unknown action {other:?} (error|partial|delay:<ms>|kill)")),
+    }
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Action::Error => f.write_str("error"),
+            Action::Partial => f.write_str("partial"),
+            Action::Delay(ms) => write!(f, "delay:{ms}"),
+            Action::Kill => f.write_str("kill"),
+        }
+    }
+}
+
+impl fmt::Display for FailSchedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "seed={}", self.seed)?;
+        for r in &self.rules {
+            write!(f, ";{}", r.site)?;
+            if let Some(lane) = r.lane {
+                write!(f, "#{lane}")?;
+            }
+            write!(f, "={}@{}", r.action, r.rate)?;
+            if let Some(lim) = r.limit {
+                write!(f, "x{lim}")?;
+            }
+        }
+        for k in &self.kills {
+            write!(f, ";kill={}", k.site)?;
+            if let Some(lane) = k.lane {
+                write!(f, "#{lane}")?;
+            }
+            write!(f, ":{}", k.hit)?;
+        }
+        Ok(())
+    }
+}
+
+/// FNV-1a over the site name, feeding the per-hit mix.
+fn site_hash(site: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in site.bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// SplitMix64 finalizer over `(seed, site, lane, hit)` — the same
+/// construction the audit sampler uses, so one replayable decision
+/// stream per (schedule, site, lane).
+fn mix(seed: u64, site: &str, lane: u32, hit: u64) -> u64 {
+    let mut x =
+        seed ^ site_hash(site) ^ (u64::from(lane) << 32) ^ hit.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Whether rule `idx` fires at this hit: the mixed value, salted by the
+/// rule index so stacked rules on one site decide independently, lands
+/// below `rate`.
+fn fires(seed: u64, idx: u64, site: &str, lane: u32, hit: u64, rate: f64) -> bool {
+    if rate >= 1.0 {
+        return true;
+    }
+    if rate <= 0.0 {
+        return false;
+    }
+    let x = mix(seed ^ idx.wrapping_mul(0xA076_1D64_78BD_642F), site, lane, hit);
+    ((x >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < rate
+}
+
+/// The error an [`Injected::Error`] site surfaces, recognizable in logs
+/// and assertions by its message.
+#[must_use]
+pub fn injected_io_error() -> std::io::Error {
+    std::io::Error::other("failpoint: injected i/o fault")
+}
+
+/// Why [`install_from_env`] could not install a schedule.
+#[derive(Debug)]
+pub enum InstallError {
+    /// The schedule string did not parse.
+    Parse(String),
+    /// The env var is set but this binary was compiled without the
+    /// `failpoints` feature — running on silently would make a chaos
+    /// harness pass vacuously, so the caller must fail loudly.
+    NotCompiled,
+}
+
+impl fmt::Display for InstallError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InstallError::Parse(m) => write!(f, "{ENV_VAR}: {m}"),
+            InstallError::NotCompiled => write!(
+                f,
+                "{ENV_VAR} is set but failpoints are not compiled into this binary \
+                 (rebuild with --features failpoints)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for InstallError {}
+
+#[cfg(feature = "failpoints")]
+mod registry {
+    use super::{Action, FailSchedule, Injected, InstallError, ENV_VAR};
+    use std::collections::BTreeMap;
+    use std::sync::{Mutex, PoisonError};
+
+    struct State {
+        schedule: FailSchedule,
+        hits: BTreeMap<(&'static str, u32), u64>,
+    }
+
+    /// Test override for [`Action::Kill`]; the default aborts.
+    type KillHook = fn(&'static str, u32, u64);
+
+    static STATE: Mutex<Option<State>> = Mutex::new(None);
+    static KILL_HOOK: Mutex<Option<KillHook>> = Mutex::new(None);
+
+    /// Installs `schedule`, resetting every hit-counter.
+    pub fn install(schedule: FailSchedule) {
+        *STATE.lock().unwrap_or_else(PoisonError::into_inner) =
+            Some(State { schedule, hits: BTreeMap::new() });
+    }
+
+    /// Uninstalls the schedule; sites become no-ops again.
+    pub fn clear() {
+        *STATE.lock().unwrap_or_else(PoisonError::into_inner) = None;
+    }
+
+    /// Installs the schedule named by `SMX_FAILPOINTS`, if set.
+    ///
+    /// # Errors
+    ///
+    /// [`InstallError::Parse`] for a malformed schedule string.
+    pub fn install_from_env() -> Result<Option<FailSchedule>, InstallError> {
+        let text = match std::env::var(ENV_VAR) {
+            Ok(t) if !t.trim().is_empty() => t,
+            _ => return Ok(None),
+        };
+        let schedule = FailSchedule::parse(&text).map_err(InstallError::Parse)?;
+        install(schedule.clone());
+        Ok(Some(schedule))
+    }
+
+    /// Replaces the kill handler (tests only); `None` restores `abort`.
+    pub fn set_kill_hook(hook: Option<KillHook>) {
+        *KILL_HOOK.lock().unwrap_or_else(PoisonError::into_inner) = hook;
+    }
+
+    /// Hits `site` on `lane`: bumps the counter, applies the schedule.
+    /// Delays are slept here (after releasing the registry lock) and
+    /// kills abort here; sites only see [`Injected`] effects.
+    pub fn hit_lane(site: &'static str, lane: u32) -> Option<Injected> {
+        let decision = {
+            let mut guard = STATE.lock().unwrap_or_else(PoisonError::into_inner);
+            let state = guard.as_mut()?;
+            let count = state.hits.entry((site, lane)).or_insert(0);
+            let hit = *count;
+            *count += 1;
+            state.schedule.decide(site, lane, hit).map(|a| (a, hit))
+        };
+        let (action, hit) = decision?;
+        match action {
+            Action::Error => Some(Injected::Error),
+            Action::Partial => Some(Injected::Partial),
+            Action::Delay(ms) => {
+                // LINT: allow(determinism) the Delay action is an explicitly scheduled, seed-replayable stall
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+                None
+            }
+            Action::Kill => {
+                let hook = *KILL_HOOK.lock().unwrap_or_else(PoisonError::into_inner);
+                match hook {
+                    Some(f) => {
+                        f(site, lane, hit);
+                        None
+                    }
+                    None => {
+                        // The whole point: die exactly like kill -9 at
+                        // this instant, with the site on stderr so a
+                        // harness can confirm where the process fell.
+                        eprintln!("# failpoint: kill at {site}#{lane} hit {hit}");
+                        std::process::abort()
+                    }
+                }
+            }
+        }
+    }
+
+    /// How many times `site`/`lane` has been hit under the current
+    /// schedule (0 when none is installed).
+    pub fn hits(site: &'static str, lane: u32) -> u64 {
+        STATE
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .as_ref()
+            .and_then(|s| s.hits.get(&(site, lane)).copied())
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(feature = "failpoints")]
+pub use registry::{clear, hit_lane, hits, install, install_from_env, set_kill_hook};
+
+/// No-op stubs when failpoints are compiled out: sites inline to `None`
+/// and the optimizer erases the instrumentation entirely.
+#[cfg(not(feature = "failpoints"))]
+mod stubs {
+    use super::{FailSchedule, Injected, InstallError, ENV_VAR};
+
+    /// Compiled-out registry: never fires.
+    #[inline(always)]
+    pub fn hit_lane(_site: &'static str, _lane: u32) -> Option<Injected> {
+        None
+    }
+
+    /// Compiled-out registry: nothing to install into.
+    pub fn install(_schedule: FailSchedule) {}
+
+    /// Compiled-out registry: nothing to clear.
+    pub fn clear() {}
+
+    /// Compiled-out registry: no counters.
+    #[inline(always)]
+    pub fn hits(_site: &'static str, _lane: u32) -> u64 {
+        0
+    }
+
+    /// Refuses loudly when a schedule is requested of a binary that
+    /// cannot honor it (a chaos run against such a binary would pass
+    /// vacuously).
+    ///
+    /// # Errors
+    ///
+    /// [`InstallError::NotCompiled`] when `SMX_FAILPOINTS` is set.
+    pub fn install_from_env() -> Result<Option<FailSchedule>, InstallError> {
+        match std::env::var(ENV_VAR) {
+            Ok(t) if !t.trim().is_empty() => Err(InstallError::NotCompiled),
+            _ => Ok(None),
+        }
+    }
+}
+
+#[cfg(not(feature = "failpoints"))]
+pub use stubs::{clear, hit_lane, hits, install, install_from_env};
+
+/// Hits `site` on lane 0 — the common single-instance site form.
+#[inline(always)]
+pub fn hit(site: &'static str) -> Option<Injected> {
+    hit_lane(site, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_display_round_trips() {
+        let s = FailSchedule::new(42)
+            .rule("ckpt.fsync", None, Action::Error, 0.25, None)
+            .rule("proto.write_frame", Some(3), Action::Partial, 0.1, Some(5))
+            .rule("pool.dispatch", Some(1), Action::Delay(7), 1.0, Some(40))
+            .kill_at("session.ack", None, 17);
+        let text = s.to_string();
+        assert_eq!(FailSchedule::parse(&text).unwrap(), s, "{text}");
+        // And the documented example form parses.
+        let doc = "seed=42;ckpt.fsync=error@0.2;proto.write_frame=partial@0.1x5;\
+                   kill=session.ack:17";
+        let parsed = FailSchedule::parse(doc).unwrap();
+        assert_eq!(parsed.seed, 42);
+        assert_eq!(parsed.rules.len(), 2);
+        assert_eq!(parsed.kills.len(), 1);
+    }
+
+    #[test]
+    fn malformed_schedules_are_typed_errors() {
+        for bad in [
+            "seed=abc",
+            "ckpt.fsync=error",
+            "ckpt.fsync=explode@0.5",
+            "ckpt.fsync=error@1.5",
+            "ckpt.fsync=error@-0.1",
+            "bad site=error@0.5",
+            "kill=site.only",
+            "kill=site:xyz",
+            "site#lane=error@0.5",
+        ] {
+            assert!(FailSchedule::parse(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn decide_is_deterministic_and_respects_limits() {
+        let s = FailSchedule::new(7)
+            .rule("a.b", None, Action::Error, 0.5, Some(100))
+            .kill_at("a.b", None, 999);
+        let first: Vec<Option<Action>> = (0..200).map(|h| s.decide("a.b", 0, h)).collect();
+        let second: Vec<Option<Action>> = (0..200).map(|h| s.decide("a.b", 0, h)).collect();
+        assert_eq!(first, second, "decisions replay exactly");
+        let fired = first.iter().filter(|d| d.is_some()).count();
+        assert!(fired > 20 && fired < 80, "rate 0.5 over 100 eligible hits, got {fired}");
+        assert!(
+            first.iter().skip(100).all(Option::is_none),
+            "nothing fires past the limit (hits 100..200)"
+        );
+        assert_eq!(s.decide("a.b", 0, 999), Some(Action::Kill), "pinned kill wins");
+        assert_eq!(s.decide("other", 0, 3), None, "unrelated sites never fire");
+    }
+
+    #[test]
+    fn lanes_decide_independently_and_lane_rules_filter() {
+        let all = FailSchedule::new(9).rule("p.d", None, Action::Error, 0.5, None);
+        let lane0: Vec<bool> = (0..64).map(|h| all.decide("p.d", 0, h).is_some()).collect();
+        let lane1: Vec<bool> = (0..64).map(|h| all.decide("p.d", 1, h).is_some()).collect();
+        assert_ne!(lane0, lane1, "lanes have distinct decision streams");
+        let only1 = FailSchedule::new(9).rule("p.d", Some(1), Action::Error, 1.0, None);
+        assert!(only1.decide("p.d", 0, 0).is_none());
+        assert_eq!(only1.decide("p.d", 1, 0), Some(Action::Error));
+    }
+
+    #[test]
+    fn rate_extremes_are_exact() {
+        let s = FailSchedule::new(1).rule("always", None, Action::Error, 1.0, None).rule(
+            "never",
+            None,
+            Action::Error,
+            0.0,
+            None,
+        );
+        assert!((0..100).all(|h| s.decide("always", 0, h) == Some(Action::Error)));
+        assert!((0..100).all(|h| s.decide("never", 0, h).is_none()));
+    }
+
+    #[cfg(feature = "failpoints")]
+    #[test]
+    fn registry_counts_hits_and_fires_injections() {
+        // Serialized with any other registry-touching test by dint of
+        // being the only one in this crate.
+        install(FailSchedule::new(3).rule("test.site", None, Action::Error, 1.0, Some(2)));
+        assert_eq!(hit("test.site"), Some(Injected::Error));
+        assert_eq!(hit("test.site"), Some(Injected::Error));
+        assert_eq!(hit("test.site"), None, "limit 2 exhausted");
+        assert_eq!(hits("test.site", 0), 3);
+        clear();
+        assert_eq!(hit("test.site"), None);
+        assert_eq!(hits("test.site", 0), 0);
+    }
+}

@@ -30,7 +30,7 @@
 
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
-use std::io::{BufReader, BufWriter, Read, Write};
+use std::io::{BufReader, Read, Seek, SeekFrom, Write};
 use std::path::Path;
 
 use smx_align_core::{Alignment, Cigar};
@@ -52,42 +52,133 @@ fn payload(index: usize, score: i32, cigar: &str) -> String {
     format!("{index}\t{score}\t{cigar}")
 }
 
+/// A sink [`CheckpointWriter`] can roll back after a failed record,
+/// restoring the invariant a resume depends on: the file is a valid
+/// prefix of whole records, at worst followed by one torn *final* line.
+/// Without the rollback, the torn bytes of a failed record would merge
+/// with the next successful one into a corrupt *middle* line — which
+/// [`Manifest::load`] rejects by design, permanently wedging the
+/// session.
+pub trait RecordSink: Write {
+    /// Marks everything written so far as durable (a record landed).
+    fn mark_durable(&mut self) {}
+
+    /// Discards everything past the last durable mark.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying truncation failure; the caller must
+    /// then stop appending (the sink may end in torn bytes).
+    fn rollback(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// In-memory sinks never fail mid-record; nothing to roll back.
+impl RecordSink for Vec<u8> {}
+
+impl<S: RecordSink + ?Sized> RecordSink for &mut S {
+    fn mark_durable(&mut self) {
+        (**self).mark_durable()
+    }
+
+    fn rollback(&mut self) -> std::io::Result<()> {
+        (**self).rollback()
+    }
+}
+
 /// A [`File`] whose `flush` also issues `sync_data`, so every
 /// [`CheckpointWriter::record`] (and the flush-on-drop) pushes the line
 /// through the OS page cache to the device. Without the sync, a *machine*
 /// crash (as opposed to a process crash) could lose lines the writer had
-/// already reported as durable.
+/// already reported as durable. Tracks its durable length so a failed
+/// record can be truncated away ([`RecordSink::rollback`]).
 #[derive(Debug)]
-pub struct SyncFile(File);
+pub struct SyncFile {
+    file: File,
+    /// Bytes written so far, including any torn tail from a failure.
+    len: u64,
+    /// Bytes fully recorded, flushed, and synced.
+    durable: u64,
+}
 
 impl Write for SyncFile {
     fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
-        self.0.write(buf)
+        // Failpoint `ckpt.write`: Error refuses the write outright
+        // (ENOSPC-style); Partial commits only half the buffer to the
+        // file — a real torn tail the rollback must truncate away —
+        // and reports the failure to the caller.
+        match smx_failpoint::hit("ckpt.write") {
+            Some(smx_failpoint::Injected::Error) => {
+                return Err(smx_failpoint::injected_io_error());
+            }
+            Some(smx_failpoint::Injected::Partial) => {
+                let torn = buf.get(..buf.len() / 2).unwrap_or(buf);
+                self.file.write_all(torn)?;
+                self.len += torn.len() as u64;
+                let _ = self.file.sync_data();
+                return Err(smx_failpoint::injected_io_error());
+            }
+            None => {}
+        }
+        let n = self.file.write(buf)?;
+        self.len += n as u64;
+        Ok(n)
     }
 
     fn flush(&mut self) -> std::io::Result<()> {
-        self.0.flush()?;
-        self.0.sync_data()
+        self.file.flush()?;
+        // Failpoint `ckpt.fsync`: the durability barrier fails after
+        // the page-cache write went through — the OS has the bytes but
+        // the writer must NOT ack them. Partial degrades to Error here
+        // (there is no half of an fsync).
+        if smx_failpoint::hit("ckpt.fsync").is_some() {
+            return Err(smx_failpoint::injected_io_error());
+        }
+        self.file.sync_data()
+    }
+}
+
+impl RecordSink for SyncFile {
+    fn mark_durable(&mut self) {
+        self.durable = self.len;
+    }
+
+    fn rollback(&mut self) -> std::io::Result<()> {
+        self.file.set_len(self.durable)?;
+        // Reposition for the non-append (`create`) case; append-mode
+        // files ignore the cursor and this is a harmless no-op.
+        self.file.seek(SeekFrom::Start(self.durable))?;
+        self.len = self.durable;
+        Ok(())
     }
 }
 
 /// Streams completed pairs into a manifest, flushing (and, for
 /// file-backed writers, syncing) after every record so the file is
-/// crash-safe at line granularity. Dropping the writer flushes whatever
-/// the last `record` left buffered, as a belt-and-braces backstop.
+/// crash-safe at line granularity.
+///
+/// The I/O-error contract: `record` either lands the whole line durably
+/// or rolls the sink back to the previous record and returns a typed
+/// error — the file never holds torn bytes *between* valid records. If
+/// the rollback itself fails, the writer poisons itself (every further
+/// `record` errors) and the file ends in at most one torn *final* line,
+/// which [`Manifest::load`] and [`CheckpointWriter::append`] recover
+/// from.
 #[derive(Debug)]
-pub struct CheckpointWriter<W: Write> {
+pub struct CheckpointWriter<W: RecordSink> {
     out: W,
+    poisoned: bool,
 }
 
-impl CheckpointWriter<BufWriter<SyncFile>> {
+impl CheckpointWriter<SyncFile> {
     /// Creates (truncating) a manifest file at `path`.
     ///
     /// # Errors
     ///
     /// Propagates file-creation failures.
-    pub fn create(path: &Path) -> Result<CheckpointWriter<BufWriter<SyncFile>>, IoError> {
-        Ok(CheckpointWriter::new(BufWriter::new(SyncFile(File::create(path)?))))
+    pub fn create(path: &Path) -> Result<CheckpointWriter<SyncFile>, IoError> {
+        Ok(CheckpointWriter::new(SyncFile { file: File::create(path)?, len: 0, durable: 0 }))
     }
 
     /// Opens `path` for appending (the resume case: completed pairs from
@@ -102,7 +193,7 @@ impl CheckpointWriter<BufWriter<SyncFile>> {
     /// # Errors
     ///
     /// Propagates file-open and truncation failures.
-    pub fn append(path: &Path) -> Result<CheckpointWriter<BufWriter<SyncFile>>, IoError> {
+    pub fn append(path: &Path) -> Result<CheckpointWriter<SyncFile>, IoError> {
         let valid = match std::fs::read(path) {
             Ok(bytes) => valid_prefix_len(&bytes),
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => 0,
@@ -110,14 +201,14 @@ impl CheckpointWriter<BufWriter<SyncFile>> {
         };
         let file = OpenOptions::new().create(true).append(true).open(path)?;
         file.set_len(valid as u64)?;
-        Ok(CheckpointWriter::new(BufWriter::new(SyncFile(file))))
+        Ok(CheckpointWriter::new(SyncFile { file, len: valid as u64, durable: valid as u64 }))
     }
 }
 
-impl<W: Write> CheckpointWriter<W> {
-    /// Wraps any writer (tests use a `Vec<u8>`).
+impl<W: RecordSink> CheckpointWriter<W> {
+    /// Wraps any sink (tests use a `Vec<u8>`).
     pub fn new(out: W) -> CheckpointWriter<W> {
-        CheckpointWriter { out }
+        CheckpointWriter { out, poisoned: false }
     }
 
     /// Appends one completed pair, flushes, and (when file-backed) syncs
@@ -125,22 +216,46 @@ impl<W: Write> CheckpointWriter<W> {
     ///
     /// # Errors
     ///
-    /// Propagates write failures.
+    /// Returns a typed [`IoError`] on any write or sync failure, after
+    /// rolling the sink back to the previous record (see the type-level
+    /// contract). A poisoned writer fails every call without touching
+    /// the sink.
     pub fn record(&mut self, index: usize, alignment: &Alignment) -> Result<(), IoError> {
+        if self.poisoned {
+            return Err(IoError::Io(std::io::Error::other(
+                "checkpoint writer poisoned by an earlier unrecoverable write failure",
+            )));
+        }
         let cigar = alignment.cigar.to_string();
         let body = payload(index, alignment.score, &cigar);
         let sum = fnv1a64(body.as_bytes());
-        writeln!(self.out, "{body}\t{sum:016x}")?;
-        self.out.flush()?;
-        Ok(())
+        let line = format!("{body}\t{sum:016x}\n");
+        let attempt = self.out.write_all(line.as_bytes()).and_then(|()| self.out.flush());
+        match attempt {
+            Ok(()) => {
+                self.out.mark_durable();
+                Ok(())
+            }
+            Err(e) => {
+                if self.out.rollback().is_err() {
+                    self.poisoned = true;
+                }
+                Err(IoError::Io(e))
+            }
+        }
     }
 }
 
-impl<W: Write> Drop for CheckpointWriter<W> {
+impl<W: RecordSink> Drop for CheckpointWriter<W> {
     fn drop(&mut self) {
-        // Every successful `record` already flushed; this catches a
-        // partially buffered line from a failed one. Errors here have
-        // nowhere to go — the next load's checksums catch the damage.
+        // Every successful `record` already flushed and every failed one
+        // rolled back, so this only matters for a poisoned writer whose
+        // sink may still hold torn bytes the OS has not synced. Errors
+        // here have nowhere to go — the next load's checksums catch the
+        // damage.
+        if !self.poisoned {
+            return;
+        }
         let _ = self.out.flush();
     }
 }

@@ -1,0 +1,211 @@
+//! Failpoint-driven chaos regression tests: the deterministic, seconds-
+//! scale versions of what `chaos_storm` exercises at scale. Compiled
+//! only with the `failpoints` feature (`cargo test --features
+//! failpoints`); without it this file is empty and the default test run
+//! is unaffected.
+//!
+//! The failpoint registry is process-global, so every test here takes
+//! [`registry_lock`] for its whole body and clears the registry before
+//! releasing it — tests in this binary serialize, tests in other
+//! binaries are other processes.
+#![cfg(feature = "failpoints")]
+
+use smx::failpoint::{self, Action, FailSchedule};
+use smx::prelude::*;
+use smx::server::proto::{read_frame, write_frame, ProtoError};
+use smx::service::{BatchExecutor, BreakerConfig, ExecutorConfig};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+static REGISTRY: Mutex<()> = Mutex::new(());
+
+/// Exclusive access to the process-global failpoint registry, cleared on
+/// drop so a failing test cannot leak its schedule into the next one.
+fn registry_lock() -> impl Drop {
+    struct Guard(#[allow(dead_code)] MutexGuard<'static, ()>);
+    impl Drop for Guard {
+        fn drop(&mut self) {
+            failpoint::clear();
+        }
+    }
+    Guard(REGISTRY.lock().unwrap_or_else(PoisonError::into_inner))
+}
+
+fn dna(text: &str) -> Sequence {
+    Sequence::from_text(Alphabet::Dna2, text).unwrap()
+}
+
+/// The `proto.write_frame` Partial injection leaves a torn frame on the
+/// wire (header + half payload), returns a typed I/O error to the
+/// sender, and the receiving side reports the tear as a typed
+/// `UnexpectedEof` — the full sender-dies-mid-frame story, both ends
+/// typed, no hang.
+#[test]
+fn torn_write_frame_is_typed_on_both_ends() {
+    let _guard = registry_lock();
+    failpoint::install(FailSchedule::new(1).rule(
+        "proto.write_frame",
+        None,
+        Action::Partial,
+        1.0,
+        Some(1),
+    ));
+
+    let mut wire = Vec::new();
+    match write_frame(&mut wire, "RESULT\t7\tok") {
+        Err(ProtoError::Io(_)) => {}
+        other => panic!("torn write reported {other:?}"),
+    }
+    assert!(
+        !wire.is_empty() && wire.len() < 4 + "RESULT\t7\tok".len(),
+        "partial injection should leave a strict prefix on the wire, got {} bytes",
+        wire.len()
+    );
+
+    match read_frame(&mut wire.as_slice()) {
+        Err(ProtoError::Io(e)) => assert_eq!(e.kind(), std::io::ErrorKind::UnexpectedEof),
+        other => panic!("torn frame read back as {other:?}"),
+    }
+
+    // The schedule's one-hit limit is spent: the very next frame flows
+    // clean over the same (now reset) wire — faults always stop.
+    let mut wire = Vec::new();
+    write_frame(&mut wire, "RESULT\t7\tok").unwrap();
+    assert_eq!(read_frame(&mut wire.as_slice()).unwrap().as_deref(), Some("RESULT\t7\tok"));
+}
+
+/// Quarantine liveness: a schedule poisons one pool lane so every
+/// dispatch on it fails for a bounded burst. The breaker must quarantine
+/// the lane, the canary ladder must readmit it once the faults stop, and
+/// a bounded number of retry rounds must reach a clean pass — the lane
+/// never stays dead and the batch never wedges.
+#[test]
+fn poisoned_lane_is_quarantined_then_canary_readmitted() {
+    let _guard = registry_lock();
+    failpoint::install(FailSchedule::new(7).rule(
+        "pool.dispatch",
+        Some(1),
+        Action::Error,
+        1.0,
+        Some(12),
+    ));
+
+    let exec = BatchExecutor::new(
+        SmxDevice::new(AlignmentConfig::DnaEdit, 2).unwrap(),
+        ExecutorConfig {
+            jobs: 2,
+            queue_cap: 256,
+            devices: 3,
+            breaker: Some(BreakerConfig::default()),
+            quarantine: Some(QuarantineConfig::default()),
+            ..ExecutorConfig::default()
+        },
+    )
+    .unwrap();
+
+    let pairs: Vec<(Sequence, Sequence)> = (0..120)
+        .map(|i| {
+            let q = format!("ACGT{}AC", ["A", "C", "G", "T"][i % 4].repeat(8));
+            let r = q.replace("GT", "GG");
+            (dna(&q), dna(&r))
+        })
+        .collect();
+
+    let mut readmissions = 0;
+    let mut quarantines = 0;
+    let mut pending = pairs;
+    let mut rounds = 0;
+    loop {
+        rounds += 1;
+        assert!(rounds <= 6, "batch never reached a clean pass over the healed pool");
+        let report = exec.run(&pending);
+        readmissions += report.stats.readmissions;
+        quarantines += report.stats.quarantines;
+        let failed: Vec<(Sequence, Sequence)> =
+            report.failures().iter().map(|f| pending[f.index].clone()).collect();
+        if failed.is_empty() {
+            break;
+        }
+        pending = failed;
+    }
+    assert!(quarantines >= 1, "a lane failing 12 straight dispatches was never quarantined");
+    assert!(
+        readmissions >= 1,
+        "the poisoned lane was never canary-readmitted after its faults stopped"
+    );
+}
+
+/// While `pool.canary` is forced to fail, the quarantined lane must stay
+/// out (no premature readmission on a failing canary); once the canary
+/// faults stop, readmission follows.
+#[test]
+fn failing_canaries_block_readmission_until_they_heal() {
+    let _guard = registry_lock();
+    failpoint::install(
+        FailSchedule::new(9).rule("pool.dispatch", Some(1), Action::Error, 1.0, Some(10)).rule(
+            "pool.canary",
+            Some(1),
+            Action::Error,
+            1.0,
+            Some(4),
+        ),
+    );
+
+    let exec = BatchExecutor::new(
+        SmxDevice::new(AlignmentConfig::DnaEdit, 2).unwrap(),
+        ExecutorConfig {
+            jobs: 2,
+            queue_cap: 256,
+            devices: 3,
+            breaker: Some(BreakerConfig::default()),
+            quarantine: Some(QuarantineConfig::default()),
+            ..ExecutorConfig::default()
+        },
+    )
+    .unwrap();
+
+    let pairs: Vec<(Sequence, Sequence)> = (0..150)
+        .map(|i| {
+            let q = format!("TTGCA{}T", ["A", "C", "G", "T"][i % 4].repeat(6));
+            let r = q.replace("CA", "CC");
+            (dna(&q), dna(&r))
+        })
+        .collect();
+
+    let mut canary_failures = 0;
+    let mut readmissions = 0;
+    let mut pending = pairs;
+    for _ in 0..6 {
+        let report = exec.run(&pending);
+        canary_failures += report.stats.canary_failures;
+        readmissions += report.stats.readmissions;
+        let failed: Vec<(Sequence, Sequence)> =
+            report.failures().iter().map(|f| pending[f.index].clone()).collect();
+        if failed.is_empty() && readmissions >= 1 {
+            break;
+        }
+        if !failed.is_empty() {
+            pending = failed;
+        }
+    }
+    assert!(
+        canary_failures >= 1,
+        "the canary failpoint never fired — readmission was not canary-gated"
+    );
+    assert!(readmissions >= 1, "lane was never readmitted after canary faults stopped");
+}
+
+/// Feature sanity: an installed empty schedule injects nothing, and a
+/// cleared registry leaves every site a no-op.
+#[test]
+fn empty_or_cleared_schedule_injects_nothing() {
+    let _guard = registry_lock();
+    failpoint::install(FailSchedule::new(3));
+    let mut wire = Vec::new();
+    write_frame(&mut wire, "HELLO").unwrap();
+    assert_eq!(read_frame(&mut wire.as_slice()).unwrap().as_deref(), Some("HELLO"));
+
+    failpoint::clear();
+    let mut wire = Vec::new();
+    write_frame(&mut wire, "BYE").unwrap();
+    assert_eq!(read_frame(&mut wire.as_slice()).unwrap().as_deref(), Some("BYE"));
+}
